@@ -1,0 +1,295 @@
+package taurus
+
+// Benchmark harness: one testing.B benchmark per figure of the paper's
+// evaluation (§VII). Each benchmark regenerates its figure's rows and
+// reports the headline quantity as a custom metric, so
+// `go test -bench=. -benchmem` reproduces the whole evaluation. The
+// same experiments are runnable interactively via cmd/taurus-bench,
+// which prints the full tables.
+
+import (
+	"os"
+	"testing"
+
+	"taurus/internal/bench"
+	"taurus/internal/core"
+	"taurus/internal/core/ir"
+	"taurus/internal/exec"
+	"taurus/internal/expr"
+	"taurus/internal/pagestore"
+	"taurus/internal/tpch"
+	"taurus/internal/types"
+)
+
+var benchFixture *bench.Fixture
+
+func fixture(b *testing.B) *bench.Fixture {
+	b.Helper()
+	if benchFixture == nil {
+		f, err := bench.NewFixture(0.005)
+		if err != nil {
+			b.Fatal(err)
+		}
+		benchFixture = f
+	}
+	return benchFixture
+}
+
+// BenchmarkFig5NetworkReduction regenerates Fig. 5: network read
+// reduction with NDP on the Listing 5 micro-benchmark.
+func BenchmarkFig5NetworkReduction(b *testing.B) {
+	f := fixture(b)
+	var rows []bench.Fig5Row
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = f.Fig5()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	var sum float64
+	for _, r := range rows {
+		sum += r.ReductionPct
+	}
+	b.ReportMetric(sum/float64(len(rows)), "mean-net-reduction-%")
+	if b.N == 1 {
+		bench.PrintFig5(os.Stderr, rows)
+	}
+}
+
+// BenchmarkFig6RuntimePQNDP regenerates Fig. 6: run-time reduction from
+// PQ and PQ+NDP at DOP 32 on the simulated cluster clock.
+func BenchmarkFig6RuntimePQNDP(b *testing.B) {
+	f := fixture(b)
+	var rows []bench.Fig6Row
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = f.Fig6()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	var pqOnly, pqNDP float64
+	for _, r := range rows {
+		pqOnly += r.PQOnlyPct
+		pqNDP += r.PQandNDPPct
+	}
+	b.ReportMetric(pqOnly/float64(len(rows)), "mean-PQonly-%")
+	b.ReportMetric(pqNDP/float64(len(rows)), "mean-PQ+NDP-%")
+	if b.N == 1 {
+		bench.PrintFig6(os.Stderr, rows)
+	}
+}
+
+// BenchmarkFig7TPCHReduction regenerates Fig. 7: CPU and network
+// reduction across the 22 TPC-H queries (paper headline: 63% data, 50%
+// CPU, 18/22 queries benefit).
+func BenchmarkFig7TPCHReduction(b *testing.B) {
+	f := fixture(b)
+	var res *bench.Fig7Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = f.Fig7()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(res.TotalNetPct, "total-net-reduction-%")
+	b.ReportMetric(res.TotalCPUPct, "total-cpu-reduction-%")
+	b.ReportMetric(float64(res.QueriesBenefit), "queries-benefiting")
+	if b.N == 1 {
+		bench.PrintFig7(os.Stderr, res)
+	}
+}
+
+// BenchmarkFig8TPCHRuntime regenerates Fig. 8: per-query run-time
+// reduction with NDP (simulated serial clock; Q4 regression included).
+func BenchmarkFig8TPCHRuntime(b *testing.B) {
+	f := fixture(b)
+	var res *bench.Fig8Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = f.Fig8()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(res.TotalPct, "total-runtime-reduction-%")
+	b.ReportMetric(float64(res.CountOver60), "queries-over-60pct")
+	if b.N == 1 {
+		bench.PrintFig8(os.Stderr, res)
+	}
+}
+
+// BenchmarkFig9PQGains regenerates Fig. 9: further run-time reduction
+// from PQ (DOP 16) on the seven parallelizable queries.
+func BenchmarkFig9PQGains(b *testing.B) {
+	f := fixture(b)
+	var rows []bench.Fig9Row
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = f.Fig9()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	var sum float64
+	for _, r := range rows {
+		sum += r.ReductionPct
+	}
+	b.ReportMetric(sum/float64(len(rows)), "mean-PQ-reduction-%")
+	if b.N == 1 {
+		bench.PrintFig9(os.Stderr, rows)
+	}
+}
+
+// BenchmarkQ4BufferPool regenerates the §VII-D buffer-pool experiment:
+// lineitem pages resident after Q1–Q3 with NDP off vs on.
+func BenchmarkQ4BufferPool(b *testing.B) {
+	f := fixture(b)
+	var noNDP, withNDP int
+	for i := 0; i < b.N; i++ {
+		var err error
+		noNDP, withNDP, err = f.Q4BufferPool()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(noNDP), "lineitem-pages-no-NDP")
+	b.ReportMetric(float64(withNDP), "lineitem-pages-NDP")
+}
+
+// BenchmarkDescriptorCache is the §IV-D1 ablation. The paper's
+// descriptor decode + LLVM conversion cost milliseconds, so caching gave
+// up to 50% on some benchmarks; this reproduction's IR compiles orders
+// of magnitude faster, so the ablation is reported at the operation
+// level: cost of serving a descriptor from the cache (Hit) vs decoding,
+// validating, and JIT-compiling it from bytes (Miss), plus the
+// query-level comparison for context.
+func BenchmarkDescriptorCache(b *testing.B) {
+	f := fixture(b)
+	q, err := tpch.QueryByName("Q6")
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Build a representative descriptor by running Q6 once and grabbing
+	// its encoded descriptor through the engine's builder path.
+	env := tpch.NewEnv(f.DB, true)
+	if _, err := tpch.Run(env, exec.NewCtx(f.DB.Eng), q); err != nil {
+		b.Fatal(err)
+	}
+	desc := q6Descriptor(b, f)
+	plug := pagestore.InnoDBPlugin()
+	b.Run("Hit", func(b *testing.B) {
+		c := pagestore.NewDescriptorCache(16)
+		if _, err := c.Get(plug, desc); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := c.Get(plug, desc); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("Miss", func(b *testing.B) {
+		c := pagestore.NewDescriptorCache(16)
+		c.Disable()
+		for i := 0; i < b.N; i++ {
+			if _, err := c.Get(plug, desc); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("QueryCacheOn", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			f.DB.Eng.Pool().Clear()
+			if _, err := f.RunQuery(q, true); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("QueryCacheOff", func(b *testing.B) {
+		for _, ps := range f.Cluster.PageStores {
+			c := pagestore.NewDescriptorCache(1)
+			c.Disable()
+			pagestore.WithDescriptorCache(c)(ps)
+		}
+		defer func() {
+			for _, ps := range f.Cluster.PageStores {
+				pagestore.WithDescriptorCache(pagestore.NewDescriptorCache(256))(ps)
+			}
+		}()
+		for i := 0; i < b.N; i++ {
+			f.DB.Eng.Pool().Clear()
+			if _, err := f.RunQuery(q, true); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// q6Descriptor builds the encoded NDP descriptor Q6's scan ships:
+// the four-conjunct predicate as IR, a two-column projection, and the
+// decomposed SUM aggregate.
+func q6Descriptor(b *testing.B, f *bench.Fixture) []byte {
+	b.Helper()
+	idx := f.DB.Lineitem.Primary
+	pred := expr.AndAll(
+		expr.GE(expr.Col(tpch.LShipdate, "l_shipdate"), expr.Const(types.DateFromYMD(1994, 1, 1))),
+		expr.LT(expr.Col(tpch.LShipdate, "l_shipdate"), expr.Const(types.DateFromYMD(1995, 1, 1))),
+		expr.Between(expr.Col(tpch.LDiscount, "l_discount"),
+			expr.Const(types.NewDecimal(5)), expr.Const(types.NewDecimal(7))),
+		expr.LT(expr.Col(tpch.LQuantity, "l_quantity"), expr.Const(types.NewDecimal(2400))),
+	)
+	prog, err := ir.Compile(pred, idx.Schema.Len())
+	if err != nil {
+		b.Fatal(err)
+	}
+	argProg, err := ir.Compile(expr.Mul(expr.Col(0, "p"), expr.Col(1, "d")), 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	d := &core.Descriptor{
+		IndexID:      idx.ID,
+		Cols:         make([]types.Kind, idx.Schema.Len()),
+		FixedLens:    make([]uint16, idx.Schema.Len()),
+		Projection:   []uint16{tpch.LExtendedprice, tpch.LDiscount},
+		Predicate:    prog.Encode(),
+		Aggs:         []core.AggSpec{{Fn: core.AggSum, ArgCol: -1, ArgIR: argProg.Encode()}},
+		LowWatermark: 1 << 40,
+	}
+	for i, c := range idx.Schema.Cols {
+		d.Cols[i] = c.Kind
+		d.FixedLens[i] = uint16(c.FixedLen)
+	}
+	return d.Encode()
+}
+
+// BenchmarkNDPScanVsRegular is the core data-path comparison on real
+// wall-clock time: a filtered scan through the NDP path vs the regular
+// per-page path, cold pool.
+func BenchmarkNDPScanVsRegular(b *testing.B) {
+	f := fixture(b)
+	q, err := tpch.QueryByName("Q6")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, mode := range []struct {
+		name string
+		ndp  bool
+	}{{"Regular", false}, {"NDP", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			var bytes uint64
+			for i := 0; i < b.N; i++ {
+				f.DB.Eng.Pool().Clear()
+				m, err := f.RunQuery(q, mode.ndp)
+				if err != nil {
+					b.Fatal(err)
+				}
+				bytes = m.NetBytes
+			}
+			b.ReportMetric(float64(bytes), "net-bytes/query")
+		})
+	}
+}

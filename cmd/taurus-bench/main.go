@@ -1,0 +1,89 @@
+// taurus-bench replays the paper's evaluation (§VII) and prints the
+// tables behind each figure.
+//
+// Usage:
+//
+//	taurus-bench [-sf 0.005] [fig5|fig6|fig7|fig8|fig9|q4-bufferpool|all]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"taurus/internal/bench"
+)
+
+func main() {
+	sf := flag.Float64("sf", 0.005, "TPC-H scale factor")
+	flag.Parse()
+	which := "all"
+	if flag.NArg() > 0 {
+		which = flag.Arg(0)
+	}
+	fmt.Printf("Loading TPC-H at SF %g on a 4-Page-Store, 3-way-replicated cluster...\n", *sf)
+	f, err := bench.NewFixture(*sf)
+	if err != nil {
+		log.Fatal(err)
+	}
+	run := func(name string, fn func() error) {
+		if which != "all" && which != name {
+			return
+		}
+		fmt.Println()
+		if err := fn(); err != nil {
+			log.Fatalf("%s: %v", name, err)
+		}
+	}
+	run("fig5", func() error {
+		rows, err := f.Fig5()
+		if err != nil {
+			return err
+		}
+		bench.PrintFig5(os.Stdout, rows)
+		return nil
+	})
+	run("fig6", func() error {
+		rows, err := f.Fig6()
+		if err != nil {
+			return err
+		}
+		bench.PrintFig6(os.Stdout, rows)
+		return nil
+	})
+	run("fig7", func() error {
+		res, err := f.Fig7()
+		if err != nil {
+			return err
+		}
+		bench.PrintFig7(os.Stdout, res)
+		return nil
+	})
+	run("fig8", func() error {
+		res, err := f.Fig8()
+		if err != nil {
+			return err
+		}
+		bench.PrintFig8(os.Stdout, res)
+		return nil
+	})
+	run("fig9", func() error {
+		rows, err := f.Fig9()
+		if err != nil {
+			return err
+		}
+		bench.PrintFig9(os.Stdout, rows)
+		return nil
+	})
+	run("q4-bufferpool", func() error {
+		noNDP, withNDP, err := f.Q4BufferPool()
+		if err != nil {
+			return err
+		}
+		fmt.Println("§VII-D buffer-pool experiment (lineitem pages resident after Q1–Q3):")
+		fmt.Printf("  NDP disabled: %d pages\n  NDP enabled:  %d pages\n", noNDP, withNDP)
+		fmt.Println("  (paper: 1,272,972 vs 24,186)")
+		return nil
+	})
+}

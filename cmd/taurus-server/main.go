@@ -1,0 +1,51 @@
+// taurus-server runs a standalone Page Store (or Log Store) behind the
+// TCP transport, so a storage layer can be deployed as separate
+// processes. A frontend connects by configuring the SAL with the
+// servers' addresses and cluster.NewTCPClient as the transport.
+//
+// Usage:
+//
+//	taurus-server -listen :7000 -role pagestore
+//	taurus-server -listen :7100 -role logstore
+package main
+
+import (
+	"flag"
+	"log"
+	"net"
+
+	"taurus/internal/cluster"
+	"taurus/internal/logstore"
+	"taurus/internal/pagestore"
+)
+
+func main() {
+	listen := flag.String("listen", ":7000", "address to listen on")
+	role := flag.String("role", "pagestore", "pagestore or logstore")
+	name := flag.String("name", "", "node name (defaults to the listen address)")
+	ndpWorkers := flag.Int("ndp-workers", 4, "NDP worker threads (pagestore)")
+	ndpQueue := flag.Int("ndp-queue", 1024, "NDP admission queue depth (pagestore)")
+	flag.Parse()
+
+	if *name == "" {
+		*name = *listen
+	}
+	var handler cluster.Handler
+	switch *role {
+	case "pagestore":
+		rc := pagestore.NewResourceControl(*ndpWorkers, *ndpQueue)
+		handler = pagestore.New(*name, pagestore.WithResourceControl(rc))
+	case "logstore":
+		handler = logstore.New(*name)
+	default:
+		log.Fatalf("unknown role %q", *role)
+	}
+	l, err := net.Listen("tcp", *listen)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("%s %q listening on %s", *role, *name, l.Addr())
+	if err := cluster.Serve(l, handler); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,102 @@
+// taurus-sql is an interactive SQL shell over an embedded Taurus
+// deployment. Statements end with ';'. Meta commands:
+//
+//	\ndp on|off    toggle near-data processing
+//	\stats         print network / engine / Page Store counters
+//	\cold          clear the buffer pool
+//	\quit          exit
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"taurus"
+)
+
+func main() {
+	db, err := taurus.Open(taurus.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	db.SetNDPPageThreshold(1)
+	fmt.Println("taurus-sql — embedded Taurus with NDP (end statements with ';')")
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	var buf strings.Builder
+	prompt := func() { fmt.Print("taurus> ") }
+	prompt()
+	for sc.Scan() {
+		line := sc.Text()
+		trimmed := strings.TrimSpace(line)
+		if strings.HasPrefix(trimmed, `\`) {
+			runMeta(db, trimmed)
+			prompt()
+			continue
+		}
+		buf.WriteString(line)
+		buf.WriteByte('\n')
+		if !strings.Contains(line, ";") {
+			fmt.Print("     -> ")
+			continue
+		}
+		stmt := strings.TrimSpace(buf.String())
+		buf.Reset()
+		if stmt == "" || stmt == ";" {
+			prompt()
+			continue
+		}
+		res, err := db.Exec(stmt)
+		switch {
+		case err != nil:
+			fmt.Println("error:", err)
+		case res.Explain != "":
+			fmt.Print(res.Explain)
+		case res.Message != "":
+			fmt.Println(res.Message)
+		default:
+			fmt.Println(strings.Join(res.Columns, " | "))
+			for _, row := range res.Rows {
+				parts := make([]string, len(row))
+				for i, d := range row {
+					parts[i] = d.String()
+				}
+				fmt.Println(strings.Join(parts, " | "))
+			}
+			fmt.Printf("(%d rows)\n", len(res.Rows))
+		}
+		prompt()
+	}
+}
+
+func runMeta(db *taurus.DB, cmd string) {
+	switch {
+	case cmd == `\quit` || cmd == `\q`:
+		os.Exit(0)
+	case cmd == `\ndp on`:
+		db.SetNDP(true)
+		fmt.Println("NDP enabled")
+	case cmd == `\ndp off`:
+		db.SetNDP(false)
+		fmt.Println("NDP disabled")
+	case cmd == `\cold`:
+		db.ClearBufferPool()
+		fmt.Println("buffer pool cleared")
+	case cmd == `\stats`:
+		n := db.NetworkStats()
+		fmt.Printf("network: %d reqs, %d bytes sent, %d bytes received (%d batch reads)\n",
+			n.Requests, n.BytesSent, n.BytesReceived, n.BatchReads)
+		e := db.EngineStats()
+		fmt.Printf("engine: %d rows examined, %d NDP pages consumed, %d skipped-completed\n",
+			e.RowsExaminedSQL, e.NDPPagesConsumed, e.SkippedCompleted)
+		for i, s := range db.PageStoreStats() {
+			fmt.Printf("pagestore-%d: %d log recs, %d NDP pages (%d skipped)\n",
+				i+1, s.LogRecordsApplied, s.NDPPagesProcessed, s.NDPPagesSkipped)
+		}
+	default:
+		fmt.Println(`meta commands: \ndp on|off  \stats  \cold  \quit`)
+	}
+}

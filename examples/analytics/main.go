@@ -1,0 +1,49 @@
+// Analytics: load a scaled TPC-H database and replay the paper's
+// flagship analytical queries (Q1, Q6, Q12, Q15) with NDP off and on,
+// printing the network and SQL-CPU reductions of Fig. 7.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"taurus/internal/bench"
+	"taurus/internal/plan"
+	"taurus/internal/tpch"
+)
+
+func main() {
+	fmt.Println("Loading TPC-H (scale 0.002)...")
+	f, err := bench.NewFixture(0.002)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%-6s %14s %14s %10s %10s\n",
+		"query", "bytes(noNDP)", "bytes(NDP)", "net-red", "cpu-red")
+	for _, name := range []string{"Q1", "Q6", "Q12", "Q15"} {
+		q, err := tpch.QueryByName(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		f.DB.Eng.Pool().Clear()
+		off, err := f.RunQuery(q, false)
+		if err != nil {
+			log.Fatal(err)
+		}
+		f.DB.Eng.Pool().Clear()
+		on, err := f.RunQuery(q, true)
+		if err != nil {
+			log.Fatal(err)
+		}
+		netRed := (1 - float64(on.NetBytes)/float64(off.NetBytes)) * 100
+		cpuRed := (1 - on.SQLCPUUnits/off.SQLCPUUnits) * 100
+		fmt.Printf("%-6s %14d %14d %9.1f%% %9.1f%%\n",
+			name, off.NetBytes, on.NetBytes, netRed, cpuRed)
+		// Show what the optimizer decided for each table access.
+		for _, r := range on.Reports {
+			if extras := plan.ExplainExtras(r.Spec, r.Dec); extras != "" {
+				fmt.Printf("       %s: %s\n", r.Spec.Table, extras)
+			}
+		}
+	}
+}

@@ -1,0 +1,62 @@
+// Best-effort NDP: Page Stores are multi-tenant and may skip NDP
+// processing under resource pressure (§IV-D2). This example throttles
+// the stores progressively and shows that query answers never change —
+// the frontend completes whatever the stores skipped — while the
+// network savings degrade gracefully (NDP benefit "is not
+// all-or-nothing").
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"taurus/internal/core"
+	"taurus/internal/engine"
+	"taurus/internal/expr"
+	"taurus/internal/testutil"
+	"taurus/internal/types"
+)
+
+func main() {
+	c, err := testutil.NewCluster(testutil.Options{PoolPages: 128})
+	if err != nil {
+		log.Fatal(err)
+	}
+	tbl, err := c.LoadWorkers(5000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pred := expr.LT(expr.Col(1, "age"), expr.ConstInt(30))
+
+	run := func(label string) {
+		c.Engine.Pool().Clear()
+		before := c.Transport.Stats.Snapshot()
+		em0 := c.Engine.Metrics.Snapshot()
+		count := 0
+		err := c.Engine.Scan(engine.ScanOptions{
+			Index: tbl.Primary, Predicate: pred, Projection: []int{0},
+			NDP: &engine.NDPPush{PushPredicate: true, PushProjection: true},
+		}, func(types.Row, []core.AggState) error {
+			count++
+			return nil
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		net := c.Transport.Stats.Snapshot().Sub(before)
+		em := c.Engine.Metrics.Snapshot().Sub(em0)
+		fmt.Printf("%-22s rows=%d  bytes=%8d  pages: NDP=%d skipped-completed=%d\n",
+			label, count, net.BytesReceived, em.NDPPagesConsumed, em.SkippedCompleted)
+	}
+
+	fmt.Println("Same scan under increasing Page Store pressure:")
+	run("no pressure")
+	for _, rc := range c.Controls {
+		rc.SetSkipEvery(3) // every third page skipped
+	}
+	run("skip every 3rd page")
+	for _, rc := range c.Controls {
+		rc.SetForceSkip(true) // stores refuse all NDP work
+	}
+	run("all pages skipped")
+}

@@ -1,0 +1,216 @@
+// Package buffer implements the compute node's buffer pool and its NDP
+// interaction rules (§IV-C3): regular pages live in the hash map and LRU
+// list and are shared by all queries; NDP pages are allocated from the
+// pool's free capacity but are "not inserted into such buffer pool
+// management data structures as hash map, LRU list, flush list" — they
+// are private to the scan cursor that requested them, and their count is
+// capped (the innodb_ndp_max_pages_look_ahead parameter) so regular scans
+// are not deprived of memory.
+package buffer
+
+import (
+	"container/list"
+	"fmt"
+	"sync"
+
+	"taurus/internal/page"
+)
+
+// DefaultNDPMaxPagesLookAhead mirrors the paper's new MySQL parameter
+// bounding an NDP scan's memory footprint ("typically around a thousand
+// pages" per batch).
+const DefaultNDPMaxPagesLookAhead = 1024
+
+// Pool is the buffer pool. All pages it caches are clean: mutations are
+// logged through the SAL before being applied to cached copies, so
+// eviction never loses data.
+type Pool struct {
+	mu sync.Mutex
+
+	capacity int
+	ndpCap   int
+	ndpInUse int
+
+	frames map[uint64]*frame
+	lru    *list.List // front = most recent
+
+	hits      uint64
+	misses    uint64
+	evictions uint64
+}
+
+type frame struct {
+	pg  *page.Page
+	elt *list.Element
+}
+
+// New creates a pool holding up to capacity regular pages and up to
+// ndpCap concurrently-live NDP pages.
+func New(capacity, ndpCap int) *Pool {
+	if capacity < 8 {
+		capacity = 8
+	}
+	if ndpCap <= 0 {
+		ndpCap = DefaultNDPMaxPagesLookAhead
+	}
+	return &Pool{
+		capacity: capacity,
+		ndpCap:   ndpCap,
+		frames:   make(map[uint64]*frame),
+		lru:      list.New(),
+	}
+}
+
+// Get returns the cached page, or fetches, caches, and returns it.
+func (p *Pool) Get(pageID uint64, fetch func(pageID uint64) (*page.Page, error)) (*page.Page, error) {
+	p.mu.Lock()
+	if f, ok := p.frames[pageID]; ok {
+		p.lru.MoveToFront(f.elt)
+		p.hits++
+		pg := f.pg
+		p.mu.Unlock()
+		return pg, nil
+	}
+	p.misses++
+	p.mu.Unlock()
+	// Fetch outside the lock; a racing fetch of the same page wastes a
+	// read but converges (Insert keeps the first copy).
+	pg, err := fetch(pageID)
+	if err != nil {
+		return nil, err
+	}
+	p.Insert(pg)
+	return p.lookupOrThis(pageID, pg), nil
+}
+
+func (p *Pool) lookupOrThis(pageID uint64, fallback *page.Page) *page.Page {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if f, ok := p.frames[pageID]; ok {
+		return f.pg
+	}
+	return fallback
+}
+
+// Lookup returns the cached page without fetching. This is the check a
+// batch read performs before adding a leaf to the I/O request: "Before a
+// leaf page ID is added to a batch read request, a check is made whether
+// the page already exists in the buffer pool" (§IV-C4).
+func (p *Pool) Lookup(pageID uint64) (*page.Page, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	f, ok := p.frames[pageID]
+	if !ok {
+		return nil, false
+	}
+	p.lru.MoveToFront(f.elt)
+	p.hits++
+	return f.pg, true
+}
+
+// Insert caches a page (idempotent), evicting LRU pages as needed.
+func (p *Pool) Insert(pg *page.Page) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	id := pg.ID()
+	if _, ok := p.frames[id]; ok {
+		return
+	}
+	p.evictForSpaceLocked()
+	f := &frame{pg: pg}
+	f.elt = p.lru.PushFront(id)
+	p.frames[id] = f
+}
+
+func (p *Pool) evictForSpaceLocked() {
+	for len(p.frames)+p.ndpInUse >= p.capacity {
+		back := p.lru.Back()
+		if back == nil {
+			return // nothing evictable; NDP cap guards this case
+		}
+		id := back.Value.(uint64)
+		p.lru.Remove(back)
+		delete(p.frames, id)
+		p.evictions++
+	}
+}
+
+// Evict removes a page from the cache (no-op if absent).
+func (p *Pool) Evict(pageID uint64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if f, ok := p.frames[pageID]; ok {
+		p.lru.Remove(f.elt)
+		delete(p.frames, pageID)
+		p.evictions++
+	}
+}
+
+// AllocNDP reserves capacity for one NDP page. It fails when the NDP cap
+// is reached — the scan must release pages before reading more, which is
+// exactly the paper's bounded look-ahead. Regular pages are evicted if
+// the pool is full, never the other way around.
+func (p *Pool) AllocNDP() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.ndpInUse >= p.ndpCap {
+		return fmt.Errorf("buffer: NDP page cap %d reached", p.ndpCap)
+	}
+	p.evictForSpaceLocked()
+	p.ndpInUse++
+	return nil
+}
+
+// ReleaseNDP returns one NDP page's capacity to the free list ("after an
+// NDP scan finishes processing an NDP page in the batch, the page is
+// immediately released back to buffer pool free list").
+func (p *Pool) ReleaseNDP() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.ndpInUse > 0 {
+		p.ndpInUse--
+	}
+}
+
+// NDPInUse reports currently reserved NDP pages.
+func (p *Pool) NDPInUse() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.ndpInUse
+}
+
+// Resident returns the number of cached regular pages.
+func (p *Pool) Resident() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.frames)
+}
+
+// ResidentByIndex counts cached pages per index id — the measurement
+// behind the paper's Q4 buffer-pool experiment (§VII-D: "the resulting
+// buffer pool had 1,272,972 Lineitem pages" vs 24,186 with NDP).
+func (p *Pool) ResidentByIndex() map[uint64]int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make(map[uint64]int)
+	for _, f := range p.frames {
+		out[f.pg.IndexID()]++
+	}
+	return out
+}
+
+// Stats returns hit/miss/eviction counters.
+func (p *Pool) Stats() (hits, misses, evictions uint64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.hits, p.misses, p.evictions
+}
+
+// Clear drops all cached regular pages (used between experiment runs to
+// start cold).
+func (p *Pool) Clear() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.frames = make(map[uint64]*frame)
+	p.lru.Init()
+}

@@ -1,0 +1,187 @@
+package buffer
+
+import (
+	"fmt"
+	"testing"
+
+	"taurus/internal/page"
+)
+
+func fetchFrom(created *int) func(uint64) (*page.Page, error) {
+	return func(id uint64) (*page.Page, error) {
+		if created != nil {
+			*created++
+		}
+		return page.New(id, id%3, 0), nil
+	}
+}
+
+func TestGetCachesPages(t *testing.T) {
+	p := New(16, 4)
+	created := 0
+	for i := 0; i < 3; i++ {
+		pg, err := p.Get(7, fetchFrom(&created))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pg.ID() != 7 {
+			t.Fatal("wrong page")
+		}
+	}
+	if created != 1 {
+		t.Errorf("fetched %d times, want 1", created)
+	}
+	hits, misses, _ := p.Stats()
+	if hits != 2 || misses != 1 {
+		t.Errorf("hits=%d misses=%d", hits, misses)
+	}
+}
+
+func TestGetPropagatesFetchError(t *testing.T) {
+	p := New(16, 4)
+	_, err := p.Get(1, func(uint64) (*page.Page, error) {
+		return nil, fmt.Errorf("storage down")
+	})
+	if err == nil {
+		t.Fatal("fetch error must propagate")
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	p := New(8, 2)
+	created := 0
+	for i := uint64(1); i <= 12; i++ {
+		if _, err := p.Get(i, fetchFrom(&created)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if p.Resident() > 8 {
+		t.Errorf("resident %d exceeds capacity", p.Resident())
+	}
+	_, _, evictions := p.Stats()
+	if evictions == 0 {
+		t.Error("expected evictions")
+	}
+	// The most recently used pages survive.
+	if _, ok := p.Lookup(12); !ok {
+		t.Error("page 12 should be resident")
+	}
+	if _, ok := p.Lookup(1); ok {
+		t.Error("page 1 should have been evicted")
+	}
+}
+
+func TestLookupDoesNotFetch(t *testing.T) {
+	p := New(8, 2)
+	if _, ok := p.Lookup(5); ok {
+		t.Fatal("empty pool lookup should miss")
+	}
+	p.Insert(page.New(5, 1, 0))
+	if pg, ok := p.Lookup(5); !ok || pg.ID() != 5 {
+		t.Fatal("lookup after insert failed")
+	}
+}
+
+func TestEvictExplicit(t *testing.T) {
+	p := New(8, 2)
+	p.Insert(page.New(5, 1, 0))
+	p.Evict(5)
+	if _, ok := p.Lookup(5); ok {
+		t.Fatal("page should be gone")
+	}
+	p.Evict(99) // no-op
+}
+
+func TestInsertIdempotent(t *testing.T) {
+	p := New(8, 2)
+	a := page.New(5, 1, 0)
+	b := page.New(5, 1, 0)
+	p.Insert(a)
+	p.Insert(b)
+	got, _ := p.Lookup(5)
+	if got != a {
+		t.Error("second insert must not replace the first copy")
+	}
+	if p.Resident() != 1 {
+		t.Errorf("resident = %d", p.Resident())
+	}
+}
+
+func TestNDPAllocationCap(t *testing.T) {
+	p := New(64, 3)
+	for i := 0; i < 3; i++ {
+		if err := p.AllocNDP(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := p.AllocNDP(); err == nil {
+		t.Fatal("cap must be enforced")
+	}
+	if p.NDPInUse() != 3 {
+		t.Errorf("NDPInUse = %d", p.NDPInUse())
+	}
+	p.ReleaseNDP()
+	if err := p.AllocNDP(); err != nil {
+		t.Fatal("release should free capacity")
+	}
+	for i := 0; i < 10; i++ {
+		p.ReleaseNDP() // over-release must not underflow
+	}
+	if p.NDPInUse() != 0 {
+		t.Errorf("NDPInUse = %d after releases", p.NDPInUse())
+	}
+}
+
+func TestNDPPagesEvictRegularPages(t *testing.T) {
+	// Pool of 8: fill with 8 regular pages, then NDP allocations must
+	// push regular pages out.
+	p := New(8, 8)
+	for i := uint64(1); i <= 8; i++ {
+		p.Insert(page.New(i, 1, 0))
+	}
+	for i := 0; i < 4; i++ {
+		if err := p.AllocNDP(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if p.Resident()+p.NDPInUse() > 8 {
+		t.Errorf("resident %d + ndp %d exceeds capacity", p.Resident(), p.NDPInUse())
+	}
+}
+
+func TestNDPPagesInvisibleToLookup(t *testing.T) {
+	// NDP pages are never inserted into the hash map: allocation is
+	// capacity accounting only, so Lookup can never observe them.
+	p := New(8, 4)
+	if err := p.AllocNDP(); err != nil {
+		t.Fatal(err)
+	}
+	if p.Resident() != 0 {
+		t.Error("NDP allocation must not appear in the page map")
+	}
+}
+
+func TestResidentByIndex(t *testing.T) {
+	p := New(32, 4)
+	for i := uint64(1); i <= 9; i++ {
+		p.Insert(page.New(i, i%3, 0)) // indexes 0,1,2 get 3 pages each
+	}
+	byIdx := p.ResidentByIndex()
+	for idx := uint64(0); idx < 3; idx++ {
+		if byIdx[idx] != 3 {
+			t.Errorf("index %d: %d pages, want 3", idx, byIdx[idx])
+		}
+	}
+}
+
+func TestClear(t *testing.T) {
+	p := New(8, 2)
+	p.Insert(page.New(1, 1, 0))
+	p.Clear()
+	if p.Resident() != 0 {
+		t.Error("Clear should drop everything")
+	}
+	if _, ok := p.Lookup(1); ok {
+		t.Error("page survived Clear")
+	}
+}

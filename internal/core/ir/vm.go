@@ -1,0 +1,249 @@
+package ir
+
+import (
+	"taurus/internal/expr"
+	"taurus/internal/types"
+)
+
+// VM executes an IR program by switch dispatch. This is the "LLVM
+// interpretation" half of the paper's hybrid ("combines LLVM
+// interpretation and execution", §V-B2): correct but slower than the
+// JIT-compiled form, and used by Page Stores before a program has been
+// JITed (or in tests, to cross-check the JIT).
+type VM struct {
+	prog *Program
+	regs []types.Datum
+}
+
+// NewVM prepares a VM with a private register file for the program. A VM
+// is not safe for concurrent use; Page Store worker threads each hold
+// their own.
+func NewVM(p *Program) *VM {
+	return &VM{prog: p, regs: make([]types.Datum, p.NumRegs)}
+}
+
+// Run evaluates the program against row and returns the result datum
+// (tri-state boolean for predicates).
+func (vm *VM) Run(row types.Row) types.Datum {
+	regs := vm.regs
+	prog := vm.prog
+	pc := 0
+	for {
+		in := prog.Instrs[pc]
+		switch in.Op {
+		case OpLoadCol:
+			regs[in.A] = row[in.B]
+		case OpConst:
+			regs[in.A] = prog.Consts[in.B]
+		case OpCmp:
+			regs[in.A] = evalCmp(CmpKind(in.Sub), regs[in.B], regs[in.C])
+		case OpAnd:
+			regs[in.A] = evalAnd(regs[in.B], regs[in.C])
+		case OpOr:
+			regs[in.A] = evalOr(regs[in.B], regs[in.C])
+		case OpNot:
+			regs[in.A] = evalNot(regs[in.B])
+		case OpArith:
+			a, b := regs[in.B], regs[in.C]
+			if a.IsNull() || b.IsNull() {
+				regs[in.A] = types.Null()
+			} else {
+				regs[in.A] = expr.Arith(arithExprOp(ArithKind(in.Sub)), a, b)
+			}
+		case OpNeg:
+			regs[in.A] = evalNeg(regs[in.B])
+		case OpLike:
+			regs[in.A] = evalLike(regs[in.B], prog.Consts[in.C].S, in.Sub == 1)
+		case OpIn:
+			lr := prog.Lists[in.C]
+			regs[in.A] = evalIn(regs[in.B], prog.Consts[lr[0]:lr[1]])
+		case OpBetween:
+			regs[in.A] = evalBetween(regs[in.B], regs[in.C], regs[in.D])
+		case OpIsNull:
+			regs[in.A] = evalIsNull(regs[in.B], in.Sub == 1)
+		case OpYear:
+			regs[in.A] = evalYear(regs[in.B])
+		case OpMov:
+			regs[in.A] = regs[in.B]
+		case OpBrFalse:
+			v := regs[in.B]
+			if !v.IsNull() && v.I == 0 {
+				pc = int(in.C)
+				continue
+			}
+		case OpBrTrue:
+			v := regs[in.B]
+			if !v.IsNull() && v.I != 0 {
+				pc = int(in.C)
+				continue
+			}
+		case OpJmp:
+			pc = int(in.C)
+			continue
+		case OpRet:
+			return regs[in.B]
+		}
+		pc++
+	}
+}
+
+// RunBool evaluates the program as a WHERE predicate (NULL → false).
+func (vm *VM) RunBool(row types.Row) bool {
+	v := vm.Run(row)
+	return !v.IsNull() && v.I != 0
+}
+
+// Shared evaluation helpers used by both the VM and the JIT so the two
+// paths cannot diverge.
+
+var (
+	dTrue  = types.NewInt(1)
+	dFalse = types.NewInt(0)
+)
+
+func evalCmp(k CmpKind, a, b types.Datum) types.Datum {
+	if a.IsNull() || b.IsNull() {
+		return types.Null()
+	}
+	c := types.Compare(a, b)
+	var ok bool
+	switch k {
+	case CmpEQ:
+		ok = c == 0
+	case CmpNE:
+		ok = c != 0
+	case CmpLT:
+		ok = c < 0
+	case CmpLE:
+		ok = c <= 0
+	case CmpGT:
+		ok = c > 0
+	case CmpGE:
+		ok = c >= 0
+	}
+	if ok {
+		return dTrue
+	}
+	return dFalse
+}
+
+func evalAnd(a, b types.Datum) types.Datum {
+	if !a.IsNull() && a.I == 0 {
+		return dFalse
+	}
+	if !b.IsNull() && b.I == 0 {
+		return dFalse
+	}
+	if a.IsNull() || b.IsNull() {
+		return types.Null()
+	}
+	return dTrue
+}
+
+func evalOr(a, b types.Datum) types.Datum {
+	if !a.IsNull() && a.I != 0 {
+		return dTrue
+	}
+	if !b.IsNull() && b.I != 0 {
+		return dTrue
+	}
+	if a.IsNull() || b.IsNull() {
+		return types.Null()
+	}
+	return dFalse
+}
+
+func evalNot(a types.Datum) types.Datum {
+	if a.IsNull() {
+		return types.Null()
+	}
+	if a.I != 0 {
+		return dFalse
+	}
+	return dTrue
+}
+
+func evalNeg(a types.Datum) types.Datum {
+	if a.IsNull() {
+		return types.Null()
+	}
+	if a.K == types.KindFloat {
+		return types.NewFloat(-a.F)
+	}
+	return types.Datum{K: a.K, I: -a.I}
+}
+
+func evalLike(a types.Datum, pattern string, negate bool) types.Datum {
+	if a.IsNull() {
+		return types.Null()
+	}
+	m := expr.LikeMatch(a.S, pattern)
+	if negate {
+		m = !m
+	}
+	if m {
+		return dTrue
+	}
+	return dFalse
+}
+
+func evalIn(x types.Datum, list []types.Datum) types.Datum {
+	if x.IsNull() {
+		return types.Null()
+	}
+	sawNull := false
+	for _, v := range list {
+		if v.IsNull() {
+			sawNull = true
+			continue
+		}
+		if types.Compare(x, v) == 0 {
+			return dTrue
+		}
+	}
+	if sawNull {
+		return types.Null()
+	}
+	return dFalse
+}
+
+func evalBetween(x, lo, hi types.Datum) types.Datum {
+	if x.IsNull() || lo.IsNull() || hi.IsNull() {
+		return types.Null()
+	}
+	if types.Compare(x, lo) >= 0 && types.Compare(x, hi) <= 0 {
+		return dTrue
+	}
+	return dFalse
+}
+
+func evalIsNull(a types.Datum, negate bool) types.Datum {
+	isNull := a.IsNull()
+	if negate {
+		isNull = !isNull
+	}
+	if isNull {
+		return dTrue
+	}
+	return dFalse
+}
+
+func evalYear(a types.Datum) types.Datum {
+	if a.IsNull() {
+		return types.Null()
+	}
+	return types.NewInt(int64(expr.YearOfEpochDays(int32(a.I))))
+}
+
+func arithExprOp(k ArithKind) expr.Op {
+	switch k {
+	case ArithAdd:
+		return expr.OpAdd
+	case ArithSub:
+		return expr.OpSub
+	case ArithMul:
+		return expr.OpMul
+	default:
+		return expr.OpDiv
+	}
+}

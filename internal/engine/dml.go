@@ -1,0 +1,196 @@
+package engine
+
+import (
+	"bytes"
+	"fmt"
+
+	"taurus/internal/page"
+	"taurus/internal/txn"
+	"taurus/internal/types"
+	"taurus/internal/wal"
+)
+
+// Insert adds a row to the table (and all its indexes) under t.
+func (e *Engine) Insert(t *Table, tx *txn.Txn, row types.Row) error {
+	if len(row) != t.Schema.Len() {
+		return fmt.Errorf("engine: row arity %d != schema %d", len(row), t.Schema.Len())
+	}
+	key := t.Primary.keyOf(nil, row)
+	rowBytes := types.EncodeRow(nil, t.Schema, row)
+	if err := t.Primary.Tree.Insert(key, rowBytes, tx.ID); err != nil {
+		return err
+	}
+	for _, idx := range t.Secondaries {
+		irow := idx.rowFor(row)
+		ikey := idx.keyOf(nil, irow)
+		ibytes := types.EncodeRow(nil, idx.Schema, irow)
+		if err := idx.Tree.Insert(ikey, ibytes, tx.ID); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// LoadSorted bulk-inserts rows that arrive in primary key order (the
+// TPC-H generator produces them that way); it is Insert without
+// per-row validation overhead, kept separate for clarity at call sites.
+func (e *Engine) LoadSorted(t *Table, tx *txn.Txn, rows []types.Row) error {
+	for _, r := range rows {
+		if err := e.Insert(t, tx, r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// findInLeaf locates the record with exactly key in the leaf, returning
+// its offset (0 if absent).
+func findInLeaf(leaf *page.Page, key []byte) int {
+	found := 0
+	leaf.Iter(func(r page.Record) bool {
+		k, _, err := page.SplitLeafPayload(r.Payload)
+		if err != nil {
+			return false
+		}
+		switch bytes.Compare(k, key) {
+		case 0:
+			found = r.Off
+			return false
+		case 1:
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// UpdateByPK rewrites the non-key columns of the row with the given
+// primary key. The previous version goes to the undo log so older read
+// views (and Page-Store-ambiguous records) can be resolved. Updates that
+// change secondary-indexed or key columns are rejected — TPC-H is
+// read-mostly and the paper's MVCC machinery only needs version churn.
+func (e *Engine) UpdateByPK(t *Table, tx *txn.Txn, pk types.Row, newRow types.Row) error {
+	key := types.EncodeKey(nil, pk)
+	for _, idx := range t.Secondaries {
+		for _, o := range idx.TableOrds[:len(idx.TableOrds)-len(t.PKCols)] {
+			oldRow, err := e.readRowByPK(t, key)
+			if err != nil {
+				return err
+			}
+			if types.Compare(oldRow[o], newRow[o]) != 0 {
+				return fmt.Errorf("engine: update would change secondary-indexed column %q", t.Schema.Cols[o].Name)
+			}
+		}
+	}
+	for i, k := range t.PKCols {
+		if types.Compare(pk[i], newRow[k]) != 0 {
+			return fmt.Errorf("engine: update must not change the primary key")
+		}
+	}
+	leafID, err := t.Primary.Tree.SeekLeaf(key)
+	if err != nil {
+		return err
+	}
+	leaf, err := pager{e}.Read(leafID)
+	if err != nil {
+		return err
+	}
+	off := findInLeaf(leaf, key)
+	if off == 0 {
+		return fmt.Errorf("engine: update target not found")
+	}
+	old := leaf.RecordAt(off)
+	_, oldRowBytes, err := page.SplitLeafPayload(old.Payload)
+	if err != nil {
+		return err
+	}
+	e.undo.Push(t.Primary.ID, key, txn.UndoRecord{
+		TrxID: old.TrxID, Row: append([]byte(nil), oldRowBytes...), Deleted: old.Deleted,
+	})
+	newBytes := types.EncodeRow(nil, t.Schema, newRow)
+	payload := page.EncodeLeafPayload(nil, key, newBytes)
+	if !leaf.HasRoomFor(len(payload)) {
+		// Reclaim delete-marked space first, then re-locate the target
+		// (compaction moves offsets).
+		if _, err := (pager{e}).Apply(&wal.Record{Type: wal.TypeCompact, PageID: leafID}); err != nil {
+			return err
+		}
+		leaf, err = pager{e}.Read(leafID)
+		if err != nil {
+			return err
+		}
+		off = findInLeaf(leaf, key)
+		if off == 0 {
+			return fmt.Errorf("engine: update target lost during compaction")
+		}
+		if !leaf.HasRoomFor(len(payload)) {
+			return fmt.Errorf("engine: page %d cannot fit updated row", leafID)
+		}
+	}
+	_, err = pager{e}.Apply(&wal.Record{
+		Type: wal.TypeUpdateRec, PageID: leafID, Off: uint32(off),
+		TrxID: tx.ID, Payload: payload,
+	})
+	return err
+}
+
+// DeleteByPK delete-marks the row. Older views resolve the pre-delete
+// version via undo; Page Stores treat the deleter's trx id like any
+// other for ambiguity.
+func (e *Engine) DeleteByPK(t *Table, tx *txn.Txn, pk types.Row) error {
+	key := types.EncodeKey(nil, pk)
+	leafID, err := t.Primary.Tree.SeekLeaf(key)
+	if err != nil {
+		return err
+	}
+	leaf, err := pager{e}.Read(leafID)
+	if err != nil {
+		return err
+	}
+	off := findInLeaf(leaf, key)
+	if off == 0 {
+		return fmt.Errorf("engine: delete target not found")
+	}
+	old := leaf.RecordAt(off)
+	_, oldRowBytes, err := page.SplitLeafPayload(old.Payload)
+	if err != nil {
+		return err
+	}
+	e.undo.Push(t.Primary.ID, key, txn.UndoRecord{
+		TrxID: old.TrxID, Row: append([]byte(nil), oldRowBytes...), Deleted: old.Deleted,
+	})
+	if _, err := (pager{e}).Apply(&wal.Record{
+		Type: wal.TypeSetTrxID, PageID: leafID, Off: uint32(off), TrxID: tx.ID,
+	}); err != nil {
+		return err
+	}
+	_, err = pager{e}.Apply(&wal.Record{
+		Type: wal.TypeDeleteMark, PageID: leafID, Off: uint32(off), Flag: 1,
+	})
+	return err
+}
+
+// readRowByPK fetches the current (latest) version of a row.
+func (e *Engine) readRowByPK(t *Table, key []byte) (types.Row, error) {
+	leafID, err := t.Primary.Tree.SeekLeaf(key)
+	if err != nil {
+		return nil, err
+	}
+	leaf, err := pager{e}.Read(leafID)
+	if err != nil {
+		return nil, err
+	}
+	off := findInLeaf(leaf, key)
+	if off == 0 {
+		return nil, fmt.Errorf("engine: row not found")
+	}
+	_, rowBytes, err := page.SplitLeafPayload(leaf.RecordAt(off).Payload)
+	if err != nil {
+		return nil, err
+	}
+	row := make(types.Row, t.Schema.Len())
+	if _, err := types.DecodeRow(rowBytes, t.Schema, row); err != nil {
+		return nil, err
+	}
+	return row, nil
+}

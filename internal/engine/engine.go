@@ -1,0 +1,333 @@
+// Package engine implements the InnoDB-equivalent storage engine on the
+// compute node: tables and indexes over B+ trees, redo logging through
+// the SAL, the buffer pool, MVCC with undo, and — the heart of the
+// paper — regular and NDP index scan cursors. "The InnoDB storage engine
+// handles all of the complexities related to NDP scans, and shields the
+// SQL executor from NDP" (§IV-C).
+package engine
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"taurus/internal/buffer"
+	"taurus/internal/page"
+	"taurus/internal/sal"
+	"taurus/internal/txn"
+	"taurus/internal/types"
+	"taurus/internal/wal"
+
+	"taurus/internal/btree"
+)
+
+// Config sizes an Engine.
+type Config struct {
+	// SAL connects to the storage cluster.
+	SAL *sal.SAL
+	// PoolPages is the buffer pool capacity in pages (paper setup: 20
+	// GB pool for a 100 GB database, i.e. ~20% of data).
+	PoolPages int
+	// NDPMaxPagesLookAhead bounds both the NDP batch size and the NDP
+	// page area, the paper's innodb_ndp_max_pages_look_ahead.
+	NDPMaxPagesLookAhead int
+}
+
+// Engine is one database frontend's storage engine.
+type Engine struct {
+	salc *sal.SAL
+	pool *buffer.Pool
+	txm  *txn.Manager
+	undo *txn.UndoLog
+
+	mu         sync.RWMutex
+	tables     map[string]*Table
+	indexes    map[uint64]*Index
+	nextIndex  uint64
+	nextPageID atomic.Uint64
+
+	lookAhead int
+
+	// Metrics is the SQL-node work ledger backing the CPU-time figures.
+	Metrics Metrics
+}
+
+// Table is a table with a primary index and optional secondaries.
+type Table struct {
+	Name        string
+	Schema      *types.Schema
+	PKCols      []int
+	Primary     *Index
+	Secondaries []*Index
+}
+
+// Index is one B+ tree index.
+type Index struct {
+	ID   uint64
+	Name string
+	// Table is the owning table name.
+	Table string
+	// Schema is the stored row layout of this index: the full table
+	// schema for the primary; indexed columns + primary key columns for
+	// secondaries.
+	Schema *types.Schema
+	// KeyCols are ordinals (into Schema) forming the sort key.
+	KeyCols []int
+	// TableOrds maps index schema ordinals back to table schema
+	// ordinals (identity for the primary index).
+	TableOrds []int
+	Primary   bool
+	Tree      *btree.Tree
+}
+
+// Metrics counts SQL-node work. The NDP CPU-reduction figures compare
+// these with/without pushdown.
+type Metrics struct {
+	RowsExaminedSQL  atomic.Uint64 // records visibility-checked/decoded on the SQL node
+	PredEvalsSQL     atomic.Uint64 // predicate evaluations on the SQL node
+	RowsEmitted      atomic.Uint64
+	UndoResolutions  atomic.Uint64
+	NDPPagesConsumed atomic.Uint64 // NDP pages received and consumed
+	SkippedCompleted atomic.Uint64 // pages whose NDP work the frontend completed
+	LocalCopies      atomic.Uint64 // buffer-pool copies into the NDP area (I/O avoided)
+	AggMergesSQL     atomic.Uint64
+	BatchReads       atomic.Uint64
+	RegularPageReads atomic.Uint64
+}
+
+// MetricsSnapshot is a plain copy for deltas.
+type MetricsSnapshot struct {
+	RowsExaminedSQL  uint64
+	PredEvalsSQL     uint64
+	RowsEmitted      uint64
+	UndoResolutions  uint64
+	NDPPagesConsumed uint64
+	SkippedCompleted uint64
+	LocalCopies      uint64
+	AggMergesSQL     uint64
+	BatchReads       uint64
+	RegularPageReads uint64
+}
+
+// Snapshot copies the counters.
+func (m *Metrics) Snapshot() MetricsSnapshot {
+	return MetricsSnapshot{
+		RowsExaminedSQL:  m.RowsExaminedSQL.Load(),
+		PredEvalsSQL:     m.PredEvalsSQL.Load(),
+		RowsEmitted:      m.RowsEmitted.Load(),
+		UndoResolutions:  m.UndoResolutions.Load(),
+		NDPPagesConsumed: m.NDPPagesConsumed.Load(),
+		SkippedCompleted: m.SkippedCompleted.Load(),
+		LocalCopies:      m.LocalCopies.Load(),
+		AggMergesSQL:     m.AggMergesSQL.Load(),
+		BatchReads:       m.BatchReads.Load(),
+		RegularPageReads: m.RegularPageReads.Load(),
+	}
+}
+
+// Sub returns s - o.
+func (s MetricsSnapshot) Sub(o MetricsSnapshot) MetricsSnapshot {
+	return MetricsSnapshot{
+		RowsExaminedSQL:  s.RowsExaminedSQL - o.RowsExaminedSQL,
+		PredEvalsSQL:     s.PredEvalsSQL - o.PredEvalsSQL,
+		RowsEmitted:      s.RowsEmitted - o.RowsEmitted,
+		UndoResolutions:  s.UndoResolutions - o.UndoResolutions,
+		NDPPagesConsumed: s.NDPPagesConsumed - o.NDPPagesConsumed,
+		SkippedCompleted: s.SkippedCompleted - o.SkippedCompleted,
+		LocalCopies:      s.LocalCopies - o.LocalCopies,
+		AggMergesSQL:     s.AggMergesSQL - o.AggMergesSQL,
+		BatchReads:       s.BatchReads - o.BatchReads,
+		RegularPageReads: s.RegularPageReads - o.RegularPageReads,
+	}
+}
+
+// New creates an engine over the given SAL.
+func New(cfg Config) (*Engine, error) {
+	if cfg.SAL == nil {
+		return nil, fmt.Errorf("engine: SAL required")
+	}
+	if cfg.PoolPages <= 0 {
+		cfg.PoolPages = 4096
+	}
+	if cfg.NDPMaxPagesLookAhead <= 0 {
+		cfg.NDPMaxPagesLookAhead = buffer.DefaultNDPMaxPagesLookAhead
+	}
+	e := &Engine{
+		salc:      cfg.SAL,
+		pool:      buffer.New(cfg.PoolPages, cfg.NDPMaxPagesLookAhead),
+		txm:       txn.NewManager(),
+		undo:      txn.NewUndoLog(),
+		tables:    make(map[string]*Table),
+		indexes:   make(map[uint64]*Index),
+		nextIndex: 1,
+		lookAhead: cfg.NDPMaxPagesLookAhead,
+	}
+	return e, nil
+}
+
+// Txm exposes the transaction manager.
+func (e *Engine) Txm() *txn.Manager { return e.txm }
+
+// Pool exposes the buffer pool (experiments inspect residency).
+func (e *Engine) Pool() *buffer.Pool { return e.pool }
+
+// SAL exposes the storage abstraction layer.
+func (e *Engine) SAL() *sal.SAL { return e.salc }
+
+// LookAhead returns the configured NDP batch size.
+func (e *Engine) LookAhead() int { return e.lookAhead }
+
+// pager implements btree.Pager over the SAL + buffer pool.
+type pager struct{ e *Engine }
+
+func (p pager) Read(pageID uint64) (*page.Page, error) {
+	return p.e.pool.Get(pageID, func(id uint64) (*page.Page, error) {
+		raw, err := p.e.salc.ReadPage(id, 0)
+		if err != nil {
+			return nil, err
+		}
+		return page.FromBytes(raw)
+	})
+}
+
+func (p pager) Allocate() uint64 {
+	// Page IDs start at 1; 0 is reserved.
+	return p.e.nextPageID.Add(1)
+}
+
+func (p pager) Apply(rec *wal.Record) (*page.Page, error) {
+	// Log first (the SAL assigns the LSN and distributes), then apply
+	// to the locally cached copy so the compute node sees its own write
+	// immediately.
+	if err := p.e.salc.Write(rec); err != nil {
+		return nil, err
+	}
+	if rec.Type == wal.TypeFormatPage {
+		pg := page.New(rec.PageID, rec.IndexID, rec.Level)
+		pg.SetLSN(rec.LSN)
+		p.e.pool.Insert(pg)
+		got, _ := p.e.pool.Lookup(rec.PageID)
+		return got, nil
+	}
+	if pg, ok := p.e.pool.Lookup(rec.PageID); ok {
+		if err := wal.Apply(pg, rec); err != nil {
+			return nil, err
+		}
+		return pg, nil
+	}
+	// Not cached: the authoritative copy in the Page Store applies the
+	// record on flush; the next Read refetches.
+	return nil, nil
+}
+
+func (p pager) CurrentLSN() uint64 { return p.e.salc.CurrentLSN() }
+
+// CreateTable registers a table and builds its primary index tree.
+func (e *Engine) CreateTable(name string, schema *types.Schema, pkCols []int) (*Table, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if _, ok := e.tables[name]; ok {
+		return nil, fmt.Errorf("engine: table %q exists", name)
+	}
+	if len(pkCols) == 0 {
+		return nil, fmt.Errorf("engine: table %q needs a primary key", name)
+	}
+	idxID := e.nextIndex
+	e.nextIndex++
+	tree, err := btree.Create(pager{e}, idxID)
+	if err != nil {
+		return nil, err
+	}
+	ords := make([]int, schema.Len())
+	for i := range ords {
+		ords[i] = i
+	}
+	primary := &Index{
+		ID: idxID, Name: name + "_pk", Table: name, Schema: schema,
+		KeyCols: pkCols, TableOrds: ords, Primary: true, Tree: tree,
+	}
+	t := &Table{Name: name, Schema: schema, PKCols: pkCols, Primary: primary}
+	e.tables[name] = t
+	e.indexes[idxID] = primary
+	return t, nil
+}
+
+// CreateSecondaryIndex builds a secondary index on the given table
+// columns. The stored layout is (indexed columns..., primary key
+// columns...) and the sort key is the whole layout, making entries
+// unique — InnoDB's secondary index structure.
+func (e *Engine) CreateSecondaryIndex(table, name string, cols []int) (*Index, error) {
+	e.mu.Lock()
+	t, ok := e.tables[table]
+	if !ok {
+		e.mu.Unlock()
+		return nil, fmt.Errorf("engine: no table %q", table)
+	}
+	ords := append(append([]int(nil), cols...), t.PKCols...)
+	idxCols := make([]types.Column, len(ords))
+	for i, o := range ords {
+		idxCols[i] = t.Schema.Cols[o]
+	}
+	keyCols := make([]int, len(ords))
+	for i := range keyCols {
+		keyCols[i] = i
+	}
+	idxID := e.nextIndex
+	e.nextIndex++
+	e.mu.Unlock()
+	tree, err := btree.Create(pager{e}, idxID)
+	if err != nil {
+		return nil, err
+	}
+	idx := &Index{
+		ID: idxID, Name: name, Table: table, Schema: types.NewSchema(idxCols...),
+		KeyCols: keyCols, TableOrds: ords, Primary: false, Tree: tree,
+	}
+	e.mu.Lock()
+	t.Secondaries = append(t.Secondaries, idx)
+	e.indexes[idxID] = idx
+	e.mu.Unlock()
+	return idx, nil
+}
+
+// Table returns a registered table.
+func (e *Engine) Table(name string) (*Table, error) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	t, ok := e.tables[name]
+	if !ok {
+		return nil, fmt.Errorf("engine: no table %q", name)
+	}
+	return t, nil
+}
+
+// Index returns an index by ID.
+func (e *Engine) Index(id uint64) (*Index, error) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	idx, ok := e.indexes[id]
+	if !ok {
+		return nil, fmt.Errorf("engine: no index %d", id)
+	}
+	return idx, nil
+}
+
+// keyOf encodes the index key for a full-index row.
+func (idx *Index) keyOf(dst []byte, row types.Row) []byte {
+	for _, k := range idx.KeyCols {
+		dst = types.EncodeKey(dst, types.Row{row[k]})
+	}
+	return dst
+}
+
+// rowFor maps a table row into this index's stored layout.
+func (idx *Index) rowFor(tableRow types.Row) types.Row {
+	if idx.Primary {
+		return tableRow
+	}
+	out := make(types.Row, len(idx.TableOrds))
+	for i, o := range idx.TableOrds {
+		out[i] = tableRow[o]
+	}
+	return out
+}

@@ -1,0 +1,204 @@
+package exec
+
+import (
+	"taurus/internal/expr"
+	"taurus/internal/types"
+)
+
+// AggFnKind enumerates executor-level aggregate functions.
+type AggFnKind uint8
+
+const (
+	AggFnCountStar AggFnKind = iota
+	AggFnCount
+	AggFnSum
+	AggFnAvg
+	AggFnMin
+	AggFnMax
+)
+
+// AggDef is one aggregate expression in a HashAgg.
+type AggDef struct {
+	Fn AggFnKind
+	// Arg is the argument expression (nil for COUNT(*)).
+	Arg *expr.Expr
+	// Distinct makes COUNT/SUM consider distinct argument values only
+	// (TPC-H Q16's count(distinct ps_suppkey)).
+	Distinct bool
+	Name     string
+}
+
+// aggCell is the running state for one AggDef within one group.
+type aggCell struct {
+	count    int64
+	sum      types.Datum
+	hasSum   bool
+	minmax   types.Datum
+	hasMM    bool
+	distinct map[string]bool
+}
+
+// HashAgg is the general aggregation operator used when aggregation is
+// not (or cannot be) pushed down: arbitrary grouping over any input.
+type HashAgg struct {
+	Input Operator
+	// GroupBy are grouping expressions.
+	GroupBy []*expr.Expr
+	// GroupNames name the group columns in the output.
+	GroupNames []string
+	Aggs       []AggDef
+	// Having filters output rows (ordinals into output layout).
+	Having *expr.Expr
+
+	results []types.Row
+	pos     int
+}
+
+// Columns implements Operator.
+func (h *HashAgg) Columns() []string {
+	out := append([]string{}, h.GroupNames...)
+	for _, a := range h.Aggs {
+		out = append(out, a.Name)
+	}
+	return out
+}
+
+// Open drains the input and computes all groups.
+func (h *HashAgg) Open(ctx *Ctx) error {
+	if err := h.Input.Open(ctx); err != nil {
+		return err
+	}
+	h.results, h.pos = nil, 0
+	type group struct {
+		key   types.Row
+		cells []aggCell
+	}
+	groups := make(map[string]*group)
+	var order []string
+	var keyBuf []byte
+	for {
+		row, err := h.Input.Next()
+		if err != nil {
+			return err
+		}
+		if row == nil {
+			break
+		}
+		ctx.Stats.OperatorRows.Add(1)
+		keyVals := make(types.Row, len(h.GroupBy))
+		for i, g := range h.GroupBy {
+			ctx.Stats.ExprEvals.Add(1)
+			keyVals[i] = g.Eval(row)
+		}
+		keyBuf = keyBuf[:0]
+		for _, v := range keyVals {
+			keyBuf = types.EncodeKey(keyBuf, types.Row{v})
+		}
+		ctx.Stats.HashOps.Add(1)
+		g, ok := groups[string(keyBuf)]
+		if !ok {
+			g = &group{key: keyVals, cells: make([]aggCell, len(h.Aggs))}
+			groups[string(keyBuf)] = g
+			order = append(order, string(keyBuf))
+		}
+		for i := range h.Aggs {
+			h.accumulate(ctx, &g.cells[i], &h.Aggs[i], row)
+		}
+	}
+	// Scalar aggregation over empty input still yields one row.
+	if len(h.GroupBy) == 0 && len(groups) == 0 {
+		groups[""] = &group{cells: make([]aggCell, len(h.Aggs))}
+		order = append(order, "")
+	}
+	for _, k := range order {
+		g := groups[k]
+		out := make(types.Row, 0, len(g.key)+len(h.Aggs))
+		out = append(out, g.key...)
+		for i := range h.Aggs {
+			out = append(out, finalizeCell(&g.cells[i], &h.Aggs[i]))
+		}
+		if h.Having == nil || h.Having.EvalBool(out) {
+			h.results = append(h.results, out)
+		}
+	}
+	return nil
+}
+
+func (h *HashAgg) accumulate(ctx *Ctx, c *aggCell, def *AggDef, row types.Row) {
+	if def.Fn == AggFnCountStar {
+		c.count++
+		return
+	}
+	ctx.Stats.ExprEvals.Add(1)
+	v := def.Arg.Eval(row)
+	if v.IsNull() {
+		return
+	}
+	if def.Distinct {
+		if c.distinct == nil {
+			c.distinct = make(map[string]bool)
+		}
+		key := string(types.EncodeKey(nil, types.Row{v}))
+		if c.distinct[key] {
+			return
+		}
+		c.distinct[key] = true
+	}
+	switch def.Fn {
+	case AggFnCount:
+		c.count++
+	case AggFnSum, AggFnAvg:
+		if !c.hasSum {
+			c.sum, c.hasSum = v, true
+		} else {
+			c.sum = expr.Arith(expr.OpAdd, c.sum, v)
+		}
+		c.count++
+	case AggFnMin:
+		if !c.hasMM || types.Compare(v, c.minmax) < 0 {
+			c.minmax, c.hasMM = v, true
+		}
+	case AggFnMax:
+		if !c.hasMM || types.Compare(v, c.minmax) > 0 {
+			c.minmax, c.hasMM = v, true
+		}
+	}
+}
+
+func finalizeCell(c *aggCell, def *AggDef) types.Datum {
+	switch def.Fn {
+	case AggFnCountStar, AggFnCount:
+		return types.NewInt(c.count)
+	case AggFnSum:
+		if !c.hasSum {
+			return types.Null()
+		}
+		return c.sum
+	case AggFnAvg:
+		if !c.hasSum || c.count == 0 {
+			return types.Null()
+		}
+		return expr.Arith(expr.OpDiv, c.sum, types.NewInt(c.count))
+	default:
+		if !c.hasMM {
+			return types.Null()
+		}
+		return c.minmax
+	}
+}
+
+// Next implements Operator.
+func (h *HashAgg) Next() (types.Row, error) {
+	if h.pos >= len(h.results) {
+		return nil, nil
+	}
+	r := h.results[h.pos]
+	h.pos++
+	return r, nil
+}
+
+// Close implements Operator.
+func (h *HashAgg) Close() error {
+	h.results = nil
+	return h.Input.Close()
+}

@@ -1,0 +1,178 @@
+package exec
+
+import (
+	"fmt"
+
+	"taurus/internal/core"
+	"taurus/internal/engine"
+	"taurus/internal/expr"
+	"taurus/internal/types"
+)
+
+// AggOutput describes how one result column of an aggregate scan is
+// produced from the pushed core.AggSpec states.
+type AggOutput struct {
+	// Spec is the index into the pushed spec list for direct outputs.
+	Spec int
+	// AvgCount, when >= 0, makes this output AVG: Spec is the SUM state
+	// and AvgCount the COUNT state — the paper's AVG decomposition
+	// ("the sum of salary and the number of rows associated with the
+	// sum—using which AVG(salary) can be computed", §III).
+	AvgCount int
+	// Name is the output column name.
+	Name string
+}
+
+// NDPAggScan is the fused scan+aggregation operator used when the
+// optimizer pushes aggregation down. It drives an engine NDP scan,
+// merges partial states attached to NDP aggregate records, accumulates
+// plain/base rows, and produces final rows (group-by columns followed by
+// aggregate outputs).
+//
+// Grouped aggregation relies on the index delivering groups contiguously
+// — the same requirement the optimizer enforces before pushing GROUP BY
+// ("the index access chosen for T must satisfy the grouping column
+// requirement", §V-C) — so it streams one group at a time.
+type NDPAggScan struct {
+	Opts    engine.ScanOptions // must carry NDP.Aggs (and GroupBy if grouped)
+	Outputs []AggOutput
+	// Having optionally filters final group rows (ordinals into the
+	// output layout).
+	Having *expr.Expr
+
+	ctx     *Ctx
+	results []types.Row
+	pos     int
+}
+
+// Columns implements Operator.
+func (s *NDPAggScan) Columns() []string {
+	names := make([]string, 0, len(s.Opts.NDP.GroupBy)+len(s.Outputs))
+	for range s.Opts.NDP.GroupBy {
+		names = append(names, "") // group columns keep scan names; filled by planner via Cols if needed
+	}
+	for _, o := range s.Outputs {
+		names = append(names, o.Name)
+	}
+	return names
+}
+
+// Open runs the scan to completion, accumulating groups. Grouped scans
+// stream group-by-group; results are buffered because group count is
+// small relative to input (the entire point of aggregation pushdown).
+func (s *NDPAggScan) Open(ctx *Ctx) error {
+	s.ctx = ctx
+	if s.Opts.View == nil {
+		s.Opts.View = ctx.View
+	}
+	ndp := s.Opts.NDP
+	if ndp == nil || len(ndp.Aggs) == 0 {
+		return fmt.Errorf("exec: NDPAggScan requires aggregate pushdown")
+	}
+	acc, err := core.NewAggregator(ndp.Aggs)
+	if err != nil {
+		return err
+	}
+	grouped := len(ndp.GroupBy) > 0
+	var curKey types.Row
+	haveGroup := false
+
+	flush := func() {
+		out := make(types.Row, 0, len(ndp.GroupBy)+len(s.Outputs))
+		out = append(out, curKey...)
+		states := acc.States()
+		for _, o := range s.Outputs {
+			out = append(out, finalize(o, ndp.Aggs, states))
+		}
+		if s.Having == nil || s.Having.EvalBool(out) {
+			s.results = append(s.results, out)
+		}
+		acc.Reset()
+	}
+
+	err = ctx.Eng.Scan(s.Opts, func(row types.Row, states []core.AggState) error {
+		ctx.Stats.OperatorRows.Add(1)
+		if grouped {
+			if haveGroup {
+				same := true
+				for i, g := range ndp.GroupBy {
+					if types.Compare(curKey[i], row[g]) != 0 {
+						same = false
+						break
+					}
+				}
+				if !same {
+					flush()
+					haveGroup = false
+				}
+			}
+			if !haveGroup {
+				curKey = curKey[:0]
+				for _, g := range ndp.GroupBy {
+					curKey = append(curKey, row[g])
+				}
+				curKey = curKey.Clone()
+				haveGroup = true
+			}
+		}
+		if states != nil {
+			if err := acc.MergeStates(states); err != nil {
+				return err
+			}
+		}
+		acc.AccumulateRow(row)
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	if grouped {
+		if haveGroup {
+			flush()
+		}
+	} else {
+		// Scalar aggregation always produces one row (SQL semantics for
+		// aggregates over empty input).
+		curKey = nil
+		flush()
+	}
+	return nil
+}
+
+// finalize turns accumulated states into the output datum.
+func finalize(o AggOutput, specs []core.AggSpec, states []core.AggState) types.Datum {
+	if o.AvgCount >= 0 {
+		sum := states[o.Spec]
+		cnt := states[o.AvgCount].Count
+		if !sum.Has || cnt == 0 {
+			return types.Null()
+		}
+		return expr.Arith(expr.OpDiv, sum.Val, types.NewInt(cnt))
+	}
+	st := states[o.Spec]
+	switch specs[o.Spec].Fn {
+	case core.AggCountStar, core.AggCount:
+		return types.NewInt(st.Count)
+	default:
+		if !st.Has {
+			return types.Null()
+		}
+		return st.Val
+	}
+}
+
+// Next implements Operator.
+func (s *NDPAggScan) Next() (types.Row, error) {
+	if s.pos >= len(s.results) {
+		return nil, nil
+	}
+	row := s.results[s.pos]
+	s.pos++
+	return row, nil
+}
+
+// Close implements Operator.
+func (s *NDPAggScan) Close() error {
+	s.results = nil
+	return nil
+}

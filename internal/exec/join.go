@@ -1,0 +1,278 @@
+package exec
+
+import (
+	"taurus/internal/expr"
+	"taurus/internal/types"
+)
+
+// JoinKind selects the join semantics.
+type JoinKind uint8
+
+const (
+	// JoinInner emits matched pairs.
+	JoinInner JoinKind = iota
+	// JoinLeftOuter emits unmatched probe rows padded with NULLs.
+	JoinLeftOuter
+	// JoinSemi emits each probe row once if any build row matches.
+	JoinSemi
+	// JoinAnti emits each probe row once if NO build row matches.
+	JoinAnti
+)
+
+// HashJoin builds a hash table over Build keyed by BuildKeys and probes
+// with Probe rows keyed by ProbeKeys. ExtraCond optionally filters
+// matched pairs; its ordinals address the concatenated (probe ++ build)
+// row — this is how inequality conditions on otherwise-equi joins (TPC-H
+// Q21's l2.suppkey <> l1.suppkey) are expressed.
+//
+// MySQL's hash join lacks Bloom-filter pushdown ("which would have
+// allowed even further data reduction on the probe side", §VII-C), and
+// so does this one — the limitation is part of what Fig. 7 measures.
+type HashJoin struct {
+	Kind      JoinKind
+	Build     Operator
+	Probe     Operator
+	BuildKeys []int
+	ProbeKeys []int
+	ExtraCond *expr.Expr
+
+	ctx      *Ctx
+	table    map[string][]types.Row
+	out      types.Row
+	pending  []types.Row // matched build rows for the current probe row
+	pendIdx  int
+	curProbe types.Row
+	buildW   int
+}
+
+// Columns implements Operator: probe columns then build columns (semi
+// and anti joins emit probe columns only).
+func (j *HashJoin) Columns() []string {
+	if j.Kind == JoinSemi || j.Kind == JoinAnti {
+		return j.Probe.Columns()
+	}
+	return append(append([]string{}, j.Probe.Columns()...), j.Build.Columns()...)
+}
+
+// Open materializes the build side.
+func (j *HashJoin) Open(ctx *Ctx) error {
+	j.ctx = ctx
+	j.table = make(map[string][]types.Row)
+	j.pending, j.pendIdx, j.curProbe = nil, 0, nil
+	if err := j.Build.Open(ctx); err != nil {
+		return err
+	}
+	j.buildW = len(j.Build.Columns())
+	var keyBuf []byte
+	for {
+		row, err := j.Build.Next()
+		if err != nil {
+			return err
+		}
+		if row == nil {
+			break
+		}
+		keyBuf = joinKey(keyBuf[:0], row, j.BuildKeys)
+		if keyBuf == nil {
+			continue // NULL keys never match
+		}
+		ctx.Stats.HashOps.Add(1)
+		j.table[string(keyBuf)] = append(j.table[string(keyBuf)], row.Clone())
+	}
+	if err := j.Build.Close(); err != nil {
+		return err
+	}
+	return j.Probe.Open(ctx)
+}
+
+// joinKey encodes the key columns; returns nil if any is NULL.
+func joinKey(dst []byte, row types.Row, cols []int) []byte {
+	for _, c := range cols {
+		if row[c].IsNull() {
+			return nil
+		}
+		dst = types.EncodeKey(dst, types.Row{row[c]})
+	}
+	return dst
+}
+
+// Next implements Operator.
+func (j *HashJoin) Next() (types.Row, error) {
+	for {
+		// Emit pending matches for the current probe row (ExtraCond
+		// was already applied while collecting them).
+		if j.pendIdx < len(j.pending) {
+			build := j.pending[j.pendIdx]
+			j.pendIdx++
+			j.ctx.Stats.OperatorRows.Add(1)
+			return j.combined(j.curProbe, build), nil
+		}
+		probe, err := j.Probe.Next()
+		if err != nil || probe == nil {
+			return nil, err
+		}
+		key := joinKey(nil, probe, j.ProbeKeys)
+		var matches []types.Row
+		if key != nil {
+			j.ctx.Stats.HashOps.Add(1)
+			matches = j.table[string(key)]
+		}
+		switch j.Kind {
+		case JoinInner, JoinLeftOuter:
+			j.pending, j.pendIdx = j.pending[:0], 0
+			j.curProbe = probe.Clone()
+			for _, b := range matches {
+				if j.ExtraCond != nil {
+					j.ctx.Stats.ExprEvals.Add(1)
+					if !j.ExtraCond.EvalBool(j.combined(j.curProbe, b)) {
+						continue
+					}
+				}
+				j.pending = append(j.pending, b)
+			}
+			if len(j.pending) == 0 && j.Kind == JoinLeftOuter {
+				j.ctx.Stats.OperatorRows.Add(1)
+				return j.combined(j.curProbe, make(types.Row, j.buildW)), nil
+			}
+		case JoinSemi:
+			if j.anyMatch(probe, matches) {
+				j.ctx.Stats.OperatorRows.Add(1)
+				return probe, nil
+			}
+		case JoinAnti:
+			if !j.anyMatch(probe, matches) {
+				j.ctx.Stats.OperatorRows.Add(1)
+				return probe, nil
+			}
+		}
+	}
+}
+
+// anyMatch applies ExtraCond over candidate matches for semi/anti joins.
+func (j *HashJoin) anyMatch(probe types.Row, matches []types.Row) bool {
+	if j.ExtraCond == nil {
+		return len(matches) > 0
+	}
+	for _, b := range matches {
+		j.ctx.Stats.ExprEvals.Add(1)
+		if j.ExtraCond.EvalBool(j.combined(probe, b)) {
+			return true
+		}
+	}
+	return false
+}
+
+func (j *HashJoin) combined(probe, build types.Row) types.Row {
+	if cap(j.out) < len(probe)+len(build) {
+		j.out = make(types.Row, 0, len(probe)+len(build))
+	}
+	j.out = j.out[:0]
+	j.out = append(j.out, probe...)
+	j.out = append(j.out, build...)
+	return j.out
+}
+
+// Close implements Operator.
+func (j *HashJoin) Close() error {
+	j.table = nil
+	return j.Probe.Close()
+}
+
+// IndexLookupJoin is the nested-loop join with an index on the inner
+// table: for each outer row it runs an index range lookup. This is the
+// plan shape behind the paper's Q4/Q19 analysis, where "NDP is not
+// considered for table access methods that access only a few rows — for
+// example, a point lookup" (§IV-B), and where regular lookups warm the
+// buffer pool (the Q4 effect).
+type IndexLookupJoin struct {
+	Outer Operator
+	// Lookup builds the inner scan row set for one outer row. Rows
+	// returned are combined as (outer ++ inner).
+	Lookup func(ctx *Ctx, outer types.Row) ([]types.Row, error)
+	// InnerCols names the inner columns.
+	InnerCols []string
+	// On optionally filters combined rows.
+	On *expr.Expr
+	// Semi/Anti switch semantics (emit outer row only).
+	Kind JoinKind
+
+	ctx      *Ctx
+	curOuter types.Row
+	matches  []types.Row
+	matchIdx int
+	out      types.Row
+}
+
+// Columns implements Operator.
+func (j *IndexLookupJoin) Columns() []string {
+	if j.Kind == JoinSemi || j.Kind == JoinAnti {
+		return j.Outer.Columns()
+	}
+	return append(append([]string{}, j.Outer.Columns()...), j.InnerCols...)
+}
+
+func (j *IndexLookupJoin) Open(ctx *Ctx) error {
+	j.ctx = ctx
+	j.curOuter, j.matches, j.matchIdx = nil, nil, 0
+	return j.Outer.Open(ctx)
+}
+
+func (j *IndexLookupJoin) Next() (types.Row, error) {
+	for {
+		for j.matchIdx < len(j.matches) {
+			inner := j.matches[j.matchIdx]
+			j.matchIdx++
+			out := j.combine(j.curOuter, inner)
+			if j.On != nil {
+				j.ctx.Stats.ExprEvals.Add(1)
+				if !j.On.EvalBool(out) {
+					continue
+				}
+			}
+			j.ctx.Stats.OperatorRows.Add(1)
+			return out, nil
+		}
+		outer, err := j.Outer.Next()
+		if err != nil || outer == nil {
+			return nil, err
+		}
+		matches, err := j.Lookup(j.ctx, outer)
+		if err != nil {
+			return nil, err
+		}
+		switch j.Kind {
+		case JoinSemi, JoinAnti:
+			matched := false
+			for _, inner := range matches {
+				if j.On == nil {
+					matched = true
+					break
+				}
+				j.ctx.Stats.ExprEvals.Add(1)
+				if j.On.EvalBool(j.combine(outer, inner)) {
+					matched = true
+					break
+				}
+			}
+			if (matched && j.Kind == JoinSemi) || (!matched && j.Kind == JoinAnti) {
+				j.ctx.Stats.OperatorRows.Add(1)
+				return outer, nil
+			}
+		default:
+			j.curOuter = outer.Clone()
+			j.matches, j.matchIdx = matches, 0
+		}
+	}
+}
+
+func (j *IndexLookupJoin) combine(outer, inner types.Row) types.Row {
+	if cap(j.out) < len(outer)+len(inner) {
+		j.out = make(types.Row, 0, len(outer)+len(inner))
+	}
+	j.out = j.out[:0]
+	j.out = append(j.out, outer...)
+	j.out = append(j.out, inner...)
+	return j.out
+}
+
+func (j *IndexLookupJoin) Close() error { return j.Outer.Close() }

@@ -1,0 +1,211 @@
+package exec
+
+import (
+	"sort"
+
+	"taurus/internal/expr"
+	"taurus/internal/types"
+)
+
+// Filter passes rows satisfying Pred (the residual predicates the
+// optimizer did not push down).
+type Filter struct {
+	Input Operator
+	Pred  *expr.Expr
+
+	ctx *Ctx
+}
+
+func (f *Filter) Columns() []string { return f.Input.Columns() }
+
+func (f *Filter) Open(ctx *Ctx) error {
+	f.ctx = ctx
+	return f.Input.Open(ctx)
+}
+
+func (f *Filter) Next() (types.Row, error) {
+	for {
+		row, err := f.Input.Next()
+		if err != nil || row == nil {
+			return nil, err
+		}
+		f.ctx.Stats.ExprEvals.Add(1)
+		if f.Pred.EvalBool(row) {
+			f.ctx.Stats.OperatorRows.Add(1)
+			return row, nil
+		}
+	}
+}
+
+func (f *Filter) Close() error { return f.Input.Close() }
+
+// Project computes output expressions over input rows.
+type Project struct {
+	Input Operator
+	Exprs []*expr.Expr
+	Names []string
+
+	ctx *Ctx
+	out types.Row
+}
+
+func (p *Project) Columns() []string { return p.Names }
+
+func (p *Project) Open(ctx *Ctx) error {
+	p.ctx = ctx
+	p.out = make(types.Row, len(p.Exprs))
+	return p.Input.Open(ctx)
+}
+
+func (p *Project) Next() (types.Row, error) {
+	row, err := p.Input.Next()
+	if err != nil || row == nil {
+		return nil, err
+	}
+	for i, e := range p.Exprs {
+		p.ctx.Stats.ExprEvals.Add(1)
+		p.out[i] = e.Eval(row)
+	}
+	p.ctx.Stats.OperatorRows.Add(1)
+	return p.out, nil
+}
+
+func (p *Project) Close() error { return p.Input.Close() }
+
+// Limit stops after N rows (with optional offset).
+type Limit struct {
+	Input  Operator
+	Offset int
+	N      int
+
+	seen    int
+	skipped int
+}
+
+func (l *Limit) Columns() []string { return l.Input.Columns() }
+
+func (l *Limit) Open(ctx *Ctx) error {
+	l.seen, l.skipped = 0, 0
+	return l.Input.Open(ctx)
+}
+
+func (l *Limit) Next() (types.Row, error) {
+	for l.skipped < l.Offset {
+		row, err := l.Input.Next()
+		if err != nil || row == nil {
+			return nil, err
+		}
+		l.skipped++
+	}
+	if l.seen >= l.N {
+		return nil, nil
+	}
+	row, err := l.Input.Next()
+	if err != nil || row == nil {
+		return nil, err
+	}
+	l.seen++
+	return row, nil
+}
+
+func (l *Limit) Close() error { return l.Input.Close() }
+
+// OrderKey is one sort key.
+type OrderKey struct {
+	Expr *expr.Expr
+	Desc bool
+}
+
+// Sort materializes and sorts its input.
+type Sort struct {
+	Input Operator
+	Keys  []OrderKey
+
+	rows []types.Row
+	pos  int
+}
+
+func (s *Sort) Columns() []string { return s.Input.Columns() }
+
+func (s *Sort) Open(ctx *Ctx) error {
+	if err := s.Input.Open(ctx); err != nil {
+		return err
+	}
+	s.rows = s.rows[:0]
+	s.pos = 0
+	for {
+		row, err := s.Input.Next()
+		if err != nil {
+			return err
+		}
+		if row == nil {
+			break
+		}
+		ctx.Stats.SortRows.Add(1)
+		s.rows = append(s.rows, row.Clone())
+	}
+	keys := make([][]types.Datum, len(s.rows))
+	for i, r := range s.rows {
+		ks := make([]types.Datum, len(s.Keys))
+		for j, k := range s.Keys {
+			ks[j] = k.Expr.Eval(r)
+		}
+		keys[i] = ks
+	}
+	idx := make([]int, len(s.rows))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		for j, k := range s.Keys {
+			c := types.Compare(keys[idx[a]][j], keys[idx[b]][j])
+			if c == 0 {
+				continue
+			}
+			if k.Desc {
+				return c > 0
+			}
+			return c < 0
+		}
+		return false
+	})
+	sorted := make([]types.Row, len(s.rows))
+	for i, j := range idx {
+		sorted[i] = s.rows[j]
+	}
+	s.rows = sorted
+	return nil
+}
+
+func (s *Sort) Next() (types.Row, error) {
+	if s.pos >= len(s.rows) {
+		return nil, nil
+	}
+	r := s.rows[s.pos]
+	s.pos++
+	return r, nil
+}
+
+func (s *Sort) Close() error {
+	s.rows = nil
+	return s.Input.Close()
+}
+
+// Values replays a fixed row set (tests, constant inputs).
+type Values struct {
+	Rows  []types.Row
+	Names []string
+	pos   int
+}
+
+func (v *Values) Columns() []string { return v.Names }
+func (v *Values) Open(*Ctx) error   { v.pos = 0; return nil }
+func (v *Values) Close() error      { return nil }
+func (v *Values) Next() (types.Row, error) {
+	if v.pos >= len(v.Rows) {
+		return nil, nil
+	}
+	r := v.Rows[v.pos]
+	v.pos++
+	return r, nil
+}

@@ -1,0 +1,137 @@
+package exec
+
+import (
+	"fmt"
+	"sync"
+
+	"taurus/internal/types"
+)
+
+// Parallel query (PQ), §VI: "a table or range scan can be
+// range-partitioned into many sub-scans that are processed in parallel
+// by a pool of worker threads. A sub-scan can be converted into an NDP
+// scan". Combined with NDP this yields three levels of parallelism: PQ
+// workers on the SQL node, sub-batches across Page Stores (the SAL's
+// fan-out), and worker threads within each Page Store.
+
+// Gather runs one operator per partition concurrently and merges their
+// output streams (unordered). Each worker operator must be independent
+// (its own scan over its own key sub-range).
+type Gather struct {
+	// Workers are the per-partition operator trees.
+	Workers []Operator
+
+	rows chan types.Row
+	errs chan error
+	stop chan struct{}
+	wg   sync.WaitGroup
+	done bool
+}
+
+// Columns implements Operator.
+func (g *Gather) Columns() []string {
+	if len(g.Workers) == 0 {
+		return nil
+	}
+	return g.Workers[0].Columns()
+}
+
+// Open launches all workers.
+func (g *Gather) Open(ctx *Ctx) error {
+	if len(g.Workers) == 0 {
+		return fmt.Errorf("exec: Gather needs workers")
+	}
+	g.rows = make(chan types.Row, 512)
+	g.errs = make(chan error, len(g.Workers))
+	g.stop = make(chan struct{})
+	g.done = false
+	for _, w := range g.Workers {
+		g.wg.Add(1)
+		go func(w Operator) {
+			defer g.wg.Done()
+			if err := w.Open(ctx); err != nil {
+				g.errs <- err
+				return
+			}
+			defer w.Close()
+			for {
+				row, err := w.Next()
+				if err != nil {
+					g.errs <- err
+					return
+				}
+				if row == nil {
+					return
+				}
+				select {
+				case g.rows <- row.Clone():
+				case <-g.stop:
+					return
+				}
+			}
+		}(w)
+	}
+	go func() {
+		g.wg.Wait()
+		close(g.rows)
+	}()
+	return nil
+}
+
+// Next implements Operator.
+func (g *Gather) Next() (types.Row, error) {
+	if g.done {
+		return nil, nil
+	}
+	row, ok := <-g.rows
+	if !ok {
+		g.done = true
+		select {
+		case err := <-g.errs:
+			return nil, err
+		default:
+			return nil, nil
+		}
+	}
+	return row, nil
+}
+
+// Close stops all workers.
+func (g *Gather) Close() error {
+	if g.stop != nil {
+		close(g.stop)
+		g.stop = nil
+		for range g.rows {
+		}
+	}
+	return nil
+}
+
+// PartitionRanges splits the integer domain [lo, hi] of a leading key
+// column into n contiguous sub-ranges for PQ sub-scans. Returned pairs
+// are inclusive bounds.
+func PartitionRanges(lo, hi int64, n int) [][2]int64 {
+	if n < 1 {
+		n = 1
+	}
+	if hi < lo {
+		lo, hi = hi, lo
+	}
+	span := hi - lo + 1
+	if int64(n) > span {
+		n = int(span)
+	}
+	out := make([][2]int64, 0, n)
+	step := span / int64(n)
+	rem := span % int64(n)
+	cur := lo
+	for i := 0; i < n; i++ {
+		sz := step
+		if int64(i) < rem {
+			sz++
+		}
+		out = append(out, [2]int64{cur, cur + sz - 1})
+		cur += sz
+	}
+	return out
+}

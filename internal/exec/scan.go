@@ -1,0 +1,114 @@
+package exec
+
+import (
+	"fmt"
+
+	"taurus/internal/core"
+	"taurus/internal/engine"
+	"taurus/internal/types"
+)
+
+// scanBatchSize is the row-batch granularity between the engine's push
+// cursor and the executor's pull iterator.
+const scanBatchSize = 256
+
+// TableScan adapts an engine index scan (regular or NDP) to the Operator
+// interface. The engine cursor pushes rows; a bounded channel of row
+// batches turns that into pull.
+type TableScan struct {
+	// Opts parameterize the engine scan. View is filled from the Ctx at
+	// Open if unset.
+	Opts engine.ScanOptions
+	// Cols are the output column names (projected layout).
+	Cols []string
+
+	ctx     *Ctx
+	batches chan []types.Row
+	errCh   chan error
+	stop    chan struct{}
+	cur     []types.Row
+	curIdx  int
+	done    bool
+}
+
+// Columns implements Operator.
+func (s *TableScan) Columns() []string { return s.Cols }
+
+// Open starts the background cursor.
+func (s *TableScan) Open(ctx *Ctx) error {
+	s.ctx = ctx
+	if s.Opts.View == nil {
+		s.Opts.View = ctx.View
+	}
+	if s.Opts.NDP != nil && len(s.Opts.NDP.Aggs) > 0 {
+		return fmt.Errorf("exec: TableScan cannot consume aggregate pushdown; use NDPAggScan")
+	}
+	s.batches = make(chan []types.Row, 4)
+	s.errCh = make(chan error, 1)
+	s.stop = make(chan struct{})
+	go func() {
+		defer close(s.batches)
+		batch := make([]types.Row, 0, scanBatchSize)
+		err := ctx.Eng.Scan(s.Opts, func(row types.Row, _ []core.AggState) error {
+			batch = append(batch, row.Clone())
+			if len(batch) == scanBatchSize {
+				select {
+				case s.batches <- batch:
+					batch = make([]types.Row, 0, scanBatchSize)
+					return nil
+				case <-s.stop:
+					return engine.ErrStopScan
+				}
+			}
+			return nil
+		})
+		if err == nil && len(batch) > 0 {
+			select {
+			case s.batches <- batch:
+			case <-s.stop:
+			}
+		}
+		if err != nil {
+			s.errCh <- err
+		}
+	}()
+	return nil
+}
+
+// Next implements Operator.
+func (s *TableScan) Next() (types.Row, error) {
+	for {
+		if s.curIdx < len(s.cur) {
+			row := s.cur[s.curIdx]
+			s.curIdx++
+			s.ctx.Stats.OperatorRows.Add(1)
+			return row, nil
+		}
+		if s.done {
+			return nil, nil
+		}
+		batch, ok := <-s.batches
+		if !ok {
+			s.done = true
+			select {
+			case err := <-s.errCh:
+				return nil, err
+			default:
+				return nil, nil
+			}
+		}
+		s.cur, s.curIdx = batch, 0
+	}
+}
+
+// Close stops the background cursor.
+func (s *TableScan) Close() error {
+	if s.stop != nil {
+		close(s.stop)
+		s.stop = nil
+		// Drain so the goroutine can exit.
+		for range s.batches {
+		}
+	}
+	return nil
+}

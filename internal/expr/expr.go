@@ -1,0 +1,587 @@
+// Package expr implements the expression trees the query frontend builds
+// for predicates, projections, and aggregate arguments, together with a
+// tree-walking evaluator.
+//
+// The tree walker is deliberately the "classical" evaluation strategy the
+// paper describes for stock MySQL ("traversing a tree of various expression
+// nodes, and calling the necessary functions... slow because of the
+// frequent function calls and cache misses", §V-B2). The NDP path compiles
+// eligible trees into the register IR in internal/core/ir instead; the two
+// must agree on every input, which is enforced by property tests.
+package expr
+
+import (
+	"fmt"
+	"strings"
+
+	"taurus/internal/types"
+)
+
+// Op identifies an expression node type.
+type Op uint8
+
+const (
+	// OpConst is a literal.
+	OpConst Op = iota
+	// OpCol references an input column by ordinal.
+	OpCol
+	// Comparison operators; evaluate to BOOL (int 0/1) or NULL.
+	OpEQ
+	OpNE
+	OpLT
+	OpLE
+	OpGT
+	OpGE
+	// Logical connectives with SQL three-valued logic.
+	OpAnd
+	OpOr
+	OpNot
+	// Arithmetic.
+	OpAdd
+	OpSub
+	OpMul
+	OpDiv
+	// OpLike is SQL LIKE with % and _ wildcards (left: string, right:
+	// constant pattern).
+	OpLike
+	OpNotLike
+	// OpIn tests membership of the first child in the remaining children.
+	OpIn
+	// OpBetween is x BETWEEN lo AND hi (children: x, lo, hi), inclusive.
+	OpBetween
+	// OpIsNull / OpIsNotNull test for SQL NULL.
+	OpIsNull
+	OpIsNotNull
+	// OpCase is a searched CASE: children are (when1, then1, when2,
+	// then2, ..., else). Always carries an else child (possibly NULL
+	// constant).
+	OpCase
+	// OpYear extracts the year from a date.
+	OpYear
+	// OpSubstr is SUBSTRING(str, from, len) with 1-based from.
+	OpSubstr
+	// OpNeg is unary minus.
+	OpNeg
+)
+
+var opNames = map[Op]string{
+	OpConst: "const", OpCol: "col", OpEQ: "=", OpNE: "<>", OpLT: "<",
+	OpLE: "<=", OpGT: ">", OpGE: ">=", OpAnd: "AND", OpOr: "OR",
+	OpNot: "NOT", OpAdd: "+", OpSub: "-", OpMul: "*", OpDiv: "/",
+	OpLike: "LIKE", OpNotLike: "NOT LIKE", OpIn: "IN", OpBetween: "BETWEEN",
+	OpIsNull: "IS NULL", OpIsNotNull: "IS NOT NULL", OpCase: "CASE",
+	OpYear: "YEAR", OpSubstr: "SUBSTRING", OpNeg: "-",
+}
+
+// Expr is one node of an expression tree.
+type Expr struct {
+	Op   Op
+	Val  types.Datum // OpConst payload
+	Col  int         // OpCol ordinal
+	Name string      // optional column display name for EXPLAIN output
+	Kids []*Expr
+}
+
+// Const builds a literal node.
+func Const(d types.Datum) *Expr { return &Expr{Op: OpConst, Val: d} }
+
+// ConstInt builds an integer literal node.
+func ConstInt(v int64) *Expr { return Const(types.NewInt(v)) }
+
+// ConstString builds a string literal node.
+func ConstString(s string) *Expr { return Const(types.NewString(s)) }
+
+// Col builds a column reference.
+func Col(ordinal int, name string) *Expr {
+	return &Expr{Op: OpCol, Col: ordinal, Name: name}
+}
+
+// New builds an interior node.
+func New(op Op, kids ...*Expr) *Expr { return &Expr{Op: op, Kids: kids} }
+
+// Convenience constructors keep planner code readable.
+func EQ(a, b *Expr) *Expr           { return New(OpEQ, a, b) }
+func NE(a, b *Expr) *Expr           { return New(OpNE, a, b) }
+func LT(a, b *Expr) *Expr           { return New(OpLT, a, b) }
+func LE(a, b *Expr) *Expr           { return New(OpLE, a, b) }
+func GT(a, b *Expr) *Expr           { return New(OpGT, a, b) }
+func GE(a, b *Expr) *Expr           { return New(OpGE, a, b) }
+func And(a, b *Expr) *Expr          { return New(OpAnd, a, b) }
+func Or(a, b *Expr) *Expr           { return New(OpOr, a, b) }
+func Not(a *Expr) *Expr             { return New(OpNot, a) }
+func Add(a, b *Expr) *Expr          { return New(OpAdd, a, b) }
+func Sub(a, b *Expr) *Expr          { return New(OpSub, a, b) }
+func Mul(a, b *Expr) *Expr          { return New(OpMul, a, b) }
+func Div(a, b *Expr) *Expr          { return New(OpDiv, a, b) }
+func Like(a, b *Expr) *Expr         { return New(OpLike, a, b) }
+func NotLikeE(a, b *Expr) *Expr     { return New(OpNotLike, a, b) }
+func Between(x, lo, hi *Expr) *Expr { return New(OpBetween, x, lo, hi) }
+func In(x *Expr, list ...*Expr) *Expr {
+	return New(OpIn, append([]*Expr{x}, list...)...)
+}
+func Year(d *Expr) *Expr { return New(OpYear, d) }
+
+// AndAll combines the given predicates with AND; nil for empty input.
+func AndAll(preds ...*Expr) *Expr {
+	var out *Expr
+	for _, p := range preds {
+		if p == nil {
+			continue
+		}
+		if out == nil {
+			out = p
+		} else {
+			out = And(out, p)
+		}
+	}
+	return out
+}
+
+// Bool datums used by the evaluator. SQL booleans are modelled as INT 0/1
+// with NULL for unknown, exactly as MySQL does.
+var (
+	dTrue  = types.NewInt(1)
+	dFalse = types.NewInt(0)
+	dNull  = types.Null()
+)
+
+// Eval evaluates the expression against the row.
+func (e *Expr) Eval(row types.Row) types.Datum {
+	switch e.Op {
+	case OpConst:
+		return e.Val
+	case OpCol:
+		return row[e.Col]
+	case OpEQ, OpNE, OpLT, OpLE, OpGT, OpGE:
+		a := e.Kids[0].Eval(row)
+		b := e.Kids[1].Eval(row)
+		if a.IsNull() || b.IsNull() {
+			return dNull
+		}
+		c := types.Compare(a, b)
+		var ok bool
+		switch e.Op {
+		case OpEQ:
+			ok = c == 0
+		case OpNE:
+			ok = c != 0
+		case OpLT:
+			ok = c < 0
+		case OpLE:
+			ok = c <= 0
+		case OpGT:
+			ok = c > 0
+		case OpGE:
+			ok = c >= 0
+		}
+		if ok {
+			return dTrue
+		}
+		return dFalse
+	case OpAnd:
+		a := e.Kids[0].Eval(row)
+		if !a.IsNull() && a.I == 0 {
+			return dFalse
+		}
+		b := e.Kids[1].Eval(row)
+		if !b.IsNull() && b.I == 0 {
+			return dFalse
+		}
+		if a.IsNull() || b.IsNull() {
+			return dNull
+		}
+		return dTrue
+	case OpOr:
+		a := e.Kids[0].Eval(row)
+		if !a.IsNull() && a.I != 0 {
+			return dTrue
+		}
+		b := e.Kids[1].Eval(row)
+		if !b.IsNull() && b.I != 0 {
+			return dTrue
+		}
+		if a.IsNull() || b.IsNull() {
+			return dNull
+		}
+		return dFalse
+	case OpNot:
+		a := e.Kids[0].Eval(row)
+		if a.IsNull() {
+			return dNull
+		}
+		if a.I != 0 {
+			return dFalse
+		}
+		return dTrue
+	case OpAdd, OpSub, OpMul, OpDiv:
+		a := e.Kids[0].Eval(row)
+		b := e.Kids[1].Eval(row)
+		if a.IsNull() || b.IsNull() {
+			return dNull
+		}
+		return Arith(e.Op, a, b)
+	case OpNeg:
+		a := e.Kids[0].Eval(row)
+		if a.IsNull() {
+			return dNull
+		}
+		switch a.K {
+		case types.KindFloat:
+			return types.NewFloat(-a.F)
+		default:
+			return types.Datum{K: a.K, I: -a.I}
+		}
+	case OpLike, OpNotLike:
+		a := e.Kids[0].Eval(row)
+		b := e.Kids[1].Eval(row)
+		if a.IsNull() || b.IsNull() {
+			return dNull
+		}
+		m := LikeMatch(a.S, b.S)
+		if e.Op == OpNotLike {
+			m = !m
+		}
+		if m {
+			return dTrue
+		}
+		return dFalse
+	case OpIn:
+		x := e.Kids[0].Eval(row)
+		if x.IsNull() {
+			return dNull
+		}
+		sawNull := false
+		for _, k := range e.Kids[1:] {
+			v := k.Eval(row)
+			if v.IsNull() {
+				sawNull = true
+				continue
+			}
+			if types.Compare(x, v) == 0 {
+				return dTrue
+			}
+		}
+		if sawNull {
+			return dNull
+		}
+		return dFalse
+	case OpBetween:
+		x := e.Kids[0].Eval(row)
+		lo := e.Kids[1].Eval(row)
+		hi := e.Kids[2].Eval(row)
+		if x.IsNull() || lo.IsNull() || hi.IsNull() {
+			return dNull
+		}
+		if types.Compare(x, lo) >= 0 && types.Compare(x, hi) <= 0 {
+			return dTrue
+		}
+		return dFalse
+	case OpIsNull:
+		if e.Kids[0].Eval(row).IsNull() {
+			return dTrue
+		}
+		return dFalse
+	case OpIsNotNull:
+		if e.Kids[0].Eval(row).IsNull() {
+			return dFalse
+		}
+		return dTrue
+	case OpCase:
+		n := len(e.Kids)
+		for i := 0; i+1 < n; i += 2 {
+			w := e.Kids[i].Eval(row)
+			if !w.IsNull() && w.I != 0 {
+				return e.Kids[i+1].Eval(row)
+			}
+		}
+		return e.Kids[n-1].Eval(row)
+	case OpYear:
+		d := e.Kids[0].Eval(row)
+		if d.IsNull() {
+			return dNull
+		}
+		return types.NewInt(int64(YearOfEpochDays(int32(d.I))))
+	case OpSubstr:
+		s := e.Kids[0].Eval(row)
+		from := e.Kids[1].Eval(row)
+		length := e.Kids[2].Eval(row)
+		if s.IsNull() || from.IsNull() || length.IsNull() {
+			return dNull
+		}
+		str := s.S
+		start := int(from.I) - 1
+		if start < 0 || start >= len(str) {
+			return types.NewString("")
+		}
+		end := start + int(length.I)
+		if end > len(str) {
+			end = len(str)
+		}
+		return types.NewString(str[start:end])
+	default:
+		panic(fmt.Sprintf("expr: cannot evaluate op %v", e.Op))
+	}
+}
+
+// EvalBool evaluates a predicate and maps NULL to false, as WHERE does.
+func (e *Expr) EvalBool(row types.Row) bool {
+	v := e.Eval(row)
+	return !v.IsNull() && v.I != 0
+}
+
+// Arith applies an arithmetic op to two non-null datums with MySQL-like
+// type promotion: float wins; decimal-vs-int promotes to decimal; decimal
+// multiply/divide rescale to keep DecimalScale fractional digits.
+func Arith(op Op, a, b types.Datum) types.Datum {
+	if a.K == types.KindFloat || b.K == types.KindFloat {
+		x, y := a.Float(), b.Float()
+		switch op {
+		case OpAdd:
+			return types.NewFloat(x + y)
+		case OpSub:
+			return types.NewFloat(x - y)
+		case OpMul:
+			return types.NewFloat(x * y)
+		case OpDiv:
+			if y == 0 {
+				return dNull
+			}
+			return types.NewFloat(x / y)
+		}
+	}
+	if a.K == types.KindDecimal || b.K == types.KindDecimal {
+		x, y := toScaled(a), toScaled(b)
+		switch op {
+		case OpAdd:
+			return types.NewDecimal(x + y)
+		case OpSub:
+			return types.NewDecimal(x - y)
+		case OpMul:
+			return types.NewDecimal(x * y / types.DecimalScale)
+		case OpDiv:
+			if y == 0 {
+				return dNull
+			}
+			return types.NewDecimal(x * types.DecimalScale / y)
+		}
+	}
+	// Pure integer (dates degrade to ints under arithmetic, like MySQL
+	// datediff-style usage is not needed here).
+	x, y := a.I, b.I
+	switch op {
+	case OpAdd:
+		return types.NewInt(x + y)
+	case OpSub:
+		return types.NewInt(x - y)
+	case OpMul:
+		return types.NewInt(x * y)
+	case OpDiv:
+		if y == 0 {
+			return dNull
+		}
+		return types.NewInt(x / y)
+	}
+	panic("expr: bad arith op")
+}
+
+func toScaled(d types.Datum) int64 {
+	if d.K == types.KindDecimal {
+		return d.I
+	}
+	return d.I * types.DecimalScale
+}
+
+// LikeMatch implements SQL LIKE matching with % (any run) and _ (any one
+// byte). Patterns are matched bytewise, which is correct for the ASCII
+// data TPC-H generates.
+func LikeMatch(s, pattern string) bool {
+	// Iterative two-pointer match with backtracking on the last %.
+	var si, pi int
+	star, match := -1, 0
+	for si < len(s) {
+		switch {
+		case pi < len(pattern) && (pattern[pi] == '_' || pattern[pi] == s[si]):
+			si++
+			pi++
+		case pi < len(pattern) && pattern[pi] == '%':
+			star, match = pi, si
+			pi++
+		case star >= 0:
+			pi = star + 1
+			match++
+			si = match
+		default:
+			return false
+		}
+	}
+	for pi < len(pattern) && pattern[pi] == '%' {
+		pi++
+	}
+	return pi == len(pattern)
+}
+
+// YearOfEpochDays converts days-since-1970 to a calendar year using the
+// civil-from-days algorithm; shared with the IR runtime so both paths
+// agree exactly.
+func YearOfEpochDays(days int32) int {
+	z := int64(days) + 719468
+	era := z / 146097
+	if z < 0 {
+		era = (z - 146096) / 146097
+	}
+	doe := z - era*146097
+	yoe := (doe - doe/1460 + doe/36524 - doe/146096) / 365
+	y := yoe + era*400
+	doy := doe - (365*yoe + yoe/4 - yoe/100)
+	mp := (5*doy + 2) / 153
+	m := mp + 3
+	if mp >= 10 {
+		m = mp - 9
+	}
+	if m <= 2 {
+		y++
+	}
+	return int(y)
+}
+
+// Columns appends the ordinals of all columns referenced by e to dst,
+// without deduplication.
+func (e *Expr) Columns(dst []int) []int {
+	if e.Op == OpCol {
+		return append(dst, e.Col)
+	}
+	for _, k := range e.Kids {
+		dst = k.Columns(dst)
+	}
+	return dst
+}
+
+// ColumnSet returns the distinct set of referenced ordinals.
+func (e *Expr) ColumnSet() map[int]bool {
+	set := make(map[int]bool)
+	for _, c := range e.Columns(nil) {
+		set[c] = true
+	}
+	return set
+}
+
+// Remap rewrites column ordinals through m (old ordinal → new ordinal) and
+// returns a new tree; the input tree is not modified.
+func (e *Expr) Remap(m map[int]int) *Expr {
+	out := &Expr{Op: e.Op, Val: e.Val, Col: e.Col, Name: e.Name}
+	if e.Op == OpCol {
+		if n, ok := m[e.Col]; ok {
+			out.Col = n
+		}
+	}
+	if len(e.Kids) > 0 {
+		out.Kids = make([]*Expr, len(e.Kids))
+		for i, k := range e.Kids {
+			out.Kids[i] = k.Remap(m)
+		}
+	}
+	return out
+}
+
+// Conjuncts flattens a tree of ANDs into its conjunct list.
+func Conjuncts(e *Expr) []*Expr {
+	if e == nil {
+		return nil
+	}
+	if e.Op == OpAnd {
+		return append(Conjuncts(e.Kids[0]), Conjuncts(e.Kids[1])...)
+	}
+	return []*Expr{e}
+}
+
+// String renders the expression in SQL-ish syntax, used by EXPLAIN to
+// print the "Using pushed NDP condition (...)" extras of Listing 2.
+func (e *Expr) String() string {
+	var b strings.Builder
+	e.format(&b)
+	return b.String()
+}
+
+func (e *Expr) format(b *strings.Builder) {
+	switch e.Op {
+	case OpConst:
+		if e.Val.K == types.KindString {
+			fmt.Fprintf(b, "'%s'", e.Val.S)
+		} else if e.Val.K == types.KindDate {
+			fmt.Fprintf(b, "DATE'%s'", e.Val.String())
+		} else {
+			b.WriteString(e.Val.String())
+		}
+	case OpCol:
+		if e.Name != "" {
+			b.WriteString(e.Name)
+		} else {
+			fmt.Fprintf(b, "#%d", e.Col)
+		}
+	case OpNot:
+		b.WriteString("(NOT ")
+		e.Kids[0].format(b)
+		b.WriteByte(')')
+	case OpNeg:
+		b.WriteString("(-")
+		e.Kids[0].format(b)
+		b.WriteByte(')')
+	case OpIsNull, OpIsNotNull:
+		b.WriteByte('(')
+		e.Kids[0].format(b)
+		b.WriteByte(' ')
+		b.WriteString(opNames[e.Op])
+		b.WriteByte(')')
+	case OpIn:
+		b.WriteByte('(')
+		e.Kids[0].format(b)
+		b.WriteString(" IN (")
+		for i, k := range e.Kids[1:] {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			k.format(b)
+		}
+		b.WriteString("))")
+	case OpBetween:
+		b.WriteByte('(')
+		e.Kids[0].format(b)
+		b.WriteString(" BETWEEN ")
+		e.Kids[1].format(b)
+		b.WriteString(" AND ")
+		e.Kids[2].format(b)
+		b.WriteByte(')')
+	case OpCase:
+		b.WriteString("CASE")
+		n := len(e.Kids)
+		for i := 0; i+1 < n; i += 2 {
+			b.WriteString(" WHEN ")
+			e.Kids[i].format(b)
+			b.WriteString(" THEN ")
+			e.Kids[i+1].format(b)
+		}
+		b.WriteString(" ELSE ")
+		e.Kids[n-1].format(b)
+		b.WriteString(" END")
+	case OpYear:
+		b.WriteString("YEAR(")
+		e.Kids[0].format(b)
+		b.WriteByte(')')
+	case OpSubstr:
+		b.WriteString("SUBSTRING(")
+		e.Kids[0].format(b)
+		b.WriteString(", ")
+		e.Kids[1].format(b)
+		b.WriteString(", ")
+		e.Kids[2].format(b)
+		b.WriteByte(')')
+	default:
+		b.WriteByte('(')
+		e.Kids[0].format(b)
+		b.WriteByte(' ')
+		b.WriteString(opNames[e.Op])
+		b.WriteByte(' ')
+		e.Kids[1].format(b)
+		b.WriteByte(')')
+	}
+}

@@ -1,0 +1,240 @@
+package expr
+
+import (
+	"testing"
+
+	"taurus/internal/types"
+)
+
+func row(vals ...types.Datum) types.Row { return types.Row(vals) }
+
+func TestComparisonOps(t *testing.T) {
+	r := row(types.NewInt(5), types.NewInt(7))
+	a, b := Col(0, "a"), Col(1, "b")
+	cases := []struct {
+		e    *Expr
+		want int64
+	}{
+		{EQ(a, b), 0}, {NE(a, b), 1}, {LT(a, b), 1},
+		{LE(a, b), 1}, {GT(a, b), 0}, {GE(a, b), 0},
+		{EQ(a, ConstInt(5)), 1}, {GE(b, ConstInt(7)), 1},
+	}
+	for _, c := range cases {
+		got := c.e.Eval(r)
+		if got.IsNull() || got.I != c.want {
+			t.Errorf("%s = %v, want %d", c.e, got, c.want)
+		}
+	}
+}
+
+func TestThreeValuedLogic(t *testing.T) {
+	r := row(types.Null(), types.NewInt(1), types.NewInt(0))
+	null, tru, fls := Col(0, "n"), Col(1, "t"), Col(2, "f")
+	// NULL comparisons are NULL.
+	if v := EQ(null, tru).Eval(r); !v.IsNull() {
+		t.Errorf("NULL = 1 should be NULL, got %v", v)
+	}
+	// AND: false dominates NULL; OR: true dominates NULL.
+	if v := And(fls, null).Eval(r); v.IsNull() || v.I != 0 {
+		t.Errorf("false AND NULL = %v, want false", v)
+	}
+	if v := And(tru, null).Eval(r); !v.IsNull() {
+		t.Errorf("true AND NULL = %v, want NULL", v)
+	}
+	if v := Or(tru, null).Eval(r); v.IsNull() || v.I != 1 {
+		t.Errorf("true OR NULL = %v, want true", v)
+	}
+	if v := Or(fls, null).Eval(r); !v.IsNull() {
+		t.Errorf("false OR NULL = %v, want NULL", v)
+	}
+	if v := Not(null).Eval(r); !v.IsNull() {
+		t.Errorf("NOT NULL = %v, want NULL", v)
+	}
+	// EvalBool maps NULL to false.
+	if EQ(null, tru).EvalBool(r) {
+		t.Error("EvalBool(NULL) should be false")
+	}
+	// IS NULL / IS NOT NULL.
+	if v := New(OpIsNull, null).Eval(r); v.I != 1 {
+		t.Errorf("NULL IS NULL = %v", v)
+	}
+	if v := New(OpIsNotNull, tru).Eval(r); v.I != 1 {
+		t.Errorf("1 IS NOT NULL = %v", v)
+	}
+}
+
+func TestArithmetic(t *testing.T) {
+	cases := []struct {
+		e    *Expr
+		want types.Datum
+	}{
+		{Add(ConstInt(2), ConstInt(3)), types.NewInt(5)},
+		{Sub(ConstInt(2), ConstInt(3)), types.NewInt(-1)},
+		{Mul(ConstInt(4), ConstInt(3)), types.NewInt(12)},
+		{Div(ConstInt(7), ConstInt(2)), types.NewInt(3)},
+		{Div(ConstInt(7), ConstInt(0)), types.Null()},
+		// decimal: 1.50 * 0.10 = 0.15
+		{Mul(Const(types.NewDecimal(150)), Const(types.NewDecimal(10))), types.NewDecimal(15)},
+		// decimal + int promotes: 1.50 + 2 = 3.50
+		{Add(Const(types.NewDecimal(150)), ConstInt(2)), types.NewDecimal(350)},
+		// decimal / decimal: 1.00 / 0.50 = 2.00
+		{Div(Const(types.NewDecimal(100)), Const(types.NewDecimal(50))), types.NewDecimal(200)},
+		// float contaminates: 1 + 0.5 = 1.5
+		{Add(ConstInt(1), Const(types.NewFloat(0.5))), types.NewFloat(1.5)},
+		{New(OpNeg, ConstInt(5)), types.NewInt(-5)},
+		{New(OpNeg, Const(types.NewFloat(2.5))), types.NewFloat(-2.5)},
+	}
+	for _, c := range cases {
+		got := c.e.Eval(nil)
+		if got.K != c.want.K || !types.Equal(got, c.want) && !(got.IsNull() && c.want.IsNull()) {
+			t.Errorf("%s = %v (kind %v), want %v (kind %v)", c.e, got, got.K, c.want, c.want.K)
+		}
+	}
+}
+
+func TestLikeMatch(t *testing.T) {
+	cases := []struct {
+		s, p string
+		want bool
+	}{
+		{"hello", "hello", true},
+		{"hello", "h%", true},
+		{"hello", "%llo", true},
+		{"hello", "%ell%", true},
+		{"hello", "h_llo", true},
+		{"hello", "h_lo", false},
+		{"hello", "%", true},
+		{"", "%", true},
+		{"", "_", false},
+		{"promo burnished", "promo%", true},
+		{"special requests", "%special%requests%", true},
+		{"abc", "%d%", false},
+		{"aaa", "a%a", true},
+		{"ab", "a%b%c", false},
+	}
+	for _, c := range cases {
+		if got := LikeMatch(c.s, c.p); got != c.want {
+			t.Errorf("LikeMatch(%q, %q) = %v, want %v", c.s, c.p, got, c.want)
+		}
+	}
+	r := row(types.NewString("MEDIUM POLISHED"))
+	if !Like(Col(0, "t"), ConstString("MEDIUM%")).EvalBool(r) {
+		t.Error("LIKE via Eval failed")
+	}
+	if !NotLikeE(Col(0, "t"), ConstString("SMALL%")).EvalBool(r) {
+		t.Error("NOT LIKE via Eval failed")
+	}
+}
+
+func TestInAndBetween(t *testing.T) {
+	r := row(types.NewInt(3), types.Null())
+	if !In(Col(0, "x"), ConstInt(1), ConstInt(3), ConstInt(5)).EvalBool(r) {
+		t.Error("3 IN (1,3,5) should be true")
+	}
+	if In(Col(0, "x"), ConstInt(1), ConstInt(2)).EvalBool(r) {
+		t.Error("3 IN (1,2) should be false")
+	}
+	// x IN (1, NULL) is NULL when not matched.
+	if v := In(Col(0, "x"), ConstInt(1), Const(types.Null())).Eval(r); !v.IsNull() {
+		t.Errorf("3 IN (1, NULL) = %v, want NULL", v)
+	}
+	if v := In(Col(1, "n"), ConstInt(1)).Eval(r); !v.IsNull() {
+		t.Errorf("NULL IN (1) = %v, want NULL", v)
+	}
+	if !Between(Col(0, "x"), ConstInt(1), ConstInt(5)).EvalBool(r) {
+		t.Error("3 BETWEEN 1 AND 5")
+	}
+	if Between(Col(0, "x"), ConstInt(4), ConstInt(5)).EvalBool(r) {
+		t.Error("3 BETWEEN 4 AND 5 should be false")
+	}
+}
+
+func TestCaseExpr(t *testing.T) {
+	// CASE WHEN x > 10 THEN 1 WHEN x > 5 THEN 2 ELSE 3 END
+	c := New(OpCase,
+		GT(Col(0, "x"), ConstInt(10)), ConstInt(1),
+		GT(Col(0, "x"), ConstInt(5)), ConstInt(2),
+		ConstInt(3))
+	cases := []struct{ in, want int64 }{{20, 1}, {7, 2}, {3, 3}}
+	for _, tc := range cases {
+		if got := c.Eval(row(types.NewInt(tc.in))); got.I != tc.want {
+			t.Errorf("CASE(%d) = %v, want %d", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestYearAndSubstr(t *testing.T) {
+	d := types.DateFromYMD(1995, 6, 17)
+	if got := Year(Const(d)).Eval(nil); got.I != 1995 {
+		t.Errorf("YEAR(1995-06-17) = %v", got)
+	}
+	for _, yc := range []struct {
+		y, m, d int
+		want    int64
+	}{{1970, 1, 1, 1970}, {1992, 2, 29, 1992}, {2000, 12, 31, 2000}, {1969, 12, 31, 1969}, {1900, 3, 1, 1900}} {
+		got := Year(Const(types.DateFromYMD(yc.y, yc.m, yc.d))).Eval(nil)
+		if got.I != yc.want {
+			t.Errorf("YEAR(%d-%d-%d) = %v, want %d", yc.y, yc.m, yc.d, got, yc.want)
+		}
+	}
+	s := New(OpSubstr, ConstString("13-MAIL"), ConstInt(1), ConstInt(2))
+	if got := s.Eval(nil); got.S != "13" {
+		t.Errorf("SUBSTRING = %q", got.S)
+	}
+	s2 := New(OpSubstr, ConstString("ab"), ConstInt(5), ConstInt(2))
+	if got := s2.Eval(nil); got.S != "" {
+		t.Errorf("out-of-range SUBSTRING = %q", got.S)
+	}
+	s3 := New(OpSubstr, ConstString("abcdef"), ConstInt(4), ConstInt(100))
+	if got := s3.Eval(nil); got.S != "def" {
+		t.Errorf("overlong SUBSTRING = %q", got.S)
+	}
+}
+
+func TestColumnsRemapConjuncts(t *testing.T) {
+	e := And(GT(Col(2, "a"), ConstInt(1)), LT(Col(5, "b"), Col(2, "a")))
+	cols := e.ColumnSet()
+	if len(cols) != 2 || !cols[2] || !cols[5] {
+		t.Errorf("ColumnSet = %v", cols)
+	}
+	r := e.Remap(map[int]int{2: 0, 5: 1})
+	rc := r.ColumnSet()
+	if !rc[0] || !rc[1] || len(rc) != 2 {
+		t.Errorf("Remap ColumnSet = %v", rc)
+	}
+	// Original unchanged.
+	if oc := e.ColumnSet(); !oc[2] {
+		t.Error("Remap mutated the original tree")
+	}
+	cj := Conjuncts(e)
+	if len(cj) != 2 {
+		t.Errorf("Conjuncts = %d, want 2", len(cj))
+	}
+	if Conjuncts(nil) != nil {
+		t.Error("Conjuncts(nil) should be nil")
+	}
+	combined := AndAll(cj[0], nil, cj[1])
+	if len(Conjuncts(combined)) != 2 {
+		t.Error("AndAll should rebuild the conjunction")
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	// Mirrors the shape of the Listing 2 EXPLAIN output.
+	joindate := Col(1, "worker.join_date")
+	age := Col(0, "worker.age")
+	d, _ := types.ParseDate("2010-01-01")
+	e := AndAll(
+		GE(joindate, Const(d)),
+		LT(joindate, Const(d.AddMonths(12))),
+		LT(age, ConstInt(40)),
+	)
+	got := e.String()
+	want := "(((worker.join_date >= DATE'2010-01-01') AND (worker.join_date < DATE'2011-01-01')) AND (worker.age < 40))"
+	if got != want {
+		t.Errorf("String() = %s, want %s", got, want)
+	}
+	if got := In(Col(0, "x"), ConstInt(1), ConstString("a")).String(); got != "(x IN (1, 'a'))" {
+		t.Errorf("IN String() = %s", got)
+	}
+}

@@ -1,0 +1,106 @@
+// Package internal_test runs the full stack over real TCP sockets: Log
+// Stores and Page Stores behind cluster.Serve, the SAL using
+// cluster.TCPClient — the deployment shape cmd/taurus-server provides.
+package internal_test
+
+import (
+	"net"
+	"testing"
+
+	"taurus/internal/cluster"
+	"taurus/internal/core"
+	"taurus/internal/engine"
+	"taurus/internal/expr"
+	"taurus/internal/logstore"
+	"taurus/internal/pagestore"
+	"taurus/internal/sal"
+	"taurus/internal/types"
+)
+
+func TestFullStackOverTCP(t *testing.T) {
+	// Storage layer: 2 log stores + 2 page stores on loopback TCP.
+	var logAddrs, psAddrs []string
+	for i := 0; i < 2; i++ {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer l.Close()
+		go cluster.Serve(l, logstore.New(l.Addr().String()))
+		logAddrs = append(logAddrs, l.Addr().String())
+	}
+	for i := 0; i < 2; i++ {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer l.Close()
+		go cluster.Serve(l, pagestore.New(l.Addr().String()))
+		psAddrs = append(psAddrs, l.Addr().String())
+	}
+	client := cluster.NewTCPClient()
+	defer client.Close()
+	s, err := sal.New(sal.Config{
+		Tenant: 1, Transport: client, LogStores: logAddrs, PageStores: psAddrs,
+		ReplicationFactor: 2, PagesPerSlice: 32, Plugin: pagestore.PluginInnoDB,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := engine.New(engine.Config{SAL: s, PoolPages: 64, NDPMaxPagesLookAhead: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	schema := types.NewSchema(
+		types.Column{Name: "id", Kind: types.KindInt},
+		types.Column{Name: "v", Kind: types.KindInt},
+	)
+	tbl, err := eng.CreateTable("t", schema, []int{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx := eng.Txm().Begin()
+	for i := int64(0); i < 2000; i++ {
+		if err := eng.Insert(tbl, tx, types.Row{types.NewInt(i), types.NewInt(i % 100)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tx.Commit()
+	if err := eng.SAL().Flush(); err != nil {
+		t.Fatal(err)
+	}
+	eng.Pool().Clear()
+
+	// NDP scan over real sockets.
+	pred := expr.LT(expr.Col(1, "v"), expr.ConstInt(10))
+	count := 0
+	err = eng.Scan(engine.ScanOptions{
+		Index: tbl.Primary, Predicate: pred, Projection: []int{0},
+		NDP: &engine.NDPPush{PushPredicate: true, PushProjection: true},
+	}, func(types.Row, []core.AggState) error {
+		count++
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count != 200 {
+		t.Fatalf("NDP scan over TCP returned %d rows, want 200", count)
+	}
+	// Regular scan agrees.
+	eng.Pool().Clear()
+	count2 := 0
+	err = eng.Scan(engine.ScanOptions{Index: tbl.Primary, Predicate: pred}, func(types.Row, []core.AggState) error {
+		count2++
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count2 != count {
+		t.Fatalf("regular %d vs NDP %d", count2, count)
+	}
+	if client.Stats.Snapshot().BatchReads == 0 {
+		t.Error("expected batch reads over TCP")
+	}
+}

@@ -1,0 +1,93 @@
+// Package logstore implements the Log Store service: "a service executing
+// in the storage layer responsible for storing log records durably. Once
+// all of the log records belonging to a transaction have been made
+// durable, transaction completion can be acknowledged ... They also serve
+// log records to read replicas" (§II).
+//
+// The SAL writes each log batch to three Log Stores and waits for all
+// three acknowledgements ("synchronously writing log records, in
+// triplicate, to durable storage").
+package logstore
+
+import (
+	"fmt"
+	"sync"
+
+	"taurus/internal/cluster"
+	"taurus/internal/wal"
+)
+
+// Store is one Log Store node.
+type Store struct {
+	name string
+
+	mu         sync.Mutex
+	log        []wal.Record
+	durableLSN uint64
+}
+
+// New creates a named Log Store.
+func New(name string) *Store {
+	return &Store{name: name}
+}
+
+// Handle implements cluster.Handler for MsgLogAppend.
+func (s *Store) Handle(req any) (any, error) {
+	switch m := req.(type) {
+	case *cluster.LogAppendReq:
+		lsn, err := s.Append(m.Recs)
+		if err != nil {
+			return nil, err
+		}
+		return &cluster.Ack{LSN: lsn}, nil
+	default:
+		return nil, fmt.Errorf("logstore %s: unsupported request %T", s.name, req)
+	}
+}
+
+// Append decodes and durably stores a batch of encoded records, returning
+// the highest LSN made durable.
+func (s *Store) Append(encoded []byte) (uint64, error) {
+	recs, err := wal.DecodeAll(encoded)
+	if err != nil {
+		return 0, fmt.Errorf("logstore %s: %w", s.name, err)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, r := range recs {
+		if r.LSN <= s.durableLSN {
+			// Idempotent re-delivery (SAL retries) is tolerated.
+			continue
+		}
+		s.log = append(s.log, r)
+		s.durableLSN = r.LSN
+	}
+	return s.durableLSN, nil
+}
+
+// DurableLSN returns the highest durable LSN.
+func (s *Store) DurableLSN() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.durableLSN
+}
+
+// ReadFrom returns all records with LSN > after, serving read replicas.
+func (s *Store) ReadFrom(after uint64) []wal.Record {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []wal.Record
+	for _, r := range s.log {
+		if r.LSN > after {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Len returns the number of stored records.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.log)
+}

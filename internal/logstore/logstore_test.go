@@ -1,0 +1,68 @@
+package logstore
+
+import (
+	"testing"
+
+	"taurus/internal/cluster"
+	"taurus/internal/wal"
+)
+
+func encodeRecs(recs ...wal.Record) []byte {
+	var buf []byte
+	for i := range recs {
+		buf = recs[i].Encode(buf)
+	}
+	return buf
+}
+
+func TestAppendAndDurableLSN(t *testing.T) {
+	s := New("log1")
+	lsn, err := s.Append(encodeRecs(
+		wal.Record{LSN: 1, Type: wal.TypeFormatPage, PageID: 1, IndexID: 1},
+		wal.Record{LSN: 2, Type: wal.TypeCompact, PageID: 1},
+	))
+	if err != nil || lsn != 2 {
+		t.Fatalf("append: lsn=%d err=%v", lsn, err)
+	}
+	if s.DurableLSN() != 2 || s.Len() != 2 {
+		t.Fatalf("durable=%d len=%d", s.DurableLSN(), s.Len())
+	}
+	// Idempotent redelivery: same records ignored.
+	lsn, err = s.Append(encodeRecs(wal.Record{LSN: 2, Type: wal.TypeCompact, PageID: 1}))
+	if err != nil || lsn != 2 || s.Len() != 2 {
+		t.Fatalf("redelivery changed state: lsn=%d len=%d", lsn, s.Len())
+	}
+	// Corrupt input rejected.
+	if _, err := s.Append([]byte{1, 2, 3}); err == nil {
+		t.Fatal("corrupt log batch should fail")
+	}
+}
+
+func TestReadFromServesReplicas(t *testing.T) {
+	s := New("log1")
+	s.Append(encodeRecs(
+		wal.Record{LSN: 1, Type: wal.TypeFormatPage, PageID: 1, IndexID: 1},
+		wal.Record{LSN: 2, Type: wal.TypeCompact, PageID: 1},
+		wal.Record{LSN: 3, Type: wal.TypeCompact, PageID: 1},
+	))
+	recs := s.ReadFrom(1)
+	if len(recs) != 2 || recs[0].LSN != 2 || recs[1].LSN != 3 {
+		t.Fatalf("ReadFrom(1) = %v", recs)
+	}
+	if got := s.ReadFrom(3); len(got) != 0 {
+		t.Fatalf("ReadFrom(3) = %v", got)
+	}
+}
+
+func TestHandleDispatch(t *testing.T) {
+	s := New("log1")
+	resp, err := s.Handle(&cluster.LogAppendReq{
+		Recs: encodeRecs(wal.Record{LSN: 5, Type: wal.TypeCompact, PageID: 9}),
+	})
+	if err != nil || resp.(*cluster.Ack).LSN != 5 {
+		t.Fatalf("handle: %v %v", resp, err)
+	}
+	if _, err := s.Handle("bogus"); err == nil {
+		t.Fatal("unknown request should fail")
+	}
+}

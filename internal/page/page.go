@@ -1,0 +1,372 @@
+// Package page implements the storage page and record formats.
+//
+// Regular pages are fixed-size 16 KB, like InnoDB's default. NDP pages
+// are variable-length but share the same header and record structure so
+// that "the existing InnoDB page cursor functions, which iterate over
+// records in a page, remain unchanged" (§IV-C2). Records carry a type
+// field in their header; the paper adds two values —
+// REC_STATUS_NDP_PROJECTION and REC_STATUS_NDP_AGGREGATE (Listing 3) —
+// which are reproduced here verbatim. Records are chained in index key
+// order by a next-record offset, so an NDP scan of an index still
+// satisfies ordering requirements.
+package page
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Size is the fixed byte size of a regular page (InnoDB default 16 KB).
+const Size = 16384
+
+// HeaderSize is the fixed page header length shared by regular and NDP
+// pages.
+const HeaderSize = 56
+
+// MaxNDPSize caps variable-length NDP pages. An NDP page derived from one
+// 16 KB page can only shrink (filtering, projection) or grow by a few
+// bytes per record (aggregate payloads); cross-page aggregation attaches
+// only aggregate state. Offsets are 16-bit, so 64 KB is the hard ceiling.
+const MaxNDPSize = 65536
+
+// Record type codes. The first four are InnoDB's classical values; the
+// last two are the NDP additions from the paper's Listing 3.
+const (
+	RecOrdinary      = 0
+	RecNodePtr       = 1
+	RecInfimum       = 2
+	RecSupremum      = 3
+	RecNDPProjection = 4
+	RecNDPAggregate  = 5
+)
+
+// Header flag bits.
+const (
+	// FlagNDP marks a page produced by Page Store NDP processing.
+	FlagNDP = 1 << 0
+	// FlagNDPEmpty marks an NDP page whose records were all filtered
+	// out; such pages are "indicated specially without requiring
+	// explicit materialization" (§IV-C2) — the page carries a header
+	// and no records.
+	FlagNDPEmpty = 1 << 1
+	// FlagNDPSkipped marks a page the Page Store returned unprocessed
+	// because of resource control; it is a regular page image and the
+	// frontend must complete the requested NDP work (§IV-D2).
+	FlagNDPSkipped = 1 << 2
+)
+
+// Header field offsets within the page buffer.
+const (
+	offMagic    = 0  // uint32
+	offPageID   = 4  // uint64
+	offLSN      = 12 // uint64
+	offIndexID  = 20 // uint64
+	offLevel    = 28 // uint16
+	offNRecs    = 30 // uint16
+	offFlags    = 32 // uint8
+	offFirstRec = 34 // uint16 (0 = empty)
+	offFreeOff  = 36 // uint16 (next free heap byte)
+	offPrevPage = 38 // uint64
+	offNextPage = 46 // uint64
+)
+
+const magic = 0x54504731 // "TPG1"
+
+// recHdrSize is the fixed prefix of every record: type byte, next-record
+// offset, transaction ID.
+const recHdrSize = 1 + 2 + 8
+
+const deleteMarkBit = 0x80
+
+// InvalidPageID marks absent page links.
+const InvalidPageID = ^uint64(0)
+
+// Page is a view over a page buffer. The zero value is invalid; use New
+// or FromBytes.
+type Page struct {
+	buf []byte
+}
+
+// New formats a fresh regular page in a newly allocated 16 KB buffer.
+func New(pageID, indexID uint64, level uint16) *Page {
+	p := &Page{buf: make([]byte, Size)}
+	p.init(pageID, indexID, level)
+	return p
+}
+
+// NewNDP formats a variable-length NDP page with the given capacity.
+func NewNDP(pageID, indexID uint64, capacity int) *Page {
+	if capacity < HeaderSize {
+		capacity = HeaderSize
+	}
+	if capacity > MaxNDPSize {
+		capacity = MaxNDPSize
+	}
+	p := &Page{buf: make([]byte, capacity)}
+	p.init(pageID, indexID, 0)
+	p.SetFlags(FlagNDP)
+	return p
+}
+
+func (p *Page) init(pageID, indexID uint64, level uint16) {
+	binary.LittleEndian.PutUint32(p.buf[offMagic:], magic)
+	binary.LittleEndian.PutUint64(p.buf[offPageID:], pageID)
+	binary.LittleEndian.PutUint64(p.buf[offIndexID:], indexID)
+	binary.LittleEndian.PutUint16(p.buf[offLevel:], level)
+	binary.LittleEndian.PutUint16(p.buf[offFreeOff:], HeaderSize)
+	binary.LittleEndian.PutUint64(p.buf[offPrevPage:], InvalidPageID)
+	binary.LittleEndian.PutUint64(p.buf[offNextPage:], InvalidPageID)
+}
+
+// FromBytes wraps an existing page image, validating the magic.
+func FromBytes(buf []byte) (*Page, error) {
+	if len(buf) < HeaderSize {
+		return nil, fmt.Errorf("page: buffer too small (%d bytes)", len(buf))
+	}
+	if binary.LittleEndian.Uint32(buf[offMagic:]) != magic {
+		return nil, fmt.Errorf("page: bad magic")
+	}
+	return &Page{buf: buf}, nil
+}
+
+// Bytes returns the page image, truncated to the used length for NDP
+// pages (they ship over the network, so trailing free space is dropped).
+func (p *Page) Bytes() []byte {
+	if p.IsNDP() {
+		return p.buf[:p.FreeOff()]
+	}
+	return p.buf
+}
+
+// Clone returns a deep copy of the page.
+func (p *Page) Clone() *Page {
+	b := make([]byte, len(p.buf))
+	copy(b, p.buf)
+	return &Page{buf: b}
+}
+
+// Accessors.
+
+func (p *Page) ID() uint64           { return binary.LittleEndian.Uint64(p.buf[offPageID:]) }
+func (p *Page) LSN() uint64          { return binary.LittleEndian.Uint64(p.buf[offLSN:]) }
+func (p *Page) SetLSN(lsn uint64)    { binary.LittleEndian.PutUint64(p.buf[offLSN:], lsn) }
+func (p *Page) IndexID() uint64      { return binary.LittleEndian.Uint64(p.buf[offIndexID:]) }
+func (p *Page) Level() uint16        { return binary.LittleEndian.Uint16(p.buf[offLevel:]) }
+func (p *Page) NumRecords() int      { return int(binary.LittleEndian.Uint16(p.buf[offNRecs:])) }
+func (p *Page) Flags() uint8         { return p.buf[offFlags] }
+func (p *Page) SetFlags(f uint8)     { p.buf[offFlags] |= f }
+func (p *Page) IsNDP() bool          { return p.Flags()&FlagNDP != 0 }
+func (p *Page) IsNDPEmpty() bool     { return p.Flags()&FlagNDPEmpty != 0 }
+func (p *Page) IsNDPSkipped() bool   { return p.Flags()&FlagNDPSkipped != 0 }
+func (p *Page) FreeOff() int         { return int(binary.LittleEndian.Uint16(p.buf[offFreeOff:])) }
+func (p *Page) PrevPage() uint64     { return binary.LittleEndian.Uint64(p.buf[offPrevPage:]) }
+func (p *Page) NextPage() uint64     { return binary.LittleEndian.Uint64(p.buf[offNextPage:]) }
+func (p *Page) SetPrevPage(v uint64) { binary.LittleEndian.PutUint64(p.buf[offPrevPage:], v) }
+func (p *Page) SetNextPage(v uint64) { binary.LittleEndian.PutUint64(p.buf[offNextPage:], v) }
+
+// FirstRecord returns the heap offset of the first record in key order,
+// or 0 if the page is empty.
+func (p *Page) FirstRecord() int {
+	return int(binary.LittleEndian.Uint16(p.buf[offFirstRec:]))
+}
+
+func (p *Page) setFirstRecord(off int) {
+	binary.LittleEndian.PutUint16(p.buf[offFirstRec:], uint16(off))
+}
+
+func (p *Page) setNumRecords(n int) {
+	binary.LittleEndian.PutUint16(p.buf[offNRecs:], uint16(n))
+}
+
+func (p *Page) setFreeOff(off int) {
+	binary.LittleEndian.PutUint16(p.buf[offFreeOff:], uint16(off))
+}
+
+// FreeSpace returns the bytes available in the heap.
+func (p *Page) FreeSpace() int { return len(p.buf) - p.FreeOff() }
+
+// Record is a decoded view of one record. Payload aliases the page
+// buffer; callers that retain it across page mutations must copy.
+type Record struct {
+	Off     int
+	Type    uint8
+	Deleted bool
+	TrxID   uint64
+	Payload []byte
+	next    int
+}
+
+// Next returns the heap offset of the next record in key order (0 = end).
+func (r Record) Next() int { return r.next }
+
+// RecordAt decodes the record at the given heap offset.
+func (p *Page) RecordAt(off int) Record {
+	t := p.buf[off]
+	next := int(binary.LittleEndian.Uint16(p.buf[off+1:]))
+	trx := binary.LittleEndian.Uint64(p.buf[off+3:])
+	l, n := binary.Uvarint(p.buf[off+recHdrSize:])
+	start := off + recHdrSize + n
+	return Record{
+		Off:     off,
+		Type:    t &^ deleteMarkBit,
+		Deleted: t&deleteMarkBit != 0,
+		TrxID:   trx,
+		Payload: p.buf[start : start+int(l)],
+		next:    next,
+	}
+}
+
+// recordSize returns the total heap footprint of a record with the given
+// payload length.
+func recordSize(payloadLen int) int {
+	return recHdrSize + uvarintLen(uint64(payloadLen)) + payloadLen
+}
+
+func uvarintLen(v uint64) int {
+	n := 1
+	for v >= 0x80 {
+		v >>= 7
+		n++
+	}
+	return n
+}
+
+// HasRoomFor reports whether a record with the given payload size fits.
+func (p *Page) HasRoomFor(payloadLen int) bool {
+	return p.FreeSpace() >= recordSize(payloadLen)
+}
+
+// InsertAfter writes a new record into the heap, linking it after the
+// record at prevOff (or at the head if prevOff is 0). Returns the new
+// record's offset. The caller (the B+ tree) is responsible for choosing
+// prevOff so that key order is preserved.
+func (p *Page) InsertAfter(prevOff int, recType uint8, trxID uint64, payload []byte) (int, error) {
+	need := recordSize(len(payload))
+	if p.FreeSpace() < need {
+		return 0, fmt.Errorf("page %d: full (%d free, %d needed)", p.ID(), p.FreeSpace(), need)
+	}
+	off := p.FreeOff()
+	p.buf[off] = recType
+	binary.LittleEndian.PutUint64(p.buf[off+3:], trxID)
+	n := binary.PutUvarint(p.buf[off+recHdrSize:], uint64(len(payload)))
+	copy(p.buf[off+recHdrSize+n:], payload)
+	// Link into the order chain.
+	if prevOff == 0 {
+		binary.LittleEndian.PutUint16(p.buf[off+1:], uint16(p.FirstRecord()))
+		p.setFirstRecord(off)
+	} else {
+		prevNext := binary.LittleEndian.Uint16(p.buf[prevOff+1:])
+		binary.LittleEndian.PutUint16(p.buf[off+1:], prevNext)
+		binary.LittleEndian.PutUint16(p.buf[prevOff+1:], uint16(off))
+	}
+	p.setFreeOff(off + need)
+	p.setNumRecords(p.NumRecords() + 1)
+	return off, nil
+}
+
+// Append adds a record at the tail of the order chain; used by bulk
+// loading and by NDP page construction, where records arrive already in
+// key order.
+func (p *Page) Append(recType uint8, trxID uint64, payload []byte) (int, error) {
+	return p.InsertAfter(p.lastRecord(), recType, trxID, payload)
+}
+
+func (p *Page) lastRecord() int {
+	off := p.FirstRecord()
+	if off == 0 {
+		return 0
+	}
+	for {
+		next := int(binary.LittleEndian.Uint16(p.buf[off+1:]))
+		if next == 0 {
+			return off
+		}
+		off = next
+	}
+}
+
+// SetDeleteMark sets or clears the delete mark of the record at off.
+// Delete-marked records stay in the chain (InnoDB purge reclaims them
+// later; this reproduction reclaims on page rebuild).
+func (p *Page) SetDeleteMark(off int, deleted bool) {
+	if deleted {
+		p.buf[off] |= deleteMarkBit
+	} else {
+		p.buf[off] &^= deleteMarkBit
+	}
+}
+
+// SetTrxID overwrites the transaction id of the record at off.
+func (p *Page) SetTrxID(off int, trxID uint64) {
+	binary.LittleEndian.PutUint64(p.buf[off+3:], trxID)
+}
+
+// Unlink removes the record after prevOff (head if prevOff == 0) from the
+// order chain without reclaiming heap space. Returns the unlinked offset.
+func (p *Page) Unlink(prevOff int) int {
+	var victim int
+	if prevOff == 0 {
+		victim = p.FirstRecord()
+		if victim == 0 {
+			return 0
+		}
+		next := binary.LittleEndian.Uint16(p.buf[victim+1:])
+		p.setFirstRecord(int(next))
+	} else {
+		victim = int(binary.LittleEndian.Uint16(p.buf[prevOff+1:]))
+		if victim == 0 {
+			return 0
+		}
+		next := binary.LittleEndian.Uint16(p.buf[victim+1:])
+		binary.LittleEndian.PutUint16(p.buf[prevOff+1:], next)
+	}
+	p.setNumRecords(p.NumRecords() - 1)
+	return victim
+}
+
+// Iter walks the record chain in key order, calling fn for each record
+// (including delete-marked ones); fn returning false stops the walk.
+func (p *Page) Iter(fn func(Record) bool) {
+	for off := p.FirstRecord(); off != 0; {
+		r := p.RecordAt(off)
+		if !fn(r) {
+			return
+		}
+		off = r.next
+	}
+}
+
+// Records returns all records in key order; primarily for tests.
+func (p *Page) Records() []Record {
+	out := make([]Record, 0, p.NumRecords())
+	p.Iter(func(r Record) bool {
+		out = append(out, r)
+		return true
+	})
+	return out
+}
+
+// Compact rebuilds the heap dropping delete-marked records and reclaiming
+// free space; the order chain is preserved. Returns the number of records
+// dropped.
+func (p *Page) Compact() int {
+	fresh := &Page{buf: make([]byte, len(p.buf))}
+	fresh.init(p.ID(), p.IndexID(), p.Level())
+	fresh.buf[offFlags] = p.buf[offFlags]
+	fresh.SetLSN(p.LSN())
+	fresh.SetPrevPage(p.PrevPage())
+	fresh.SetNextPage(p.NextPage())
+	dropped := 0
+	p.Iter(func(r Record) bool {
+		if r.Deleted {
+			dropped++
+			return true
+		}
+		if _, err := fresh.Append(r.Type, r.TrxID, r.Payload); err != nil {
+			panic("page: compaction cannot overflow") // same or less data
+		}
+		return true
+	})
+	copy(p.buf, fresh.buf)
+	return dropped
+}

@@ -1,0 +1,322 @@
+package page
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewPageHeader(t *testing.T) {
+	p := New(42, 7, 1)
+	if p.ID() != 42 || p.IndexID() != 7 || p.Level() != 1 {
+		t.Fatalf("header fields wrong: id=%d idx=%d level=%d", p.ID(), p.IndexID(), p.Level())
+	}
+	if p.NumRecords() != 0 || p.FirstRecord() != 0 {
+		t.Fatal("new page should be empty")
+	}
+	if p.PrevPage() != InvalidPageID || p.NextPage() != InvalidPageID {
+		t.Fatal("page links should start invalid")
+	}
+	if p.IsNDP() {
+		t.Fatal("regular page must not have NDP flag")
+	}
+	if len(p.Bytes()) != Size {
+		t.Fatalf("regular page Bytes() = %d", len(p.Bytes()))
+	}
+	p.SetLSN(99)
+	if p.LSN() != 99 {
+		t.Fatal("LSN round trip")
+	}
+}
+
+func TestFromBytesValidation(t *testing.T) {
+	p := New(1, 1, 0)
+	q, err := FromBytes(p.Bytes())
+	if err != nil || q.ID() != 1 {
+		t.Fatalf("FromBytes: %v", err)
+	}
+	if _, err := FromBytes(make([]byte, 10)); err == nil {
+		t.Error("short buffer should fail")
+	}
+	bad := make([]byte, Size)
+	if _, err := FromBytes(bad); err == nil {
+		t.Error("zero magic should fail")
+	}
+}
+
+func TestInsertAndIterOrder(t *testing.T) {
+	p := New(1, 1, 0)
+	// Insert c, a, b via InsertAfter to exercise chain maintenance:
+	// a at head, b after a, c last.
+	offC, err := p.InsertAfter(0, RecOrdinary, 10, []byte("c"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	offA, err := p.InsertAfter(0, RecOrdinary, 11, []byte("a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err = p.InsertAfter(offA, RecOrdinary, 12, []byte("b")); err != nil {
+		t.Fatal(err)
+	}
+	_ = offC
+	var got []string
+	p.Iter(func(r Record) bool {
+		got = append(got, string(r.Payload))
+		return true
+	})
+	want := []string{"a", "b", "c"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+	if p.NumRecords() != 3 {
+		t.Fatalf("NumRecords = %d", p.NumRecords())
+	}
+	recs := p.Records()
+	if recs[0].TrxID != 11 || recs[2].TrxID != 10 {
+		t.Error("trx ids misplaced")
+	}
+}
+
+func TestAppendKeepsArrivalOrder(t *testing.T) {
+	p := New(1, 1, 0)
+	for i := 0; i < 10; i++ {
+		if _, err := p.Append(RecOrdinary, uint64(i), []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	recs := p.Records()
+	for i, r := range recs {
+		if r.Payload[0] != byte(i) {
+			t.Fatalf("record %d payload %d", i, r.Payload[0])
+		}
+	}
+}
+
+func TestRecordTypesAndDeleteMark(t *testing.T) {
+	p := New(1, 1, 0)
+	off, _ := p.Append(RecNDPAggregate, 5, []byte("agg"))
+	r := p.RecordAt(off)
+	if r.Type != RecNDPAggregate || r.Deleted {
+		t.Fatalf("record = %+v", r)
+	}
+	p.SetDeleteMark(off, true)
+	r = p.RecordAt(off)
+	if !r.Deleted || r.Type != RecNDPAggregate {
+		t.Fatal("delete mark must not clobber type")
+	}
+	p.SetDeleteMark(off, false)
+	if p.RecordAt(off).Deleted {
+		t.Fatal("unmark failed")
+	}
+	p.SetTrxID(off, 77)
+	if p.RecordAt(off).TrxID != 77 {
+		t.Fatal("SetTrxID failed")
+	}
+}
+
+func TestPageFull(t *testing.T) {
+	p := New(1, 1, 0)
+	payload := bytes.Repeat([]byte("x"), 100)
+	n := 0
+	for {
+		if !p.HasRoomFor(len(payload)) {
+			break
+		}
+		if _, err := p.Append(RecOrdinary, 0, payload); err != nil {
+			t.Fatalf("append with room reported: %v", err)
+		}
+		n++
+	}
+	if _, err := p.Append(RecOrdinary, 0, payload); err == nil {
+		t.Fatal("append to full page should fail")
+	}
+	if n < 100 {
+		t.Fatalf("expected >100 records in a 16K page, got %d", n)
+	}
+	if p.NumRecords() != n {
+		t.Fatalf("NumRecords %d != %d", p.NumRecords(), n)
+	}
+}
+
+func TestUnlink(t *testing.T) {
+	p := New(1, 1, 0)
+	offA, _ := p.Append(RecOrdinary, 0, []byte("a"))
+	p.Append(RecOrdinary, 0, []byte("b"))
+	p.Append(RecOrdinary, 0, []byte("c"))
+	// Unlink b (after a).
+	if v := p.Unlink(offA); v == 0 {
+		t.Fatal("unlink failed")
+	}
+	var got []string
+	p.Iter(func(r Record) bool {
+		got = append(got, string(r.Payload))
+		return true
+	})
+	if len(got) != 2 || got[0] != "a" || got[1] != "c" {
+		t.Fatalf("after unlink: %v", got)
+	}
+	// Unlink head.
+	p.Unlink(0)
+	if p.NumRecords() != 1 || string(p.Records()[0].Payload) != "c" {
+		t.Fatalf("after head unlink: %v", p.Records())
+	}
+	// Unlink at tail returns 0.
+	last := p.FirstRecord()
+	if v := p.Unlink(last); v != 0 {
+		t.Fatal("unlink past end should return 0")
+	}
+	// Unlink from empty page.
+	p.Unlink(0)
+	if v := p.Unlink(0); v != 0 {
+		t.Fatal("unlink on empty should return 0")
+	}
+}
+
+func TestCompact(t *testing.T) {
+	p := New(9, 3, 0)
+	p.SetLSN(123)
+	p.SetPrevPage(7)
+	p.SetNextPage(8)
+	var offs []int
+	for i := 0; i < 6; i++ {
+		off, _ := p.Append(RecOrdinary, uint64(i), []byte{byte('a' + i)})
+		offs = append(offs, off)
+	}
+	p.SetDeleteMark(offs[1], true)
+	p.SetDeleteMark(offs[4], true)
+	before := p.FreeSpace()
+	if dropped := p.Compact(); dropped != 2 {
+		t.Fatalf("dropped = %d", dropped)
+	}
+	if p.FreeSpace() <= before {
+		t.Error("compaction should reclaim space")
+	}
+	var got []byte
+	p.Iter(func(r Record) bool {
+		got = append(got, r.Payload[0])
+		return true
+	})
+	if string(got) != "acdf" {
+		t.Fatalf("after compact: %q", got)
+	}
+	if p.LSN() != 123 || p.PrevPage() != 7 || p.NextPage() != 8 || p.ID() != 9 {
+		t.Error("compact must preserve header fields")
+	}
+}
+
+func TestNDPPage(t *testing.T) {
+	p := NewNDP(5, 2, 4096)
+	if !p.IsNDP() {
+		t.Fatal("NDP flag missing")
+	}
+	p.Append(RecNDPProjection, 1, []byte("narrow"))
+	b := p.Bytes()
+	if len(b) >= 4096 {
+		t.Fatalf("NDP Bytes() should truncate to used size, got %d", len(b))
+	}
+	q, err := FromBytes(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !q.IsNDP() || q.NumRecords() != 1 || q.Records()[0].Type != RecNDPProjection {
+		t.Fatal("NDP page round trip failed")
+	}
+	// Empty-page marker.
+	e := NewNDP(6, 2, 0)
+	e.SetFlags(FlagNDPEmpty)
+	if !e.IsNDPEmpty() {
+		t.Fatal("empty marker")
+	}
+	if len(e.Bytes()) != HeaderSize {
+		t.Fatalf("empty NDP page should be header-only, got %d bytes", len(e.Bytes()))
+	}
+	// Skipped marker.
+	s := New(7, 2, 0)
+	s.SetFlags(FlagNDPSkipped)
+	if !s.IsNDPSkipped() {
+		t.Fatal("skipped marker")
+	}
+	// Capacity clamping.
+	big := NewNDP(1, 1, MaxNDPSize*2)
+	if len(big.buf) != MaxNDPSize {
+		t.Fatalf("capacity should clamp to %d, got %d", MaxNDPSize, len(big.buf))
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	p := New(1, 1, 0)
+	p.Append(RecOrdinary, 0, []byte("x"))
+	q := p.Clone()
+	q.Append(RecOrdinary, 0, []byte("y"))
+	if p.NumRecords() != 1 || q.NumRecords() != 2 {
+		t.Fatal("clone aliases original")
+	}
+}
+
+// Property: inserting random records in sorted position (by payload) via
+// InsertAfter always yields a sorted iteration, and record count and
+// payloads survive.
+func TestInsertSortedQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		p := New(1, 1, 0)
+		n := 1 + r.Intn(60)
+		var want []string
+		for i := 0; i < n; i++ {
+			payload := []byte(fmt.Sprintf("%04d", r.Intn(1000)))
+			// Find insert position: last record < payload.
+			prev := 0
+			for off := p.FirstRecord(); off != 0; {
+				rec := p.RecordAt(off)
+				if bytes.Compare(rec.Payload, payload) >= 0 {
+					break
+				}
+				prev = off
+				off = rec.Next()
+			}
+			if _, err := p.InsertAfter(prev, RecOrdinary, uint64(i), payload); err != nil {
+				return false
+			}
+			want = append(want, string(payload))
+		}
+		sort.Strings(want)
+		var got []string
+		p.Iter(func(rec Record) bool {
+			got = append(got, string(rec.Payload))
+			return true
+		})
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return p.NumRecords() == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIterEarlyStop(t *testing.T) {
+	p := New(1, 1, 0)
+	for i := 0; i < 5; i++ {
+		p.Append(RecOrdinary, 0, []byte{byte(i)})
+	}
+	count := 0
+	p.Iter(func(Record) bool {
+		count++
+		return count < 3
+	})
+	if count != 3 {
+		t.Fatalf("early stop visited %d", count)
+	}
+}

@@ -1,0 +1,280 @@
+// Package pagestore implements the Page Store service of §II and §IV-D:
+// a multi-tenant storage node that hosts slices from multiple database
+// frontends, keeps pages up to date by applying redo log records, serves
+// page reads at requested LSNs, and performs best-effort NDP processing
+// through DBMS-specific plugins.
+package pagestore
+
+import (
+	"fmt"
+	"sync"
+
+	"taurus/internal/cluster"
+	"taurus/internal/page"
+	"taurus/internal/wal"
+)
+
+// VersionRetention is how many historical versions of a page a store
+// keeps so that LSN-stamped batch reads can be served while writers move
+// the page forward (§IV-C4's LSN versioning).
+const VersionRetention = 8
+
+type sliceKey struct {
+	tenant  uint32
+	sliceID uint32
+}
+
+// pageVersions is the per-page version chain, ascending LSN.
+type pageVersions struct {
+	versions []*page.Page
+}
+
+func (pv *pageVersions) latest() *page.Page {
+	if len(pv.versions) == 0 {
+		return nil
+	}
+	return pv.versions[len(pv.versions)-1]
+}
+
+// at returns the newest version with LSN <= lsn (or nil).
+func (pv *pageVersions) at(lsn uint64) *page.Page {
+	for i := len(pv.versions) - 1; i >= 0; i-- {
+		if pv.versions[i].LSN() <= lsn {
+			return pv.versions[i]
+		}
+	}
+	return nil
+}
+
+func (pv *pageVersions) push(pg *page.Page) {
+	pv.versions = append(pv.versions, pg)
+	if len(pv.versions) > VersionRetention {
+		pv.versions = pv.versions[len(pv.versions)-VersionRetention:]
+	}
+}
+
+// slice holds the pages of one 10 GB database segment (scaled down here;
+// slice sizing is the SAL's concern).
+type slice struct {
+	mu         sync.RWMutex
+	pages      map[uint64]*pageVersions
+	appliedLSN uint64
+}
+
+// Store is one Page Store node.
+type Store struct {
+	name string
+
+	mu     sync.RWMutex
+	slices map[sliceKey]*slice
+
+	// NDP machinery.
+	descCache *DescriptorCache
+	control   *ResourceControl
+	plugins   map[string]Plugin
+
+	// Metrics.
+	stats Stats
+}
+
+// Stats counts Page Store activity.
+type Stats struct {
+	mu                sync.Mutex
+	LogRecordsApplied uint64
+	PageReads         uint64
+	BatchReads        uint64
+	NDPPagesProcessed uint64
+	NDPPagesSkipped   uint64
+	NDPRecordsIn      uint64
+	NDPRecordsOut     uint64
+}
+
+// StatsSnapshot is a copy of the counters.
+type StatsSnapshot struct {
+	LogRecordsApplied uint64
+	PageReads         uint64
+	BatchReads        uint64
+	NDPPagesProcessed uint64
+	NDPPagesSkipped   uint64
+	NDPRecordsIn      uint64
+	NDPRecordsOut     uint64
+}
+
+// Option configures a Store.
+type Option func(*Store)
+
+// WithResourceControl replaces the default NDP resource controller.
+func WithResourceControl(rc *ResourceControl) Option {
+	return func(s *Store) { s.control = rc }
+}
+
+// WithDescriptorCache replaces the default descriptor cache (useful for
+// the cache-ablation benchmark).
+func WithDescriptorCache(c *DescriptorCache) Option {
+	return func(s *Store) { s.descCache = c }
+}
+
+// New creates a Page Store node. The InnoDB plugin is pre-registered
+// under PluginInnoDB, mirroring how "DBMS-specific shared libraries can
+// be loaded as plugins into the Page Stores".
+func New(name string, opts ...Option) *Store {
+	s := &Store{
+		name:      name,
+		slices:    make(map[sliceKey]*slice),
+		descCache: NewDescriptorCache(256),
+		control:   NewResourceControl(4, 1024),
+		plugins:   make(map[string]Plugin),
+	}
+	s.RegisterPlugin(innoDBPlugin{})
+	for _, o := range opts {
+		o(s)
+	}
+	return s
+}
+
+// Name returns the node name.
+func (s *Store) Name() string { return s.name }
+
+// RegisterPlugin installs a DBMS-specific NDP plugin.
+func (s *Store) RegisterPlugin(p Plugin) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.plugins[p.Name()] = p
+}
+
+// Handle implements cluster.Handler.
+func (s *Store) Handle(req any) (any, error) {
+	switch m := req.(type) {
+	case *cluster.CreateSliceReq:
+		s.CreateSlice(m.Tenant, m.SliceID)
+		return &cluster.Ack{}, nil
+	case *cluster.WriteLogsReq:
+		lsn, err := s.WriteLogs(m.Tenant, m.SliceID, m.Recs)
+		if err != nil {
+			return nil, err
+		}
+		return &cluster.Ack{LSN: lsn}, nil
+	case *cluster.ReadPageReq:
+		pg, err := s.ReadPage(m.Tenant, m.SliceID, m.PageID, m.LSN)
+		if err != nil {
+			return nil, err
+		}
+		return &cluster.PageResp{Page: pg}, nil
+	case *cluster.BatchReadReq:
+		return s.BatchRead(m)
+	default:
+		return nil, fmt.Errorf("pagestore %s: unsupported request %T", s.name, req)
+	}
+}
+
+// CreateSlice provisions an empty slice; idempotent.
+func (s *Store) CreateSlice(tenant, sliceID uint32) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	k := sliceKey{tenant, sliceID}
+	if _, ok := s.slices[k]; !ok {
+		s.slices[k] = &slice{pages: make(map[uint64]*pageVersions)}
+	}
+}
+
+func (s *Store) slice(tenant, sliceID uint32) (*slice, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	sl, ok := s.slices[sliceKey{tenant, sliceID}]
+	if !ok {
+		return nil, fmt.Errorf("pagestore %s: no slice %d/%d", s.name, tenant, sliceID)
+	}
+	return sl, nil
+}
+
+// WriteLogs applies a batch of encoded redo records to the slice's pages,
+// in order, creating new page versions. Returns the applied LSN.
+func (s *Store) WriteLogs(tenant, sliceID uint32, encoded []byte) (uint64, error) {
+	sl, err := s.slice(tenant, sliceID)
+	if err != nil {
+		return 0, err
+	}
+	recs, err := wal.DecodeAll(encoded)
+	if err != nil {
+		return 0, err
+	}
+	sl.mu.Lock()
+	defer sl.mu.Unlock()
+	for i := range recs {
+		rec := &recs[i]
+		if rec.LSN <= sl.appliedLSN {
+			continue // idempotent redelivery
+		}
+		if rec.Type == wal.TypeFormatPage {
+			pg := page.New(rec.PageID, rec.IndexID, rec.Level)
+			pg.SetLSN(rec.LSN)
+			pv := &pageVersions{}
+			pv.push(pg)
+			sl.pages[rec.PageID] = pv
+		} else {
+			pv, ok := sl.pages[rec.PageID]
+			if !ok {
+				return 0, fmt.Errorf("pagestore %s: log for unknown page %d", s.name, rec.PageID)
+			}
+			// Copy-on-write: clone the latest version, apply, push.
+			next := pv.latest().Clone()
+			if err := wal.Apply(next, rec); err != nil {
+				return 0, err
+			}
+			pv.push(next)
+		}
+		sl.appliedLSN = rec.LSN
+		s.stats.mu.Lock()
+		s.stats.LogRecordsApplied++
+		s.stats.mu.Unlock()
+	}
+	return sl.appliedLSN, nil
+}
+
+// ReadPage returns the encoded page image at the requested LSN (0 =
+// latest).
+func (s *Store) ReadPage(tenant, sliceID uint32, pageID, lsn uint64) ([]byte, error) {
+	sl, err := s.slice(tenant, sliceID)
+	if err != nil {
+		return nil, err
+	}
+	sl.mu.RLock()
+	pv, ok := sl.pages[pageID]
+	var pg *page.Page
+	if ok {
+		if lsn == 0 {
+			pg = pv.latest()
+		} else {
+			pg = pv.at(lsn)
+		}
+	}
+	sl.mu.RUnlock()
+	if pg == nil {
+		return nil, fmt.Errorf("pagestore %s: page %d not found (lsn %d)", s.name, pageID, lsn)
+	}
+	s.stats.mu.Lock()
+	s.stats.PageReads++
+	s.stats.mu.Unlock()
+	// Return a copy: callers must never alias internal versions.
+	return append([]byte(nil), pg.Bytes()...), nil
+}
+
+// Snapshot returns a copy of the store's statistics.
+func (s *Store) Snapshot() StatsSnapshot {
+	s.stats.mu.Lock()
+	defer s.stats.mu.Unlock()
+	return StatsSnapshot{
+		LogRecordsApplied: s.stats.LogRecordsApplied,
+		PageReads:         s.stats.PageReads,
+		BatchReads:        s.stats.BatchReads,
+		NDPPagesProcessed: s.stats.NDPPagesProcessed,
+		NDPPagesSkipped:   s.stats.NDPPagesSkipped,
+		NDPRecordsIn:      s.stats.NDPRecordsIn,
+		NDPRecordsOut:     s.stats.NDPRecordsOut,
+	}
+}
+
+// DescCacheStats exposes descriptor cache statistics.
+func (s *Store) DescCacheStats() (hits, misses uint64) {
+	return s.descCache.Stats()
+}

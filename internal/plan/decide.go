@@ -1,0 +1,488 @@
+package plan
+
+import (
+	"fmt"
+	"strings"
+
+	"taurus/internal/core"
+	"taurus/internal/core/ir"
+	"taurus/internal/engine"
+	"taurus/internal/exec"
+	"taurus/internal/expr"
+	"taurus/internal/types"
+)
+
+// AccessSpec describes one table access in a finalized plan, the unit
+// the NDP post-processor works on.
+type AccessSpec struct {
+	Table string
+	Index *engine.Index
+	// Predicate is the complete single-table condition (index schema
+	// ordinals); the classical pushdown has already moved it into the
+	// table access. Cross-table predicates never appear here (§V-B1).
+	Predicate *expr.Expr
+	// Output lists the index-schema ordinals the query needs.
+	Output []int
+	// Range optionally bounds the scan on the leading key column
+	// (inclusive); derived from Predicate by the caller.
+	Range *KeyRange
+	// PointLookup marks accesses that read only a few rows; NDP is
+	// never considered for them (§IV-B).
+	PointLookup bool
+	// LastInBlock marks the last table accessed in its query block —
+	// a precondition for aggregation pushdown (§V-C).
+	LastInBlock bool
+	// Aggs describe the block's aggregates (candidates for pushdown)
+	// when LastInBlock. GroupBy uses output-layout ordinals.
+	Aggs    []AggCandidate
+	GroupBy []int
+	// Residual, set by Decide, holds predicate conjuncts that could not
+	// be pushed (evaluated by the executor).
+	Residual *expr.Expr
+}
+
+// AggCandidate is one aggregate the block computes.
+type AggCandidate struct {
+	Fn core.AggFn
+	// AvgOf marks a pseudo-candidate produced by AVG decomposition (not
+	// set by callers; used by BuildAggScan).
+	// ArgCol is the argument ordinal in the scan output layout (-1 for
+	// COUNT(*)).
+	ArgCol int
+	// ArgExpr optionally computes the argument from the output layout
+	// (e.g. l_extendedprice * (1 - l_discount)); it must be
+	// IR-compilable to push.
+	ArgExpr *expr.Expr
+	// Avg marks AVG aggregates: decomposed into SUM+COUNT for pushdown.
+	Avg  bool
+	Name string
+}
+
+// KeyRange bounds the leading key column.
+type KeyRange struct {
+	Start, End         types.Row // encoded via types.EncodeKey at build
+	StartOpen, EndOpen bool      // reserved; bounds are inclusive
+}
+
+// Decision is the outcome of the NDP post-processing for one access.
+type Decision struct {
+	Projection  bool
+	Predicate   bool
+	Aggregation bool
+	// EstimatedIOPages is the estimate against the threshold.
+	EstimatedIOPages int64
+	// Selectivity is the estimated predicate selectivity.
+	Selectivity float64
+	// WidthRatio is projected/full width.
+	WidthRatio float64
+	// Reasons collects human-readable rationale for EXPLAIN/debugging.
+	Reasons []string
+}
+
+// NDPEnabled reports whether the access becomes an NDP scan at all.
+func (d Decision) NDPEnabled() bool { return d.Projection || d.Predicate || d.Aggregation }
+
+// Decide runs the paper's post-processing rules for one table access.
+// "For each table access in the final plan, the optimizer considers NDP
+// column projection and NDP predicate evaluation. For the last table
+// access in a query block, the optimizer also considers NDP aggregation
+// ... If the optimizer enables any of the three NDP features, the table
+// access is marked as an 'NDP scan'" (§IV-B).
+func (c *Catalog) Decide(a *AccessSpec) Decision {
+	var d Decision
+	note := func(f string, args ...any) { d.Reasons = append(d.Reasons, fmt.Sprintf(f, args...)) }
+
+	if a.PointLookup {
+		note("point lookup: NDP not considered")
+		a.Residual = nil
+		return d
+	}
+	st := c.stats[a.Table]
+	if st == nil {
+		note("no statistics: NDP not considered")
+		return d
+	}
+	// Estimated I/O = estimated scan pages − buffer-resident pages for
+	// this index (§VII-C footnote: "if 5,000 of the table's pages are
+	// in the buffer pool, only about 9,000 I/O's can be expected").
+	scanPages := st.LeafPages
+	d.Selectivity = c.Selectivity(a.Table, a.Index, a.Predicate)
+	if a.Range != nil {
+		// A range scan touches roughly the selectivity fraction of the
+		// leaf level.
+		scanPages = int64(float64(scanPages)*rangeFraction(c, a)) + 1
+	}
+	resident := int64(c.Eng.Pool().ResidentByIndex()[a.Index.ID])
+	d.EstimatedIOPages = scanPages - resident
+	if d.EstimatedIOPages < 0 {
+		d.EstimatedIOPages = 0
+	}
+	if d.EstimatedIOPages < c.NDPPageThreshold {
+		note("estimated I/O %d pages below threshold %d (scan %d, resident %d)",
+			d.EstimatedIOPages, c.NDPPageThreshold, scanPages, resident)
+		return d
+	}
+
+	// Projection rule (§V-A): compare needed width against full width.
+	fullW := indexWidth(a.Index, st, nil)
+	projW := indexWidth(a.Index, st, a.Output)
+	if fullW > 0 {
+		d.WidthRatio = float64(projW) / float64(fullW)
+	}
+	if len(a.Output) > 0 && len(a.Output) < a.Index.Schema.Len() && d.WidthRatio <= c.ProjectionBenefit {
+		d.Projection = true
+		note("projection pushed: width ratio %.2f ≤ %.2f", d.WidthRatio, c.ProjectionBenefit)
+	} else if len(a.Output) > 0 && len(a.Output) < a.Index.Schema.Len() {
+		note("projection not pushed: width ratio %.2f", d.WidthRatio)
+	}
+
+	// Predicate rule (§V-B1): split conjuncts into NDP-eligible and
+	// residual; push only if sufficiently selective — unless pushing
+	// unlocks aggregation pushdown, which collapses the data stream
+	// regardless of filter selectivity (the Q001 COUNT(*) pattern).
+	var pushable, residual []*expr.Expr
+	for _, cj := range expr.Conjuncts(a.Predicate) {
+		if ir.Eligible(cj) {
+			pushable = append(pushable, cj)
+		} else {
+			residual = append(residual, cj)
+		}
+	}
+	aggPossible := len(a.Aggs) > 0 && a.LastInBlock && len(residual) == 0 &&
+		(len(a.GroupBy) == 0 || groupSatisfiedByIndex(a)) && aggsPushable(a)
+	switch {
+	case len(pushable) > 0 && d.Selectivity <= c.MaxNDPSelectivity:
+		d.Predicate = true
+		note("predicate pushed: selectivity %.3f ≤ %.2f (%d conjuncts, %d residual)",
+			d.Selectivity, c.MaxNDPSelectivity, len(pushable), len(residual))
+	case len(pushable) > 0 && aggPossible:
+		d.Predicate = true
+		note("predicate pushed despite selectivity %.3f: enables aggregation pushdown",
+			d.Selectivity)
+	case len(pushable) > 0:
+		note("predicate not pushed: selectivity %.3f", d.Selectivity)
+		residual = append(pushable, residual...)
+		pushable = nil
+	}
+	a.Residual = expr.AndAll(residual...)
+
+	// Aggregation rule (§V-C): last table in the block, no residual
+	// predicates, grouping satisfied by the index order.
+	if len(a.Aggs) > 0 {
+		switch {
+		case !a.LastInBlock:
+			note("aggregation not pushed: not the last table in the query block")
+		case a.Residual != nil:
+			note("aggregation not pushed: residual predicates remain")
+		case len(a.GroupBy) > 0 && !groupSatisfiedByIndex(a):
+			note("aggregation not pushed: index does not satisfy GROUP BY order")
+		case !aggsPushable(a):
+			note("aggregation not pushed: aggregate not supported by Page Stores")
+		default:
+			d.Aggregation = true
+			note("aggregation pushed: %d aggregates", len(a.Aggs))
+		}
+	}
+	return d
+}
+
+// rangeFraction estimates what fraction of the leaf level a bounded scan
+// touches.
+func rangeFraction(c *Catalog, a *AccessSpec) float64 {
+	st := c.stats[a.Table]
+	if st == nil || a.Range == nil {
+		return 1
+	}
+	keyOrd := a.Index.KeyCols[0]
+	tblOrd := a.Index.TableOrds[keyOrd]
+	if tblOrd >= len(st.Cols) {
+		return 1
+	}
+	cs := st.Cols[tblOrd]
+	if cs.Min.IsNull() || cs.Max.IsNull() || cs.Min.K == types.KindString {
+		return 1
+	}
+	lo, hi := cs.Min.Float(), cs.Max.Float()
+	if hi <= lo {
+		return 1
+	}
+	s, e := lo, hi
+	if len(a.Range.Start) > 0 {
+		s = a.Range.Start[0].Float()
+	}
+	if len(a.Range.End) > 0 {
+		e = a.Range.End[0].Float()
+	}
+	return clamp01((e - s) / (hi - lo))
+}
+
+// indexWidth estimates the stored width of the given ordinals (nil =
+// all) using stats-backed average lengths.
+func indexWidth(idx *engine.Index, st *TableStats, ords []int) int {
+	w := 0
+	use := ords
+	if use == nil {
+		use = make([]int, idx.Schema.Len())
+		for i := range use {
+			use[i] = i
+		}
+	}
+	for _, o := range use {
+		col := idx.Schema.Cols[o]
+		cw := col.Width()
+		if col.Kind == types.KindString {
+			if t := idx.TableOrds[o]; st != nil && t < len(st.Cols) && st.Cols[t].AvgLen > 0 {
+				cw = st.Cols[t].AvgLen
+			}
+		}
+		w += cw
+	}
+	return w
+}
+
+// groupSatisfiedByIndex checks that the GROUP BY columns are a prefix of
+// the index key in order. GroupBy ordinals address the output layout, so
+// map back through Output first.
+func groupSatisfiedByIndex(a *AccessSpec) bool {
+	if len(a.GroupBy) > len(a.Index.KeyCols) {
+		return false
+	}
+	for i, g := range a.GroupBy {
+		ord := g
+		if len(a.Output) > 0 {
+			if g >= len(a.Output) {
+				return false
+			}
+			ord = a.Output[g]
+		}
+		if a.Index.KeyCols[i] != ord {
+			return false
+		}
+	}
+	return true
+}
+
+// aggsPushable verifies every aggregate candidate can be expressed as a
+// core.AggSpec (IR-compilable argument or plain column).
+func aggsPushable(a *AccessSpec) bool {
+	for _, ag := range a.Aggs {
+		if ag.ArgExpr != nil && !ir.Eligible(ag.ArgExpr) {
+			return false
+		}
+	}
+	return true
+}
+
+// BuildScan materializes the access as an executor operator according to
+// the decision. Residual predicates are evaluated by a Filter placed
+// directly above the scan ("the residual non-NDP predicates are
+// evaluated by the SQL executor", §V-B1); the columns they reference are
+// appended to the projected output so the executor can see them, leaving
+// the caller's requested ordinals unchanged. Aggregation-pushed accesses
+// return an NDPAggScan.
+func (c *Catalog) BuildScan(a *AccessSpec, d Decision) (exec.Operator, error) {
+	outCols := a.Output
+	if len(outCols) == 0 {
+		outCols = make([]int, a.Index.Schema.Len())
+		for i := range outCols {
+			outCols[i] = i
+		}
+	}
+	// Extend the read set with residual-predicate columns (appended so
+	// existing ordinals stay stable) and remap the residual onto the
+	// output layout.
+	var residual *expr.Expr
+	if a.Residual != nil {
+		pos := make(map[int]int, len(outCols))
+		for i, o := range outCols {
+			pos[o] = i
+		}
+		remap := make(map[int]int)
+		for col := range a.Residual.ColumnSet() {
+			if p, ok := pos[col]; ok {
+				remap[col] = p
+				continue
+			}
+			outCols = append(outCols, col)
+			pos[col] = len(outCols) - 1
+			remap[col] = len(outCols) - 1
+		}
+		residual = a.Residual.Remap(remap)
+	}
+	names := make([]string, len(outCols))
+	for i, o := range outCols {
+		names[i] = a.Index.Schema.Cols[o].Name
+	}
+	withResidual := func(op exec.Operator) exec.Operator {
+		if residual == nil {
+			return op
+		}
+		return &exec.Filter{Input: op, Pred: residual}
+	}
+	opts := engine.ScanOptions{
+		Index:      a.Index,
+		Predicate:  a.Predicate,
+		Projection: outCols,
+	}
+	if a.Range != nil {
+		if len(a.Range.Start) > 0 {
+			opts.Start = types.EncodeKey(nil, a.Range.Start)
+		}
+		if len(a.Range.End) > 0 {
+			// Bounds are prefix-inclusive: composite index keys that
+			// extend the End prefix must still fall inside the range
+			// (exact row-level filtering is the predicate's job).
+			opts.End = append(types.EncodeKey(nil, a.Range.End), 0xFF)
+		}
+	}
+	if !d.NDPEnabled() {
+		return withResidual(&exec.TableScan{Opts: opts, Cols: names}), nil
+	}
+	// Aggregation pushdown requires the descriptor's layout to match
+	// the scan's projected output layout, so it implies projection.
+	ndp := &engine.NDPPush{
+		PushPredicate:  d.Predicate,
+		PushProjection: d.Projection || d.Aggregation,
+	}
+	opts.NDP = ndp
+	if !d.Aggregation {
+		return withResidual(&exec.TableScan{Opts: opts, Cols: names}), nil
+	}
+	// Aggregation pushdown: translate candidates to core specs with AVG
+	// decomposition.
+	specs, outputs, err := translateAggs(a, outCols)
+	if err != nil {
+		return nil, err
+	}
+	ndp.Aggs = specs
+	ndp.GroupBy = a.GroupBy
+	return &exec.NDPAggScan{Opts: opts, Outputs: outputs}, nil
+}
+
+// translateAggs converts candidates into pushed core.AggSpecs plus the
+// executor-side finalization mapping. AVG(x) becomes SUM(x)+COUNT(x):
+// "AVG is computed by keeping SUM and COUNT values" (§III).
+func translateAggs(a *AccessSpec, outCols []int) ([]core.AggSpec, []exec.AggOutput, error) {
+	var specs []core.AggSpec
+	var outputs []exec.AggOutput
+	addSpec := func(fn core.AggFn, cand AggCandidate) (int, error) {
+		spec := core.AggSpec{Fn: fn, ArgCol: int32(cand.ArgCol)}
+		if cand.ArgExpr != nil {
+			prog, err := ir.Compile(cand.ArgExpr, len(outCols))
+			if err != nil {
+				return 0, err
+			}
+			spec.ArgIR = prog.Encode()
+			spec.ArgCol = -1
+		}
+		specs = append(specs, spec)
+		return len(specs) - 1, nil
+	}
+	for _, cand := range a.Aggs {
+		if cand.Avg {
+			sumIdx, err := addSpec(core.AggSum, cand)
+			if err != nil {
+				return nil, nil, err
+			}
+			cntFn := core.AggCount
+			if cand.ArgCol < 0 && cand.ArgExpr == nil {
+				cntFn = core.AggCountStar
+			}
+			cntIdx, err := addSpec(cntFn, cand)
+			if err != nil {
+				return nil, nil, err
+			}
+			outputs = append(outputs, exec.AggOutput{Spec: sumIdx, AvgCount: cntIdx, Name: cand.Name})
+			continue
+		}
+		idx, err := addSpec(cand.Fn, cand)
+		if err != nil {
+			return nil, nil, err
+		}
+		outputs = append(outputs, exec.AggOutput{Spec: idx, AvgCount: -1, Name: cand.Name})
+	}
+	return specs, outputs, nil
+}
+
+// BuildAccess is the one-stop entry: it runs the NDP decision (when ndp
+// is true), builds the scan, and — when the access carries aggregates
+// that were NOT pushed — tops it with the executor HashAgg fallback, so
+// callers get identical semantics with NDP on or off. having filters
+// final aggregate rows (output-layout ordinals).
+func (c *Catalog) BuildAccess(a *AccessSpec, ndp bool, having *expr.Expr) (exec.Operator, Decision, error) {
+	var dec Decision
+	if ndp {
+		dec = c.Decide(a)
+	} else {
+		a.Residual = nil
+	}
+	op, err := c.BuildScan(a, dec)
+	if err != nil {
+		return nil, dec, err
+	}
+	if len(a.Aggs) == 0 {
+		return op, dec, nil
+	}
+	if dec.Aggregation {
+		op.(*exec.NDPAggScan).Having = having
+		return op, dec, nil
+	}
+	groupExprs := make([]*expr.Expr, len(a.GroupBy))
+	groupNames := make([]string, len(a.GroupBy))
+	for i, g := range a.GroupBy {
+		groupExprs[i] = expr.Col(g, "")
+		groupNames[i] = a.Index.Schema.Cols[a.Output[g]].Name
+	}
+	defs := make([]exec.AggDef, len(a.Aggs))
+	for i, cand := range a.Aggs {
+		def := exec.AggDef{Name: cand.Name}
+		switch {
+		case cand.Avg:
+			def.Fn = exec.AggFnAvg
+		case cand.Fn == core.AggCountStar:
+			def.Fn = exec.AggFnCountStar
+		case cand.Fn == core.AggCount:
+			def.Fn = exec.AggFnCount
+		case cand.Fn == core.AggSum:
+			def.Fn = exec.AggFnSum
+		case cand.Fn == core.AggMin:
+			def.Fn = exec.AggFnMin
+		default:
+			def.Fn = exec.AggFnMax
+		}
+		if cand.ArgExpr != nil {
+			def.Arg = cand.ArgExpr
+		} else if cand.ArgCol >= 0 {
+			def.Arg = expr.Col(cand.ArgCol, "")
+		}
+		defs[i] = def
+	}
+	return &exec.HashAgg{
+		Input: op, GroupBy: groupExprs, GroupNames: groupNames,
+		Aggs: defs, Having: having,
+	}, dec, nil
+}
+
+// ExplainExtras renders the Listing 2 EXPLAIN extras for one access.
+func ExplainExtras(a *AccessSpec, d Decision) string {
+	var parts []string
+	if d.Predicate && a.Predicate != nil {
+		pushed := make([]*expr.Expr, 0)
+		for _, cj := range expr.Conjuncts(a.Predicate) {
+			if ir.Eligible(cj) {
+				pushed = append(pushed, cj)
+			}
+		}
+		parts = append(parts, fmt.Sprintf("Using pushed NDP condition (%s)", expr.AndAll(pushed...)))
+	}
+	if d.Projection {
+		parts = append(parts, "Using pushed NDP columns")
+	}
+	if d.Aggregation {
+		parts = append(parts, "Using pushed NDP aggregate")
+	}
+	if len(parts) == 0 {
+		return ""
+	}
+	return strings.Join(parts, "; ")
+}

@@ -1,0 +1,332 @@
+package plan
+
+import (
+	"strings"
+	"testing"
+
+	"taurus/internal/core"
+	"taurus/internal/exec"
+	"taurus/internal/expr"
+	"taurus/internal/testutil"
+	"taurus/internal/types"
+)
+
+func workerCatalog(t testing.TB, rows int) (*testutil.Cluster, *Catalog) {
+	t.Helper()
+	c, err := testutil.NewCluster(testutil.Options{PoolPages: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.LoadWorkers(rows); err != nil {
+		t.Fatal(err)
+	}
+	cat := NewCatalog(c.Engine)
+	cat.NDPPageThreshold = 4 // scaled for tiny test tables
+	if _, err := cat.Analyze("worker"); err != nil {
+		t.Fatal(err)
+	}
+	return c, cat
+}
+
+func TestAnalyzeStats(t *testing.T) {
+	_, cat := workerCatalog(t, 500)
+	st := cat.Stats("worker")
+	if st.Rows != 500 {
+		t.Fatalf("rows = %d", st.Rows)
+	}
+	if st.Cols[0].Distinct != 500 {
+		t.Errorf("id distinct = %d", st.Cols[0].Distinct)
+	}
+	if st.Cols[0].Min.I != 0 || st.Cols[0].Max.I != 499 {
+		t.Errorf("id range = [%v, %v]", st.Cols[0].Min, st.Cols[0].Max)
+	}
+	if st.Cols[1].Min.I < 20 || st.Cols[1].Max.I > 59 {
+		t.Errorf("age range = [%v, %v]", st.Cols[1].Min, st.Cols[1].Max)
+	}
+	if st.LeafPages < 1 {
+		t.Error("leaf pages estimate missing")
+	}
+	if st.Cols[4].AvgLen == 0 {
+		t.Error("string avg len missing")
+	}
+}
+
+func TestSelectivityEstimates(t *testing.T) {
+	c, cat := workerCatalog(t, 1000)
+	tbl, _ := c.Engine.Table("worker")
+	idx := tbl.Primary
+	cases := []struct {
+		pred   *expr.Expr
+		lo, hi float64
+	}{
+		// id = const: 1/1000
+		{expr.EQ(expr.Col(0, "id"), expr.ConstInt(5)), 0.0005, 0.01},
+		// age < 30: ~25% of [20,59]
+		{expr.LT(expr.Col(1, "age"), expr.ConstInt(30)), 0.1, 0.45},
+		// age between 25 and 30: narrow
+		{expr.Between(expr.Col(1, "age"), expr.ConstInt(25), expr.ConstInt(30)), 0.02, 0.35},
+		// AND multiplies
+		{expr.And(expr.LT(expr.Col(1, "age"), expr.ConstInt(30)), expr.EQ(expr.Col(0, "id"), expr.ConstInt(5))), 0, 0.01},
+		// NOT complements
+		{expr.Not(expr.LT(expr.Col(1, "age"), expr.ConstInt(30))), 0.5, 1},
+		// LIKE prefix
+		{expr.Like(expr.Col(4, "name"), expr.ConstString("worker-0001%")), 0.01, 0.1},
+		// IN over distinct ages
+		{expr.In(expr.Col(1, "age"), expr.ConstInt(25), expr.ConstInt(26)), 0.01, 0.2},
+	}
+	for _, tc := range cases {
+		got := cat.Selectivity("worker", idx, tc.pred)
+		if got < tc.lo || got > tc.hi {
+			t.Errorf("Selectivity(%s) = %.4f, want [%.4f, %.4f]", tc.pred, got, tc.lo, tc.hi)
+		}
+	}
+	if cat.Selectivity("worker", idx, nil) != 1 {
+		t.Error("nil predicate must have selectivity 1")
+	}
+}
+
+func TestDecideEnablesAllThree(t *testing.T) {
+	c, cat := workerCatalog(t, 3000)
+	tbl, _ := c.Engine.Table("worker")
+	c.Engine.Pool().Clear() // cold pool → full estimated I/O
+	a := &AccessSpec{
+		Table: "worker", Index: tbl.Primary,
+		Predicate:   expr.LT(expr.Col(1, "age"), expr.ConstInt(30)),
+		Output:      []int{0, 3},
+		LastInBlock: true,
+		Aggs:        []AggCandidate{{Fn: core.AggSum, ArgCol: 1, Name: "sum_salary"}},
+	}
+	d := cat.Decide(a)
+	if !d.Projection || !d.Predicate || !d.Aggregation {
+		t.Fatalf("decision = %+v (%v)", d, d.Reasons)
+	}
+	if a.Residual != nil {
+		t.Errorf("no residual expected, got %s", a.Residual)
+	}
+	extras := ExplainExtras(a, d)
+	for _, want := range []string{"Using pushed NDP condition", "Using pushed NDP columns", "Using pushed NDP aggregate"} {
+		if !strings.Contains(extras, want) {
+			t.Errorf("extras missing %q: %s", want, extras)
+		}
+	}
+}
+
+func TestDecideThresholdBlocksSmallScans(t *testing.T) {
+	c, cat := workerCatalog(t, 200)
+	tbl, _ := c.Engine.Table("worker")
+	cat.NDPPageThreshold = 10000 // paper default; tiny table fails it
+	c.Engine.Pool().Clear()
+	a := &AccessSpec{
+		Table: "worker", Index: tbl.Primary,
+		Predicate: expr.LT(expr.Col(1, "age"), expr.ConstInt(30)),
+		Output:    []int{0},
+	}
+	d := cat.Decide(a)
+	if d.NDPEnabled() {
+		t.Fatalf("small scan must not qualify: %+v", d.Reasons)
+	}
+	if len(d.Reasons) == 0 || !strings.Contains(d.Reasons[0], "below threshold") {
+		t.Errorf("reasons = %v", d.Reasons)
+	}
+}
+
+func TestDecideBufferResidencyDeduction(t *testing.T) {
+	// The Q11/Q17/Q19/Q20 effect: a table whose pages are mostly in the
+	// buffer pool is estimated under the threshold (§VII-C footnote).
+	c, err := testutil.NewCluster(testutil.Options{PoolPages: 8192})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.LoadWorkers(3000); err != nil {
+		t.Fatal(err)
+	}
+	cat := NewCatalog(c.Engine)
+	cat.NDPPageThreshold = 4
+	if _, err := cat.Analyze("worker"); err != nil {
+		t.Fatal(err)
+	}
+	tbl, _ := c.Engine.Table("worker")
+	// Pool is warm from Analyze's full scan: resident pages ≈ leaf pages.
+	a := &AccessSpec{
+		Table: "worker", Index: tbl.Primary,
+		Predicate: expr.LT(expr.Col(1, "age"), expr.ConstInt(30)),
+		Output:    []int{0},
+	}
+	d := cat.Decide(a)
+	if d.NDPEnabled() {
+		t.Fatalf("warm-pool scan should be under threshold: IO=%d reasons=%v",
+			d.EstimatedIOPages, d.Reasons)
+	}
+	// Cold pool: same access qualifies.
+	c.Engine.Pool().Clear()
+	d = cat.Decide(a)
+	if !d.NDPEnabled() {
+		t.Fatalf("cold-pool scan should qualify: %v", d.Reasons)
+	}
+}
+
+func TestDecidePointLookupNeverNDP(t *testing.T) {
+	c, cat := workerCatalog(t, 1000)
+	tbl, _ := c.Engine.Table("worker")
+	c.Engine.Pool().Clear()
+	a := &AccessSpec{
+		Table: "worker", Index: tbl.Primary,
+		Predicate:   expr.EQ(expr.Col(0, "id"), expr.ConstInt(7)),
+		PointLookup: true,
+	}
+	if d := cat.Decide(a); d.NDPEnabled() {
+		t.Fatal("point lookups must never be NDP scans")
+	}
+}
+
+func TestDecideResidualSplit(t *testing.T) {
+	c, cat := workerCatalog(t, 3000)
+	tbl, _ := c.Engine.Table("worker")
+	c.Engine.Pool().Clear()
+	// SUBSTRING is not NDP-eligible; it must stay residual while the
+	// age conjunct is pushed.
+	residual := expr.EQ(
+		expr.New(expr.OpSubstr, expr.Col(4, "name"), expr.ConstInt(1), expr.ConstInt(6)),
+		expr.ConstString("worker"))
+	a := &AccessSpec{
+		Table: "worker", Index: tbl.Primary,
+		Predicate: expr.And(expr.LT(expr.Col(1, "age"), expr.ConstInt(30)), residual),
+		Output:    []int{0, 1, 4},
+	}
+	d := cat.Decide(a)
+	if !d.Predicate {
+		t.Fatalf("pushable conjunct should be pushed: %v", d.Reasons)
+	}
+	if a.Residual == nil || !strings.Contains(a.Residual.String(), "SUBSTRING") {
+		t.Fatalf("residual = %v", a.Residual)
+	}
+	// Aggregation must be blocked by the residual.
+	a.LastInBlock = true
+	a.Aggs = []AggCandidate{{Fn: core.AggCountStar, ArgCol: -1, Name: "cnt"}}
+	d = cat.Decide(a)
+	if d.Aggregation {
+		t.Fatal("aggregation must not push with residual predicates")
+	}
+}
+
+func TestDecideGroupByIndexOrder(t *testing.T) {
+	c, cat := workerCatalog(t, 3000)
+	tbl, _ := c.Engine.Table("worker")
+	c.Engine.Pool().Clear()
+	// GROUP BY id (key prefix through output mapping) pushes; GROUP BY
+	// age does not.
+	a := &AccessSpec{
+		Table: "worker", Index: tbl.Primary,
+		Output: []int{0, 3}, LastInBlock: true,
+		Aggs:    []AggCandidate{{Fn: core.AggSum, ArgCol: 1, Name: "s"}},
+		GroupBy: []int{0}, // output ordinal 0 → index ordinal 0 = key
+	}
+	if d := cat.Decide(a); !d.Aggregation {
+		t.Fatalf("key-prefix grouping should push: %v", d.Reasons)
+	}
+	b := &AccessSpec{
+		Table: "worker", Index: tbl.Primary,
+		Output: []int{1, 3}, LastInBlock: true,
+		Aggs:    []AggCandidate{{Fn: core.AggSum, ArgCol: 1, Name: "s"}},
+		GroupBy: []int{0}, // output ordinal 0 → index ordinal 1 = age (not key)
+	}
+	if d := cat.Decide(b); d.Aggregation {
+		t.Fatal("non-key grouping must not push")
+	}
+}
+
+func TestBuildScanEndToEnd(t *testing.T) {
+	c, cat := workerCatalog(t, 2000)
+	tbl, _ := c.Engine.Table("worker")
+	c.Engine.Pool().Clear()
+	a := &AccessSpec{
+		Table: "worker", Index: tbl.Primary,
+		Predicate: expr.LT(expr.Col(1, "age"), expr.ConstInt(30)),
+		Output:    []int{0, 1},
+	}
+	d := cat.Decide(a)
+	op, err := cat.BuildScan(a, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := exec.NewCtx(c.Engine)
+	rows, err := exec.Run(ctx, op)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reference without NDP.
+	c.Engine.Pool().Clear()
+	ref, err := cat.BuildScan(a, Decision{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := exec.Run(ctx, ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(want) || len(rows) == 0 {
+		t.Fatalf("NDP scan %d rows, regular %d", len(rows), len(want))
+	}
+	for i := range rows {
+		if rows[i][0].I != want[i][0].I {
+			t.Fatalf("row %d mismatch", i)
+		}
+	}
+}
+
+func TestBuildScanAvgDecomposition(t *testing.T) {
+	c, cat := workerCatalog(t, 3000)
+	tbl, _ := c.Engine.Table("worker")
+	c.Engine.Pool().Clear()
+	a := &AccessSpec{
+		Table: "worker", Index: tbl.Primary,
+		Predicate:   expr.LT(expr.Col(1, "age"), expr.ConstInt(40)),
+		Output:      []int{0, 3},
+		LastInBlock: true,
+		Aggs: []AggCandidate{
+			{ArgCol: 1, Avg: true, Name: "avg_salary"},
+			{Fn: core.AggCountStar, ArgCol: -1, Name: "cnt"},
+		},
+	}
+	d := cat.Decide(a)
+	if !d.Aggregation {
+		t.Fatalf("aggregation should push: %v", d.Reasons)
+	}
+	op, err := cat.BuildScan(a, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := exec.NewCtx(c.Engine)
+	rows, err := exec.Run(ctx, op)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 {
+		t.Fatalf("scalar agg rows = %d", len(rows))
+	}
+	avg, cnt := rows[0][0], rows[0][1]
+	// Reference computation.
+	var sum, n int64
+	refOp, _ := cat.BuildScan(&AccessSpec{Table: "worker", Index: tbl.Primary,
+		Predicate: a.Predicate, Output: []int{3}}, Decision{})
+	refRows, err := exec.Run(ctx, refOp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range refRows {
+		sum += r[0].I
+		n++
+	}
+	wantAvg := types.NewDecimal(sum * types.DecimalScale / (n * types.DecimalScale) * 1)
+	_ = wantAvg
+	gotAvgScaled := avg.I
+	wantScaled := sum / n // decimal arithmetic: sum(scaled) * 100 / n... compare via float
+	_ = wantScaled
+	if cnt.I != n {
+		t.Fatalf("count = %d, want %d", cnt.I, n)
+	}
+	wantAvgF := float64(sum) / types.DecimalScale / float64(n)
+	if got := avg.Float(); got < wantAvgF*0.999 || got > wantAvgF*1.001 {
+		t.Fatalf("avg = %v (%f), want ≈ %f", gotAvgScaled, got, wantAvgF)
+	}
+}

@@ -1,0 +1,275 @@
+// Package plan implements the query-planning layer above the executor:
+// table statistics, selectivity estimation, and — the paper's §IV-B
+// contribution — the NDP post-processing step that decides, per table
+// access, whether to push projection, predicates, and aggregation to
+// Page Stores. "Treat NDP as a query plan post-processing step: finalize
+// a query plan without considering NDP, and then consider enabling NDP
+// for each of the table accesses in the plan."
+package plan
+
+import (
+	"fmt"
+
+	"taurus/internal/core"
+	"taurus/internal/engine"
+	"taurus/internal/expr"
+	"taurus/internal/page"
+	"taurus/internal/types"
+)
+
+// ColStats summarizes one column.
+type ColStats struct {
+	Distinct int64
+	Min, Max types.Datum
+	// AvgLen is the average encoded width (variable-length columns).
+	AvgLen int
+}
+
+// TableStats summarizes one table (primary index).
+type TableStats struct {
+	Rows int64
+	// LeafPages estimates the primary index leaf page count.
+	LeafPages int64
+	Cols      []ColStats
+}
+
+// Catalog holds statistics and optimizer thresholds.
+type Catalog struct {
+	Eng   *engine.Engine
+	stats map[string]*TableStats
+
+	// NDPPageThreshold is the minimum estimated I/O (in pages) for a
+	// scan to qualify for NDP: "NDP is enabled on a scan only if the
+	// scan is estimated to cause at least 10,000 pages of I/O"
+	// (§VII-C). Scaled-down databases scale this down too.
+	NDPPageThreshold int64
+	// ProjectionBenefit is the maximum projected/full width ratio that
+	// still enables NDP column projection (§V-A: "when the width
+	// reduction is high enough").
+	ProjectionBenefit float64
+	// MaxNDPSelectivity is the largest estimated predicate selectivity
+	// that still enables NDP filtering (§V-B1: "enables NDP only if the
+	// predicates are sufficiently selective").
+	MaxNDPSelectivity float64
+}
+
+// NewCatalog creates a catalog with the paper's defaults.
+func NewCatalog(eng *engine.Engine) *Catalog {
+	return &Catalog{
+		Eng:               eng,
+		stats:             make(map[string]*TableStats),
+		NDPPageThreshold:  10000,
+		ProjectionBenefit: 0.8,
+		MaxNDPSelectivity: 0.75,
+	}
+}
+
+// SetStats installs externally computed statistics (the TPC-H loader
+// knows exact counts).
+func (c *Catalog) SetStats(table string, s *TableStats) { c.stats[table] = s }
+
+// Stats returns statistics for a table (nil if unknown).
+func (c *Catalog) Stats(table string) *TableStats { return c.stats[table] }
+
+// Analyze computes statistics with a full scan, like ANALYZE TABLE.
+func (c *Catalog) Analyze(table string) (*TableStats, error) {
+	tbl, err := c.Eng.Table(table)
+	if err != nil {
+		return nil, err
+	}
+	n := tbl.Schema.Len()
+	st := &TableStats{Cols: make([]ColStats, n)}
+	distinct := make([]map[string]bool, n)
+	lenSum := make([]int64, n)
+	for i := range distinct {
+		distinct[i] = make(map[string]bool)
+	}
+	err = c.Eng.Scan(engine.ScanOptions{Index: tbl.Primary}, func(row types.Row, _ []core.AggState) error {
+		st.Rows++
+		for i, d := range row {
+			if d.IsNull() {
+				continue
+			}
+			cs := &st.Cols[i]
+			if cs.Min.IsNull() || types.Compare(d, cs.Min) < 0 {
+				cs.Min = d
+			}
+			if cs.Max.IsNull() || types.Compare(d, cs.Max) > 0 {
+				cs.Max = d
+			}
+			if len(distinct[i]) < 65536 {
+				distinct[i][string(types.EncodeKey(nil, types.Row{d}))] = true
+			}
+			if d.K == types.KindString {
+				lenSum[i] += int64(len(d.S))
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i := range st.Cols {
+		st.Cols[i].Distinct = int64(len(distinct[i]))
+		if st.Rows > 0 && tbl.Schema.Cols[i].Kind == types.KindString {
+			st.Cols[i].AvgLen = int(lenSum[i] / st.Rows)
+		}
+	}
+	st.LeafPages = EstimateLeafPages(tbl.Schema, st)
+	c.stats[table] = st
+	return st, nil
+}
+
+// EstimateLeafPages estimates the primary leaf page count from row width
+// and cardinality.
+func EstimateLeafPages(schema *types.Schema, st *TableStats) int64 {
+	width := int64(0)
+	for i, col := range schema.Cols {
+		w := int64(col.Width())
+		if col.Kind == types.KindString && i < len(st.Cols) && st.Cols[i].AvgLen > 0 {
+			w = int64(st.Cols[i].AvgLen) + 1
+		}
+		width += w
+	}
+	// Record overhead: header + key prefix.
+	width += 24
+	perPage := int64(page.Size-page.HeaderSize) / width
+	if perPage < 1 {
+		perPage = 1
+	}
+	pages := (st.Rows + perPage - 1) / perPage
+	if pages < 1 {
+		pages = 1
+	}
+	return pages
+}
+
+// Selectivity estimates the fraction of rows satisfying pred over the
+// given table's columns (ordinals into the index schema mapped to table
+// ordinals via idx.TableOrds). Unknown shapes fall back to conservative
+// constants, as real optimizers do.
+func (c *Catalog) Selectivity(table string, idx *engine.Index, pred *expr.Expr) float64 {
+	st := c.stats[table]
+	if pred == nil {
+		return 1
+	}
+	return c.selectivity(st, idx, pred)
+}
+
+func (c *Catalog) selectivity(st *TableStats, idx *engine.Index, e *expr.Expr) float64 {
+	const defaultSel = 0.3
+	switch e.Op {
+	case expr.OpAnd:
+		return clamp01(c.selectivity(st, idx, e.Kids[0]) * c.selectivity(st, idx, e.Kids[1]))
+	case expr.OpOr:
+		a, b := c.selectivity(st, idx, e.Kids[0]), c.selectivity(st, idx, e.Kids[1])
+		return clamp01(a + b - a*b)
+	case expr.OpNot:
+		return clamp01(1 - c.selectivity(st, idx, e.Kids[0]))
+	case expr.OpEQ:
+		if cs := c.colStatsOf(st, idx, e.Kids[0]); cs != nil && cs.Distinct > 0 {
+			return clamp01(1 / float64(cs.Distinct))
+		}
+		return 0.1
+	case expr.OpNE:
+		return 0.9
+	case expr.OpLT, expr.OpLE, expr.OpGT, expr.OpGE:
+		return c.rangeSelectivity(st, idx, e)
+	case expr.OpBetween:
+		lo := expr.GE(e.Kids[0], e.Kids[1])
+		hi := expr.LE(e.Kids[0], e.Kids[2])
+		return clamp01(c.rangeSelectivity(st, idx, lo) + c.rangeSelectivity(st, idx, hi) - 1)
+	case expr.OpIn:
+		if cs := c.colStatsOf(st, idx, e.Kids[0]); cs != nil && cs.Distinct > 0 {
+			return clamp01(float64(len(e.Kids)-1) / float64(cs.Distinct))
+		}
+		return clamp01(0.1 * float64(len(e.Kids)-1))
+	case expr.OpLike:
+		if len(e.Kids) == 2 && e.Kids[1].Op == expr.OpConst {
+			p := e.Kids[1].Val.S
+			if len(p) > 0 && p[0] != '%' {
+				return 0.05 // prefix match
+			}
+		}
+		return 0.15
+	case expr.OpNotLike:
+		return 0.85
+	case expr.OpIsNull:
+		return 0.05
+	case expr.OpIsNotNull:
+		return 0.95
+	default:
+		return defaultSel
+	}
+}
+
+// rangeSelectivity estimates a single comparison against a constant
+// using min/max interpolation.
+func (c *Catalog) rangeSelectivity(st *TableStats, idx *engine.Index, e *expr.Expr) float64 {
+	col, konst := e.Kids[0], e.Kids[1]
+	op := e.Op
+	if col.Op != expr.OpCol || konst.Op != expr.OpConst {
+		if col.Op == expr.OpConst && konst.Op == expr.OpCol {
+			col, konst = konst, col
+			switch op {
+			case expr.OpLT:
+				op = expr.OpGT
+			case expr.OpLE:
+				op = expr.OpGE
+			case expr.OpGT:
+				op = expr.OpLT
+			case expr.OpGE:
+				op = expr.OpLE
+			}
+		} else {
+			return 0.3
+		}
+	}
+	cs := c.colStatsOf(st, idx, col)
+	if cs == nil || cs.Min.IsNull() || cs.Max.IsNull() {
+		return 0.3
+	}
+	if cs.Min.K == types.KindString {
+		return 0.3
+	}
+	lo, hi, v := cs.Min.Float(), cs.Max.Float(), konst.Val.Float()
+	if hi <= lo {
+		return 0.5
+	}
+	frac := (v - lo) / (hi - lo)
+	switch op {
+	case expr.OpLT, expr.OpLE:
+		return clamp01(frac)
+	default:
+		return clamp01(1 - frac)
+	}
+}
+
+func (c *Catalog) colStatsOf(st *TableStats, idx *engine.Index, e *expr.Expr) *ColStats {
+	if st == nil || e.Op != expr.OpCol {
+		return nil
+	}
+	ord := e.Col
+	if idx != nil && ord < len(idx.TableOrds) {
+		ord = idx.TableOrds[ord]
+	}
+	if ord < 0 || ord >= len(st.Cols) {
+		return nil
+	}
+	return &st.Cols[ord]
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+// String renders stats for debugging.
+func (s *TableStats) String() string {
+	return fmt.Sprintf("rows=%d leafPages=%d cols=%d", s.Rows, s.LeafPages, len(s.Cols))
+}

@@ -1,0 +1,299 @@
+// Package sal implements the Storage Abstraction Layer: "an independent
+// component running on the database server [that] isolates the database
+// frontend from the underlying complexity of remote storage; slicing of
+// the database; ... The SAL writes log records to Log Stores; distributes
+// them to Page Stores; and reads pages from Page Stores. The SAL is also
+// responsible for creating, managing, and destroying slices in Page
+// Stores; and routing page read requests to Page Stores" (§II).
+//
+// For batch reads, "the Storage Abstraction Layer splits a batch read
+// into multiple sub-batches, based on where the pages are located. Pages
+// that belong to the same slice are assigned to the same sub-batch. SAL
+// concurrently sends the sub-batches to Page Stores, with the effect that
+// multiple Page Stores are engaged in parallel" (§VI-2).
+package sal
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"taurus/internal/cluster"
+	"taurus/internal/wal"
+)
+
+// DefaultPagesPerSlice maps the paper's fixed 10 GB slices onto 16 KB
+// pages (10 GB / 16 KB = 655,360). Tests and benchmarks shrink it so
+// small databases still spread across several slices and Page Stores.
+const DefaultPagesPerSlice = 655360
+
+// Config describes the storage cluster layout from one frontend's
+// perspective.
+type Config struct {
+	// Tenant is this database frontend's tenant id on the multi-tenant
+	// storage services.
+	Tenant uint32
+	// Transport carries requests to storage nodes.
+	Transport cluster.Transport
+	// LogStores are the Log Store node names; writes go to all of them
+	// ("in triplicate" with the default three).
+	LogStores []string
+	// PageStores is the pool of Page Store node names.
+	PageStores []string
+	// ReplicationFactor is how many Page Stores host each slice
+	// (default 3, capped to len(PageStores)).
+	ReplicationFactor int
+	// PagesPerSlice sets the slice size in pages (default 10 GB worth).
+	PagesPerSlice uint64
+	// Plugin names the NDP plugin Page Stores should use for this
+	// frontend's descriptors.
+	Plugin string
+	// FlushThreshold is the number of buffered log records that forces
+	// a flush (default 256). Reads always flush first, so buffering is
+	// purely a batching optimization.
+	FlushThreshold int
+}
+
+// SAL is the storage abstraction layer instance inside one frontend.
+type SAL struct {
+	cfg Config
+
+	lsn atomic.Uint64
+	rr  atomic.Uint64 // round-robin read replica selector
+
+	mu         sync.Mutex
+	placements map[uint32][]string
+	// Per-slice pending redo (encoded), plus one combined buffer for
+	// Log Stores.
+	pendingSlice map[uint32][]byte
+	pendingLog   []byte
+	pendingCount int
+}
+
+// New validates the config and returns a SAL.
+func New(cfg Config) (*SAL, error) {
+	if cfg.Transport == nil {
+		return nil, fmt.Errorf("sal: transport required")
+	}
+	if len(cfg.PageStores) == 0 {
+		return nil, fmt.Errorf("sal: at least one page store required")
+	}
+	if cfg.ReplicationFactor <= 0 {
+		cfg.ReplicationFactor = 3
+	}
+	if cfg.ReplicationFactor > len(cfg.PageStores) {
+		cfg.ReplicationFactor = len(cfg.PageStores)
+	}
+	if cfg.PagesPerSlice == 0 {
+		cfg.PagesPerSlice = DefaultPagesPerSlice
+	}
+	if cfg.FlushThreshold <= 0 {
+		cfg.FlushThreshold = 256
+	}
+	return &SAL{
+		cfg:          cfg,
+		placements:   make(map[uint32][]string),
+		pendingSlice: make(map[uint32][]byte),
+	}, nil
+}
+
+// SliceOf maps a page to its slice.
+func (s *SAL) SliceOf(pageID uint64) uint32 {
+	return uint32(pageID / s.cfg.PagesPerSlice)
+}
+
+// NextLSN allocates the next log sequence number.
+func (s *SAL) NextLSN() uint64 { return s.lsn.Add(1) }
+
+// CurrentLSN returns the last allocated LSN.
+func (s *SAL) CurrentLSN() uint64 { return s.lsn.Load() }
+
+// placement returns (creating if needed) the replica set of a slice.
+// Replicas are chosen round-robin by slice id, so consecutive slices land
+// on different Page Stores and batch reads fan out (§VI-2).
+func (s *SAL) placementLocked(sliceID uint32) ([]string, error) {
+	if nodes, ok := s.placements[sliceID]; ok {
+		return nodes, nil
+	}
+	n := len(s.cfg.PageStores)
+	nodes := make([]string, 0, s.cfg.ReplicationFactor)
+	for i := 0; i < s.cfg.ReplicationFactor; i++ {
+		nodes = append(nodes, s.cfg.PageStores[(int(sliceID)+i)%n])
+	}
+	for _, node := range nodes {
+		if _, err := s.cfg.Transport.Call(node, &cluster.CreateSliceReq{
+			Tenant: s.cfg.Tenant, SliceID: sliceID,
+		}); err != nil {
+			return nil, fmt.Errorf("sal: creating slice %d on %s: %w", sliceID, node, err)
+		}
+	}
+	s.placements[sliceID] = nodes
+	return nodes, nil
+}
+
+// Write assigns an LSN to rec, buffers it for the Log Stores and the
+// slice's Page Store replicas, and flushes when the buffer is full. The
+// caller applies the record to its own cached page after Write returns.
+func (s *SAL) Write(rec *wal.Record) error {
+	rec.LSN = s.NextLSN()
+	sliceID := s.SliceOf(rec.PageID)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, err := s.placementLocked(sliceID); err != nil {
+		return err
+	}
+	s.pendingSlice[sliceID] = rec.Encode(s.pendingSlice[sliceID])
+	s.pendingLog = rec.Encode(s.pendingLog)
+	s.pendingCount++
+	if s.pendingCount >= s.cfg.FlushThreshold {
+		return s.flushLocked()
+	}
+	return nil
+}
+
+// Flush pushes all buffered records to Log Stores and Page Stores,
+// waiting for every acknowledgement (durability in triplicate, then
+// page application).
+func (s *SAL) Flush() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.flushLocked()
+}
+
+func (s *SAL) flushLocked() error {
+	if s.pendingCount == 0 {
+		return nil
+	}
+	// Log Stores first: durability before page application.
+	for _, node := range s.cfg.LogStores {
+		if _, err := s.cfg.Transport.Call(node, &cluster.LogAppendReq{
+			Tenant: s.cfg.Tenant, Recs: s.pendingLog,
+		}); err != nil {
+			return fmt.Errorf("sal: log store %s append: %w", node, err)
+		}
+	}
+	for sliceID, recs := range s.pendingSlice {
+		nodes := s.placements[sliceID]
+		for _, node := range nodes {
+			if _, err := s.cfg.Transport.Call(node, &cluster.WriteLogsReq{
+				Tenant: s.cfg.Tenant, SliceID: sliceID, Recs: recs,
+			}); err != nil {
+				return fmt.Errorf("sal: page store %s apply: %w", node, err)
+			}
+		}
+		delete(s.pendingSlice, sliceID)
+	}
+	s.pendingLog = nil
+	s.pendingCount = 0
+	return nil
+}
+
+// readReplica picks a replica for reads, round-robin.
+func (s *SAL) readReplica(nodes []string) string {
+	return nodes[int(s.rr.Add(1))%len(nodes)]
+}
+
+// ReadPage fetches one page image at the given LSN (0 = latest).
+func (s *SAL) ReadPage(pageID, lsn uint64) ([]byte, error) {
+	if err := s.Flush(); err != nil {
+		return nil, err
+	}
+	sliceID := s.SliceOf(pageID)
+	s.mu.Lock()
+	nodes, err := s.placementLocked(sliceID)
+	s.mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	resp, err := s.cfg.Transport.Call(s.readReplica(nodes), &cluster.ReadPageReq{
+		Tenant: s.cfg.Tenant, SliceID: sliceID, PageID: pageID, LSN: lsn,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return resp.(*cluster.PageResp).Page, nil
+}
+
+// BatchResult is the reassembled result of a fanned-out batch read.
+type BatchResult struct {
+	// Pages holds one encoded page per requested ID, in request order.
+	Pages [][]byte
+	// Processed and Skipped total the NDP resource-control outcomes
+	// across all sub-batches.
+	Processed int
+	Skipped   int
+	// SubBatches is how many Page Store requests served the batch.
+	SubBatches int
+}
+
+// BatchRead splits the page list into per-slice sub-batches, dispatches
+// them concurrently, and reassembles the responses in request order.
+// desc is the encoded NDP descriptor (nil for a plain batch read).
+func (s *SAL) BatchRead(pageIDs []uint64, lsn uint64, desc []byte) (*BatchResult, error) {
+	if err := s.Flush(); err != nil {
+		return nil, err
+	}
+	type subBatch struct {
+		sliceID uint32
+		ids     []uint64
+		pos     []int // positions in the original request
+	}
+	var order []uint32
+	subs := make(map[uint32]*subBatch)
+	for i, id := range pageIDs {
+		sliceID := s.SliceOf(id)
+		sb, ok := subs[sliceID]
+		if !ok {
+			sb = &subBatch{sliceID: sliceID}
+			subs[sliceID] = sb
+			order = append(order, sliceID)
+		}
+		sb.ids = append(sb.ids, id)
+		sb.pos = append(sb.pos, i)
+	}
+	res := &BatchResult{Pages: make([][]byte, len(pageIDs)), SubBatches: len(order)}
+	var wg sync.WaitGroup
+	errs := make([]error, len(order))
+	var mu sync.Mutex
+	for oi, sliceID := range order {
+		sb := subs[sliceID]
+		s.mu.Lock()
+		nodes, err := s.placementLocked(sliceID)
+		s.mu.Unlock()
+		if err != nil {
+			return nil, err
+		}
+		node := s.readReplica(nodes)
+		wg.Add(1)
+		go func(oi int, sb *subBatch, node string) {
+			defer wg.Done()
+			resp, err := s.cfg.Transport.Call(node, &cluster.BatchReadReq{
+				Tenant: s.cfg.Tenant, SliceID: sb.sliceID, LSN: lsn,
+				PageIDs: sb.ids, Desc: desc, Plugin: s.cfg.Plugin,
+			})
+			if err != nil {
+				errs[oi] = err
+				return
+			}
+			br := resp.(*cluster.BatchReadResp)
+			if len(br.Pages) != len(sb.ids) {
+				errs[oi] = fmt.Errorf("sal: sub-batch returned %d pages for %d ids", len(br.Pages), len(sb.ids))
+				return
+			}
+			mu.Lock()
+			for i, pos := range sb.pos {
+				res.Pages[pos] = br.Pages[i]
+			}
+			res.Processed += int(br.Processed)
+			res.Skipped += int(br.Skipped)
+			mu.Unlock()
+		}(oi, sb, node)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
+}

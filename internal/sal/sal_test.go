@@ -1,0 +1,258 @@
+package sal
+
+import (
+	"testing"
+
+	"taurus/internal/cluster"
+	"taurus/internal/core"
+	"taurus/internal/core/ir"
+	"taurus/internal/expr"
+	"taurus/internal/logstore"
+	"taurus/internal/page"
+	"taurus/internal/pagestore"
+	"taurus/internal/types"
+	"taurus/internal/wal"
+)
+
+var idvSchema = types.NewSchema(
+	types.Column{Name: "id", Kind: types.KindInt},
+	types.Column{Name: "v", Kind: types.KindInt},
+)
+
+type fixture struct {
+	tr     *cluster.InProc
+	sal    *SAL
+	logs   []*logstore.Store
+	stores []*pagestore.Store
+}
+
+func newFixture(t testing.TB, pagesPerSlice uint64, rf int) *fixture {
+	t.Helper()
+	tr := cluster.NewInProc()
+	f := &fixture{tr: tr}
+	logNames := []string{"log1", "log2", "log3"}
+	for _, n := range logNames {
+		ls := logstore.New(n)
+		f.logs = append(f.logs, ls)
+		tr.Register(n, ls)
+	}
+	psNames := []string{"ps1", "ps2", "ps3", "ps4"}
+	for _, n := range psNames {
+		ps := pagestore.New(n)
+		f.stores = append(f.stores, ps)
+		tr.Register(n, ps)
+	}
+	s, err := New(Config{
+		Tenant: 1, Transport: tr, LogStores: logNames, PageStores: psNames,
+		ReplicationFactor: rf, PagesPerSlice: pagesPerSlice, Plugin: pagestore.PluginInnoDB,
+		FlushThreshold: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.sal = s
+	return f
+}
+
+// writePages formats nPages with rowsPerPage rows each through the SAL.
+func (f *fixture) writePages(t testing.TB, nPages, rowsPerPage int) {
+	t.Helper()
+	id := int64(0)
+	for p := 1; p <= nPages; p++ {
+		if err := f.sal.Write(&wal.Record{Type: wal.TypeFormatPage, PageID: uint64(p), IndexID: 1}); err != nil {
+			t.Fatal(err)
+		}
+		for r := 0; r < rowsPerPage; r++ {
+			key := types.EncodeKey(nil, types.Row{types.NewInt(id)})
+			row := types.EncodeRow(nil, idvSchema, types.Row{types.NewInt(id), types.NewInt(id % 10)})
+			if err := f.sal.Write(&wal.Record{
+				Type: wal.TypeInsertRec, PageID: uint64(p), Off: wal.OffAppend,
+				TrxID: 5, Payload: page.EncodeLeafPayload(nil, key, row),
+			}); err != nil {
+				t.Fatal(err)
+			}
+			id++
+		}
+	}
+	if err := f.sal.Flush(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	f := newFixture(t, 4, 3) // 4 pages per slice → multiple slices
+	f.writePages(t, 10, 6)
+	for p := 1; p <= 10; p++ {
+		raw, err := f.sal.ReadPage(uint64(p), 0)
+		if err != nil {
+			t.Fatalf("page %d: %v", p, err)
+		}
+		pg, err := page.FromBytes(raw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pg.NumRecords() != 6 {
+			t.Errorf("page %d has %d records", p, pg.NumRecords())
+		}
+	}
+}
+
+func TestTriplicatedLogs(t *testing.T) {
+	f := newFixture(t, 100, 3)
+	f.writePages(t, 2, 4)
+	want := f.logs[0].Len()
+	if want == 0 {
+		t.Fatal("no log records stored")
+	}
+	for _, ls := range f.logs {
+		if ls.Len() != want {
+			t.Errorf("log store %d has %d records, want %d", 0, ls.Len(), want)
+		}
+		if ls.DurableLSN() != f.sal.CurrentLSN() {
+			t.Errorf("durable LSN %d != current %d", ls.DurableLSN(), f.sal.CurrentLSN())
+		}
+	}
+}
+
+func TestReplication(t *testing.T) {
+	f := newFixture(t, 1000, 3)
+	f.writePages(t, 3, 5)
+	// Each slice is on 3 of the 4 stores; count stores that can serve
+	// page 1.
+	served := 0
+	for _, ps := range f.stores {
+		if _, err := ps.ReadPage(1, 0, 1, 0); err == nil {
+			served++
+		}
+	}
+	if served != 3 {
+		t.Errorf("page 1 served by %d stores, want 3", served)
+	}
+}
+
+func TestSliceMapping(t *testing.T) {
+	f := newFixture(t, 16, 2)
+	if f.sal.SliceOf(0) != 0 || f.sal.SliceOf(15) != 0 || f.sal.SliceOf(16) != 1 {
+		t.Error("slice mapping wrong")
+	}
+}
+
+func TestBatchReadFansOutAcrossSlices(t *testing.T) {
+	f := newFixture(t, 3, 1) // tiny slices, one replica → deterministic placement
+	f.writePages(t, 9, 4)    // slices 0,1,2,3 (pages 1..9 → ids/3)
+	ids := []uint64{1, 2, 3, 4, 5, 6, 7, 8, 9}
+	res, err := f.sal.BatchRead(ids, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SubBatches < 3 {
+		t.Errorf("expected fan-out over ≥3 sub-batches, got %d", res.SubBatches)
+	}
+	for i, raw := range res.Pages {
+		pg, err := page.FromBytes(raw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pg.ID() != ids[i] {
+			t.Errorf("position %d: page %d, want %d", i, pg.ID(), ids[i])
+		}
+	}
+}
+
+func TestBatchReadNDPThroughSAL(t *testing.T) {
+	f := newFixture(t, 4, 2)
+	f.writePages(t, 8, 10)
+	prog, err := ir.Compile(expr.GE(expr.Col(1, "v"), expr.ConstInt(9)), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := &core.Descriptor{
+		IndexID: 1, Cols: []types.Kind{types.KindInt, types.KindInt},
+		FixedLens: []uint16{0, 0}, Predicate: prog.Encode(), LowWatermark: 100,
+	}
+	before := f.tr.Stats.Snapshot()
+	res, err := f.sal.BatchRead([]uint64{1, 2, 3, 4, 5, 6, 7, 8}, f.sal.CurrentLSN(), d.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ndpBytes := f.tr.Stats.Snapshot().Sub(before).BytesReceived
+	if res.Processed != 8 {
+		t.Fatalf("processed %d", res.Processed)
+	}
+	total := 0
+	for _, raw := range res.Pages {
+		pg, err := page.FromBytes(raw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !pg.IsNDP() {
+			t.Error("expected NDP pages")
+		}
+		total += pg.NumRecords()
+	}
+	if total != 8 { // 80 rows, v==9 passes → 8
+		t.Errorf("NDP records = %d, want 8", total)
+	}
+	// Compare network bytes against a plain batch read of the same pages.
+	before = f.tr.Stats.Snapshot()
+	if _, err := f.sal.BatchRead([]uint64{1, 2, 3, 4, 5, 6, 7, 8}, f.sal.CurrentLSN(), nil); err != nil {
+		t.Fatal(err)
+	}
+	plainBytes := f.tr.Stats.Snapshot().Sub(before).BytesReceived
+	if ndpBytes*5 > plainBytes {
+		t.Errorf("NDP bytes %d should be ≪ plain bytes %d", ndpBytes, plainBytes)
+	}
+}
+
+func TestLSNStampedBatchRead(t *testing.T) {
+	f := newFixture(t, 100, 1)
+	f.writePages(t, 1, 3)
+	stamp := f.sal.CurrentLSN()
+	// Concurrent writer moves the page forward.
+	key := types.EncodeKey(nil, types.Row{types.NewInt(999)})
+	row := types.EncodeRow(nil, idvSchema, types.Row{types.NewInt(999), types.NewInt(0)})
+	if err := f.sal.Write(&wal.Record{
+		Type: wal.TypeInsertRec, PageID: 1, Off: wal.OffAppend, TrxID: 6,
+		Payload: page.EncodeLeafPayload(nil, key, row),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.sal.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	// Batch read at the old stamp sees 3 records; at latest sees 4.
+	res, err := f.sal.BatchRead([]uint64{1}, stamp, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pg, _ := page.FromBytes(res.Pages[0])
+	if pg.NumRecords() != 3 {
+		t.Errorf("stamped read saw %d records, want 3", pg.NumRecords())
+	}
+	res, _ = f.sal.BatchRead([]uint64{1}, f.sal.CurrentLSN(), nil)
+	pg, _ = page.FromBytes(res.Pages[0])
+	if pg.NumRecords() != 4 {
+		t.Errorf("fresh read saw %d records, want 4", pg.NumRecords())
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Error("missing transport must fail")
+	}
+	if _, err := New(Config{Transport: cluster.NewInProc()}); err == nil {
+		t.Error("missing page stores must fail")
+	}
+	s, err := New(Config{
+		Transport: cluster.NewInProc(), PageStores: []string{"a"}, ReplicationFactor: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.cfg.ReplicationFactor != 1 {
+		t.Error("replication factor should cap at store count")
+	}
+	if s.cfg.PagesPerSlice != DefaultPagesPerSlice {
+		t.Error("default pages per slice not applied")
+	}
+}

@@ -1,0 +1,137 @@
+// Package sql implements a small SQL front end over the engine: a lexer
+// and recursive-descent parser for the dialect the examples and the
+// interactive shell use (CREATE TABLE / INSERT / single-table SELECT
+// with aggregation), a planner that routes table accesses through the
+// NDP post-processing optimizer, and EXPLAIN output that reproduces the
+// paper's Listing 2 extras ("Using pushed NDP condition ...; Using
+// pushed NDP columns; Using pushed NDP aggregate").
+package sql
+
+import (
+	"fmt"
+	"strings"
+)
+
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokNumber
+	tokString
+	tokOp // punctuation and operators
+)
+
+type token struct {
+	kind tokKind
+	text string
+	pos  int
+}
+
+type lexer struct {
+	src  string
+	pos  int
+	toks []token
+}
+
+// lex tokenizes the input; SQL keywords are returned as tokIdent and
+// matched case-insensitively by the parser.
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src}
+	for {
+		l.skipSpace()
+		if l.pos >= len(l.src) {
+			l.toks = append(l.toks, token{kind: tokEOF, pos: l.pos})
+			return l.toks, nil
+		}
+		c := l.src[l.pos]
+		switch {
+		case isIdentStart(c):
+			start := l.pos
+			for l.pos < len(l.src) && isIdentPart(l.src[l.pos]) {
+				l.pos++
+			}
+			l.toks = append(l.toks, token{tokIdent, l.src[start:l.pos], start})
+		case c >= '0' && c <= '9':
+			start := l.pos
+			seenDot := false
+			for l.pos < len(l.src) {
+				ch := l.src[l.pos]
+				if ch == '.' && !seenDot {
+					seenDot = true
+					l.pos++
+					continue
+				}
+				if ch < '0' || ch > '9' {
+					break
+				}
+				l.pos++
+			}
+			l.toks = append(l.toks, token{tokNumber, l.src[start:l.pos], start})
+		case c == '\'':
+			l.pos++
+			var sb strings.Builder
+			for {
+				if l.pos >= len(l.src) {
+					return nil, fmt.Errorf("sql: unterminated string at %d", l.pos)
+				}
+				if l.src[l.pos] == '\'' {
+					if l.pos+1 < len(l.src) && l.src[l.pos+1] == '\'' {
+						sb.WriteByte('\'')
+						l.pos += 2
+						continue
+					}
+					l.pos++
+					break
+				}
+				sb.WriteByte(l.src[l.pos])
+				l.pos++
+			}
+			l.toks = append(l.toks, token{tokString, sb.String(), l.pos})
+		default:
+			start := l.pos
+			two := ""
+			if l.pos+2 <= len(l.src) {
+				two = l.src[l.pos : l.pos+2]
+			}
+			switch two {
+			case "<=", ">=", "<>", "!=":
+				l.pos += 2
+				l.toks = append(l.toks, token{tokOp, two, start})
+				continue
+			}
+			switch c {
+			case '(', ')', ',', '*', '+', '-', '/', '<', '>', '=', ';', '.':
+				l.pos++
+				l.toks = append(l.toks, token{tokOp, string(c), start})
+			default:
+				return nil, fmt.Errorf("sql: unexpected character %q at %d", c, l.pos)
+			}
+		}
+	}
+}
+
+func (l *lexer) skipSpace() {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == ' ' || c == '\t' || c == '\n' || c == '\r' {
+			l.pos++
+			continue
+		}
+		if c == '-' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '-' {
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+			continue
+		}
+		return
+	}
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isIdentPart(c byte) bool {
+	return isIdentStart(c) || (c >= '0' && c <= '9')
+}

@@ -1,0 +1,794 @@
+package sql
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"taurus/internal/types"
+)
+
+// AST types.
+
+// Stmt is a parsed statement.
+type Stmt interface{ stmt() }
+
+// CreateTableStmt is CREATE TABLE name (col TYPE, ..., PRIMARY KEY(...)).
+type CreateTableStmt struct {
+	Name   string
+	Cols   []ColDef
+	PKCols []string
+}
+
+// ColDef is one column definition.
+type ColDef struct {
+	Name string
+	Type string // INT, BIGINT, DECIMAL, DOUBLE/FLOAT, DATE, VARCHAR/CHAR
+	Len  int
+}
+
+// InsertStmt is INSERT INTO name VALUES (...), (...).
+type InsertStmt struct {
+	Table string
+	Rows  [][]Value
+}
+
+// Value is a literal.
+type Value struct {
+	Kind  tokKind // tokNumber or tokString
+	Text  string
+	IsNeg bool
+	// Date marks DATE 'yyyy-mm-dd' literals.
+	Date bool
+	Null bool
+}
+
+// SelectStmt is a single-table SELECT.
+type SelectStmt struct {
+	Explain bool
+	Items   []SelectItem
+	Table   string
+	Where   Expr
+	GroupBy []string
+	OrderBy []OrderItem
+	Limit   int // -1 = none
+}
+
+// SelectItem is one projection item: a column, * or an aggregate call.
+type SelectItem struct {
+	Star bool
+	Col  string
+	Agg  string // COUNT/SUM/AVG/MIN/MAX; empty for plain columns
+	// AggArg is the aggregate argument expression; nil for COUNT(*).
+	AggArg Expr
+	Alias  string
+}
+
+// OrderItem is one ORDER BY key.
+type OrderItem struct {
+	Col  string
+	Desc bool
+}
+
+// Expr is the parsed expression AST (converted later to expr.Expr).
+type Expr interface{ expr() }
+
+// BinExpr is a binary operation.
+type BinExpr struct {
+	Op   string // AND OR = <> < <= > >= + - * / LIKE
+	L, R Expr
+}
+
+// NotExpr negates.
+type NotExpr struct{ E Expr }
+
+// ColRef references a column.
+type ColRef struct{ Name string }
+
+// Lit is a literal.
+type Lit struct{ V Value }
+
+// BetweenExpr is x BETWEEN a AND b.
+type BetweenExpr struct{ E, Lo, Hi Expr }
+
+// InExpr is x IN (a, b, ...), possibly negated.
+type InExpr struct {
+	E    Expr
+	List []Expr
+	Not  bool
+}
+
+// CallExpr is YEAR(x) / SUBSTRING(x, a, b).
+type CallExpr struct {
+	Fn   string
+	Args []Expr
+}
+
+func (CreateTableStmt) stmt() {}
+func (InsertStmt) stmt()      {}
+func (SelectStmt) stmt()      {}
+func (BinExpr) expr()         {}
+func (NotExpr) expr()         {}
+func (ColRef) expr()          {}
+func (Lit) expr()             {}
+func (BetweenExpr) expr()     {}
+func (InExpr) expr()          {}
+func (CallExpr) expr()        {}
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+// Parse parses one statement (a trailing semicolon is allowed).
+func Parse(src string) (Stmt, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	var s Stmt
+	switch {
+	case p.peekKw("CREATE"):
+		s, err = p.parseCreate()
+	case p.peekKw("INSERT"):
+		s, err = p.parseInsert()
+	case p.peekKw("SELECT"), p.peekKw("EXPLAIN"):
+		s, err = p.parseSelect()
+	default:
+		return nil, fmt.Errorf("sql: expected CREATE, INSERT, SELECT, or EXPLAIN")
+	}
+	if err != nil {
+		return nil, err
+	}
+	p.acceptOp(";")
+	if p.cur().kind != tokEOF {
+		return nil, fmt.Errorf("sql: trailing input at %q", p.cur().text)
+	}
+	return s, nil
+}
+
+func (p *parser) cur() token { return p.toks[p.pos] }
+
+func (p *parser) next() token {
+	t := p.toks[p.pos]
+	if t.kind != tokEOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) peekKw(kw string) bool {
+	t := p.cur()
+	return t.kind == tokIdent && strings.EqualFold(t.text, kw)
+}
+
+func (p *parser) acceptKw(kw string) bool {
+	if p.peekKw(kw) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectKw(kw string) error {
+	if !p.acceptKw(kw) {
+		return fmt.Errorf("sql: expected %s near %q", kw, p.cur().text)
+	}
+	return nil
+}
+
+func (p *parser) acceptOp(op string) bool {
+	t := p.cur()
+	if t.kind == tokOp && t.text == op {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectOp(op string) error {
+	if !p.acceptOp(op) {
+		return fmt.Errorf("sql: expected %q near %q", op, p.cur().text)
+	}
+	return nil
+}
+
+func (p *parser) ident() (string, error) {
+	t := p.cur()
+	if t.kind != tokIdent {
+		return "", fmt.Errorf("sql: expected identifier near %q", t.text)
+	}
+	p.pos++
+	return strings.ToLower(t.text), nil
+}
+
+func (p *parser) parseCreate() (Stmt, error) {
+	p.acceptKw("CREATE")
+	if err := p.expectKw("TABLE"); err != nil {
+		return nil, err
+	}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectOp("("); err != nil {
+		return nil, err
+	}
+	s := &CreateTableStmt{Name: name}
+	for {
+		if p.acceptKw("PRIMARY") {
+			if err := p.expectKw("KEY"); err != nil {
+				return nil, err
+			}
+			if err := p.expectOp("("); err != nil {
+				return nil, err
+			}
+			for {
+				c, err := p.ident()
+				if err != nil {
+					return nil, err
+				}
+				s.PKCols = append(s.PKCols, c)
+				if !p.acceptOp(",") {
+					break
+				}
+			}
+			if err := p.expectOp(")"); err != nil {
+				return nil, err
+			}
+		} else {
+			cname, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			typ, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			cd := ColDef{Name: cname, Type: strings.ToUpper(typ)}
+			if p.acceptOp("(") {
+				n := p.next()
+				if n.kind != tokNumber {
+					return nil, fmt.Errorf("sql: expected length near %q", n.text)
+				}
+				cd.Len, _ = strconv.Atoi(n.text)
+				// DECIMAL(p,s): ignore the scale (fixed global scale).
+				if p.acceptOp(",") {
+					p.next()
+				}
+				if err := p.expectOp(")"); err != nil {
+					return nil, err
+				}
+			}
+			// Swallow NOT NULL.
+			if p.acceptKw("NOT") {
+				if err := p.expectKw("NULL"); err != nil {
+					return nil, err
+				}
+			}
+			s.Cols = append(s.Cols, cd)
+		}
+		if !p.acceptOp(",") {
+			break
+		}
+	}
+	if err := p.expectOp(")"); err != nil {
+		return nil, err
+	}
+	if len(s.PKCols) == 0 {
+		return nil, fmt.Errorf("sql: CREATE TABLE requires PRIMARY KEY")
+	}
+	return s, nil
+}
+
+func (p *parser) parseInsert() (Stmt, error) {
+	p.acceptKw("INSERT")
+	if err := p.expectKw("INTO"); err != nil {
+		return nil, err
+	}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKw("VALUES"); err != nil {
+		return nil, err
+	}
+	s := &InsertStmt{Table: name}
+	for {
+		if err := p.expectOp("("); err != nil {
+			return nil, err
+		}
+		var row []Value
+		for {
+			v, err := p.parseValue()
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, v)
+			if !p.acceptOp(",") {
+				break
+			}
+		}
+		if err := p.expectOp(")"); err != nil {
+			return nil, err
+		}
+		s.Rows = append(s.Rows, row)
+		if !p.acceptOp(",") {
+			break
+		}
+	}
+	return s, nil
+}
+
+func (p *parser) parseValue() (Value, error) {
+	if p.acceptKw("NULL") {
+		return Value{Null: true}, nil
+	}
+	if p.acceptKw("DATE") {
+		t := p.next()
+		if t.kind != tokString {
+			return Value{}, fmt.Errorf("sql: DATE needs a string literal")
+		}
+		return Value{Kind: tokString, Text: t.text, Date: true}, nil
+	}
+	neg := false
+	if p.acceptOp("-") {
+		neg = true
+	}
+	t := p.next()
+	switch t.kind {
+	case tokNumber:
+		return Value{Kind: tokNumber, Text: t.text, IsNeg: neg}, nil
+	case tokString:
+		if neg {
+			return Value{}, fmt.Errorf("sql: cannot negate a string")
+		}
+		return Value{Kind: tokString, Text: t.text}, nil
+	default:
+		return Value{}, fmt.Errorf("sql: expected literal near %q", t.text)
+	}
+}
+
+// Datum converts a Value to a typed datum given the column kind.
+func (v Value) Datum(kind types.Kind) (types.Datum, error) {
+	if v.Null {
+		return types.Null(), nil
+	}
+	if v.Date || kind == types.KindDate {
+		return types.ParseDate(v.Text)
+	}
+	switch kind {
+	case types.KindInt:
+		n, err := strconv.ParseInt(v.Text, 10, 64)
+		if err != nil {
+			return types.Null(), err
+		}
+		if v.IsNeg {
+			n = -n
+		}
+		return types.NewInt(n), nil
+	case types.KindDecimal:
+		f, err := strconv.ParseFloat(v.Text, 64)
+		if err != nil {
+			return types.Null(), err
+		}
+		if v.IsNeg {
+			f = -f
+		}
+		return types.DecimalFromFloat(f), nil
+	case types.KindFloat:
+		f, err := strconv.ParseFloat(v.Text, 64)
+		if err != nil {
+			return types.Null(), err
+		}
+		if v.IsNeg {
+			f = -f
+		}
+		return types.NewFloat(f), nil
+	case types.KindString:
+		return types.NewString(v.Text), nil
+	default:
+		return types.Null(), fmt.Errorf("sql: cannot convert %q", v.Text)
+	}
+}
+
+func (p *parser) parseSelect() (Stmt, error) {
+	s := &SelectStmt{Limit: -1}
+	if p.acceptKw("EXPLAIN") {
+		s.Explain = true
+	}
+	if err := p.expectKw("SELECT"); err != nil {
+		return nil, err
+	}
+	for {
+		item, err := p.parseSelectItem()
+		if err != nil {
+			return nil, err
+		}
+		s.Items = append(s.Items, item)
+		if !p.acceptOp(",") {
+			break
+		}
+	}
+	if err := p.expectKw("FROM"); err != nil {
+		return nil, err
+	}
+	tbl, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	s.Table = tbl
+	if p.acceptKw("WHERE") {
+		w, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		s.Where = w
+	}
+	if p.acceptKw("GROUP") {
+		if err := p.expectKw("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			c, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			s.GroupBy = append(s.GroupBy, c)
+			if !p.acceptOp(",") {
+				break
+			}
+		}
+	}
+	if p.acceptKw("ORDER") {
+		if err := p.expectKw("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			c, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			it := OrderItem{Col: c}
+			if p.acceptKw("DESC") {
+				it.Desc = true
+			} else {
+				p.acceptKw("ASC")
+			}
+			s.OrderBy = append(s.OrderBy, it)
+			if !p.acceptOp(",") {
+				break
+			}
+		}
+	}
+	if p.acceptKw("LIMIT") {
+		t := p.next()
+		if t.kind != tokNumber {
+			return nil, fmt.Errorf("sql: LIMIT needs a number")
+		}
+		s.Limit, _ = strconv.Atoi(t.text)
+	}
+	return s, nil
+}
+
+var aggNames = map[string]bool{"COUNT": true, "SUM": true, "AVG": true, "MIN": true, "MAX": true}
+
+func (p *parser) parseSelectItem() (SelectItem, error) {
+	if p.acceptOp("*") {
+		return SelectItem{Star: true}, nil
+	}
+	t := p.cur()
+	if t.kind == tokIdent && aggNames[strings.ToUpper(t.text)] {
+		fn := strings.ToUpper(t.text)
+		p.pos++
+		if err := p.expectOp("("); err != nil {
+			return SelectItem{}, err
+		}
+		item := SelectItem{Agg: fn}
+		if p.acceptOp("*") {
+			if fn != "COUNT" {
+				return SelectItem{}, fmt.Errorf("sql: only COUNT(*) is allowed")
+			}
+		} else {
+			arg, err := p.parseExpr()
+			if err != nil {
+				return SelectItem{}, err
+			}
+			item.AggArg = arg
+		}
+		if err := p.expectOp(")"); err != nil {
+			return SelectItem{}, err
+		}
+		item.Alias = p.parseAlias()
+		return item, nil
+	}
+	c, err := p.ident()
+	if err != nil {
+		return SelectItem{}, err
+	}
+	return SelectItem{Col: c, Alias: p.parseAlias()}, nil
+}
+
+func (p *parser) parseAlias() string {
+	if p.acceptKw("AS") {
+		if a, err := p.ident(); err == nil {
+			return a
+		}
+	}
+	return ""
+}
+
+// Expression grammar: or → and → not → cmp → add → mul → unary → primary.
+
+func (p *parser) parseExpr() (Expr, error) { return p.parseOr() }
+
+func (p *parser) parseOr() (Expr, error) {
+	l, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptKw("OR") {
+		r, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		l = BinExpr{Op: "OR", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseAnd() (Expr, error) {
+	l, err := p.parseNot()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptKw("AND") {
+		r, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		l = BinExpr{Op: "AND", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseNot() (Expr, error) {
+	if p.acceptKw("NOT") {
+		e, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		return NotExpr{E: e}, nil
+	}
+	return p.parseCmp()
+}
+
+func (p *parser) parseCmp() (Expr, error) {
+	l, err := p.parseAdd()
+	if err != nil {
+		return nil, err
+	}
+	// BETWEEN / IN / LIKE.
+	if p.acceptKw("BETWEEN") {
+		lo, err := p.parseAdd()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKw("AND"); err != nil {
+			return nil, err
+		}
+		hi, err := p.parseAdd()
+		if err != nil {
+			return nil, err
+		}
+		return BetweenExpr{E: l, Lo: lo, Hi: hi}, nil
+	}
+	notIn := false
+	if p.peekKw("NOT") {
+		// Lookahead for NOT IN / NOT LIKE.
+		save := p.pos
+		p.pos++
+		if p.peekKw("IN") || p.peekKw("LIKE") {
+			notIn = true
+		} else {
+			p.pos = save
+		}
+	}
+	if p.acceptKw("IN") {
+		if err := p.expectOp("("); err != nil {
+			return nil, err
+		}
+		in := InExpr{E: l, Not: notIn}
+		for {
+			e, err := p.parseAdd()
+			if err != nil {
+				return nil, err
+			}
+			in.List = append(in.List, e)
+			if !p.acceptOp(",") {
+				break
+			}
+		}
+		if err := p.expectOp(")"); err != nil {
+			return nil, err
+		}
+		return in, nil
+	}
+	if p.acceptKw("LIKE") {
+		r, err := p.parseAdd()
+		if err != nil {
+			return nil, err
+		}
+		op := "LIKE"
+		if notIn {
+			op = "NOT LIKE"
+		}
+		return BinExpr{Op: op, L: l, R: r}, nil
+	}
+	for _, op := range []string{"<=", ">=", "<>", "!=", "=", "<", ">"} {
+		if p.acceptOp(op) {
+			r, err := p.parseAdd()
+			if err != nil {
+				return nil, err
+			}
+			if op == "!=" {
+				op = "<>"
+			}
+			return BinExpr{Op: op, L: l, R: r}, nil
+		}
+	}
+	return l, nil
+}
+
+func (p *parser) parseAdd() (Expr, error) {
+	l, err := p.parseMul()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.acceptOp("+"):
+			r, err := p.parseMul()
+			if err != nil {
+				return nil, err
+			}
+			// DATE + INTERVAL n (DAY|MONTH|YEAR)
+			if iv, ok := p.maybeInterval(r); ok {
+				l = iv(l)
+				continue
+			}
+			l = BinExpr{Op: "+", L: l, R: r}
+		case p.acceptOp("-"):
+			r, err := p.parseMul()
+			if err != nil {
+				return nil, err
+			}
+			l = BinExpr{Op: "-", L: l, R: r}
+		default:
+			return l, nil
+		}
+	}
+}
+
+// maybeInterval recognizes the pattern produced by parsing
+// "INTERVAL 'n' YEAR" (the INTERVAL keyword is handled in parsePrimary,
+// which returns a CallExpr); this hook rewrites date + interval.
+func (p *parser) maybeInterval(r Expr) (func(Expr) Expr, bool) {
+	call, ok := r.(CallExpr)
+	if !ok || call.Fn != "INTERVAL" {
+		return nil, false
+	}
+	return func(l Expr) Expr {
+		return CallExpr{Fn: "DATE_ADD_" + call.Args[1].(ColRef).Name, Args: []Expr{l, call.Args[0]}}
+	}, true
+}
+
+func (p *parser) parseMul() (Expr, error) {
+	l, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.acceptOp("*"):
+			r, err := p.parseUnary()
+			if err != nil {
+				return nil, err
+			}
+			l = BinExpr{Op: "*", L: l, R: r}
+		case p.acceptOp("/"):
+			r, err := p.parseUnary()
+			if err != nil {
+				return nil, err
+			}
+			l = BinExpr{Op: "/", L: l, R: r}
+		default:
+			return l, nil
+		}
+	}
+}
+
+func (p *parser) parseUnary() (Expr, error) {
+	if p.acceptOp("-") {
+		e, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return BinExpr{Op: "-", L: Lit{Value{Kind: tokNumber, Text: "0"}}, R: e}, nil
+	}
+	return p.parsePrimary()
+}
+
+func (p *parser) parsePrimary() (Expr, error) {
+	if p.acceptOp("(") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectOp(")"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	}
+	t := p.cur()
+	switch t.kind {
+	case tokNumber:
+		p.pos++
+		return Lit{Value{Kind: tokNumber, Text: t.text}}, nil
+	case tokString:
+		p.pos++
+		return Lit{Value{Kind: tokString, Text: t.text}}, nil
+	case tokIdent:
+		up := strings.ToUpper(t.text)
+		switch up {
+		case "DATE":
+			p.pos++
+			st := p.next()
+			if st.kind != tokString {
+				return nil, fmt.Errorf("sql: DATE needs a string literal")
+			}
+			return Lit{Value{Kind: tokString, Text: st.text, Date: true}}, nil
+		case "INTERVAL":
+			p.pos++
+			amt := p.next()
+			if amt.kind != tokString && amt.kind != tokNumber {
+				return nil, fmt.Errorf("sql: INTERVAL needs an amount")
+			}
+			unit, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			return CallExpr{Fn: "INTERVAL", Args: []Expr{
+				Lit{Value{Kind: tokNumber, Text: amt.text}},
+				ColRef{Name: strings.ToUpper(unit)},
+			}}, nil
+		case "YEAR", "SUBSTRING":
+			if p.toks[p.pos+1].kind == tokOp && p.toks[p.pos+1].text == "(" {
+				p.pos += 2
+				call := CallExpr{Fn: up}
+				for {
+					a, err := p.parseExpr()
+					if err != nil {
+						return nil, err
+					}
+					call.Args = append(call.Args, a)
+					if !p.acceptOp(",") {
+						break
+					}
+				}
+				if err := p.expectOp(")"); err != nil {
+					return nil, err
+				}
+				return call, nil
+			}
+		case "NULL":
+			p.pos++
+			return Lit{Value{Null: true}}, nil
+		}
+		p.pos++
+		return ColRef{Name: strings.ToLower(t.text)}, nil
+	default:
+		return nil, fmt.Errorf("sql: unexpected token %q", t.text)
+	}
+}

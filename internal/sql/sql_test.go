@@ -1,0 +1,243 @@
+package sql
+
+import (
+	"strings"
+	"testing"
+
+	"taurus/internal/testutil"
+)
+
+func newSession(t testing.TB) *Session {
+	t.Helper()
+	c, err := testutil.NewCluster(testutil.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewSession(c.Engine)
+	s.Cat.NDPPageThreshold = 1 // tiny tables still demonstrate NDP
+	return s
+}
+
+// loadWorker creates the paper's Listing 1 Worker table.
+func loadWorker(t testing.TB, s *Session) {
+	t.Helper()
+	mustExec(t, s, `CREATE TABLE worker (
+		id BIGINT NOT NULL, age INT, join_date DATE, salary DECIMAL(15,2),
+		name VARCHAR, PRIMARY KEY(id))`)
+	// Insert a few thousand rows in batches.
+	var sb strings.Builder
+	sb.WriteString("INSERT INTO worker VALUES ")
+	n := 0
+	for y := 2005; y <= 2014; y++ {
+		for i := 0; i < 60; i++ {
+			if n > 0 {
+				sb.WriteString(", ")
+			}
+			age := 20 + (n*7)%40
+			sb.WriteString(strings.Join([]string{
+				"(", itoa(n), ",", itoa(age), ", DATE '", ymd(y, 1+i%12, 1+i%28),
+				"', ", itoa(3000 + n%5000), ".50, 'w", itoa(n), "')",
+			}, ""))
+			n++
+		}
+	}
+	mustExec(t, s, sb.String())
+}
+
+func itoa(n int) string {
+	return strings.TrimSpace(strings.Replace(strings.Repeat(" ", 0)+fmtInt(n), " ", "", -1))
+}
+
+func fmtInt(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	neg := n < 0
+	if neg {
+		n = -n
+	}
+	var b []byte
+	for n > 0 {
+		b = append([]byte{byte('0' + n%10)}, b...)
+		n /= 10
+	}
+	if neg {
+		b = append([]byte{'-'}, b...)
+	}
+	return string(b)
+}
+
+func ymd(y, m, d int) string {
+	pad := func(v int) string {
+		if v < 10 {
+			return "0" + fmtInt(v)
+		}
+		return fmtInt(v)
+	}
+	return fmtInt(y) + "-" + pad(m) + "-" + pad(d)
+}
+
+func mustExec(t testing.TB, s *Session, q string) *Result {
+	t.Helper()
+	r, err := s.Exec(q)
+	if err != nil {
+		t.Fatalf("exec %q: %v", q[:min(len(q), 80)], err)
+	}
+	return r
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func TestCreateInsertSelect(t *testing.T) {
+	s := newSession(t)
+	loadWorker(t, s)
+	r := mustExec(t, s, "SELECT COUNT(*) FROM worker")
+	if len(r.Rows) != 1 || r.Rows[0][0].I != 600 {
+		t.Fatalf("count = %v", r.Rows)
+	}
+	r = mustExec(t, s, "SELECT id, age FROM worker WHERE age < 25 ORDER BY id LIMIT 5")
+	if len(r.Rows) != 5 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	if r.Columns[0] != "id" || r.Columns[1] != "age" {
+		t.Fatalf("columns = %v", r.Columns)
+	}
+	for _, row := range r.Rows {
+		if row[1].I >= 25 {
+			t.Fatalf("filter failed: %v", row)
+		}
+	}
+}
+
+// TestListing1SalaryQuery runs the paper's example query end to end.
+func TestListing1SalaryQuery(t *testing.T) {
+	s := newSession(t)
+	loadWorker(t, s)
+	q := `SELECT AVG(salary) FROM worker
+	      WHERE age < 40 AND
+	            join_date >= DATE '2010-01-01' AND
+	            join_date < DATE '2010-01-01' + INTERVAL '1' YEAR`
+	r := mustExec(t, s, q)
+	if len(r.Rows) != 1 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	if r.Rows[0][0].IsNull() {
+		t.Fatal("average should not be NULL")
+	}
+	// NDP off must agree.
+	s.NDP = false
+	r2 := mustExec(t, s, q)
+	if r.Rows[0][0].Float() != r2.Rows[0][0].Float() {
+		t.Fatalf("NDP on %v vs off %v", r.Rows[0][0], r2.Rows[0][0])
+	}
+}
+
+// TestListing2Explain checks the EXPLAIN extras match the paper's
+// Listing 2 shape.
+func TestListing2Explain(t *testing.T) {
+	s := newSession(t)
+	loadWorker(t, s)
+	s.Eng.Pool().Clear()
+	r := mustExec(t, s, `EXPLAIN SELECT AVG(salary) FROM worker
+	      WHERE age < 40 AND
+	            join_date >= DATE '2010-01-01' AND
+	            join_date < DATE '2010-01-01' + INTERVAL '1' YEAR`)
+	for _, want := range []string{
+		"Using pushed NDP condition",
+		"join_date >= DATE'2010-01-01'",
+		"join_date < DATE'2011-01-01'",
+		"(age < 40)",
+		"Using pushed NDP columns",
+		"Using pushed NDP aggregate",
+	} {
+		if !strings.Contains(r.Explain, want) {
+			t.Errorf("EXPLAIN missing %q:\n%s", want, r.Explain)
+		}
+	}
+}
+
+func TestGroupByOrderBy(t *testing.T) {
+	s := newSession(t)
+	mustExec(t, s, "CREATE TABLE kv (g INT, i INT, v INT, PRIMARY KEY(g, i))")
+	mustExec(t, s, "INSERT INTO kv VALUES (1,1,10),(1,2,20),(2,1,5),(2,2,7),(3,1,1)")
+	r := mustExec(t, s, "SELECT g, SUM(v) AS total, COUNT(*) FROM kv GROUP BY g ORDER BY total DESC")
+	if len(r.Rows) != 3 {
+		t.Fatalf("groups = %d", len(r.Rows))
+	}
+	if r.Rows[0][0].I != 1 || r.Rows[0][1].I != 30 || r.Rows[0][2].I != 2 {
+		t.Fatalf("first group = %v", r.Rows[0])
+	}
+	if r.Rows[2][0].I != 3 {
+		t.Fatalf("last group = %v", r.Rows[2])
+	}
+}
+
+func TestSelectStar(t *testing.T) {
+	s := newSession(t)
+	mustExec(t, s, "CREATE TABLE p (id INT, v VARCHAR, PRIMARY KEY(id))")
+	mustExec(t, s, "INSERT INTO p VALUES (1, 'a'), (2, 'b')")
+	r := mustExec(t, s, "SELECT * FROM p ORDER BY id")
+	if len(r.Rows) != 2 || len(r.Columns) != 2 || r.Rows[1][1].S != "b" {
+		t.Fatalf("star select = %v %v", r.Columns, r.Rows)
+	}
+}
+
+func TestWhereVariants(t *testing.T) {
+	s := newSession(t)
+	mustExec(t, s, "CREATE TABLE w (id INT, v INT, nm VARCHAR, PRIMARY KEY(id))")
+	mustExec(t, s, "INSERT INTO w VALUES (1, 5, 'alpha'), (2, 10, 'beta'), (3, 15, 'alpine'), (4, 20, 'gamma')")
+	cases := []struct {
+		where string
+		want  int
+	}{
+		{"v BETWEEN 10 AND 15", 2},
+		{"v IN (5, 20)", 2},
+		{"v NOT IN (5, 20)", 2},
+		{"nm LIKE 'alp%'", 2},
+		{"nm NOT LIKE 'alp%'", 2},
+		{"NOT v = 5", 3},
+		{"v > 5 AND v < 20", 2},
+		{"v = 5 OR nm = 'gamma'", 2},
+		{"v * 2 = 20", 1},
+		{"SUBSTRING(nm, 1, 1) = 'a'", 2},
+	}
+	for _, c := range cases {
+		r := mustExec(t, s, "SELECT id FROM w WHERE "+c.where)
+		if len(r.Rows) != c.want {
+			t.Errorf("WHERE %s: %d rows, want %d", c.where, len(r.Rows), c.want)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	s := newSession(t)
+	for _, q := range []string{
+		"SELEC 1",
+		"SELECT FROM",
+		"CREATE TABLE t (id INT)", // no primary key
+		"SELECT id FROM nosuch",
+		"INSERT INTO nosuch VALUES (1)",
+		"SELECT id FROM worker WHERE (id",
+		"SELECT MIN(*) FROM worker",
+		"",
+	} {
+		if _, err := s.Exec(q); err == nil {
+			t.Errorf("%q should fail", q)
+		}
+	}
+}
+
+func TestYearFunction(t *testing.T) {
+	s := newSession(t)
+	mustExec(t, s, "CREATE TABLE d (id INT, dt DATE, PRIMARY KEY(id))")
+	mustExec(t, s, "INSERT INTO d VALUES (1, DATE '1995-06-17'), (2, DATE '1996-01-02')")
+	r := mustExec(t, s, "SELECT id FROM d WHERE YEAR(dt) = 1995")
+	if len(r.Rows) != 1 || r.Rows[0][0].I != 1 {
+		t.Fatalf("YEAR filter = %v", r.Rows)
+	}
+}

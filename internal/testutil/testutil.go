@@ -1,0 +1,136 @@
+// Package testutil wires a complete in-process Taurus cluster (log
+// stores, page stores, SAL, engine) for tests and benchmarks.
+package testutil
+
+import (
+	"fmt"
+	"math/rand"
+
+	"taurus/internal/cluster"
+	"taurus/internal/engine"
+	"taurus/internal/logstore"
+	"taurus/internal/pagestore"
+	"taurus/internal/sal"
+	"taurus/internal/types"
+)
+
+// Cluster is a fully wired single-process Taurus deployment.
+type Cluster struct {
+	Transport  *cluster.InProc
+	Engine     *engine.Engine
+	SAL        *sal.SAL
+	LogStores  []*logstore.Store
+	PageStores []*pagestore.Store
+	Controls   []*pagestore.ResourceControl
+}
+
+// Options configure NewCluster.
+type Options struct {
+	PageStores        int
+	ReplicationFactor int
+	PagesPerSlice     uint64
+	PoolPages         int
+	LookAhead         int
+	// NDPWorkers/NDPQueue size each Page Store's resource control.
+	NDPWorkers int
+	NDPQueue   int
+}
+
+// NewCluster builds the deployment. Zero-valued options get defaults
+// matching the paper's small test cluster (4 Page Stores, 3-way
+// replication).
+func NewCluster(opt Options) (*Cluster, error) {
+	if opt.PageStores <= 0 {
+		opt.PageStores = 4
+	}
+	if opt.ReplicationFactor <= 0 {
+		opt.ReplicationFactor = 3
+	}
+	if opt.PagesPerSlice == 0 {
+		opt.PagesPerSlice = 64
+	}
+	if opt.PoolPages <= 0 {
+		opt.PoolPages = 4096
+	}
+	if opt.LookAhead <= 0 {
+		opt.LookAhead = 64
+	}
+	if opt.NDPWorkers <= 0 {
+		opt.NDPWorkers = 4
+	}
+	if opt.NDPQueue <= 0 {
+		opt.NDPQueue = 1024
+	}
+	tr := cluster.NewInProc()
+	c := &Cluster{Transport: tr}
+	logNames := []string{"log1", "log2", "log3"}
+	for _, n := range logNames {
+		ls := logstore.New(n)
+		c.LogStores = append(c.LogStores, ls)
+		tr.Register(n, ls)
+	}
+	var psNames []string
+	for i := 0; i < opt.PageStores; i++ {
+		name := fmt.Sprintf("ps%d", i+1)
+		rc := pagestore.NewResourceControl(opt.NDPWorkers, opt.NDPQueue)
+		ps := pagestore.New(name, pagestore.WithResourceControl(rc))
+		c.PageStores = append(c.PageStores, ps)
+		c.Controls = append(c.Controls, rc)
+		psNames = append(psNames, name)
+		tr.Register(name, ps)
+	}
+	s, err := sal.New(sal.Config{
+		Tenant: 1, Transport: tr, LogStores: logNames, PageStores: psNames,
+		ReplicationFactor: opt.ReplicationFactor, PagesPerSlice: opt.PagesPerSlice,
+		Plugin: pagestore.PluginInnoDB,
+	})
+	if err != nil {
+		return nil, err
+	}
+	c.SAL = s
+	eng, err := engine.New(engine.Config{
+		SAL: s, PoolPages: opt.PoolPages, NDPMaxPagesLookAhead: opt.LookAhead,
+	})
+	if err != nil {
+		return nil, err
+	}
+	c.Engine = eng
+	return c, nil
+}
+
+// WorkerSchema is the salary-example table of the paper's Listing 1.
+var WorkerSchema = types.NewSchema(
+	types.Column{Name: "id", Kind: types.KindInt, NotNull: true},
+	types.Column{Name: "age", Kind: types.KindInt, NotNull: true},
+	types.Column{Name: "join_date", Kind: types.KindDate, NotNull: true},
+	types.Column{Name: "salary", Kind: types.KindDecimal, NotNull: true},
+	types.Column{Name: "name", Kind: types.KindString},
+)
+
+// LoadWorkers creates and fills the worker table with n deterministic
+// rows.
+func (c *Cluster) LoadWorkers(n int) (*engine.Table, error) {
+	tbl, err := c.Engine.CreateTable("worker", WorkerSchema, []int{0})
+	if err != nil {
+		return nil, err
+	}
+	tx := c.Engine.Txm().Begin()
+	r := rand.New(rand.NewSource(42))
+	for i := 0; i < n; i++ {
+		row := types.Row{
+			types.NewInt(int64(i)),
+			types.NewInt(int64(20 + r.Intn(40))),
+			types.DateFromYMD(2005+r.Intn(10), 1+r.Intn(12), 1+r.Intn(28)),
+			types.NewDecimal(int64(300000 + r.Intn(700000))),
+			types.NewString(fmt.Sprintf("worker-%06d", i)),
+		}
+		if err := c.Engine.Insert(tbl, tx, row); err != nil {
+			return nil, err
+		}
+	}
+	tx.Commit()
+	if err := c.SAL.Flush(); err != nil {
+		return nil, err
+	}
+	return tbl, nil
+}

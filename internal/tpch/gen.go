@@ -1,0 +1,308 @@
+package tpch
+
+import (
+	"fmt"
+	"math/rand"
+
+	"taurus/internal/types"
+)
+
+// Cardinalities at scale factor 1, per the TPC-H specification.
+const (
+	sfSupplier = 10000
+	sfCustomer = 150000
+	sfPart     = 200000
+	sfOrders   = 1500000
+)
+
+// Gen is a deterministic TPC-H data generator.
+type Gen struct {
+	SF  float64
+	rng *rand.Rand
+
+	NSupplier int
+	NCustomer int
+	NPart     int
+	NOrders   int
+}
+
+// NewGen creates a generator for the scale factor.
+func NewGen(sf float64) *Gen {
+	g := &Gen{SF: sf, rng: rand.New(rand.NewSource(19920401))}
+	g.NSupplier = scaled(sfSupplier, sf, 10)
+	g.NCustomer = scaled(sfCustomer, sf, 30)
+	g.NPart = scaled(sfPart, sf, 40)
+	g.NOrders = scaled(sfOrders, sf, 150)
+	return g
+}
+
+func scaled(base int, sf float64, floor int) int {
+	n := int(float64(base) * sf)
+	if n < floor {
+		n = floor
+	}
+	return n
+}
+
+var (
+	regions = []string{"AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"}
+	nations = []string{"ALGERIA", "ARGENTINA", "BRAZIL", "CANADA", "EGYPT",
+		"ETHIOPIA", "FRANCE", "GERMANY", "INDIA", "INDONESIA", "IRAN", "IRAQ",
+		"JAPAN", "JORDAN", "KENYA", "MOROCCO", "MOZAMBIQUE", "PERU", "CHINA",
+		"ROMANIA", "SAUDI ARABIA", "VIETNAM", "RUSSIA", "UNITED KINGDOM",
+		"UNITED STATES"}
+	nationRegion = []int{0, 1, 1, 1, 4, 0, 3, 3, 2, 2, 4, 4, 2, 4, 0, 0, 0, 1, 2, 3, 4, 2, 3, 3, 1}
+
+	segments    = []string{"AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"}
+	priorities  = []string{"1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"}
+	shipmodes   = []string{"REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB"}
+	instructs   = []string{"DELIVER IN PERSON", "COLLECT COD", "NONE", "TAKE BACK RETURN"}
+	containers1 = []string{"SM", "LG", "MED", "JUMBO", "WRAP"}
+	containers2 = []string{"CASE", "BOX", "BAG", "JAR", "PKG", "PACK", "CAN", "DRUM"}
+	typeSyl1    = []string{"STANDARD", "SMALL", "MEDIUM", "LARGE", "ECONOMY", "PROMO"}
+	typeSyl2    = []string{"ANODIZED", "BURNISHED", "PLATED", "POLISHED", "BRUSHED"}
+	typeSyl3    = []string{"TIN", "NICKEL", "BRASS", "STEEL", "COPPER"}
+	nameWords   = []string{"almond", "antique", "aquamarine", "azure", "beige", "bisque",
+		"black", "blanched", "blue", "blush", "brown", "burlywood", "burnished",
+		"chartreuse", "chiffon", "chocolate", "coral", "cornflower", "cornsilk",
+		"cream", "cyan", "dark", "deep", "dim", "dodger", "drab", "firebrick",
+		"floral", "forest", "frosted", "gainsboro", "ghost", "goldenrod", "green",
+		"grey", "honeydew", "hot", "hotpink", "indian", "ivory", "khaki",
+		"lace", "lavender", "lawn", "lemon", "light", "lime", "linen", "magenta",
+		"maroon", "medium", "metallic", "midnight", "mint", "misty", "moccasin",
+		"navajo", "navy", "olive", "orange", "orchid", "pale", "papaya", "peach",
+		"peru", "pink", "plum", "powder", "puff", "purple", "red", "rose", "rosy",
+		"royal", "saddle", "salmon", "sandy", "seashell", "sienna", "sky", "slate",
+		"smoke", "snow", "spring", "steel", "tan", "thistle", "tomato", "turquoise",
+		"violet", "wheat", "white", "yellow"}
+	commentWords = []string{"carefully", "quickly", "slyly", "furiously", "blithely",
+		"deposits", "requests", "packages", "foxes", "ideas", "accounts",
+		"pinto", "beans", "instructions", "theodolites", "dependencies",
+		"excuses", "platelets", "asymptotes", "courts", "dolphins", "special",
+		"express", "regular", "final", "ironic", "even", "bold", "pending",
+		"unusual", "silent", "sleep", "wake", "nag", "haggle", "cajole", "detect"}
+)
+
+// epochDays converts y/m/d to days since 1970-01-01.
+func epochDays(y, m, d int) int32 {
+	return int32(types.DateFromYMD(y, m, d).I)
+}
+
+var (
+	// Order date range per spec: 1992-01-01 .. 1998-08-02.
+	dateLo = epochDays(1992, 1, 1)
+	dateHi = epochDays(1998, 8, 2)
+)
+
+func (g *Gen) words(n int) string {
+	out := ""
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			out += " "
+		}
+		out += commentWords[g.rng.Intn(len(commentWords))]
+	}
+	return out
+}
+
+func (g *Gen) phone() string {
+	return fmt.Sprintf("%02d-%03d-%03d-%04d", 10+g.rng.Intn(25),
+		100+g.rng.Intn(900), 100+g.rng.Intn(900), 1000+g.rng.Intn(9000))
+}
+
+// Regions yields the REGION rows.
+func (g *Gen) Regions() []types.Row {
+	out := make([]types.Row, len(regions))
+	for i, name := range regions {
+		out[i] = types.Row{
+			types.NewInt(int64(i)), types.NewString(name), types.NewString(g.words(3)),
+		}
+	}
+	return out
+}
+
+// Nations yields the NATION rows.
+func (g *Gen) Nations() []types.Row {
+	out := make([]types.Row, len(nations))
+	for i, name := range nations {
+		out[i] = types.Row{
+			types.NewInt(int64(i)), types.NewString(name),
+			types.NewInt(int64(nationRegion[i])), types.NewString(g.words(4)),
+		}
+	}
+	return out
+}
+
+// Suppliers yields the SUPPLIER rows.
+func (g *Gen) Suppliers() []types.Row {
+	out := make([]types.Row, g.NSupplier)
+	for i := range out {
+		k := int64(i + 1)
+		comment := g.words(4)
+		// ~5 per 10000 suppliers carry the Q16/Q20 complaint marker.
+		if g.rng.Intn(2000) == 0 {
+			comment += " Customer Complaints " + g.words(2)
+		}
+		out[i] = types.Row{
+			types.NewInt(k),
+			types.NewString(fmt.Sprintf("Supplier#%09d", k)),
+			types.NewString(g.words(2)),
+			types.NewInt(int64(g.rng.Intn(len(nations)))),
+			types.NewString(g.phone()),
+			types.NewDecimal(int64(g.rng.Intn(1100000)) - 100000), // -999.99..9999.99
+			types.NewString(comment),
+		}
+	}
+	return out
+}
+
+// Customers yields the CUSTOMER rows.
+func (g *Gen) Customers() []types.Row {
+	out := make([]types.Row, g.NCustomer)
+	for i := range out {
+		k := int64(i + 1)
+		out[i] = types.Row{
+			types.NewInt(k),
+			types.NewString(fmt.Sprintf("Customer#%09d", k)),
+			types.NewString(g.words(2)),
+			types.NewInt(int64(g.rng.Intn(len(nations)))),
+			types.NewString(g.phone()),
+			types.NewDecimal(int64(g.rng.Intn(1100000)) - 100000),
+			types.NewString(segments[g.rng.Intn(len(segments))]),
+			types.NewString(g.words(6)),
+		}
+	}
+	return out
+}
+
+// Parts yields the PART rows.
+func (g *Gen) Parts() []types.Row {
+	out := make([]types.Row, g.NPart)
+	for i := range out {
+		k := int64(i + 1)
+		m, n := 1+g.rng.Intn(5), 1+g.rng.Intn(5)
+		name := nameWords[g.rng.Intn(len(nameWords))] + " " +
+			nameWords[g.rng.Intn(len(nameWords))] + " " +
+			nameWords[g.rng.Intn(len(nameWords))] + " " +
+			nameWords[g.rng.Intn(len(nameWords))] + " " +
+			nameWords[g.rng.Intn(len(nameWords))]
+		ptype := typeSyl1[g.rng.Intn(6)] + " " + typeSyl2[g.rng.Intn(5)] + " " + typeSyl3[g.rng.Intn(5)]
+		container := containers1[g.rng.Intn(5)] + " " + containers2[g.rng.Intn(8)]
+		out[i] = types.Row{
+			types.NewInt(k),
+			types.NewString(name),
+			types.NewString(fmt.Sprintf("Manufacturer#%d", m)),
+			types.NewString(fmt.Sprintf("Brand#%d%d", m, n)),
+			types.NewString(ptype),
+			types.NewInt(int64(1 + g.rng.Intn(50))),
+			types.NewString(container),
+			types.NewDecimal(90000 + k%20000), // ~900..1100
+			types.NewString(g.words(2)),
+		}
+	}
+	return out
+}
+
+// PartSupps yields PARTSUPP rows: 4 suppliers per part.
+func (g *Gen) PartSupps() []types.Row {
+	out := make([]types.Row, 0, g.NPart*4)
+	for p := 1; p <= g.NPart; p++ {
+		for s := 0; s < 4; s++ {
+			suppkey := int64((p+s*(g.NSupplier/4+1))%g.NSupplier) + 1
+			out = append(out, types.Row{
+				types.NewInt(int64(p)),
+				types.NewInt(suppkey),
+				types.NewInt(int64(1 + g.rng.Intn(9999))),
+				types.NewDecimal(int64(100 + g.rng.Intn(99900))), // 1.00..1000.00
+				types.NewString(g.words(10)),
+			})
+		}
+	}
+	return out
+}
+
+// Order and its Lineitems are generated together so dates correlate per
+// spec (l_shipdate = o_orderdate + 1..121 days, etc.).
+
+// Orders yields ORDERS rows plus the matching LINEITEM rows.
+func (g *Gen) Orders() (orders []types.Row, lineitems []types.Row) {
+	orders = make([]types.Row, 0, g.NOrders)
+	lineitems = make([]types.Row, 0, g.NOrders*4)
+	for o := 1; o <= g.NOrders; o++ {
+		orderdate := dateLo + int32(g.rng.Intn(int(dateHi-dateLo-121)))
+		custkey := int64(g.rng.Intn(g.NCustomer)) + 1
+		nLines := 1 + g.rng.Intn(7)
+		var total int64
+		status := "O"
+		nF, nO := 0, 0
+		lines := make([]types.Row, 0, nLines)
+		for ln := 1; ln <= nLines; ln++ {
+			partkey := int64(g.rng.Intn(g.NPart)) + 1
+			suppkey := int64((int(partkey)+(ln%4)*(g.NSupplier/4+1))%g.NSupplier) + 1
+			qty := int64(1 + g.rng.Intn(50))
+			price := (90000 + partkey%20000) * qty / 100 * 100 // qty * retailprice-ish, scaled
+			discount := int64(g.rng.Intn(11))                  // 0.00..0.10
+			tax := int64(g.rng.Intn(9))                        // 0.00..0.08
+			shipdate := orderdate + int32(1+g.rng.Intn(121))
+			commitdate := orderdate + int32(30+g.rng.Intn(61))
+			receiptdate := shipdate + int32(1+g.rng.Intn(30))
+			returnflag := "N"
+			if receiptdate <= epochDays(1995, 6, 17) {
+				if g.rng.Intn(2) == 0 {
+					returnflag = "R"
+				} else {
+					returnflag = "A"
+				}
+			}
+			linestatus := "O"
+			if shipdate <= epochDays(1995, 6, 17) {
+				linestatus = "F"
+				nF++
+			} else {
+				nO++
+			}
+			total += price
+			lines = append(lines, types.Row{
+				types.NewInt(int64(o)),
+				types.NewInt(int64(ln)),
+				types.NewInt(partkey),
+				types.NewInt(suppkey),
+				types.NewDecimal(qty * 100),
+				types.NewDecimal(price),
+				types.NewDecimal(discount),
+				types.NewDecimal(tax),
+				types.NewString(returnflag),
+				types.NewString(linestatus),
+				types.NewDate(shipdate),
+				types.NewDate(commitdate),
+				types.NewDate(receiptdate),
+				types.NewString(instructs[g.rng.Intn(len(instructs))]),
+				types.NewString(shipmodes[g.rng.Intn(len(shipmodes))]),
+				types.NewString(g.words(4)),
+			})
+		}
+		switch {
+		case nO == 0:
+			status = "F"
+		case nF > 0:
+			status = "P"
+		}
+		comment := g.words(6)
+		if g.rng.Intn(100) == 0 {
+			comment = "special " + g.words(2) + " requests " + g.words(2)
+		}
+		orders = append(orders, types.Row{
+			types.NewInt(int64(o)),
+			types.NewInt(custkey),
+			types.NewString(status),
+			types.NewDecimal(total),
+			types.NewDate(orderdate),
+			types.NewString(priorities[g.rng.Intn(len(priorities))]),
+			types.NewString(fmt.Sprintf("Clerk#%09d", 1+g.rng.Intn(1000))),
+			types.NewInt(0),
+			types.NewString(comment),
+		})
+		lineitems = append(lineitems, lines...)
+	}
+	return orders, lineitems
+}

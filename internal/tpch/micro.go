@@ -1,0 +1,64 @@
+package tpch
+
+import (
+	"taurus/internal/core"
+	"taurus/internal/exec"
+	"taurus/internal/expr"
+	"taurus/internal/plan"
+	"taurus/internal/types"
+)
+
+// The Listing 5 micro-benchmark: three COUNT(*) variants whose
+// "performance ... is a perennial problem in MySQL, and NDP provides
+// immediate customer benefits" (§VII-A).
+
+// Q0: SELECT COUNT(*) FROM lineitem — full primary (table) scan.
+func Q0(e *Env, _ *exec.Ctx) exec.Operator {
+	return e.aggScan(&plan.AccessSpec{
+		Table: "lineitem", Index: e.DB.Lineitem.Primary,
+		Output:      []int{LOrderkey},
+		LastInBlock: true,
+		Aggs:        []plan.AggCandidate{{Fn: core.AggCountStar, ArgCol: -1, Name: "count(*)"}},
+	}, nil)
+}
+
+// Q001: SELECT COUNT(*) FROM lineitem WHERE l_shipdate < '1998-07-01' —
+// a filtered table scan.
+func Q001(e *Env, _ *exec.Ctx) exec.Operator {
+	return e.aggScan(&plan.AccessSpec{
+		Table: "lineitem", Index: e.DB.Lineitem.Primary,
+		Predicate:   expr.LT(col(LShipdate, "l_shipdate"), dateConst(1998, 7, 1)),
+		Output:      []int{LOrderkey, LShipdate},
+		LastInBlock: true,
+		Aggs:        []plan.AggCandidate{{Fn: core.AggCountStar, ArgCol: -1, Name: "count(*)"}},
+	}, nil)
+}
+
+// Q002: SELECT COUNT(*) FROM lineitem WHERE l_suppkey <= K — a covering
+// secondary index range scan. K is chosen as ~60% of the supplier domain
+// so the scaled query keeps the original's selectivity character.
+func Q002(e *Env, _ *exec.Ctx) exec.Operator {
+	maxSupp := int64(1)
+	if st := e.DB.Cat.Stats("supplier"); st != nil {
+		maxSupp = st.Rows
+	}
+	k := maxSupp * 6 / 10
+	idx := e.DB.LineitemBySupp
+	// Secondary layout: 0=l_suppkey 1=l_orderkey 2=l_linenumber.
+	return e.aggScan(&plan.AccessSpec{
+		Table: "lineitem", Index: idx,
+		Predicate:   expr.LE(col(0, "l_suppkey"), intConst(k)),
+		Range:       &plan.KeyRange{End: types.Row{types.NewInt(k)}},
+		Output:      []int{0},
+		LastInBlock: true,
+		Aggs:        []plan.AggCandidate{{Fn: core.AggCountStar, ArgCol: -1, Name: "count(*)"}},
+	}, nil)
+}
+
+// MicroQueries lists the Fig. 5/6 workload: the three COUNT(*) variants
+// plus TPC-H Q1 and Q6.
+func MicroQueries() []Query {
+	return []Query{
+		{"Q0", Q0}, {"Q001", Q001}, {"Q002", Q002}, {"Q1", Q1}, {"Q6", Q6},
+	}
+}

@@ -1,0 +1,611 @@
+package tpch
+
+import (
+	"taurus/internal/core"
+	"taurus/internal/exec"
+	"taurus/internal/expr"
+	"taurus/internal/plan"
+	"taurus/internal/types"
+)
+
+// The 22 TPC-H queries as physical plans. Every base-table access goes
+// through Env.scan, i.e. through the NDP post-processing optimizer, so a
+// single boolean (Env.NDP) switches the whole workload between the
+// paper's NDP-on and NDP-off configurations. Plans follow the shapes the
+// paper describes (hash joins for the big joins; NL index-lookup joins
+// for Q4/Q14/Q17/Q19/Q20; dimension filters on small tables that fail
+// the 10,000-page rule).
+
+// Q1: pricing summary report. Lineitem scan; GROUP BY
+// (l_returnflag, l_linestatus) is not an index prefix, so aggregation
+// stays on the SQL node; projection (and classically the filter) pushes.
+func Q1(e *Env, _ *exec.Ctx) exec.Operator {
+	// Output layout: 0=rf 1=ls 2=qty 3=price 4=disc 5=tax.
+	spec := &plan.AccessSpec{
+		Table: "lineitem", Index: e.DB.Lineitem.Primary,
+		Predicate:   expr.LE(col(LShipdate, "l_shipdate"), dateConst(1998, 9, 2)),
+		Output:      []int{LReturnflag, LLinestatus, LQuantity, LExtendedprice, LDiscount, LTax},
+		LastInBlock: true,
+		Aggs:        []plan.AggCandidate{{Fn: core.AggSum, ArgCol: 2, Name: "sum_qty"}},
+		GroupBy:     []int{0, 1},
+	}
+	scan := e.scan(spec)
+	agg := &exec.HashAgg{
+		Input:      scan,
+		GroupBy:    []*expr.Expr{col(0, "l_returnflag"), col(1, "l_linestatus")},
+		GroupNames: []string{"l_returnflag", "l_linestatus"},
+		Aggs: []exec.AggDef{
+			{Fn: exec.AggFnSum, Arg: col(2, "l_quantity"), Name: "sum_qty"},
+			{Fn: exec.AggFnSum, Arg: col(3, "l_extendedprice"), Name: "sum_base_price"},
+			{Fn: exec.AggFnSum, Arg: expr.Div(revenue(3, 4), decConst(100)), Name: "sum_disc_price"},
+			{Fn: exec.AggFnSum, Arg: expr.Div(expr.Mul(expr.Div(revenue(3, 4), decConst(100)),
+				expr.Add(decConst(100), col(5, "l_tax"))), decConst(100)), Name: "sum_charge"},
+			{Fn: exec.AggFnAvg, Arg: col(2, "l_quantity"), Name: "avg_qty"},
+			{Fn: exec.AggFnAvg, Arg: col(3, "l_extendedprice"), Name: "avg_price"},
+			{Fn: exec.AggFnAvg, Arg: col(4, "l_discount"), Name: "avg_disc"},
+			{Fn: exec.AggFnCountStar, Name: "count_order"},
+		},
+	}
+	return &exec.Sort{Input: agg, Keys: []exec.OrderKey{
+		{Expr: col(0, "l_returnflag")}, {Expr: col(1, "l_linestatus")},
+	}}
+}
+
+// q2MinCostJoin builds the shared PART⋈PARTSUPP⋈SUPPLIER⋈NATION⋈REGION
+// tree for Q2.
+// Combined layout (14+2 wide): see inline comments.
+func Q2(e *Env, ctx *exec.Ctx) exec.Operator {
+	// region EUROPE → nation list.
+	region := e.scan(&plan.AccessSpec{
+		Table: "region", Index: e.DB.Region.Primary,
+		Predicate: expr.EQ(col(RName, "r_name"), strConst("EUROPE")),
+		Output:    []int{RRegionkey},
+	})
+	nation := e.scan(&plan.AccessSpec{
+		Table: "nation", Index: e.DB.Nation.Primary,
+		Output: []int{NNationkey, NName, NRegionkey},
+	})
+	// euroNation: 0=n_nationkey 1=n_name 2=n_regionkey 3=r_regionkey
+	euroNation := &exec.HashJoin{
+		Kind: exec.JoinInner, Build: region, Probe: nation,
+		BuildKeys: []int{0}, ProbeKeys: []int{2},
+	}
+	supplier := e.scan(&plan.AccessSpec{
+		Table: "supplier", Index: e.DB.Supplier.Primary,
+		Output: []int{SSuppkey, SName, SAddress, SNationkey, SPhone, SAcctbal, SComment},
+	})
+	// euroSupp: 0=s_suppkey 1=s_name 2=s_address 3=s_nationkey 4=s_phone
+	// 5=s_acctbal 6=s_comment 7=n_nationkey 8=n_name ...
+	euroSupp := &exec.HashJoin{
+		Kind: exec.JoinInner, Build: euroNation, Probe: supplier,
+		BuildKeys: []int{0}, ProbeKeys: []int{3},
+	}
+	partsupp := e.scan(&plan.AccessSpec{
+		Table: "partsupp", Index: e.DB.PartSupp.Primary,
+		Output: []int{PSPartkey, PSSuppkey, PSSupplycost},
+	})
+	// psSupp: 0=ps_partkey 1=ps_suppkey 2=ps_supplycost 3=s_suppkey
+	// 4=s_name 5=s_address 6=s_nationkey 7=s_phone 8=s_acctbal
+	// 9=s_comment 10=n_nationkey 11=n_name ...
+	psSupp := &exec.HashJoin{
+		Kind: exec.JoinInner, Build: euroSupp, Probe: partsupp,
+		BuildKeys: []int{0}, ProbeKeys: []int{1},
+	}
+	part := e.scan(&plan.AccessSpec{
+		Table: "part", Index: e.DB.Part.Primary,
+		Predicate: expr.And(
+			expr.EQ(col(PSize, "p_size"), intConst(15)),
+			expr.Like(col(PType, "p_type"), strConst("%BRASS"))),
+		Output: []int{PPartkey, PMfgr},
+	})
+	// joined: psSupp(14) ++ part(2): 14=p_partkey 15=p_mfgr.
+	joined := &exec.HashJoin{
+		Kind: exec.JoinInner, Build: part, Probe: psSupp,
+		BuildKeys: []int{0}, ProbeKeys: []int{0},
+	}
+	rows := e.runSub(ctx, joined)
+	names := joined.Columns()
+	base1 := &exec.Values{Rows: rows, Names: names}
+	base2 := &exec.Values{Rows: rows, Names: names}
+	// Minimum supply cost per part.
+	minCost := &exec.HashAgg{
+		Input:      base1,
+		GroupBy:    []*expr.Expr{col(14, "p_partkey")},
+		GroupNames: []string{"p_partkey"},
+		Aggs:       []exec.AggDef{{Fn: exec.AggFnMin, Arg: col(2, "ps_supplycost"), Name: "min_cost"}},
+	}
+	// Keep rows at the minimum: join back on (partkey, cost).
+	winners := &exec.HashJoin{
+		Kind: exec.JoinInner, Build: minCost, Probe: base2,
+		BuildKeys: []int{0, 1}, ProbeKeys: []int{14, 2},
+	}
+	sorted := &exec.Sort{Input: winners, Keys: []exec.OrderKey{
+		{Expr: col(8, "s_acctbal"), Desc: true},
+		{Expr: col(11, "n_name")},
+		{Expr: col(4, "s_name")},
+		{Expr: col(14, "p_partkey")},
+	}}
+	proj := &exec.Project{
+		Input: &exec.Limit{Input: sorted, N: 100},
+		Exprs: []*expr.Expr{col(8, ""), col(4, ""), col(11, ""), col(14, ""),
+			col(15, ""), col(0, ""), col(7, "s_phone"), col(9, "")},
+		Names: []string{"s_acctbal", "s_name", "n_name", "p_partkey", "p_mfgr",
+			"ps_partkey", "s_phone", "s_comment"},
+	}
+	return proj
+}
+
+// Q3: shipping priority. customer(BUILDING) ⋈ orders(<date) ⋈
+// lineitem(>date); top 10 by revenue.
+func Q3(e *Env, _ *exec.Ctx) exec.Operator {
+	customer := e.scan(&plan.AccessSpec{
+		Table: "customer", Index: e.DB.Customer.Primary,
+		Predicate: expr.EQ(col(CMktsegment, "c_mktsegment"), strConst("BUILDING")),
+		Output:    []int{CCustkey},
+	})
+	orders := e.scan(&plan.AccessSpec{
+		Table: "orders", Index: e.DB.Orders.Primary,
+		Predicate: expr.LT(col(OOrderdate, "o_orderdate"), dateConst(1995, 3, 15)),
+		Output:    []int{OOrderkey, OCustkey, OOrderdate, OShippriority},
+	})
+	// co: 0=o_orderkey 1=o_custkey 2=o_orderdate 3=o_shippriority 4=c_custkey
+	co := &exec.HashJoin{
+		Kind: exec.JoinInner, Build: customer, Probe: orders,
+		BuildKeys: []int{0}, ProbeKeys: []int{1},
+	}
+	lineitem := e.scan(&plan.AccessSpec{
+		Table: "lineitem", Index: e.DB.Lineitem.Primary,
+		Predicate: expr.GT(col(LShipdate, "l_shipdate"), dateConst(1995, 3, 15)),
+		Output:    []int{LOrderkey, LExtendedprice, LDiscount},
+	})
+	// col: lineitem(3) ++ co(5): 0=l_orderkey 1=price 2=disc 3=o_orderkey
+	// 4=o_custkey 5=o_orderdate 6=o_shippriority
+	all := &exec.HashJoin{
+		Kind: exec.JoinInner, Build: co, Probe: lineitem,
+		BuildKeys: []int{0}, ProbeKeys: []int{0},
+	}
+	agg := &exec.HashAgg{
+		Input: all,
+		GroupBy: []*expr.Expr{col(0, "l_orderkey"), col(5, "o_orderdate"),
+			col(6, "o_shippriority")},
+		GroupNames: []string{"l_orderkey", "o_orderdate", "o_shippriority"},
+		Aggs: []exec.AggDef{{Fn: exec.AggFnSum,
+			Arg: expr.Div(revenue(1, 2), decConst(100)), Name: "revenue"}},
+	}
+	sorted := &exec.Sort{Input: agg, Keys: []exec.OrderKey{
+		{Expr: col(3, "revenue"), Desc: true},
+		{Expr: col(1, "o_orderdate")},
+	}}
+	return &exec.Limit{Input: sorted, N: 10}
+}
+
+// Q4: order priority checking. Orders scan; EXISTS(lineitem with
+// commitdate < receiptdate) via an index-lookup semi join on the
+// lineitem primary key — the point-lookup path that NDP skips and that
+// warms the buffer pool (the §VII-D Q4 experiment).
+func Q4(e *Env, _ *exec.Ctx) exec.Operator {
+	orders := e.scan(&plan.AccessSpec{
+		Table: "orders", Index: e.DB.Orders.Primary,
+		Predicate: expr.And(
+			expr.GE(col(OOrderdate, "o_orderdate"), dateConst(1993, 7, 1)),
+			expr.LT(col(OOrderdate, "o_orderdate"), dateConst(1993, 10, 1))),
+		Output: []int{OOrderkey, OOrderpriority},
+	})
+	db := e.DB
+	semi := &exec.IndexLookupJoin{
+		Outer: orders, Kind: exec.JoinSemi,
+		InnerCols: []string{"l_commitdate", "l_receiptdate"},
+		Lookup: func(ctx *exec.Ctx, outer types.Row) ([]types.Row, error) {
+			return lookupByPrefix(ctx, db.Lineitem.Primary, outer[0],
+				[]int{LCommitdate, LReceiptdate})
+		},
+		On: expr.LT(col(2, "l_commitdate"), col(3, "l_receiptdate")),
+	}
+	agg := &exec.HashAgg{
+		Input:      semi,
+		GroupBy:    []*expr.Expr{col(1, "o_orderpriority")},
+		GroupNames: []string{"o_orderpriority"},
+		Aggs:       []exec.AggDef{{Fn: exec.AggFnCountStar, Name: "order_count"}},
+	}
+	return &exec.Sort{Input: agg, Keys: []exec.OrderKey{{Expr: col(0, "o_orderpriority")}}}
+}
+
+// Q5: local supplier volume (region ASIA, 1994). The c_nationkey =
+// s_nationkey correlation is enforced as a post-join filter.
+func Q5(e *Env, _ *exec.Ctx) exec.Operator {
+	region := e.scan(&plan.AccessSpec{
+		Table: "region", Index: e.DB.Region.Primary,
+		Predicate: expr.EQ(col(RName, "r_name"), strConst("ASIA")),
+		Output:    []int{RRegionkey},
+	})
+	nation := e.scan(&plan.AccessSpec{
+		Table: "nation", Index: e.DB.Nation.Primary,
+		Output: []int{NNationkey, NName, NRegionkey},
+	})
+	// asiaNation: 0=n_nationkey 1=n_name 2=n_regionkey 3=r_regionkey
+	asiaNation := &exec.HashJoin{Kind: exec.JoinInner, Build: region, Probe: nation,
+		BuildKeys: []int{0}, ProbeKeys: []int{2}}
+	supplier := e.scan(&plan.AccessSpec{
+		Table: "supplier", Index: e.DB.Supplier.Primary,
+		Output: []int{SSuppkey, SNationkey},
+	})
+	// supp: 0=s_suppkey 1=s_nationkey 2=n_nationkey 3=n_name 4..
+	supp := &exec.HashJoin{Kind: exec.JoinInner, Build: asiaNation, Probe: supplier,
+		BuildKeys: []int{0}, ProbeKeys: []int{1}}
+	lineitem := e.scan(&plan.AccessSpec{
+		Table: "lineitem", Index: e.DB.Lineitem.Primary,
+		Output: []int{LOrderkey, LSuppkey, LExtendedprice, LDiscount},
+	})
+	// ls: lineitem(4) ++ supp(6): 0=l_orderkey 1=l_suppkey 2=price 3=disc
+	// 4=s_suppkey 5=s_nationkey 6=n_nationkey 7=n_name
+	ls := &exec.HashJoin{Kind: exec.JoinInner, Build: supp, Probe: lineitem,
+		BuildKeys: []int{0}, ProbeKeys: []int{1}}
+	orders := e.scan(&plan.AccessSpec{
+		Table: "orders", Index: e.DB.Orders.Primary,
+		Predicate: expr.And(
+			expr.GE(col(OOrderdate, "o_orderdate"), dateConst(1994, 1, 1)),
+			expr.LT(col(OOrderdate, "o_orderdate"), dateConst(1995, 1, 1))),
+		Output: []int{OOrderkey, OCustkey},
+	})
+	// lso: ls(8) ++ orders(2): 8=o_orderkey 9=o_custkey
+	lso := &exec.HashJoin{Kind: exec.JoinInner, Build: orders, Probe: ls,
+		BuildKeys: []int{0}, ProbeKeys: []int{0}}
+	customer := e.scan(&plan.AccessSpec{
+		Table: "customer", Index: e.DB.Customer.Primary,
+		Output: []int{CCustkey, CNationkey},
+	})
+	// lsoc: lso(10) ++ customer(2): 10=c_custkey 11=c_nationkey
+	lsoc := &exec.HashJoin{Kind: exec.JoinInner, Build: customer, Probe: lso,
+		BuildKeys: []int{0}, ProbeKeys: []int{9}}
+	filtered := &exec.Filter{Input: lsoc,
+		Pred: expr.EQ(col(11, "c_nationkey"), col(5, "s_nationkey"))}
+	agg := &exec.HashAgg{
+		Input:      filtered,
+		GroupBy:    []*expr.Expr{col(7, "n_name")},
+		GroupNames: []string{"n_name"},
+		Aggs: []exec.AggDef{{Fn: exec.AggFnSum,
+			Arg: expr.Div(revenue(2, 3), decConst(100)), Name: "revenue"}},
+	}
+	return &exec.Sort{Input: agg, Keys: []exec.OrderKey{{Expr: col(1, "revenue"), Desc: true}}}
+}
+
+// Q6: forecasting revenue change — the paper's flagship NDP query (99%
+// network and 91% CPU reduction): scalar SUM with every conjunct and the
+// aggregate argument pushable.
+func Q6(e *Env, _ *exec.Ctx) exec.Operator {
+	// Output layout: 0=price 1=disc.
+	spec := &plan.AccessSpec{
+		Table: "lineitem", Index: e.DB.Lineitem.Primary,
+		Predicate: expr.AndAll(
+			expr.GE(col(LShipdate, "l_shipdate"), dateConst(1994, 1, 1)),
+			expr.LT(col(LShipdate, "l_shipdate"), dateConst(1995, 1, 1)),
+			expr.Between(col(LDiscount, "l_discount"), decConst(5), decConst(7)),
+			expr.LT(col(LQuantity, "l_quantity"), decConst(2400)),
+		),
+		Output:      []int{LExtendedprice, LDiscount},
+		LastInBlock: true,
+		Aggs: []plan.AggCandidate{{
+			Fn: core.AggSum,
+			ArgExpr: expr.Div(expr.Mul(col(0, "l_extendedprice"), col(1, "l_discount")),
+				decConst(100)),
+			ArgCol: -1, Name: "revenue",
+		}},
+	}
+	return e.aggScan(spec, nil)
+}
+
+// Q7: volume shipping between FRANCE and GERMANY, 1995–1996.
+func Q7(e *Env, _ *exec.Ctx) exec.Operator {
+	nation := e.scan(&plan.AccessSpec{
+		Table: "nation", Index: e.DB.Nation.Primary,
+		Predicate: expr.Or(
+			expr.EQ(col(NName, "n_name"), strConst("FRANCE")),
+			expr.EQ(col(NName, "n_name"), strConst("GERMANY"))),
+		Output: []int{NNationkey, NName},
+	})
+	supplier := e.scan(&plan.AccessSpec{
+		Table: "supplier", Index: e.DB.Supplier.Primary,
+		Output: []int{SSuppkey, SNationkey},
+	})
+	// supp: 0=s_suppkey 1=s_nationkey 2=n_nationkey 3=supp_nation
+	supp := &exec.HashJoin{Kind: exec.JoinInner, Build: nation, Probe: supplier,
+		BuildKeys: []int{0}, ProbeKeys: []int{1}}
+	lineitem := e.scan(&plan.AccessSpec{
+		Table: "lineitem", Index: e.DB.Lineitem.Primary,
+		Predicate: expr.Between(col(LShipdate, "l_shipdate"),
+			dateConst(1995, 1, 1), dateConst(1996, 12, 31)),
+		Output: []int{LOrderkey, LSuppkey, LExtendedprice, LDiscount, LShipdate},
+	})
+	// ls: 0=l_orderkey 1=l_suppkey 2=price 3=disc 4=shipdate 5=s_suppkey
+	// 6=s_nationkey 7=n_nationkey 8=supp_nation
+	ls := &exec.HashJoin{Kind: exec.JoinInner, Build: supp, Probe: lineitem,
+		BuildKeys: []int{0}, ProbeKeys: []int{1}}
+	orders := e.scan(&plan.AccessSpec{
+		Table: "orders", Index: e.DB.Orders.Primary,
+		Output: []int{OOrderkey, OCustkey},
+	})
+	// lso: ls(9) ++ orders(2): 9=o_orderkey 10=o_custkey
+	lso := &exec.HashJoin{Kind: exec.JoinInner, Build: orders, Probe: ls,
+		BuildKeys: []int{0}, ProbeKeys: []int{0}}
+	nation2 := e.scan(&plan.AccessSpec{
+		Table: "nation", Index: e.DB.Nation.Primary,
+		Predicate: expr.Or(
+			expr.EQ(col(NName, "n_name"), strConst("FRANCE")),
+			expr.EQ(col(NName, "n_name"), strConst("GERMANY"))),
+		Output: []int{NNationkey, NName},
+	})
+	customer := e.scan(&plan.AccessSpec{
+		Table: "customer", Index: e.DB.Customer.Primary,
+		Output: []int{CCustkey, CNationkey},
+	})
+	// cust: 0=c_custkey 1=c_nationkey 2=n_nationkey 3=cust_nation
+	cust := &exec.HashJoin{Kind: exec.JoinInner, Build: nation2, Probe: customer,
+		BuildKeys: []int{0}, ProbeKeys: []int{1}}
+	// all: lso(11) ++ cust(4): 11=c_custkey 12=c_nationkey 13=n2key 14=cust_nation
+	all := &exec.HashJoin{Kind: exec.JoinInner, Build: cust, Probe: lso,
+		BuildKeys: []int{0}, ProbeKeys: []int{10}}
+	// (supp FRANCE and cust GERMANY) or vice versa.
+	cross := &exec.Filter{Input: all, Pred: expr.Or(
+		expr.And(expr.EQ(col(8, "supp_nation"), strConst("FRANCE")),
+			expr.EQ(col(14, "cust_nation"), strConst("GERMANY"))),
+		expr.And(expr.EQ(col(8, "supp_nation"), strConst("GERMANY")),
+			expr.EQ(col(14, "cust_nation"), strConst("FRANCE"))))}
+	agg := &exec.HashAgg{
+		Input: cross,
+		GroupBy: []*expr.Expr{col(8, "supp_nation"), col(14, "cust_nation"),
+			expr.Year(col(4, "l_shipdate"))},
+		GroupNames: []string{"supp_nation", "cust_nation", "l_year"},
+		Aggs: []exec.AggDef{{Fn: exec.AggFnSum,
+			Arg: expr.Div(revenue(2, 3), decConst(100)), Name: "revenue"}},
+	}
+	return &exec.Sort{Input: agg, Keys: []exec.OrderKey{
+		{Expr: col(0, "supp_nation")}, {Expr: col(1, "cust_nation")}, {Expr: col(2, "l_year")},
+	}}
+}
+
+// Q8: national market share of BRAZIL in AMERICA for ECONOMY ANODIZED
+// STEEL parts.
+func Q8(e *Env, _ *exec.Ctx) exec.Operator {
+	part := e.scan(&plan.AccessSpec{
+		Table: "part", Index: e.DB.Part.Primary,
+		Predicate: expr.EQ(col(PType, "p_type"), strConst("ECONOMY ANODIZED STEEL")),
+		Output:    []int{PPartkey},
+	})
+	lineitem := e.scan(&plan.AccessSpec{
+		Table: "lineitem", Index: e.DB.Lineitem.Primary,
+		Output: []int{LOrderkey, LPartkey, LSuppkey, LExtendedprice, LDiscount},
+	})
+	// lp: 0=l_orderkey 1=l_partkey 2=l_suppkey 3=price 4=disc 5=p_partkey
+	lp := &exec.HashJoin{Kind: exec.JoinInner, Build: part, Probe: lineitem,
+		BuildKeys: []int{0}, ProbeKeys: []int{1}}
+	orders := e.scan(&plan.AccessSpec{
+		Table: "orders", Index: e.DB.Orders.Primary,
+		Predicate: expr.Between(col(OOrderdate, "o_orderdate"),
+			dateConst(1995, 1, 1), dateConst(1996, 12, 31)),
+		Output: []int{OOrderkey, OCustkey, OOrderdate},
+	})
+	// lpo: lp(6) ++ orders(3): 6=o_orderkey 7=o_custkey 8=o_orderdate
+	lpo := &exec.HashJoin{Kind: exec.JoinInner, Build: orders, Probe: lp,
+		BuildKeys: []int{0}, ProbeKeys: []int{0}}
+	region := e.scan(&plan.AccessSpec{
+		Table: "region", Index: e.DB.Region.Primary,
+		Predicate: expr.EQ(col(RName, "r_name"), strConst("AMERICA")),
+		Output:    []int{RRegionkey},
+	})
+	nation := e.scan(&plan.AccessSpec{
+		Table: "nation", Index: e.DB.Nation.Primary,
+		Output: []int{NNationkey, NName, NRegionkey},
+	})
+	amNation := &exec.HashJoin{Kind: exec.JoinInner, Build: region, Probe: nation,
+		BuildKeys: []int{0}, ProbeKeys: []int{2}}
+	customer := e.scan(&plan.AccessSpec{
+		Table: "customer", Index: e.DB.Customer.Primary,
+		Output: []int{CCustkey, CNationkey},
+	})
+	// amCust: 0=c_custkey 1=c_nationkey 2=n_nationkey 3=n_name 4=n_regionkey 5=r_regionkey
+	amCust := &exec.HashJoin{Kind: exec.JoinInner, Build: amNation, Probe: customer,
+		BuildKeys: []int{0}, ProbeKeys: []int{1}}
+	// lpoc: lpo(9) ++ amCust(6): 9=c_custkey ...
+	lpoc := &exec.HashJoin{Kind: exec.JoinInner, Build: amCust, Probe: lpo,
+		BuildKeys: []int{0}, ProbeKeys: []int{7}}
+	// supplier nation for the numerator.
+	nation2 := e.scan(&plan.AccessSpec{
+		Table: "nation", Index: e.DB.Nation.Primary,
+		Output: []int{NNationkey, NName},
+	})
+	supplier := e.scan(&plan.AccessSpec{
+		Table: "supplier", Index: e.DB.Supplier.Primary,
+		Output: []int{SSuppkey, SNationkey},
+	})
+	// supp: 0=s_suppkey 1=s_nationkey 2=n_nationkey 3=supp_nation
+	supp := &exec.HashJoin{Kind: exec.JoinInner, Build: nation2, Probe: supplier,
+		BuildKeys: []int{0}, ProbeKeys: []int{1}}
+	// all: lpoc(15) ++ supp(4): 15=s_suppkey 16=s_nationkey 17=n2key 18=supp_nation
+	all := &exec.HashJoin{Kind: exec.JoinInner, Build: supp, Probe: lpoc,
+		BuildKeys: []int{0}, ProbeKeys: []int{2}}
+	agg := &exec.HashAgg{
+		Input:      all,
+		GroupBy:    []*expr.Expr{expr.Year(col(8, "o_orderdate"))},
+		GroupNames: []string{"o_year"},
+		Aggs: []exec.AggDef{
+			{Fn: exec.AggFnSum, Arg: expr.New(expr.OpCase,
+				expr.EQ(col(18, "supp_nation"), strConst("BRAZIL")),
+				expr.Div(revenue(3, 4), decConst(100)),
+				decConst(0)), Name: "brazil_volume"},
+			{Fn: exec.AggFnSum, Arg: expr.Div(revenue(3, 4), decConst(100)), Name: "volume"},
+		},
+	}
+	share := &exec.Project{
+		Input: agg,
+		Exprs: []*expr.Expr{col(0, "o_year"),
+			expr.Div(expr.Mul(col(1, "brazil_volume"), decConst(100)), col(2, "volume"))},
+		Names: []string{"o_year", "mkt_share"},
+	}
+	return &exec.Sort{Input: share, Keys: []exec.OrderKey{{Expr: col(0, "o_year")}}}
+}
+
+// Q9: product type profit measure — the paper's example of
+// projection-only NDP on three scans (orders, lineitem, partsupp).
+func Q9(e *Env, _ *exec.Ctx) exec.Operator {
+	part := e.scan(&plan.AccessSpec{
+		Table: "part", Index: e.DB.Part.Primary,
+		Predicate: expr.Like(col(PName, "p_name"), strConst("%green%")),
+		Output:    []int{PPartkey},
+	})
+	lineitem := e.scan(&plan.AccessSpec{
+		Table: "lineitem", Index: e.DB.Lineitem.Primary,
+		Output: []int{LOrderkey, LPartkey, LSuppkey, LQuantity, LExtendedprice, LDiscount},
+	})
+	// lp: 0=l_orderkey 1=l_partkey 2=l_suppkey 3=qty 4=price 5=disc 6=p_partkey
+	lp := &exec.HashJoin{Kind: exec.JoinInner, Build: part, Probe: lineitem,
+		BuildKeys: []int{0}, ProbeKeys: []int{1}}
+	partsupp := e.scan(&plan.AccessSpec{
+		Table: "partsupp", Index: e.DB.PartSupp.Primary,
+		Output: []int{PSPartkey, PSSuppkey, PSSupplycost},
+	})
+	// lps: lp(7) ++ ps(3): 7=ps_partkey 8=ps_suppkey 9=ps_supplycost
+	lps := &exec.HashJoin{Kind: exec.JoinInner, Build: partsupp, Probe: lp,
+		BuildKeys: []int{0, 1}, ProbeKeys: []int{1, 2}}
+	orders := e.scan(&plan.AccessSpec{
+		Table: "orders", Index: e.DB.Orders.Primary,
+		Output: []int{OOrderkey, OOrderdate},
+	})
+	// lpso: lps(10) ++ orders(2): 10=o_orderkey 11=o_orderdate
+	lpso := &exec.HashJoin{Kind: exec.JoinInner, Build: orders, Probe: lps,
+		BuildKeys: []int{0}, ProbeKeys: []int{0}}
+	nation := e.scan(&plan.AccessSpec{
+		Table: "nation", Index: e.DB.Nation.Primary,
+		Output: []int{NNationkey, NName},
+	})
+	supplier := e.scan(&plan.AccessSpec{
+		Table: "supplier", Index: e.DB.Supplier.Primary,
+		Output: []int{SSuppkey, SNationkey},
+	})
+	// supp: 0=s_suppkey 1=s_nationkey 2=n_nationkey 3=n_name
+	supp := &exec.HashJoin{Kind: exec.JoinInner, Build: nation, Probe: supplier,
+		BuildKeys: []int{0}, ProbeKeys: []int{1}}
+	// all: lpso(12) ++ supp(4): 12=s_suppkey 13=s_nationkey 14=nkey 15=n_name
+	all := &exec.HashJoin{Kind: exec.JoinInner, Build: supp, Probe: lpso,
+		BuildKeys: []int{0}, ProbeKeys: []int{2}}
+	// profit = price*(1-disc) - supplycost*qty
+	profit := expr.Sub(
+		expr.Div(revenue(4, 5), decConst(100)),
+		expr.Div(expr.Mul(col(9, "ps_supplycost"), col(3, "l_quantity")), decConst(100)))
+	agg := &exec.HashAgg{
+		Input:      all,
+		GroupBy:    []*expr.Expr{col(15, "n_name"), expr.Year(col(11, "o_orderdate"))},
+		GroupNames: []string{"nation", "o_year"},
+		Aggs:       []exec.AggDef{{Fn: exec.AggFnSum, Arg: profit, Name: "sum_profit"}},
+	}
+	return &exec.Sort{Input: agg, Keys: []exec.OrderKey{
+		{Expr: col(0, "nation")}, {Expr: col(1, "o_year"), Desc: true},
+	}}
+}
+
+// Q10: returned item reporting — top 20 customers by lost revenue.
+func Q10(e *Env, _ *exec.Ctx) exec.Operator {
+	orders := e.scan(&plan.AccessSpec{
+		Table: "orders", Index: e.DB.Orders.Primary,
+		Predicate: expr.And(
+			expr.GE(col(OOrderdate, "o_orderdate"), dateConst(1993, 10, 1)),
+			expr.LT(col(OOrderdate, "o_orderdate"), dateConst(1994, 1, 1))),
+		Output: []int{OOrderkey, OCustkey},
+	})
+	lineitem := e.scan(&plan.AccessSpec{
+		Table: "lineitem", Index: e.DB.Lineitem.Primary,
+		Predicate: expr.EQ(col(LReturnflag, "l_returnflag"), strConst("R")),
+		Output:    []int{LOrderkey, LExtendedprice, LDiscount},
+	})
+	// lo: 0=l_orderkey 1=price 2=disc 3=o_orderkey 4=o_custkey
+	lo := &exec.HashJoin{Kind: exec.JoinInner, Build: orders, Probe: lineitem,
+		BuildKeys: []int{0}, ProbeKeys: []int{0}}
+	customer := e.scan(&plan.AccessSpec{
+		Table: "customer", Index: e.DB.Customer.Primary,
+		Output: []int{CCustkey, CName, CAcctbal, CPhone, CNationkey, CAddress, CComment},
+	})
+	// loc: lo(5) ++ cust(7): 5=c_custkey 6=c_name 7=c_acctbal 8=c_phone
+	// 9=c_nationkey 10=c_address 11=c_comment
+	loc := &exec.HashJoin{Kind: exec.JoinInner, Build: customer, Probe: lo,
+		BuildKeys: []int{0}, ProbeKeys: []int{4}}
+	nation := e.scan(&plan.AccessSpec{
+		Table: "nation", Index: e.DB.Nation.Primary,
+		Output: []int{NNationkey, NName},
+	})
+	// all: loc(12) ++ nation(2): 12=n_nationkey 13=n_name
+	all := &exec.HashJoin{Kind: exec.JoinInner, Build: nation, Probe: loc,
+		BuildKeys: []int{0}, ProbeKeys: []int{9}}
+	agg := &exec.HashAgg{
+		Input: all,
+		GroupBy: []*expr.Expr{col(5, "c_custkey"), col(6, "c_name"), col(7, "c_acctbal"),
+			col(8, "c_phone"), col(13, "n_name"), col(10, "c_address"), col(11, "c_comment")},
+		GroupNames: []string{"c_custkey", "c_name", "c_acctbal", "c_phone", "n_name",
+			"c_address", "c_comment"},
+		Aggs: []exec.AggDef{{Fn: exec.AggFnSum,
+			Arg: expr.Div(revenue(1, 2), decConst(100)), Name: "revenue"}},
+	}
+	sorted := &exec.Sort{Input: agg, Keys: []exec.OrderKey{{Expr: col(7, "revenue"), Desc: true}}}
+	return &exec.Limit{Input: sorted, N: 20}
+}
+
+// Q11: important stock identification. The plan drives from the GERMANY
+// suppliers and reaches PARTSUPP through per-supplier index lookups, so
+// the only NDP-eligible scan is the tiny NATION table — reproducing the
+// paper's "no NDP applied" outcome for Q11.
+func Q11(e *Env, ctx *exec.Ctx) exec.Operator {
+	nation := e.scan(&plan.AccessSpec{
+		Table: "nation", Index: e.DB.Nation.Primary,
+		Predicate: expr.EQ(col(NName, "n_name"), strConst("GERMANY")),
+		Output:    []int{NNationkey},
+	})
+	supplier := e.scan(&plan.AccessSpec{
+		Table: "supplier", Index: e.DB.Supplier.Primary,
+		Output: []int{SSuppkey, SNationkey},
+	})
+	// supp: 0=s_suppkey 1=s_nationkey 2=n_nationkey
+	supp := &exec.HashJoin{Kind: exec.JoinInner, Build: nation, Probe: supplier,
+		BuildKeys: []int{0}, ProbeKeys: []int{1}}
+	db := e.DB
+	// value rows: supp(3) ++ partsupp(3): 3=ps_partkey 4=ps_availqty 5=ps_supplycost
+	pairs := &exec.IndexLookupJoin{
+		Outer:     supp,
+		InnerCols: []string{"ps_partkey", "ps_availqty", "ps_supplycost"},
+		Lookup: func(ctx *exec.Ctx, outer types.Row) ([]types.Row, error) {
+			// Secondary layout: (ps_suppkey, ps_partkey, ps_suppkey);
+			// fetch partkeys, then the primary rows.
+			refs, err := lookupByPrefix(ctx, db.PartSuppBySupp, outer[0], []int{1})
+			if err != nil {
+				return nil, err
+			}
+			var out []types.Row
+			for _, ref := range refs {
+				rows, err := lookupByPrefix2(ctx, db.PartSupp.Primary, ref[0], outer[0],
+					[]int{PSPartkey, PSAvailqty, PSSupplycost})
+				if err != nil {
+					return nil, err
+				}
+				out = append(out, rows...)
+			}
+			return out, nil
+		},
+	}
+	rows := e.runSub(ctx, pairs)
+	value := expr.Mul(col(5, "ps_supplycost"), col(4, "ps_availqty"))
+	// Total value (scalar pass).
+	totalAgg := &exec.HashAgg{
+		Input: &exec.Values{Rows: rows, Names: pairs.Columns()},
+		Aggs:  []exec.AggDef{{Fn: exec.AggFnSum, Arg: value, Name: "total"}},
+	}
+	totalRows := e.runSub(ctx, totalAgg)
+	threshold := types.Null()
+	if len(totalRows) == 1 && !totalRows[0][0].IsNull() {
+		threshold = types.NewDecimal(totalRows[0][0].I / 10000) // fraction 0.0001
+	}
+	grouped := &exec.HashAgg{
+		Input:      &exec.Values{Rows: rows, Names: pairs.Columns()},
+		GroupBy:    []*expr.Expr{col(3, "ps_partkey")},
+		GroupNames: []string{"ps_partkey"},
+		Aggs:       []exec.AggDef{{Fn: exec.AggFnSum, Arg: value, Name: "value"}},
+		Having:     expr.GT(col(1, "value"), expr.Const(threshold)),
+	}
+	return &exec.Sort{Input: grouped, Keys: []exec.OrderKey{{Expr: col(1, "value"), Desc: true}}}
+}

@@ -1,0 +1,511 @@
+package tpch
+
+import (
+	"taurus/internal/core"
+	"taurus/internal/exec"
+	"taurus/internal/expr"
+	"taurus/internal/plan"
+	"taurus/internal/types"
+)
+
+// Q12: shipping modes and order priority. NDP on both inputs (the paper
+// calls out Q12's hash join "applying NDP to both inputs").
+func Q12(e *Env, _ *exec.Ctx) exec.Operator {
+	lineitem := e.scan(&plan.AccessSpec{
+		Table: "lineitem", Index: e.DB.Lineitem.Primary,
+		Predicate: expr.AndAll(
+			expr.In(col(LShipmode, "l_shipmode"), strConst("MAIL"), strConst("SHIP")),
+			expr.LT(col(LCommitdate, "l_commitdate"), col(LReceiptdate, "l_receiptdate")),
+			expr.LT(col(LShipdate, "l_shipdate"), col(LCommitdate, "l_commitdate")),
+			expr.GE(col(LReceiptdate, "l_receiptdate"), dateConst(1994, 1, 1)),
+			expr.LT(col(LReceiptdate, "l_receiptdate"), dateConst(1995, 1, 1)),
+		),
+		Output: []int{LOrderkey, LShipmode},
+	})
+	orders := e.scan(&plan.AccessSpec{
+		Table: "orders", Index: e.DB.Orders.Primary,
+		Output: []int{OOrderkey, OOrderpriority},
+	})
+	// lo: 0=l_orderkey 1=l_shipmode 2=o_orderkey 3=o_orderpriority
+	lo := &exec.HashJoin{Kind: exec.JoinInner, Build: orders, Probe: lineitem,
+		BuildKeys: []int{0}, ProbeKeys: []int{0}}
+	high := expr.Or(
+		expr.EQ(col(3, "o_orderpriority"), strConst("1-URGENT")),
+		expr.EQ(col(3, "o_orderpriority"), strConst("2-HIGH")))
+	agg := &exec.HashAgg{
+		Input:      lo,
+		GroupBy:    []*expr.Expr{col(1, "l_shipmode")},
+		GroupNames: []string{"l_shipmode"},
+		Aggs: []exec.AggDef{
+			{Fn: exec.AggFnSum, Arg: expr.New(expr.OpCase, high, intConst(1), intConst(0)), Name: "high_line_count"},
+			{Fn: exec.AggFnSum, Arg: expr.New(expr.OpCase, high, intConst(0), intConst(1)), Name: "low_line_count"},
+		},
+	}
+	return &exec.Sort{Input: agg, Keys: []exec.OrderKey{{Expr: col(0, "l_shipmode")}}}
+}
+
+// Q13: customer distribution — left outer join with a NOT LIKE filter on
+// the orders side.
+func Q13(e *Env, _ *exec.Ctx) exec.Operator {
+	orders := e.scan(&plan.AccessSpec{
+		Table: "orders", Index: e.DB.Orders.Primary,
+		Predicate: expr.NotLikeE(col(OComment, "o_comment"), strConst("%special%requests%")),
+		Output:    []int{OOrderkey, OCustkey},
+	})
+	customer := e.scan(&plan.AccessSpec{
+		Table: "customer", Index: e.DB.Customer.Primary,
+		Output: []int{CCustkey},
+	})
+	// co: 0=c_custkey 1=o_orderkey 2=o_custkey
+	co := &exec.HashJoin{Kind: exec.JoinLeftOuter, Build: orders, Probe: customer,
+		BuildKeys: []int{1}, ProbeKeys: []int{0}}
+	perCust := &exec.HashAgg{
+		Input:      co,
+		GroupBy:    []*expr.Expr{col(0, "c_custkey")},
+		GroupNames: []string{"c_custkey"},
+		Aggs:       []exec.AggDef{{Fn: exec.AggFnCount, Arg: col(1, "o_orderkey"), Name: "c_count"}},
+	}
+	dist := &exec.HashAgg{
+		Input:      perCust,
+		GroupBy:    []*expr.Expr{col(1, "c_count")},
+		GroupNames: []string{"c_count"},
+		Aggs:       []exec.AggDef{{Fn: exec.AggFnCountStar, Name: "custdist"}},
+	}
+	return &exec.Sort{Input: dist, Keys: []exec.OrderKey{
+		{Expr: col(1, "custdist"), Desc: true}, {Expr: col(0, "c_count"), Desc: true},
+	}}
+}
+
+// Q14: promotion effect — NDP on the lineitem scan, NL join into PART
+// via primary-key point lookups ("Q14 applies NDP on a scan of the
+// Lineitem table, and joins the remaining rows with Part using an NL
+// join", §VII-C).
+func Q14(e *Env, _ *exec.Ctx) exec.Operator {
+	lineitem := e.scan(&plan.AccessSpec{
+		Table: "lineitem", Index: e.DB.Lineitem.Primary,
+		Predicate: expr.And(
+			expr.GE(col(LShipdate, "l_shipdate"), dateConst(1995, 9, 1)),
+			expr.LT(col(LShipdate, "l_shipdate"), dateConst(1995, 10, 1))),
+		Output: []int{LPartkey, LExtendedprice, LDiscount},
+	})
+	db := e.DB
+	// lp: 0=l_partkey 1=price 2=disc 3=p_type
+	lp := &exec.IndexLookupJoin{
+		Outer:     lineitem,
+		InnerCols: []string{"p_type"},
+		Lookup: func(ctx *exec.Ctx, outer types.Row) ([]types.Row, error) {
+			return lookupByPrefix(ctx, db.Part.Primary, outer[0], []int{PType})
+		},
+	}
+	rev := expr.Div(revenue(1, 2), decConst(100))
+	agg := &exec.HashAgg{
+		Input: lp,
+		Aggs: []exec.AggDef{
+			{Fn: exec.AggFnSum, Arg: expr.New(expr.OpCase,
+				expr.Like(col(3, "p_type"), strConst("PROMO%")), rev, decConst(0)),
+				Name: "promo_revenue"},
+			{Fn: exec.AggFnSum, Arg: rev, Name: "total_revenue"},
+		},
+	}
+	return &exec.Project{
+		Input: agg,
+		Exprs: []*expr.Expr{expr.Div(expr.Mul(col(0, "promo"), decConst(10000)), col(1, "total"))},
+		Names: []string{"promo_revenue_pct"},
+	}
+}
+
+// Q15: top supplier. The revenue view is a grouped aggregation over a
+// filtered lineitem scan; grouping by l_suppkey is not an index prefix,
+// so aggregation stays on the SQL node while filtering and projection
+// push down (98% network reduction in the paper).
+func Q15(e *Env, ctx *exec.Ctx) exec.Operator {
+	lineitem := e.scan(&plan.AccessSpec{
+		Table: "lineitem", Index: e.DB.Lineitem.Primary,
+		Predicate: expr.And(
+			expr.GE(col(LShipdate, "l_shipdate"), dateConst(1996, 1, 1)),
+			expr.LT(col(LShipdate, "l_shipdate"), dateConst(1996, 4, 1))),
+		Output: []int{LSuppkey, LExtendedprice, LDiscount},
+	})
+	revView := &exec.HashAgg{
+		Input:      lineitem,
+		GroupBy:    []*expr.Expr{col(0, "l_suppkey")},
+		GroupNames: []string{"supplier_no"},
+		Aggs: []exec.AggDef{{Fn: exec.AggFnSum,
+			Arg: expr.Div(revenue(1, 2), decConst(100)), Name: "total_revenue"}},
+	}
+	revRows := e.runSub(ctx, revView)
+	// Scalar max over the view.
+	maxAgg := &exec.HashAgg{
+		Input: &exec.Values{Rows: revRows, Names: []string{"supplier_no", "total_revenue"}},
+		Aggs:  []exec.AggDef{{Fn: exec.AggFnMax, Arg: col(1, "total_revenue"), Name: "max_rev"}},
+	}
+	maxRows := e.runSub(ctx, maxAgg)
+	maxRev := types.Null()
+	if len(maxRows) == 1 {
+		maxRev = maxRows[0][0]
+	}
+	winners := &exec.Filter{
+		Input: &exec.Values{Rows: revRows, Names: []string{"supplier_no", "total_revenue"}},
+		Pred:  expr.EQ(col(1, "total_revenue"), expr.Const(maxRev)),
+	}
+	supplier := e.scan(&plan.AccessSpec{
+		Table: "supplier", Index: e.DB.Supplier.Primary,
+		Output: []int{SSuppkey, SName, SAddress, SPhone},
+	})
+	// joined: winners(2) ++ supplier(4): 2=s_suppkey 3=s_name 4=s_address 5=s_phone
+	joined := &exec.HashJoin{Kind: exec.JoinInner, Build: supplier, Probe: winners,
+		BuildKeys: []int{0}, ProbeKeys: []int{0}}
+	return &exec.Sort{Input: joined, Keys: []exec.OrderKey{{Expr: col(0, "supplier_no")}}}
+}
+
+// Q16: parts/supplier relationship — over 90% network reduction in the
+// paper from the wide PARTSUPP scan.
+func Q16(e *Env, _ *exec.Ctx) exec.Operator {
+	partsupp := e.scan(&plan.AccessSpec{
+		Table: "partsupp", Index: e.DB.PartSupp.Primary,
+		Output: []int{PSPartkey, PSSuppkey},
+	})
+	part := e.scan(&plan.AccessSpec{
+		Table: "part", Index: e.DB.Part.Primary,
+		Predicate: expr.AndAll(
+			expr.NE(col(PBrand, "p_brand"), strConst("Brand#45")),
+			expr.NotLikeE(col(PType, "p_type"), strConst("MEDIUM POLISHED%")),
+			expr.In(col(PSize, "p_size"), intConst(49), intConst(14), intConst(23),
+				intConst(45), intConst(19), intConst(3), intConst(36), intConst(9))),
+		Output: []int{PPartkey, PBrand, PType, PSize},
+	})
+	// pp: 0=ps_partkey 1=ps_suppkey 2=p_partkey 3=p_brand 4=p_type 5=p_size
+	pp := &exec.HashJoin{Kind: exec.JoinInner, Build: part, Probe: partsupp,
+		BuildKeys: []int{0}, ProbeKeys: []int{0}}
+	complaints := e.scan(&plan.AccessSpec{
+		Table: "supplier", Index: e.DB.Supplier.Primary,
+		Predicate: expr.Like(col(SComment, "s_comment"), strConst("%Customer%Complaints%")),
+		Output:    []int{SSuppkey},
+	})
+	clean := &exec.HashJoin{Kind: exec.JoinAnti, Build: complaints, Probe: pp,
+		BuildKeys: []int{0}, ProbeKeys: []int{1}}
+	agg := &exec.HashAgg{
+		Input:      clean,
+		GroupBy:    []*expr.Expr{col(3, "p_brand"), col(4, "p_type"), col(5, "p_size")},
+		GroupNames: []string{"p_brand", "p_type", "p_size"},
+		Aggs: []exec.AggDef{{Fn: exec.AggFnCount, Arg: col(1, "ps_suppkey"),
+			Distinct: true, Name: "supplier_cnt"}},
+	}
+	return &exec.Sort{Input: agg, Keys: []exec.OrderKey{
+		{Expr: col(3, "supplier_cnt"), Desc: true},
+		{Expr: col(0, "p_brand")}, {Expr: col(1, "p_type")}, {Expr: col(2, "p_size")},
+	}}
+}
+
+// Q17: small-quantity-order revenue. The part filter selects a handful
+// of parts; lineitem is reached via partkey index lookups — no
+// NDP-eligible scan survives the 10,000-page rule, as in the paper.
+func Q17(e *Env, ctx *exec.Ctx) exec.Operator {
+	part := e.scan(&plan.AccessSpec{
+		Table: "part", Index: e.DB.Part.Primary,
+		Predicate: expr.And(
+			expr.EQ(col(PBrand, "p_brand"), strConst("Brand#23")),
+			expr.EQ(col(PContainer, "p_container"), strConst("MED BOX"))),
+		Output: []int{PPartkey},
+	})
+	// pairs: 0=p_partkey 1=l_quantity 2=l_extendedprice
+	pairs := &exec.IndexLookupJoin{
+		Outer:     part,
+		InnerCols: []string{"l_quantity", "l_extendedprice"},
+		Lookup: func(ctx *exec.Ctx, outer types.Row) ([]types.Row, error) {
+			return e.lineitemByPartkey(ctx, outer[0], []int{LQuantity, LExtendedprice})
+		},
+	}
+	rows := e.runSub(ctx, pairs)
+	names := []string{"p_partkey", "l_quantity", "l_extendedprice"}
+	avgQty := &exec.HashAgg{
+		Input:      &exec.Values{Rows: rows, Names: names},
+		GroupBy:    []*expr.Expr{col(0, "p_partkey")},
+		GroupNames: []string{"p_partkey"},
+		Aggs:       []exec.AggDef{{Fn: exec.AggFnAvg, Arg: col(1, "l_quantity"), Name: "avg_qty"}},
+	}
+	// joined: pairs(3) ++ avg(2): 3=p_partkey 4=avg_qty
+	joined := &exec.HashJoin{
+		Kind:  exec.JoinInner,
+		Build: avgQty, Probe: &exec.Values{Rows: rows, Names: names},
+		BuildKeys: []int{0}, ProbeKeys: []int{0},
+	}
+	small := &exec.Filter{Input: joined, Pred: expr.LT(col(1, "l_quantity"),
+		expr.Div(expr.Mul(col(4, "avg_qty"), decConst(20)), decConst(100)))}
+	agg := &exec.HashAgg{
+		Input: small,
+		Aggs:  []exec.AggDef{{Fn: exec.AggFnSum, Arg: col(2, "l_extendedprice"), Name: "sum_price"}},
+	}
+	return &exec.Project{
+		Input: agg,
+		Exprs: []*expr.Expr{expr.Div(col(0, "sum_price"), decConst(700))},
+		Names: []string{"avg_yearly"},
+	}
+}
+
+// Q18: large volume customers. The inner block groups lineitem by
+// l_orderkey — an index prefix — so with no residual predicates the
+// optimizer may push the whole aggregation to Page Stores (our optimizer
+// pushes it; the paper's applied projection-only NDP here).
+func Q18(e *Env, ctx *exec.Ctx) exec.Operator {
+	bigOrders := e.aggScan(&plan.AccessSpec{
+		Table: "lineitem", Index: e.DB.Lineitem.Primary,
+		Output:      []int{LOrderkey, LQuantity},
+		LastInBlock: true,
+		Aggs:        []plan.AggCandidate{{Fn: core.AggSum, ArgCol: 1, Name: "sum_qty"}},
+		GroupBy:     []int{0},
+	}, expr.GT(col(1, "sum_qty"), decConst(30000)))
+	orders := e.scan(&plan.AccessSpec{
+		Table: "orders", Index: e.DB.Orders.Primary,
+		Output: []int{OOrderkey, OCustkey, OOrderdate, OTotalprice},
+	})
+	// ob: orders(4) ++ big(2): 4=big_orderkey 5=sum_qty
+	ob := &exec.HashJoin{Kind: exec.JoinInner, Build: bigOrders, Probe: orders,
+		BuildKeys: []int{0}, ProbeKeys: []int{0}}
+	customer := e.scan(&plan.AccessSpec{
+		Table: "customer", Index: e.DB.Customer.Primary,
+		Output: []int{CCustkey, CName},
+	})
+	// obc: ob(6) ++ cust(2): 6=c_custkey 7=c_name
+	obc := &exec.HashJoin{Kind: exec.JoinInner, Build: customer, Probe: ob,
+		BuildKeys: []int{0}, ProbeKeys: []int{1}}
+	lineitem := e.scan(&plan.AccessSpec{
+		Table: "lineitem", Index: e.DB.Lineitem.Primary,
+		Output: []int{LOrderkey, LQuantity},
+	})
+	// all: lineitem(2) ++ obc(8): 2=o_orderkey 3=o_custkey 4=o_orderdate
+	// 5=o_totalprice 6=big_orderkey 7=sum_qty 8=c_custkey 9=c_name
+	all := &exec.HashJoin{Kind: exec.JoinInner, Build: obc, Probe: lineitem,
+		BuildKeys: []int{0}, ProbeKeys: []int{0}}
+	agg := &exec.HashAgg{
+		Input: all,
+		GroupBy: []*expr.Expr{col(9, "c_name"), col(3, "c_custkey"), col(2, "o_orderkey"),
+			col(4, "o_orderdate"), col(5, "o_totalprice")},
+		GroupNames: []string{"c_name", "c_custkey", "o_orderkey", "o_orderdate", "o_totalprice"},
+		Aggs:       []exec.AggDef{{Fn: exec.AggFnSum, Arg: col(1, "l_quantity"), Name: "sum_qty"}},
+	}
+	sorted := &exec.Sort{Input: agg, Keys: []exec.OrderKey{
+		{Expr: col(4, "o_totalprice"), Desc: true}, {Expr: col(3, "o_orderdate")},
+	}}
+	return &exec.Limit{Input: sorted, N: 100}
+}
+
+// Q19: discounted revenue — the paper's detailed no-NDP example: the
+// PART scan is too small/cached, and lineitem is reached through partkey
+// index lookups ("an index lookup on l_partkey provides an efficient
+// access path", §VII-C).
+func Q19(e *Env, _ *exec.Ctx) exec.Operator {
+	part := e.scan(&plan.AccessSpec{
+		Table: "part", Index: e.DB.Part.Primary,
+		Predicate: expr.Or(expr.Or(
+			expr.And(expr.EQ(col(PBrand, "p_brand"), strConst("Brand#12")),
+				expr.Between(col(PSize, "p_size"), intConst(1), intConst(5))),
+			expr.And(expr.EQ(col(PBrand, "p_brand"), strConst("Brand#23")),
+				expr.Between(col(PSize, "p_size"), intConst(1), intConst(10)))),
+			expr.And(expr.EQ(col(PBrand, "p_brand"), strConst("Brand#34")),
+				expr.Between(col(PSize, "p_size"), intConst(1), intConst(15)))),
+		Output: []int{PPartkey, PBrand, PContainer},
+	})
+	// pl: 0=p_partkey 1=p_brand 2=p_container 3=l_quantity 4=l_shipinstruct
+	// 5=l_shipmode 6=l_extendedprice 7=l_discount
+	cond := func(brand string, qlo, qhi int64, containers ...string) *expr.Expr {
+		cs := make([]*expr.Expr, 0, len(containers))
+		for _, c := range containers {
+			cs = append(cs, strConst(c))
+		}
+		return expr.AndAll(
+			expr.EQ(col(1, "p_brand"), strConst(brand)),
+			expr.In(col(2, "p_container"), cs...),
+			expr.Between(col(3, "l_quantity"), decConst(qlo*100), decConst(qhi*100)),
+		)
+	}
+	on := expr.AndAll(
+		expr.Or(expr.Or(
+			cond("Brand#12", 1, 11, "SM CASE", "SM BOX", "SM PACK", "SM PKG"),
+			cond("Brand#23", 10, 20, "MED BAG", "MED BOX", "MED PKG", "MED PACK")),
+			cond("Brand#34", 20, 30, "LG CASE", "LG BOX", "LG PACK", "LG PKG")),
+		expr.In(col(5, "l_shipmode"), strConst("AIR"), strConst("REG AIR")),
+		expr.EQ(col(4, "l_shipinstruct"), strConst("DELIVER IN PERSON")),
+	)
+	pl := &exec.IndexLookupJoin{
+		Outer: part,
+		InnerCols: []string{"l_quantity", "l_shipinstruct", "l_shipmode",
+			"l_extendedprice", "l_discount"},
+		Lookup: func(ctx *exec.Ctx, outer types.Row) ([]types.Row, error) {
+			return e.lineitemByPartkey(ctx, outer[0],
+				[]int{LQuantity, LShipinstruct, LShipmode, LExtendedprice, LDiscount})
+		},
+		On: on,
+	}
+	return &exec.HashAgg{
+		Input: pl,
+		Aggs: []exec.AggDef{{Fn: exec.AggFnSum,
+			Arg: expr.Div(revenue(6, 7), decConst(100)), Name: "revenue"}},
+	}
+}
+
+// Q20: potential part promotion — all lookups, no NDP (as in the paper).
+func Q20(e *Env, ctx *exec.Ctx) exec.Operator {
+	part := e.scan(&plan.AccessSpec{
+		Table: "part", Index: e.DB.Part.Primary,
+		Predicate: expr.Like(col(PName, "p_name"), strConst("forest%")),
+		Output:    []int{PPartkey},
+	})
+	db := e.DB
+	// pairs: 0=p_partkey 1=ps_suppkey 2=ps_availqty
+	pairs := &exec.IndexLookupJoin{
+		Outer:     part,
+		InnerCols: []string{"ps_suppkey", "ps_availqty"},
+		Lookup: func(ctx *exec.Ctx, outer types.Row) ([]types.Row, error) {
+			return lookupByPrefix(ctx, db.PartSupp.Primary, outer[0], []int{PSSuppkey, PSAvailqty})
+		},
+	}
+	// Per (part, supp): lineitem quantities shipped in 1994.
+	// pl: pairs(3) ++ li(3): 3=l_suppkey 4=l_shipdate 5=l_quantity
+	pl := &exec.IndexLookupJoin{
+		Outer:     pairs,
+		InnerCols: []string{"l_suppkey", "l_shipdate", "l_quantity"},
+		Lookup: func(ctx *exec.Ctx, outer types.Row) ([]types.Row, error) {
+			return e.lineitemByPartkey(ctx, outer[0], []int{LSuppkey, LShipdate, LQuantity})
+		},
+		On: expr.AndAll(
+			expr.EQ(col(3, "l_suppkey"), col(1, "ps_suppkey")),
+			expr.GE(col(4, "l_shipdate"), dateConst(1994, 1, 1)),
+			expr.LT(col(4, "l_shipdate"), dateConst(1995, 1, 1)),
+		),
+	}
+	perPair := &exec.HashAgg{
+		Input: pl,
+		GroupBy: []*expr.Expr{col(0, "p_partkey"), col(1, "ps_suppkey"),
+			col(2, "ps_availqty")},
+		GroupNames: []string{"p_partkey", "ps_suppkey", "ps_availqty"},
+		Aggs:       []exec.AggDef{{Fn: exec.AggFnSum, Arg: col(5, "l_quantity"), Name: "sum_qty"}},
+		// availqty > 0.5 * sum(qty)  ⇔  2*availqty > sum(qty)
+		Having: expr.GT(expr.Mul(intConst(2), col(2, "ps_availqty")), col(3, "sum_qty")),
+	}
+	nation := e.scan(&plan.AccessSpec{
+		Table: "nation", Index: e.DB.Nation.Primary,
+		Predicate: expr.EQ(col(NName, "n_name"), strConst("CANADA")),
+		Output:    []int{NNationkey},
+	})
+	supplier := e.scan(&plan.AccessSpec{
+		Table: "supplier", Index: e.DB.Supplier.Primary,
+		Output: []int{SSuppkey, SName, SAddress, SNationkey},
+	})
+	// canSupp: 0=s_suppkey 1=s_name 2=s_address 3=s_nationkey 4=n_nationkey
+	canSupp := &exec.HashJoin{Kind: exec.JoinInner, Build: nation, Probe: supplier,
+		BuildKeys: []int{0}, ProbeKeys: []int{3}}
+	// Semi: suppliers with at least one qualifying pair.
+	result := &exec.HashJoin{Kind: exec.JoinSemi, Build: perPair, Probe: canSupp,
+		BuildKeys: []int{1}, ProbeKeys: []int{0}}
+	return &exec.Sort{Input: result, Keys: []exec.OrderKey{{Expr: col(1, "s_name")}}}
+}
+
+// Q21: suppliers who kept orders waiting — semi and anti joins with the
+// s2.suppkey <> s1.suppkey inequality as an extra hash-join condition.
+func Q21(e *Env, _ *exec.Ctx) exec.Operator {
+	nation := e.scan(&plan.AccessSpec{
+		Table: "nation", Index: e.DB.Nation.Primary,
+		Predicate: expr.EQ(col(NName, "n_name"), strConst("SAUDI ARABIA")),
+		Output:    []int{NNationkey},
+	})
+	supplier := e.scan(&plan.AccessSpec{
+		Table: "supplier", Index: e.DB.Supplier.Primary,
+		Output: []int{SSuppkey, SName, SNationkey},
+	})
+	// saSupp: 0=s_suppkey 1=s_name 2=s_nationkey 3=n_nationkey
+	saSupp := &exec.HashJoin{Kind: exec.JoinInner, Build: nation, Probe: supplier,
+		BuildKeys: []int{0}, ProbeKeys: []int{2}}
+	l1 := e.scan(&plan.AccessSpec{
+		Table: "lineitem", Index: e.DB.Lineitem.Primary,
+		Predicate: expr.GT(col(LReceiptdate, "l_receiptdate"), col(LCommitdate, "l_commitdate")),
+		Output:    []int{LOrderkey, LSuppkey},
+	})
+	// ls: l1(2) ++ saSupp(4): 0=l_orderkey 1=l_suppkey 2=s_suppkey 3=s_name ...
+	ls := &exec.HashJoin{Kind: exec.JoinInner, Build: saSupp, Probe: l1,
+		BuildKeys: []int{0}, ProbeKeys: []int{1}}
+	orders := e.scan(&plan.AccessSpec{
+		Table: "orders", Index: e.DB.Orders.Primary,
+		Predicate: expr.EQ(col(OOrderstatus, "o_orderstatus"), strConst("F")),
+		Output:    []int{OOrderkey},
+	})
+	// lso: ls(6) ++ orders(1): 6=o_orderkey
+	lso := &exec.HashJoin{Kind: exec.JoinInner, Build: orders, Probe: ls,
+		BuildKeys: []int{0}, ProbeKeys: []int{0}}
+	// EXISTS l2: another supplier on the same order.
+	l2 := e.scan(&plan.AccessSpec{
+		Table: "lineitem", Index: e.DB.Lineitem.Primary,
+		Output: []int{LOrderkey, LSuppkey},
+	})
+	// semi combined: lso(7) ++ l2(2): 7=l2_orderkey 8=l2_suppkey
+	withOther := &exec.HashJoin{Kind: exec.JoinSemi, Build: l2, Probe: lso,
+		BuildKeys: []int{0}, ProbeKeys: []int{0},
+		ExtraCond: expr.NE(col(8, "l2_suppkey"), col(1, "l_suppkey"))}
+	// NOT EXISTS l3: another supplier also late on the same order.
+	l3 := e.scan(&plan.AccessSpec{
+		Table: "lineitem", Index: e.DB.Lineitem.Primary,
+		Predicate: expr.GT(col(LReceiptdate, "l_receiptdate"), col(LCommitdate, "l_commitdate")),
+		Output:    []int{LOrderkey, LSuppkey},
+	})
+	noOtherLate := &exec.HashJoin{Kind: exec.JoinAnti, Build: l3, Probe: withOther,
+		BuildKeys: []int{0}, ProbeKeys: []int{0},
+		ExtraCond: expr.NE(col(8, "l3_suppkey"), col(1, "l_suppkey"))}
+	agg := &exec.HashAgg{
+		Input:      noOtherLate,
+		GroupBy:    []*expr.Expr{col(3, "s_name")},
+		GroupNames: []string{"s_name"},
+		Aggs:       []exec.AggDef{{Fn: exec.AggFnCountStar, Name: "numwait"}},
+	}
+	sorted := &exec.Sort{Input: agg, Keys: []exec.OrderKey{
+		{Expr: col(1, "numwait"), Desc: true}, {Expr: col(0, "s_name")},
+	}}
+	return &exec.Limit{Input: sorted, N: 100}
+}
+
+// Q22: global sales opportunity. The country-code SUBSTRING is not
+// NDP-eligible (explicit allowed-function list, §V-B1) so the customer
+// filter stays residual.
+func Q22(e *Env, ctx *exec.Ctx) exec.Operator {
+	ccOf := func(phoneOrd int) *expr.Expr {
+		cc := expr.New(expr.OpSubstr, col(phoneOrd, "c_phone"), intConst(1), intConst(2))
+		return expr.In(cc, strConst("13"), strConst("31"), strConst("23"),
+			strConst("29"), strConst("30"), strConst("18"), strConst("17"))
+	}
+	ccIn := ccOf(CPhone) // index-schema layout, for scan predicates
+	// Average positive balance among those customers (scalar subquery).
+	custForAvg := e.scan(&plan.AccessSpec{
+		Table: "customer", Index: e.DB.Customer.Primary,
+		Predicate: expr.And(ccOf(CPhone), expr.GT(col(CAcctbal, "c_acctbal"), decConst(0))),
+		Output:    []int{CCustkey, CPhone, CAcctbal},
+	})
+	avgOp := &exec.HashAgg{
+		Input: custForAvg,
+		Aggs:  []exec.AggDef{{Fn: exec.AggFnAvg, Arg: col(2, "c_acctbal"), Name: "avg_bal"}},
+	}
+	avgRows := e.runSub(ctx, avgOp)
+	avgBal := types.Null()
+	if len(avgRows) == 1 {
+		avgBal = avgRows[0][0]
+	}
+	customer := e.scan(&plan.AccessSpec{
+		Table: "customer", Index: e.DB.Customer.Primary,
+		Predicate: expr.And(ccIn, expr.GT(col(CAcctbal, "c_acctbal"), expr.Const(avgBal))),
+		Output:    []int{CCustkey, CPhone, CAcctbal},
+	})
+	orders := e.scan(&plan.AccessSpec{
+		Table: "orders", Index: e.DB.Orders.Primary,
+		Output: []int{OCustkey},
+	})
+	noOrders := &exec.HashJoin{Kind: exec.JoinAnti, Build: orders, Probe: customer,
+		BuildKeys: []int{0}, ProbeKeys: []int{0}}
+	agg := &exec.HashAgg{
+		Input:      noOrders,
+		GroupBy:    []*expr.Expr{expr.New(expr.OpSubstr, col(1, "c_phone"), intConst(1), intConst(2))},
+		GroupNames: []string{"cntrycode"},
+		Aggs: []exec.AggDef{
+			{Fn: exec.AggFnCountStar, Name: "numcust"},
+			{Fn: exec.AggFnSum, Arg: col(2, "c_acctbal"), Name: "totacctbal"},
+		},
+	}
+	return &exec.Sort{Input: agg, Keys: []exec.OrderKey{{Expr: col(0, "cntrycode")}}}
+}

@@ -1,0 +1,195 @@
+package tpch
+
+import (
+	"fmt"
+
+	"taurus/internal/core"
+	"taurus/internal/engine"
+	"taurus/internal/exec"
+	"taurus/internal/expr"
+	"taurus/internal/plan"
+	"taurus/internal/types"
+)
+
+// Env is the per-run query environment: it carries the database, whether
+// NDP is enabled, and collects per-access NDP decisions for reporting.
+type Env struct {
+	DB  *DB
+	NDP bool
+
+	// Reports records every table access and its NDP decision.
+	Reports []AccessReport
+	err     error
+}
+
+// AccessReport pairs an access spec with its optimizer decision.
+type AccessReport struct {
+	Spec *plan.AccessSpec
+	Dec  plan.Decision
+}
+
+// NewEnv creates an environment.
+func NewEnv(db *DB, ndp bool) *Env { return &Env{DB: db, NDP: ndp} }
+
+// Err returns the first plan-construction error.
+func (e *Env) Err() error { return e.err }
+
+func (e *Env) fail(err error) exec.Operator {
+	if e.err == nil {
+		e.err = err
+	}
+	return &exec.Values{}
+}
+
+// scan builds a table access through the NDP post-processing optimizer.
+func (e *Env) scan(spec *plan.AccessSpec) exec.Operator {
+	var dec plan.Decision
+	if e.NDP {
+		dec = e.DB.Cat.Decide(spec)
+	} else {
+		// Without NDP the whole predicate is residual-free at the scan
+		// (classical pushdown evaluates it in the storage engine).
+		spec.Residual = nil
+	}
+	e.Reports = append(e.Reports, AccessReport{Spec: spec, Dec: dec})
+	op, err := e.DB.Cat.BuildScan(spec, dec)
+	if err != nil {
+		return e.fail(err)
+	}
+	return op
+}
+
+// aggScan builds a table access whose query block aggregates directly
+// over it: when the optimizer pushes aggregation this becomes an
+// NDPAggScan; otherwise a plain scan topped by an executor HashAgg. The
+// group columns are the leading output ordinals listed in spec.GroupBy.
+func (e *Env) aggScan(spec *plan.AccessSpec, having *expr.Expr) exec.Operator {
+	op, dec, err := e.DB.Cat.BuildAccess(spec, e.NDP, having)
+	e.Reports = append(e.Reports, AccessReport{Spec: spec, Dec: dec})
+	if err != nil {
+		return e.fail(err)
+	}
+	return op
+}
+
+// lookupByPrefix returns rows of idx whose leading key column equals v,
+// projected to outCols (index-schema ordinals). This is the point/range
+// lookup path for which "NDP is not considered" (§IV-B).
+func lookupByPrefix(ctx *exec.Ctx, idx *engine.Index, v types.Datum, outCols []int) ([]types.Row, error) {
+	key := types.EncodeKey(nil, types.Row{v})
+	var out []types.Row
+	err := ctx.Eng.Scan(engine.ScanOptions{
+		Index:      idx,
+		Start:      key,
+		End:        append(append([]byte(nil), key...), 0xFF), // all keys with this prefix
+		Projection: outCols,
+	}, func(row types.Row, _ []core.AggState) error {
+		out = append(out, row.Clone())
+		return nil
+	})
+	return out, err
+}
+
+// lineitemByPartkey resolves full lineitem rows for one partkey: a
+// secondary-index lookup followed by primary-key lookups, exactly as
+// InnoDB serves secondary range reads. outCols are lineitem ordinals.
+func (e *Env) lineitemByPartkey(ctx *exec.Ctx, partkey types.Datum, outCols []int) ([]types.Row, error) {
+	// Secondary layout: (l_partkey, l_orderkey, l_linenumber).
+	refs, err := lookupByPrefix(ctx, e.DB.LineitemByPart, partkey, []int{1, 2})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]types.Row, 0, len(refs))
+	for _, ref := range refs {
+		rows, err := lookupByPrefix2(ctx, e.DB.Lineitem.Primary, ref[0], ref[1], outCols)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, rows...)
+	}
+	return out, nil
+}
+
+// lookupByPrefix2 looks up rows whose two leading key columns equal
+// (a, b).
+func lookupByPrefix2(ctx *exec.Ctx, idx *engine.Index, a, b types.Datum, outCols []int) ([]types.Row, error) {
+	key := types.EncodeKey(nil, types.Row{a, b})
+	var out []types.Row
+	err := ctx.Eng.Scan(engine.ScanOptions{
+		Index: idx, Start: key,
+		End:        append(append([]byte(nil), key...), 0xFF),
+		Projection: outCols,
+	}, func(row types.Row, _ []core.AggState) error {
+		out = append(out, row.Clone())
+		return nil
+	})
+	return out, err
+}
+
+// Small expression helpers keep the query definitions readable.
+
+func col(i int, name string) *expr.Expr { return expr.Col(i, name) }
+func dateConst(y, m, d int) *expr.Expr  { return expr.Const(types.DateFromYMD(y, m, d)) }
+func decConst(scaled int64) *expr.Expr  { return expr.Const(types.NewDecimal(scaled)) }
+func strConst(s string) *expr.Expr      { return expr.ConstString(s) }
+func intConst(v int64) *expr.Expr       { return expr.ConstInt(v) }
+
+// revenue is extendedprice * (1 - discount) with the given ordinals.
+func revenue(priceOrd, discOrd int) *expr.Expr {
+	return expr.Mul(col(priceOrd, "l_extendedprice"),
+		expr.Sub(decConst(100), col(discOrd, "l_discount")))
+}
+
+// Query identifies one of the 22 queries plus the Listing 5
+// micro-benchmark variants.
+type Query struct {
+	Name string
+	// Build assembles the physical plan in the environment. Scalar
+	// subqueries (Q11's total, Q17/Q22's averages) execute eagerly
+	// through ctx during Build, the way MySQL materializes
+	// uncorrelated subqueries before the outer block runs.
+	Build func(e *Env, ctx *exec.Ctx) exec.Operator
+}
+
+// Queries lists all 22 TPC-H queries in order.
+func Queries() []Query {
+	return []Query{
+		{"Q1", Q1}, {"Q2", Q2}, {"Q3", Q3}, {"Q4", Q4}, {"Q5", Q5},
+		{"Q6", Q6}, {"Q7", Q7}, {"Q8", Q8}, {"Q9", Q9}, {"Q10", Q10},
+		{"Q11", Q11}, {"Q12", Q12}, {"Q13", Q13}, {"Q14", Q14}, {"Q15", Q15},
+		{"Q16", Q16}, {"Q17", Q17}, {"Q18", Q18}, {"Q19", Q19}, {"Q20", Q20},
+		{"Q21", Q21}, {"Q22", Q22},
+	}
+}
+
+// QueryByName resolves a query.
+func QueryByName(name string) (Query, error) {
+	for _, q := range Queries() {
+		if q.Name == name {
+			return q, nil
+		}
+	}
+	return Query{}, fmt.Errorf("tpch: unknown query %q", name)
+}
+
+// Run executes a query under the environment and returns its rows.
+func Run(e *Env, ctx *exec.Ctx, q Query) ([]types.Row, error) {
+	op := q.Build(e, ctx)
+	if e.err != nil {
+		return nil, e.err
+	}
+	return exec.Run(ctx, op)
+}
+
+// runSub executes a scalar subquery plan during Build.
+func (e *Env) runSub(ctx *exec.Ctx, op exec.Operator) []types.Row {
+	if e.err != nil {
+		return nil
+	}
+	rows, err := exec.Run(ctx, op)
+	if err != nil {
+		e.fail(err)
+		return nil
+	}
+	return rows
+}

@@ -1,0 +1,198 @@
+// Package tpch generates TPC-H-shaped data and builds the 22 benchmark
+// queries as physical plans over the Taurus engine, so the paper's
+// evaluation (100 GB TPC-H, §VII) can be replayed at configurable scale.
+// Distributions follow the TPC-H specification closely enough that
+// predicate selectivities, projection width ratios, and join fan-outs —
+// the quantities the NDP optimizer keys on — keep their shape.
+package tpch
+
+import "taurus/internal/types"
+
+// Schemas for the eight TPC-H tables. Column order matters: plans
+// reference ordinals through these definitions.
+
+// RegionSchema is REGION.
+var RegionSchema = types.NewSchema(
+	types.Column{Name: "r_regionkey", Kind: types.KindInt, NotNull: true},
+	types.Column{Name: "r_name", Kind: types.KindString, FixedLen: 25, NotNull: true},
+	types.Column{Name: "r_comment", Kind: types.KindString, NotNull: true},
+)
+
+// NationSchema is NATION.
+var NationSchema = types.NewSchema(
+	types.Column{Name: "n_nationkey", Kind: types.KindInt, NotNull: true},
+	types.Column{Name: "n_name", Kind: types.KindString, FixedLen: 25, NotNull: true},
+	types.Column{Name: "n_regionkey", Kind: types.KindInt, NotNull: true},
+	types.Column{Name: "n_comment", Kind: types.KindString, NotNull: true},
+)
+
+// SupplierSchema is SUPPLIER.
+var SupplierSchema = types.NewSchema(
+	types.Column{Name: "s_suppkey", Kind: types.KindInt, NotNull: true},
+	types.Column{Name: "s_name", Kind: types.KindString, FixedLen: 25, NotNull: true},
+	types.Column{Name: "s_address", Kind: types.KindString, NotNull: true},
+	types.Column{Name: "s_nationkey", Kind: types.KindInt, NotNull: true},
+	types.Column{Name: "s_phone", Kind: types.KindString, FixedLen: 15, NotNull: true},
+	types.Column{Name: "s_acctbal", Kind: types.KindDecimal, NotNull: true},
+	types.Column{Name: "s_comment", Kind: types.KindString, NotNull: true},
+)
+
+// CustomerSchema is CUSTOMER.
+var CustomerSchema = types.NewSchema(
+	types.Column{Name: "c_custkey", Kind: types.KindInt, NotNull: true},
+	types.Column{Name: "c_name", Kind: types.KindString, NotNull: true},
+	types.Column{Name: "c_address", Kind: types.KindString, NotNull: true},
+	types.Column{Name: "c_nationkey", Kind: types.KindInt, NotNull: true},
+	types.Column{Name: "c_phone", Kind: types.KindString, FixedLen: 15, NotNull: true},
+	types.Column{Name: "c_acctbal", Kind: types.KindDecimal, NotNull: true},
+	types.Column{Name: "c_mktsegment", Kind: types.KindString, FixedLen: 10, NotNull: true},
+	types.Column{Name: "c_comment", Kind: types.KindString, NotNull: true},
+)
+
+// PartSchema is PART.
+var PartSchema = types.NewSchema(
+	types.Column{Name: "p_partkey", Kind: types.KindInt, NotNull: true},
+	types.Column{Name: "p_name", Kind: types.KindString, NotNull: true},
+	types.Column{Name: "p_mfgr", Kind: types.KindString, FixedLen: 25, NotNull: true},
+	types.Column{Name: "p_brand", Kind: types.KindString, FixedLen: 10, NotNull: true},
+	types.Column{Name: "p_type", Kind: types.KindString, NotNull: true},
+	types.Column{Name: "p_size", Kind: types.KindInt, NotNull: true},
+	types.Column{Name: "p_container", Kind: types.KindString, FixedLen: 10, NotNull: true},
+	types.Column{Name: "p_retailprice", Kind: types.KindDecimal, NotNull: true},
+	types.Column{Name: "p_comment", Kind: types.KindString, NotNull: true},
+)
+
+// PartSuppSchema is PARTSUPP.
+var PartSuppSchema = types.NewSchema(
+	types.Column{Name: "ps_partkey", Kind: types.KindInt, NotNull: true},
+	types.Column{Name: "ps_suppkey", Kind: types.KindInt, NotNull: true},
+	types.Column{Name: "ps_availqty", Kind: types.KindInt, NotNull: true},
+	types.Column{Name: "ps_supplycost", Kind: types.KindDecimal, NotNull: true},
+	types.Column{Name: "ps_comment", Kind: types.KindString, NotNull: true},
+)
+
+// OrdersSchema is ORDERS.
+var OrdersSchema = types.NewSchema(
+	types.Column{Name: "o_orderkey", Kind: types.KindInt, NotNull: true},
+	types.Column{Name: "o_custkey", Kind: types.KindInt, NotNull: true},
+	types.Column{Name: "o_orderstatus", Kind: types.KindString, FixedLen: 1, NotNull: true},
+	types.Column{Name: "o_totalprice", Kind: types.KindDecimal, NotNull: true},
+	types.Column{Name: "o_orderdate", Kind: types.KindDate, NotNull: true},
+	types.Column{Name: "o_orderpriority", Kind: types.KindString, FixedLen: 15, NotNull: true},
+	types.Column{Name: "o_clerk", Kind: types.KindString, FixedLen: 15, NotNull: true},
+	types.Column{Name: "o_shippriority", Kind: types.KindInt, NotNull: true},
+	types.Column{Name: "o_comment", Kind: types.KindString, NotNull: true},
+)
+
+// LineitemSchema is LINEITEM. Ordinal constants below are used widely by
+// the query plans.
+var LineitemSchema = types.NewSchema(
+	types.Column{Name: "l_orderkey", Kind: types.KindInt, NotNull: true},
+	types.Column{Name: "l_linenumber", Kind: types.KindInt, NotNull: true},
+	types.Column{Name: "l_partkey", Kind: types.KindInt, NotNull: true},
+	types.Column{Name: "l_suppkey", Kind: types.KindInt, NotNull: true},
+	types.Column{Name: "l_quantity", Kind: types.KindDecimal, NotNull: true},
+	types.Column{Name: "l_extendedprice", Kind: types.KindDecimal, NotNull: true},
+	types.Column{Name: "l_discount", Kind: types.KindDecimal, NotNull: true},
+	types.Column{Name: "l_tax", Kind: types.KindDecimal, NotNull: true},
+	types.Column{Name: "l_returnflag", Kind: types.KindString, FixedLen: 1, NotNull: true},
+	types.Column{Name: "l_linestatus", Kind: types.KindString, FixedLen: 1, NotNull: true},
+	types.Column{Name: "l_shipdate", Kind: types.KindDate, NotNull: true},
+	types.Column{Name: "l_commitdate", Kind: types.KindDate, NotNull: true},
+	types.Column{Name: "l_receiptdate", Kind: types.KindDate, NotNull: true},
+	types.Column{Name: "l_shipinstruct", Kind: types.KindString, FixedLen: 25, NotNull: true},
+	types.Column{Name: "l_shipmode", Kind: types.KindString, FixedLen: 10, NotNull: true},
+	types.Column{Name: "l_comment", Kind: types.KindString, NotNull: true},
+)
+
+// Lineitem column ordinals.
+const (
+	LOrderkey = iota
+	LLinenumber
+	LPartkey
+	LSuppkey
+	LQuantity
+	LExtendedprice
+	LDiscount
+	LTax
+	LReturnflag
+	LLinestatus
+	LShipdate
+	LCommitdate
+	LReceiptdate
+	LShipinstruct
+	LShipmode
+	LComment
+)
+
+// Orders column ordinals.
+const (
+	OOrderkey = iota
+	OCustkey
+	OOrderstatus
+	OTotalprice
+	OOrderdate
+	OOrderpriority
+	OClerk
+	OShippriority
+	OComment
+)
+
+// Part column ordinals.
+const (
+	PPartkey = iota
+	PName
+	PMfgr
+	PBrand
+	PType
+	PSize
+	PContainer
+	PRetailprice
+	PComment
+)
+
+// Customer column ordinals.
+const (
+	CCustkey = iota
+	CName
+	CAddress
+	CNationkey
+	CPhone
+	CAcctbal
+	CMktsegment
+	CComment
+)
+
+// Supplier column ordinals.
+const (
+	SSuppkey = iota
+	SName
+	SAddress
+	SNationkey
+	SPhone
+	SAcctbal
+	SComment
+)
+
+// Partsupp column ordinals.
+const (
+	PSPartkey = iota
+	PSSuppkey
+	PSAvailqty
+	PSSupplycost
+	PSComment
+)
+
+// Nation / Region ordinals.
+const (
+	NNationkey = iota
+	NName
+	NRegionkey
+	NComment
+)
+
+const (
+	RRegionkey = iota
+	RName
+	RComment
+)

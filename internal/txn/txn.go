@@ -1,0 +1,172 @@
+// Package txn implements transaction IDs, read views, and the undo log
+// used for multi-version concurrency control.
+//
+// The split of responsibilities follows the paper exactly: the frontend
+// keeps complete read views (active transaction lists) and the undo log;
+// Page Stores receive only a single low watermark in the NDP descriptor,
+// because "a complete list of active transactions is not included to
+// reduce CPU overhead in Page Stores" (§IV-C1). Records at or above the
+// watermark are ambiguous to storage and must be resolved here: "Such
+// invisible rows must be returned to InnoDB, which is able to reconstruct
+// the correct older version" (§IV-A).
+package txn
+
+import (
+	"sync"
+)
+
+// Manager allocates transaction IDs and tracks the active set.
+type Manager struct {
+	mu     sync.Mutex
+	nextID uint64
+	active map[uint64]bool
+}
+
+// NewManager returns a manager whose first transaction gets ID 1.
+func NewManager() *Manager {
+	return &Manager{nextID: 1, active: make(map[uint64]bool)}
+}
+
+// Txn is one transaction.
+type Txn struct {
+	ID  uint64
+	mgr *Manager
+}
+
+// Begin starts a transaction.
+func (m *Manager) Begin() *Txn {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	id := m.nextID
+	m.nextID++
+	m.active[id] = true
+	return &Txn{ID: id, mgr: m}
+}
+
+// Commit ends the transaction, removing it from the active set.
+func (t *Txn) Commit() {
+	t.mgr.mu.Lock()
+	defer t.mgr.mu.Unlock()
+	delete(t.mgr.active, t.ID)
+}
+
+// ReadView is a consistent snapshot boundary.
+type ReadView struct {
+	// Low is the low watermark: all transactions below it are
+	// committed. This single value is what travels to Page Stores.
+	Low uint64
+	// High is the next-unassigned ID at view creation; transactions at
+	// or above it started later and are invisible.
+	High uint64
+	// Active is the set of concurrent transactions whose effects are
+	// invisible despite being below High.
+	Active map[uint64]bool
+	// Own is the viewing transaction's ID; its writes are visible to
+	// itself. Zero for read-only snapshot views.
+	Own uint64
+}
+
+// View creates a read view for t (pass nil for a read-only snapshot).
+func (m *Manager) View(t *Txn) *ReadView {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	v := &ReadView{High: m.nextID, Active: make(map[uint64]bool, len(m.active))}
+	low := m.nextID
+	for id := range m.active {
+		v.Active[id] = true
+		if id < low {
+			low = id
+		}
+	}
+	v.Low = low
+	if t != nil {
+		v.Own = t.ID
+	}
+	return v
+}
+
+// Visible reports whether a record version written by trxID is visible.
+func (v *ReadView) Visible(trxID uint64) bool {
+	if trxID == v.Own && trxID != 0 {
+		return true
+	}
+	if trxID < v.Low {
+		return true
+	}
+	if trxID >= v.High {
+		return false
+	}
+	return !v.Active[trxID]
+}
+
+// UndoLog keeps previous row versions, keyed by (index, key-bytes). In
+// InnoDB this is the undo tablespace reached via roll pointers; here a
+// map of version chains is sufficient because undo never crosses to
+// storage nodes: "A Page Store is unable to traverse a row's undo chain
+// ... because the required undo records may reside in other Page Stores"
+// (§IV-A).
+type UndoLog struct {
+	mu     sync.RWMutex
+	chains map[uint64]map[string][]UndoRecord
+}
+
+// UndoRecord is one prior version of a row.
+type UndoRecord struct {
+	// TrxID is the transaction that wrote THIS version.
+	TrxID uint64
+	// Row is the encoded row payload of this version.
+	Row []byte
+	// Deleted marks versions representing a delete (tombstone).
+	Deleted bool
+}
+
+// NewUndoLog returns an empty undo log.
+func NewUndoLog() *UndoLog {
+	return &UndoLog{chains: make(map[uint64]map[string][]UndoRecord)}
+}
+
+// Push records the version being replaced. Call before overwriting a row:
+// the pushed version is the one readers with older views still need.
+func (u *UndoLog) Push(indexID uint64, key []byte, rec UndoRecord) {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	byKey, ok := u.chains[indexID]
+	if !ok {
+		byKey = make(map[string][]UndoRecord)
+		u.chains[indexID] = byKey
+	}
+	// Newest first.
+	byKey[string(key)] = append([]UndoRecord{rec}, byKey[string(key)]...)
+}
+
+// Resolve walks the version chain for a row whose current (in-page)
+// version is invisible, returning the newest visible prior version.
+// ok=false means no version is visible to the view (the row logically
+// does not exist for this reader).
+func (u *UndoLog) Resolve(indexID uint64, key []byte, view *ReadView) (UndoRecord, bool) {
+	u.mu.RLock()
+	defer u.mu.RUnlock()
+	byKey, ok := u.chains[indexID]
+	if !ok {
+		return UndoRecord{}, false
+	}
+	for _, rec := range byKey[string(key)] {
+		if view.Visible(rec.TrxID) {
+			return rec, true
+		}
+	}
+	return UndoRecord{}, false
+}
+
+// Len reports the total number of undo records (tests/metrics).
+func (u *UndoLog) Len() int {
+	u.mu.RLock()
+	defer u.mu.RUnlock()
+	n := 0
+	for _, byKey := range u.chains {
+		for _, chain := range byKey {
+			n += len(chain)
+		}
+	}
+	return n
+}

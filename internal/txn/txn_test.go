@@ -1,0 +1,141 @@
+package txn
+
+import "testing"
+
+func TestVisibility(t *testing.T) {
+	m := NewManager()
+	t1 := m.Begin() // id 1
+	t2 := m.Begin() // id 2
+	t1.Commit()
+	t3 := m.Begin() // id 3, active
+	view := m.View(t3)
+
+	if !view.Visible(t1.ID) {
+		t.Error("committed t1 must be visible")
+	}
+	if view.Visible(t2.ID) {
+		t.Error("active t2 must be invisible")
+	}
+	if !view.Visible(t3.ID) {
+		t.Error("own writes must be visible")
+	}
+	t4 := m.Begin()
+	if view.Visible(t4.ID) {
+		t.Error("later transaction must be invisible")
+	}
+	// Low watermark: t2 (id 2) is the oldest active.
+	if view.Low != t2.ID {
+		t.Errorf("low watermark = %d, want %d", view.Low, t2.ID)
+	}
+}
+
+func TestSnapshotViewNoOwner(t *testing.T) {
+	m := NewManager()
+	t1 := m.Begin()
+	view := m.View(nil)
+	if view.Own != 0 {
+		t.Error("snapshot view has no owner")
+	}
+	if view.Visible(t1.ID) {
+		t.Error("active txn invisible to snapshot")
+	}
+	t1.Commit()
+	view2 := m.View(nil)
+	if !view2.Visible(t1.ID) {
+		t.Error("committed txn visible to later snapshot")
+	}
+}
+
+func TestLowWatermarkAdvances(t *testing.T) {
+	m := NewManager()
+	t1 := m.Begin()
+	v1 := m.View(nil)
+	if v1.Low != t1.ID {
+		t.Errorf("low = %d", v1.Low)
+	}
+	t1.Commit()
+	v2 := m.View(nil)
+	if v2.Low != v2.High {
+		t.Errorf("with no active txns low should equal high, got %d/%d", v2.Low, v2.High)
+	}
+}
+
+func TestUndoResolve(t *testing.T) {
+	m := NewManager()
+	u := NewUndoLog()
+	writer1 := m.Begin()
+	writer1.Commit()
+	reader := m.View(nil) // sees writer1 only
+
+	writer2 := m.Begin()
+	// writer2 updates row "k": push the version writer1 wrote.
+	u.Push(1, []byte("k"), UndoRecord{TrxID: writer1.ID, Row: []byte("v1")})
+
+	// The in-page version (by writer2) is invisible to reader; undo
+	// resolution returns v1.
+	if reader.Visible(writer2.ID) {
+		t.Fatal("active writer2 should be invisible")
+	}
+	rec, ok := u.Resolve(1, []byte("k"), reader)
+	if !ok || string(rec.Row) != "v1" {
+		t.Fatalf("resolve = %v %v", rec, ok)
+	}
+
+	// A brand-new row inserted by writer2 has no undo chain: invisible
+	// and unresolvable → logically absent.
+	if _, ok := u.Resolve(1, []byte("new"), reader); ok {
+		t.Error("unresolvable row should be absent")
+	}
+
+	// After commit, new views see the page version directly; undo
+	// remains for old views.
+	writer2.Commit()
+	newView := m.View(nil)
+	if !newView.Visible(writer2.ID) {
+		t.Error("committed writer2 visible to new view")
+	}
+}
+
+func TestUndoChainOrder(t *testing.T) {
+	m := NewManager()
+	u := NewUndoLog()
+	// Three writers in sequence, each pushing the prior version.
+	w1 := m.Begin()
+	w1.Commit()
+	viewAfter1 := m.View(nil)
+	w2 := m.Begin()
+	u.Push(1, []byte("k"), UndoRecord{TrxID: w1.ID, Row: []byte("v1")})
+	w2.Commit()
+	viewAfter2 := m.View(nil)
+	w3 := m.Begin()
+	u.Push(1, []byte("k"), UndoRecord{TrxID: w2.ID, Row: []byte("v2")})
+
+	// viewAfter2 sees w2's version; viewAfter1 sees w1's.
+	rec, ok := u.Resolve(1, []byte("k"), viewAfter2)
+	if !ok || string(rec.Row) != "v2" {
+		t.Errorf("viewAfter2 resolved %q", rec.Row)
+	}
+	rec, ok = u.Resolve(1, []byte("k"), viewAfter1)
+	if !ok || string(rec.Row) != "v1" {
+		t.Errorf("viewAfter1 resolved %q", rec.Row)
+	}
+	w3.Commit()
+	if u.Len() != 2 {
+		t.Errorf("undo len = %d", u.Len())
+	}
+}
+
+func TestDeletedTombstone(t *testing.T) {
+	m := NewManager()
+	u := NewUndoLog()
+	w1 := m.Begin()
+	w1.Commit()
+	view := m.View(nil)
+	w2 := m.Begin()
+	u.Push(1, []byte("k"), UndoRecord{TrxID: w1.ID, Row: []byte("v1")})
+	_ = w2
+	rec, ok := u.Resolve(1, []byte("k"), view)
+	if !ok || rec.Deleted {
+		t.Error("old version should be a live row")
+	}
+}

@@ -1,0 +1,239 @@
+// Package types defines the value model shared by every layer of the
+// reproduction: the SQL frontend, the InnoDB-like storage engine, and the
+// Page Store NDP plugins. A Datum is a single column value; a Row is a
+// slice of datums laid out according to a Schema.
+//
+// The supported kinds mirror the subset of MySQL types the paper's NDP
+// implementation allows to be pushed down (§V-B1 keeps explicit lists of
+// allowed data types): 64-bit integers, doubles, fixed-point decimals,
+// dates, and character strings.
+package types
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Kind enumerates the column types understood by the engine.
+type Kind uint8
+
+const (
+	// KindNull is the type of the SQL NULL literal.
+	KindNull Kind = iota
+	// KindInt is a signed 64-bit integer.
+	KindInt
+	// KindFloat is a 64-bit IEEE-754 double.
+	KindFloat
+	// KindDecimal is a fixed-point decimal stored as a scaled integer.
+	// All decimals in the engine use DecimalScale fractional digits,
+	// matching TPC-H's DECIMAL(15,2) columns.
+	KindDecimal
+	// KindDate is a calendar date stored as days since 1970-01-01.
+	KindDate
+	// KindString is a CHAR/VARCHAR value.
+	KindString
+)
+
+// DecimalScale is the number of fractional digits carried by KindDecimal
+// values. TPC-H uses DECIMAL(15,2) everywhere, so a single global scale
+// keeps arithmetic exact without a full decimal library.
+const DecimalScale = 100
+
+func (k Kind) String() string {
+	switch k {
+	case KindNull:
+		return "NULL"
+	case KindInt:
+		return "INT"
+	case KindFloat:
+		return "FLOAT"
+	case KindDecimal:
+		return "DECIMAL"
+	case KindDate:
+		return "DATE"
+	case KindString:
+		return "STRING"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Datum is one column value. The zero Datum is SQL NULL.
+type Datum struct {
+	K Kind
+	I int64   // KindInt, KindDecimal (scaled), KindDate (epoch days)
+	F float64 // KindFloat
+	S string  // KindString
+}
+
+// Null returns the SQL NULL datum.
+func Null() Datum { return Datum{} }
+
+// NewInt returns an integer datum.
+func NewInt(v int64) Datum { return Datum{K: KindInt, I: v} }
+
+// NewFloat returns a double datum.
+func NewFloat(v float64) Datum { return Datum{K: KindFloat, F: v} }
+
+// NewDecimal returns a decimal datum from an already-scaled integer, i.e.
+// NewDecimal(12345) represents 123.45.
+func NewDecimal(scaled int64) Datum { return Datum{K: KindDecimal, I: scaled} }
+
+// DecimalFromFloat converts a float to the fixed-point representation,
+// rounding half away from zero.
+func DecimalFromFloat(v float64) Datum {
+	return NewDecimal(int64(math.Round(v * DecimalScale)))
+}
+
+// NewDate returns a date datum from days since the Unix epoch.
+func NewDate(epochDays int32) Datum { return Datum{K: KindDate, I: int64(epochDays)} }
+
+// DateFromYMD builds a date datum from a calendar date.
+func DateFromYMD(y, m, d int) Datum {
+	t := time.Date(y, time.Month(m), d, 0, 0, 0, 0, time.UTC)
+	return NewDate(int32(t.Unix() / 86400))
+}
+
+// NewString returns a string datum.
+func NewString(v string) Datum { return Datum{K: KindString, S: v} }
+
+// IsNull reports whether the datum is SQL NULL.
+func (d Datum) IsNull() bool { return d.K == KindNull }
+
+// Int returns the integer payload (valid for int/decimal/date kinds).
+func (d Datum) Int() int64 { return d.I }
+
+// Float returns the value as a float64, converting decimals and ints.
+func (d Datum) Float() float64 {
+	switch d.K {
+	case KindFloat:
+		return d.F
+	case KindDecimal:
+		return float64(d.I) / DecimalScale
+	case KindInt, KindDate:
+		return float64(d.I)
+	default:
+		return 0
+	}
+}
+
+// String renders the datum for display and EXPLAIN output.
+func (d Datum) String() string {
+	switch d.K {
+	case KindNull:
+		return "NULL"
+	case KindInt:
+		return strconv.FormatInt(d.I, 10)
+	case KindFloat:
+		return strconv.FormatFloat(d.F, 'g', -1, 64)
+	case KindDecimal:
+		neg := ""
+		v := d.I
+		if v < 0 {
+			neg, v = "-", -v
+		}
+		return fmt.Sprintf("%s%d.%02d", neg, v/DecimalScale, v%DecimalScale)
+	case KindDate:
+		t := time.Unix(d.I*86400, 0).UTC()
+		return t.Format("2006-01-02")
+	case KindString:
+		return d.S
+	default:
+		return fmt.Sprintf("Datum(%d)", uint8(d.K))
+	}
+}
+
+// ParseDate parses a YYYY-MM-DD literal into a date datum.
+func ParseDate(s string) (Datum, error) {
+	t, err := time.Parse("2006-01-02", strings.TrimSpace(s))
+	if err != nil {
+		return Null(), fmt.Errorf("types: bad date %q: %w", s, err)
+	}
+	return NewDate(int32(t.Unix() / 86400)), nil
+}
+
+// AddMonths returns the date advanced by n months, as MySQL's
+// DATE_ADD(.., INTERVAL n MONTH) does.
+func (d Datum) AddMonths(n int) Datum {
+	t := time.Unix(d.I*86400, 0).UTC().AddDate(0, n, 0)
+	return NewDate(int32(t.Unix() / 86400))
+}
+
+// AddDays returns the date advanced by n days.
+func (d Datum) AddDays(n int) Datum {
+	return NewDate(int32(d.I) + int32(n))
+}
+
+// Compare orders two datums. NULL sorts before every non-NULL value, which
+// is only used for sorting; SQL comparison semantics (NULL is unknown) are
+// handled in the expression layer. Numeric kinds compare by value across
+// int/decimal/float; strings compare bytewise; comparing a string with a
+// numeric kind panics because the planner never produces such a pair.
+func Compare(a, b Datum) int {
+	if a.K == KindNull || b.K == KindNull {
+		switch {
+		case a.K == b.K:
+			return 0
+		case a.K == KindNull:
+			return -1
+		default:
+			return 1
+		}
+	}
+	if a.K == KindString || b.K == KindString {
+		if a.K != KindString || b.K != KindString {
+			panic(fmt.Sprintf("types: comparing %v with %v", a.K, b.K))
+		}
+		return strings.Compare(a.S, b.S)
+	}
+	// Numeric-ish kinds. Fast path: identical kinds compare on raw payload.
+	if a.K == b.K && a.K != KindFloat {
+		switch {
+		case a.I < b.I:
+			return -1
+		case a.I > b.I:
+			return 1
+		default:
+			return 0
+		}
+	}
+	af, bf := a.Float(), b.Float()
+	switch {
+	case af < bf:
+		return -1
+	case af > bf:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// Equal reports datum equality under Compare semantics.
+func Equal(a, b Datum) bool { return Compare(a, b) == 0 }
+
+// Row is an ordered list of column values.
+type Row []Datum
+
+// Clone returns a deep-enough copy of the row (datums are value types).
+func (r Row) Clone() Row {
+	out := make(Row, len(r))
+	copy(out, r)
+	return out
+}
+
+// String renders the row for debugging.
+func (r Row) String() string {
+	var b strings.Builder
+	b.WriteByte('(')
+	for i, d := range r {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(d.String())
+	}
+	b.WriteByte(')')
+	return b.String()
+}

@@ -1,0 +1,106 @@
+package types
+
+import "fmt"
+
+// Column describes one column of a table or index schema.
+type Column struct {
+	Name string
+	Kind Kind
+	// FixedLen is the byte length for fixed-width string columns (CHAR);
+	// zero means variable length (VARCHAR). Non-string kinds ignore it.
+	FixedLen int
+	// AvgLen is the average stored width used by the optimizer's
+	// projection-benefit rule for variable-width columns (§V-A: "for
+	// variable-sized columns, average sizes—calculated using table
+	// statistics—are used"). Zero falls back to a kind-based default.
+	AvgLen int
+	// NotNull marks columns that can never hold NULL. All TPC-H columns
+	// are NOT NULL, which lets the row codec skip null bitmaps for them.
+	NotNull bool
+}
+
+// Width returns the estimated stored width in bytes of this column, used
+// by the NDP projection decision.
+func (c Column) Width() int {
+	switch c.Kind {
+	case KindInt, KindDecimal:
+		return 8
+	case KindFloat:
+		return 8
+	case KindDate:
+		return 4
+	case KindString:
+		if c.FixedLen > 0 {
+			return c.FixedLen
+		}
+		if c.AvgLen > 0 {
+			return c.AvgLen
+		}
+		return 16
+	default:
+		return 8
+	}
+}
+
+// Schema is an ordered set of columns.
+type Schema struct {
+	Cols []Column
+	// byName accelerates ColIndex; built lazily by NewSchema.
+	byName map[string]int
+}
+
+// NewSchema builds a schema and its name index.
+func NewSchema(cols ...Column) *Schema {
+	s := &Schema{Cols: cols, byName: make(map[string]int, len(cols))}
+	for i, c := range cols {
+		s.byName[c.Name] = i
+	}
+	return s
+}
+
+// Len returns the number of columns.
+func (s *Schema) Len() int { return len(s.Cols) }
+
+// ColIndex returns the ordinal of the named column, or -1.
+func (s *Schema) ColIndex(name string) int {
+	if s.byName != nil {
+		if i, ok := s.byName[name]; ok {
+			return i
+		}
+		return -1
+	}
+	for i, c := range s.Cols {
+		if c.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// MustColIndex is ColIndex that panics on unknown names; used when the
+// planner has already validated the column set.
+func (s *Schema) MustColIndex(name string) int {
+	i := s.ColIndex(name)
+	if i < 0 {
+		panic(fmt.Sprintf("types: unknown column %q", name))
+	}
+	return i
+}
+
+// Project returns a new schema containing the given ordinals in order.
+func (s *Schema) Project(ordinals []int) *Schema {
+	cols := make([]Column, len(ordinals))
+	for i, o := range ordinals {
+		cols[i] = s.Cols[o]
+	}
+	return NewSchema(cols...)
+}
+
+// RowWidth returns the estimated total stored width of a full row.
+func (s *Schema) RowWidth() int {
+	w := 0
+	for _, c := range s.Cols {
+		w += c.Width()
+	}
+	return w
+}

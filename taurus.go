@@ -1,0 +1,150 @@
+// Package taurus is the public embedded API of the Taurus NDP
+// reproduction: a cloud-native database with separated compute and
+// storage and near-data processing (selection, projection, and
+// aggregation pushdown into Page Stores), after "Near Data Processing in
+// Taurus Database" (ICDE 2022).
+//
+// Open creates a complete single-process deployment: Log Stores, Page
+// Stores, the Storage Abstraction Layer, and the database frontend
+// (storage engine + executor + SQL). The same components can be deployed
+// over TCP with cmd/taurus-server; the embedded form wires them through
+// the in-process transport, whose byte accounting is exact.
+//
+//	db, _ := taurus.Open(taurus.Config{})
+//	db.Exec(`CREATE TABLE worker (id BIGINT, age INT, join_date DATE,
+//	         salary DECIMAL(15,2), name VARCHAR, PRIMARY KEY(id))`)
+//	db.Exec(`INSERT INTO worker VALUES (1, 35, DATE '2010-03-01', 4200.00, 'ann')`)
+//	res, _ := db.Exec(`SELECT AVG(salary) FROM worker WHERE age < 40`)
+package taurus
+
+import (
+	"fmt"
+
+	"taurus/internal/cluster"
+	"taurus/internal/engine"
+	"taurus/internal/logstore"
+	"taurus/internal/pagestore"
+	"taurus/internal/sal"
+	"taurus/internal/sql"
+	"taurus/internal/types"
+)
+
+// Config sizes the embedded deployment. The zero value matches the
+// paper's small test cluster: four Page Stores, three-way replication.
+type Config struct {
+	// PageStores is the number of storage nodes (default 4).
+	PageStores int
+	// ReplicationFactor is slice replication (default 3).
+	ReplicationFactor int
+	// PoolPages is the buffer pool capacity in 16 KB pages (default 4096).
+	PoolPages int
+	// NDPMaxPagesLookAhead bounds NDP batch reads (default 1024).
+	NDPMaxPagesLookAhead int
+	// PagesPerSlice overrides the slice size in pages (default: 10 GB
+	// worth of pages; small deployments may shrink it so data spreads
+	// across Page Stores).
+	PagesPerSlice uint64
+	// DisableNDP turns pushdown off (the experiments' baseline).
+	DisableNDP bool
+}
+
+// DB is an open database.
+type DB struct {
+	session *sql.Session
+	eng     *engine.Engine
+	tr      *cluster.InProc
+	stores  []*pagestore.Store
+	logs    []*logstore.Store
+}
+
+// Result is a statement result.
+type Result = sql.Result
+
+// Row is a result row.
+type Row = types.Row
+
+// Open builds the deployment.
+func Open(cfg Config) (*DB, error) {
+	if cfg.PageStores <= 0 {
+		cfg.PageStores = 4
+	}
+	if cfg.ReplicationFactor <= 0 {
+		cfg.ReplicationFactor = 3
+	}
+	if cfg.PoolPages <= 0 {
+		cfg.PoolPages = 4096
+	}
+	tr := cluster.NewInProc()
+	db := &DB{tr: tr}
+	logNames := []string{"log1", "log2", "log3"}
+	for _, n := range logNames {
+		ls := logstore.New(n)
+		db.logs = append(db.logs, ls)
+		tr.Register(n, ls)
+	}
+	var psNames []string
+	for i := 0; i < cfg.PageStores; i++ {
+		name := fmt.Sprintf("pagestore-%d", i+1)
+		ps := pagestore.New(name)
+		db.stores = append(db.stores, ps)
+		psNames = append(psNames, name)
+		tr.Register(name, ps)
+	}
+	s, err := sal.New(sal.Config{
+		Tenant: 1, Transport: tr, LogStores: logNames, PageStores: psNames,
+		ReplicationFactor: cfg.ReplicationFactor, PagesPerSlice: cfg.PagesPerSlice,
+		Plugin: pagestore.PluginInnoDB,
+	})
+	if err != nil {
+		return nil, err
+	}
+	eng, err := engine.New(engine.Config{
+		SAL: s, PoolPages: cfg.PoolPages, NDPMaxPagesLookAhead: cfg.NDPMaxPagesLookAhead,
+	})
+	if err != nil {
+		return nil, err
+	}
+	db.eng = eng
+	db.session = sql.NewSession(eng)
+	db.session.NDP = !cfg.DisableNDP
+	return db, nil
+}
+
+// Exec parses and executes one SQL statement (CREATE TABLE, INSERT,
+// SELECT, EXPLAIN SELECT).
+func (db *DB) Exec(query string) (*Result, error) { return db.session.Exec(query) }
+
+// SetNDP toggles near-data processing for subsequent queries.
+func (db *DB) SetNDP(enabled bool) { db.session.NDP = enabled }
+
+// NDPEnabled reports the current setting.
+func (db *DB) NDPEnabled() bool { return db.session.NDP }
+
+// SetNDPPageThreshold overrides the optimizer's minimum estimated scan
+// I/O (in pages) for NDP eligibility — the paper's 10,000-page rule,
+// which small embedded datasets usually want lowered.
+func (db *DB) SetNDPPageThreshold(pages int64) { db.session.Cat.NDPPageThreshold = pages }
+
+// Engine exposes the storage engine for advanced (typed) access: bulk
+// loads, explicit scans, custom plans.
+func (db *DB) Engine() *engine.Engine { return db.eng }
+
+// ClearBufferPool drops all cached pages, so the next scan reads from
+// the Page Stores ("cold" start, as the paper's experiments begin).
+func (db *DB) ClearBufferPool() { db.eng.Pool().Clear() }
+
+// NetworkStats returns cumulative compute↔storage traffic counters.
+func (db *DB) NetworkStats() cluster.CountersSnapshot { return db.tr.Stats.Snapshot() }
+
+// EngineStats returns cumulative SQL-node work counters.
+func (db *DB) EngineStats() engine.MetricsSnapshot { return db.eng.Metrics.Snapshot() }
+
+// PageStoreStats returns per-store counters (log records applied, NDP
+// pages processed and skipped, ...).
+func (db *DB) PageStoreStats() []pagestore.StatsSnapshot {
+	out := make([]pagestore.StatsSnapshot, len(db.stores))
+	for i, ps := range db.stores {
+		out[i] = ps.Snapshot()
+	}
+	return out
+}

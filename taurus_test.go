@@ -1,0 +1,97 @@
+package taurus
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestOpenAndQuickstart(t *testing.T) {
+	db, err := Open(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Exec(`CREATE TABLE worker (id BIGINT, age INT,
+		join_date DATE, salary DECIMAL(15,2), name VARCHAR, PRIMARY KEY(id))`); err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	sb.WriteString("INSERT INTO worker VALUES ")
+	for i := 0; i < 500; i++ {
+		if i > 0 {
+			sb.WriteString(",")
+		}
+		sb.WriteString("(")
+		sb.WriteString(itoa(i))
+		sb.WriteString(", ")
+		sb.WriteString(itoa(20 + i%40))
+		sb.WriteString(", DATE '2010-06-01', 4000.00, 'w')")
+	}
+	if _, err := db.Exec(sb.String()); err != nil {
+		t.Fatal(err)
+	}
+	res, err := db.Exec("SELECT COUNT(*) FROM worker WHERE age < 30")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 || res.Rows[0][0].I != 130 {
+		t.Fatalf("count = %v", res.Rows)
+	}
+	// Toggle NDP; results identical.
+	db.SetNDP(false)
+	if db.NDPEnabled() {
+		t.Fatal("toggle failed")
+	}
+	res2, err := db.Exec("SELECT COUNT(*) FROM worker WHERE age < 30")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Rows[0][0].I != res.Rows[0][0].I {
+		t.Fatal("NDP on/off disagree")
+	}
+	// Stats surfaces.
+	if db.NetworkStats().Requests == 0 {
+		t.Error("network stats empty")
+	}
+	if len(db.PageStoreStats()) != 4 {
+		t.Error("expected 4 page stores")
+	}
+	_ = db.EngineStats()
+	db.SetNDPPageThreshold(1)
+	db.SetNDP(true)
+	// EXPLAIN works through the public API.
+	exp, err := db.Exec("EXPLAIN SELECT COUNT(*) FROM worker WHERE age < 30")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(exp.Explain, "Index scan on worker") {
+		t.Errorf("explain = %s", exp.Explain)
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b []byte
+	for n > 0 {
+		b = append([]byte{byte('0' + n%10)}, b...)
+		n /= 10
+	}
+	return string(b)
+}
+
+func TestOpenDefaults(t *testing.T) {
+	db, err := Open(Config{PageStores: 2, ReplicationFactor: 2, DisableNDP: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.NDPEnabled() {
+		t.Fatal("DisableNDP ignored")
+	}
+	if len(db.PageStoreStats()) != 2 {
+		t.Fatal("store count")
+	}
+	if db.Engine() == nil {
+		t.Fatal("engine accessor")
+	}
+}
