@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	taurus-bench [-sf 0.005] [fig5|fig6|fig7|fig8|fig9|q4-bufferpool|all]
+//	taurus-bench [-sf 0.005] [fig5|fig6|fig7|fig8|fig9|q4-bufferpool|durability|all]
 package main
 
 import (
@@ -74,6 +74,20 @@ func main() {
 			return err
 		}
 		bench.PrintFig9(os.Stdout, rows)
+		return nil
+	})
+	run("durability", func() error {
+		rows, err := bench.Durability(0, nil)
+		if err != nil {
+			return err
+		}
+		bench.PrintDurability(os.Stdout, rows)
+		fmt.Println()
+		rec, err := bench.RecoveryTimes(nil)
+		if err != nil {
+			return err
+		}
+		bench.PrintRecovery(os.Stdout, rec)
 		return nil
 	})
 	run("q4-bufferpool", func() error {

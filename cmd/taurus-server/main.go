@@ -6,7 +6,11 @@
 // Usage:
 //
 //	taurus-server -listen :7000 -role pagestore
-//	taurus-server -listen :7100 -role logstore
+//	taurus-server -listen :7100 -role logstore -data-dir /var/lib/taurus/log1
+//
+// A logstore with -data-dir persists acknowledged batches to a
+// segmented on-disk log and recovers them (tolerating a torn tail) on
+// restart; without it the node is memory-only like the Page Stores.
 package main
 
 import (
@@ -25,6 +29,9 @@ func main() {
 	name := flag.String("name", "", "node name (defaults to the listen address)")
 	ndpWorkers := flag.Int("ndp-workers", 4, "NDP worker threads (pagestore)")
 	ndpQueue := flag.Int("ndp-queue", 1024, "NDP admission queue depth (pagestore)")
+	dataDir := flag.String("data-dir", "", "durable log directory (logstore; empty = in-memory)")
+	flushInterval := flag.Duration("flush-interval", 0, "group-commit window (logstore; 0 = default 2ms)")
+	segmentBytes := flag.Int64("segment-bytes", 0, "log segment rotation size (logstore; 0 = default 16MB)")
 	flag.Parse()
 
 	if *name == "" {
@@ -36,7 +43,26 @@ func main() {
 		rc := pagestore.NewResourceControl(*ndpWorkers, *ndpQueue)
 		handler = pagestore.New(*name, pagestore.WithResourceControl(rc))
 	case "logstore":
-		handler = logstore.New(*name)
+		if *dataDir == "" {
+			handler = logstore.New(*name)
+			break
+		}
+		var opts []logstore.Option
+		if *flushInterval > 0 {
+			opts = append(opts, logstore.WithFlushInterval(*flushInterval))
+		}
+		if *segmentBytes > 0 {
+			opts = append(opts, logstore.WithSegmentBytes(*segmentBytes))
+		}
+		ls, err := logstore.Open(*name, *dataDir, opts...)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if ri := ls.Recovery(); ri.Entries > 0 || ri.TornEntry {
+			log.Printf("logstore %q recovered %d entries from %d segments (torn tail: %v, durable LSN %d)",
+				*name, ri.Entries, ri.Segments, ri.TornEntry, ls.DurableLSN())
+		}
+		handler = ls
 	default:
 		log.Fatalf("unknown role %q", *role)
 	}

@@ -1,0 +1,3 @@
+module taurus
+
+go 1.24

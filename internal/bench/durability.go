@@ -1,0 +1,179 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"sync"
+	"time"
+
+	"taurus/internal/logstore"
+	"taurus/internal/plog"
+	"taurus/internal/wal"
+)
+
+// DurabilityRow is one line of the group-commit experiment: total
+// appends acknowledged durably per second, and how many fsyncs it took.
+type DurabilityRow struct {
+	Mode          string
+	Workers       int
+	Appends       int
+	Elapsed       time.Duration
+	AppendsPerSec float64
+	Syncs         uint64
+}
+
+// Durability measures acknowledged-append throughput of the persistent
+// log under concurrent appenders: group commit (batched fsync) against
+// an fsync per append. Both modes write the same entries; the only
+// difference is how many syncs cover them.
+func Durability(appends int, workerCounts []int) ([]DurabilityRow, error) {
+	if appends <= 0 {
+		appends = 2000
+	}
+	if len(workerCounts) == 0 {
+		workerCounts = []int{1, 8, 32}
+	}
+	var rows []DurabilityRow
+	payload := make([]byte, 256)
+	for _, mode := range []struct {
+		name string
+		opts plog.Options
+	}{
+		{"group-commit", plog.Options{FlushInterval: time.Millisecond}},
+		{"sync-per-append", plog.Options{SyncEveryAppend: true}},
+	} {
+		for _, workers := range workerCounts {
+			dir, err := os.MkdirTemp("", "taurus-durability-*")
+			if err != nil {
+				return nil, err
+			}
+			opts := mode.opts
+			opts.Dir = dir
+			l, err := plog.Open(opts)
+			if err != nil {
+				os.RemoveAll(dir)
+				return nil, err
+			}
+			per := appends / workers
+			start := time.Now()
+			var wg sync.WaitGroup
+			errs := make([]error, workers)
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					for i := 0; i < per; i++ {
+						if _, err := l.Append(uint64(w*per+i+1), payload); err != nil {
+							errs[w] = err
+							return
+						}
+					}
+				}(w)
+			}
+			wg.Wait()
+			elapsed := time.Since(start)
+			st := l.Snapshot()
+			l.Close()
+			os.RemoveAll(dir)
+			for _, err := range errs {
+				if err != nil {
+					return nil, err
+				}
+			}
+			rows = append(rows, DurabilityRow{
+				Mode: mode.name, Workers: workers, Appends: workers * per,
+				Elapsed:       elapsed,
+				AppendsPerSec: float64(workers*per) / elapsed.Seconds(),
+				Syncs:         st.Syncs,
+			})
+		}
+	}
+	return rows, nil
+}
+
+// PrintDurability renders the group-commit table.
+func PrintDurability(w io.Writer, rows []DurabilityRow) {
+	fmt.Fprintln(w, "Durable append throughput (segmented log, 256 B records):")
+	fmt.Fprintf(w, "  %-16s %8s %9s %12s %8s\n", "mode", "workers", "appends", "appends/s", "fsyncs")
+	for _, r := range rows {
+		fmt.Fprintf(w, "  %-16s %8d %9d %12.0f %8d\n",
+			r.Mode, r.Workers, r.Appends, r.AppendsPerSec, r.Syncs)
+	}
+	fmt.Fprintln(w, "  (group commit amortizes one fsync across all appenders in the window)")
+}
+
+// RecoveryRow is one line of the recovery-time experiment.
+type RecoveryRow struct {
+	Records       int
+	Segments      int
+	Elapsed       time.Duration
+	RecordsPerSec float64
+}
+
+// RecoveryTimes builds Log Stores of increasing record counts, then
+// measures how long a restarted store takes to replay, validate (CRC),
+// and re-index them.
+func RecoveryTimes(sizes []int) ([]RecoveryRow, error) {
+	if len(sizes) == 0 {
+		sizes = []int{10000, 50000, 200000}
+	}
+	var rows []RecoveryRow
+	for _, n := range sizes {
+		dir, err := os.MkdirTemp("", "taurus-recovery-*")
+		if err != nil {
+			return nil, err
+		}
+		s, err := logstore.Open("bench", dir, logstore.WithNoSync(), logstore.WithSegmentBytes(1<<20))
+		if err != nil {
+			os.RemoveAll(dir)
+			return nil, err
+		}
+		var enc []byte
+		lsn := uint64(0)
+		const batch = 64
+		for lsn < uint64(n) {
+			enc = enc[:0]
+			for i := 0; i < batch && lsn < uint64(n); i++ {
+				lsn++
+				rec := wal.Record{LSN: lsn, Type: wal.TypeInsertRec, PageID: lsn % 512,
+					TrxID: lsn, Payload: []byte("benchmark-row-payload")}
+				enc = rec.Encode(enc)
+			}
+			if _, err := s.Append(enc); err != nil {
+				s.Close()
+				os.RemoveAll(dir)
+				return nil, err
+			}
+		}
+		s.Close()
+		start := time.Now()
+		s2, err := logstore.Open("bench", dir)
+		if err != nil {
+			os.RemoveAll(dir)
+			return nil, err
+		}
+		elapsed := time.Since(start)
+		segs := s2.Recovery().Segments
+		got := s2.Len()
+		s2.Close()
+		os.RemoveAll(dir)
+		if got != n {
+			return nil, fmt.Errorf("bench: recovered %d of %d records", got, n)
+		}
+		rows = append(rows, RecoveryRow{
+			Records: n, Segments: segs, Elapsed: elapsed,
+			RecordsPerSec: float64(n) / elapsed.Seconds(),
+		})
+	}
+	return rows, nil
+}
+
+// PrintRecovery renders the recovery-time table.
+func PrintRecovery(w io.Writer, rows []RecoveryRow) {
+	fmt.Fprintln(w, "Log Store recovery time vs log size (replay + CRC validation):")
+	fmt.Fprintf(w, "  %10s %9s %12s %14s\n", "records", "segments", "elapsed", "records/s")
+	for _, r := range rows {
+		fmt.Fprintf(w, "  %10d %9d %12s %14.0f\n", r.Records, r.Segments, r.Elapsed.Round(time.Microsecond), r.RecordsPerSec)
+	}
+}

@@ -62,6 +62,13 @@ func Create(pager Pager, indexID uint64) (*Tree, error) {
 	return &Tree{IndexID: indexID, pager: pager, rootID: rootID, height: 1}, nil
 }
 
+// Attach re-binds a tree to pages that already exist in storage — the
+// recovery path, where the root page ID and height are reconstructed
+// from the durable log's FormatPage records rather than created fresh.
+func Attach(pager Pager, indexID, rootID uint64, height int) *Tree {
+	return &Tree{IndexID: indexID, pager: pager, rootID: rootID, height: height}
+}
+
 // Root returns the current root page ID.
 func (t *Tree) Root() uint64 {
 	t.mu.RLock()

@@ -222,7 +222,10 @@ func (p pager) Apply(rec *wal.Record) (*page.Page, error) {
 
 func (p pager) CurrentLSN() uint64 { return p.e.salc.CurrentLSN() }
 
-// CreateTable registers a table and builds its primary index tree.
+// CreateTable registers a table and builds its primary index tree. The
+// definition is logged as a catalog record ahead of the tree's first
+// page, so a restarted frontend can rebuild its data dictionary from
+// the same durable log that rebuilds the pages.
 func (e *Engine) CreateTable(name string, schema *types.Schema, pkCols []int) (*Table, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
@@ -234,6 +237,12 @@ func (e *Engine) CreateTable(name string, schema *types.Schema, pkCols []int) (*
 	}
 	idxID := e.nextIndex
 	e.nextIndex++
+	if err := e.logCatalog(&wal.CatalogEntry{
+		Kind: wal.CatalogCreateTable, IndexID: idxID, Table: name,
+		Cols: catalogCols(schema), Ords: pkCols,
+	}); err != nil {
+		return nil, err
+	}
 	tree, err := btree.Create(pager{e}, idxID)
 	if err != nil {
 		return nil, err
@@ -249,6 +258,11 @@ func (e *Engine) CreateTable(name string, schema *types.Schema, pkCols []int) (*
 	t := &Table{Name: name, Schema: schema, PKCols: pkCols, Primary: primary}
 	e.tables[name] = t
 	e.indexes[idxID] = primary
+	// DDL is acknowledged durable: the catalog record and root page
+	// must reach the Log Stores before CreateTable returns.
+	if err := e.salc.Flush(); err != nil {
+		return nil, err
+	}
 	return t, nil
 }
 
@@ -274,6 +288,13 @@ func (e *Engine) CreateSecondaryIndex(table, name string, cols []int) (*Index, e
 	}
 	idxID := e.nextIndex
 	e.nextIndex++
+	if err := e.logCatalog(&wal.CatalogEntry{
+		Kind: wal.CatalogCreateIndex, IndexID: idxID, Table: table, Index: name,
+		Ords: cols,
+	}); err != nil {
+		e.mu.Unlock()
+		return nil, err
+	}
 	e.mu.Unlock()
 	tree, err := btree.Create(pager{e}, idxID)
 	if err != nil {
@@ -287,6 +308,11 @@ func (e *Engine) CreateSecondaryIndex(table, name string, cols []int) (*Index, e
 	t.Secondaries = append(t.Secondaries, idx)
 	e.indexes[idxID] = idx
 	e.mu.Unlock()
+	// Same durability point as CreateTable: a crash right after this
+	// call must not lose the index.
+	if err := e.salc.Flush(); err != nil {
+		return nil, err
+	}
 	return idx, nil
 }
 

@@ -1,0 +1,202 @@
+package engine
+
+import (
+	"fmt"
+
+	"taurus/internal/btree"
+	"taurus/internal/types"
+	"taurus/internal/wal"
+)
+
+// catalogCols converts a schema into the wal-level catalog columns.
+func catalogCols(schema *types.Schema) []wal.CatalogCol {
+	out := make([]wal.CatalogCol, schema.Len())
+	for i, c := range schema.Cols {
+		out[i] = wal.CatalogCol{
+			Name: c.Name, Kind: uint8(c.Kind),
+			FixedLen: uint32(c.FixedLen), AvgLen: uint32(c.AvgLen),
+			NotNull: c.NotNull,
+		}
+	}
+	return out
+}
+
+// schemaOf converts catalog columns back into a schema.
+func schemaOf(cols []wal.CatalogCol) *types.Schema {
+	out := make([]types.Column, len(cols))
+	for i, c := range cols {
+		out[i] = types.Column{
+			Name: c.Name, Kind: types.Kind(c.Kind),
+			FixedLen: int(c.FixedLen), AvgLen: int(c.AvgLen),
+			NotNull: c.NotNull,
+		}
+	}
+	return types.NewSchema(out...)
+}
+
+// logCatalog writes a durable catalog record through the SAL.
+func (e *Engine) logCatalog(entry *wal.CatalogEntry) error {
+	return e.salc.Write(&wal.Record{Type: wal.TypeCatalog, Payload: entry.EncodeCatalog(nil)})
+}
+
+// RecoveryStats summarizes what Recover rebuilt.
+type RecoveryStats struct {
+	Tables  int
+	Indexes int
+	// Records is the total log records scanned.
+	Records int
+	// MaxLSN, MaxTrxID are the highest sequence numbers observed; the
+	// caller resumes the SAL's LSN allocator and the transaction
+	// manager above them.
+	MaxLSN   uint64
+	MaxTrxID uint64
+}
+
+// Recover rebuilds the engine's data dictionary from a durable log: the
+// catalog records re-register tables and secondary indexes, and each
+// index's current B+ tree root is located from the FormatPage records
+// (the unique page formatted at the index's highest level — a root
+// split always formats the new, higher root after its children, so at
+// equal level the earliest page formatted wins, which also tolerates a
+// crash between a root split's halves). ID allocators (page, index,
+// transaction) resume above everything the log mentions. The page
+// images themselves are rebuilt separately, by replaying the same
+// records through the Page Store apply path (sal.Replay).
+//
+// Recover must run on a freshly created engine, before any DDL.
+func (e *Engine) Recover(recs []wal.Record) (RecoveryStats, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	var st RecoveryStats
+	if len(e.tables) > 0 {
+		return st, fmt.Errorf("engine: Recover on a non-empty engine")
+	}
+	type rootInfo struct {
+		level  uint16
+		pageID uint64
+	}
+	roots := make(map[uint64]rootInfo)
+	var entries []*wal.CatalogEntry
+	var maxPage, maxTrx, maxIndex uint64
+	for i := range recs {
+		rec := &recs[i]
+		st.Records++
+		if rec.LSN > st.MaxLSN {
+			st.MaxLSN = rec.LSN
+		}
+		if rec.PageID > maxPage {
+			maxPage = rec.PageID
+		}
+		if rec.TrxID > maxTrx {
+			maxTrx = rec.TrxID
+		}
+		switch rec.Type {
+		case wal.TypeCatalog:
+			entry, err := wal.DecodeCatalog(rec.Payload)
+			if err != nil {
+				return st, fmt.Errorf("engine: recovering catalog: %w", err)
+			}
+			entries = append(entries, entry)
+			if entry.IndexID > maxIndex {
+				maxIndex = entry.IndexID
+			}
+		case wal.TypeFormatPage:
+			if rec.IndexID > maxIndex {
+				maxIndex = rec.IndexID
+			}
+			ri, ok := roots[rec.IndexID]
+			if !ok || rec.Level > ri.level {
+				roots[rec.IndexID] = rootInfo{level: rec.Level, pageID: rec.PageID}
+			}
+		}
+	}
+	e.nextPageID.Store(maxPage)
+	if maxIndex >= e.nextIndex {
+		e.nextIndex = maxIndex + 1
+	}
+	e.txm.Advance(maxTrx)
+	st.MaxTrxID = maxTrx
+
+	// treeFor attaches to the recovered root, or creates a fresh tree if
+	// the log holds the catalog entry but no page yet (a crash between a
+	// DDL's catalog record and its root FormatPage).
+	treeFor := func(indexID uint64) (*btree.Tree, error) {
+		if ri, ok := roots[indexID]; ok {
+			return btree.Attach(pager{e}, indexID, ri.pageID, int(ri.level)+1), nil
+		}
+		return btree.Create(pager{e}, indexID)
+	}
+	for _, entry := range entries {
+		switch entry.Kind {
+		case wal.CatalogCreateTable:
+			if _, ok := e.tables[entry.Table]; ok {
+				return st, fmt.Errorf("engine: recovered table %q twice", entry.Table)
+			}
+			schema := schemaOf(entry.Cols)
+			for _, o := range entry.Ords {
+				if o < 0 || o >= schema.Len() {
+					return st, fmt.Errorf("engine: recovered table %q: bad pk ordinal %d", entry.Table, o)
+				}
+			}
+			tree, err := treeFor(entry.IndexID)
+			if err != nil {
+				return st, err
+			}
+			ords := make([]int, schema.Len())
+			for i := range ords {
+				ords[i] = i
+			}
+			primary := &Index{
+				ID: entry.IndexID, Name: entry.Table + "_pk", Table: entry.Table,
+				Schema: schema, KeyCols: entry.Ords, TableOrds: ords,
+				Primary: true, Tree: tree,
+			}
+			t := &Table{Name: entry.Table, Schema: schema, PKCols: entry.Ords, Primary: primary}
+			e.tables[entry.Table] = t
+			e.indexes[entry.IndexID] = primary
+			st.Tables++
+		case wal.CatalogCreateIndex:
+			t, ok := e.tables[entry.Table]
+			if !ok {
+				return st, fmt.Errorf("engine: recovered index %q for unknown table %q", entry.Index, entry.Table)
+			}
+			ords := append(append([]int(nil), entry.Ords...), t.PKCols...)
+			idxCols := make([]types.Column, len(ords))
+			for i, o := range ords {
+				if o < 0 || o >= t.Schema.Len() {
+					return st, fmt.Errorf("engine: recovered index %q: bad ordinal %d", entry.Index, o)
+				}
+				idxCols[i] = t.Schema.Cols[o]
+			}
+			keyCols := make([]int, len(ords))
+			for i := range keyCols {
+				keyCols[i] = i
+			}
+			tree, err := treeFor(entry.IndexID)
+			if err != nil {
+				return st, err
+			}
+			idx := &Index{
+				ID: entry.IndexID, Name: entry.Index, Table: entry.Table,
+				Schema: types.NewSchema(idxCols...), KeyCols: keyCols,
+				TableOrds: ords, Primary: false, Tree: tree,
+			}
+			t.Secondaries = append(t.Secondaries, idx)
+			e.indexes[entry.IndexID] = idx
+			st.Indexes++
+		}
+	}
+	return st, nil
+}
+
+// Tables lists the registered table names (recovery reporting, stats
+// refresh after restart).
+func (e *Engine) Tables() []string {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	out := make([]string, 0, len(e.tables))
+	for name := range e.tables {
+		out = append(out, name)
+	}
+	return out
+}

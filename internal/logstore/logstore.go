@@ -7,13 +7,24 @@
 // The SAL writes each log batch to three Log Stores and waits for all
 // three acknowledgements ("synchronously writing log records, in
 // triplicate, to durable storage").
+//
+// A Store runs in one of two modes. New creates the in-memory store the
+// simulated experiments use; Open backs the same interface with a
+// persistent segmented log (internal/plog), so acknowledged batches
+// survive a crash and a restarted node (or a restarted embedded
+// deployment) can replay them. Appends in disk mode do not acknowledge
+// until the batch is covered by an fsync — plog's group commit batches
+// those syncs across concurrent appenders.
 package logstore
 
 import (
 	"fmt"
+	"sort"
 	"sync"
+	"time"
 
 	"taurus/internal/cluster"
+	"taurus/internal/plog"
 	"taurus/internal/wal"
 )
 
@@ -24,11 +35,103 @@ type Store struct {
 	mu         sync.Mutex
 	log        []wal.Record
 	durableLSN uint64
+	// truncatedLSN is the GC watermark: records at or below it have
+	// been dropped from memory (and their sealed segments reclaimed).
+	truncatedLSN uint64
+	// failed is the sticky disk-failure state: once a persist fails,
+	// the in-memory watermark may overstate what is on disk, so the
+	// store stops acknowledging anything rather than let a retried
+	// batch be filtered as a "duplicate" and falsely acked.
+	failed error
+
+	// disk is the persistent log; nil in memory mode.
+	disk *plog.Log
 }
 
-// New creates a named Log Store.
+// Option configures a disk-backed Store.
+type Option func(*plog.Options)
+
+// WithFlushInterval sets the group-commit window.
+func WithFlushInterval(d time.Duration) Option {
+	return func(o *plog.Options) { o.FlushInterval = d }
+}
+
+// WithSegmentBytes sets the segment rotation size.
+func WithSegmentBytes(n int64) Option {
+	return func(o *plog.Options) { o.SegmentBytes = n }
+}
+
+// WithSyncEveryAppend forces an fsync per append (no group commit).
+func WithSyncEveryAppend() Option {
+	return func(o *plog.Options) { o.SyncEveryAppend = true }
+}
+
+// WithNoSync disables fsync (volatile disk mode, for benchmarks).
+func WithNoSync() Option {
+	return func(o *plog.Options) { o.NoSync = true }
+}
+
+// New creates a named in-memory Log Store (no durability).
 func New(name string) *Store {
 	return &Store{name: name}
+}
+
+// Open creates or recovers a disk-backed Log Store in dir. Batches
+// previously acknowledged are replayed into memory; a torn final entry
+// (interrupted append) is detected by CRC and discarded.
+func Open(name, dir string, opts ...Option) (*Store, error) {
+	po := plog.Options{Dir: dir}
+	for _, o := range opts {
+		o(&po)
+	}
+	disk, err := plog.Open(po)
+	if err != nil {
+		return nil, fmt.Errorf("logstore %s: %w", name, err)
+	}
+	s := &Store{name: name, disk: disk}
+	var all []wal.Record
+	err = disk.Replay(func(mark uint64, payload []byte) error {
+		recs, err := wal.DecodeAll(payload)
+		if err != nil {
+			return fmt.Errorf("logstore %s: replaying durable batch: %w", name, err)
+		}
+		all = append(all, recs...)
+		return nil
+	})
+	if err != nil {
+		disk.Close()
+		return nil, err
+	}
+	// Entries land on disk in append order, which normally is LSN order;
+	// sort + dedupe anyway so recovery never depends on it.
+	sort.SliceStable(all, func(i, j int) bool { return all[i].LSN < all[j].LSN })
+	for _, r := range all {
+		if r.LSN <= s.durableLSN {
+			continue
+		}
+		s.log = append(s.log, r)
+		s.durableLSN = r.LSN
+	}
+	return s, nil
+}
+
+// Durable reports whether the store persists batches to disk.
+func (s *Store) Durable() bool { return s.disk != nil }
+
+// Recovery reports what Open found on disk (zero value in memory mode).
+func (s *Store) Recovery() plog.RecoveryInfo {
+	if s.disk == nil {
+		return plog.RecoveryInfo{}
+	}
+	return s.disk.Recovery()
+}
+
+// LogStats exposes the persistent log's counters (zero in memory mode).
+func (s *Store) LogStats() plog.Stats {
+	if s.disk == nil {
+		return plog.Stats{}
+	}
+	return s.disk.Snapshot()
 }
 
 // Handle implements cluster.Handler for MsgLogAppend.
@@ -46,23 +149,78 @@ func (s *Store) Handle(req any) (any, error) {
 }
 
 // Append decodes and durably stores a batch of encoded records, returning
-// the highest LSN made durable.
+// the highest LSN made durable. In disk mode it does not return until the
+// surviving records are persisted and fsynced (group commit); re-delivered
+// records (SAL retries) are filtered before hitting the disk, so
+// redelivery is idempotent in both modes.
 func (s *Store) Append(encoded []byte) (uint64, error) {
 	recs, err := wal.DecodeAll(encoded)
 	if err != nil {
 		return 0, fmt.Errorf("logstore %s: %w", s.name, err)
 	}
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	for _, r := range recs {
+	if s.failed != nil {
+		err := s.failed
+		s.mu.Unlock()
+		return 0, err
+	}
+	// Filter records already durable (idempotent re-delivery) and keep
+	// only the fresh suffix. Batches arriving out of order below the
+	// durable watermark are treated as duplicates wholesale.
+	var fresh []wal.Record
+	var freshEnc []byte
+	maxLSN := s.durableLSN
+	for i := range recs {
+		r := &recs[i]
 		if r.LSN <= s.durableLSN {
-			// Idempotent re-delivery (SAL retries) is tolerated.
 			continue
 		}
-		s.log = append(s.log, r)
-		s.durableLSN = r.LSN
+		fresh = append(fresh, *r)
+		if s.disk != nil {
+			freshEnc = r.Encode(freshEnc)
+		}
+		if r.LSN > maxLSN {
+			maxLSN = r.LSN
+		}
 	}
-	return s.durableLSN, nil
+	if len(fresh) == 0 {
+		lsn := s.durableLSN
+		s.mu.Unlock()
+		return lsn, nil
+	}
+	if s.disk == nil {
+		s.log = append(s.log, fresh...)
+		s.durableLSN = maxLSN
+		s.mu.Unlock()
+		return maxLSN, nil
+	}
+	// Disk mode: write the batch into the segment while still holding
+	// the lock, so the on-disk order matches LSN order and a concurrent
+	// redelivery is filtered; then wait for the fsync outside the lock,
+	// letting concurrent appenders share one group commit.
+	_, token, err := s.disk.AppendAsync(maxLSN, freshEnc)
+	if err != nil {
+		s.mu.Unlock()
+		return 0, fmt.Errorf("logstore %s: %w", s.name, err)
+	}
+	s.log = append(s.log, fresh...)
+	s.durableLSN = maxLSN
+	disk := s.disk
+	s.mu.Unlock()
+	if err := disk.WaitDurable(token); err != nil {
+		// The batch may not be on disk but the in-memory watermark
+		// already covers it; poison the store so no retry of this (or
+		// any later) batch can be mistaken for an idempotent duplicate
+		// and acknowledged without durability.
+		werr := fmt.Errorf("logstore %s: %w", s.name, err)
+		s.mu.Lock()
+		if s.failed == nil {
+			s.failed = werr
+		}
+		s.mu.Unlock()
+		return 0, werr
+	}
+	return maxLSN, nil
 }
 
 // DurableLSN returns the highest durable LSN.
@@ -70,6 +228,13 @@ func (s *Store) DurableLSN() uint64 {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.durableLSN
+}
+
+// TruncatedLSN returns the GC watermark (0 = nothing truncated).
+func (s *Store) TruncatedLSN() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.truncatedLSN
 }
 
 // ReadFrom returns all records with LSN > after, serving read replicas.
@@ -90,4 +255,48 @@ func (s *Store) Len() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return len(s.log)
+}
+
+// TruncateBelow garbage-collects records with LSN < watermark: they are
+// dropped from memory, and sealed on-disk segments living entirely below
+// the watermark are deleted. Callers must only pass watermarks at or
+// below the LSN every consumer (Page Store replica, read replica) has
+// applied — in Taurus, "log records can be purged once all slice
+// replicas have applied them".
+func (s *Store) TruncateBelow(watermark uint64) error {
+	s.mu.Lock()
+	kept := s.log[:0]
+	for _, r := range s.log {
+		if r.LSN >= watermark {
+			kept = append(kept, r)
+		}
+	}
+	s.log = append([]wal.Record(nil), kept...)
+	if watermark > 0 && watermark-1 > s.truncatedLSN {
+		s.truncatedLSN = watermark - 1
+	}
+	disk := s.disk
+	s.mu.Unlock()
+	if disk != nil {
+		if _, err := disk.TruncateBelow(watermark); err != nil {
+			return fmt.Errorf("logstore %s: %w", s.name, err)
+		}
+	}
+	return nil
+}
+
+// Sync forces pending disk writes to storage (no-op in memory mode).
+func (s *Store) Sync() error {
+	if s.disk == nil {
+		return nil
+	}
+	return s.disk.Sync()
+}
+
+// Close releases the persistent log (no-op in memory mode).
+func (s *Store) Close() error {
+	if s.disk == nil {
+		return nil
+	}
+	return s.disk.Close()
 }

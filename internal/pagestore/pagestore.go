@@ -205,6 +205,12 @@ func (s *Store) WriteLogs(tenant, sliceID uint32, encoded []byte) (uint64, error
 		if rec.LSN <= sl.appliedLSN {
 			continue // idempotent redelivery
 		}
+		if rec.Type == wal.TypeCatalog {
+			// Catalog records are frontend-only; a replayed stream may
+			// still carry them. They advance the LSN but touch no page.
+			sl.appliedLSN = rec.LSN
+			continue
+		}
 		if rec.Type == wal.TypeFormatPage {
 			pg := page.New(rec.PageID, rec.IndexID, rec.Level)
 			pg.SetLSN(rec.LSN)

@@ -1,0 +1,307 @@
+package plog
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+)
+
+func openT(t *testing.T, dir string, mut func(*Options)) *Log {
+	t.Helper()
+	opts := Options{Dir: dir, FlushInterval: 100 * time.Microsecond}
+	if mut != nil {
+		mut(&opts)
+	}
+	l, err := Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+func collect(t *testing.T, l *Log) (marks []uint64, payloads [][]byte) {
+	t.Helper()
+	if err := l.Replay(func(mark uint64, payload []byte) error {
+		marks = append(marks, mark)
+		payloads = append(payloads, append([]byte(nil), payload...))
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return
+}
+
+func TestAppendReplayRoundtrip(t *testing.T) {
+	dir := t.TempDir()
+	l := openT(t, dir, nil)
+	for i := 0; i < 10; i++ {
+		seq, err := l.Append(uint64(i+1), []byte(fmt.Sprintf("entry-%d", i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seq != uint64(i) {
+			t.Fatalf("seq = %d, want %d", seq, i)
+		}
+	}
+	marks, payloads := collect(t, l)
+	if len(marks) != 10 || marks[9] != 10 || string(payloads[0]) != "entry-0" {
+		t.Fatalf("replay: %d entries, marks=%v", len(marks), marks)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen: everything survives, clean tail.
+	l2 := openT(t, dir, nil)
+	defer l2.Close()
+	if ri := l2.Recovery(); ri.Entries != 10 || ri.TornEntry {
+		t.Fatalf("recovery = %+v", ri)
+	}
+	if l2.Entries() != 10 {
+		t.Fatalf("entries = %d", l2.Entries())
+	}
+	// Appends continue the sequence.
+	seq, err := l2.Append(11, []byte("after-reopen"))
+	if err != nil || seq != 10 {
+		t.Fatalf("append after reopen: seq=%d err=%v", seq, err)
+	}
+}
+
+func TestSegmentRotation(t *testing.T) {
+	dir := t.TempDir()
+	l := openT(t, dir, func(o *Options) { o.SegmentBytes = 256 })
+	payload := bytes.Repeat([]byte{0xAB}, 100)
+	for i := 0; i < 10; i++ {
+		if _, err := l.Append(uint64(i+1), payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if l.Segments() < 3 {
+		t.Fatalf("segments = %d, want rotation", l.Segments())
+	}
+	if l.Snapshot().Rotations == 0 {
+		t.Fatal("no rotations counted")
+	}
+	marks, _ := collect(t, l)
+	if len(marks) != 10 {
+		t.Fatalf("replay after rotation: %d entries", len(marks))
+	}
+	l.Close()
+
+	l2 := openT(t, dir, func(o *Options) { o.SegmentBytes = 256 })
+	defer l2.Close()
+	if l2.Entries() != 10 {
+		t.Fatalf("entries after reopen = %d", l2.Entries())
+	}
+}
+
+// lastSegment returns the path of the newest segment file.
+func lastSegment(t *testing.T, dir string) string {
+	t.Helper()
+	des, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var last string
+	for _, de := range des {
+		if filepath.Ext(de.Name()) == segSuffix {
+			last = filepath.Join(dir, de.Name())
+		}
+	}
+	if last == "" {
+		t.Fatal("no segments")
+	}
+	return last
+}
+
+func TestTornTailShortWrite(t *testing.T) {
+	dir := t.TempDir()
+	l := openT(t, dir, nil)
+	for i := 0; i < 5; i++ {
+		if _, err := l.Append(uint64(i+1), []byte("abcdefgh")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l.Close()
+	// Cut the final entry in half: a torn write.
+	seg := lastSegment(t, dir)
+	fi, _ := os.Stat(seg)
+	if err := os.Truncate(seg, fi.Size()-5); err != nil {
+		t.Fatal(err)
+	}
+	l2 := openT(t, dir, nil)
+	defer l2.Close()
+	ri := l2.Recovery()
+	if !ri.TornEntry || ri.Entries != 4 {
+		t.Fatalf("recovery = %+v, want 4 entries + torn tail", ri)
+	}
+	// The torn entry is gone; appends resume at its sequence slot.
+	if seq, err := l2.Append(100, []byte("fresh")); err != nil || seq != 4 {
+		t.Fatalf("append after torn recovery: seq=%d err=%v", seq, err)
+	}
+	marks, _ := collect(t, l2)
+	if len(marks) != 5 || marks[4] != 100 {
+		t.Fatalf("marks after torn recovery = %v", marks)
+	}
+}
+
+func TestTornTailCorruptCRC(t *testing.T) {
+	dir := t.TempDir()
+	l := openT(t, dir, nil)
+	for i := 0; i < 3; i++ {
+		if _, err := l.Append(uint64(i+1), []byte("payload")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l.Close()
+	// Flip a byte inside the final entry's payload.
+	seg := lastSegment(t, dir)
+	data, _ := os.ReadFile(seg)
+	data[len(data)-1] ^= 0xFF
+	if err := os.WriteFile(seg, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	l2 := openT(t, dir, nil)
+	defer l2.Close()
+	if ri := l2.Recovery(); !ri.TornEntry || ri.Entries != 2 {
+		t.Fatalf("recovery = %+v, want CRC-damaged tail dropped", ri)
+	}
+}
+
+func TestCorruptionMidLogRejected(t *testing.T) {
+	dir := t.TempDir()
+	l := openT(t, dir, func(o *Options) { o.SegmentBytes = 128 })
+	for i := 0; i < 8; i++ {
+		if _, err := l.Append(uint64(i+1), bytes.Repeat([]byte{1}, 64)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if l.Segments() < 2 {
+		t.Fatalf("need ≥2 segments, got %d", l.Segments())
+	}
+	l.Close()
+	// Corrupt the FIRST segment: that is lost history, not a torn tail.
+	des, _ := os.ReadDir(dir)
+	first := filepath.Join(dir, des[0].Name())
+	data, _ := os.ReadFile(first)
+	data[12] ^= 0xFF
+	os.WriteFile(first, data, 0o644)
+	if _, err := Open(Options{Dir: dir}); err == nil {
+		t.Fatal("mid-log corruption must fail Open")
+	}
+}
+
+func TestTruncateBelowGC(t *testing.T) {
+	dir := t.TempDir()
+	l := openT(t, dir, func(o *Options) { o.SegmentBytes = 128 })
+	defer l.Close()
+	for i := 0; i < 12; i++ {
+		if _, err := l.Append(uint64(i+1), bytes.Repeat([]byte{2}, 64)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	total := l.Segments()
+	if total < 3 {
+		t.Fatalf("segments = %d", total)
+	}
+	removed, err := l.TruncateBelow(9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if removed == 0 {
+		t.Fatal("nothing GCed")
+	}
+	if l.Segments() != total-removed {
+		t.Fatalf("segments = %d after removing %d of %d", l.Segments(), removed, total)
+	}
+	// Surviving entries all have marks ≥ 9 except those sharing the
+	// active or boundary segment.
+	marks, _ := collect(t, l)
+	if marks[len(marks)-1] != 12 {
+		t.Fatalf("lost the tail: %v", marks)
+	}
+	for _, m := range marks {
+		if m >= 9 {
+			return // watermark retained
+		}
+	}
+	t.Fatalf("watermark entries missing: %v", marks)
+}
+
+func TestGroupCommitConcurrentAppenders(t *testing.T) {
+	dir := t.TempDir()
+	l := openT(t, dir, func(o *Options) { o.FlushInterval = time.Millisecond })
+	const g, per = 8, 25
+	var wg sync.WaitGroup
+	for w := 0; w < g; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				if _, err := l.Append(uint64(w*per+i+1), []byte("concurrent")); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	st := l.Snapshot()
+	if st.Appends != g*per {
+		t.Fatalf("appends = %d", st.Appends)
+	}
+	// Group commit must have amortized fsyncs across appenders.
+	if st.Syncs >= st.Appends {
+		t.Fatalf("group commit did not batch: %d syncs for %d appends", st.Syncs, st.Appends)
+	}
+	l.Close()
+	l2 := openT(t, dir, nil)
+	defer l2.Close()
+	if l2.Entries() != g*per {
+		t.Fatalf("entries = %d", l2.Entries())
+	}
+}
+
+func TestSyncEveryAppend(t *testing.T) {
+	dir := t.TempDir()
+	l := openT(t, dir, func(o *Options) { o.SyncEveryAppend = true })
+	defer l.Close()
+	for i := 0; i < 5; i++ {
+		if _, err := l.Append(uint64(i+1), []byte("x")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := l.Snapshot(); st.Syncs < 5 {
+		t.Fatalf("syncs = %d, want one per append", st.Syncs)
+	}
+}
+
+func TestClosedLogRejectsAppends(t *testing.T) {
+	l := openT(t, t.TempDir(), nil)
+	l.Close()
+	if _, err := l.Append(1, []byte("x")); err == nil {
+		t.Fatal("append after close must fail")
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("double close: %v", err)
+	}
+}
+
+func TestEmptyPayloadAndBigMark(t *testing.T) {
+	dir := t.TempDir()
+	l := openT(t, dir, nil)
+	if _, err := l.Append(^uint64(0), nil); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+	l2 := openT(t, dir, nil)
+	defer l2.Close()
+	marks, payloads := collect(t, l2)
+	if len(marks) != 1 || marks[0] != ^uint64(0) || len(payloads[0]) != 0 {
+		t.Fatalf("roundtrip: marks=%v payloads=%v", marks, payloads)
+	}
+}

@@ -108,6 +108,67 @@ func (s *SAL) NextLSN() uint64 { return s.lsn.Add(1) }
 // CurrentLSN returns the last allocated LSN.
 func (s *SAL) CurrentLSN() uint64 { return s.lsn.Load() }
 
+// ResumeLSN moves the LSN allocator to at least lsn, so a frontend
+// restarted over a recovered log continues the sequence instead of
+// reissuing LSNs the Log Stores already consider durable.
+func (s *SAL) ResumeLSN(lsn uint64) {
+	for {
+		cur := s.lsn.Load()
+		if cur >= lsn || s.lsn.CompareAndSwap(cur, lsn) {
+			return
+		}
+	}
+}
+
+// Replay pushes already-durable log records back through the Page Store
+// application path, rebuilding slice state after a restart. Records keep
+// the LSNs they were logged with; nothing is re-logged. Catalog records
+// are frontend-only and skipped. Records must arrive in LSN order (the
+// order the recovery reader yields them).
+func (s *SAL) Replay(recs []wal.Record) error {
+	type group struct {
+		sliceID uint32
+		enc     []byte
+	}
+	var order []uint32
+	groups := make(map[uint32]*group)
+	maxLSN := uint64(0)
+	for i := range recs {
+		rec := &recs[i]
+		if rec.Type == wal.TypeCatalog {
+			continue
+		}
+		sliceID := s.SliceOf(rec.PageID)
+		g, ok := groups[sliceID]
+		if !ok {
+			g = &group{sliceID: sliceID}
+			groups[sliceID] = g
+			order = append(order, sliceID)
+		}
+		g.enc = rec.Encode(g.enc)
+		if rec.LSN > maxLSN {
+			maxLSN = rec.LSN
+		}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, sliceID := range order {
+		nodes, err := s.placementLocked(sliceID)
+		if err != nil {
+			return err
+		}
+		for _, node := range nodes {
+			if _, err := s.cfg.Transport.Call(node, &cluster.WriteLogsReq{
+				Tenant: s.cfg.Tenant, SliceID: sliceID, Recs: groups[sliceID].enc,
+			}); err != nil {
+				return fmt.Errorf("sal: replaying slice %d to %s: %w", sliceID, node, err)
+			}
+		}
+	}
+	s.ResumeLSN(maxLSN)
+	return nil
+}
+
 // placement returns (creating if needed) the replica set of a slice.
 // Replicas are chosen round-robin by slice id, so consecutive slices land
 // on different Page Stores and batch reads fan out (§VI-2).
@@ -134,15 +195,21 @@ func (s *SAL) placementLocked(sliceID uint32) ([]string, error) {
 // Write assigns an LSN to rec, buffers it for the Log Stores and the
 // slice's Page Store replicas, and flushes when the buffer is full. The
 // caller applies the record to its own cached page after Write returns.
+//
+// Catalog records (TypeCatalog) are durability-only: they go to the Log
+// Stores so the frontend's data dictionary can be rebuilt on restart,
+// but they never touch a slice or a Page Store.
 func (s *SAL) Write(rec *wal.Record) error {
 	rec.LSN = s.NextLSN()
-	sliceID := s.SliceOf(rec.PageID)
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if _, err := s.placementLocked(sliceID); err != nil {
-		return err
+	if rec.Type != wal.TypeCatalog {
+		sliceID := s.SliceOf(rec.PageID)
+		if _, err := s.placementLocked(sliceID); err != nil {
+			return err
+		}
+		s.pendingSlice[sliceID] = rec.Encode(s.pendingSlice[sliceID])
 	}
-	s.pendingSlice[sliceID] = rec.Encode(s.pendingSlice[sliceID])
 	s.pendingLog = rec.Encode(s.pendingLog)
 	s.pendingCount++
 	if s.pendingCount >= s.cfg.FlushThreshold {
@@ -164,12 +231,29 @@ func (s *SAL) flushLocked() error {
 	if s.pendingCount == 0 {
 		return nil
 	}
-	// Log Stores first: durability before page application.
-	for _, node := range s.cfg.LogStores {
-		if _, err := s.cfg.Transport.Call(node, &cluster.LogAppendReq{
-			Tenant: s.cfg.Tenant, Recs: s.pendingLog,
-		}); err != nil {
-			return fmt.Errorf("sal: log store %s append: %w", node, err)
+	// Log Stores first: durability before page application. The
+	// triplicate writes go out concurrently — with disk-backed Log
+	// Stores each append waits for a group-committed fsync, so issuing
+	// them serially would triple the commit latency.
+	if len(s.cfg.LogStores) > 0 {
+		errs := make([]error, len(s.cfg.LogStores))
+		var wg sync.WaitGroup
+		for i, node := range s.cfg.LogStores {
+			wg.Add(1)
+			go func(i int, node string) {
+				defer wg.Done()
+				if _, err := s.cfg.Transport.Call(node, &cluster.LogAppendReq{
+					Tenant: s.cfg.Tenant, Recs: s.pendingLog,
+				}); err != nil {
+					errs[i] = fmt.Errorf("sal: log store %s append: %w", node, err)
+				}
+			}(i, node)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				return err
+			}
 		}
 	}
 	for sliceID, recs := range s.pendingSlice {

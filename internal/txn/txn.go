@@ -33,6 +33,18 @@ type Txn struct {
 	mgr *Manager
 }
 
+// Advance moves the ID allocator past id, so transactions started after
+// a restart never reuse an ID that already stamped recovered rows —
+// reuse would make old committed rows look like uncommitted writes of
+// the new transaction's read views.
+func (m *Manager) Advance(id uint64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.nextID <= id {
+		m.nextID = id + 1
+	}
+}
+
 // Begin starts a transaction.
 func (m *Manager) Begin() *Txn {
 	m.mu.Lock()

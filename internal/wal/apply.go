@@ -69,6 +69,8 @@ func Apply(pg *page.Page, rec *Record) error {
 		}
 	case TypeFormatPage:
 		return fmt.Errorf("wal: FormatPage must be handled by the page provider")
+	case TypeCatalog:
+		return fmt.Errorf("wal: catalog records are frontend-only and never touch pages")
 	default:
 		return fmt.Errorf("wal: unknown record type %d", rec.Type)
 	}

@@ -41,6 +41,12 @@ const (
 	// previous version is preserved in the frontend's undo log, not in
 	// the redo stream.
 	TypeUpdateRec
+	// TypeCatalog carries a durable catalog event (CREATE TABLE /
+	// CREATE INDEX) in Payload, so the frontend's data dictionary can be
+	// rebuilt from the same log that rebuilds the pages. Catalog records
+	// use PageID 0 (reserved), flow to Log Stores only, and are never
+	// applied to pages.
+	TypeCatalog
 )
 
 // Record is one redo log record. Field use depends on Type:
@@ -95,6 +101,9 @@ func (r *Record) Encode(dst []byte) []byte {
 	case TypeUpdateRec:
 		dst = binary.LittleEndian.AppendUint32(dst, r.Off)
 		dst = binary.LittleEndian.AppendUint64(dst, r.TrxID)
+		dst = binary.AppendUvarint(dst, uint64(len(r.Payload)))
+		dst = append(dst, r.Payload...)
+	case TypeCatalog:
 		dst = binary.AppendUvarint(dst, uint64(len(r.Payload)))
 		dst = append(dst, r.Payload...)
 	}
@@ -172,6 +181,17 @@ func Decode(buf []byte) (Record, int, error) {
 		r.Off = binary.LittleEndian.Uint32(buf[off:])
 		r.TrxID = binary.LittleEndian.Uint64(buf[off+4:])
 		off += 12
+		l, n := binary.Uvarint(buf[off:])
+		if n <= 0 {
+			return r, 0, fmt.Errorf("wal: truncated payload length")
+		}
+		off += n
+		if err := need(int(l)); err != nil {
+			return r, 0, err
+		}
+		r.Payload = append([]byte(nil), buf[off:off+int(l)]...)
+		off += int(l)
+	case TypeCatalog:
 		l, n := binary.Uvarint(buf[off:])
 		if n <= 0 {
 			return r, 0, fmt.Errorf("wal: truncated payload length")

@@ -19,6 +19,8 @@ package taurus
 
 import (
 	"fmt"
+	"path/filepath"
+	"time"
 
 	"taurus/internal/cluster"
 	"taurus/internal/engine"
@@ -46,15 +48,34 @@ type Config struct {
 	PagesPerSlice uint64
 	// DisableNDP turns pushdown off (the experiments' baseline).
 	DisableNDP bool
+
+	// DataDir makes the Log Stores durable: each one persists its
+	// acknowledged batches to a segmented on-disk log under this
+	// directory, and Open replays the surviving records to rebuild both
+	// the Page Stores and the frontend's data dictionary after a crash
+	// or restart. Empty keeps the all-in-memory behavior.
+	DataDir string
+	// LogFlushInterval is the Log Stores' group-commit window (default
+	// 2 ms): an append is acknowledged once an fsync covering it
+	// completes, and all appends arriving within the window share one
+	// fsync.
+	LogFlushInterval time.Duration
+	// LogSegmentBytes is the Log Stores' segment rotation size
+	// (default 16 MB).
+	LogSegmentBytes int64
+	// LogSyncEveryAppend disables group commit and fsyncs every append
+	// — the durability benchmark's baseline.
+	LogSyncEveryAppend bool
 }
 
 // DB is an open database.
 type DB struct {
-	session *sql.Session
-	eng     *engine.Engine
-	tr      *cluster.InProc
-	stores  []*pagestore.Store
-	logs    []*logstore.Store
+	session   *sql.Session
+	eng       *engine.Engine
+	tr        *cluster.InProc
+	stores    []*pagestore.Store
+	logs      []*logstore.Store
+	recovered engine.RecoveryStats
 }
 
 // Result is a statement result.
@@ -63,7 +84,11 @@ type Result = sql.Result
 // Row is a result row.
 type Row = types.Row
 
-// Open builds the deployment.
+// Open builds the deployment. With Config.DataDir set it also recovers:
+// log records that were acknowledged before the last shutdown (or
+// crash) are read back from disk — a torn final record is detected by
+// CRC and discarded — and replayed through the regular Page Store apply
+// path, so every committed transaction is visible again.
 func Open(cfg Config) (*DB, error) {
 	if cfg.PageStores <= 0 {
 		cfg.PageStores = 4
@@ -78,7 +103,27 @@ func Open(cfg Config) (*DB, error) {
 	db := &DB{tr: tr}
 	logNames := []string{"log1", "log2", "log3"}
 	for _, n := range logNames {
-		ls := logstore.New(n)
+		var ls *logstore.Store
+		if cfg.DataDir == "" {
+			ls = logstore.New(n)
+		} else {
+			var opts []logstore.Option
+			if cfg.LogFlushInterval > 0 {
+				opts = append(opts, logstore.WithFlushInterval(cfg.LogFlushInterval))
+			}
+			if cfg.LogSegmentBytes > 0 {
+				opts = append(opts, logstore.WithSegmentBytes(cfg.LogSegmentBytes))
+			}
+			if cfg.LogSyncEveryAppend {
+				opts = append(opts, logstore.WithSyncEveryAppend())
+			}
+			var err error
+			ls, err = logstore.Open(n, filepath.Join(cfg.DataDir, n), opts...)
+			if err != nil {
+				db.closeLogs()
+				return nil, err
+			}
+		}
 		db.logs = append(db.logs, ls)
 		tr.Register(n, ls)
 	}
@@ -102,12 +147,109 @@ func Open(cfg Config) (*DB, error) {
 		SAL: s, PoolPages: cfg.PoolPages, NDPMaxPagesLookAhead: cfg.NDPMaxPagesLookAhead,
 	})
 	if err != nil {
+		db.closeLogs()
 		return nil, err
 	}
 	db.eng = eng
 	db.session = sql.NewSession(eng)
 	db.session.NDP = !cfg.DisableNDP
+	if cfg.DataDir != "" {
+		if err := db.recover(s, eng); err != nil {
+			db.closeLogs()
+			return nil, err
+		}
+	}
 	return db, nil
+}
+
+// recover replays the durable log: pages are rebuilt by pushing the
+// records through the Page Store apply path, the data dictionary by the
+// catalog records, and the LSN / transaction allocators resume above
+// everything the log mentions.
+func (db *DB) recover(s *sal.SAL, eng *engine.Engine) error {
+	// The Log Stores are written in triplicate and acknowledged
+	// synchronously, so they normally agree; after a crash the most
+	// complete replica wins: most records first (a replica that tore a
+	// mid-log batch in an earlier crash has fewer, even if later writes
+	// advanced its LSN), then highest durable LSN (Taurus: "the master
+	// finds the Log Store with the highest LSN"). True hole repair is
+	// replica catch-up, tracked in ROADMAP.
+	best := db.logs[0]
+	for _, ls := range db.logs[1:] {
+		if ls.Len() > best.Len() ||
+			(ls.Len() == best.Len() && ls.DurableLSN() > best.DurableLSN()) {
+			best = ls
+		}
+	}
+	recs := best.ReadFrom(0)
+	if len(recs) == 0 {
+		return nil
+	}
+	// Resume the LSN allocator first: recovery may itself log records
+	// (a catalog entry whose root page never made it to disk gets a
+	// fresh, empty root).
+	s.ResumeLSN(best.DurableLSN())
+	if err := s.Replay(recs); err != nil {
+		return fmt.Errorf("taurus: replaying %d records: %w", len(recs), err)
+	}
+	st, err := eng.Recover(recs)
+	if err != nil {
+		return fmt.Errorf("taurus: recovering catalog: %w", err)
+	}
+	db.recovered = st
+	// Refresh optimizer statistics so NDP decisions see the recovered
+	// data (the paper's ANALYZE-equivalent runs on restart).
+	for _, name := range eng.Tables() {
+		if _, err := db.session.Cat.Analyze(name); err != nil {
+			return fmt.Errorf("taurus: analyzing recovered table %s: %w", name, err)
+		}
+	}
+	return nil
+}
+
+// closeLogs releases any disk-backed Log Stores (partial-open cleanup
+// and DB.Close).
+func (db *DB) closeLogs() error {
+	var first error
+	for _, ls := range db.logs {
+		if ls == nil {
+			continue
+		}
+		if err := ls.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// Close flushes all buffered log records to the storage services and
+// releases the Log Stores' on-disk segments. The database must not be
+// used afterwards. Close is not required for durability — every
+// acknowledged statement already survived — but it makes the final
+// buffered (unacknowledged) records durable too.
+func (db *DB) Close() error {
+	flushErr := db.eng.SAL().Flush()
+	if err := db.closeLogs(); err != nil && flushErr == nil {
+		flushErr = err
+	}
+	return flushErr
+}
+
+// RecoveryStats reports what Open rebuilt from DataDir (zero value for
+// a fresh or in-memory database).
+func (db *DB) RecoveryStats() engine.RecoveryStats { return db.recovered }
+
+// DurableLSN returns the highest log sequence number acknowledged by
+// any of the Log Store replicas (0 for a deployment with nothing
+// flushed yet).
+func (db *DB) DurableLSN() uint64 {
+	var max uint64
+	for _, ls := range db.logs {
+		if l := ls.DurableLSN(); l > max {
+			max = l
+		}
+	}
+	return max
 }
 
 // Exec parses and executes one SQL statement (CREATE TABLE, INSERT,
