@@ -340,6 +340,81 @@ func BenchmarkDurableAppend(b *testing.B) {
 	}
 }
 
+// BenchmarkCheckpointRecovery compares the two recovery paths of a
+// durable deployment at the public API: Open over a DataDir whose log
+// holds the whole workload (full replay) against one whose Page Stores
+// checkpointed — and whose log was truncated to the tail — just before
+// the crash.
+func BenchmarkCheckpointRecovery(b *testing.B) {
+	const rows = 5000
+	prepare := func(b *testing.B, checkpoint bool) (string, Config) {
+		b.Helper()
+		dir := b.TempDir()
+		cfg := Config{DataDir: dir, PagesPerSlice: 64, LogFlushInterval: 200 * time.Microsecond}
+		db, err := Open(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := db.Exec(`CREATE TABLE worker (id BIGINT, age INT, join_date DATE,
+			salary DECIMAL(15,2), name VARCHAR, PRIMARY KEY(id))`); err != nil {
+			b.Fatal(err)
+		}
+		var sb strings.Builder
+		const chunk = 500
+		for at := 0; at < rows; at += chunk {
+			sb.Reset()
+			sb.WriteString("INSERT INTO worker VALUES ")
+			for i := 0; i < chunk && at+i < rows; i++ {
+				if i > 0 {
+					sb.WriteString(",")
+				}
+				fmt.Fprintf(&sb, "(%d, %d, DATE '2012-01-15', 3100.00, 'w%d')", at+i, 20+(at+i)%45, at+i)
+			}
+			if _, err := db.Exec(sb.String()); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if checkpoint {
+			if _, err := db.Checkpoint(); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := db.TruncateLogs(); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := db.Close(); err != nil {
+			b.Fatal(err)
+		}
+		return dir, cfg
+	}
+	for _, mode := range []struct {
+		name       string
+		checkpoint bool
+	}{{"FullReplay", false}, {"CheckpointTail", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			_, cfg := prepare(b, mode.checkpoint)
+			var replayed int
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				db, err := Open(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				replayed = db.RecoverySummary().TailRecords
+				b.StopTimer()
+				if res, err := db.Exec("SELECT COUNT(*) FROM worker"); err != nil || res.Rows[0][0].I != rows {
+					b.Fatalf("recovered count: %v (%v)", res, err)
+				}
+				if err := db.Close(); err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+			}
+			b.ReportMetric(float64(replayed), "tail-records-replayed")
+		})
+	}
+}
+
 // BenchmarkCrashRecovery measures full-database recovery: Open over a
 // DataDir whose log holds an acknowledged workload, replaying records
 // into the Page Stores and rebuilding the data dictionary.

@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	taurus-bench [-sf 0.005] [fig5|fig6|fig7|fig8|fig9|q4-bufferpool|durability|all]
+//	taurus-bench [-sf 0.005] [fig5|fig6|fig7|fig8|fig9|q4-bufferpool|durability|checkpoint|all]
 package main
 
 import (
@@ -88,6 +88,14 @@ func main() {
 			return err
 		}
 		bench.PrintRecovery(os.Stdout, rec)
+		return nil
+	})
+	run("checkpoint", func() error {
+		rows, err := bench.CheckpointRecovery(nil)
+		if err != nil {
+			return err
+		}
+		bench.PrintCheckpoint(os.Stdout, rows)
 		return nil
 	})
 	run("q4-bufferpool", func() error {

@@ -5,22 +5,34 @@
 //
 // Usage:
 //
-//	taurus-server -listen :7000 -role pagestore
+//	taurus-server -listen :7000 -role pagestore -data-dir /var/lib/taurus/ps1
 //	taurus-server -listen :7100 -role logstore -data-dir /var/lib/taurus/log1
 //
 // A logstore with -data-dir persists acknowledged batches to a
 // segmented on-disk log and recovers them (tolerating a torn tail) on
-// restart; without it the node is memory-only like the Page Stores.
+// restart. A pagestore with -data-dir checkpoints its slices there on
+// -checkpoint-interval and restores them on restart, reporting its
+// persisted LSN so the frontend's SAL can drive log GC. Without
+// -data-dir either node is memory-only.
+//
+// -stats-addr serves GET /stats as JSON: Log Stores report durable and
+// GC watermarks plus the persistent log's counters (appends, fsyncs,
+// rotations, GC bytes reclaimed); Page Stores report applied/persisted
+// LSNs, apply/skip counters, and checkpoint age.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"log"
 	"net"
+	"net/http"
+	"time"
 
 	"taurus/internal/cluster"
 	"taurus/internal/logstore"
 	"taurus/internal/pagestore"
+	"taurus/internal/pstore"
 )
 
 func main() {
@@ -29,42 +41,101 @@ func main() {
 	name := flag.String("name", "", "node name (defaults to the listen address)")
 	ndpWorkers := flag.Int("ndp-workers", 4, "NDP worker threads (pagestore)")
 	ndpQueue := flag.Int("ndp-queue", 1024, "NDP admission queue depth (pagestore)")
-	dataDir := flag.String("data-dir", "", "durable log directory (logstore; empty = in-memory)")
+	dataDir := flag.String("data-dir", "", "durable directory: segmented log (logstore) or slice checkpoints (pagestore); empty = in-memory")
 	flushInterval := flag.Duration("flush-interval", 0, "group-commit window (logstore; 0 = default 2ms)")
 	segmentBytes := flag.Int64("segment-bytes", 0, "log segment rotation size (logstore; 0 = default 16MB)")
+	ckptInterval := flag.Duration("checkpoint-interval", time.Minute, "slice checkpoint cadence (pagestore with -data-dir)")
+	statsAddr := flag.String("stats-addr", "", "HTTP address for GET /stats (empty = disabled)")
 	flag.Parse()
 
 	if *name == "" {
 		*name = *listen
 	}
 	var handler cluster.Handler
+	var stats func() any
 	switch *role {
 	case "pagestore":
-		rc := pagestore.NewResourceControl(*ndpWorkers, *ndpQueue)
-		handler = pagestore.New(*name, pagestore.WithResourceControl(rc))
+		opts := []pagestore.Option{
+			pagestore.WithResourceControl(pagestore.NewResourceControl(*ndpWorkers, *ndpQueue)),
+		}
+		if *dataDir != "" {
+			cs, err := pstore.Open(pstore.Options{Dir: *dataDir})
+			if err != nil {
+				log.Fatal(err)
+			}
+			opts = append(opts, pagestore.WithCheckpoints(cs))
+		}
+		ps := pagestore.New(*name, opts...)
+		if *dataDir != "" {
+			rst, err := ps.Restore()
+			if err != nil {
+				log.Fatal(err)
+			}
+			if rst.Slices > 0 || rst.Corrupt > 0 {
+				log.Printf("pagestore %q restored %d slices (%d pages) from checkpoints, %d corrupt files skipped (min applied LSN %d)",
+					*name, rst.Slices, rst.Pages, rst.Corrupt, rst.MinAppliedLSN)
+			}
+			if *ckptInterval > 0 {
+				go func() {
+					for range time.Tick(*ckptInterval) {
+						st, err := ps.Checkpoint()
+						if err != nil {
+							log.Printf("pagestore %q checkpoint: %v", *name, err)
+							continue
+						}
+						if st.SlicesWritten > 0 {
+							log.Printf("pagestore %q checkpointed %d slices (%d pages, %d bytes), persisted LSN %d",
+								*name, st.SlicesWritten, st.Pages, st.Bytes, st.PersistedLSN)
+						}
+					}
+				}()
+			}
+		}
+		handler = ps
+		stats = func() any { return ps.NodeStats() }
 	case "logstore":
+		var ls *logstore.Store
 		if *dataDir == "" {
-			handler = logstore.New(*name)
-			break
-		}
-		var opts []logstore.Option
-		if *flushInterval > 0 {
-			opts = append(opts, logstore.WithFlushInterval(*flushInterval))
-		}
-		if *segmentBytes > 0 {
-			opts = append(opts, logstore.WithSegmentBytes(*segmentBytes))
-		}
-		ls, err := logstore.Open(*name, *dataDir, opts...)
-		if err != nil {
-			log.Fatal(err)
-		}
-		if ri := ls.Recovery(); ri.Entries > 0 || ri.TornEntry {
-			log.Printf("logstore %q recovered %d entries from %d segments (torn tail: %v, durable LSN %d)",
-				*name, ri.Entries, ri.Segments, ri.TornEntry, ls.DurableLSN())
+			ls = logstore.New(*name)
+		} else {
+			var opts []logstore.Option
+			if *flushInterval > 0 {
+				opts = append(opts, logstore.WithFlushInterval(*flushInterval))
+			}
+			if *segmentBytes > 0 {
+				opts = append(opts, logstore.WithSegmentBytes(*segmentBytes))
+			}
+			var err error
+			ls, err = logstore.Open(*name, *dataDir, opts...)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if ri := ls.Recovery(); ri.Entries > 0 || ri.TornEntry {
+				log.Printf("logstore %q recovered %d entries from %d segments (torn tail: %v, durable LSN %d)",
+					*name, ri.Entries, ri.Segments, ri.TornEntry, ls.DurableLSN())
+			}
 		}
 		handler = ls
+		stats = func() any { return ls.NodeStats() }
 	default:
 		log.Fatalf("unknown role %q", *role)
+	}
+	if *statsAddr != "" {
+		mux := http.NewServeMux()
+		mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(stats()); err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+			}
+		})
+		go func() {
+			log.Printf("stats on http://%s/stats", *statsAddr)
+			if err := http.ListenAndServe(*statsAddr, mux); err != nil {
+				log.Printf("stats endpoint: %v", err)
+			}
+		}()
 	}
 	l, err := net.Listen("tcp", *listen)
 	if err != nil {

@@ -249,3 +249,22 @@ func TestSortedByQueryNumber(t *testing.T) {
 		t.Errorf("order: %v", s)
 	}
 }
+
+// TestCheckpointRecoveryShape pins the checkpoint-recovery experiment's
+// invariants: both modes run, the checkpointed restart replays only the
+// post-checkpoint tail, and the full-replay baseline sees everything.
+func TestCheckpointRecoveryShape(t *testing.T) {
+	rows, err := CheckpointRecovery([]int{4000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 || rows[0].Mode != "full-replay" || rows[1].Mode != "checkpoint+tail" {
+		t.Fatalf("rows = %+v", rows)
+	}
+	if rows[0].Replayed != 4000 {
+		t.Fatalf("full replay applied %d of 4000", rows[0].Replayed)
+	}
+	if rows[1].Replayed == 0 || rows[1].Replayed*4 > rows[0].Replayed {
+		t.Fatalf("checkpoint+tail replayed %d, want only the ~5%% tail", rows[1].Replayed)
+	}
+}

@@ -1,0 +1,227 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"taurus/internal/logstore"
+	"taurus/internal/page"
+	"taurus/internal/pagestore"
+	"taurus/internal/pstore"
+	"taurus/internal/types"
+	"taurus/internal/wal"
+)
+
+// CheckpointRow is one line of the checkpoint-recovery experiment: how
+// long a restarted Page Store takes to become current, with and without
+// a checkpoint.
+type CheckpointRow struct {
+	Records int
+	Mode    string
+	// Replayed is how many log records the recovery applied (the whole
+	// log for full replay, the tail above the checkpoint otherwise).
+	Replayed int
+	Elapsed  time.Duration
+	// Speedup is full-replay time / this mode's time (1.0 for the
+	// full-replay baseline itself).
+	Speedup float64
+}
+
+// checkpointWorkload drives records (from, to] through a Log Store and
+// a Page Store slice, the way the SAL does: FormatPage at each fresh
+// page boundary, appended rows otherwise.
+func checkpointWorkload(ls *logstore.Store, ps *pagestore.Store, from, to uint64) error {
+	ps.CreateSlice(1, 0)
+	schema := types.NewSchema(
+		types.Column{Name: "id", Kind: types.KindInt},
+		types.Column{Name: "v", Kind: types.KindInt},
+	)
+	const rowsPerPage = 64
+	const batch = 64
+	lsn := from
+	var enc []byte
+	flush := func() error {
+		if len(enc) == 0 {
+			return nil
+		}
+		if _, err := ls.Append(enc); err != nil {
+			return err
+		}
+		if _, err := ps.WriteLogs(1, 0, enc); err != nil {
+			return err
+		}
+		enc = enc[:0]
+		return nil
+	}
+	for lsn < to {
+		lsn++
+		id := int64(lsn)
+		pageID := (lsn - 1) / rowsPerPage
+		rec := wal.Record{LSN: lsn, Type: wal.TypeFormatPage, PageID: pageID, IndexID: 1}
+		if (lsn-1)%rowsPerPage != 0 {
+			key := types.EncodeKey(nil, types.Row{types.NewInt(id)})
+			row := types.EncodeRow(nil, schema, types.Row{types.NewInt(id), types.NewInt(id % 7)})
+			rec = wal.Record{
+				LSN: lsn, Type: wal.TypeInsertRec, PageID: pageID, Off: wal.OffAppend,
+				TrxID: lsn, Payload: page.EncodeLeafPayload(nil, key, row),
+			}
+		}
+		enc = rec.Encode(enc)
+		if lsn%batch == 0 {
+			if err := flush(); err != nil {
+				return err
+			}
+		}
+	}
+	return flush()
+}
+
+// replayInto applies records to a fresh store in batches, returning how
+// many were applied.
+func replayInto(ps *pagestore.Store, recs []wal.Record) (int, error) {
+	ps.CreateSlice(1, 0)
+	var enc []byte
+	const batch = 64
+	applied := 0
+	for at := 0; at < len(recs); at += batch {
+		end := at + batch
+		if end > len(recs) {
+			end = len(recs)
+		}
+		enc = enc[:0]
+		for i := at; i < end; i++ {
+			enc = recs[i].Encode(enc)
+		}
+		if _, err := ps.WriteLogs(1, 0, enc); err != nil {
+			return applied, err
+		}
+		applied = end
+	}
+	return applied, nil
+}
+
+// CheckpointRecovery measures Page Store recovery time at increasing
+// log sizes: full log replay (no checkpoint, the PR-1 path) against
+// checkpoint + tail replay, after the checkpoint's watermark let the
+// Log Store truncate the covered prefix.
+func CheckpointRecovery(sizes []int) ([]CheckpointRow, error) {
+	if len(sizes) == 0 {
+		sizes = []int{10000, 50000, 200000}
+	}
+	var rows []CheckpointRow
+	for _, n := range sizes {
+		logDir, err := os.MkdirTemp("", "taurus-ckpt-log-*")
+		if err != nil {
+			return nil, err
+		}
+		ckDir, err := os.MkdirTemp("", "taurus-ckpt-ps-*")
+		if err != nil {
+			os.RemoveAll(logDir)
+			return nil, err
+		}
+		row, err := checkpointRecoveryOne(n, logDir, ckDir)
+		os.RemoveAll(logDir)
+		os.RemoveAll(ckDir)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, row...)
+	}
+	return rows, nil
+}
+
+func checkpointRecoveryOne(n int, logDir, ckDir string) ([]CheckpointRow, error) {
+	ls, err := logstore.Open("bench", logDir, logstore.WithNoSync(), logstore.WithSegmentBytes(1<<20))
+	if err != nil {
+		return nil, err
+	}
+	cs, err := pstore.Open(pstore.Options{Dir: ckDir, NoSync: true})
+	if err != nil {
+		ls.Close()
+		return nil, err
+	}
+	ps := pagestore.New("bench", pagestore.WithCheckpoints(cs))
+	// Load ~95% of the workload, checkpoint, then a 5% tail on top —
+	// the steady state a periodic checkpointer maintains.
+	prefix := uint64(n * 95 / 100)
+	if err := checkpointWorkload(ls, ps, 0, prefix); err != nil {
+		ls.Close()
+		return nil, err
+	}
+	st, err := ps.Checkpoint()
+	if err != nil {
+		ls.Close()
+		return nil, err
+	}
+	w := st.PersistedLSN
+	if err := checkpointWorkload(ls, ps, prefix, uint64(n)); err != nil {
+		ls.Close()
+		return nil, err
+	}
+
+	// Baseline first, while the log still holds everything: a fresh
+	// node replays the full log.
+	start := time.Now()
+	ls2, err := logstore.Open("bench", logDir, logstore.WithNoSync())
+	if err != nil {
+		ls.Close()
+		return nil, err
+	}
+	full, err := replayInto(pagestore.New("bench-full"), ls2.ReadFrom(0))
+	fullElapsed := time.Since(start)
+	ls2.Close()
+	if err != nil {
+		ls.Close()
+		return nil, err
+	}
+
+	// Now the watermark-driven GC the checkpoint enables: the covered
+	// prefix disappears from the log before the restart.
+	if _, _, err := ls.TruncateBelow(w + 1); err != nil {
+		ls.Close()
+		return nil, err
+	}
+	if err := ls.Close(); err != nil {
+		return nil, err
+	}
+
+	start = time.Now()
+	ls3, err := logstore.Open("bench", logDir, logstore.WithNoSync())
+	if err != nil {
+		return nil, err
+	}
+	cs3, err := pstore.Open(pstore.Options{Dir: ckDir, NoSync: true})
+	if err != nil {
+		ls3.Close()
+		return nil, err
+	}
+	ps3 := pagestore.New("bench-ckpt", pagestore.WithCheckpoints(cs3))
+	if _, err := ps3.Restore(); err != nil {
+		ls3.Close()
+		return nil, err
+	}
+	tail, err := replayInto(ps3, ls3.ReadFrom(w))
+	ckElapsed := time.Since(start)
+	ls3.Close()
+	if err != nil {
+		return nil, err
+	}
+	return []CheckpointRow{
+		{Records: n, Mode: "full-replay", Replayed: full, Elapsed: fullElapsed, Speedup: 1},
+		{Records: n, Mode: "checkpoint+tail", Replayed: tail, Elapsed: ckElapsed,
+			Speedup: float64(fullElapsed) / float64(ckElapsed)},
+	}, nil
+}
+
+// PrintCheckpoint renders the checkpoint-recovery table.
+func PrintCheckpoint(w io.Writer, rows []CheckpointRow) {
+	fmt.Fprintln(w, "Page Store recovery: full log replay vs checkpoint + tail replay:")
+	fmt.Fprintf(w, "  %10s %-16s %10s %12s %9s\n", "records", "mode", "replayed", "elapsed", "speedup")
+	for _, r := range rows {
+		fmt.Fprintf(w, "  %10d %-16s %10d %12s %8.1fx\n",
+			r.Records, r.Mode, r.Replayed, r.Elapsed.Round(time.Microsecond), r.Speedup)
+	}
+	fmt.Fprintln(w, "  (the checkpoint bounds recovery to the log tail; the covered prefix is GC'd)")
+}

@@ -34,6 +34,12 @@ const (
 	// MsgResp tags all successful responses; MsgErr tags failures.
 	MsgResp
 	MsgErr
+	// MsgPageLSN asks a Page Store for a tenant's applied/persisted LSN
+	// frontier (the input to the cluster-wide log GC watermark).
+	MsgPageLSN
+	// MsgLogTruncate asks a Log Store to garbage-collect records below
+	// a watermark.
+	MsgLogTruncate
 )
 
 // WriteLogsReq applies redo records to one slice replica.
@@ -97,6 +103,37 @@ type PageResp struct {
 // Ack carries the acknowledged LSN.
 type Ack struct {
 	LSN uint64
+}
+
+// PageLSNReq asks a Page Store node for the LSN frontier of a tenant's
+// slices (Tenant 0 = all tenants).
+type PageLSNReq struct {
+	Tenant uint32
+}
+
+// PageLSNResp reports the node's frontier: the minimum applied and
+// checkpoint-persisted LSN across the tenant's slices. PersistedLSN 0
+// means at least one slice has no durable checkpoint.
+type PageLSNResp struct {
+	Slices       uint32
+	AppliedLSN   uint64
+	PersistedLSN uint64
+}
+
+// LogTruncateReq garbage-collects a Log Store below Watermark: records
+// with LSN < Watermark are dropped, sealed segments wholly below it are
+// deleted. The caller must have verified that every consumer (each Page
+// Store replica of every slice) has durably persisted those records.
+type LogTruncateReq struct {
+	Tenant    uint32
+	Watermark uint64
+}
+
+// LogGCResp reports one truncation: segments removed and bytes
+// reclaimed on disk.
+type LogGCResp struct {
+	Removed uint32
+	Bytes   uint64
 }
 
 // Encoding helpers. Frames are [type byte][body]; the transports add
@@ -204,6 +241,12 @@ func EncodeRequest(req any) (MsgType, []byte, error) {
 		b := appendU32(nil, m.Tenant)
 		b = appendU32(b, m.SliceID)
 		return MsgCreateSlice, b, nil
+	case *PageLSNReq:
+		return MsgPageLSN, appendU32(nil, m.Tenant), nil
+	case *LogTruncateReq:
+		b := appendU32(nil, m.Tenant)
+		b = appendU64(b, m.Watermark)
+		return MsgLogTruncate, b, nil
 	default:
 		return 0, nil, fmt.Errorf("cluster: unknown request type %T", req)
 	}
@@ -238,6 +281,12 @@ func DecodeRequest(t MsgType, body []byte) (any, error) {
 	case MsgCreateSlice:
 		m := &CreateSliceReq{Tenant: r.u32(), SliceID: r.u32()}
 		return m, r.err
+	case MsgPageLSN:
+		m := &PageLSNReq{Tenant: r.u32()}
+		return m, r.err
+	case MsgLogTruncate:
+		m := &LogTruncateReq{Tenant: r.u32(), Watermark: r.u64()}
+		return m, r.err
 	default:
 		return nil, fmt.Errorf("cluster: unknown request msg type %d", t)
 	}
@@ -262,6 +311,17 @@ func EncodeResponse(resp any, respErr error) (MsgType, []byte, error) {
 			b = appendBytes(b, p)
 		}
 		return MsgResp, b, nil
+	case *PageLSNResp:
+		b := []byte{respPageLSN}
+		b = appendU32(b, m.Slices)
+		b = appendU64(b, m.AppliedLSN)
+		b = appendU64(b, m.PersistedLSN)
+		return MsgResp, b, nil
+	case *LogGCResp:
+		b := []byte{respLogGC}
+		b = appendU32(b, m.Removed)
+		b = appendU64(b, m.Bytes)
+		return MsgResp, b, nil
 	default:
 		return 0, nil, fmt.Errorf("cluster: unknown response type %T", resp)
 	}
@@ -271,6 +331,8 @@ const (
 	respAck = iota + 1
 	respPage
 	respBatch
+	respPageLSN
+	respLogGC
 )
 
 // DecodeResponse parses a response frame.
@@ -302,6 +364,12 @@ func DecodeResponse(t MsgType, body []byte) (any, error) {
 		for i := range m.Pages {
 			m.Pages[i] = r.bytes()
 		}
+		return m, r.err
+	case respPageLSN:
+		m := &PageLSNResp{Slices: r.u32(), AppliedLSN: r.u64(), PersistedLSN: r.u64()}
+		return m, r.err
+	case respLogGC:
+		m := &LogGCResp{Removed: r.u32(), Bytes: r.u64()}
 		return m, r.err
 	default:
 		return nil, fmt.Errorf("cluster: unknown response tag %d", body[0])

@@ -2,6 +2,7 @@ package engine
 
 import (
 	"fmt"
+	"sort"
 
 	"taurus/internal/btree"
 	"taurus/internal/types"
@@ -52,6 +53,78 @@ type RecoveryStats struct {
 	MaxTrxID uint64
 }
 
+// RootRecord names one index's current B+ tree root for a checkpoint.
+type RootRecord struct {
+	IndexID uint64
+	PageID  uint64
+	// Level is the root page's B+ tree level (height - 1).
+	Level uint16
+}
+
+// RecoveryBase is a checkpointed starting point for recovery: the data
+// dictionary and allocator state as of a checkpoint, so RecoverFrom
+// only needs the log tail above it instead of the whole history. It is
+// produced by CheckpointBase and persisted by the caller (the embedded
+// deployment stores it in the frontend's pstore meta checkpoint).
+type RecoveryBase struct {
+	// Catalog holds encoded wal.CatalogEntry payloads in creation order
+	// (tables before their secondary indexes).
+	Catalog [][]byte
+	// Roots holds each index's root at checkpoint time; a FormatPage
+	// record in the tail overrides it only by formatting a higher root
+	// (a root split after the checkpoint).
+	Roots []RootRecord
+	// Allocator high-water marks at checkpoint time.
+	MaxLSN     uint64
+	MaxTrxID   uint64
+	MaxPageID  uint64
+	MaxIndexID uint64
+}
+
+// CheckpointBase snapshots the engine's dictionary and allocators for a
+// checkpoint. The MaxLSN field is left to the caller (the SAL owns the
+// LSN allocator).
+func (e *Engine) CheckpointBase() RecoveryBase {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	var base RecoveryBase
+	base.MaxTrxID = e.txm.Current()
+	base.MaxPageID = e.nextPageID.Load()
+	base.MaxIndexID = e.nextIndex - 1
+	// Deterministic order: tables by primary index ID (creation order),
+	// each followed by its secondaries.
+	tables := make([]*Table, 0, len(e.tables))
+	for _, t := range e.tables {
+		tables = append(tables, t)
+	}
+	sort.Slice(tables, func(i, j int) bool { return tables[i].Primary.ID < tables[j].Primary.ID })
+	addRoot := func(idx *Index) {
+		base.Roots = append(base.Roots, RootRecord{
+			IndexID: idx.ID, PageID: idx.Tree.Root(), Level: uint16(idx.Tree.Height() - 1),
+		})
+	}
+	for _, t := range tables {
+		entry := &wal.CatalogEntry{
+			Kind: wal.CatalogCreateTable, IndexID: t.Primary.ID,
+			Table: t.Name, Cols: catalogCols(t.Schema), Ords: t.PKCols,
+		}
+		base.Catalog = append(base.Catalog, entry.EncodeCatalog(nil))
+		addRoot(t.Primary)
+		secs := append([]*Index(nil), t.Secondaries...)
+		sort.Slice(secs, func(i, j int) bool { return secs[i].ID < secs[j].ID })
+		for _, idx := range secs {
+			entry := &wal.CatalogEntry{
+				Kind: wal.CatalogCreateIndex, IndexID: idx.ID,
+				Table: t.Name, Index: idx.Name,
+				Ords: idx.TableOrds[:len(idx.TableOrds)-len(t.PKCols)],
+			}
+			base.Catalog = append(base.Catalog, entry.EncodeCatalog(nil))
+			addRoot(idx)
+		}
+	}
+	return base
+}
+
 // Recover rebuilds the engine's data dictionary from a durable log: the
 // catalog records re-register tables and secondary indexes, and each
 // index's current B+ tree root is located from the FormatPage records
@@ -65,6 +138,18 @@ type RecoveryStats struct {
 //
 // Recover must run on a freshly created engine, before any DDL.
 func (e *Engine) Recover(recs []wal.Record) (RecoveryStats, error) {
+	return e.RecoverFrom(nil, recs)
+}
+
+// RecoverFrom rebuilds the dictionary from a checkpoint base plus the
+// log tail above it. With a nil base it degenerates to full-log
+// recovery (Recover). The two may overlap: a tail record that
+// re-registers an entry already in the base (the corrupt-checkpoint
+// fallback replays from LSN 0 under a valid base) is skipped by index
+// ID, and a base root loses to a tail FormatPage only at a strictly
+// higher level — the base reflects checkpoint-time state, so at equal
+// level it is the newer fact.
+func (e *Engine) RecoverFrom(base *RecoveryBase, recs []wal.Record) (RecoveryStats, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	var st RecoveryStats
@@ -78,6 +163,25 @@ func (e *Engine) Recover(recs []wal.Record) (RecoveryStats, error) {
 	roots := make(map[uint64]rootInfo)
 	var entries []*wal.CatalogEntry
 	var maxPage, maxTrx, maxIndex uint64
+	seenEntry := make(map[uint64]bool)
+	if base != nil {
+		st.MaxLSN = base.MaxLSN
+		maxPage, maxTrx, maxIndex = base.MaxPageID, base.MaxTrxID, base.MaxIndexID
+		for _, r := range base.Roots {
+			roots[r.IndexID] = rootInfo{level: r.Level, pageID: r.PageID}
+		}
+		for _, payload := range base.Catalog {
+			entry, err := wal.DecodeCatalog(payload)
+			if err != nil {
+				return st, fmt.Errorf("engine: checkpointed catalog: %w", err)
+			}
+			entries = append(entries, entry)
+			seenEntry[entry.IndexID] = true
+			if entry.IndexID > maxIndex {
+				maxIndex = entry.IndexID
+			}
+		}
+	}
 	for i := range recs {
 		rec := &recs[i]
 		st.Records++
@@ -96,7 +200,11 @@ func (e *Engine) Recover(recs []wal.Record) (RecoveryStats, error) {
 			if err != nil {
 				return st, fmt.Errorf("engine: recovering catalog: %w", err)
 			}
+			if seenEntry[entry.IndexID] {
+				continue // already in the checkpoint base
+			}
 			entries = append(entries, entry)
+			seenEntry[entry.IndexID] = true
 			if entry.IndexID > maxIndex {
 				maxIndex = entry.IndexID
 			}

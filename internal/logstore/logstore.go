@@ -134,7 +134,7 @@ func (s *Store) LogStats() plog.Stats {
 	return s.disk.Snapshot()
 }
 
-// Handle implements cluster.Handler for MsgLogAppend.
+// Handle implements cluster.Handler for MsgLogAppend and MsgLogTruncate.
 func (s *Store) Handle(req any) (any, error) {
 	switch m := req.(type) {
 	case *cluster.LogAppendReq:
@@ -143,6 +143,12 @@ func (s *Store) Handle(req any) (any, error) {
 			return nil, err
 		}
 		return &cluster.Ack{LSN: lsn}, nil
+	case *cluster.LogTruncateReq:
+		removed, bytes, err := s.TruncateBelow(m.Watermark)
+		if err != nil {
+			return nil, err
+		}
+		return &cluster.LogGCResp{Removed: uint32(removed), Bytes: bytes}, nil
 	default:
 		return nil, fmt.Errorf("logstore %s: unsupported request %T", s.name, req)
 	}
@@ -261,9 +267,10 @@ func (s *Store) Len() int {
 // dropped from memory, and sealed on-disk segments living entirely below
 // the watermark are deleted. Callers must only pass watermarks at or
 // below the LSN every consumer (Page Store replica, read replica) has
-// applied — in Taurus, "log records can be purged once all slice
-// replicas have applied them".
-func (s *Store) TruncateBelow(watermark uint64) error {
+// durably applied — in Taurus, "log records can be purged once all slice
+// replicas have applied them". Returns the segments removed and the
+// disk bytes reclaimed.
+func (s *Store) TruncateBelow(watermark uint64) (int, uint64, error) {
 	s.mu.Lock()
 	kept := s.log[:0]
 	for _, r := range s.log {
@@ -277,12 +284,85 @@ func (s *Store) TruncateBelow(watermark uint64) error {
 	}
 	disk := s.disk
 	s.mu.Unlock()
-	if disk != nil {
-		if _, err := disk.TruncateBelow(watermark); err != nil {
-			return fmt.Errorf("logstore %s: %w", s.name, err)
-		}
+	if disk == nil {
+		return 0, 0, nil
 	}
-	return nil
+	before := disk.Snapshot().GCBytes
+	removed, err := disk.TruncateBelow(watermark)
+	if err != nil {
+		return removed, 0, fmt.Errorf("logstore %s: %w", s.name, err)
+	}
+	return removed, disk.Snapshot().GCBytes - before, nil
+}
+
+// Segments returns the persistent log's on-disk segment count (0 in
+// memory mode) — the observable that shrinks when watermark-driven GC
+// reclaims sealed segments.
+func (s *Store) Segments() int {
+	if s.disk == nil {
+		return 0
+	}
+	return s.disk.Segments()
+}
+
+// CatchUp is the Log Store replica repair skeleton: a lagging replica
+// pulls the batches it is missing straight out of a peer's persistent
+// log (plog.Replay streams them in append order) instead of waiting for
+// the SAL's triplicate writes to be retried. Only the durable tail is
+// repaired — batches whose highest LSN exceeds this store's durable
+// LSN; holes below the durable watermark (a torn middle) still need
+// full replica rebuild, tracked in ROADMAP. Returns the number of
+// records appended.
+func (s *Store) CatchUp(peer *Store) (int, error) {
+	if peer == nil || !peer.Durable() {
+		return 0, fmt.Errorf("logstore %s: catch-up needs a disk-backed peer", s.name)
+	}
+	appended := 0
+	err := peer.disk.Replay(func(mark uint64, payload []byte) error {
+		// mark is the batch's highest LSN; skip batches we already have
+		// without decoding them.
+		if mark <= s.DurableLSN() {
+			return nil
+		}
+		before := s.Len()
+		if _, err := s.Append(payload); err != nil {
+			return err
+		}
+		appended += s.Len() - before
+		return nil
+	})
+	if err != nil {
+		return appended, fmt.Errorf("logstore %s: catch-up from %s: %w", s.name, peer.name, err)
+	}
+	return appended, nil
+}
+
+// NodeStats is one Log Store's observable state, for stats endpoints
+// and operator tooling.
+type NodeStats struct {
+	Name         string
+	Durable      bool
+	DurableLSN   uint64
+	TruncatedLSN uint64
+	Records      int
+	// Segments counts on-disk segment files (0 in memory mode); Log
+	// holds the persistent log's counters, including GCBytes reclaimed
+	// by watermark-driven truncation.
+	Segments int
+	Log      plog.Stats
+}
+
+// NodeStats snapshots the store's observable state.
+func (s *Store) NodeStats() NodeStats {
+	return NodeStats{
+		Name:         s.name,
+		Durable:      s.Durable(),
+		DurableLSN:   s.DurableLSN(),
+		TruncatedLSN: s.TruncatedLSN(),
+		Records:      s.Len(),
+		Segments:     s.Segments(),
+		Log:          s.LogStats(),
+	}
 }
 
 // Sync forces pending disk writes to storage (no-op in memory mode).

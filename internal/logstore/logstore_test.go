@@ -206,8 +206,12 @@ func TestTruncateBelowDropsPrefix(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	if err := s.TruncateBelow(30); err != nil {
+	removed, bytes, err := s.TruncateBelow(30)
+	if err != nil {
 		t.Fatal(err)
+	}
+	if removed == 0 || bytes == 0 {
+		t.Fatalf("GC reclaimed removed=%d bytes=%d", removed, bytes)
 	}
 	if s.TruncatedLSN() != 29 {
 		t.Fatalf("truncatedLSN = %d", s.TruncatedLSN())
@@ -222,5 +226,83 @@ func TestTruncateBelowDropsPrefix(t *testing.T) {
 	}
 	if s.LogStats().GCBytes == 0 {
 		t.Fatal("no segments reclaimed")
+	}
+}
+
+// TestCatchUpFromPeer is the replica-repair scenario: a replica that
+// missed batches (down during writes) streams the missing tail out of a
+// peer's persistent log and converges to the same durable state.
+func TestCatchUpFromPeer(t *testing.T) {
+	peer, err := Open("log1", t.TempDir(), WithNoSync())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer peer.Close()
+	lag, err := Open("log2", t.TempDir(), WithNoSync())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lag.Close()
+	lsn := uint64(0)
+	appendBatch := func(s *Store, n int) {
+		t.Helper()
+		var recs []wal.Record
+		for i := 0; i < n; i++ {
+			lsn++
+			recs = append(recs, wal.Record{LSN: lsn, Type: wal.TypeCompact, PageID: lsn})
+		}
+		if _, err := s.Append(encodeRecs(recs...)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Both replicas see the first batch; the laggard misses the rest.
+	var first []wal.Record
+	for i := 0; i < 10; i++ {
+		lsn++
+		first = append(first, wal.Record{LSN: lsn, Type: wal.TypeCompact, PageID: lsn})
+	}
+	enc := encodeRecs(first...)
+	if _, err := peer.Append(enc); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := lag.Append(enc); err != nil {
+		t.Fatal(err)
+	}
+	appendBatch(peer, 15)
+	appendBatch(peer, 15)
+	if lag.DurableLSN() >= peer.DurableLSN() {
+		t.Fatal("laggard is not lagging")
+	}
+	n, err := lag.CatchUp(peer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 30 {
+		t.Fatalf("caught up %d records, want 30", n)
+	}
+	if lag.DurableLSN() != peer.DurableLSN() || lag.Len() != peer.Len() {
+		t.Fatalf("not converged: lsn %d/%d len %d/%d",
+			lag.DurableLSN(), peer.DurableLSN(), lag.Len(), peer.Len())
+	}
+	// CatchUp is idempotent.
+	if n, err := lag.CatchUp(peer); err != nil || n != 0 {
+		t.Fatalf("second catch-up appended %d (err %v)", n, err)
+	}
+	// The repaired records are durable: a restart still has them.
+	dir := lag.disk.Dir()
+	if err := lag.Close(); err != nil {
+		t.Fatal(err)
+	}
+	re, err := Open("log2", dir, WithNoSync())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if re.DurableLSN() != peer.DurableLSN() {
+		t.Fatalf("restart lost repaired records: %d vs %d", re.DurableLSN(), peer.DurableLSN())
+	}
+	// A memory-mode peer cannot serve catch-up.
+	if _, err := re.CatchUp(New("mem")); err == nil {
+		t.Fatal("catch-up from a memory peer must fail")
 	}
 }

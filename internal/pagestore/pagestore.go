@@ -7,10 +7,13 @@ package pagestore
 
 import (
 	"fmt"
+	"sort"
 	"sync"
+	"time"
 
 	"taurus/internal/cluster"
 	"taurus/internal/page"
+	"taurus/internal/pstore"
 	"taurus/internal/wal"
 )
 
@@ -59,6 +62,10 @@ type slice struct {
 	mu         sync.RWMutex
 	pages      map[uint64]*pageVersions
 	appliedLSN uint64
+	// persistedLSN is the applied LSN covered by the slice's newest
+	// durable checkpoint (0 = never checkpointed). Records at or below
+	// it survive a crash without log replay.
+	persistedLSN uint64
 }
 
 // Store is one Page Store node.
@@ -67,6 +74,15 @@ type Store struct {
 
 	mu     sync.RWMutex
 	slices map[sliceKey]*slice
+
+	// ckpt is the persistent checkpoint store; nil keeps the node
+	// memory-only (the simulated experiments' configuration). ckptMu
+	// serializes Checkpoint calls: two interleaved checkpoints could
+	// otherwise rename an older slice snapshot over a newer file while
+	// persistedLSN keeps the newer value — and the GC watermark would
+	// then overstate what disk holds.
+	ckpt   *pstore.Store
+	ckptMu sync.Mutex
 
 	// NDP machinery.
 	descCache *DescriptorCache
@@ -81,6 +97,11 @@ type Store struct {
 type Stats struct {
 	mu                sync.Mutex
 	LogRecordsApplied uint64
+	// LogRecordsSkipped counts idempotent redeliveries: records at or
+	// below a slice's applied LSN, dropped without touching a page.
+	// After a checkpoint-based recovery this stays at zero for the
+	// checkpointed prefix — those records are never re-sent at all.
+	LogRecordsSkipped uint64
 	PageReads         uint64
 	BatchReads        uint64
 	NDPPagesProcessed uint64
@@ -92,6 +113,7 @@ type Stats struct {
 // StatsSnapshot is a copy of the counters.
 type StatsSnapshot struct {
 	LogRecordsApplied uint64
+	LogRecordsSkipped uint64
 	PageReads         uint64
 	BatchReads        uint64
 	NDPPagesProcessed uint64
@@ -112,6 +134,13 @@ func WithResourceControl(rc *ResourceControl) Option {
 // the cache-ablation benchmark).
 func WithDescriptorCache(c *DescriptorCache) Option {
 	return func(s *Store) { s.descCache = c }
+}
+
+// WithCheckpoints attaches a persistent checkpoint store: Restore loads
+// its slice checkpoints at startup, and Checkpoint persists the node's
+// slices to it.
+func WithCheckpoints(cs *pstore.Store) Option {
+	return func(s *Store) { s.ckpt = cs }
 }
 
 // New creates a Page Store node. The InnoDB plugin is pre-registered
@@ -162,6 +191,11 @@ func (s *Store) Handle(req any) (any, error) {
 		return &cluster.PageResp{Page: pg}, nil
 	case *cluster.BatchReadReq:
 		return s.BatchRead(m)
+	case *cluster.PageLSNReq:
+		slices, applied, persisted := s.LSNInfo(m.Tenant)
+		return &cluster.PageLSNResp{
+			Slices: uint32(slices), AppliedLSN: applied, PersistedLSN: persisted,
+		}, nil
 	default:
 		return nil, fmt.Errorf("pagestore %s: unsupported request %T", s.name, req)
 	}
@@ -203,6 +237,9 @@ func (s *Store) WriteLogs(tenant, sliceID uint32, encoded []byte) (uint64, error
 	for i := range recs {
 		rec := &recs[i]
 		if rec.LSN <= sl.appliedLSN {
+			s.stats.mu.Lock()
+			s.stats.LogRecordsSkipped++
+			s.stats.mu.Unlock()
 			continue // idempotent redelivery
 		}
 		if rec.Type == wal.TypeCatalog {
@@ -271,6 +308,7 @@ func (s *Store) Snapshot() StatsSnapshot {
 	defer s.stats.mu.Unlock()
 	return StatsSnapshot{
 		LogRecordsApplied: s.stats.LogRecordsApplied,
+		LogRecordsSkipped: s.stats.LogRecordsSkipped,
 		PageReads:         s.stats.PageReads,
 		BatchReads:        s.stats.BatchReads,
 		NDPPagesProcessed: s.stats.NDPPagesProcessed,
@@ -280,7 +318,224 @@ func (s *Store) Snapshot() StatsSnapshot {
 	}
 }
 
+// Persistent reports whether a checkpoint store is attached.
+func (s *Store) Persistent() bool { return s.ckpt != nil }
+
+// LastCheckpoint returns when the node last wrote (or, after a restart,
+// found) a checkpoint artifact; zero without persistence.
+func (s *Store) LastCheckpoint() time.Time {
+	if s.ckpt == nil {
+		return time.Time{}
+	}
+	return s.ckpt.LastCheckpoint()
+}
+
+// LSNInfo reports the tenant's LSN frontier on this node: the number of
+// hosted slices and the minimum applied and checkpoint-persisted LSNs
+// across them. A persisted minimum of 0 means at least one slice has no
+// durable checkpoint — nothing below it may be garbage-collected.
+func (s *Store) LSNInfo(tenant uint32) (slices int, appliedMin, persistedMin uint64) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	for k, sl := range s.slices {
+		if tenant != 0 && k.tenant != tenant {
+			continue
+		}
+		sl.mu.RLock()
+		applied, persisted := sl.appliedLSN, sl.persistedLSN
+		sl.mu.RUnlock()
+		if slices == 0 || applied < appliedMin {
+			appliedMin = applied
+		}
+		if slices == 0 || persisted < persistedMin {
+			persistedMin = persisted
+		}
+		slices++
+	}
+	return slices, appliedMin, persistedMin
+}
+
+// RestoreStats reports what Restore loaded from the checkpoint store.
+type RestoreStats struct {
+	Slices  int
+	Pages   int
+	Corrupt int
+	// MinAppliedLSN is the lowest restored applied LSN (0 when nothing
+	// was restored); log replay must start at or below it.
+	MinAppliedLSN uint64
+}
+
+// Restore loads every valid slice checkpoint into memory. It must run
+// on a fresh store, before any slice is created. Corrupt checkpoint
+// files are skipped (counted in the stats): those slices fall back to
+// full log replay.
+func (s *Store) Restore() (RestoreStats, error) {
+	var st RestoreStats
+	if s.ckpt == nil {
+		return st, nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.slices) > 0 {
+		return st, fmt.Errorf("pagestore %s: Restore on a non-empty store", s.name)
+	}
+	cks, corrupt, err := s.ckpt.LoadSlices()
+	if err != nil {
+		return st, fmt.Errorf("pagestore %s: %w", s.name, err)
+	}
+	st.Corrupt = len(corrupt)
+	for _, ck := range cks {
+		sl := &slice{
+			pages:        make(map[uint64]*pageVersions, len(ck.Pages)),
+			appliedLSN:   ck.AppliedLSN,
+			persistedLSN: ck.AppliedLSN,
+		}
+		for _, img := range ck.Pages {
+			pg, err := page.FromBytes(append([]byte(nil), img.Data...))
+			if err != nil {
+				return st, fmt.Errorf("pagestore %s: checkpointed page %d: %w", s.name, img.PageID, err)
+			}
+			pv := &pageVersions{}
+			pv.push(pg)
+			sl.pages[img.PageID] = pv
+		}
+		s.slices[sliceKey{ck.Tenant, ck.SliceID}] = sl
+		st.Slices++
+		st.Pages += len(ck.Pages)
+		if st.Slices == 1 || ck.AppliedLSN < st.MinAppliedLSN {
+			st.MinAppliedLSN = ck.AppliedLSN
+		}
+	}
+	return st, nil
+}
+
+// CheckpointStats reports one Checkpoint call.
+type CheckpointStats struct {
+	// SlicesWritten counts slices whose checkpoint file was (re)written;
+	// SlicesClean counts slices already persisted at their applied LSN.
+	SlicesWritten int
+	SlicesClean   int
+	Pages         int
+	Bytes         int64
+	// PersistedLSN is the node's minimum persisted LSN across all
+	// slices after the checkpoint (0 when the node hosts no slices).
+	PersistedLSN uint64
+}
+
+// Checkpoint persists every dirty slice (applied LSN ahead of the last
+// checkpoint) to the attached checkpoint store: the latest version of
+// each page plus the applied LSN, written atomically per slice. Page
+// images are copy-on-write, so the snapshot is taken under a short read
+// lock and written to disk outside it.
+func (s *Store) Checkpoint() (CheckpointStats, error) {
+	var st CheckpointStats
+	if s.ckpt == nil {
+		return st, fmt.Errorf("pagestore %s: no checkpoint store attached", s.name)
+	}
+	s.ckptMu.Lock()
+	defer s.ckptMu.Unlock()
+	s.mu.RLock()
+	keys := make([]sliceKey, 0, len(s.slices))
+	for k := range s.slices {
+		keys = append(keys, k)
+	}
+	s.mu.RUnlock()
+	// Deterministic order keeps directory churn (and tests) predictable.
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].tenant != keys[j].tenant {
+			return keys[i].tenant < keys[j].tenant
+		}
+		return keys[i].sliceID < keys[j].sliceID
+	})
+	first := true
+	for _, k := range keys {
+		s.mu.RLock()
+		sl := s.slices[k]
+		s.mu.RUnlock()
+		if sl == nil {
+			continue
+		}
+		sl.mu.RLock()
+		applied, persisted := sl.appliedLSN, sl.persistedLSN
+		var snap *pstore.SliceCheckpoint
+		if applied > persisted {
+			snap = &pstore.SliceCheckpoint{
+				Tenant: k.tenant, SliceID: k.sliceID, AppliedLSN: applied,
+			}
+			for id, pv := range sl.pages {
+				if pg := pv.latest(); pg != nil {
+					// Bytes aliases the immutable version buffer; the
+					// apply path clones before mutating, so writing it
+					// outside the lock is safe.
+					snap.Pages = append(snap.Pages, pstore.PageImage{PageID: id, Data: pg.Bytes()})
+				}
+			}
+		}
+		sl.mu.RUnlock()
+		if snap == nil {
+			st.SlicesClean++
+		} else {
+			sort.Slice(snap.Pages, func(i, j int) bool { return snap.Pages[i].PageID < snap.Pages[j].PageID })
+			n, err := s.ckpt.WriteSlice(snap)
+			if err != nil {
+				return st, fmt.Errorf("pagestore %s: %w", s.name, err)
+			}
+			st.SlicesWritten++
+			st.Pages += len(snap.Pages)
+			st.Bytes += n
+			sl.mu.Lock()
+			if applied > sl.persistedLSN {
+				sl.persistedLSN = applied
+			}
+			persisted = sl.persistedLSN
+			sl.mu.Unlock()
+		}
+		if first || persisted < st.PersistedLSN {
+			st.PersistedLSN = persisted
+		}
+		first = false
+	}
+	return st, nil
+}
+
 // DescCacheStats exposes descriptor cache statistics.
 func (s *Store) DescCacheStats() (hits, misses uint64) {
 	return s.descCache.Stats()
+}
+
+// NodeStats is one Page Store's observable state, for stats endpoints
+// and operator tooling.
+type NodeStats struct {
+	Name       string
+	Persistent bool
+	Slices     int
+	// AppliedLSN/PersistedLSN are the node-wide minimums across slices
+	// (all tenants).
+	AppliedLSN   uint64
+	PersistedLSN uint64
+	// LastCheckpoint is when the newest checkpoint artifact was written
+	// (zero without persistence or before the first checkpoint);
+	// CheckpointAgeSeconds is the derived age, -1 when unknown.
+	LastCheckpoint       time.Time
+	CheckpointAgeSeconds float64
+	Stats                StatsSnapshot
+}
+
+// NodeStats snapshots the store's observable state.
+func (s *Store) NodeStats() NodeStats {
+	slices, applied, persisted := s.LSNInfo(0)
+	ns := NodeStats{
+		Name:                 s.name,
+		Persistent:           s.Persistent(),
+		Slices:               slices,
+		AppliedLSN:           applied,
+		PersistedLSN:         persisted,
+		LastCheckpoint:       s.LastCheckpoint(),
+		CheckpointAgeSeconds: -1,
+		Stats:                s.Snapshot(),
+	}
+	if !ns.LastCheckpoint.IsZero() {
+		ns.CheckpointAgeSeconds = time.Since(ns.LastCheckpoint).Seconds()
+	}
+	return ns
 }

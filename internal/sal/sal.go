@@ -272,6 +272,71 @@ func (s *SAL) flushLocked() error {
 	return nil
 }
 
+// GCWatermark computes the cluster-wide log GC watermark: every Page
+// Store node is asked for the minimum LSN its slices have durably
+// persisted (checkpointed), and the minimum across all nodes hosting
+// this tenant's slices comes back. Log records at or below the
+// watermark are reflected in a durable page checkpoint on every replica
+// of every slice, so — catalog coverage aside, which is the frontend
+// checkpoint's job — they are no longer needed for recovery: in Taurus,
+// "log records can be purged once all slice replicas have applied
+// them". Returns 0 when nothing may be collected: no node hosts slices
+// yet, or some slice has no durable checkpoint.
+func (s *SAL) GCWatermark() (uint64, error) {
+	var watermark uint64
+	seen := false
+	for _, node := range s.cfg.PageStores {
+		resp, err := s.cfg.Transport.Call(node, &cluster.PageLSNReq{Tenant: s.cfg.Tenant})
+		if err != nil {
+			return 0, fmt.Errorf("sal: page store %s lsn query: %w", node, err)
+		}
+		r := resp.(*cluster.PageLSNResp)
+		if r.Slices == 0 {
+			continue
+		}
+		if r.PersistedLSN == 0 {
+			return 0, nil // an unpersisted slice pins the whole log
+		}
+		if !seen || r.PersistedLSN < watermark {
+			watermark = r.PersistedLSN
+		}
+		seen = true
+	}
+	if !seen {
+		return 0, nil
+	}
+	return watermark, nil
+}
+
+// GCResult totals one TruncateLogs sweep across the Log Stores.
+type GCResult struct {
+	SegmentsRemoved int
+	BytesReclaimed  uint64
+}
+
+// TruncateLogs asks every Log Store to garbage-collect records below
+// watermark. The caller is responsible for the watermark's safety: it
+// must not exceed what the durable checkpoints (page slices and the
+// frontend's catalog/meta checkpoint) cover.
+func (s *SAL) TruncateLogs(watermark uint64) (GCResult, error) {
+	var res GCResult
+	if watermark == 0 {
+		return res, nil
+	}
+	for _, node := range s.cfg.LogStores {
+		resp, err := s.cfg.Transport.Call(node, &cluster.LogTruncateReq{
+			Tenant: s.cfg.Tenant, Watermark: watermark,
+		})
+		if err != nil {
+			return res, fmt.Errorf("sal: log store %s truncate: %w", node, err)
+		}
+		gc := resp.(*cluster.LogGCResp)
+		res.SegmentsRemoved += int(gc.Removed)
+		res.BytesReclaimed += gc.Bytes
+	}
+	return res, nil
+}
+
 // readReplica picks a replica for reads, round-robin.
 func (s *SAL) readReplica(nodes []string) string {
 	return nodes[int(s.rr.Add(1))%len(nodes)]

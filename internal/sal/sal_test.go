@@ -10,6 +10,7 @@ import (
 	"taurus/internal/logstore"
 	"taurus/internal/page"
 	"taurus/internal/pagestore"
+	"taurus/internal/pstore"
 	"taurus/internal/types"
 	"taurus/internal/wal"
 )
@@ -254,5 +255,126 @@ func TestConfigValidation(t *testing.T) {
 	}
 	if s.cfg.PagesPerSlice != DefaultPagesPerSlice {
 		t.Error("default pages per slice not applied")
+	}
+}
+
+// newDurableFixture builds a cluster whose Page Stores checkpoint to
+// disk and whose Log Stores persist segments, for the GC watermark path.
+func newDurableFixture(t testing.TB, pagesPerSlice uint64, rf int) *fixture {
+	t.Helper()
+	tr := cluster.NewInProc()
+	f := &fixture{tr: tr}
+	for _, n := range []string{"log1", "log2", "log3"} {
+		ls, err := logstore.Open(n, t.TempDir(), logstore.WithNoSync(), logstore.WithSegmentBytes(256))
+		if err != nil {
+			t.Fatal(err)
+		}
+		f.logs = append(f.logs, ls)
+		t.Cleanup(func() { ls.Close() })
+		tr.Register(n, ls)
+	}
+	psNames := []string{"ps1", "ps2", "ps3", "ps4"}
+	for _, n := range psNames {
+		cs, err := pstore.Open(pstore.Options{Dir: t.TempDir(), NoSync: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ps := pagestore.New(n, pagestore.WithCheckpoints(cs))
+		f.stores = append(f.stores, ps)
+		tr.Register(n, ps)
+	}
+	s, err := New(Config{
+		Tenant: 1, Transport: tr, LogStores: []string{"log1", "log2", "log3"},
+		PageStores: psNames, ReplicationFactor: rf, PagesPerSlice: pagesPerSlice,
+		Plugin: pagestore.PluginInnoDB, FlushThreshold: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.sal = s
+	return f
+}
+
+// TestGCWatermarkAndTruncate drives the cluster GC loop: the watermark
+// is 0 until every slice replica has a durable checkpoint, equals the
+// minimum persisted LSN afterwards, and TruncateLogs reclaims segments
+// below it on every Log Store.
+func TestGCWatermarkAndTruncate(t *testing.T) {
+	f := newDurableFixture(t, 2, 3)
+	// No slices yet: nothing to collect.
+	if w, err := f.sal.GCWatermark(); err != nil || w != 0 {
+		t.Fatalf("empty cluster watermark = %d (%v)", w, err)
+	}
+	f.writePages(t, 8, 4)
+	if err := f.sal.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	// Slices exist but none checkpointed: still pinned.
+	if w, err := f.sal.GCWatermark(); err != nil || w != 0 {
+		t.Fatalf("unpersisted watermark = %d (%v)", w, err)
+	}
+	var minPersisted uint64
+	for _, ps := range f.stores {
+		st, err := ps.Checkpoint()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if slices, _, _ := ps.LSNInfo(1); slices == 0 {
+			continue
+		}
+		if minPersisted == 0 || st.PersistedLSN < minPersisted {
+			minPersisted = st.PersistedLSN
+		}
+	}
+	w, err := f.sal.GCWatermark()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w == 0 || w != minPersisted {
+		t.Fatalf("watermark = %d, want min persisted %d", w, minPersisted)
+	}
+	// A second write pass touches every slice again, so the next
+	// checkpoint round moves the cluster watermark past the early
+	// segments and GC has something to reclaim.
+	f.writePages(t, 8, 4)
+	if err := f.sal.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	for _, ps := range f.stores {
+		if _, err := ps.Checkpoint(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w2, err := f.sal.GCWatermark()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w2 <= w {
+		t.Fatalf("watermark did not advance: %d -> %d", w, w2)
+	}
+	w = w2
+	segsBefore := f.logs[0].Segments()
+	res, err := f.sal.TruncateLogs(w + 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SegmentsRemoved == 0 || res.BytesReclaimed == 0 {
+		t.Fatalf("GC result = %+v", res)
+	}
+	for _, ls := range f.logs {
+		if ls.TruncatedLSN() != w {
+			t.Fatalf("log %s truncated to %d, want %d", ls.NodeStats().Name, ls.TruncatedLSN(), w)
+		}
+		if ls.Segments() >= segsBefore {
+			t.Fatalf("log segments did not shrink: %d -> %d", segsBefore, ls.Segments())
+		}
+		// Records above the watermark survive.
+		if recs := ls.ReadFrom(0); len(recs) == 0 || recs[0].LSN < w {
+			t.Fatalf("GC overshot: first surviving LSN %v", recs)
+		}
+	}
+	// A watermark of 0 is a no-op.
+	if res, err := f.sal.TruncateLogs(0); err != nil || res.SegmentsRemoved != 0 {
+		t.Fatalf("TruncateLogs(0) = %+v (%v)", res, err)
 	}
 }

@@ -45,6 +45,14 @@ func (m *Manager) Advance(id uint64) {
 	}
 }
 
+// Current returns the highest transaction ID allocated so far (0 if
+// none) — the checkpointed high-water mark Advance restores on restart.
+func (m *Manager) Current() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.nextID - 1
+}
+
 // Begin starts a transaction.
 func (m *Manager) Begin() *Txn {
 	m.mu.Lock()

@@ -20,15 +20,18 @@ package taurus
 import (
 	"fmt"
 	"path/filepath"
+	"sync"
 	"time"
 
 	"taurus/internal/cluster"
 	"taurus/internal/engine"
 	"taurus/internal/logstore"
 	"taurus/internal/pagestore"
+	"taurus/internal/pstore"
 	"taurus/internal/sal"
 	"taurus/internal/sql"
 	"taurus/internal/types"
+	"taurus/internal/wal"
 )
 
 // Config sizes the embedded deployment. The zero value matches the
@@ -53,8 +56,20 @@ type Config struct {
 	// acknowledged batches to a segmented on-disk log under this
 	// directory, and Open replays the surviving records to rebuild both
 	// the Page Stores and the frontend's data dictionary after a crash
-	// or restart. Empty keeps the all-in-memory behavior.
+	// or restart. It also attaches a checkpoint store to every Page
+	// Store: DB.Checkpoint persists page images and the data dictionary
+	// so recovery only replays the log tail above the checkpoint. Empty
+	// keeps the all-in-memory behavior.
 	DataDir string
+	// CheckpointInterval starts the background checkpointer (requires
+	// DataDir): on every tick — and once more on Close — the Page
+	// Stores checkpoint their slices, the frontend checkpoints its
+	// catalog and B+ tree roots, and the durable log is garbage-
+	// collected up to the cluster watermark (the minimum LSN every
+	// slice replica has durably persisted), so a long-lived node's log
+	// stops growing without bound. 0 disables automatic checkpoints;
+	// DB.Checkpoint and DB.TruncateLogs remain available.
+	CheckpointInterval time.Duration
 	// LogFlushInterval is the Log Stores' group-commit window (default
 	// 2 ms): an append is acknowledged once an fsync covering it
 	// completes, and all appends arriving within the window share one
@@ -76,6 +91,37 @@ type DB struct {
 	stores    []*pagestore.Store
 	logs      []*logstore.Store
 	recovered engine.RecoveryStats
+	summary   RecoverySummary
+
+	// meta is the frontend's checkpoint store (catalog, roots,
+	// allocators); nil without DataDir.
+	meta *pstore.Store
+	// ckMu serializes checkpoints; lastCkptLSN is the watermark of the
+	// last durably written meta checkpoint — the highest LSN log GC may
+	// reach, because records below it are covered by durable page
+	// checkpoints AND the catalog below it is in the durable meta.
+	ckMu        sync.Mutex
+	lastCkptLSN uint64
+	ckErr       error
+
+	ckStop chan struct{}
+	ckDone chan struct{}
+}
+
+// RecoverySummary reports how Open rebuilt the deployment from DataDir.
+type RecoverySummary struct {
+	// CheckpointLSN is the watermark of the meta checkpoint recovery
+	// started from (0 = full log replay).
+	CheckpointLSN uint64
+	// RestoredSlices/RestoredPages count what the Page Stores loaded
+	// from slice checkpoints; CorruptCheckpoints counts checkpoint
+	// files that failed validation and were ignored.
+	RestoredSlices     int
+	RestoredPages      int
+	CorruptCheckpoints int
+	// TailRecords is how many log records were replayed on top of the
+	// checkpoints (the whole log when CheckpointLSN is 0).
+	TailRecords int
 }
 
 // Result is a statement result.
@@ -130,10 +176,37 @@ func Open(cfg Config) (*DB, error) {
 	var psNames []string
 	for i := 0; i < cfg.PageStores; i++ {
 		name := fmt.Sprintf("pagestore-%d", i+1)
-		ps := pagestore.New(name)
+		var popts []pagestore.Option
+		if cfg.DataDir != "" {
+			cs, err := pstore.Open(pstore.Options{Dir: filepath.Join(cfg.DataDir, name)})
+			if err != nil {
+				db.closeLogs()
+				return nil, err
+			}
+			popts = append(popts, pagestore.WithCheckpoints(cs))
+		}
+		ps := pagestore.New(name, popts...)
+		if cfg.DataDir != "" {
+			rst, err := ps.Restore()
+			if err != nil {
+				db.closeLogs()
+				return nil, fmt.Errorf("taurus: restoring %s: %w", name, err)
+			}
+			db.summary.RestoredSlices += rst.Slices
+			db.summary.RestoredPages += rst.Pages
+			db.summary.CorruptCheckpoints += rst.Corrupt
+		}
 		db.stores = append(db.stores, ps)
 		psNames = append(psNames, name)
 		tr.Register(name, ps)
+	}
+	if cfg.DataDir != "" {
+		var err error
+		db.meta, err = pstore.Open(pstore.Options{Dir: filepath.Join(cfg.DataDir, "frontend")})
+		if err != nil {
+			db.closeLogs()
+			return nil, err
+		}
 	}
 	s, err := sal.New(sal.Config{
 		Tenant: 1, Transport: tr, LogStores: logNames, PageStores: psNames,
@@ -159,21 +232,65 @@ func Open(cfg Config) (*DB, error) {
 			return nil, err
 		}
 	}
+	if cfg.CheckpointInterval > 0 {
+		if cfg.DataDir == "" {
+			return nil, fmt.Errorf("taurus: CheckpointInterval requires DataDir")
+		}
+		db.ckStop = make(chan struct{})
+		db.ckDone = make(chan struct{})
+		go db.checkpointLoop(cfg.CheckpointInterval)
+	}
 	return db, nil
 }
 
-// recover replays the durable log: pages are rebuilt by pushing the
-// records through the Page Store apply path, the data dictionary by the
-// catalog records, and the LSN / transaction allocators resume above
-// everything the log mentions.
+// recover rebuilds the deployment from DataDir. With a valid checkpoint
+// set, recovery is O(log tail): the Page Stores already restored their
+// slice checkpoints, the frontend's meta checkpoint supplies the
+// catalog, B+ tree roots, and allocator marks, and only log records
+// above the checkpoint watermark are replayed through the Page Store
+// apply path. Without one (or when any slice checkpoint failed
+// validation), the whole surviving log is replayed as in PR 1 —
+// restored slices skip their prefix idempotently.
 func (db *DB) recover(s *sal.SAL, eng *engine.Engine) error {
+	meta, err := db.meta.LoadMeta()
+	if err != nil {
+		return err
+	}
+	after := uint64(0)
+	var base *engine.RecoveryBase
+	if meta != nil {
+		base = &engine.RecoveryBase{
+			Catalog: meta.Catalog,
+			MaxLSN:  meta.MaxLSN, MaxTrxID: meta.MaxTrxID,
+			MaxPageID: meta.MaxPageID, MaxIndexID: meta.MaxIndexID,
+		}
+		for _, r := range meta.Roots {
+			base.Roots = append(base.Roots, engine.RootRecord{
+				IndexID: r.IndexID, PageID: r.PageID, Level: r.Level,
+			})
+		}
+		// The tail starts at the checkpoint watermark — unless a slice
+		// checkpoint was damaged, in which case its slice must be
+		// rebuilt from the full log (intact slices skip the prefix
+		// idempotently; RecoverFrom dedupes catalog overlap). A damaged
+		// checkpoint also stops seeding the GC watermark: records the
+		// damaged file was the only durable copy of must stay in the
+		// log until a fresh checkpoint covers them again.
+		if db.summary.CorruptCheckpoints == 0 {
+			after = meta.AppliedLSN
+			db.lastCkptLSN = meta.AppliedLSN
+		}
+		db.summary.CheckpointLSN = meta.AppliedLSN
+	}
 	// The Log Stores are written in triplicate and acknowledged
 	// synchronously, so they normally agree; after a crash the most
 	// complete replica wins: most records first (a replica that tore a
 	// mid-log batch in an earlier crash has fewer, even if later writes
 	// advanced its LSN), then highest durable LSN (Taurus: "the master
-	// finds the Log Store with the highest LSN"). True hole repair is
-	// replica catch-up, tracked in ROADMAP.
+	// finds the Log Store with the highest LSN"). Lagging replicas then
+	// catch up from the winner's persistent log so the triplicate set
+	// converges again; hole repair below a replica's durable watermark
+	// is tracked in ROADMAP.
 	best := db.logs[0]
 	for _, ls := range db.logs[1:] {
 		if ls.Len() > best.Len() ||
@@ -181,18 +298,43 @@ func (db *DB) recover(s *sal.SAL, eng *engine.Engine) error {
 			best = ls
 		}
 	}
-	recs := best.ReadFrom(0)
-	if len(recs) == 0 {
+	for _, ls := range db.logs {
+		if ls == best || !ls.Durable() || ls.DurableLSN() >= best.DurableLSN() {
+			continue
+		}
+		if _, err := ls.CatchUp(best); err != nil {
+			return fmt.Errorf("taurus: log replica catch-up: %w", err)
+		}
+	}
+	recs := best.ReadFrom(after)
+	db.summary.TailRecords = len(recs)
+	if db.summary.CorruptCheckpoints > 0 {
+		// The damaged slice can only be rebuilt from the full log. If
+		// watermark GC already collected the prefix (LSNs start past 1),
+		// that history is gone — fail loudly rather than silently serve
+		// a replica missing acknowledged rows. Repairing from a sibling
+		// replica's checkpoint is a ROADMAP item.
+		if (len(recs) == 0 && meta != nil && meta.AppliedLSN > 0) ||
+			(len(recs) > 0 && recs[0].LSN > 1) {
+			return fmt.Errorf("taurus: %d corrupt slice checkpoint(s) and the log prefix below LSN %d was garbage-collected; slice unrecoverable from this node's disk",
+				db.summary.CorruptCheckpoints, firstLSN(recs))
+		}
+	}
+	if len(recs) == 0 && base == nil {
 		return nil
 	}
 	// Resume the LSN allocator first: recovery may itself log records
 	// (a catalog entry whose root page never made it to disk gets a
 	// fresh, empty root).
-	s.ResumeLSN(best.DurableLSN())
+	resume := best.DurableLSN()
+	if meta != nil && meta.MaxLSN > resume {
+		resume = meta.MaxLSN
+	}
+	s.ResumeLSN(resume)
 	if err := s.Replay(recs); err != nil {
 		return fmt.Errorf("taurus: replaying %d records: %w", len(recs), err)
 	}
-	st, err := eng.Recover(recs)
+	st, err := eng.RecoverFrom(base, recs)
 	if err != nil {
 		return fmt.Errorf("taurus: recovering catalog: %w", err)
 	}
@@ -205,6 +347,139 @@ func (db *DB) recover(s *sal.SAL, eng *engine.Engine) error {
 		}
 	}
 	return nil
+}
+
+// firstLSN returns the first record's LSN (0 for an empty slice).
+func firstLSN(recs []wal.Record) uint64 {
+	if len(recs) == 0 {
+		return 0
+	}
+	return recs[0].LSN
+}
+
+// CheckpointResult reports one Checkpoint call.
+type CheckpointResult struct {
+	// Watermark is the cluster LSN the checkpoint set now covers:
+	// every record at or below it is in a durable slice checkpoint on
+	// every replica and the catalog is in the durable meta checkpoint.
+	Watermark uint64
+	// SlicesWritten/SlicesClean/PagesWritten/BytesWritten total the
+	// Page Store side; clean slices were already persisted at their
+	// applied LSN and were skipped.
+	SlicesWritten int
+	SlicesClean   int
+	PagesWritten  int
+	BytesWritten  int64
+}
+
+// Checkpoint persists the deployment's state so recovery no longer
+// needs the full log: every Page Store writes its dirty slices (page
+// images + applied LSN, atomically per slice), then the frontend writes
+// its meta checkpoint (catalog entries, B+ tree roots, allocator
+// high-water marks, and the cluster watermark aggregated by the SAL).
+// It does not truncate the log — TruncateLogs (or the background
+// checkpointer) does that against the durable watermark.
+func (db *DB) Checkpoint() (*CheckpointResult, error) {
+	if db.meta == nil {
+		return nil, fmt.Errorf("taurus: Checkpoint requires Config.DataDir")
+	}
+	db.ckMu.Lock()
+	defer db.ckMu.Unlock()
+	// Flush so everything executed so far is applied (and durable)
+	// before the slices snapshot.
+	if err := db.eng.SAL().Flush(); err != nil {
+		return nil, err
+	}
+	res := &CheckpointResult{}
+	for _, ps := range db.stores {
+		st, err := ps.Checkpoint()
+		if err != nil {
+			return nil, err
+		}
+		res.SlicesWritten += st.SlicesWritten
+		res.SlicesClean += st.SlicesClean
+		res.PagesWritten += st.Pages
+		res.BytesWritten += st.Bytes
+	}
+	// The watermark comes from the SAL's cluster-wide aggregation (the
+	// same query path a TCP deployment uses), after the slice writes so
+	// it reflects them.
+	w, err := db.eng.SAL().GCWatermark()
+	if err != nil {
+		return nil, err
+	}
+	res.Watermark = w
+	base := db.eng.CheckpointBase()
+	meta := &pstore.Meta{
+		AppliedLSN: w,
+		MaxLSN:     db.eng.SAL().CurrentLSN(),
+		MaxTrxID:   base.MaxTrxID,
+		MaxPageID:  base.MaxPageID,
+		MaxIndexID: base.MaxIndexID,
+		Catalog:    base.Catalog,
+	}
+	for _, r := range base.Roots {
+		meta.Roots = append(meta.Roots, pstore.Root{IndexID: r.IndexID, PageID: r.PageID, Level: r.Level})
+	}
+	if err := db.meta.WriteMeta(meta); err != nil {
+		return nil, err
+	}
+	if w > db.lastCkptLSN {
+		db.lastCkptLSN = w
+	}
+	return res, nil
+}
+
+// TruncateLogs garbage-collects the durable log up to the last durably
+// checkpointed watermark: records the checkpoint set covers are dropped
+// from the Log Stores and sealed segments wholly below them deleted.
+// Returns the segments removed across all Log Stores.
+func (db *DB) TruncateLogs() (int, error) {
+	db.ckMu.Lock()
+	w := db.lastCkptLSN
+	db.ckMu.Unlock()
+	if w == 0 {
+		return 0, nil
+	}
+	// TruncateBelow keeps LSN >= watermark; records ≤ w are covered.
+	res, err := db.eng.SAL().TruncateLogs(w + 1)
+	if err != nil {
+		return res.SegmentsRemoved, err
+	}
+	return res.SegmentsRemoved, nil
+}
+
+// checkpointLoop is the background checkpointer: checkpoint, then GC
+// the log against the new durable watermark. A failure is sticky and
+// surfaced by Close — durability is not at risk (the log still has
+// everything), but the recovery fast path stops advancing.
+func (db *DB) checkpointLoop(interval time.Duration) {
+	defer close(db.ckDone)
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-db.ckStop:
+			return
+		case <-t.C:
+			if _, err := db.Checkpoint(); err != nil {
+				db.ckMu.Lock()
+				if db.ckErr == nil {
+					db.ckErr = err
+				}
+				db.ckMu.Unlock()
+				return
+			}
+			if _, err := db.TruncateLogs(); err != nil {
+				db.ckMu.Lock()
+				if db.ckErr == nil {
+					db.ckErr = err
+				}
+				db.ckMu.Unlock()
+				return
+			}
+		}
+	}
 }
 
 // closeLogs releases any disk-backed Log Stores (partial-open cleanup
@@ -223,21 +498,55 @@ func (db *DB) closeLogs() error {
 }
 
 // Close flushes all buffered log records to the storage services and
-// releases the Log Stores' on-disk segments. The database must not be
-// used afterwards. Close is not required for durability — every
-// acknowledged statement already survived — but it makes the final
-// buffered (unacknowledged) records durable too.
+// releases the Log Stores' on-disk segments. With the background
+// checkpointer enabled it also stops it and takes a final checkpoint,
+// so the next Open recovers from the checkpoint with an empty log tail.
+// The database must not be used afterwards. Close is not required for
+// durability — every acknowledged statement already survived — but it
+// makes the final buffered (unacknowledged) records durable too.
 func (db *DB) Close() error {
-	flushErr := db.eng.SAL().Flush()
-	if err := db.closeLogs(); err != nil && flushErr == nil {
-		flushErr = err
+	var firstErr error
+	if db.ckStop != nil {
+		close(db.ckStop)
+		<-db.ckDone
+		db.ckMu.Lock()
+		firstErr = db.ckErr
+		db.ckMu.Unlock()
+		if firstErr == nil {
+			// Final checkpoint on clean shutdown.
+			if _, err := db.Checkpoint(); err != nil {
+				firstErr = err
+			} else if _, err := db.TruncateLogs(); err != nil {
+				firstErr = err
+			}
+		}
 	}
-	return flushErr
+	if err := db.eng.SAL().Flush(); err != nil && firstErr == nil {
+		firstErr = err
+	}
+	if err := db.closeLogs(); err != nil && firstErr == nil {
+		firstErr = err
+	}
+	return firstErr
 }
 
 // RecoveryStats reports what Open rebuilt from DataDir (zero value for
 // a fresh or in-memory database).
 func (db *DB) RecoveryStats() engine.RecoveryStats { return db.recovered }
+
+// RecoverySummary reports how Open recovered: checkpoint watermark,
+// restored slices/pages, and the log tail replayed on top.
+func (db *DB) RecoverySummary() RecoverySummary { return db.summary }
+
+// LogStoreStats returns per-Log-Store node statistics (durable and GC
+// watermarks, segment counts, persistent-log counters).
+func (db *DB) LogStoreStats() []logstore.NodeStats {
+	out := make([]logstore.NodeStats, len(db.logs))
+	for i, ls := range db.logs {
+		out[i] = ls.NodeStats()
+	}
+	return out
+}
 
 // DurableLSN returns the highest log sequence number acknowledged by
 // any of the Log Store replicas (0 for a deployment with nothing
