@@ -3,7 +3,11 @@
 //
 // Usage:
 //
-//	taurus-bench [-sf 0.005] [fig5|fig6|fig7|fig8|fig9|q4-bufferpool|durability|checkpoint|all]
+//	taurus-bench [-sf 0.005] [fig5|fig6|fig7|fig8|fig9|q4-bufferpool|durability|checkpoint|writepath|all]
+//
+// writepath compares the serial (pre-pipeline) and pipelined
+// group-commit write paths under concurrent committers and writes the
+// result to -writepath-out (default BENCH_writepath.json).
 package main
 
 import (
@@ -17,10 +21,29 @@ import (
 
 func main() {
 	sf := flag.Float64("sf", 0.005, "TPC-H scale factor")
+	commits := flag.Int("commits", 1500, "durable commits per worker count (writepath)")
+	wpOut := flag.String("writepath-out", "BENCH_writepath.json", "write-path JSON report path (writepath; empty = don't write)")
 	flag.Parse()
 	which := "all"
 	if flag.NArg() > 0 {
 		which = flag.Arg(0)
+	}
+	if which == "writepath" {
+		// No TPC-H fixture needed: the write path benchmark builds its
+		// own durable clusters.
+		rows, err := bench.WritePath(*commits, nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		bench.PrintWritePath(os.Stdout, rows)
+		if *wpOut != "" {
+			rep := bench.BuildWritePathReport(rows)
+			if err := bench.WriteWritePathJSON(*wpOut, rep); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("report written to %s\n", *wpOut)
+		}
+		return
 	}
 	fmt.Printf("Loading TPC-H at SF %g on a 4-Page-Store, 3-way-replicated cluster...\n", *sf)
 	f, err := bench.NewFixture(*sf)

@@ -19,25 +19,36 @@
 // GC watermarks plus the persistent log's counters (appends, fsyncs,
 // rotations, GC bytes reclaimed); Page Stores report applied/persisted
 // LSNs, apply/skip counters, and checkpoint age.
+//
+// A third role, frontend, runs an embedded full deployment and serves
+// SQL over HTTP (POST /query) plus the frontend-side stats — the SAL's
+// group-commit pipeline (in-flight windows, backpressure stalls,
+// commit/apply waits) and per-shard buffer pool counters:
+//
+//	taurus-server -role frontend -listen :7200 -stats-addr :7201 -data-dir /var/lib/taurus/fe
 package main
 
 import (
 	"encoding/json"
 	"flag"
+	"io"
 	"log"
 	"net"
 	"net/http"
 	"time"
 
+	"taurus"
+	"taurus/internal/buffer"
 	"taurus/internal/cluster"
 	"taurus/internal/logstore"
 	"taurus/internal/pagestore"
 	"taurus/internal/pstore"
+	"taurus/internal/sal"
 )
 
 func main() {
 	listen := flag.String("listen", ":7000", "address to listen on")
-	role := flag.String("role", "pagestore", "pagestore or logstore")
+	role := flag.String("role", "pagestore", "pagestore, logstore, or frontend")
 	name := flag.String("name", "", "node name (defaults to the listen address)")
 	ndpWorkers := flag.Int("ndp-workers", 4, "NDP worker threads (pagestore)")
 	ndpQueue := flag.Int("ndp-queue", 1024, "NDP admission queue depth (pagestore)")
@@ -117,6 +128,9 @@ func main() {
 		}
 		handler = ls
 		stats = func() any { return ls.NodeStats() }
+	case "frontend":
+		runFrontend(*listen, *statsAddr, *dataDir, *ckptInterval)
+		return
 	default:
 		log.Fatalf("unknown role %q", *role)
 	}
@@ -143,6 +157,80 @@ func main() {
 	}
 	log.Printf("%s %q listening on %s", *role, *name, l.Addr())
 	if err := cluster.Serve(l, handler); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// frontendStats is the /stats payload of a frontend node: the SAL's
+// group-commit pipeline counters, per-shard buffer pool counters, and
+// the embedded storage nodes' states.
+type frontendStats struct {
+	WritePath  sal.PipelineStats
+	BufferPool []buffer.ShardStats
+	LogStores  []logstore.NodeStats
+	PageStores []pagestore.StatsSnapshot
+}
+
+// runFrontend serves an embedded Taurus deployment over HTTP: POST
+// /query executes one SQL statement (text/plain body, JSON result), and
+// GET /stats on -stats-addr (or, if empty, the main listener) reports
+// the write-pipeline / buffer-pool / storage-node counters.
+func runFrontend(listen, statsAddr, dataDir string, ckptInterval time.Duration) {
+	cfg := taurus.Config{DataDir: dataDir}
+	if dataDir != "" && ckptInterval > 0 {
+		cfg.CheckpointInterval = ckptInterval
+	}
+	db, err := taurus.Open(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	stats := func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(frontendStats{
+			WritePath:  db.WritePathStats(),
+			BufferPool: db.BufferPoolStats(),
+			LogStores:  db.LogStoreStats(),
+			PageStores: db.PageStoreStats(),
+		}); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/query", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST a SQL statement", http.StatusMethodNotAllowed)
+			return
+		}
+		body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		res, err := db.Exec(string(body))
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusUnprocessableEntity)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		if err := json.NewEncoder(w).Encode(res); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/stats", stats)
+	if statsAddr != "" && statsAddr != listen {
+		smux := http.NewServeMux()
+		smux.HandleFunc("/stats", stats)
+		go func() {
+			log.Printf("stats on http://%s/stats", statsAddr)
+			if err := http.ListenAndServe(statsAddr, smux); err != nil {
+				log.Printf("stats endpoint: %v", err)
+			}
+		}()
+	}
+	log.Printf("frontend listening on %s (POST /query, GET /stats)", listen)
+	if err := http.ListenAndServe(listen, mux); err != nil {
 		log.Fatal(err)
 	}
 }

@@ -1,0 +1,349 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"taurus/internal/cluster"
+	"taurus/internal/logstore"
+	"taurus/internal/page"
+	"taurus/internal/pagestore"
+	"taurus/internal/sal"
+	"taurus/internal/types"
+	"taurus/internal/wal"
+)
+
+// WritePathCluster is a durable storage cluster (disk-backed, group-
+// committing Log Stores; in-memory Page Stores) with a write path
+// attached: either the pipelined group-commit SAL or a faithful
+// emulation of the pre-pipeline serial flush, driving the same kinds of
+// storage nodes.
+type WritePathCluster struct {
+	SAL    *sal.SAL
+	Serial *SerialWritePath
+
+	close_ []func() error
+}
+
+// NewWritePathCluster builds the cluster under dir and pre-creates
+// pages 1..pages (one per worker) on the chosen write path, so slice
+// placement and page formatting stay outside the measurement.
+func NewWritePathCluster(dir string, pages int, serial bool) (*WritePathCluster, error) {
+	tr := cluster.NewInProc()
+	c := &WritePathCluster{}
+	logNames := []string{"log1", "log2", "log3"}
+	for _, n := range logNames {
+		ls, err := logstore.Open(n, fmt.Sprintf("%s/%s", dir, n),
+			logstore.WithFlushInterval(200*time.Microsecond))
+		if err != nil {
+			c.Close()
+			return nil, err
+		}
+		c.close_ = append(c.close_, ls.Close)
+		tr.Register(n, ls)
+	}
+	psNames := []string{"ps1", "ps2", "ps3", "ps4"}
+	for _, n := range psNames {
+		tr.Register(n, pagestore.New(n))
+	}
+	if serial {
+		c.Serial = &SerialWritePath{tr: tr, logNames: logNames, psNames: psNames}
+		if err := c.Serial.setup(pages); err != nil {
+			c.Close()
+			return nil, err
+		}
+		return c, nil
+	}
+	s, err := sal.New(sal.Config{
+		Tenant: 1, Transport: tr, LogStores: logNames, PageStores: psNames,
+		ReplicationFactor: 3, PagesPerSlice: 16, Plugin: pagestore.PluginInnoDB,
+		FlushThreshold: 64,
+	})
+	if err != nil {
+		c.Close()
+		return nil, err
+	}
+	c.SAL = s
+	c.close_ = append([]func() error{s.Close}, c.close_...)
+	for p := 1; p <= pages; p++ {
+		if err := s.Write(&wal.Record{Type: wal.TypeFormatPage, PageID: uint64(p), IndexID: 1}); err != nil {
+			c.Close()
+			return nil, err
+		}
+	}
+	if err := s.Flush(); err != nil {
+		c.Close()
+		return nil, err
+	}
+	return c, nil
+}
+
+// Close releases the write path and the Log Stores' on-disk state.
+func (c *WritePathCluster) Close() {
+	for _, f := range c.close_ {
+		f()
+	}
+}
+
+// SerialWritePath emulates the pre-pipeline SAL write path for the
+// before/after comparison: one global mutex held across the entire
+// commit — Log Store triplicate appends (concurrent, as before), then
+// Page Store replica applies issued serially — exactly the seed
+// sal.Write + flushLocked structure with a flush per commit, which is
+// what the statement path did.
+type SerialWritePath struct {
+	mu       sync.Mutex
+	lsn      uint64
+	tr       cluster.Transport
+	logNames []string
+	psNames  []string
+	replicas map[uint32][]string
+}
+
+// setup formats the benchmark pages (provisioning their slices on the
+// way, the way the seed's placementLocked did).
+func (w *SerialWritePath) setup(pages int) error {
+	for p := 1; p <= pages; p++ {
+		if err := w.Commit(&wal.Record{Type: wal.TypeFormatPage, PageID: uint64(p), IndexID: 1}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// replicaSet returns (creating on first use) a slice's replicas, with
+// the SAL's round-robin placement rule.
+func (w *SerialWritePath) replicaSet(sliceID uint32) ([]string, error) {
+	if nodes, ok := w.replicas[sliceID]; ok {
+		return nodes, nil
+	}
+	var nodes []string
+	for i := 0; i < 3; i++ {
+		node := w.psNames[(int(sliceID)+i)%len(w.psNames)]
+		if _, err := w.tr.Call(node, &cluster.CreateSliceReq{Tenant: 1, SliceID: sliceID}); err != nil {
+			return nil, err
+		}
+		nodes = append(nodes, node)
+	}
+	if w.replicas == nil {
+		w.replicas = make(map[uint32][]string)
+	}
+	w.replicas[sliceID] = nodes
+	return nodes, nil
+}
+
+// Commit logs one record and flushes it synchronously under the global
+// lock: durable in triplicate, then applied replica by replica.
+func (w *SerialWritePath) Commit(rec *wal.Record) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.lsn++
+	rec.LSN = w.lsn
+	enc := rec.Encode(nil)
+	errs := make([]error, len(w.logNames))
+	var wg sync.WaitGroup
+	for i, node := range w.logNames {
+		wg.Add(1)
+		go func(i int, node string) {
+			defer wg.Done()
+			if _, err := w.tr.Call(node, &cluster.LogAppendReq{Tenant: 1, Recs: enc}); err != nil {
+				errs[i] = err
+			}
+		}(i, node)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	nodes, err := w.replicaSet(uint32(rec.PageID / 16))
+	if err != nil {
+		return err
+	}
+	for _, node := range nodes {
+		if _, err := w.tr.Call(node, &cluster.WriteLogsReq{Tenant: 1, SliceID: uint32(rec.PageID / 16), Recs: enc}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WritePathRow is one line of the write-path experiment.
+type WritePathRow struct {
+	Mode      string  `json:"mode"`
+	Workers   int     `json:"workers"`
+	Commits   int     `json:"commits"`
+	OpsPerSec float64 `json:"ops_per_sec"`
+	P50Micros float64 `json:"p50_us"`
+	P99Micros float64 `json:"p99_us"`
+}
+
+// CommitRecord builds the i-th redo record for a worker's page: mostly
+// row inserts, with a periodic page re-format so the page never fills
+// no matter how many commits run (~300 of these small rows fit in a
+// 16 KB page).
+func CommitRecord(pageID uint64, i int64) *wal.Record {
+	if i%300 == 0 {
+		return &wal.Record{Type: wal.TypeFormatPage, PageID: pageID, IndexID: 1}
+	}
+	return InsertRecord(pageID, i)
+}
+
+// InsertRecord builds a small but realistic redo record for write-path
+// benchmarks.
+func InsertRecord(pageID uint64, id int64) *wal.Record {
+	schema := types.NewSchema(
+		types.Column{Name: "id", Kind: types.KindInt},
+		types.Column{Name: "v", Kind: types.KindInt},
+	)
+	key := types.EncodeKey(nil, types.Row{types.NewInt(id)})
+	row := types.EncodeRow(nil, schema, types.Row{types.NewInt(id), types.NewInt(id % 97)})
+	return &wal.Record{
+		Type: wal.TypeInsertRec, PageID: pageID, Off: wal.OffAppend,
+		TrxID: 9, Payload: page.EncodeLeafPayload(nil, key, row),
+	}
+}
+
+func percentile(sorted []time.Duration, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(p * float64(len(sorted)-1))
+	return float64(sorted[i]) / float64(time.Microsecond)
+}
+
+// WritePath measures durable-commit throughput and latency of the
+// serial (pre-pipeline) and pipelined write paths under concurrent
+// committers. Every commit waits for durability in triplicate; the
+// pipelined mode additionally overlaps Page Store application and
+// shares group-commit windows between committers.
+func WritePath(commits int, workerCounts []int) ([]WritePathRow, error) {
+	if commits <= 0 {
+		commits = 1500
+	}
+	if len(workerCounts) == 0 {
+		workerCounts = []int{1, 4, 8}
+	}
+	var rows []WritePathRow
+	for _, mode := range []string{"serial-flush", "pipelined"} {
+		for _, workers := range workerCounts {
+			dir, err := os.MkdirTemp("", "taurus-writepath-*")
+			if err != nil {
+				return nil, err
+			}
+			c, err := NewWritePathCluster(dir, workers, mode == "serial-flush")
+			if err != nil {
+				os.RemoveAll(dir)
+				return nil, err
+			}
+			per := commits / workers
+			lats := make([][]time.Duration, workers)
+			errs := make([]error, workers)
+			var wg sync.WaitGroup
+			start := time.Now()
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					lats[w] = make([]time.Duration, 0, per)
+					for i := 0; i < per; i++ {
+						rec := CommitRecord(uint64(w+1), int64(i)+1)
+						t0 := time.Now()
+						var err error
+						if c.Serial != nil {
+							err = c.Serial.Commit(rec)
+						} else {
+							if err = c.SAL.Write(rec); err == nil {
+								err = c.SAL.WaitDurable(rec.LSN)
+							}
+						}
+						if err != nil {
+							errs[w] = err
+							return
+						}
+						lats[w] = append(lats[w], time.Since(t0))
+					}
+				}(w)
+			}
+			wg.Wait()
+			elapsed := time.Since(start)
+			c.Close()
+			os.RemoveAll(dir)
+			for _, err := range errs {
+				if err != nil {
+					return nil, err
+				}
+			}
+			var all []time.Duration
+			for _, l := range lats {
+				all = append(all, l...)
+			}
+			sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+			rows = append(rows, WritePathRow{
+				Mode: mode, Workers: workers, Commits: workers * per,
+				OpsPerSec: float64(workers*per) / elapsed.Seconds(),
+				P50Micros: percentile(all, 0.50),
+				P99Micros: percentile(all, 0.99),
+			})
+		}
+	}
+	return rows, nil
+}
+
+// WritePathReport is the persisted BENCH_writepath.json payload.
+type WritePathReport struct {
+	Bench string         `json:"bench"`
+	Rows  []WritePathRow `json:"rows"`
+	// Speedup8Writers is pipelined/serial throughput at 8 workers (the
+	// acceptance headline).
+	Speedup8Writers float64 `json:"speedup_8_writers"`
+}
+
+// BuildWritePathReport derives the headline speedup from the rows.
+func BuildWritePathReport(rows []WritePathRow) WritePathReport {
+	rep := WritePathReport{Bench: "writepath", Rows: rows}
+	var serial8, pipe8 float64
+	for _, r := range rows {
+		if r.Workers == 8 {
+			switch r.Mode {
+			case "serial-flush":
+				serial8 = r.OpsPerSec
+			case "pipelined":
+				pipe8 = r.OpsPerSec
+			}
+		}
+	}
+	if serial8 > 0 {
+		rep.Speedup8Writers = pipe8 / serial8
+	}
+	return rep
+}
+
+// WriteWritePathJSON persists the report.
+func WriteWritePathJSON(path string, rep WritePathReport) error {
+	b, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}
+
+// PrintWritePath renders the write-path table.
+func PrintWritePath(w io.Writer, rows []WritePathRow) {
+	fmt.Fprintln(w, "Durable commit throughput: serial flush (pre-pipeline) vs pipelined group commit:")
+	fmt.Fprintf(w, "  %-14s %8s %9s %12s %10s %10s\n", "mode", "workers", "commits", "commits/s", "p50(µs)", "p99(µs)")
+	for _, r := range rows {
+		fmt.Fprintf(w, "  %-14s %8d %9d %12.0f %10.0f %10.0f\n",
+			r.Mode, r.Workers, r.Commits, r.OpsPerSec, r.P50Micros, r.P99Micros)
+	}
+	rep := BuildWritePathReport(rows)
+	if rep.Speedup8Writers > 0 {
+		fmt.Fprintf(w, "  8-writer speedup: %.1fx (pipelined over serial)\n", rep.Speedup8Writers)
+	}
+}

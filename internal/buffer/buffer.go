@@ -6,12 +6,22 @@
 // are private to the scan cursor that requested them, and their count is
 // capped (the innodb_ndp_max_pages_look_ahead parameter) so regular scans
 // are not deprived of memory.
+//
+// The pool is sharded: page IDs hash onto independent shards, each with
+// its own lock, hash map, and LRU list, so concurrent scans stop
+// serializing on one mutex. Small pools (under 64 pages per shard)
+// collapse to a single shard, which preserves the exact global-LRU
+// behavior the paper's buffer-pool experiment measures. Concurrent
+// misses on the same page are collapsed by a per-key singleflight: one
+// caller fetches from the Page Store, the rest wait for its result.
 package buffer
 
 import (
 	"container/list"
 	"fmt"
+	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"taurus/internal/page"
 )
@@ -21,27 +31,55 @@ import (
 // pages" per batch).
 const DefaultNDPMaxPagesLookAhead = 1024
 
+// minPagesPerShard keeps shards big enough that per-shard LRU remains a
+// sane approximation of global LRU.
+const minPagesPerShard = 64
+
 // Pool is the buffer pool. All pages it caches are clean: mutations are
 // logged through the SAL before being applied to cached copies, so
 // eviction never loses data.
 type Pool struct {
-	mu sync.Mutex
-
 	capacity int
 	ndpCap   int
-	ndpInUse int
+
+	shards []*shard
+	mask   uint64
+
+	// ndpInUse is global: NDP capacity accounting spans shards.
+	ndpInUse atomic.Int64
+	// resident mirrors the total cached page count (for capacity checks
+	// without sweeping every shard).
+	resident atomic.Int64
+	// rr rotates NDP-pressure evictions across shards.
+	rr atomic.Uint64
+}
+
+type shard struct {
+	mu sync.Mutex
+
+	capacity int // regular-page budget of this shard
 
 	frames map[uint64]*frame
 	lru    *list.List // front = most recent
 
+	inflight map[uint64]*flight // singleflight: pageID → pending fetch
+
 	hits      uint64
 	misses    uint64
 	evictions uint64
+	sfShared  uint64 // misses served by another caller's in-flight fetch
 }
 
 type frame struct {
 	pg  *page.Page
 	elt *list.Element
+}
+
+// flight is one in-progress fetch other callers can wait on.
+type flight struct {
+	done chan struct{}
+	pg   *page.Page
+	err  error
 }
 
 // New creates a pool holding up to capacity regular pages and up to
@@ -53,40 +91,89 @@ func New(capacity, ndpCap int) *Pool {
 	if ndpCap <= 0 {
 		ndpCap = DefaultNDPMaxPagesLookAhead
 	}
-	return &Pool{
+	nshards := 1
+	for nshards < 2*runtime.GOMAXPROCS(0) && capacity/(nshards*2) >= minPagesPerShard {
+		nshards *= 2
+	}
+	p := &Pool{
 		capacity: capacity,
 		ndpCap:   ndpCap,
-		frames:   make(map[uint64]*frame),
-		lru:      list.New(),
+		shards:   make([]*shard, nshards),
+		mask:     uint64(nshards - 1),
 	}
+	for i := range p.shards {
+		p.shards[i] = &shard{
+			capacity: capacity / nshards,
+			frames:   make(map[uint64]*frame),
+			lru:      list.New(),
+			inflight: make(map[uint64]*flight),
+		}
+	}
+	return p
 }
 
-// Get returns the cached page, or fetches, caches, and returns it.
+// Shards reports the shard count.
+func (p *Pool) Shards() int { return len(p.shards) }
+
+// shardOf hashes a page ID onto its shard. Sequential page IDs (the
+// common allocation pattern) must spread, so the ID is mixed first.
+func (p *Pool) shardOf(pageID uint64) *shard {
+	h := pageID * 0x9E3779B97F4A7C15 // Fibonacci hashing
+	h ^= h >> 29
+	return p.shards[h&p.mask]
+}
+
+// ndpShare is the per-shard slice of the live NDP page count, used in
+// per-shard eviction decisions (exact for the single-shard case).
+func (p *Pool) ndpShare() int {
+	return (int(p.ndpInUse.Load()) + len(p.shards) - 1) / len(p.shards)
+}
+
+// Get returns the cached page, or fetches, caches, and returns it. A
+// racing Get of the same page joins the first caller's fetch instead of
+// issuing a duplicate Page Store read.
 func (p *Pool) Get(pageID uint64, fetch func(pageID uint64) (*page.Page, error)) (*page.Page, error) {
-	p.mu.Lock()
-	if f, ok := p.frames[pageID]; ok {
-		p.lru.MoveToFront(f.elt)
-		p.hits++
+	sh := p.shardOf(pageID)
+	sh.mu.Lock()
+	if f, ok := sh.frames[pageID]; ok {
+		sh.lru.MoveToFront(f.elt)
+		sh.hits++
 		pg := f.pg
-		p.mu.Unlock()
+		sh.mu.Unlock()
 		return pg, nil
 	}
-	p.misses++
-	p.mu.Unlock()
-	// Fetch outside the lock; a racing fetch of the same page wastes a
-	// read but converges (Insert keeps the first copy).
-	pg, err := fetch(pageID)
-	if err != nil {
-		return nil, err
+	if fl, ok := sh.inflight[pageID]; ok {
+		sh.sfShared++
+		sh.mu.Unlock()
+		<-fl.done
+		if fl.err != nil {
+			return nil, fl.err
+		}
+		return fl.pg, nil
 	}
-	p.Insert(pg)
-	return p.lookupOrThis(pageID, pg), nil
+	fl := &flight{done: make(chan struct{})}
+	sh.inflight[pageID] = fl
+	sh.misses++
+	sh.mu.Unlock()
+	// Fetch outside the lock; joiners wait on fl.done.
+	pg, err := fetch(pageID)
+	if err == nil {
+		p.Insert(pg)
+		pg = p.lookupOrThis(pageID, pg)
+	}
+	fl.pg, fl.err = pg, err
+	sh.mu.Lock()
+	delete(sh.inflight, pageID)
+	sh.mu.Unlock()
+	close(fl.done)
+	return pg, err
 }
 
 func (p *Pool) lookupOrThis(pageID uint64, fallback *page.Page) *page.Page {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	if f, ok := p.frames[pageID]; ok {
+	sh := p.shardOf(pageID)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if f, ok := sh.frames[pageID]; ok {
 		return f.pg
 	}
 	return fallback
@@ -97,52 +184,61 @@ func (p *Pool) lookupOrThis(pageID uint64, fallback *page.Page) *page.Page {
 // leaf page ID is added to a batch read request, a check is made whether
 // the page already exists in the buffer pool" (§IV-C4).
 func (p *Pool) Lookup(pageID uint64) (*page.Page, bool) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	f, ok := p.frames[pageID]
+	sh := p.shardOf(pageID)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	f, ok := sh.frames[pageID]
 	if !ok {
 		return nil, false
 	}
-	p.lru.MoveToFront(f.elt)
-	p.hits++
+	sh.lru.MoveToFront(f.elt)
+	sh.hits++
 	return f.pg, true
 }
 
 // Insert caches a page (idempotent), evicting LRU pages as needed.
 func (p *Pool) Insert(pg *page.Page) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
 	id := pg.ID()
-	if _, ok := p.frames[id]; ok {
+	sh := p.shardOf(id)
+	ndpShare := p.ndpShare()
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if _, ok := sh.frames[id]; ok {
 		return
 	}
-	p.evictForSpaceLocked()
+	p.evictForSpaceLocked(sh, ndpShare)
 	f := &frame{pg: pg}
-	f.elt = p.lru.PushFront(id)
-	p.frames[id] = f
+	f.elt = sh.lru.PushFront(id)
+	sh.frames[id] = f
+	p.resident.Add(1)
 }
 
-func (p *Pool) evictForSpaceLocked() {
-	for len(p.frames)+p.ndpInUse >= p.capacity {
-		back := p.lru.Back()
+// evictForSpaceLocked evicts from the shard's LRU tail until a new page
+// (plus the shard's share of live NDP pages) fits. Caller holds sh.mu.
+func (p *Pool) evictForSpaceLocked(sh *shard, ndpShare int) {
+	for len(sh.frames)+ndpShare >= sh.capacity {
+		back := sh.lru.Back()
 		if back == nil {
 			return // nothing evictable; NDP cap guards this case
 		}
 		id := back.Value.(uint64)
-		p.lru.Remove(back)
-		delete(p.frames, id)
-		p.evictions++
+		sh.lru.Remove(back)
+		delete(sh.frames, id)
+		sh.evictions++
+		p.resident.Add(-1)
 	}
 }
 
 // Evict removes a page from the cache (no-op if absent).
 func (p *Pool) Evict(pageID uint64) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	if f, ok := p.frames[pageID]; ok {
-		p.lru.Remove(f.elt)
-		delete(p.frames, pageID)
-		p.evictions++
+	sh := p.shardOf(pageID)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if f, ok := sh.frames[pageID]; ok {
+		sh.lru.Remove(f.elt)
+		delete(sh.frames, pageID)
+		sh.evictions++
+		p.resident.Add(-1)
 	}
 }
 
@@ -151,66 +247,140 @@ func (p *Pool) Evict(pageID uint64) {
 // exactly the paper's bounded look-ahead. Regular pages are evicted if
 // the pool is full, never the other way around.
 func (p *Pool) AllocNDP() error {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	if p.ndpInUse >= p.ndpCap {
-		return fmt.Errorf("buffer: NDP page cap %d reached", p.ndpCap)
+	for {
+		n := p.ndpInUse.Load()
+		if int(n) >= p.ndpCap {
+			return fmt.Errorf("buffer: NDP page cap %d reached", p.ndpCap)
+		}
+		if p.ndpInUse.CompareAndSwap(n, n+1) {
+			break
+		}
 	}
-	p.evictForSpaceLocked()
-	p.ndpInUse++
+	// Make room globally: evict LRU tails round-robin across shards
+	// until the NDP page fits beside the resident set.
+	for int(p.resident.Load())+int(p.ndpInUse.Load()) > p.capacity {
+		if !p.evictOne() {
+			break
+		}
+	}
 	return nil
+}
+
+// evictOne drops one LRU page from some shard (round-robin scan).
+// Returns false when every shard is empty.
+func (p *Pool) evictOne() bool {
+	for range p.shards {
+		sh := p.shards[int(p.rr.Add(1))%len(p.shards)]
+		sh.mu.Lock()
+		back := sh.lru.Back()
+		if back == nil {
+			sh.mu.Unlock()
+			continue
+		}
+		id := back.Value.(uint64)
+		sh.lru.Remove(back)
+		delete(sh.frames, id)
+		sh.evictions++
+		p.resident.Add(-1)
+		sh.mu.Unlock()
+		return true
+	}
+	return false
 }
 
 // ReleaseNDP returns one NDP page's capacity to the free list ("after an
 // NDP scan finishes processing an NDP page in the batch, the page is
 // immediately released back to buffer pool free list").
 func (p *Pool) ReleaseNDP() {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	if p.ndpInUse > 0 {
-		p.ndpInUse--
+	for {
+		n := p.ndpInUse.Load()
+		if n <= 0 {
+			return // over-release must not underflow
+		}
+		if p.ndpInUse.CompareAndSwap(n, n-1) {
+			return
+		}
 	}
 }
 
 // NDPInUse reports currently reserved NDP pages.
-func (p *Pool) NDPInUse() int {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.ndpInUse
-}
+func (p *Pool) NDPInUse() int { return int(p.ndpInUse.Load()) }
 
 // Resident returns the number of cached regular pages.
-func (p *Pool) Resident() int {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return len(p.frames)
-}
+func (p *Pool) Resident() int { return int(p.resident.Load()) }
 
 // ResidentByIndex counts cached pages per index id — the measurement
 // behind the paper's Q4 buffer-pool experiment (§VII-D: "the resulting
 // buffer pool had 1,272,972 Lineitem pages" vs 24,186 with NDP).
 func (p *Pool) ResidentByIndex() map[uint64]int {
-	p.mu.Lock()
-	defer p.mu.Unlock()
 	out := make(map[uint64]int)
-	for _, f := range p.frames {
-		out[f.pg.IndexID()]++
+	for _, sh := range p.shards {
+		sh.mu.Lock()
+		for _, f := range sh.frames {
+			out[f.pg.IndexID()]++
+		}
+		sh.mu.Unlock()
 	}
 	return out
 }
 
-// Stats returns hit/miss/eviction counters.
+// Stats returns pool-wide hit/miss/eviction counters.
 func (p *Pool) Stats() (hits, misses, evictions uint64) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.hits, p.misses, p.evictions
+	for _, sh := range p.shards {
+		sh.mu.Lock()
+		hits += sh.hits
+		misses += sh.misses
+		evictions += sh.evictions
+		sh.mu.Unlock()
+	}
+	return hits, misses, evictions
+}
+
+// ShardStats is one shard's observable state.
+type ShardStats struct {
+	Resident  int
+	Hits      uint64
+	Misses    uint64
+	Evictions uint64
+	// SingleflightShared counts misses that joined another caller's
+	// in-flight fetch instead of hitting the Page Store again.
+	SingleflightShared uint64
+}
+
+// HitRate is the shard's hit fraction (0 with no traffic).
+func (s ShardStats) HitRate() float64 {
+	if s.Hits+s.Misses == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Hits+s.Misses)
+}
+
+// ShardStatsSnapshot returns per-shard counters, for the stats endpoint
+// and the sharding benchmarks.
+func (p *Pool) ShardStatsSnapshot() []ShardStats {
+	out := make([]ShardStats, len(p.shards))
+	for i, sh := range p.shards {
+		sh.mu.Lock()
+		out[i] = ShardStats{
+			Resident:           len(sh.frames),
+			Hits:               sh.hits,
+			Misses:             sh.misses,
+			Evictions:          sh.evictions,
+			SingleflightShared: sh.sfShared,
+		}
+		sh.mu.Unlock()
+	}
+	return out
 }
 
 // Clear drops all cached regular pages (used between experiment runs to
 // start cold).
 func (p *Pool) Clear() {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	p.frames = make(map[uint64]*frame)
-	p.lru.Init()
+	for _, sh := range p.shards {
+		sh.mu.Lock()
+		p.resident.Add(int64(-len(sh.frames)))
+		sh.frames = make(map[uint64]*frame)
+		sh.lru.Init()
+		sh.mu.Unlock()
+	}
 }

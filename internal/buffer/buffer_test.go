@@ -2,7 +2,10 @@ package buffer
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"taurus/internal/page"
 )
@@ -171,6 +174,163 @@ func TestResidentByIndex(t *testing.T) {
 		if byIdx[idx] != 3 {
 			t.Errorf("index %d: %d pages, want 3", idx, byIdx[idx])
 		}
+	}
+}
+
+// TestSingleflightCollapsesConcurrentMisses races many goroutines at a
+// cold page and verifies exactly one fetch reaches the "Page Store".
+func TestSingleflightCollapsesConcurrentMisses(t *testing.T) {
+	p := New(1024, 4)
+	var fetches atomic.Int64
+	arrived := make(chan struct{})
+	release := make(chan struct{})
+	fetch := func(id uint64) (*page.Page, error) {
+		if fetches.Add(1) == 1 {
+			close(arrived)
+		}
+		<-release
+		return page.New(id, 1, 0), nil
+	}
+	const callers = 16
+	var wg sync.WaitGroup
+	pages := make([]*page.Page, callers)
+	get := func(i int) {
+		defer wg.Done()
+		pg, err := p.Get(99, fetch)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		pages[i] = pg
+	}
+	wg.Add(1)
+	go get(0)
+	<-arrived // the winning fetch is in flight; joiners must now wait
+	for i := 1; i < callers; i++ {
+		wg.Add(1)
+		go get(i)
+	}
+	// Hold the fetch open until every joiner is parked on it.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		var shared uint64
+		for _, s := range p.ShardStatsSnapshot() {
+			shared += s.SingleflightShared
+		}
+		if shared == callers-1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d of %d joiners reached the in-flight fetch", shared, callers-1)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+	wg.Wait()
+	if n := fetches.Load(); n != 1 {
+		t.Fatalf("%d fetches for one page, want 1 (singleflight)", n)
+	}
+	for i := 1; i < callers; i++ {
+		if pages[i] != pages[0] {
+			t.Fatal("joiners must receive the winner's page")
+		}
+	}
+	var shared uint64
+	for _, s := range p.ShardStatsSnapshot() {
+		shared += s.SingleflightShared
+	}
+	if shared != callers-1 {
+		t.Fatalf("SingleflightShared = %d, want %d", shared, callers-1)
+	}
+}
+
+// TestSingleflightErrorPropagates delivers the winner's fetch error to
+// every joiner without caching it.
+func TestSingleflightErrorPropagates(t *testing.T) {
+	p := New(1024, 4)
+	var fetches atomic.Int64
+	boom := fmt.Errorf("storage down")
+	var wg sync.WaitGroup
+	errCount := atomic.Int64{}
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := p.Get(7, func(uint64) (*page.Page, error) {
+				fetches.Add(1)
+				return nil, boom
+			}); err != nil {
+				errCount.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if errCount.Load() != 8 {
+		t.Fatalf("%d of 8 callers saw the error", errCount.Load())
+	}
+	// The failure is not cached: the next Get fetches again.
+	before := fetches.Load()
+	if _, err := p.Get(7, fetchFrom(nil)); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := p.Lookup(7); !ok {
+		t.Fatal("page should be cached after the successful retry")
+	}
+	_ = before
+}
+
+// TestLargePoolShards verifies big pools spread across shards and keep
+// capacity and stats accounting consistent under concurrent traffic.
+func TestLargePoolShards(t *testing.T) {
+	p := New(4096, 8)
+	if p.Shards() < 2 {
+		t.Skip("single-CPU environment: pool stays unsharded")
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := uint64(0); i < 2000; i++ {
+				id := i*8 + uint64(g)
+				if _, err := p.Get(id, fetchFrom(nil)); err != nil {
+					t.Error(err)
+					return
+				}
+				p.Lookup(id)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if p.Resident() > 4096 {
+		t.Fatalf("resident %d exceeds capacity", p.Resident())
+	}
+	shardStats := p.ShardStatsSnapshot()
+	populated := 0
+	total := 0
+	for _, s := range shardStats {
+		if s.Resident > 0 {
+			populated++
+		}
+		total += s.Resident
+	}
+	if populated < len(shardStats)/2 {
+		t.Fatalf("only %d of %d shards populated — IDs are not spreading", populated, len(shardStats))
+	}
+	if total != p.Resident() {
+		t.Fatalf("shard residency %d != pool residency %d", total, p.Resident())
+	}
+	hits, misses, _ := p.Stats()
+	if hits == 0 || misses == 0 {
+		t.Fatalf("hits=%d misses=%d", hits, misses)
+	}
+}
+
+// TestSmallPoolSingleShard pins the back-compat behavior: tiny pools
+// keep one shard (exact global LRU).
+func TestSmallPoolSingleShard(t *testing.T) {
+	if got := New(64, 4).Shards(); got != 1 {
+		t.Fatalf("64-page pool has %d shards, want 1", got)
 	}
 }
 

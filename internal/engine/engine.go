@@ -168,6 +168,16 @@ func New(cfg Config) (*Engine, error) {
 // Txm exposes the transaction manager.
 func (e *Engine) Txm() *txn.Manager { return e.txm }
 
+// Commit ends the transaction and waits until its log records are
+// durable in triplicate on the Log Stores — the paper's commit point.
+// Page Store application continues asynchronously; readers of the
+// touched slices wait on applied LSNs, not on this commit. Concurrent
+// committers share one group-commit window (and one wait).
+func (e *Engine) Commit(tx *txn.Txn) error {
+	tx.Commit()
+	return e.salc.WaitDurable(e.salc.CurrentLSN())
+}
+
 // Pool exposes the buffer pool (experiments inspect residency).
 func (e *Engine) Pool() *buffer.Pool { return e.pool }
 
@@ -259,8 +269,9 @@ func (e *Engine) CreateTable(name string, schema *types.Schema, pkCols []int) (*
 	e.tables[name] = t
 	e.indexes[idxID] = primary
 	// DDL is acknowledged durable: the catalog record and root page
-	// must reach the Log Stores before CreateTable returns.
-	if err := e.salc.Flush(); err != nil {
+	// must reach the Log Stores before CreateTable returns. Application
+	// to the Page Stores is asynchronous like any other write.
+	if err := e.salc.WaitDurable(e.salc.CurrentLSN()); err != nil {
 		return nil, err
 	}
 	return t, nil
@@ -310,7 +321,7 @@ func (e *Engine) CreateSecondaryIndex(table, name string, cols []int) (*Index, e
 	e.mu.Unlock()
 	// Same durability point as CreateTable: a crash right after this
 	// call must not lose the index.
-	if err := e.salc.Flush(); err != nil {
+	if err := e.salc.WaitDurable(e.salc.CurrentLSN()); err != nil {
 		return nil, err
 	}
 	return idx, nil

@@ -97,7 +97,7 @@ func (c *Catalog) Decide(a *AccessSpec) Decision {
 		a.Residual = nil
 		return d
 	}
-	st := c.stats[a.Table]
+	st := c.Stats(a.Table)
 	if st == nil {
 		note("no statistics: NDP not considered")
 		return d
@@ -189,7 +189,7 @@ func (c *Catalog) Decide(a *AccessSpec) Decision {
 // rangeFraction estimates what fraction of the leaf level a bounded scan
 // touches.
 func rangeFraction(c *Catalog, a *AccessSpec) float64 {
-	st := c.stats[a.Table]
+	st := c.Stats(a.Table)
 	if st == nil || a.Range == nil {
 		return 1
 	}

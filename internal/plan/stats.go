@@ -9,6 +9,7 @@ package plan
 
 import (
 	"fmt"
+	"sync"
 
 	"taurus/internal/core"
 	"taurus/internal/engine"
@@ -33,10 +34,14 @@ type TableStats struct {
 	Cols      []ColStats
 }
 
-// Catalog holds statistics and optimizer thresholds.
+// Catalog holds statistics and optimizer thresholds. The stats map is
+// guarded so concurrent sessions (the pipelined write path commits DML
+// from many goroutines, each refreshing statistics) can Analyze and
+// plan at the same time.
 type Catalog struct {
-	Eng   *engine.Engine
-	stats map[string]*TableStats
+	Eng     *engine.Engine
+	statsMu sync.RWMutex
+	stats   map[string]*TableStats
 
 	// NDPPageThreshold is the minimum estimated I/O (in pages) for a
 	// scan to qualify for NDP: "NDP is enabled on a scan only if the
@@ -66,10 +71,18 @@ func NewCatalog(eng *engine.Engine) *Catalog {
 
 // SetStats installs externally computed statistics (the TPC-H loader
 // knows exact counts).
-func (c *Catalog) SetStats(table string, s *TableStats) { c.stats[table] = s }
+func (c *Catalog) SetStats(table string, s *TableStats) {
+	c.statsMu.Lock()
+	c.stats[table] = s
+	c.statsMu.Unlock()
+}
 
 // Stats returns statistics for a table (nil if unknown).
-func (c *Catalog) Stats(table string) *TableStats { return c.stats[table] }
+func (c *Catalog) Stats(table string) *TableStats {
+	c.statsMu.RLock()
+	defer c.statsMu.RUnlock()
+	return c.stats[table]
+}
 
 // Analyze computes statistics with a full scan, like ANALYZE TABLE.
 func (c *Catalog) Analyze(table string) (*TableStats, error) {
@@ -116,7 +129,7 @@ func (c *Catalog) Analyze(table string) (*TableStats, error) {
 		}
 	}
 	st.LeafPages = EstimateLeafPages(tbl.Schema, st)
-	c.stats[table] = st
+	c.SetStats(table, st)
 	return st, nil
 }
 
@@ -149,7 +162,7 @@ func EstimateLeafPages(schema *types.Schema, st *TableStats) int64 {
 // ordinals via idx.TableOrds). Unknown shapes fall back to conservative
 // constants, as real optimizers do.
 func (c *Catalog) Selectivity(table string, idx *engine.Index, pred *expr.Expr) float64 {
-	st := c.stats[table]
+	st := c.Stats(table)
 	if pred == nil {
 		return 1
 	}

@@ -1,0 +1,641 @@
+// Pipelined group-commit write path.
+//
+// In the paper, the frontend acknowledges a transaction as soon as its
+// log records are durable in triplicate on Log Stores; Page Store
+// application is asynchronous ("Log Stores ... Once all of the log
+// records belonging to a transaction have been made durable, transaction
+// completion can be acknowledged", §II). This file implements that
+// separation:
+//
+//   - Write appends a record to the current staging buffer and returns
+//     without doing any I/O. Backpressure (a bounded staging buffer and a
+//     bounded window of in-flight flushes) is the only thing that can
+//     make it wait.
+//   - A flusher goroutine seals the staging buffer into a window and
+//     hands it to one FIFO worker per Log Store node, so the triplicate
+//     appends of one window run in parallel with each other AND with the
+//     appends of the next window on other nodes (pipelining). Per-node
+//     FIFO order is what keeps each Log Store's duplicate filter and the
+//     durable-LSN watermark correct.
+//   - When every Log Store has acknowledged a window, the durable
+//     watermark advances and commit waiters blocked in WaitDurable up to
+//     that LSN are released. Windows become durable strictly in order
+//     because each node worker is FIFO.
+//   - Page Store application happens after durability, asynchronously:
+//     an apply dispatcher fans each window out to per-slice workers
+//     (ordered per slice, so idempotent-skip filters never drop a fresh
+//     record) which write all replicas of their slice in parallel.
+//     Readers never force a flush; they wait until the slice's applied
+//     LSN covers the last record staged for that slice.
+//
+// Failure model: any Log Store append or Page Store apply error poisons
+// the SAL. Records whose window was already fully acknowledged stay
+// acknowledged (they are durable); everything else — commit waiters,
+// readers, writers — gets the sticky error. Recovery is Open's job.
+package sal
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"taurus/internal/cluster"
+	"taurus/internal/wal"
+)
+
+// DefaultMaxInFlightWindows bounds how many sealed windows may be in the
+// pipeline (log append or page apply stage) at once.
+const DefaultMaxInFlightWindows = 8
+
+// sliceBatch is one slice's share of a window: the concatenated record
+// encoding and the highest LSN in it.
+type sliceBatch struct {
+	enc    []byte
+	maxLSN uint64
+}
+
+// window is one sealed group-commit unit moving through the pipeline.
+type window struct {
+	maxLSN uint64
+	count  int
+	log    []byte                 // combined encoding for Log Stores
+	slices map[uint32]*sliceBatch // per-slice encodings for Page Stores
+
+	logRemaining   atomic.Int32
+	applyRemaining atomic.Int32
+}
+
+// stage is the open staging buffer writers append to.
+type stage struct {
+	log    []byte
+	slices map[uint32]*sliceBatch
+	count  int
+	maxLSN uint64
+}
+
+func newStage() *stage {
+	return &stage{slices: make(map[uint32]*sliceBatch)}
+}
+
+// sliceProgress tracks one slice's replica set and LSN frontier on the
+// frontend side.
+type sliceProgress struct {
+	// lastStaged is the highest LSN ever staged for this slice (updated
+	// under stageMu, so it is monotone).
+	lastStaged atomic.Uint64
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	applied uint64 // highest LSN applied on ALL replicas
+
+	createOnce sync.Once
+	nodes      []string
+	createErr  error
+}
+
+// applyJob is one window's batch for one slice.
+type applyJob struct {
+	w       *window
+	sliceID uint32
+	batch   *sliceBatch
+}
+
+// PipelineStats is a snapshot of the write-path counters.
+type PipelineStats struct {
+	// WindowsFlushed / RecordsFlushed count sealed group-commit windows
+	// and the records they carried.
+	WindowsFlushed uint64
+	RecordsFlushed uint64
+	// BackpressureStalls counts the times a writer or the flusher had to
+	// wait because the staging buffer or the in-flight window budget was
+	// full.
+	BackpressureStalls uint64
+	// CommitWaits counts WaitDurable calls that actually blocked;
+	// ApplyWaits counts reads that blocked on a slice's applied LSN.
+	CommitWaits uint64
+	ApplyWaits  uint64
+	// InFlightWindows / PendingRecords are the current pipeline depth.
+	InFlightWindows int64
+	PendingRecords  int64
+	// DurableLSN is the commit watermark; AllocatedLSN the last LSN
+	// handed out.
+	DurableLSN   uint64
+	AllocatedLSN uint64
+}
+
+type pipelineCounters struct {
+	windows            atomic.Uint64
+	records            atomic.Uint64
+	backpressureStalls atomic.Uint64
+	commitWaits        atomic.Uint64
+	applyWaits         atomic.Uint64
+}
+
+// startPipeline launches the flusher, the per-Log-Store node workers,
+// and the apply dispatcher.
+func (s *SAL) startPipeline() {
+	s.notify = make(chan struct{}, 1)
+	s.quit = make(chan struct{})
+	s.flusherDone = make(chan struct{})
+	s.sem = make(chan struct{}, s.cfg.MaxInFlightWindows)
+	s.applyCh = make(chan *window, s.cfg.MaxInFlightWindows)
+	s.applyDone = make(chan struct{})
+	s.stage = newStage()
+	s.stageCond = sync.NewCond(&s.stageMu)
+	s.durCond = sync.NewCond(&s.durMu)
+	s.flushCond = sync.NewCond(&s.flushMu)
+
+	s.nodeChs = make([]chan *window, len(s.cfg.LogStores))
+	for i := range s.nodeChs {
+		s.nodeChs[i] = make(chan *window, s.cfg.MaxInFlightWindows)
+		s.nodeWG.Add(1)
+		go s.logNodeWorker(s.cfg.LogStores[i], s.nodeChs[i])
+	}
+	go s.flusher()
+	go func() {
+		// applyCh has two kinds of senders — node workers (normal case)
+		// and the flusher (no Log Stores configured) — so it closes only
+		// after both are done.
+		<-s.flusherDone
+		s.nodeWG.Wait()
+		close(s.applyCh)
+	}()
+	go s.applyDispatcher()
+}
+
+// kick nudges the flusher (non-blocking; one pending kick is enough).
+func (s *SAL) kick() {
+	select {
+	case s.notify <- struct{}{}:
+	default:
+	}
+}
+
+// sticky returns the pipeline's poisoned state, if any.
+func (s *SAL) sticky() error {
+	s.errMu.Lock()
+	defer s.errMu.Unlock()
+	return s.err
+}
+
+// poison records the first pipeline error and wakes every waiter so it
+// can observe it. The pipeline keeps draining windows (without I/O) so
+// Flush and Close terminate.
+func (s *SAL) poison(err error) {
+	s.errMu.Lock()
+	if s.err == nil {
+		s.err = err
+	}
+	s.errMu.Unlock()
+	s.broadcastAll()
+}
+
+// broadcastAll wakes every parked waiter (commit, flush, backpressured
+// writer, reader) so it can re-check its condition.
+func (s *SAL) broadcastAll() {
+	s.durMu.Lock()
+	s.durCond.Broadcast()
+	s.durMu.Unlock()
+	s.flushMu.Lock()
+	s.flushCond.Broadcast()
+	s.flushMu.Unlock()
+	s.stageMu.Lock()
+	s.stageCond.Broadcast()
+	s.stageMu.Unlock()
+	s.slMu.Lock()
+	for _, sp := range s.sliceProg {
+		sp.mu.Lock()
+		sp.cond.Broadcast()
+		sp.mu.Unlock()
+	}
+	s.slMu.Unlock()
+}
+
+// progress returns (creating if needed) the slice's progress tracker.
+func (s *SAL) progress(sliceID uint32) *sliceProgress {
+	s.slMu.Lock()
+	defer s.slMu.Unlock()
+	sp, ok := s.sliceProg[sliceID]
+	if !ok {
+		sp = &sliceProgress{}
+		sp.cond = sync.NewCond(&sp.mu)
+		s.sliceProg[sliceID] = sp
+	}
+	return sp
+}
+
+// placement returns the slice's replica set, provisioning the slice on
+// its Page Stores exactly once. Replicas are chosen round-robin by slice
+// id, so consecutive slices land on different Page Stores and batch
+// reads fan out (§VI-2).
+func (s *SAL) placement(sliceID uint32) ([]string, error) {
+	sp := s.progress(sliceID)
+	sp.createOnce.Do(func() {
+		n := len(s.cfg.PageStores)
+		nodes := make([]string, 0, s.cfg.ReplicationFactor)
+		for i := 0; i < s.cfg.ReplicationFactor; i++ {
+			nodes = append(nodes, s.cfg.PageStores[(int(sliceID)+i)%n])
+		}
+		for _, node := range nodes {
+			if _, err := s.cfg.Transport.Call(node, &cluster.CreateSliceReq{
+				Tenant: s.cfg.Tenant, SliceID: sliceID,
+			}); err != nil {
+				sp.createErr = fmt.Errorf("sal: creating slice %d on %s: %w", sliceID, node, err)
+				return
+			}
+		}
+		sp.nodes = nodes
+	})
+	return sp.nodes, sp.createErr
+}
+
+// Write assigns an LSN to rec and appends it to the staging buffer. No
+// I/O happens on this path: durability is a separate wait (WaitDurable),
+// and Page Store application is asynchronous. The caller applies the
+// record to its own cached page after Write returns.
+//
+// Catalog records (TypeCatalog) are durability-only: they go to the Log
+// Stores so the frontend's data dictionary can be rebuilt on restart,
+// but they never touch a slice or a Page Store.
+func (s *SAL) Write(rec *wal.Record) error {
+	s.stageMu.Lock()
+	// Backpressure: the staging buffer holds at most two flush windows'
+	// worth of records; beyond that, writers wait for the flusher.
+	for s.stage.count >= 2*s.cfg.FlushThreshold {
+		if err := s.sticky(); err != nil {
+			s.stageMu.Unlock()
+			return err
+		}
+		if s.isClosed() {
+			s.stageMu.Unlock()
+			return errClosed
+		}
+		s.counters.backpressureStalls.Add(1)
+		s.kick()
+		s.stageCond.Wait()
+	}
+	if err := s.sticky(); err != nil {
+		s.stageMu.Unlock()
+		return err
+	}
+	if s.isClosed() {
+		s.stageMu.Unlock()
+		return errClosed
+	}
+	// The LSN is allocated under stageMu so records enter the buffer in
+	// LSN order — the Log Stores' duplicate filters and the Page Stores'
+	// idempotent-skip both depend on in-order batches.
+	rec.LSN = s.lsn.Add(1)
+	if rec.Type != wal.TypeCatalog {
+		sliceID := s.SliceOf(rec.PageID)
+		sb, ok := s.stage.slices[sliceID]
+		if !ok {
+			sb = &sliceBatch{}
+			s.stage.slices[sliceID] = sb
+		}
+		sb.enc = rec.Encode(sb.enc)
+		sb.maxLSN = rec.LSN
+		s.progress(sliceID).lastStaged.Store(rec.LSN)
+	}
+	s.stage.log = rec.Encode(s.stage.log)
+	s.stage.count++
+	s.stage.maxLSN = rec.LSN
+	s.pending.Add(1)
+	full := s.stage.count >= s.cfg.FlushThreshold
+	s.stageMu.Unlock()
+	if full {
+		s.kick()
+	}
+	return nil
+}
+
+// seal swaps the staging buffer for a fresh one, returning the sealed
+// window (nil if nothing is staged).
+func (s *SAL) seal() *window {
+	s.stageMu.Lock()
+	defer s.stageMu.Unlock()
+	if s.stage.count == 0 {
+		return nil
+	}
+	w := &window{
+		maxLSN: s.stage.maxLSN,
+		count:  s.stage.count,
+		log:    s.stage.log,
+		slices: s.stage.slices,
+	}
+	s.stage = newStage()
+	s.stageCond.Broadcast() // release backpressured writers
+	return w
+}
+
+// flusher seals windows on demand (threshold reached, a commit or read
+// waiter kicked, or Flush) and launches them into the pipeline.
+func (s *SAL) flusher() {
+	defer func() {
+		for _, ch := range s.nodeChs {
+			close(ch)
+		}
+		close(s.flusherDone)
+	}()
+	for {
+		select {
+		case <-s.quit:
+			return
+		case <-s.notify:
+		}
+		for {
+			// Group-commit batching: a sub-threshold window is sealed
+			// only when no window is in the Log Store stage, so records
+			// arriving during an fsync accumulate into ONE next window
+			// instead of each paying a serial fsync. Threshold-full
+			// windows pipeline up to the in-flight budget regardless.
+			s.stageMu.Lock()
+			defer_ := s.stage.count < s.cfg.FlushThreshold && s.logInflight.Load() > 0
+			s.stageMu.Unlock()
+			if defer_ {
+				break // re-kicked when the in-flight window turns durable
+			}
+			w := s.seal()
+			if w == nil {
+				break
+			}
+			// Bounded in-flight window budget: block (and count the
+			// stall) when the pipeline is full.
+			select {
+			case s.sem <- struct{}{}:
+			default:
+				s.counters.backpressureStalls.Add(1)
+				s.sem <- struct{}{}
+			}
+			s.inflight.Add(1)
+			s.counters.windows.Add(1)
+			s.counters.records.Add(uint64(w.count))
+			w.applyRemaining.Store(int32(len(w.slices)))
+			if len(s.nodeChs) == 0 {
+				// No Log Stores configured: the window is durable by
+				// definition the moment it is sealed.
+				s.windowDurable(w)
+				continue
+			}
+			s.logInflight.Add(1)
+			w.logRemaining.Store(int32(len(s.nodeChs)))
+			for _, ch := range s.nodeChs {
+				ch <- w
+			}
+		}
+	}
+}
+
+// logNodeWorker is one Log Store's FIFO append stream. Sequential calls
+// per node keep batches in LSN order on that node; different nodes (and
+// hence the triplicate appends of a window) run in parallel, and node A
+// can be appending window N+1 while node B is still on window N.
+func (s *SAL) logNodeWorker(node string, ch chan *window) {
+	defer s.nodeWG.Done()
+	for w := range ch {
+		if s.sticky() == nil {
+			if _, err := s.cfg.Transport.Call(node, &cluster.LogAppendReq{
+				Tenant: s.cfg.Tenant, Recs: w.log,
+			}); err != nil {
+				s.poison(fmt.Errorf("sal: log store %s append: %w", node, err))
+			}
+		}
+		if w.logRemaining.Add(-1) == 0 {
+			// Last acknowledgement for this window. Per-node FIFO means
+			// window N's last ack strictly precedes window N+1's, so
+			// durability (and the applyCh send below) happen in window
+			// order.
+			s.logInflight.Add(-1)
+			s.windowDurable(w)
+			s.kick() // release any deferred sub-threshold seal
+		}
+	}
+}
+
+// windowDurable publishes the window's durability and hands it to the
+// apply stage. On a poisoned pipeline the watermark stays put (the
+// window may not be durable in triplicate) and the window just drains.
+func (s *SAL) windowDurable(w *window) {
+	if s.sticky() != nil {
+		s.windowComplete(w)
+		return
+	}
+	s.durMu.Lock()
+	if w.maxLSN > s.durable {
+		s.durable = w.maxLSN
+		s.durableAtomic.Store(w.maxLSN)
+		s.durCond.Broadcast()
+	}
+	s.durMu.Unlock()
+	if len(w.slices) == 0 {
+		s.windowComplete(w) // catalog-only window: nothing to apply
+		return
+	}
+	s.applyCh <- w
+}
+
+// applyDispatcher fans durable windows out to per-slice apply workers.
+// It receives windows in durable (LSN) order and each slice channel is
+// FIFO, so a slice's batches apply in LSN order even though different
+// slices — and different replicas of one slice — apply in parallel.
+func (s *SAL) applyDispatcher() {
+	workers := make(map[uint32]chan applyJob)
+	for w := range s.applyCh {
+		for sliceID, batch := range w.slices {
+			ch, ok := workers[sliceID]
+			if !ok {
+				ch = make(chan applyJob, s.cfg.MaxInFlightWindows)
+				workers[sliceID] = ch
+				s.sliceWG.Add(1)
+				go s.sliceApplyWorker(sliceID, ch)
+			}
+			ch <- applyJob{w: w, sliceID: sliceID, batch: batch}
+		}
+	}
+	for _, ch := range workers {
+		close(ch)
+	}
+	s.sliceWG.Wait()
+	close(s.applyDone)
+}
+
+// sliceApplyWorker applies one slice's batches to all of its replicas,
+// replicas in parallel, batches in order. After a batch lands on every
+// replica the slice's applied watermark advances and blocked readers
+// wake.
+func (s *SAL) sliceApplyWorker(sliceID uint32, ch chan applyJob) {
+	defer s.sliceWG.Done()
+	sp := s.progress(sliceID)
+	for job := range ch {
+		if s.sticky() == nil {
+			nodes, err := s.placement(sliceID)
+			if err != nil {
+				s.poison(err)
+			} else {
+				errs := make([]error, len(nodes))
+				var wg sync.WaitGroup
+				for i, node := range nodes {
+					wg.Add(1)
+					go func(i int, node string) {
+						defer wg.Done()
+						if _, err := s.cfg.Transport.Call(node, &cluster.WriteLogsReq{
+							Tenant: s.cfg.Tenant, SliceID: sliceID, Recs: job.batch.enc,
+						}); err != nil {
+							errs[i] = fmt.Errorf("sal: page store %s apply: %w", node, err)
+						}
+					}(i, node)
+				}
+				wg.Wait()
+				failed := false
+				for _, err := range errs {
+					if err != nil {
+						s.poison(err)
+						failed = true
+					}
+				}
+				if !failed {
+					sp.mu.Lock()
+					if job.batch.maxLSN > sp.applied {
+						sp.applied = job.batch.maxLSN
+						sp.cond.Broadcast()
+					}
+					sp.mu.Unlock()
+				}
+			}
+		}
+		if job.w.applyRemaining.Add(-1) == 0 {
+			s.windowComplete(job.w)
+		}
+	}
+}
+
+// windowComplete retires a window: its records are no longer pending and
+// its in-flight budget slot frees up.
+func (s *SAL) windowComplete(w *window) {
+	s.pending.Add(int64(-w.count))
+	s.inflight.Add(-1)
+	<-s.sem
+	s.flushMu.Lock()
+	s.flushCond.Broadcast()
+	s.flushMu.Unlock()
+}
+
+// WaitDurable blocks until the durable watermark covers lsn: every
+// record up to lsn has been acknowledged by all Log Stores (durable in
+// triplicate). This is the transaction-commit wait — Page Store
+// application may still be in flight. It returns nil even on a poisoned
+// pipeline if lsn was already covered (those records ARE durable).
+func (s *SAL) WaitDurable(lsn uint64) error {
+	if s.durableAtomic.Load() >= lsn {
+		return nil
+	}
+	s.counters.commitWaits.Add(1)
+	s.kick()
+	s.durMu.Lock()
+	defer s.durMu.Unlock()
+	for s.durable < lsn {
+		if err := s.sticky(); err != nil {
+			return err
+		}
+		if s.isClosed() {
+			return errClosed
+		}
+		s.durCond.Wait()
+	}
+	return nil
+}
+
+// DurableLSN returns the durable (commit) watermark.
+func (s *SAL) DurableLSN() uint64 { return s.durableAtomic.Load() }
+
+// waitApplied blocks until the slice's applied LSN covers everything
+// staged for it, so a read sees the slice's own prior writes. The fast
+// path is a single atomic load: with nothing pending anywhere in the
+// pipeline there is nothing to wait for.
+func (s *SAL) waitApplied(sliceID uint32) error {
+	if s.pending.Load() == 0 {
+		return s.sticky()
+	}
+	sp := s.progress(sliceID)
+	target := sp.lastStaged.Load()
+	sp.mu.Lock()
+	defer sp.mu.Unlock()
+	if sp.applied >= target {
+		return nil
+	}
+	s.counters.applyWaits.Add(1)
+	s.kick()
+	for sp.applied < target {
+		if err := s.sticky(); err != nil {
+			return err
+		}
+		if s.isClosed() {
+			return errClosed
+		}
+		sp.cond.Wait()
+	}
+	return nil
+}
+
+// Flush drains the pipeline: every record staged before the call is
+// durable on the Log Stores AND applied to every Page Store replica when
+// it returns. Checkpoints and shutdown use it; the regular commit path
+// only needs WaitDurable.
+func (s *SAL) Flush() error {
+	if s.pending.Load() == 0 {
+		return s.sticky()
+	}
+	s.kick()
+	s.flushMu.Lock()
+	defer s.flushMu.Unlock()
+	for s.pending.Load() > 0 {
+		if err := s.sticky(); err != nil {
+			return err
+		}
+		s.flushCond.Wait()
+		s.kick() // records staged since the last seal
+	}
+	return s.sticky()
+}
+
+var errClosed = fmt.Errorf("sal: closed")
+
+func (s *SAL) isClosed() bool { return s.closed.Load() }
+
+// Close drains the pipeline and stops its goroutines. The SAL must not
+// be used afterwards.
+func (s *SAL) Close() error {
+	var err error
+	s.closeOnce.Do(func() {
+		// Fence new writers first, under stageMu: any Write that staged
+		// its record before this point has pending > 0 and is drained by
+		// the Flush below; any Write after it observes closed and is
+		// rejected — a record can never slip in behind the final drain.
+		s.stageMu.Lock()
+		s.closed.Store(true)
+		s.stageMu.Unlock()
+		// Wake anything parked so it observes the closed state.
+		s.broadcastAll()
+		err = s.Flush()
+		close(s.quit)
+		<-s.flusherDone
+		s.nodeWG.Wait()
+		<-s.applyDone
+	})
+	return err
+}
+
+// Stats snapshots the write-path counters.
+func (s *SAL) Stats() PipelineStats {
+	return PipelineStats{
+		WindowsFlushed:     s.counters.windows.Load(),
+		RecordsFlushed:     s.counters.records.Load(),
+		BackpressureStalls: s.counters.backpressureStalls.Load(),
+		CommitWaits:        s.counters.commitWaits.Load(),
+		ApplyWaits:         s.counters.applyWaits.Load(),
+		InFlightWindows:    s.inflight.Load(),
+		PendingRecords:     s.pending.Load(),
+		DurableLSN:         s.durableAtomic.Load(),
+		AllocatedLSN:       s.lsn.Load(),
+	}
+}

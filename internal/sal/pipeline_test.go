@@ -1,0 +1,412 @@
+package sal
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"taurus/internal/cluster"
+	"taurus/internal/logstore"
+	"taurus/internal/page"
+	"taurus/internal/pagestore"
+	"taurus/internal/types"
+	"taurus/internal/wal"
+)
+
+// hookTransport wraps another transport, letting a test delay or fail
+// specific requests.
+type hookTransport struct {
+	inner cluster.Transport
+	mu    sync.Mutex
+	hook  func(node string, req any) error
+}
+
+func (h *hookTransport) Call(node string, req any) (any, error) {
+	h.mu.Lock()
+	hook := h.hook
+	h.mu.Unlock()
+	if hook != nil {
+		if err := hook(node, req); err != nil {
+			return nil, err
+		}
+	}
+	return h.inner.Call(node, req)
+}
+
+func (h *hookTransport) setHook(f func(node string, req any) error) {
+	h.mu.Lock()
+	h.hook = f
+	h.mu.Unlock()
+}
+
+// newHookedFixture is newFixture with a hookTransport in front of the
+// in-process transport.
+func newHookedFixture(t testing.TB, pagesPerSlice uint64, rf int, threshold int) (*fixture, *hookTransport) {
+	t.Helper()
+	tr := cluster.NewInProc()
+	ht := &hookTransport{inner: tr}
+	f := &fixture{tr: tr}
+	logNames := []string{"log1", "log2", "log3"}
+	for _, n := range logNames {
+		ls := logstore.New(n)
+		f.logs = append(f.logs, ls)
+		tr.Register(n, ls)
+	}
+	psNames := []string{"ps1", "ps2", "ps3", "ps4"}
+	for _, n := range psNames {
+		ps := pagestore.New(n)
+		f.stores = append(f.stores, ps)
+		tr.Register(n, ps)
+	}
+	s, err := New(Config{
+		Tenant: 1, Transport: ht, LogStores: logNames, PageStores: psNames,
+		ReplicationFactor: rf, PagesPerSlice: pagesPerSlice, Plugin: pagestore.PluginInnoDB,
+		FlushThreshold: threshold,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.sal = s
+	t.Cleanup(func() { f.sal.Close() })
+	return f, ht
+}
+
+func insertRec(pageID uint64, id int64) *wal.Record {
+	key := types.EncodeKey(nil, types.Row{types.NewInt(id)})
+	row := types.EncodeRow(nil, idvSchema, types.Row{types.NewInt(id), types.NewInt(id % 10)})
+	return &wal.Record{
+		Type: wal.TypeInsertRec, PageID: pageID, Off: wal.OffAppend,
+		TrxID: 5, Payload: page.EncodeLeafPayload(nil, key, row),
+	}
+}
+
+// TestConcurrentCommitters drives many writers through the pipeline,
+// each waiting only for durability, and verifies that every record
+// reaches all three Log Stores exactly once, in LSN order, and that the
+// Page Store state converges.
+func TestConcurrentCommitters(t *testing.T) {
+	f, _ := newHookedFixture(t, 8, 3, 16)
+	const writers = 8
+	const perWriter = 50
+	// One page per writer so slices see concurrent traffic.
+	for w := 0; w < writers; w++ {
+		if err := f.sal.Write(&wal.Record{Type: wal.TypeFormatPage, PageID: uint64(w + 1), IndexID: 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := f.sal.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, writers)
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				rec := insertRec(uint64(w+1), int64(w*perWriter+i))
+				if err := f.sal.Write(rec); err != nil {
+					errs[w] = err
+					return
+				}
+				if err := f.sal.WaitDurable(rec.LSN); err != nil {
+					errs[w] = err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := writers + writers*perWriter
+	for _, ls := range f.logs {
+		if ls.Len() != want {
+			t.Fatalf("log store has %d records, want %d", ls.Len(), want)
+		}
+		recs := ls.ReadFrom(0)
+		for i := 1; i < len(recs); i++ {
+			if recs[i].LSN <= recs[i-1].LSN {
+				t.Fatalf("log out of order at %d: %d after %d", i, recs[i].LSN, recs[i-1].LSN)
+			}
+		}
+	}
+	if f.sal.DurableLSN() != f.sal.CurrentLSN() {
+		t.Fatalf("durable %d != current %d", f.sal.DurableLSN(), f.sal.CurrentLSN())
+	}
+	// After a full drain, every page holds its writer's rows.
+	if err := f.sal.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	for w := 0; w < writers; w++ {
+		raw, err := f.sal.ReadPage(uint64(w+1), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pg, err := page.FromBytes(raw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pg.NumRecords() != perWriter {
+			t.Fatalf("page %d has %d records, want %d", w+1, pg.NumRecords(), perWriter)
+		}
+	}
+	st := f.sal.Stats()
+	if st.WindowsFlushed == 0 || st.RecordsFlushed != uint64(want) {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.PendingRecords != 0 || st.InFlightWindows != 0 {
+		t.Fatalf("pipeline not drained: %+v", st)
+	}
+}
+
+// TestCommitDoesNotWaitForApply blocks Page Store applies and verifies
+// a commit still completes once the Log Stores acknowledge — the
+// paper's separation of durability from application. The read path then
+// blocks on the applied LSN until applies are released.
+func TestCommitDoesNotWaitForApply(t *testing.T) {
+	f, ht := newHookedFixture(t, 100, 2, 4)
+	if err := f.sal.Write(&wal.Record{Type: wal.TypeFormatPage, PageID: 1, IndexID: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.sal.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	gate := make(chan struct{})
+	ht.setHook(func(node string, req any) error {
+		if _, ok := req.(*cluster.WriteLogsReq); ok {
+			<-gate
+		}
+		return nil
+	})
+	rec := insertRec(1, 42)
+	if err := f.sal.Write(rec); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- f.sal.WaitDurable(rec.LSN) }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("commit stuck behind Page Store application")
+	}
+	if f.sal.DurableLSN() < rec.LSN {
+		t.Fatalf("durable %d < committed %d", f.sal.DurableLSN(), rec.LSN)
+	}
+	// A read of the touched slice blocks until applies drain.
+	readDone := make(chan error, 1)
+	go func() {
+		_, err := f.sal.ReadPage(1, 0)
+		readDone <- err
+	}()
+	select {
+	case err := <-readDone:
+		t.Fatalf("read returned (%v) before the slice applied", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+	close(gate)
+	if err := <-readDone; err != nil {
+		t.Fatal(err)
+	}
+	raw, err := f.sal.ReadPage(1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pg, err := page.FromBytes(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pg.NumRecords() != 1 {
+		t.Fatalf("applied page has %d records", pg.NumRecords())
+	}
+}
+
+// TestReadFastPathSkipsWait verifies that with nothing pending a read
+// goes straight to the Page Store (no flush, no wait) — the atomic
+// fast path.
+func TestReadFastPathSkipsWait(t *testing.T) {
+	f, _ := newHookedFixture(t, 100, 2, 8)
+	f.writePages(t, 2, 3)
+	before := f.sal.Stats()
+	for i := 0; i < 10; i++ {
+		if _, err := f.sal.ReadPage(1, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	after := f.sal.Stats()
+	if after.ApplyWaits != before.ApplyWaits {
+		t.Fatalf("idle reads blocked %d times", after.ApplyWaits-before.ApplyWaits)
+	}
+	if after.WindowsFlushed != before.WindowsFlushed {
+		t.Fatal("idle reads forced a flush")
+	}
+}
+
+// TestPipelinePoisonedByLogFailure fails one Log Store and checks the
+// sticky error reaches commit waiters, writers, and Flush — and that
+// the durable watermark does not advance past the failure.
+func TestPipelinePoisonedByLogFailure(t *testing.T) {
+	f, ht := newHookedFixture(t, 100, 2, 4)
+	if err := f.sal.Write(&wal.Record{Type: wal.TypeFormatPage, PageID: 1, IndexID: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.sal.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	durableBefore := f.sal.DurableLSN()
+	ht.setHook(func(node string, req any) error {
+		if _, ok := req.(*cluster.LogAppendReq); ok && node == "log2" {
+			return fmt.Errorf("injected: log2 down")
+		}
+		return nil
+	})
+	rec := insertRec(1, 7)
+	if err := f.sal.Write(rec); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.sal.WaitDurable(rec.LSN); err == nil {
+		t.Fatal("commit must fail when a Log Store append fails")
+	}
+	if f.sal.DurableLSN() != durableBefore {
+		t.Fatalf("durable advanced over a failed window: %d -> %d", durableBefore, f.sal.DurableLSN())
+	}
+	if err := f.sal.Flush(); err == nil {
+		t.Fatal("Flush must surface the sticky error")
+	}
+	if err := f.sal.Write(insertRec(1, 8)); err == nil {
+		t.Fatal("Write must surface the sticky error")
+	}
+	if _, err := f.sal.ReadPage(1, 0); err == nil {
+		t.Fatal("reads must surface the sticky error")
+	}
+}
+
+// TestBackpressureBoundsStaging overfills the pipeline against gated
+// Page Stores and verifies writers stall (counted) instead of queueing
+// unboundedly.
+func TestBackpressureBoundsStaging(t *testing.T) {
+	tr := cluster.NewInProc()
+	ht := &hookTransport{inner: tr}
+	f := &fixture{tr: tr}
+	psNames := []string{"ps1"}
+	for _, n := range psNames {
+		ps := pagestore.New(n)
+		f.stores = append(f.stores, ps)
+		tr.Register(n, ps)
+	}
+	s, err := New(Config{
+		Tenant: 1, Transport: ht, PageStores: psNames, ReplicationFactor: 1,
+		PagesPerSlice: 1 << 20, Plugin: pagestore.PluginInnoDB,
+		FlushThreshold: 2, MaxInFlightWindows: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.sal = s
+	if err := s.Write(&wal.Record{Type: wal.TypeFormatPage, PageID: 1, IndexID: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	gate := make(chan struct{})
+	ht.setHook(func(node string, req any) error {
+		if _, ok := req.(*cluster.WriteLogsReq); ok {
+			<-gate
+		}
+		return nil
+	})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 64; i++ {
+			if err := s.Write(insertRec(1, int64(i))); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	// The writer must stall (bounded staging) rather than finish.
+	select {
+	case <-done:
+		t.Fatal("64 writes completed against a gated 2x2 pipeline")
+	case <-time.After(100 * time.Millisecond):
+	}
+	close(gate)
+	<-done
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if st := s.Stats(); st.BackpressureStalls == 0 {
+		t.Fatalf("no backpressure recorded: %+v", st)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCloseDrainsAndRejects verifies Close flushes everything and that
+// the SAL refuses use afterwards.
+func TestCloseDrainsAndRejects(t *testing.T) {
+	f, _ := newHookedFixture(t, 100, 2, 256) // threshold never reached
+	if err := f.sal.Write(&wal.Record{Type: wal.TypeFormatPage, PageID: 1, IndexID: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.sal.Write(insertRec(1, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.sal.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if f.logs[0].Len() != 2 {
+		t.Fatalf("Close did not drain: %d records durable", f.logs[0].Len())
+	}
+	if err := f.sal.Write(insertRec(1, 2)); err == nil {
+		t.Fatal("Write after Close must fail")
+	}
+	if err := f.sal.Close(); err != nil {
+		t.Fatal("Close must be idempotent")
+	}
+}
+
+// TestWindowsPipelineAcrossSlices checks that a multi-slice workload
+// produces multiple windows whose per-slice applies all land (ordering
+// per slice is exercised by the page stores' idempotent-skip counters:
+// any reordering would silently drop records and fail the read-back).
+func TestWindowsPipelineAcrossSlices(t *testing.T) {
+	f, _ := newHookedFixture(t, 2, 2, 4) // 2 pages per slice, tiny windows
+	f.writePages(t, 12, 5)
+	if err := f.sal.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	for p := 1; p <= 12; p++ {
+		raw, err := f.sal.ReadPage(uint64(p), 0)
+		if err != nil {
+			t.Fatalf("page %d: %v", p, err)
+		}
+		pg, err := page.FromBytes(raw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pg.NumRecords() != 5 {
+			t.Fatalf("page %d has %d records, want 5", p, pg.NumRecords())
+		}
+	}
+	skipped := uint64(0)
+	for _, ps := range f.stores {
+		skipped += ps.Snapshot().LogRecordsSkipped
+	}
+	if skipped != 0 {
+		t.Fatalf("%d records were dropped as stale redeliveries — per-slice ordering broke", skipped)
+	}
+	if st := f.sal.Stats(); st.WindowsFlushed < 2 {
+		t.Fatalf("expected multiple windows, got %+v", st)
+	}
+}

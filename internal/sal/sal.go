@@ -6,6 +6,12 @@
 // responsible for creating, managing, and destroying slices in Page
 // Stores; and routing page read requests to Page Stores" (§II).
 //
+// The write path is a pipelined group-commit engine (see pipeline.go):
+// writers stage records without blocking on I/O, a flusher ships sealed
+// windows to the Log Stores (durability, in triplicate) and then to the
+// Page Store replicas (application, asynchronous), and commit waiters
+// block only until the durable-LSN watermark covers their record.
+//
 // For batch reads, "the Storage Abstraction Layer splits a batch read
 // into multiple sub-batches, based on where the pages are located. Pages
 // that belong to the same slice are assigned to the same sub-batch. SAL
@@ -48,10 +54,15 @@ type Config struct {
 	// Plugin names the NDP plugin Page Stores should use for this
 	// frontend's descriptors.
 	Plugin string
-	// FlushThreshold is the number of buffered log records that forces
-	// a flush (default 256). Reads always flush first, so buffering is
-	// purely a batching optimization.
+	// FlushThreshold is the number of staged log records that seals a
+	// group-commit window (default 256). Commit and read waiters seal
+	// early, so the threshold is purely a batching optimization.
 	FlushThreshold int
+	// MaxInFlightWindows bounds the pipeline depth: how many sealed
+	// windows may be in the Log Store or Page Store stages at once
+	// (default 8). Beyond it, the flusher — and eventually writers —
+	// stall (backpressure).
+	MaxInFlightWindows int
 }
 
 // SAL is the storage abstraction layer instance inside one frontend.
@@ -61,16 +72,50 @@ type SAL struct {
 	lsn atomic.Uint64
 	rr  atomic.Uint64 // round-robin read replica selector
 
-	mu         sync.Mutex
-	placements map[uint32][]string
-	// Per-slice pending redo (encoded), plus one combined buffer for
-	// Log Stores.
-	pendingSlice map[uint32][]byte
-	pendingLog   []byte
-	pendingCount int
+	// Staging buffer (open group-commit window).
+	stageMu   sync.Mutex
+	stageCond *sync.Cond
+	stage     *stage
+	pending   atomic.Int64 // records staged or in flight, not yet applied
+
+	// Per-slice replica sets and LSN frontiers.
+	slMu      sync.Mutex
+	sliceProg map[uint32]*sliceProgress
+
+	// Durable (commit) watermark.
+	durMu         sync.Mutex
+	durCond       *sync.Cond
+	durable       uint64
+	durableAtomic atomic.Uint64
+
+	// Flush drain.
+	flushMu   sync.Mutex
+	flushCond *sync.Cond
+
+	// Pipeline plumbing.
+	notify      chan struct{}
+	quit        chan struct{}
+	flusherDone chan struct{}
+	sem         chan struct{} // in-flight window budget
+	nodeChs     []chan *window
+	nodeWG      sync.WaitGroup
+	applyCh     chan *window
+	applyDone   chan struct{}
+	sliceWG     sync.WaitGroup
+	inflight    atomic.Int64
+	logInflight atomic.Int64
+
+	errMu sync.Mutex
+	err   error
+
+	closed    atomic.Bool
+	closeOnce sync.Once
+
+	counters pipelineCounters
 }
 
-// New validates the config and returns a SAL.
+// New validates the config, starts the write pipeline, and returns a
+// SAL. Call Close to drain and stop it.
 func New(cfg Config) (*SAL, error) {
 	if cfg.Transport == nil {
 		return nil, fmt.Errorf("sal: transport required")
@@ -90,11 +135,15 @@ func New(cfg Config) (*SAL, error) {
 	if cfg.FlushThreshold <= 0 {
 		cfg.FlushThreshold = 256
 	}
-	return &SAL{
-		cfg:          cfg,
-		placements:   make(map[uint32][]string),
-		pendingSlice: make(map[uint32][]byte),
-	}, nil
+	if cfg.MaxInFlightWindows <= 0 {
+		cfg.MaxInFlightWindows = DefaultMaxInFlightWindows
+	}
+	s := &SAL{
+		cfg:       cfg,
+		sliceProg: make(map[uint32]*sliceProgress),
+	}
+	s.startPipeline()
+	return s, nil
 }
 
 // SliceOf maps a page to its slice.
@@ -102,36 +151,38 @@ func (s *SAL) SliceOf(pageID uint64) uint32 {
 	return uint32(pageID / s.cfg.PagesPerSlice)
 }
 
-// NextLSN allocates the next log sequence number.
-func (s *SAL) NextLSN() uint64 { return s.lsn.Add(1) }
-
 // CurrentLSN returns the last allocated LSN.
 func (s *SAL) CurrentLSN() uint64 { return s.lsn.Load() }
 
 // ResumeLSN moves the LSN allocator to at least lsn, so a frontend
 // restarted over a recovered log continues the sequence instead of
-// reissuing LSNs the Log Stores already consider durable.
+// reissuing LSNs the Log Stores already consider durable. The durable
+// watermark follows: those records are already acknowledged on disk.
 func (s *SAL) ResumeLSN(lsn uint64) {
 	for {
 		cur := s.lsn.Load()
 		if cur >= lsn || s.lsn.CompareAndSwap(cur, lsn) {
-			return
+			break
 		}
 	}
+	s.durMu.Lock()
+	if lsn > s.durable {
+		s.durable = lsn
+		s.durableAtomic.Store(lsn)
+		s.durCond.Broadcast()
+	}
+	s.durMu.Unlock()
 }
 
 // Replay pushes already-durable log records back through the Page Store
 // application path, rebuilding slice state after a restart. Records keep
 // the LSNs they were logged with; nothing is re-logged. Catalog records
 // are frontend-only and skipped. Records must arrive in LSN order (the
-// order the recovery reader yields them).
+// order the recovery reader yields them). Replay runs synchronously —
+// it is a recovery-time operation, before any pipeline traffic.
 func (s *SAL) Replay(recs []wal.Record) error {
-	type group struct {
-		sliceID uint32
-		enc     []byte
-	}
 	var order []uint32
-	groups := make(map[uint32]*group)
+	groups := make(map[uint32]*sliceBatch)
 	maxLSN := uint64(0)
 	for i := range recs {
 		rec := &recs[i]
@@ -141,19 +192,20 @@ func (s *SAL) Replay(recs []wal.Record) error {
 		sliceID := s.SliceOf(rec.PageID)
 		g, ok := groups[sliceID]
 		if !ok {
-			g = &group{sliceID: sliceID}
+			g = &sliceBatch{}
 			groups[sliceID] = g
 			order = append(order, sliceID)
 		}
 		g.enc = rec.Encode(g.enc)
+		if rec.LSN > g.maxLSN {
+			g.maxLSN = rec.LSN
+		}
 		if rec.LSN > maxLSN {
 			maxLSN = rec.LSN
 		}
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	for _, sliceID := range order {
-		nodes, err := s.placementLocked(sliceID)
+		nodes, err := s.placement(sliceID)
 		if err != nil {
 			return err
 		}
@@ -164,111 +216,15 @@ func (s *SAL) Replay(recs []wal.Record) error {
 				return fmt.Errorf("sal: replaying slice %d to %s: %w", sliceID, node, err)
 			}
 		}
+		sp := s.progress(sliceID)
+		sp.lastStaged.Store(groups[sliceID].maxLSN)
+		sp.mu.Lock()
+		if groups[sliceID].maxLSN > sp.applied {
+			sp.applied = groups[sliceID].maxLSN
+		}
+		sp.mu.Unlock()
 	}
 	s.ResumeLSN(maxLSN)
-	return nil
-}
-
-// placement returns (creating if needed) the replica set of a slice.
-// Replicas are chosen round-robin by slice id, so consecutive slices land
-// on different Page Stores and batch reads fan out (§VI-2).
-func (s *SAL) placementLocked(sliceID uint32) ([]string, error) {
-	if nodes, ok := s.placements[sliceID]; ok {
-		return nodes, nil
-	}
-	n := len(s.cfg.PageStores)
-	nodes := make([]string, 0, s.cfg.ReplicationFactor)
-	for i := 0; i < s.cfg.ReplicationFactor; i++ {
-		nodes = append(nodes, s.cfg.PageStores[(int(sliceID)+i)%n])
-	}
-	for _, node := range nodes {
-		if _, err := s.cfg.Transport.Call(node, &cluster.CreateSliceReq{
-			Tenant: s.cfg.Tenant, SliceID: sliceID,
-		}); err != nil {
-			return nil, fmt.Errorf("sal: creating slice %d on %s: %w", sliceID, node, err)
-		}
-	}
-	s.placements[sliceID] = nodes
-	return nodes, nil
-}
-
-// Write assigns an LSN to rec, buffers it for the Log Stores and the
-// slice's Page Store replicas, and flushes when the buffer is full. The
-// caller applies the record to its own cached page after Write returns.
-//
-// Catalog records (TypeCatalog) are durability-only: they go to the Log
-// Stores so the frontend's data dictionary can be rebuilt on restart,
-// but they never touch a slice or a Page Store.
-func (s *SAL) Write(rec *wal.Record) error {
-	rec.LSN = s.NextLSN()
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if rec.Type != wal.TypeCatalog {
-		sliceID := s.SliceOf(rec.PageID)
-		if _, err := s.placementLocked(sliceID); err != nil {
-			return err
-		}
-		s.pendingSlice[sliceID] = rec.Encode(s.pendingSlice[sliceID])
-	}
-	s.pendingLog = rec.Encode(s.pendingLog)
-	s.pendingCount++
-	if s.pendingCount >= s.cfg.FlushThreshold {
-		return s.flushLocked()
-	}
-	return nil
-}
-
-// Flush pushes all buffered records to Log Stores and Page Stores,
-// waiting for every acknowledgement (durability in triplicate, then
-// page application).
-func (s *SAL) Flush() error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.flushLocked()
-}
-
-func (s *SAL) flushLocked() error {
-	if s.pendingCount == 0 {
-		return nil
-	}
-	// Log Stores first: durability before page application. The
-	// triplicate writes go out concurrently — with disk-backed Log
-	// Stores each append waits for a group-committed fsync, so issuing
-	// them serially would triple the commit latency.
-	if len(s.cfg.LogStores) > 0 {
-		errs := make([]error, len(s.cfg.LogStores))
-		var wg sync.WaitGroup
-		for i, node := range s.cfg.LogStores {
-			wg.Add(1)
-			go func(i int, node string) {
-				defer wg.Done()
-				if _, err := s.cfg.Transport.Call(node, &cluster.LogAppendReq{
-					Tenant: s.cfg.Tenant, Recs: s.pendingLog,
-				}); err != nil {
-					errs[i] = fmt.Errorf("sal: log store %s append: %w", node, err)
-				}
-			}(i, node)
-		}
-		wg.Wait()
-		for _, err := range errs {
-			if err != nil {
-				return err
-			}
-		}
-	}
-	for sliceID, recs := range s.pendingSlice {
-		nodes := s.placements[sliceID]
-		for _, node := range nodes {
-			if _, err := s.cfg.Transport.Call(node, &cluster.WriteLogsReq{
-				Tenant: s.cfg.Tenant, SliceID: sliceID, Recs: recs,
-			}); err != nil {
-				return fmt.Errorf("sal: page store %s apply: %w", node, err)
-			}
-		}
-		delete(s.pendingSlice, sliceID)
-	}
-	s.pendingLog = nil
-	s.pendingCount = 0
 	return nil
 }
 
@@ -342,15 +298,16 @@ func (s *SAL) readReplica(nodes []string) string {
 	return nodes[int(s.rr.Add(1))%len(nodes)]
 }
 
-// ReadPage fetches one page image at the given LSN (0 = latest).
+// ReadPage fetches one page image at the given LSN (0 = latest). It
+// waits only until the page's slice has applied everything staged for
+// it — never for a full pipeline flush — and with nothing pending the
+// wait is a single atomic load.
 func (s *SAL) ReadPage(pageID, lsn uint64) ([]byte, error) {
-	if err := s.Flush(); err != nil {
+	sliceID := s.SliceOf(pageID)
+	if err := s.waitApplied(sliceID); err != nil {
 		return nil, err
 	}
-	sliceID := s.SliceOf(pageID)
-	s.mu.Lock()
-	nodes, err := s.placementLocked(sliceID)
-	s.mu.Unlock()
+	nodes, err := s.placement(sliceID)
 	if err != nil {
 		return nil, err
 	}
@@ -377,11 +334,9 @@ type BatchResult struct {
 
 // BatchRead splits the page list into per-slice sub-batches, dispatches
 // them concurrently, and reassembles the responses in request order.
-// desc is the encoded NDP descriptor (nil for a plain batch read).
+// desc is the encoded NDP descriptor (nil for a plain batch read). Each
+// sub-batch waits only on its own slice's applied LSN.
 func (s *SAL) BatchRead(pageIDs []uint64, lsn uint64, desc []byte) (*BatchResult, error) {
-	if err := s.Flush(); err != nil {
-		return nil, err
-	}
 	type subBatch struct {
 		sliceID uint32
 		ids     []uint64
@@ -406,9 +361,10 @@ func (s *SAL) BatchRead(pageIDs []uint64, lsn uint64, desc []byte) (*BatchResult
 	var mu sync.Mutex
 	for oi, sliceID := range order {
 		sb := subs[sliceID]
-		s.mu.Lock()
-		nodes, err := s.placementLocked(sliceID)
-		s.mu.Unlock()
+		if err := s.waitApplied(sliceID); err != nil {
+			return nil, err
+		}
+		nodes, err := s.placement(sliceID)
 		if err != nil {
 			return nil, err
 		}

@@ -124,8 +124,9 @@ func (s *Session) execInsert(st *InsertStmt) (*Result, error) {
 		}
 		n++
 	}
-	tx.Commit()
-	if err := s.Eng.SAL().Flush(); err != nil {
+	// Commit = durable on the Log Stores; Page Store application is
+	// asynchronous (reads wait on applied LSNs as needed).
+	if err := s.Eng.Commit(tx); err != nil {
 		return nil, err
 	}
 	// Keep statistics fresh so NDP decisions see the data.

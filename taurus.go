@@ -23,6 +23,7 @@ import (
 	"sync"
 	"time"
 
+	"taurus/internal/buffer"
 	"taurus/internal/cluster"
 	"taurus/internal/engine"
 	"taurus/internal/logstore"
@@ -521,7 +522,9 @@ func (db *DB) Close() error {
 			}
 		}
 	}
-	if err := db.eng.SAL().Flush(); err != nil && firstErr == nil {
+	// SAL.Close drains the write pipeline (everything staged becomes
+	// durable and applied) and stops its goroutines.
+	if err := db.eng.SAL().Close(); err != nil && firstErr == nil {
 		firstErr = err
 	}
 	if err := db.closeLogs(); err != nil && firstErr == nil {
@@ -589,6 +592,17 @@ func (db *DB) NetworkStats() cluster.CountersSnapshot { return db.tr.Stats.Snaps
 
 // EngineStats returns cumulative SQL-node work counters.
 func (db *DB) EngineStats() engine.MetricsSnapshot { return db.eng.Metrics.Snapshot() }
+
+// WritePathStats returns the SAL's group-commit pipeline counters:
+// windows flushed, backpressure stalls, commit/apply waits, current
+// in-flight depth, and the durable watermark.
+func (db *DB) WritePathStats() sal.PipelineStats { return db.eng.SAL().Stats() }
+
+// BufferPoolStats returns per-shard buffer pool counters (residency,
+// hits/misses, evictions, singleflight-shared fetches).
+func (db *DB) BufferPoolStats() []buffer.ShardStats {
+	return db.eng.Pool().ShardStatsSnapshot()
+}
 
 // PageStoreStats returns per-store counters (log records applied, NDP
 // pages processed and skipped, ...).
