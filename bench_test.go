@@ -374,7 +374,7 @@ func BenchmarkConcurrentCommit(b *testing.B) {
 						}
 						continue
 					}
-					if err := c.SAL.Write(rec); err != nil {
+					if _, err := c.SAL.Write(rec); err != nil {
 						b.Error(err)
 						return
 					}
@@ -552,5 +552,23 @@ func BenchmarkCrashRecovery(b *testing.B) {
 			}
 			b.ReportMetric(float64(rows), "rows-recovered")
 		})
+	}
+}
+
+// BenchmarkSkewedSliceCommit runs the skewed-slice write-path scenario
+// (hot slice beside a slow Page Store replica on an unrelated slice)
+// and reports the hot-commit p99 improvement of per-slice lanes over
+// the single-global-window baseline. CI runs it with -benchtime=1x as
+// the lane smoke test; taurus-bench writepath runs the full version.
+func BenchmarkSkewedSliceCommit(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, promotions, err := bench.SkewedWritePath(96, 2, 500*time.Microsecond)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var rep bench.WritePathReport
+		rep.AddSkewed(rows, promotions)
+		b.ReportMetric(rep.SkewedHotP99ImprovementX, "p99-improvement-x")
+		b.ReportMetric(float64(promotions), "promotions")
 	}
 }

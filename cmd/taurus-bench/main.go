@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"time"
 
 	"taurus/internal/bench"
 )
@@ -22,6 +23,8 @@ import (
 func main() {
 	sf := flag.Float64("sf", 0.005, "TPC-H scale factor")
 	commits := flag.Int("commits", 1500, "durable commits per worker count (writepath)")
+	skewCommits := flag.Int("skew-commits", 800, "hot-slice commits in the skewed scenario (writepath; 0 = skip)")
+	skewDelay := flag.Duration("skew-delay", 20*time.Millisecond, "injected apply latency of the slow Page Store replica (writepath)")
 	wpOut := flag.String("writepath-out", "BENCH_writepath.json", "write-path JSON report path (writepath; empty = don't write)")
 	flag.Parse()
 	which := "all"
@@ -36,8 +39,17 @@ func main() {
 			log.Fatal(err)
 		}
 		bench.PrintWritePath(os.Stdout, rows)
+		rep := bench.BuildWritePathReport(rows)
+		if *skewCommits > 0 {
+			fmt.Println()
+			skewRows, promotions, err := bench.SkewedWritePath(*skewCommits, 4, *skewDelay)
+			if err != nil {
+				log.Fatal(err)
+			}
+			bench.PrintSkewedWritePath(os.Stdout, skewRows, promotions)
+			rep.AddSkewed(skewRows, promotions)
+		}
 		if *wpOut != "" {
-			rep := bench.BuildWritePathReport(rows)
 			if err := bench.WriteWritePathJSON(*wpOut, rep); err != nil {
 				log.Fatal(err)
 			}

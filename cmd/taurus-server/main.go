@@ -22,10 +22,12 @@
 //
 // A third role, frontend, runs an embedded full deployment and serves
 // SQL over HTTP (POST /query) plus the frontend-side stats — the SAL's
-// group-commit pipeline (in-flight windows, backpressure stalls,
-// commit/apply waits) and per-shard buffer pool counters:
+// slice-partitioned write pipeline (per-lane windows sealed and seal
+// reasons, adaptive flush thresholds, hot-slice promotions, apply lag
+// per slice, backpressure stalls, commit/apply waits) and per-shard
+// buffer pool counters. -write-lanes sizes the dedicated-lane pool:
 //
-//	taurus-server -role frontend -listen :7200 -stats-addr :7201 -data-dir /var/lib/taurus/fe
+//	taurus-server -role frontend -listen :7200 -stats-addr :7201 -data-dir /var/lib/taurus/fe -write-lanes 2
 package main
 
 import (
@@ -57,6 +59,7 @@ func main() {
 	segmentBytes := flag.Int64("segment-bytes", 0, "log segment rotation size (logstore; 0 = default 16MB)")
 	ckptInterval := flag.Duration("checkpoint-interval", time.Minute, "slice checkpoint cadence (pagestore with -data-dir)")
 	statsAddr := flag.String("stats-addr", "", "HTTP address for GET /stats (empty = disabled)")
+	writeLanes := flag.Int("write-lanes", 0, "dedicated per-slice write lanes (frontend; 0 = default, negative disables promotion)")
 	flag.Parse()
 
 	if *name == "" {
@@ -129,7 +132,7 @@ func main() {
 		handler = ls
 		stats = func() any { return ls.NodeStats() }
 	case "frontend":
-		runFrontend(*listen, *statsAddr, *dataDir, *ckptInterval)
+		runFrontend(*listen, *statsAddr, *dataDir, *ckptInterval, *writeLanes)
 		return
 	default:
 		log.Fatalf("unknown role %q", *role)
@@ -175,8 +178,8 @@ type frontendStats struct {
 // /query executes one SQL statement (text/plain body, JSON result), and
 // GET /stats on -stats-addr (or, if empty, the main listener) reports
 // the write-pipeline / buffer-pool / storage-node counters.
-func runFrontend(listen, statsAddr, dataDir string, ckptInterval time.Duration) {
-	cfg := taurus.Config{DataDir: dataDir}
+func runFrontend(listen, statsAddr, dataDir string, ckptInterval time.Duration, writeLanes int) {
+	cfg := taurus.Config{DataDir: dataDir, WriteLanes: writeLanes}
 	if dataDir != "" && ckptInterval > 0 {
 		cfg.CheckpointInterval = ckptInterval
 	}

@@ -3,6 +3,7 @@ package bench
 import (
 	"strings"
 	"testing"
+	"time"
 
 	"taurus/internal/tpch"
 )
@@ -266,5 +267,32 @@ func TestCheckpointRecoveryShape(t *testing.T) {
 	}
 	if rows[1].Replayed == 0 || rows[1].Replayed*4 > rows[0].Replayed {
 		t.Fatalf("checkpoint+tail replayed %d, want only the ~5%% tail", rows[1].Replayed)
+	}
+}
+
+// TestSkewedWritePathSmoke runs the skewed-slice scenario (hot slice +
+// slow replica behind a different slice) with tiny parameters: both
+// modes complete, the lanes mode promotes the hot slice, and the report
+// derives the p99 delta.
+func TestSkewedWritePathSmoke(t *testing.T) {
+	rows, promotions, err := SkewedWritePath(48, 2, 2*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d, want 2 (global-window and slice-lanes)", len(rows))
+	}
+	for _, r := range rows {
+		if r.Commits == 0 || r.P99Micros == 0 {
+			t.Fatalf("empty row: %+v", r)
+		}
+	}
+	if promotions == 0 {
+		t.Fatal("lanes mode never promoted the hot slice")
+	}
+	var rep WritePathReport
+	rep.AddSkewed(rows, promotions)
+	if rep.SkewedHotP99ImprovementX <= 0 {
+		t.Fatalf("no p99 delta derived: %+v", rep)
 	}
 }

@@ -71,7 +71,7 @@ func NewWritePathCluster(dir string, pages int, serial bool) (*WritePathCluster,
 	c.SAL = s
 	c.close_ = append([]func() error{s.Close}, c.close_...)
 	for p := 1; p <= pages; p++ {
-		if err := s.Write(&wal.Record{Type: wal.TypeFormatPage, PageID: uint64(p), IndexID: 1}); err != nil {
+		if _, err := s.Write(&wal.Record{Type: wal.TypeFormatPage, PageID: uint64(p), IndexID: 1}); err != nil {
 			c.Close()
 			return nil, err
 		}
@@ -259,8 +259,9 @@ func WritePath(commits int, workerCounts []int) ([]WritePathRow, error) {
 						if c.Serial != nil {
 							err = c.Serial.Commit(rec)
 						} else {
-							if err = c.SAL.Write(rec); err == nil {
-								err = c.SAL.WaitDurable(rec.LSN)
+							var lsn uint64
+							if lsn, err = c.SAL.Write(rec); err == nil {
+								err = c.SAL.WaitDurable(lsn)
 							}
 						}
 						if err != nil {
@@ -296,6 +297,204 @@ func WritePath(commits int, workerCounts []int) ([]WritePathRow, error) {
 	return rows, nil
 }
 
+// delayTransport injects latency into one node's log-apply path,
+// emulating a slow Page Store replica.
+type delayTransport struct {
+	inner cluster.Transport
+	node  string
+	delay time.Duration
+}
+
+func (d *delayTransport) Call(node string, req any) (any, error) {
+	if node == d.node {
+		if _, ok := req.(*cluster.WriteLogsReq); ok {
+			time.Sleep(d.delay)
+		}
+	}
+	return d.inner.Call(node, req)
+}
+
+// skewedPagesPerSlice makes pages 1..15 slice 0 (hot) and page 17
+// slice 1 (cold). With round-robin placement over four Page Stores,
+// slice 0 lands on ps1..ps3 and slice 1 on ps2..ps4 — so the slow
+// replica (ps4) serves only the cold slice.
+const skewedPagesPerSlice = 16
+
+const skewedColdPage = 17
+
+// newSkewedCluster builds the skewed-slice fixture: disk-backed Log
+// Stores, four Page Stores with ps4 artificially slow at applying, and
+// a SAL with per-slice lanes enabled or disabled (the PR-3
+// global-window baseline). Small windows and a small in-flight budget
+// make the apply-stage backpressure bite quickly.
+func newSkewedCluster(dir string, lanes bool, hotPages int, applyDelay time.Duration) (*WritePathCluster, error) {
+	tr := cluster.NewInProc()
+	slow := &delayTransport{inner: tr, node: "ps4", delay: applyDelay}
+	c := &WritePathCluster{}
+	logNames := []string{"log1", "log2", "log3"}
+	for _, n := range logNames {
+		ls, err := logstore.Open(n, fmt.Sprintf("%s/%s", dir, n),
+			logstore.WithFlushInterval(200*time.Microsecond))
+		if err != nil {
+			c.Close()
+			return nil, err
+		}
+		c.close_ = append(c.close_, ls.Close)
+		tr.Register(n, ls)
+	}
+	psNames := []string{"ps1", "ps2", "ps3", "ps4"}
+	for _, n := range psNames {
+		tr.Register(n, pagestore.New(n))
+	}
+	maxLanes := -1 // single shared lane: the global-window baseline
+	if lanes {
+		maxLanes = 1
+	}
+	s, err := sal.New(sal.Config{
+		Tenant: 1, Transport: slow, LogStores: logNames, PageStores: psNames,
+		ReplicationFactor: 3, PagesPerSlice: skewedPagesPerSlice,
+		Plugin:         pagestore.PluginInnoDB,
+		FlushThreshold: 16, MaxInFlightWindows: 4, MaxSliceLanes: maxLanes,
+		ApplyBacklogWindows: 32,
+	})
+	if err != nil {
+		c.Close()
+		return nil, err
+	}
+	c.SAL = s
+	c.close_ = append([]func() error{s.Close}, c.close_...)
+	for p := 1; p <= hotPages; p++ {
+		if _, err := s.Write(&wal.Record{Type: wal.TypeFormatPage, PageID: uint64(p), IndexID: 1}); err != nil {
+			c.Close()
+			return nil, err
+		}
+	}
+	if _, err := s.Write(&wal.Record{Type: wal.TypeFormatPage, PageID: skewedColdPage, IndexID: 1}); err != nil {
+		c.Close()
+		return nil, err
+	}
+	if err := s.Flush(); err != nil {
+		c.Close()
+		return nil, err
+	}
+	return c, nil
+}
+
+// SkewedWritePath measures commit latency of writers on a hot slice
+// while an unrelated writer keeps a cold slice busy whose replica set
+// includes an artificially slow Page Store. With one global window
+// stream (the PR-3 baseline), the cold slice's slow applies exhaust the
+// shared in-flight budget and every hot commit queues behind them; with
+// per-slice lanes, the hot slice is promoted to its own lane and its
+// commit latency stays at fsync scale. Returns one row per mode for the
+// hot writers only.
+func SkewedWritePath(commits, hotWriters int, applyDelay time.Duration) ([]WritePathRow, uint64, error) {
+	if commits <= 0 {
+		commits = 800
+	}
+	if hotWriters <= 0 {
+		hotWriters = 4
+	}
+	if hotWriters > 8 {
+		hotWriters = 8 // keep every hot page inside slice 0
+	}
+	if applyDelay <= 0 {
+		applyDelay = 20 * time.Millisecond
+	}
+	var rows []WritePathRow
+	var promotions uint64
+	for _, mode := range []struct {
+		name  string
+		lanes bool
+	}{{"skew-global-window", false}, {"skew-slice-lanes", true}} {
+		dir, err := os.MkdirTemp("", "taurus-skewpath-*")
+		if err != nil {
+			return nil, 0, err
+		}
+		c, err := newSkewedCluster(dir, mode.lanes, hotWriters, applyDelay)
+		if err != nil {
+			os.RemoveAll(dir)
+			return nil, 0, err
+		}
+		per := commits / hotWriters
+		lats := make([][]time.Duration, hotWriters)
+		errs := make([]error, hotWriters+1)
+		stop := make(chan struct{})
+		var coldWG sync.WaitGroup
+		coldWG.Add(1)
+		go func() {
+			// The unrelated cold-slice writer: commits as fast as
+			// durability allows, each window then crawling through the
+			// slow replica's apply stage.
+			defer coldWG.Done()
+			for i := int64(1); ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				rec := CommitRecord(skewedColdPage, i)
+				lsn, err := c.SAL.Write(rec)
+				if err == nil {
+					err = c.SAL.WaitDurable(lsn)
+				}
+				if err != nil {
+					errs[hotWriters] = err
+					return
+				}
+			}
+		}()
+		var wg sync.WaitGroup
+		start := time.Now()
+		for w := 0; w < hotWriters; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				lats[w] = make([]time.Duration, 0, per)
+				for i := 0; i < per; i++ {
+					rec := CommitRecord(uint64(w+1), int64(i)+1)
+					t0 := time.Now()
+					lsn, err := c.SAL.Write(rec)
+					if err == nil {
+						err = c.SAL.WaitDurable(lsn)
+					}
+					if err != nil {
+						errs[w] = err
+						return
+					}
+					lats[w] = append(lats[w], time.Since(t0))
+				}
+			}(w)
+		}
+		wg.Wait()
+		elapsed := time.Since(start)
+		close(stop)
+		coldWG.Wait()
+		if mode.lanes {
+			promotions = c.SAL.Stats().Promotions
+		}
+		c.Close()
+		os.RemoveAll(dir)
+		for _, err := range errs {
+			if err != nil {
+				return nil, 0, err
+			}
+		}
+		var all []time.Duration
+		for _, l := range lats {
+			all = append(all, l...)
+		}
+		sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+		rows = append(rows, WritePathRow{
+			Mode: mode.name, Workers: hotWriters, Commits: hotWriters * per,
+			OpsPerSec: float64(hotWriters*per) / elapsed.Seconds(),
+			P50Micros: percentile(all, 0.50),
+			P99Micros: percentile(all, 0.99),
+		})
+	}
+	return rows, promotions, nil
+}
+
 // WritePathReport is the persisted BENCH_writepath.json payload.
 type WritePathReport struct {
 	Bench string         `json:"bench"`
@@ -303,6 +502,14 @@ type WritePathReport struct {
 	// Speedup8Writers is pipelined/serial throughput at 8 workers (the
 	// acceptance headline).
 	Speedup8Writers float64 `json:"speedup_8_writers"`
+	// SkewedRows measures hot-slice commit latency beside a slow
+	// replica behind a different slice, with and without per-slice
+	// lanes; SkewedHotP99ImprovementX is the p99 ratio (global-window /
+	// slice-lanes), and SkewedPromotions is how many slices the lanes
+	// run promoted.
+	SkewedRows               []WritePathRow `json:"skewed_rows,omitempty"`
+	SkewedHotP99ImprovementX float64        `json:"skewed_hot_p99_improvement_x,omitempty"`
+	SkewedPromotions         uint64         `json:"skewed_promotions,omitempty"`
 }
 
 // BuildWritePathReport derives the headline speedup from the rows.
@@ -325,6 +532,25 @@ func BuildWritePathReport(rows []WritePathRow) WritePathReport {
 	return rep
 }
 
+// AddSkewed attaches the skewed-slice rows and derives the hot-commit
+// p99 delta.
+func (rep *WritePathReport) AddSkewed(rows []WritePathRow, promotions uint64) {
+	rep.SkewedRows = rows
+	rep.SkewedPromotions = promotions
+	var global, lanes float64
+	for _, r := range rows {
+		switch r.Mode {
+		case "skew-global-window":
+			global = r.P99Micros
+		case "skew-slice-lanes":
+			lanes = r.P99Micros
+		}
+	}
+	if lanes > 0 {
+		rep.SkewedHotP99ImprovementX = global / lanes
+	}
+}
+
 // WriteWritePathJSON persists the report.
 func WriteWritePathJSON(path string, rep WritePathReport) error {
 	b, err := json.MarshalIndent(rep, "", "  ")
@@ -345,5 +571,21 @@ func PrintWritePath(w io.Writer, rows []WritePathRow) {
 	rep := BuildWritePathReport(rows)
 	if rep.Speedup8Writers > 0 {
 		fmt.Fprintf(w, "  8-writer speedup: %.1fx (pipelined over serial)\n", rep.Speedup8Writers)
+	}
+}
+
+// PrintSkewedWritePath renders the skewed-slice table.
+func PrintSkewedWritePath(w io.Writer, rows []WritePathRow, promotions uint64) {
+	fmt.Fprintln(w, "Hot-slice commits beside a slow replica on an unrelated slice (global window vs per-slice lanes):")
+	fmt.Fprintf(w, "  %-18s %8s %9s %12s %10s %10s\n", "mode", "workers", "commits", "commits/s", "p50(µs)", "p99(µs)")
+	for _, r := range rows {
+		fmt.Fprintf(w, "  %-18s %8d %9d %12.0f %10.0f %10.0f\n",
+			r.Mode, r.Workers, r.Commits, r.OpsPerSec, r.P50Micros, r.P99Micros)
+	}
+	var rep WritePathReport
+	rep.AddSkewed(rows, promotions)
+	if rep.SkewedHotP99ImprovementX > 0 {
+		fmt.Fprintf(w, "  hot-commit p99 improvement: %.1fx (%d slice(s) promoted to dedicated lanes)\n",
+			rep.SkewedHotP99ImprovementX, promotions)
 	}
 }

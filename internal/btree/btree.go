@@ -53,13 +53,22 @@ type Tree struct {
 
 // Create builds an empty tree with a fresh leaf root.
 func Create(pager Pager, indexID uint64) (*Tree, error) {
+	t, _, err := CreateAt(pager, indexID)
+	return t, err
+}
+
+// CreateAt is Create returning also the LSN assigned to the root's
+// FormatPage record, so DDL can wait for exactly its own records to
+// become durable instead of a global allocator snapshot.
+func CreateAt(pager Pager, indexID uint64) (*Tree, uint64, error) {
 	rootID := pager.Allocate()
-	if _, err := pager.Apply(&wal.Record{
+	rec := &wal.Record{
 		Type: wal.TypeFormatPage, PageID: rootID, IndexID: indexID, Level: 0,
-	}); err != nil {
-		return nil, err
 	}
-	return &Tree{IndexID: indexID, pager: pager, rootID: rootID, height: 1}, nil
+	if _, err := pager.Apply(rec); err != nil {
+		return nil, 0, err
+	}
+	return &Tree{IndexID: indexID, pager: pager, rootID: rootID, height: 1}, rec.LSN, nil
 }
 
 // Attach re-binds a tree to pages that already exist in storage — the
@@ -147,34 +156,43 @@ func (t *Tree) descendLocked(key []byte) ([]pathEntry, error) {
 // keys are appended after existing equal keys, preserving insertion order
 // among duplicates (secondary indexes append the primary key to make keys
 // unique, so exact duplicates only occur transiently).
-func (t *Tree) Insert(key, row []byte, trxID uint64) error {
+//
+// It returns the LSN assigned to the insert's own log record. LSNs are
+// allocated in order and the row record is always the operation's last,
+// so this LSN also covers every structural record (splits, sibling
+// links, node pointers) the insert caused — waiting for it durably
+// covers the whole operation.
+func (t *Tree) Insert(key, row []byte, trxID uint64) (uint64, error) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	path, err := t.descendLocked(key)
 	if err != nil {
-		return err
+		return 0, err
 	}
 	leafID := path[len(path)-1].pageID
 	leaf, err := t.pager.Read(leafID)
 	if err != nil {
-		return err
+		return 0, err
 	}
 	payload := page.EncodeLeafPayload(nil, key, row)
 	if !leaf.HasRoomFor(len(payload)) {
 		leaf, err = t.splitLocked(path, key)
 		if err != nil {
-			return err
+			return 0, err
 		}
 		if !leaf.HasRoomFor(len(payload)) {
-			return fmt.Errorf("btree: record of %d bytes cannot fit a page", len(payload))
+			return 0, fmt.Errorf("btree: record of %d bytes cannot fit a page", len(payload))
 		}
 	}
 	prev := findInsertPos(leaf, key)
-	_, err = t.pager.Apply(&wal.Record{
+	rec := &wal.Record{
 		Type: wal.TypeInsertRec, PageID: leaf.ID(), Off: uint32(prev),
 		RecType: page.RecOrdinary, TrxID: trxID, Payload: payload,
-	})
-	return err
+	}
+	if _, err := t.pager.Apply(rec); err != nil {
+		return 0, err
+	}
+	return rec.LSN, nil
 }
 
 // findInsertPos returns the heap offset of the record after which key

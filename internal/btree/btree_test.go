@@ -126,7 +126,7 @@ func TestInsertAndScanSorted(t *testing.T) {
 	perm := rand.New(rand.NewSource(7)).Perm(n)
 	for _, v := range perm {
 		row := []byte(fmt.Sprintf("row-%d", v))
-		if err := tree.Insert(intKey(int64(v)), row, 42); err != nil {
+		if _, err := tree.Insert(intKey(int64(v)), row, 42); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -152,7 +152,7 @@ func TestSortedBulkInsertGrowsRight(t *testing.T) {
 	row := bytes.Repeat([]byte("x"), 100)
 	n := 2000
 	for i := 0; i < n; i++ {
-		if err := tree.Insert(intKey(int64(i)), row, 1); err != nil {
+		if _, err := tree.Insert(intKey(int64(i)), row, 1); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -332,7 +332,7 @@ func TestDuplicateKeysPreserved(t *testing.T) {
 	m := newMemPager()
 	tree, _ := Create(m, 1)
 	for i := 0; i < 50; i++ {
-		if err := tree.Insert(intKey(7), []byte(fmt.Sprintf("dup-%d", i)), 1); err != nil {
+		if _, err := tree.Insert(intKey(7), []byte(fmt.Sprintf("dup-%d", i)), 1); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -361,7 +361,7 @@ func TestTreeInvariantsQuick(t *testing.T) {
 			}
 			inserted[k] = true
 			row := bytes.Repeat([]byte("r"), 1+r.Intn(300))
-			if err := tree.Insert(intKey(k), row, 1); err != nil {
+			if _, err := tree.Insert(intKey(k), row, 1); err != nil {
 				return false
 			}
 		}

@@ -68,6 +68,10 @@ type shard struct {
 	misses    uint64
 	evictions uint64
 	sfShared  uint64 // misses served by another caller's in-flight fetch
+	// staleRefetches counts misses that could NOT join an in-flight
+	// fetch because it was bound to an older staged LSN than the
+	// caller's read-your-writes requirement.
+	staleRefetches uint64
 }
 
 type frame struct {
@@ -75,11 +79,15 @@ type frame struct {
 	elt *list.Element
 }
 
-// flight is one in-progress fetch other callers can wait on.
+// flight is one in-progress fetch other callers can wait on. bound is
+// the read-your-writes LSN the fetcher's wait covered: a joiner that
+// needs a higher staged LSN must fetch for itself instead of sharing a
+// result that may predate its own writes.
 type flight struct {
-	done chan struct{}
-	pg   *page.Page
-	err  error
+	done  chan struct{}
+	pg    *page.Page
+	err   error
+	bound uint64
 }
 
 // New creates a pool holding up to capacity regular pages and up to
@@ -133,6 +141,18 @@ func (p *Pool) ndpShare() int {
 // racing Get of the same page joins the first caller's fetch instead of
 // issuing a duplicate Page Store read.
 func (p *Pool) Get(pageID uint64, fetch func(pageID uint64) (*page.Page, error)) (*page.Page, error) {
+	return p.GetAsOf(pageID, nil, fetch)
+}
+
+// GetAsOf is Get with a page-level read-your-writes bound plumbed
+// through the miss path. asOf (lazily evaluated, only on a miss)
+// returns the page's highest staged-but-not-yet-applied LSN — the LSN
+// the fetch must wait for before reading the Page Store. Cache hits
+// skip it entirely: the compute node applies its own writes to cached
+// copies, so a resident page is always fresh. A caller that joins an
+// in-flight fetch whose bound is older than its own re-fetches instead
+// of accepting a result that may predate records it needs to see.
+func (p *Pool) GetAsOf(pageID uint64, asOf func() uint64, fetch func(pageID uint64) (*page.Page, error)) (*page.Page, error) {
 	sh := p.shardOf(pageID)
 	sh.mu.Lock()
 	if f, ok := sh.frames[pageID]; ok {
@@ -142,7 +162,14 @@ func (p *Pool) Get(pageID uint64, fetch func(pageID uint64) (*page.Page, error))
 		sh.mu.Unlock()
 		return pg, nil
 	}
-	if fl, ok := sh.inflight[pageID]; ok {
+	var need uint64
+	if asOf != nil {
+		// Evaluated under the shard lock so the comparison against an
+		// in-flight fetch's bound is well ordered; the callback is a
+		// couple of atomic/map reads.
+		need = asOf()
+	}
+	if fl, ok := sh.inflight[pageID]; ok && fl.bound >= need {
 		sh.sfShared++
 		sh.mu.Unlock()
 		<-fl.done
@@ -150,16 +177,26 @@ func (p *Pool) Get(pageID uint64, fetch func(pageID uint64) (*page.Page, error))
 			return nil, fl.err
 		}
 		return fl.pg, nil
+	} else if ok {
+		// The in-flight fetch waited for an older staged LSN than this
+		// caller requires (a writer staged more for the page since it
+		// started): fetch independently rather than serve a stale join.
+		sh.staleRefetches++
+		sh.mu.Unlock()
+		pg, err := fetch(pageID)
+		if err == nil {
+			pg = p.insertNewer(pg)
+		}
+		return pg, err
 	}
-	fl := &flight{done: make(chan struct{})}
+	fl := &flight{done: make(chan struct{}), bound: need}
 	sh.inflight[pageID] = fl
 	sh.misses++
 	sh.mu.Unlock()
 	// Fetch outside the lock; joiners wait on fl.done.
 	pg, err := fetch(pageID)
 	if err == nil {
-		p.Insert(pg)
-		pg = p.lookupOrThis(pageID, pg)
+		pg = p.insertNewer(pg)
 	}
 	fl.pg, fl.err = pg, err
 	sh.mu.Lock()
@@ -167,16 +204,6 @@ func (p *Pool) Get(pageID uint64, fetch func(pageID uint64) (*page.Page, error))
 	sh.mu.Unlock()
 	close(fl.done)
 	return pg, err
-}
-
-func (p *Pool) lookupOrThis(pageID uint64, fallback *page.Page) *page.Page {
-	sh := p.shardOf(pageID)
-	sh.mu.Lock()
-	defer sh.mu.Unlock()
-	if f, ok := sh.frames[pageID]; ok {
-		return f.pg
-	}
-	return fallback
 }
 
 // Lookup returns the cached page without fetching. This is the check a
@@ -198,19 +225,39 @@ func (p *Pool) Lookup(pageID uint64) (*page.Page, bool) {
 
 // Insert caches a page (idempotent), evicting LRU pages as needed.
 func (p *Pool) Insert(pg *page.Page) {
+	p.insertFrame(pg, false)
+}
+
+// insertNewer caches a fetched page, resolving races between concurrent
+// fetches of the same page by page LSN: if a frame is already resident,
+// the higher-LSN image wins (a stale-bound fetch completing AFTER a
+// fresh one must not shadow it, and vice versa). Returns the resident
+// image.
+func (p *Pool) insertNewer(pg *page.Page) *page.Page {
+	return p.insertFrame(pg, true)
+}
+
+// insertFrame is the shared insert path: existing frames either win
+// (plain Insert) or lose to a higher-LSN image (replaceNewer); a new
+// frame evicts LRU pages for space.
+func (p *Pool) insertFrame(pg *page.Page, replaceNewer bool) *page.Page {
 	id := pg.ID()
 	sh := p.shardOf(id)
 	ndpShare := p.ndpShare()
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
-	if _, ok := sh.frames[id]; ok {
-		return
+	if f, ok := sh.frames[id]; ok {
+		if replaceNewer && pg.LSN() > f.pg.LSN() {
+			f.pg = pg
+		}
+		return f.pg
 	}
 	p.evictForSpaceLocked(sh, ndpShare)
 	f := &frame{pg: pg}
 	f.elt = sh.lru.PushFront(id)
 	sh.frames[id] = f
 	p.resident.Add(1)
+	return pg
 }
 
 // evictForSpaceLocked evicts from the shard's LRU tail until a new page
@@ -343,8 +390,11 @@ type ShardStats struct {
 	Misses    uint64
 	Evictions uint64
 	// SingleflightShared counts misses that joined another caller's
-	// in-flight fetch instead of hitting the Page Store again.
+	// in-flight fetch instead of hitting the Page Store again;
+	// StaleRefetches counts misses that bypassed the join because the
+	// in-flight fetch predated their read-your-writes bound.
 	SingleflightShared uint64
+	StaleRefetches     uint64
 }
 
 // HitRate is the shard's hit fraction (0 with no traffic).
@@ -367,6 +417,7 @@ func (p *Pool) ShardStatsSnapshot() []ShardStats {
 			Misses:             sh.misses,
 			Evictions:          sh.evictions,
 			SingleflightShared: sh.sfShared,
+			StaleRefetches:     sh.staleRefetches,
 		}
 		sh.mu.Unlock()
 	}

@@ -345,3 +345,76 @@ func TestClear(t *testing.T) {
 		t.Error("page survived Clear")
 	}
 }
+
+// TestGetAsOfStaleJoinRefetches pins the miss path's read-your-writes
+// plumbing: a caller whose page-level staged-LSN bound is newer than an
+// in-flight fetch's bound must NOT join it — it fetches independently
+// (counted as a stale refetch), because the in-flight result may
+// predate records the caller has to see.
+func TestGetAsOfStaleJoinRefetches(t *testing.T) {
+	p := New(64, 8)
+	firstEntered := make(chan struct{})
+	release := make(chan struct{})
+	var fetches atomic.Int32
+	slowFetch := func(id uint64) (*page.Page, error) {
+		if fetches.Add(1) == 1 {
+			close(firstEntered)
+			<-release
+		}
+		return page.New(id, 1, 0), nil
+	}
+	done1 := make(chan struct{})
+	go func() {
+		defer close(done1)
+		if _, err := p.GetAsOf(42, func() uint64 { return 5 }, slowFetch); err != nil {
+			t.Error(err)
+		}
+	}()
+	<-firstEntered
+	// A reader content with the in-flight bound joins it (and blocks
+	// until the gated fetch completes).
+	doneJoin := make(chan struct{})
+	go func() {
+		defer close(doneJoin)
+		if _, err := p.GetAsOf(42, func() uint64 { return 5 }, slowFetch); err != nil {
+			t.Error(err)
+		}
+	}()
+	select {
+	case <-doneJoin:
+		t.Fatal("joiner returned before the in-flight fetch completed")
+	case <-time.After(50 * time.Millisecond):
+	}
+	// Same page, but this reader requires staged LSN 9 > the in-flight
+	// fetch's bound 5: it must bypass the join and fetch on its own,
+	// without waiting for the gated first fetch.
+	doneFresh := make(chan struct{})
+	go func() {
+		defer close(doneFresh)
+		if _, err := p.GetAsOf(42, func() uint64 { return 9 }, slowFetch); err != nil {
+			t.Error(err)
+		}
+	}()
+	select {
+	case <-doneFresh:
+	case <-time.After(2 * time.Second):
+		t.Fatal("fresh-bound reader blocked behind a stale in-flight fetch")
+	}
+	close(release)
+	<-done1
+	<-doneJoin
+	var stale, shared uint64
+	for _, s := range p.ShardStatsSnapshot() {
+		stale += s.StaleRefetches
+		shared += s.SingleflightShared
+	}
+	if stale != 1 {
+		t.Fatalf("stale refetches = %d, want 1", stale)
+	}
+	if shared != 1 {
+		t.Fatalf("singleflight joins = %d, want 1", shared)
+	}
+	if got := fetches.Load(); got != 2 {
+		t.Fatalf("page store fetches = %d, want 2 (first + stale bypass)", got)
+	}
+}

@@ -17,16 +17,20 @@ func (e *Engine) Insert(t *Table, tx *txn.Txn, row types.Row) error {
 	}
 	key := t.Primary.keyOf(nil, row)
 	rowBytes := types.EncodeRow(nil, t.Schema, row)
-	if err := t.Primary.Tree.Insert(key, rowBytes, tx.ID); err != nil {
+	lsn, err := t.Primary.Tree.Insert(key, rowBytes, tx.ID)
+	if err != nil {
 		return err
 	}
+	tx.ObserveLSN(lsn)
 	for _, idx := range t.Secondaries {
 		irow := idx.rowFor(row)
 		ikey := idx.keyOf(nil, irow)
 		ibytes := types.EncodeRow(nil, idx.Schema, irow)
-		if err := idx.Tree.Insert(ikey, ibytes, tx.ID); err != nil {
+		lsn, err := idx.Tree.Insert(ikey, ibytes, tx.ID)
+		if err != nil {
 			return err
 		}
+		tx.ObserveLSN(lsn)
 	}
 	return nil
 }
@@ -127,11 +131,17 @@ func (e *Engine) UpdateByPK(t *Table, tx *txn.Txn, pk types.Row, newRow types.Ro
 			return fmt.Errorf("engine: page %d cannot fit updated row", leafID)
 		}
 	}
-	_, err = pager{e}.Apply(&wal.Record{
+	rec := &wal.Record{
 		Type: wal.TypeUpdateRec, PageID: leafID, Off: uint32(off),
 		TrxID: tx.ID, Payload: payload,
-	})
-	return err
+	}
+	if _, err := (pager{e}).Apply(rec); err != nil {
+		return err
+	}
+	// The update record is the operation's last (it follows any
+	// compaction), so its LSN is the transaction's watermark for it.
+	tx.ObserveLSN(rec.LSN)
+	return nil
 }
 
 // DeleteByPK delete-marks the row. Older views resolve the pre-delete
@@ -164,10 +174,16 @@ func (e *Engine) DeleteByPK(t *Table, tx *txn.Txn, pk types.Row) error {
 	}); err != nil {
 		return err
 	}
-	_, err = pager{e}.Apply(&wal.Record{
+	rec := &wal.Record{
 		Type: wal.TypeDeleteMark, PageID: leafID, Off: uint32(off), Flag: 1,
-	})
-	return err
+	}
+	if _, err := (pager{e}).Apply(rec); err != nil {
+		return err
+	}
+	// The delete-mark follows the SetTrxID record, so its LSN covers
+	// both.
+	tx.ObserveLSN(rec.LSN)
+	return nil
 }
 
 // readRowByPK fetches the current (latest) version of a row.

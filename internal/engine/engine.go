@@ -168,14 +168,18 @@ func New(cfg Config) (*Engine, error) {
 // Txm exposes the transaction manager.
 func (e *Engine) Txm() *txn.Manager { return e.txm }
 
-// Commit ends the transaction and waits until its log records are
+// Commit ends the transaction and waits until its own log records are
 // durable in triplicate on the Log Stores — the paper's commit point.
-// Page Store application continues asynchronously; readers of the
-// touched slices wait on applied LSNs, not on this commit. Concurrent
-// committers share one group-commit window (and one wait).
+// The wait target is the transaction's max LSN (tracked record by
+// record through the write path), not a global allocator snapshot: a
+// committer never waits for LSNs handed out to unrelated concurrent
+// writers after its last write. Page Store application continues
+// asynchronously; readers of the touched pages wait on applied LSNs,
+// not on this commit. Concurrent committers of one lane still share a
+// group-commit window (and one fsync).
 func (e *Engine) Commit(tx *txn.Txn) error {
 	tx.Commit()
-	return e.salc.WaitDurable(e.salc.CurrentLSN())
+	return e.salc.WaitDurable(tx.MaxLSN())
 }
 
 // Pool exposes the buffer pool (experiments inspect residency).
@@ -191,13 +195,19 @@ func (e *Engine) LookAhead() int { return e.lookAhead }
 type pager struct{ e *Engine }
 
 func (p pager) Read(pageID uint64) (*page.Page, error) {
-	return p.e.pool.Get(pageID, func(id uint64) (*page.Page, error) {
-		raw, err := p.e.salc.ReadPage(id, 0)
-		if err != nil {
-			return nil, err
-		}
-		return page.FromBytes(raw)
-	})
+	// The miss path carries a page-level read-your-writes bound: the
+	// fetch (ReadPage) waits until the page's staged records are
+	// applied, and a racing reader whose writer staged MORE for the
+	// page meanwhile re-fetches instead of joining this fetch's result.
+	return p.e.pool.GetAsOf(pageID,
+		func() uint64 { return p.e.salc.StagedPageLSN(pageID) },
+		func(id uint64) (*page.Page, error) {
+			raw, err := p.e.salc.ReadPage(id, 0)
+			if err != nil {
+				return nil, err
+			}
+			return page.FromBytes(raw)
+		})
 }
 
 func (p pager) Allocate() uint64 {
@@ -208,8 +218,9 @@ func (p pager) Allocate() uint64 {
 func (p pager) Apply(rec *wal.Record) (*page.Page, error) {
 	// Log first (the SAL assigns the LSN and distributes), then apply
 	// to the locally cached copy so the compute node sees its own write
-	// immediately.
-	if err := p.e.salc.Write(rec); err != nil {
+	// immediately. The assigned LSN is left in rec.LSN for callers that
+	// thread it back to their transaction's commit watermark.
+	if _, err := p.e.salc.Write(rec); err != nil {
 		return nil, err
 	}
 	if rec.Type == wal.TypeFormatPage {
@@ -247,13 +258,13 @@ func (e *Engine) CreateTable(name string, schema *types.Schema, pkCols []int) (*
 	}
 	idxID := e.nextIndex
 	e.nextIndex++
-	if err := e.logCatalog(&wal.CatalogEntry{
+	if _, err := e.logCatalog(&wal.CatalogEntry{
 		Kind: wal.CatalogCreateTable, IndexID: idxID, Table: name,
 		Cols: catalogCols(schema), Ords: pkCols,
 	}); err != nil {
 		return nil, err
 	}
-	tree, err := btree.Create(pager{e}, idxID)
+	tree, rootLSN, err := btree.CreateAt(pager{e}, idxID)
 	if err != nil {
 		return nil, err
 	}
@@ -269,9 +280,10 @@ func (e *Engine) CreateTable(name string, schema *types.Schema, pkCols []int) (*
 	e.tables[name] = t
 	e.indexes[idxID] = primary
 	// DDL is acknowledged durable: the catalog record and root page
-	// must reach the Log Stores before CreateTable returns. Application
+	// must reach the Log Stores before CreateTable returns (the root's
+	// LSN covers the catalog record logged just before it). Application
 	// to the Page Stores is asynchronous like any other write.
-	if err := e.salc.WaitDurable(e.salc.CurrentLSN()); err != nil {
+	if err := e.salc.WaitDurable(rootLSN); err != nil {
 		return nil, err
 	}
 	return t, nil
@@ -299,7 +311,7 @@ func (e *Engine) CreateSecondaryIndex(table, name string, cols []int) (*Index, e
 	}
 	idxID := e.nextIndex
 	e.nextIndex++
-	if err := e.logCatalog(&wal.CatalogEntry{
+	if _, err := e.logCatalog(&wal.CatalogEntry{
 		Kind: wal.CatalogCreateIndex, IndexID: idxID, Table: table, Index: name,
 		Ords: cols,
 	}); err != nil {
@@ -307,7 +319,7 @@ func (e *Engine) CreateSecondaryIndex(table, name string, cols []int) (*Index, e
 		return nil, err
 	}
 	e.mu.Unlock()
-	tree, err := btree.Create(pager{e}, idxID)
+	tree, rootLSN, err := btree.CreateAt(pager{e}, idxID)
 	if err != nil {
 		return nil, err
 	}
@@ -321,7 +333,7 @@ func (e *Engine) CreateSecondaryIndex(table, name string, cols []int) (*Index, e
 	e.mu.Unlock()
 	// Same durability point as CreateTable: a crash right after this
 	// call must not lose the index.
-	if err := e.salc.WaitDurable(e.salc.CurrentLSN()); err != nil {
+	if err := e.salc.WaitDurable(rootLSN); err != nil {
 		return nil, err
 	}
 	return idx, nil

@@ -235,7 +235,7 @@ func TestNDPRangeScanViaSecondaryIndex(t *testing.T) {
 	rows, _ := collectScan(t, tc.eng, ScanOptions{Index: tbl.Primary})
 	for _, r := range rows {
 		irow := idx.rowFor(r)
-		if err := idx.Tree.Insert(idx.keyOf(nil, irow), types.EncodeRow(nil, idx.Schema, irow), tx.ID); err != nil {
+		if _, err := idx.Tree.Insert(idx.keyOf(nil, irow), types.EncodeRow(nil, idx.Schema, irow), tx.ID); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -561,5 +561,75 @@ func TestScanEquivalenceUnderSkewQuick(t *testing.T) {
 				t.Fatalf("trial %d row %d: %v vs %v", trial, i, want[i], got[i])
 			}
 		}
+	}
+}
+
+// TestCommitWaitsOnTxnMaxLSN pins the statement-level MVCC commit
+// semantics: a transaction's commit wait target is its OWN max LSN —
+// strictly below the global allocator after an unrelated concurrent
+// writer logs more records — and committing with it succeeds.
+func TestCommitWaitsOnTxnMaxLSN(t *testing.T) {
+	tc := newTestCluster(t, 256)
+	tbl, err := tc.eng.CreateTable("worker", workerSchema, []int{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mkRow := func(id int64) types.Row {
+		return types.Row{
+			types.NewInt(id), types.NewInt(30),
+			types.DateFromYMD(2012, 1, 15),
+			types.NewDecimal(310000),
+			types.NewString(fmt.Sprintf("w%d", id)),
+		}
+	}
+	tx1 := tc.eng.Txm().Begin()
+	if err := tc.eng.Insert(tbl, tx1, mkRow(1)); err != nil {
+		t.Fatal(err)
+	}
+	if tx1.MaxLSN() == 0 {
+		t.Fatal("insert did not thread its LSN back to the transaction")
+	}
+	// An unrelated writer advances the global allocator.
+	tx2 := tc.eng.Txm().Begin()
+	for i := int64(2); i < 10; i++ {
+		if err := tc.eng.Insert(tbl, tx2, mkRow(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if tx1.MaxLSN() >= tc.eng.SAL().CurrentLSN() {
+		t.Fatalf("per-txn wait LSN %d must be below global CurrentLSN %d",
+			tx1.MaxLSN(), tc.eng.SAL().CurrentLSN())
+	}
+	if tx2.MaxLSN() <= tx1.MaxLSN() {
+		t.Fatalf("later writer's watermark %d not above earlier %d", tx2.MaxLSN(), tx1.MaxLSN())
+	}
+	if err := tc.eng.Commit(tx1); err != nil {
+		t.Fatal(err)
+	}
+	// Commit durability covers exactly the transaction's own prefix.
+	if tc.eng.SAL().DurableLSN() < tx1.MaxLSN() {
+		t.Fatalf("durable %d below committed transaction's max LSN %d",
+			tc.eng.SAL().DurableLSN(), tx1.MaxLSN())
+	}
+	if err := tc.eng.Commit(tx2); err != nil {
+		t.Fatal(err)
+	}
+	// Updates and deletes thread their LSNs too.
+	tx3 := tc.eng.Txm().Begin()
+	if err := tc.eng.UpdateByPK(tbl, tx3, types.Row{types.NewInt(1)}, mkRow(1)); err != nil {
+		t.Fatal(err)
+	}
+	afterUpdate := tx3.MaxLSN()
+	if afterUpdate <= tx2.MaxLSN() {
+		t.Fatalf("update watermark %d not past prior writes", afterUpdate)
+	}
+	if err := tc.eng.DeleteByPK(tbl, tx3, types.Row{types.NewInt(2)}); err != nil {
+		t.Fatal(err)
+	}
+	if tx3.MaxLSN() <= afterUpdate {
+		t.Fatalf("delete did not advance the watermark: %d", tx3.MaxLSN())
+	}
+	if err := tc.eng.Commit(tx3); err != nil {
+		t.Fatal(err)
 	}
 }

@@ -35,8 +35,9 @@ func schemaOf(cols []wal.CatalogCol) *types.Schema {
 	return types.NewSchema(out...)
 }
 
-// logCatalog writes a durable catalog record through the SAL.
-func (e *Engine) logCatalog(entry *wal.CatalogEntry) error {
+// logCatalog writes a durable catalog record through the SAL,
+// returning its assigned LSN.
+func (e *Engine) logCatalog(entry *wal.CatalogEntry) (uint64, error) {
 	return e.salc.Write(&wal.Record{Type: wal.TypeCatalog, Payload: entry.EncodeCatalog(nil)})
 }
 
@@ -199,6 +200,11 @@ func (e *Engine) RecoverFrom(base *RecoveryBase, recs []wal.Record) (RecoverySta
 			entry, err := wal.DecodeCatalog(rec.Payload)
 			if err != nil {
 				return st, fmt.Errorf("engine: recovering catalog: %w", err)
+			}
+			if entry.Kind == wal.CatalogBarrier {
+				// Recovery barriers carry a void-from LSN in IndexID,
+				// not an index id; they define nothing.
+				continue
 			}
 			if seenEntry[entry.IndexID] {
 				continue // already in the checkpoint base

@@ -19,7 +19,11 @@ package logstore
 
 import (
 	"fmt"
+	"os"
+	"path/filepath"
 	"sort"
+	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -38,15 +42,35 @@ type Store struct {
 	// truncatedLSN is the GC watermark: records at or below it have
 	// been dropped from memory (and their sealed segments reclaimed).
 	truncatedLSN uint64
+	// holes tracks LSNs below durableLSN that no accepted batch has
+	// carried yet. The SAL's per-slice write lanes append their windows
+	// concurrently, so batches from different lanes interleave in LSN
+	// space and can arrive out of order: accepting [6,8] before [5,7]
+	// must not make the [5,7] batch look like an idempotent duplicate.
+	// LSNs are allocated densely, so every LSN between the old and the
+	// new watermark that the advancing batch did not carry is a pending
+	// hole; a record is a duplicate only if it is at or below the
+	// watermark AND not a pending hole. The set is bounded by the
+	// lanes' in-flight windows.
+	holes map[uint64]struct{}
 	// failed is the sticky disk-failure state: once a persist fails,
 	// the in-memory watermark may overstate what is on disk, so the
 	// store stops acknowledging anything rather than let a retried
 	// batch be filtered as a "duplicate" and falsely acked.
 	failed error
 
-	// disk is the persistent log; nil in memory mode.
+	// disk is the persistent log; nil in memory mode. dir is its
+	// directory (the GC watermark marker lives beside the segments).
 	disk *plog.Log
+	dir  string
 }
+
+// gcMarkFile persists the truncation watermark: plog GC deletes only
+// whole segments, so records below the watermark can survive on disk in
+// mixed segments, and without the marker a reopened store would
+// misread the gaps GC left (acknowledged, collected records) as pending
+// lane holes that no peer can ever fill.
+const gcMarkFile = "gcmark"
 
 // Option configures a disk-backed Store.
 type Option func(*plog.Options)
@@ -88,7 +112,12 @@ func Open(name, dir string, opts ...Option) (*Store, error) {
 	if err != nil {
 		return nil, fmt.Errorf("logstore %s: %w", name, err)
 	}
-	s := &Store{name: name, disk: disk}
+	s := &Store{name: name, disk: disk, dir: dir}
+	if b, err := os.ReadFile(filepath.Join(dir, gcMarkFile)); err == nil {
+		if mark, err := strconv.ParseUint(strings.TrimSpace(string(b)), 10, 64); err == nil {
+			s.truncatedLSN = mark
+		}
+	}
 	var all []wal.Record
 	err = disk.Replay(func(mark uint64, payload []byte) error {
 		recs, err := wal.DecodeAll(payload)
@@ -102,12 +131,30 @@ func Open(name, dir string, opts ...Option) (*Store, error) {
 		disk.Close()
 		return nil, err
 	}
-	// Entries land on disk in append order, which normally is LSN order;
-	// sort + dedupe anyway so recovery never depends on it.
+	// Entries land on disk in append order — per-lane FIFO streams, so
+	// NOT necessarily LSN order; sort + dedupe so recovery never
+	// depends on it.
 	sort.SliceStable(all, func(i, j int) bool { return all[i].LSN < all[j].LSN })
 	for _, r := range all {
 		if r.LSN <= s.durableLSN {
 			continue
+		}
+		// LSNs are dense, so a gap between surviving records is a
+		// pending hole another lane's batch (or a peer's CatchUp) may
+		// still fill — rebuild the hole set the crash wiped out, or a
+		// retried batch would be misfiled as a duplicate. Gaps at or
+		// below the persisted GC watermark are not holes: segment GC
+		// collected those acknowledged records on purpose.
+		if s.durableLSN != 0 {
+			for lsn := s.durableLSN + 1; lsn < r.LSN; lsn++ {
+				if lsn <= s.truncatedLSN {
+					continue
+				}
+				if s.holes == nil {
+					s.holes = make(map[uint64]struct{})
+				}
+				s.holes[lsn] = struct{}{}
+			}
 		}
 		s.log = append(s.log, r)
 		s.durableLSN = r.LSN
@@ -171,17 +218,23 @@ func (s *Store) Append(encoded []byte) (uint64, error) {
 		return 0, err
 	}
 	// Filter records already durable (idempotent re-delivery) and keep
-	// only the fresh suffix. Batches arriving out of order below the
-	// durable watermark are treated as duplicates wholesale.
+	// only the fresh ones. A record at or below the watermark is fresh
+	// when it fills a pending hole left by an out-of-order lane batch;
+	// anything else below the watermark is a duplicate.
 	var fresh []wal.Record
 	var freshEnc []byte
+	batchLSNs := make(map[uint64]struct{}, len(recs))
 	maxLSN := s.durableLSN
 	for i := range recs {
 		r := &recs[i]
 		if r.LSN <= s.durableLSN {
-			continue
+			if _, pending := s.holes[r.LSN]; !pending {
+				continue
+			}
+			delete(s.holes, r.LSN)
 		}
 		fresh = append(fresh, *r)
+		batchLSNs[r.LSN] = struct{}{}
 		if s.disk != nil {
 			freshEnc = r.Encode(freshEnc)
 		}
@@ -194,8 +247,20 @@ func (s *Store) Append(encoded []byte) (uint64, error) {
 		s.mu.Unlock()
 		return lsn, nil
 	}
+	// Advancing the watermark past LSNs this batch did not carry leaves
+	// them as pending holes other lanes' batches will fill.
+	if maxLSN > s.durableLSN {
+		if s.holes == nil {
+			s.holes = make(map[uint64]struct{})
+		}
+		for lsn := s.durableLSN + 1; lsn < maxLSN; lsn++ {
+			if _, ok := batchLSNs[lsn]; !ok {
+				s.holes[lsn] = struct{}{}
+			}
+		}
+	}
 	if s.disk == nil {
-		s.log = append(s.log, fresh...)
+		s.insertSortedLocked(fresh)
 		s.durableLSN = maxLSN
 		s.mu.Unlock()
 		return maxLSN, nil
@@ -209,7 +274,7 @@ func (s *Store) Append(encoded []byte) (uint64, error) {
 		s.mu.Unlock()
 		return 0, fmt.Errorf("logstore %s: %w", s.name, err)
 	}
-	s.log = append(s.log, fresh...)
+	s.insertSortedLocked(fresh)
 	s.durableLSN = maxLSN
 	disk := s.disk
 	s.mu.Unlock()
@@ -229,11 +294,44 @@ func (s *Store) Append(encoded []byte) (uint64, error) {
 	return maxLSN, nil
 }
 
+// insertSortedLocked splices a batch (itself in LSN order) into the
+// in-memory log, keeping it sorted so ReadFrom serves recovery in LSN
+// order even when lane batches were accepted out of order. The common
+// case — the batch extends the tail — stays a plain append; a
+// hole-filling batch merges into the short suffix it overlaps.
+func (s *Store) insertSortedLocked(fresh []wal.Record) {
+	if len(s.log) == 0 || fresh[0].LSN > s.log[len(s.log)-1].LSN {
+		s.log = append(s.log, fresh...)
+		return
+	}
+	i := sort.Search(len(s.log), func(i int) bool { return s.log[i].LSN > fresh[0].LSN })
+	suffix := append([]wal.Record(nil), s.log[i:]...)
+	s.log = s.log[:i]
+	for len(suffix) > 0 && len(fresh) > 0 {
+		if suffix[0].LSN < fresh[0].LSN {
+			s.log = append(s.log, suffix[0])
+			suffix = suffix[1:]
+		} else {
+			s.log = append(s.log, fresh[0])
+			fresh = fresh[1:]
+		}
+	}
+	s.log = append(append(s.log, suffix...), fresh...)
+}
+
 // DurableLSN returns the highest durable LSN.
 func (s *Store) DurableLSN() uint64 {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.durableLSN
+}
+
+// PendingHoles reports LSNs below the durable watermark still awaiting
+// another write lane's batch (0 at rest).
+func (s *Store) PendingHoles() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.holes)
 }
 
 // TruncatedLSN returns the GC watermark (0 = nothing truncated).
@@ -279,13 +377,31 @@ func (s *Store) TruncateBelow(watermark uint64) (int, uint64, error) {
 		}
 	}
 	s.log = append([]wal.Record(nil), kept...)
+	for lsn := range s.holes {
+		if lsn < watermark {
+			delete(s.holes, lsn)
+		}
+	}
 	if watermark > 0 && watermark-1 > s.truncatedLSN {
 		s.truncatedLSN = watermark - 1
 	}
 	disk := s.disk
+	dir := s.dir
+	mark := s.truncatedLSN
 	s.mu.Unlock()
 	if disk == nil {
 		return 0, 0, nil
+	}
+	// Persist the (monotone) watermark before deleting segments: a
+	// reopen must be able to tell GC'd gaps from pending lane holes.
+	if mark > 0 {
+		tmp := filepath.Join(dir, gcMarkFile+".tmp")
+		if err := os.WriteFile(tmp, []byte(strconv.FormatUint(mark, 10)), 0o644); err != nil {
+			return 0, 0, fmt.Errorf("logstore %s: %w", s.name, err)
+		}
+		if err := os.Rename(tmp, filepath.Join(dir, gcMarkFile)); err != nil {
+			return 0, 0, fmt.Errorf("logstore %s: %w", s.name, err)
+		}
 	}
 	before := disk.Snapshot().GCBytes
 	removed, err := disk.TruncateBelow(watermark)
@@ -308,11 +424,12 @@ func (s *Store) Segments() int {
 // CatchUp is the Log Store replica repair skeleton: a lagging replica
 // pulls the batches it is missing straight out of a peer's persistent
 // log (plog.Replay streams them in append order) instead of waiting for
-// the SAL's triplicate writes to be retried. Only the durable tail is
-// repaired — batches whose highest LSN exceeds this store's durable
-// LSN; holes below the durable watermark (a torn middle) still need
-// full replica rebuild, tracked in ROADMAP. Returns the number of
-// records appended.
+// the SAL's triplicate writes to be retried. The durable tail is
+// repaired (batches whose highest LSN exceeds this store's durable
+// LSN), and so are tracked pending holes below the watermark — LSN
+// gaps left by interleaved lane batches, rebuilt from gaps at Open. A
+// torn middle the peer ALSO lacks still needs full replica rebuild,
+// tracked in ROADMAP. Returns the number of records appended.
 func (s *Store) CatchUp(peer *Store) (int, error) {
 	if peer == nil || !peer.Durable() {
 		return 0, fmt.Errorf("logstore %s: catch-up needs a disk-backed peer", s.name)
@@ -320,8 +437,15 @@ func (s *Store) CatchUp(peer *Store) (int, error) {
 	appended := 0
 	err := peer.disk.Replay(func(mark uint64, payload []byte) error {
 		// mark is the batch's highest LSN; skip batches we already have
-		// without decoding them.
-		if mark <= s.DurableLSN() {
+		// without decoding them — unless this store has pending holes
+		// below its watermark (interleaved lane batches lost in a
+		// crash), in which case a below-watermark peer batch may be
+		// exactly the filler and Append's hole-aware filter must see
+		// it.
+		s.mu.Lock()
+		pendingHoles := len(s.holes)
+		s.mu.Unlock()
+		if mark <= s.DurableLSN() && pendingHoles == 0 {
 			return nil
 		}
 		before := s.Len()
@@ -345,6 +469,9 @@ type NodeStats struct {
 	DurableLSN   uint64
 	TruncatedLSN uint64
 	Records      int
+	// PendingHoles counts LSNs below the durable watermark still
+	// awaiting another write lane's batch (normally 0 at rest).
+	PendingHoles int
 	// Segments counts on-disk segment files (0 in memory mode); Log
 	// holds the persistent log's counters, including GCBytes reclaimed
 	// by watermark-driven truncation.
@@ -354,12 +481,16 @@ type NodeStats struct {
 
 // NodeStats snapshots the store's observable state.
 func (s *Store) NodeStats() NodeStats {
+	s.mu.Lock()
+	pendingHoles := len(s.holes)
+	s.mu.Unlock()
 	return NodeStats{
 		Name:         s.name,
 		Durable:      s.Durable(),
 		DurableLSN:   s.DurableLSN(),
 		TruncatedLSN: s.TruncatedLSN(),
 		Records:      s.Len(),
+		PendingHoles: pendingHoles,
 		Segments:     s.Segments(),
 		Log:          s.LogStats(),
 	}

@@ -87,22 +87,40 @@ func TestOutOfOrderLSNBatches(t *testing.T) {
 			} else {
 				s = New("log1")
 			}
-			// Later batch arrives first.
+			// A later lane's batch arrives first: the watermark advances
+			// and the skipped LSNs become pending holes.
 			if lsn, err := s.Append(encodeRecs(
 				wal.Record{LSN: 5, Type: wal.TypeCompact, PageID: 1},
 				wal.Record{LSN: 6, Type: wal.TypeCompact, PageID: 1},
 			)); err != nil || lsn != 6 {
 				t.Fatalf("first batch: lsn=%d err=%v", lsn, err)
 			}
-			// A batch entirely below the durable watermark is a duplicate.
+			if holes := s.NodeStats().PendingHoles; holes != 4 {
+				t.Fatalf("pending holes = %d, want 4 (LSNs 1-4)", holes)
+			}
+			// Another lane's batch below the watermark fills its holes —
+			// it must NOT be dropped as a duplicate.
 			if lsn, err := s.Append(encodeRecs(
 				wal.Record{LSN: 3, Type: wal.TypeCompact, PageID: 1},
 				wal.Record{LSN: 4, Type: wal.TypeCompact, PageID: 1},
 			)); err != nil || lsn != 6 {
-				t.Fatalf("stale batch: lsn=%d err=%v", lsn, err)
+				t.Fatalf("hole-filling batch: lsn=%d err=%v", lsn, err)
 			}
-			if s.Len() != 2 {
-				t.Fatalf("stale batch stored: len=%d", s.Len())
+			if s.Len() != 4 {
+				t.Fatalf("hole-filling batch dropped: len=%d", s.Len())
+			}
+			if holes := s.NodeStats().PendingHoles; holes != 2 {
+				t.Fatalf("pending holes = %d, want 2 (LSNs 1-2)", holes)
+			}
+			// Re-delivering the same records IS a duplicate.
+			if lsn, err := s.Append(encodeRecs(
+				wal.Record{LSN: 3, Type: wal.TypeCompact, PageID: 1},
+				wal.Record{LSN: 4, Type: wal.TypeCompact, PageID: 1},
+			)); err != nil || lsn != 6 {
+				t.Fatalf("redelivered batch: lsn=%d err=%v", lsn, err)
+			}
+			if s.Len() != 4 {
+				t.Fatalf("redelivered batch stored: len=%d", s.Len())
 			}
 			// A batch straddling the watermark keeps only the fresh suffix.
 			if lsn, err := s.Append(encodeRecs(
@@ -111,7 +129,7 @@ func TestOutOfOrderLSNBatches(t *testing.T) {
 			)); err != nil || lsn != 7 {
 				t.Fatalf("straddling batch: lsn=%d err=%v", lsn, err)
 			}
-			if s.Len() != 3 || s.DurableLSN() != 7 {
+			if s.Len() != 5 || s.DurableLSN() != 7 {
 				t.Fatalf("len=%d durable=%d", s.Len(), s.DurableLSN())
 			}
 			recs := s.ReadFrom(0)
@@ -304,5 +322,115 @@ func TestCatchUpFromPeer(t *testing.T) {
 	// A memory-mode peer cannot serve catch-up.
 	if _, err := re.CatchUp(New("mem")); err == nil {
 		t.Fatal("catch-up from a memory peer must fail")
+	}
+}
+
+// TestCatchUpFillsHoles verifies replica repair across interleaved lane
+// batches: a replica that missed an earlier lane's batch (a pending
+// hole below its durable watermark) pulls it from a peer — including
+// after a restart, when the hole set is rebuilt from the LSN gaps.
+func TestCatchUpFillsHoles(t *testing.T) {
+	peerDir, replicaDir := t.TempDir(), t.TempDir()
+	peer, err := Open("peer", peerDir, WithNoSync())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer peer.Close()
+	replica, err := Open("replica", replicaDir, WithNoSync())
+	if err != nil {
+		t.Fatal(err)
+	}
+	laneA := encodeRecs(
+		wal.Record{LSN: 1, Type: wal.TypeCompact, PageID: 1},
+		wal.Record{LSN: 2, Type: wal.TypeCompact, PageID: 1},
+	)
+	laneB := encodeRecs(
+		wal.Record{LSN: 3, Type: wal.TypeCompact, PageID: 9},
+		wal.Record{LSN: 4, Type: wal.TypeCompact, PageID: 9},
+	)
+	laneC := encodeRecs(
+		wal.Record{LSN: 5, Type: wal.TypeCompact, PageID: 1},
+		wal.Record{LSN: 6, Type: wal.TypeCompact, PageID: 1},
+	)
+	for _, batch := range [][]byte{laneA, laneB, laneC} {
+		if _, err := peer.Append(batch); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The replica got lanes A and C but lost lane B's batch in between.
+	for _, batch := range [][]byte{laneA, laneC} {
+		if _, err := replica.Append(batch); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if replica.PendingHoles() != 2 || replica.DurableLSN() != 6 {
+		t.Fatalf("replica holes=%d durable=%d", replica.PendingHoles(), replica.DurableLSN())
+	}
+	// Restart the replica: the hole set must be rebuilt from the gap.
+	if err := replica.Close(); err != nil {
+		t.Fatal(err)
+	}
+	replica, err = Open("replica", replicaDir, WithNoSync())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer replica.Close()
+	if replica.PendingHoles() != 2 {
+		t.Fatalf("holes not rebuilt on open: %d", replica.PendingHoles())
+	}
+	// CatchUp must not skip the below-watermark hole-filling batch.
+	appended, err := replica.CatchUp(peer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if appended != 2 || replica.PendingHoles() != 0 || replica.Len() != 6 {
+		t.Fatalf("after catch-up: appended=%d holes=%d len=%d",
+			appended, replica.PendingHoles(), replica.Len())
+	}
+	recs := replica.ReadFrom(0)
+	for i := 1; i < len(recs); i++ {
+		if recs[i].LSN <= recs[i-1].LSN {
+			t.Fatalf("log not LSN-sorted after repair: %v", recs[i].LSN)
+		}
+	}
+}
+
+// TestGCMarkSurvivesReopen pins the persisted GC watermark: segment GC
+// deletes whole segments, so collected records can leave gaps between
+// surviving mixed segments — a reopened store must not reconstruct
+// those gaps as pending lane holes (no peer can ever fill them), and
+// the truncation watermark itself must survive the restart.
+func TestGCMarkSurvivesReopen(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open("log1", dir, WithNoSync(), WithSegmentBytes(128))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for lsn := uint64(1); lsn <= 40; lsn++ {
+		if _, err := s.Append(encodeRecs(wal.Record{LSN: lsn, Type: wal.TypeCompact, PageID: lsn})); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, _, err := s.TruncateBelow(30); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Open("log1", dir, WithNoSync())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if s2.TruncatedLSN() != 29 {
+		t.Fatalf("truncation watermark lost on reopen: %d", s2.TruncatedLSN())
+	}
+	// Surviving mixed segments may still start below the watermark; any
+	// gap at or below it is a GC artifact, not a pending hole.
+	if s2.PendingHoles() != 0 {
+		t.Fatalf("GC'd prefix reconstructed as %d pending holes", s2.PendingHoles())
+	}
+	if s2.DurableLSN() != 40 {
+		t.Fatalf("durable = %d", s2.DurableLSN())
 	}
 }

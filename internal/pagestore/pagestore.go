@@ -355,6 +355,43 @@ func (s *Store) LSNInfo(tenant uint32) (slices int, appliedMin, persistedMin uin
 	return slices, appliedMin, persistedMin
 }
 
+// SliceLSN is one slice's LSN frontier on this node, for stats
+// endpoints and the bench harness (confirming per-slice write lanes
+// advance independently: one slice's applied LSN keeps moving while a
+// slow sibling's lags).
+type SliceLSN struct {
+	Tenant       uint32
+	SliceID      uint32
+	AppliedLSN   uint64
+	PersistedLSN uint64
+}
+
+// SliceLSNs reports every hosted slice's applied/persisted LSNs (all
+// tenants when tenant is 0), sorted by tenant then slice.
+func (s *Store) SliceLSNs(tenant uint32) []SliceLSN {
+	s.mu.RLock()
+	out := make([]SliceLSN, 0, len(s.slices))
+	for k, sl := range s.slices {
+		if tenant != 0 && k.tenant != tenant {
+			continue
+		}
+		sl.mu.RLock()
+		out = append(out, SliceLSN{
+			Tenant: k.tenant, SliceID: k.sliceID,
+			AppliedLSN: sl.appliedLSN, PersistedLSN: sl.persistedLSN,
+		})
+		sl.mu.RUnlock()
+	}
+	s.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Tenant != out[j].Tenant {
+			return out[i].Tenant < out[j].Tenant
+		}
+		return out[i].SliceID < out[j].SliceID
+	})
+	return out
+}
+
 // RestoreStats reports what Restore loaded from the checkpoint store.
 type RestoreStats struct {
 	Slices  int
@@ -519,6 +556,8 @@ type NodeStats struct {
 	LastCheckpoint       time.Time
 	CheckpointAgeSeconds float64
 	Stats                StatsSnapshot
+	// PerSlice breaks the LSN frontier down by hosted slice.
+	PerSlice []SliceLSN
 }
 
 // NodeStats snapshots the store's observable state.
@@ -533,6 +572,7 @@ func (s *Store) NodeStats() NodeStats {
 		LastCheckpoint:       s.LastCheckpoint(),
 		CheckpointAgeSeconds: -1,
 		Stats:                s.Snapshot(),
+		PerSlice:             s.SliceLSNs(0),
 	}
 	if !ns.LastCheckpoint.IsZero() {
 		ns.CheckpointAgeSeconds = time.Since(ns.LastCheckpoint).Seconds()

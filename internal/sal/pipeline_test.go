@@ -3,6 +3,7 @@ package sal
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -91,7 +92,7 @@ func TestConcurrentCommitters(t *testing.T) {
 	const perWriter = 50
 	// One page per writer so slices see concurrent traffic.
 	for w := 0; w < writers; w++ {
-		if err := f.sal.Write(&wal.Record{Type: wal.TypeFormatPage, PageID: uint64(w + 1), IndexID: 1}); err != nil {
+		if _, err := f.sal.Write(&wal.Record{Type: wal.TypeFormatPage, PageID: uint64(w + 1), IndexID: 1}); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -106,7 +107,7 @@ func TestConcurrentCommitters(t *testing.T) {
 			defer wg.Done()
 			for i := 0; i < perWriter; i++ {
 				rec := insertRec(uint64(w+1), int64(w*perWriter+i))
-				if err := f.sal.Write(rec); err != nil {
+				if _, err := f.sal.Write(rec); err != nil {
 					errs[w] = err
 					return
 				}
@@ -170,7 +171,7 @@ func TestConcurrentCommitters(t *testing.T) {
 // blocks on the applied LSN until applies are released.
 func TestCommitDoesNotWaitForApply(t *testing.T) {
 	f, ht := newHookedFixture(t, 100, 2, 4)
-	if err := f.sal.Write(&wal.Record{Type: wal.TypeFormatPage, PageID: 1, IndexID: 1}); err != nil {
+	if _, err := f.sal.Write(&wal.Record{Type: wal.TypeFormatPage, PageID: 1, IndexID: 1}); err != nil {
 		t.Fatal(err)
 	}
 	if err := f.sal.Flush(); err != nil {
@@ -184,7 +185,7 @@ func TestCommitDoesNotWaitForApply(t *testing.T) {
 		return nil
 	})
 	rec := insertRec(1, 42)
-	if err := f.sal.Write(rec); err != nil {
+	if _, err := f.sal.Write(rec); err != nil {
 		t.Fatal(err)
 	}
 	done := make(chan error, 1)
@@ -254,7 +255,7 @@ func TestReadFastPathSkipsWait(t *testing.T) {
 // the durable watermark does not advance past the failure.
 func TestPipelinePoisonedByLogFailure(t *testing.T) {
 	f, ht := newHookedFixture(t, 100, 2, 4)
-	if err := f.sal.Write(&wal.Record{Type: wal.TypeFormatPage, PageID: 1, IndexID: 1}); err != nil {
+	if _, err := f.sal.Write(&wal.Record{Type: wal.TypeFormatPage, PageID: 1, IndexID: 1}); err != nil {
 		t.Fatal(err)
 	}
 	if err := f.sal.Flush(); err != nil {
@@ -268,7 +269,7 @@ func TestPipelinePoisonedByLogFailure(t *testing.T) {
 		return nil
 	})
 	rec := insertRec(1, 7)
-	if err := f.sal.Write(rec); err != nil {
+	if _, err := f.sal.Write(rec); err != nil {
 		t.Fatal(err)
 	}
 	if err := f.sal.WaitDurable(rec.LSN); err == nil {
@@ -280,7 +281,7 @@ func TestPipelinePoisonedByLogFailure(t *testing.T) {
 	if err := f.sal.Flush(); err == nil {
 		t.Fatal("Flush must surface the sticky error")
 	}
-	if err := f.sal.Write(insertRec(1, 8)); err == nil {
+	if _, err := f.sal.Write(insertRec(1, 8)); err == nil {
 		t.Fatal("Write must surface the sticky error")
 	}
 	if _, err := f.sal.ReadPage(1, 0); err == nil {
@@ -304,13 +305,13 @@ func TestBackpressureBoundsStaging(t *testing.T) {
 	s, err := New(Config{
 		Tenant: 1, Transport: ht, PageStores: psNames, ReplicationFactor: 1,
 		PagesPerSlice: 1 << 20, Plugin: pagestore.PluginInnoDB,
-		FlushThreshold: 2, MaxInFlightWindows: 2,
+		FlushThreshold: 2, MaxInFlightWindows: 2, ApplyBacklogWindows: 2,
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
 	f.sal = s
-	if err := s.Write(&wal.Record{Type: wal.TypeFormatPage, PageID: 1, IndexID: 1}); err != nil {
+	if _, err := s.Write(&wal.Record{Type: wal.TypeFormatPage, PageID: 1, IndexID: 1}); err != nil {
 		t.Fatal(err)
 	}
 	if err := s.Flush(); err != nil {
@@ -327,7 +328,7 @@ func TestBackpressureBoundsStaging(t *testing.T) {
 	go func() {
 		defer close(done)
 		for i := 0; i < 64; i++ {
-			if err := s.Write(insertRec(1, int64(i))); err != nil {
+			if _, err := s.Write(insertRec(1, int64(i))); err != nil {
 				t.Error(err)
 				return
 			}
@@ -356,10 +357,10 @@ func TestBackpressureBoundsStaging(t *testing.T) {
 // the SAL refuses use afterwards.
 func TestCloseDrainsAndRejects(t *testing.T) {
 	f, _ := newHookedFixture(t, 100, 2, 256) // threshold never reached
-	if err := f.sal.Write(&wal.Record{Type: wal.TypeFormatPage, PageID: 1, IndexID: 1}); err != nil {
+	if _, err := f.sal.Write(&wal.Record{Type: wal.TypeFormatPage, PageID: 1, IndexID: 1}); err != nil {
 		t.Fatal(err)
 	}
-	if err := f.sal.Write(insertRec(1, 1)); err != nil {
+	if _, err := f.sal.Write(insertRec(1, 1)); err != nil {
 		t.Fatal(err)
 	}
 	if err := f.sal.Close(); err != nil {
@@ -368,7 +369,7 @@ func TestCloseDrainsAndRejects(t *testing.T) {
 	if f.logs[0].Len() != 2 {
 		t.Fatalf("Close did not drain: %d records durable", f.logs[0].Len())
 	}
-	if err := f.sal.Write(insertRec(1, 2)); err == nil {
+	if _, err := f.sal.Write(insertRec(1, 2)); err == nil {
 		t.Fatal("Write after Close must fail")
 	}
 	if err := f.sal.Close(); err != nil {
@@ -408,5 +409,318 @@ func TestWindowsPipelineAcrossSlices(t *testing.T) {
 	}
 	if st := f.sal.Stats(); st.WindowsFlushed < 2 {
 		t.Fatalf("expected multiple windows, got %+v", st)
+	}
+}
+
+// drainWindows flushes and returns the SAL's stats after the drain.
+func drainWindows(t *testing.T, f *fixture) PipelineStats {
+	t.Helper()
+	if err := f.sal.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return f.sal.Stats()
+}
+
+// promoteSlice drives enough single-slice traffic through the shared
+// lane that the slice is promoted to a dedicated lane, and fails the
+// test if it is not.
+func promoteSlice(t *testing.T, f *fixture, pageID uint64, rows int) {
+	t.Helper()
+	for i := 0; i < rows; i++ {
+		if _, err := f.sal.Write(insertRec(pageID, int64(1000+i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := drainWindows(t, f)
+	if st.Promotions == 0 {
+		t.Fatalf("hot slice not promoted after %d single-slice records: %+v", rows, st)
+	}
+}
+
+// newLaneFixture is newHookedFixture with explicit lane and threshold
+// control.
+func newLaneFixture(t testing.TB, pagesPerSlice uint64, threshold, lanes int) (*fixture, *hookTransport) {
+	t.Helper()
+	tr := cluster.NewInProc()
+	ht := &hookTransport{inner: tr}
+	f := &fixture{tr: tr}
+	logNames := []string{"log1", "log2", "log3"}
+	for _, n := range logNames {
+		ls := logstore.New(n)
+		f.logs = append(f.logs, ls)
+		tr.Register(n, ls)
+	}
+	psNames := []string{"ps1", "ps2", "ps3", "ps4"}
+	for _, n := range psNames {
+		ps := pagestore.New(n)
+		f.stores = append(f.stores, ps)
+		tr.Register(n, ps)
+	}
+	s, err := New(Config{
+		Tenant: 1, Transport: ht, LogStores: logNames, PageStores: psNames,
+		ReplicationFactor: 2, PagesPerSlice: pagesPerSlice, Plugin: pagestore.PluginInnoDB,
+		FlushThreshold: threshold, MaxSliceLanes: lanes,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.sal = s
+	t.Cleanup(func() { f.sal.Close() })
+	return f, ht
+}
+
+// batchTouches reports whether an encoded log batch carries a record
+// for the given page.
+func batchTouches(t *testing.T, encoded []byte, pageID uint64) bool {
+	t.Helper()
+	recs, err := wal.DecodeAll(encoded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range recs {
+		if r.PageID == pageID {
+			return true
+		}
+	}
+	return false
+}
+
+// TestCommitWaitsOnlyOwnPrefix pins the per-transaction commit
+// semantics: a committer waits on ITS max LSN, and that wait completes
+// even while a later, unrelated writer's window is stuck in its fsync —
+// under the old global-snapshot wait it would have blocked behind it.
+func TestCommitWaitsOnlyOwnPrefix(t *testing.T) {
+	f, ht := newLaneFixture(t, 100, 1, 0) // every record its own window
+	if _, err := f.sal.Write(&wal.Record{Type: wal.TypeFormatPage, PageID: 1, IndexID: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.sal.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	rec1 := insertRec(1, 1)
+	lsn1, err := f.sal.Write(rec1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.sal.WaitDurable(lsn1); err != nil {
+		t.Fatal(err)
+	}
+	// Gate any further log appends, then stage an unrelated record: the
+	// global CurrentLSN moves past lsn1 while the new window can never
+	// become durable.
+	gate := make(chan struct{})
+	ht.setHook(func(node string, req any) error {
+		if m, ok := req.(*cluster.LogAppendReq); ok && batchTouches(t, m.Recs, 1) {
+			<-gate
+		}
+		return nil
+	})
+	rec2 := insertRec(1, 2)
+	lsn2, err := f.sal.Write(rec2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lsn1 >= f.sal.CurrentLSN() || lsn2 <= lsn1 {
+		t.Fatalf("per-txn wait LSN %d must be below global CurrentLSN %d", lsn1, f.sal.CurrentLSN())
+	}
+	// The earlier commit's wait target stays satisfied instantly.
+	done := make(chan error, 1)
+	go func() { done <- f.sal.WaitDurable(lsn1) }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("WaitDurable(own max LSN) blocked behind a later writer's fsync")
+	}
+	close(gate)
+	if err := f.sal.WaitDurable(lsn2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestStickyErrorConfinedToFailingLane promotes a hot slice to its own
+// lane, fails that lane's log appends, and verifies: the failing lane's
+// unacked commit errors; a commit whose records sit in the healthy
+// shared lane below the failure point still succeeds; and everything
+// durable before the failure stays acknowledged.
+func TestStickyErrorConfinedToFailingLane(t *testing.T) {
+	f, ht := newLaneFixture(t, 8, 8, 1) // pages 1-7 slice 0, page 9 slice 1
+	if _, err := f.sal.Write(&wal.Record{Type: wal.TypeFormatPage, PageID: 1, IndexID: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.sal.Write(&wal.Record{Type: wal.TypeFormatPage, PageID: 9, IndexID: 1}); err != nil {
+		t.Fatal(err)
+	}
+	promoteSlice(t, f, 1, 64) // slice 0 → dedicated lane 1
+	preDurable := f.sal.DurableLSN()
+
+	// Fail appends that carry the hot slice's records (lane 1's windows).
+	ht.setHook(func(node string, req any) error {
+		if m, ok := req.(*cluster.LogAppendReq); ok && batchTouches(t, m.Recs, 1) {
+			return fmt.Errorf("injected: hot lane append failure")
+		}
+		return nil
+	})
+	// Shared-lane record first (lower LSN), hot-lane record second.
+	coldLSN, err := f.sal.Write(insertRec(9, 500))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hotLSN, err := f.sal.Write(insertRec(1, 501))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if coldLSN >= hotLSN {
+		t.Fatalf("test setup: cold LSN %d must precede hot LSN %d", coldLSN, hotLSN)
+	}
+	// The failing lane's commit errors.
+	if err := f.sal.WaitDurable(hotLSN); err == nil {
+		t.Fatal("commit of the failing lane's record must surface the sticky error")
+	}
+	// The healthy lane's commit, below the failure point, succeeds.
+	if err := f.sal.WaitDurable(coldLSN); err != nil {
+		t.Fatalf("healthy-lane commit below the failure point failed: %v", err)
+	}
+	if f.sal.DurableLSN() < preDurable {
+		t.Fatal("pre-failure durability regressed")
+	}
+	if f.sal.DurableLSN() >= hotLSN {
+		t.Fatalf("durable watermark %d advanced over the failed window at %d", f.sal.DurableLSN(), hotLSN)
+	}
+	// New writes are rejected everywhere: recovery is Open's job.
+	if _, err := f.sal.Write(insertRec(9, 502)); err == nil {
+		t.Fatal("Write must surface the sticky error")
+	}
+}
+
+// TestCloseDrainsMultipleLanes stages sub-threshold records on both the
+// shared and a promoted lane, gates the Page Store applies so windows
+// from BOTH lanes are in flight, and verifies Close drains everything.
+func TestCloseDrainsMultipleLanes(t *testing.T) {
+	f, ht := newLaneFixture(t, 8, 64, 1)
+	if _, err := f.sal.Write(&wal.Record{Type: wal.TypeFormatPage, PageID: 1, IndexID: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.sal.Write(&wal.Record{Type: wal.TypeFormatPage, PageID: 9, IndexID: 1}); err != nil {
+		t.Fatal(err)
+	}
+	promoteSlice(t, f, 1, 64)
+	recordsBefore := f.logs[0].Len()
+
+	gate := make(chan struct{})
+	var gated atomic.Int32
+	ht.setHook(func(node string, req any) error {
+		if _, ok := req.(*cluster.WriteLogsReq); ok {
+			gated.Add(1)
+			<-gate
+		}
+		return nil
+	})
+	// Sub-threshold traffic on both lanes: nothing seals until Close.
+	const perLane = 5
+	for i := 0; i < perLane; i++ {
+		if _, err := f.sal.Write(insertRec(1, int64(600+i))); err != nil {
+			t.Fatal(err) // hot lane
+		}
+		if _, err := f.sal.Write(insertRec(9, int64(600+i))); err != nil {
+			t.Fatal(err) // shared lane
+		}
+	}
+	done := make(chan error, 1)
+	go func() { done <- f.sal.Close() }()
+	// Close must be blocked draining gated applies on both lanes.
+	select {
+	case err := <-done:
+		t.Fatalf("Close returned (%v) with applies gated", err)
+	case <-time.After(100 * time.Millisecond):
+	}
+	if gated.Load() == 0 {
+		t.Fatal("no applies reached the gate")
+	}
+	close(gate)
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	want := recordsBefore + 2*perLane
+	for _, ls := range f.logs {
+		if ls.Len() != want {
+			t.Fatalf("log store drained %d records, want %d", ls.Len(), want)
+		}
+		if ls.NodeStats().PendingHoles != 0 {
+			t.Fatalf("pending holes after drain: %+v", ls.NodeStats())
+		}
+	}
+	st := f.sal.Stats()
+	if st.PendingRecords != 0 || st.InFlightWindows != 0 {
+		t.Fatalf("pipeline not drained: %+v", st)
+	}
+	// Per-slice apply order survived the promotion handoff: nothing was
+	// dropped as a stale redelivery.
+	skipped := uint64(0)
+	for _, ps := range f.stores {
+		skipped += ps.Snapshot().LogRecordsSkipped
+	}
+	if skipped != 0 {
+		t.Fatalf("%d records dropped as stale redeliveries across the lane handoff", skipped)
+	}
+}
+
+// TestAdaptiveThresholdTracksLoad checks the adaptive flush threshold:
+// with no pinned FlushThreshold, a lane's threshold moves off the
+// initial value as arrival-rate and fsync EWMAs accumulate, and stays
+// inside the configured clamp.
+func TestAdaptiveThresholdTracksLoad(t *testing.T) {
+	tr := cluster.NewInProc()
+	f := &fixture{tr: tr}
+	for _, n := range []string{"log1"} {
+		ls := logstore.New(n)
+		f.logs = append(f.logs, ls)
+		tr.Register(n, ls)
+	}
+	for _, n := range []string{"ps1"} {
+		tr.Register(n, pagestore.New(n))
+	}
+	s, err := New(Config{
+		Tenant: 1, Transport: tr, LogStores: []string{"log1"}, PageStores: []string{"ps1"},
+		ReplicationFactor: 1, PagesPerSlice: 1 << 20, Plugin: pagestore.PluginInnoDB,
+		FlushThresholdMin: 4, FlushThresholdMax: 64, MaxSliceLanes: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	f.sal = s
+	if _, err := s.Write(&wal.Record{Type: wal.TypeFormatPage, PageID: 1, IndexID: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	// Commit-per-record traffic: tiny windows, in-memory "fsync" — the
+	// threshold should clamp down toward the minimum.
+	for i := 0; i < 200; i++ {
+		lsn, err := s.Write(insertRec(1, int64(i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.WaitDurable(lsn); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := s.Stats()
+	if len(st.Lanes) != 1 {
+		t.Fatalf("lanes = %d, want 1 (MaxSliceLanes: -1)", len(st.Lanes))
+	}
+	lane := st.Lanes[0]
+	if lane.FlushThreshold < 4 || lane.FlushThreshold > 64 {
+		t.Fatalf("adaptive threshold %d escaped clamp [4,64]", lane.FlushThreshold)
+	}
+	if lane.ArrivalPerSec == 0 || lane.FsyncMicros == 0 {
+		t.Fatalf("EWMAs not fed: %+v", lane)
+	}
+	if lane.SealsByReason[SealDemand]+lane.SealsByReason[SealThreshold] != lane.WindowsSealed {
+		t.Fatalf("seal reasons don't add up: %+v", lane)
 	}
 }

@@ -6,11 +6,14 @@
 // responsible for creating, managing, and destroying slices in Page
 // Stores; and routing page read requests to Page Stores" (§II).
 //
-// The write path is a pipelined group-commit engine (see pipeline.go):
-// writers stage records without blocking on I/O, a flusher ships sealed
-// windows to the Log Stores (durability, in triplicate) and then to the
-// Page Store replicas (application, asynchronous), and commit waiters
-// block only until the durable-LSN watermark covers their record.
+// The write path is a slice-partitioned, pipelined group-commit engine
+// (see pipeline.go): writers stage records into per-slice lanes without
+// blocking on I/O (hot slices get dedicated lanes, cold ones share the
+// default lane), each lane's flusher ships sealed windows to the Log
+// Stores (durability, in triplicate) and then to the Page Store
+// replicas (application, asynchronous), and commit waiters block only
+// until the durable-LSN watermark covers their transaction's own max
+// LSN. Readers wait per page, not per slice.
 //
 // For batch reads, "the Storage Abstraction Layer splits a batch read
 // into multiple sub-batches, based on where the pages are located. Pages
@@ -54,15 +57,37 @@ type Config struct {
 	// Plugin names the NDP plugin Page Stores should use for this
 	// frontend's descriptors.
 	Plugin string
-	// FlushThreshold is the number of staged log records that seals a
-	// group-commit window (default 256). Commit and read waiters seal
-	// early, so the threshold is purely a batching optimization.
+	// FlushThreshold pins every lane's group-commit window size (min =
+	// max = value). 0 enables the adaptive threshold: each lane sizes
+	// its window from EWMAs of arrival rate × fsync latency — batch
+	// roughly what arrives during one fsync — clamped to
+	// [FlushThresholdMin, FlushThresholdMax]. Commit and read waiters
+	// seal early, so the threshold is purely a batching optimization.
 	FlushThreshold int
-	// MaxInFlightWindows bounds the pipeline depth: how many sealed
-	// windows may be in the Log Store or Page Store stages at once
-	// (default 8). Beyond it, the flusher — and eventually writers —
-	// stall (backpressure).
+	// FlushThresholdMin / FlushThresholdMax clamp the adaptive
+	// threshold (defaults 16 / 1024). Ignored when FlushThreshold pins
+	// it.
+	FlushThresholdMin int
+	FlushThresholdMax int
+	// MaxInFlightWindows bounds each lane's LOG-stage depth: how many
+	// of the lane's sealed windows may be waiting for Log Store
+	// acknowledgement at once (default 8). Beyond it, the lane's
+	// flusher — and eventually its writers — stall (backpressure),
+	// without touching other lanes.
 	MaxInFlightWindows int
+	// ApplyBacklogWindows bounds each lane's APPLY-stage backlog: how
+	// many durable windows may be queued or in flight toward the Page
+	// Stores (default 256). Beyond it the lane's writers stall BEFORE
+	// staging — deliberately before, because an unstaged record cannot
+	// pin the durable watermark, so one slice's slow replica throttles
+	// only its own lane's writers and never delays other lanes'
+	// commits.
+	ApplyBacklogWindows int
+	// MaxSliceLanes is how many dedicated write lanes hot slices can be
+	// promoted into, besides the shared lane (default 2). Negative
+	// disables promotion entirely (single shared lane — the old
+	// global-window behavior, kept for before/after benchmarks).
+	MaxSliceLanes int
 }
 
 // SAL is the storage abstraction layer instance inside one frontend.
@@ -72,38 +97,46 @@ type SAL struct {
 	lsn atomic.Uint64
 	rr  atomic.Uint64 // round-robin read replica selector
 
-	// Staging buffer (open group-commit window).
-	stageMu   sync.Mutex
-	stageCond *sync.Cond
-	stage     *stage
-	pending   atomic.Int64 // records staged or in flight, not yet applied
+	// Write lanes: lanes[0] is the shared lane, the rest are dedicated
+	// lanes hot slices get promoted into. The slice→lane assignment
+	// lives in each sliceProgress.
+	lanes   []*lane
+	pending atomic.Int64 // records staged or in flight, not yet applied
 
-	// Per-slice replica sets and LSN frontiers.
+	// Hot-slice promotion state, owned by the shared lane's flusher
+	// goroutine.
+	laneHeat     map[uint32]float64
+	heatObserved int
+	nextLane     int
+
+	// Per-slice replica sets, lane assignments, and LSN frontiers.
 	slMu      sync.Mutex
 	sliceProg map[uint32]*sliceProgress
 
-	// Durable (commit) watermark.
+	// Durable (commit) watermark. durFloor freezes it below the first
+	// failed window; durMu also guards every lane's pendingQ so sealing
+	// and watermark recomputation are atomic.
 	durMu         sync.Mutex
 	durCond       *sync.Cond
 	durable       uint64
+	durFloor      uint64
 	durableAtomic atomic.Uint64
 
 	// Flush drain.
 	flushMu   sync.Mutex
 	flushCond *sync.Cond
 
-	// Pipeline plumbing.
-	notify      chan struct{}
-	quit        chan struct{}
-	flusherDone chan struct{}
-	sem         chan struct{} // in-flight window budget
-	nodeChs     []chan *window
-	nodeWG      sync.WaitGroup
-	applyCh     chan *window
-	applyDone   chan struct{}
-	sliceWG     sync.WaitGroup
-	inflight    atomic.Int64
-	logInflight atomic.Int64
+	// Shared apply plumbing: per-slice FIFO workers fed by every lane's
+	// dispatcher. Worker queues are unbounded lists (backpressure is
+	// the per-lane apply backlog bound, applied to writers before they
+	// stage) so handing a durable window to the apply stage never
+	// blocks the durability pipeline.
+	quit         chan struct{}
+	applyMu      sync.Mutex
+	applyWorkers map[uint32]*sliceQueue
+	dispatchWG   sync.WaitGroup
+	sliceWG      sync.WaitGroup
+	applyDone    chan struct{}
 
 	errMu sync.Mutex
 	err   error
@@ -132,11 +165,28 @@ func New(cfg Config) (*SAL, error) {
 	if cfg.PagesPerSlice == 0 {
 		cfg.PagesPerSlice = DefaultPagesPerSlice
 	}
-	if cfg.FlushThreshold <= 0 {
-		cfg.FlushThreshold = 256
+	if cfg.FlushThreshold < 0 {
+		cfg.FlushThreshold = 0
+	}
+	if cfg.FlushThresholdMin <= 0 {
+		cfg.FlushThresholdMin = DefaultFlushThresholdMin
+	}
+	if cfg.FlushThresholdMax < cfg.FlushThresholdMin {
+		cfg.FlushThresholdMax = DefaultFlushThresholdMax
+		if cfg.FlushThresholdMax < cfg.FlushThresholdMin {
+			cfg.FlushThresholdMax = cfg.FlushThresholdMin
+		}
 	}
 	if cfg.MaxInFlightWindows <= 0 {
 		cfg.MaxInFlightWindows = DefaultMaxInFlightWindows
+	}
+	if cfg.ApplyBacklogWindows <= 0 {
+		cfg.ApplyBacklogWindows = DefaultApplyBacklogWindows
+	}
+	if cfg.MaxSliceLanes == 0 {
+		cfg.MaxSliceLanes = DefaultMaxSliceLanes
+	} else if cfg.MaxSliceLanes < 0 {
+		cfg.MaxSliceLanes = 0
 	}
 	s := &SAL{
 		cfg:       cfg,
@@ -192,14 +242,18 @@ func (s *SAL) Replay(recs []wal.Record) error {
 		sliceID := s.SliceOf(rec.PageID)
 		g, ok := groups[sliceID]
 		if !ok {
-			g = &sliceBatch{}
+			g = &sliceBatch{pageMax: make(map[uint64]uint64)}
 			groups[sliceID] = g
 			order = append(order, sliceID)
 		}
 		g.enc = rec.Encode(g.enc)
+		if g.minLSN == 0 {
+			g.minLSN = rec.LSN
+		}
 		if rec.LSN > g.maxLSN {
 			g.maxLSN = rec.LSN
 		}
+		g.count++
 		if rec.LSN > maxLSN {
 			maxLSN = rec.LSN
 		}
@@ -299,12 +353,13 @@ func (s *SAL) readReplica(nodes []string) string {
 }
 
 // ReadPage fetches one page image at the given LSN (0 = latest). It
-// waits only until the page's slice has applied everything staged for
-// it — never for a full pipeline flush — and with nothing pending the
-// wait is a single atomic load.
+// waits only until the slice has applied everything staged for THIS
+// page — never for the slice's whole staged prefix, let alone a full
+// pipeline flush — and with nothing pending the wait is a single atomic
+// load.
 func (s *SAL) ReadPage(pageID, lsn uint64) ([]byte, error) {
 	sliceID := s.SliceOf(pageID)
-	if err := s.waitApplied(sliceID); err != nil {
+	if err := s.waitAppliedPages(sliceID, pageID); err != nil {
 		return nil, err
 	}
 	nodes, err := s.placement(sliceID)
@@ -335,7 +390,8 @@ type BatchResult struct {
 // BatchRead splits the page list into per-slice sub-batches, dispatches
 // them concurrently, and reassembles the responses in request order.
 // desc is the encoded NDP descriptor (nil for a plain batch read). Each
-// sub-batch waits only on its own slice's applied LSN.
+// sub-batch waits only until the pages it actually requests are
+// applied.
 func (s *SAL) BatchRead(pageIDs []uint64, lsn uint64, desc []byte) (*BatchResult, error) {
 	type subBatch struct {
 		sliceID uint32
@@ -361,7 +417,7 @@ func (s *SAL) BatchRead(pageIDs []uint64, lsn uint64, desc []byte) (*BatchResult
 	var mu sync.Mutex
 	for oi, sliceID := range order {
 		sb := subs[sliceID]
-		if err := s.waitApplied(sliceID); err != nil {
+		if err := s.waitAppliedPages(sliceID, sb.ids...); err != nil {
 			return nil, err
 		}
 		nodes, err := s.placement(sliceID)

@@ -60,13 +60,13 @@ func (f *fixture) writePages(t testing.TB, nPages, rowsPerPage int) {
 	t.Helper()
 	id := int64(0)
 	for p := 1; p <= nPages; p++ {
-		if err := f.sal.Write(&wal.Record{Type: wal.TypeFormatPage, PageID: uint64(p), IndexID: 1}); err != nil {
+		if _, err := f.sal.Write(&wal.Record{Type: wal.TypeFormatPage, PageID: uint64(p), IndexID: 1}); err != nil {
 			t.Fatal(err)
 		}
 		for r := 0; r < rowsPerPage; r++ {
 			key := types.EncodeKey(nil, types.Row{types.NewInt(id)})
 			row := types.EncodeRow(nil, idvSchema, types.Row{types.NewInt(id), types.NewInt(id % 10)})
-			if err := f.sal.Write(&wal.Record{
+			if _, err := f.sal.Write(&wal.Record{
 				Type: wal.TypeInsertRec, PageID: uint64(p), Off: wal.OffAppend,
 				TrxID: 5, Payload: page.EncodeLeafPayload(nil, key, row),
 			}); err != nil {
@@ -212,7 +212,7 @@ func TestLSNStampedBatchRead(t *testing.T) {
 	// Concurrent writer moves the page forward.
 	key := types.EncodeKey(nil, types.Row{types.NewInt(999)})
 	row := types.EncodeRow(nil, idvSchema, types.Row{types.NewInt(999), types.NewInt(0)})
-	if err := f.sal.Write(&wal.Record{
+	if _, err := f.sal.Write(&wal.Record{
 		Type: wal.TypeInsertRec, PageID: 1, Off: wal.OffAppend, TrxID: 6,
 		Payload: page.EncodeLeafPayload(nil, key, row),
 	}); err != nil {

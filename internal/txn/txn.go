@@ -13,6 +13,7 @@ package txn
 
 import (
 	"sync"
+	"sync/atomic"
 )
 
 // Manager allocates transaction IDs and tracks the active set.
@@ -31,7 +32,29 @@ func NewManager() *Manager {
 type Txn struct {
 	ID  uint64
 	mgr *Manager
+
+	// maxLSN is the highest log sequence number assigned to any record
+	// this transaction wrote (its commit watermark): commit waits for
+	// durability up to here instead of the global allocator snapshot,
+	// so a committer never waits for LSNs handed out to unrelated
+	// concurrent writers after its own last write.
+	maxLSN atomic.Uint64
 }
+
+// ObserveLSN records a log record the transaction wrote. The write path
+// calls it with each assigned LSN; the maximum is the commit watermark.
+func (t *Txn) ObserveLSN(lsn uint64) {
+	for {
+		cur := t.maxLSN.Load()
+		if lsn <= cur || t.maxLSN.CompareAndSwap(cur, lsn) {
+			return
+		}
+	}
+}
+
+// MaxLSN returns the transaction's commit watermark (0 for a read-only
+// transaction: nothing to wait for).
+func (t *Txn) MaxLSN() uint64 { return t.maxLSN.Load() }
 
 // Advance moves the ID allocator past id, so transactions started after
 // a restart never reuse an ID that already stamped recovered rows —

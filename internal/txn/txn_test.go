@@ -139,3 +139,20 @@ func TestDeletedTombstone(t *testing.T) {
 		t.Error("old version should be a live row")
 	}
 }
+
+func TestTxnLSNWatermark(t *testing.T) {
+	m := NewManager()
+	tx := m.Begin()
+	if tx.MaxLSN() != 0 {
+		t.Fatalf("fresh transaction watermark = %d", tx.MaxLSN())
+	}
+	tx.ObserveLSN(7)
+	tx.ObserveLSN(3) // stale observations never regress the watermark
+	if tx.MaxLSN() != 7 {
+		t.Fatalf("watermark = %d, want 7", tx.MaxLSN())
+	}
+	tx.ObserveLSN(12)
+	if tx.MaxLSN() != 12 {
+		t.Fatalf("watermark = %d, want 12", tx.MaxLSN())
+	}
+}
