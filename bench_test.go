@@ -1,4 +1,4 @@
-package taurus
+package taurus_test
 
 // Benchmark harness: one testing.B benchmark per figure of the paper's
 // evaluation (§VII). Each benchmark regenerates its figure's rows and
@@ -15,6 +15,7 @@ import (
 	"testing"
 	"time"
 
+	"taurus"
 	"taurus/internal/bench"
 	"taurus/internal/buffer"
 	"taurus/internal/core"
@@ -432,11 +433,11 @@ func BenchmarkShardedBufferPool(b *testing.B) {
 // the crash.
 func BenchmarkCheckpointRecovery(b *testing.B) {
 	const rows = 5000
-	prepare := func(b *testing.B, checkpoint bool) (string, Config) {
+	prepare := func(b *testing.B, checkpoint bool) (string, taurus.Config) {
 		b.Helper()
 		dir := b.TempDir()
-		cfg := Config{DataDir: dir, PagesPerSlice: 64, LogFlushInterval: 200 * time.Microsecond}
-		db, err := Open(cfg)
+		cfg := taurus.Config{DataDir: dir, PagesPerSlice: 64, LogFlushInterval: 200 * time.Microsecond}
+		db, err := taurus.Open(cfg)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -481,7 +482,7 @@ func BenchmarkCheckpointRecovery(b *testing.B) {
 			var replayed int
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				db, err := Open(cfg)
+				db, err := taurus.Open(cfg)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -507,8 +508,8 @@ func BenchmarkCrashRecovery(b *testing.B) {
 	for _, rows := range []int{1000, 5000} {
 		b.Run(fmt.Sprintf("rows=%d", rows), func(b *testing.B) {
 			dir := b.TempDir()
-			cfg := Config{DataDir: dir, PagesPerSlice: 64, LogFlushInterval: 200 * time.Microsecond}
-			db, err := Open(cfg)
+			cfg := taurus.Config{DataDir: dir, PagesPerSlice: 64, LogFlushInterval: 200 * time.Microsecond}
+			db, err := taurus.Open(cfg)
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -536,7 +537,7 @@ func BenchmarkCrashRecovery(b *testing.B) {
 			}
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				db, err := Open(cfg)
+				db, err := taurus.Open(cfg)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -570,5 +571,24 @@ func BenchmarkSkewedSliceCommit(b *testing.B) {
 		rep.AddSkewed(rows, promotions)
 		b.ReportMetric(rep.SkewedHotP99ImprovementX, "p99-improvement-x")
 		b.ReportMetric(float64(promotions), "promotions")
+	}
+}
+
+// BenchmarkReplicaReads runs the taurus-bench replicas scenario's
+// smallest levels: point SELECTs on log-tailing read replicas beside a
+// continuous writer, reporting read QPS and sampled p99 lag. (QPS
+// scaling across replicas tracks available cores; the CI smoke run
+// checks the machinery, not the scaling factor.)
+func BenchmarkReplicaReads(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.Replicas(250*time.Millisecond, []int{1, 2}, 2)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rep := bench.BuildReplicasReport(rows)
+		b.ReportMetric(rows[0].ReadQPS, "reads/s@1")
+		b.ReportMetric(rows[len(rows)-1].ReadQPS, "reads/s@2")
+		b.ReportMetric(rows[len(rows)-1].P99LagRecords, "p99-lag-records")
+		b.ReportMetric(rep.ReadScaling2x, "scaling-2x")
 	}
 }

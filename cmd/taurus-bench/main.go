@@ -3,11 +3,15 @@
 //
 // Usage:
 //
-//	taurus-bench [-sf 0.005] [fig5|fig6|fig7|fig8|fig9|q4-bufferpool|durability|checkpoint|writepath|all]
+//	taurus-bench [-sf 0.005] [fig5|fig6|fig7|fig8|fig9|q4-bufferpool|durability|checkpoint|writepath|replicas|all]
 //
 // writepath compares the serial (pre-pipeline) and pipelined
 // group-commit write paths under concurrent committers and writes the
 // result to -writepath-out (default BENCH_writepath.json).
+//
+// replicas measures read-QPS scaling across log-tailing read replicas
+// beside one continuous writer, plus sampled replication lag, and
+// writes the result to -replicas-out (default BENCH_replicas.json).
 package main
 
 import (
@@ -15,6 +19,8 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"strconv"
+	"strings"
 	"time"
 
 	"taurus/internal/bench"
@@ -26,10 +32,36 @@ func main() {
 	skewCommits := flag.Int("skew-commits", 800, "hot-slice commits in the skewed scenario (writepath; 0 = skip)")
 	skewDelay := flag.Duration("skew-delay", 20*time.Millisecond, "injected apply latency of the slow Page Store replica (writepath)")
 	wpOut := flag.String("writepath-out", "BENCH_writepath.json", "write-path JSON report path (writepath; empty = don't write)")
+	repDuration := flag.Duration("replica-duration", 700*time.Millisecond, "measurement window per replica count (replicas)")
+	repCounts := flag.String("replica-counts", "1,2,4", "comma-separated replica counts (replicas)")
+	repReaders := flag.Int("replica-readers", 2, "reader goroutines per replica (replicas)")
+	repOut := flag.String("replicas-out", "BENCH_replicas.json", "replica-scaling JSON report path (replicas; empty = don't write)")
 	flag.Parse()
 	which := "all"
 	if flag.NArg() > 0 {
 		which = flag.Arg(0)
+	}
+	if which == "replicas" {
+		var counts []int
+		for _, part := range strings.Split(*repCounts, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil || n <= 0 {
+				log.Fatalf("bad -replica-counts entry %q", part)
+			}
+			counts = append(counts, n)
+		}
+		rows, err := bench.Replicas(*repDuration, counts, *repReaders)
+		if err != nil {
+			log.Fatal(err)
+		}
+		bench.PrintReplicas(os.Stdout, rows)
+		if *repOut != "" {
+			if err := bench.WriteReplicasJSON(*repOut, bench.BuildReplicasReport(rows)); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("report written to %s\n", *repOut)
+		}
+		return
 	}
 	if which == "writepath" {
 		// No TPC-H fixture needed: the write path benchmark builds its

@@ -23,29 +23,48 @@
 // A third role, frontend, runs an embedded full deployment and serves
 // SQL over HTTP (POST /query) plus the frontend-side stats — the SAL's
 // slice-partitioned write pipeline (per-lane windows sealed and seal
-// reasons, adaptive flush thresholds, hot-slice promotions, apply lag
-// per slice, backpressure stalls, commit/apply waits) and per-shard
-// buffer pool counters. -write-lanes sizes the dedicated-lane pool:
+// reasons, adaptive flush thresholds, hot-slice promotions/demotions,
+// apply lag per slice, backpressure stalls, commit/apply waits,
+// registered read replicas) and per-shard buffer pool counters
+// (including StaleRefetches). -write-lanes sizes the dedicated-lane
+// pool; -replicas attaches embedded read replicas, each serving
+// read-only SQL at /replica/<n>/query and its tailing stats (visible
+// LSN, lag records/bytes, refreshes) at /replica/<n>/stats:
 //
-//	taurus-server -role frontend -listen :7200 -stats-addr :7201 -data-dir /var/lib/taurus/fe -write-lanes 2
+//	taurus-server -role frontend -listen :7200 -stats-addr :7201 -data-dir /var/lib/taurus/fe -write-lanes 2 -replicas 2
+//
+// A fourth role, replica, is the distributed form of the same read
+// tier: it attaches to storage servers over TCP (-log-stores and
+// -page-stores take comma-separated host:port lists that must match the
+// master's ordering), tails the Log Stores by polling, and serves
+// read-only SQL on POST /query with its lag stats on GET /stats:
+//
+//	taurus-server -role replica -listen :7300 \
+//	  -log-stores :7100,:7101,:7102 -page-stores :7000,:7001,:7002,:7003 \
+//	  -pages-per-slice 655360 -refresh-interval 25ms
 package main
 
 import (
 	"encoding/json"
 	"flag"
+	"fmt"
 	"io"
 	"log"
 	"net"
 	"net/http"
+	"strings"
 	"time"
 
 	"taurus"
 	"taurus/internal/buffer"
 	"taurus/internal/cluster"
+	"taurus/internal/engine"
 	"taurus/internal/logstore"
 	"taurus/internal/pagestore"
 	"taurus/internal/pstore"
+	"taurus/internal/replica"
 	"taurus/internal/sal"
+	"taurus/internal/sql"
 )
 
 func main() {
@@ -60,6 +79,14 @@ func main() {
 	ckptInterval := flag.Duration("checkpoint-interval", time.Minute, "slice checkpoint cadence (pagestore with -data-dir)")
 	statsAddr := flag.String("stats-addr", "", "HTTP address for GET /stats (empty = disabled)")
 	writeLanes := flag.Int("write-lanes", 0, "dedicated per-slice write lanes (frontend; 0 = default, negative disables promotion)")
+	replicas := flag.Int("replicas", 0, "embedded read replicas served at /replica/<n>/query (frontend)")
+	logStores := flag.String("log-stores", "", "comma-separated Log Store addresses (replica)")
+	pageStores := flag.String("page-stores", "", "comma-separated Page Store addresses, master order (replica)")
+	tenant := flag.Uint("tenant", 1, "tenant id on the storage services (replica)")
+	pagesPerSlice := flag.Uint64("pages-per-slice", 0, "slice size in pages, must match the master (replica; 0 = default)")
+	replication := flag.Int("replication-factor", 3, "slice replication factor, must match the master (replica)")
+	refreshInterval := flag.Duration("refresh-interval", 0, "log tail poll cadence (replica; 0 = default 25ms)")
+	poolPages := flag.Int("pool-pages", 0, "buffer pool pages (replica; 0 = default)")
 	flag.Parse()
 
 	if *name == "" {
@@ -132,7 +159,15 @@ func main() {
 		handler = ls
 		stats = func() any { return ls.NodeStats() }
 	case "frontend":
-		runFrontend(*listen, *statsAddr, *dataDir, *ckptInterval, *writeLanes)
+		runFrontend(*listen, *statsAddr, *dataDir, *ckptInterval, *writeLanes, *replicas)
+		return
+	case "replica":
+		runReplica(*listen, *statsAddr, replicaOptions{
+			logStores: splitAddrs(*logStores), pageStores: splitAddrs(*pageStores),
+			tenant: uint32(*tenant), pagesPerSlice: *pagesPerSlice,
+			replicationFactor: *replication, refreshInterval: *refreshInterval,
+			poolPages: *poolPages,
+		})
 		return
 	default:
 		log.Fatalf("unknown role %q", *role)
@@ -164,9 +199,21 @@ func main() {
 	}
 }
 
+// splitAddrs parses a comma-separated address list.
+func splitAddrs(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}
+
 // frontendStats is the /stats payload of a frontend node: the SAL's
-// group-commit pipeline counters, per-shard buffer pool counters, and
-// the embedded storage nodes' states.
+// group-commit pipeline counters (including registered read replicas
+// and LSN-advance notifications), per-shard buffer pool counters
+// (including StaleRefetches), and the embedded storage nodes' states.
 type frontendStats struct {
 	WritePath  sal.PipelineStats
 	BufferPool []buffer.ShardStats
@@ -174,34 +221,18 @@ type frontendStats struct {
 	PageStores []pagestore.StatsSnapshot
 }
 
-// runFrontend serves an embedded Taurus deployment over HTTP: POST
-// /query executes one SQL statement (text/plain body, JSON result), and
-// GET /stats on -stats-addr (or, if empty, the main listener) reports
-// the write-pipeline / buffer-pool / storage-node counters.
-func runFrontend(listen, statsAddr, dataDir string, ckptInterval time.Duration, writeLanes int) {
-	cfg := taurus.Config{DataDir: dataDir, WriteLanes: writeLanes}
-	if dataDir != "" && ckptInterval > 0 {
-		cfg.CheckpointInterval = ckptInterval
-	}
-	db, err := taurus.Open(cfg)
-	if err != nil {
-		log.Fatal(err)
-	}
-	stats := func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "application/json")
-		enc := json.NewEncoder(w)
-		enc.SetIndent("", "  ")
-		if err := enc.Encode(frontendStats{
-			WritePath:  db.WritePathStats(),
-			BufferPool: db.BufferPoolStats(),
-			LogStores:  db.LogStoreStats(),
-			PageStores: db.PageStoreStats(),
-		}); err != nil {
-			http.Error(w, err.Error(), http.StatusInternalServerError)
-		}
-	}
-	mux := http.NewServeMux()
-	mux.HandleFunc("/query", func(w http.ResponseWriter, r *http.Request) {
+// replicaStats is the /stats payload of a read replica (embedded or
+// standalone): the tailing state (visible LSN, lag records/bytes,
+// refresh and notification counts, pages invalidated) plus its own
+// buffer pool counters.
+type replicaStats struct {
+	Replica    replica.Stats
+	BufferPool []buffer.ShardStats
+}
+
+// queryHandler serves one frontend's POST /query.
+func queryHandler(exec func(string) (*taurus.Result, error)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodPost {
 			http.Error(w, "POST a SQL statement", http.StatusMethodNotAllowed)
 			return
@@ -211,7 +242,7 @@ func runFrontend(listen, statsAddr, dataDir string, ckptInterval time.Duration, 
 			http.Error(w, err.Error(), http.StatusBadRequest)
 			return
 		}
-		res, err := db.Exec(string(body))
+		res, err := exec(string(body))
 		if err != nil {
 			http.Error(w, err.Error(), http.StatusUnprocessableEntity)
 			return
@@ -220,8 +251,57 @@ func runFrontend(listen, statsAddr, dataDir string, ckptInterval time.Duration, 
 		if err := json.NewEncoder(w).Encode(res); err != nil {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 		}
+	}
+}
+
+func jsonHandler(payload func() any) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(payload()); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	}
+}
+
+// runFrontend serves an embedded Taurus deployment over HTTP: POST
+// /query executes one SQL statement (text/plain body, JSON result), and
+// GET /stats on -stats-addr (or, if empty, the main listener) reports
+// the write-pipeline / buffer-pool / storage-node counters. With
+// -replicas n, n embedded read replicas attach to the same storage
+// cluster and serve /replica/<i>/query and /replica/<i>/stats.
+func runFrontend(listen, statsAddr, dataDir string, ckptInterval time.Duration, writeLanes, replicas int) {
+	cfg := taurus.Config{DataDir: dataDir, WriteLanes: writeLanes}
+	if dataDir != "" && ckptInterval > 0 {
+		cfg.CheckpointInterval = ckptInterval
+	}
+	db, err := taurus.Open(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	stats := jsonHandler(func() any {
+		return frontendStats{
+			WritePath:  db.WritePathStats(),
+			BufferPool: db.BufferPoolStats(),
+			LogStores:  db.LogStoreStats(),
+			PageStores: db.PageStoreStats(),
+		}
 	})
+	mux := http.NewServeMux()
+	mux.HandleFunc("/query", queryHandler(db.Exec))
 	mux.HandleFunc("/stats", stats)
+	for i := 1; i <= replicas; i++ {
+		rep, err := taurus.OpenReplica(taurus.Config{Master: db})
+		if err != nil {
+			log.Fatalf("replica %d: %v", i, err)
+		}
+		mux.HandleFunc(fmt.Sprintf("/replica/%d/query", i), queryHandler(rep.Exec))
+		mux.HandleFunc(fmt.Sprintf("/replica/%d/stats", i), jsonHandler(func() any {
+			return replicaStats{Replica: rep.ReplicaStats(), BufferPool: rep.BufferPoolStats()}
+		}))
+		log.Printf("read replica %d on /replica/%d/query", i, i)
+	}
 	if statsAddr != "" && statsAddr != listen {
 		smux := http.NewServeMux()
 		smux.HandleFunc("/stats", stats)
@@ -233,6 +313,78 @@ func runFrontend(listen, statsAddr, dataDir string, ckptInterval time.Duration, 
 		}()
 	}
 	log.Printf("frontend listening on %s (POST /query, GET /stats)", listen)
+	if err := http.ListenAndServe(listen, mux); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// replicaOptions configures a standalone TCP-attached read replica.
+type replicaOptions struct {
+	logStores         []string
+	pageStores        []string
+	tenant            uint32
+	pagesPerSlice     uint64
+	replicationFactor int
+	refreshInterval   time.Duration
+	poolPages         int
+}
+
+// runReplica serves a standalone read replica attached to storage
+// servers over TCP. Without a master in-process there are no push
+// notifications; the replica polls on -refresh-interval. The catalog
+// bootstraps from the full log tail, so the Log Stores must still
+// retain the DDL records (i.e. log GC must not have truncated them).
+func runReplica(listen, statsAddr string, opts replicaOptions) {
+	if len(opts.logStores) == 0 || len(opts.pageStores) == 0 {
+		log.Fatal("replica: -log-stores and -page-stores required")
+	}
+	rep, err := replica.New(replica.Config{
+		Transport: cluster.NewTCPClient(), Tenant: opts.tenant,
+		LogStores: opts.logStores, PageStores: opts.pageStores,
+		ReplicationFactor: opts.replicationFactor,
+		PagesPerSlice:     opts.pagesPerSlice,
+		Plugin:            pagestore.PluginInnoDB,
+		RefreshInterval:   opts.refreshInterval,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	eng, err := engine.New(engine.Config{ReadView: rep, PoolPages: opts.poolPages})
+	if err != nil {
+		log.Fatal(err)
+	}
+	session := sql.NewSession(eng)
+	session.ReadOnly = true
+	rep.Bind(eng, func(table string) {
+		if _, err := session.Cat.Analyze(table); err != nil {
+			log.Printf("replica: analyzing %s: %v", table, err)
+		}
+	})
+	if err := rep.Start(0, 0); err != nil {
+		log.Fatalf("replica: bootstrap: %v", err)
+	}
+	st := rep.Stats()
+	log.Printf("replica bootstrapped: visible LSN %d, %d records tailed, %d tables attached",
+		st.VisibleLSN, st.RecordsTailed, st.TablesAttached)
+	stats := jsonHandler(func() any {
+		return replicaStats{Replica: rep.Stats(), BufferPool: eng.Pool().ShardStatsSnapshot()}
+	})
+	mux := http.NewServeMux()
+	mux.HandleFunc("/query", queryHandler(func(q string) (*taurus.Result, error) {
+		return session.Exec(q)
+	}))
+	mux.HandleFunc("/stats", stats)
+	if statsAddr != "" && statsAddr != listen {
+		smux := http.NewServeMux()
+		smux.HandleFunc("/stats", stats)
+		go func() {
+			log.Printf("stats on http://%s/stats", statsAddr)
+			if err := http.ListenAndServe(statsAddr, smux); err != nil {
+				log.Printf("stats endpoint: %v", err)
+			}
+		}()
+	}
+	log.Printf("replica listening on %s (POST /query read-only, GET /stats)", listen)
 	if err := http.ListenAndServe(listen, mux); err != nil {
 		log.Fatal(err)
 	}

@@ -78,6 +78,16 @@ func Attach(pager Pager, indexID, rootID uint64, height int) *Tree {
 	return &Tree{IndexID: indexID, pager: pager, rootID: rootID, height: height}
 }
 
+// SetRoot re-binds the tree to a new root page — the read-replica path,
+// where a tailed FormatPage record at a higher level announces that the
+// master split the root. Height is 1 for a leaf root.
+func (t *Tree) SetRoot(rootID uint64, height int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.rootID = rootID
+	t.height = height
+}
+
 // Root returns the current root page ID.
 func (t *Tree) Root() uint64 {
 	t.mu.RLock()

@@ -35,6 +35,10 @@ const DefaultNDPMaxPagesLookAhead = 1024
 // sane approximation of global LRU.
 const minPagesPerShard = 64
 
+// maxFloorsPerShard bounds the per-shard invalidation-floor map (see
+// Pool.Invalidate); beyond it the set is wiped under an epoch bump.
+const maxFloorsPerShard = 4096
+
 // Pool is the buffer pool. All pages it caches are clean: mutations are
 // logged through the SAL before being applied to cached copies, so
 // eviction never loses data.
@@ -44,6 +48,13 @@ type Pool struct {
 
 	shards []*shard
 	mask   uint64
+
+	// epoch bumps on every Clear: a fetch that started before a Clear
+	// must not re-cache its (pre-Clear) image afterwards — on a read
+	// replica a resync has advanced the visible LSN past records the
+	// image misses, and on the master the experiments rely on Clear
+	// actually starting cold.
+	epoch atomic.Uint64
 
 	// ndpInUse is global: NDP capacity accounting spans shards.
 	ndpInUse atomic.Int64
@@ -63,6 +74,12 @@ type shard struct {
 	lru    *list.List // front = most recent
 
 	inflight map[uint64]*flight // singleflight: pageID → pending fetch
+
+	// floors are per-page minimum LSNs set by Invalidate: an image
+	// whose page LSN is below its floor must not (re)enter the cache —
+	// it predates records a read-replica has already made visible. An
+	// entry is cleared when a fresh-enough image lands.
+	floors map[uint64]uint64
 
 	hits      uint64
 	misses    uint64
@@ -153,6 +170,7 @@ func (p *Pool) Get(pageID uint64, fetch func(pageID uint64) (*page.Page, error))
 // in-flight fetch whose bound is older than its own re-fetches instead
 // of accepting a result that may predate records it needs to see.
 func (p *Pool) GetAsOf(pageID uint64, asOf func() uint64, fetch func(pageID uint64) (*page.Page, error)) (*page.Page, error) {
+	epoch := p.epoch.Load()
 	sh := p.shardOf(pageID)
 	sh.mu.Lock()
 	if f, ok := sh.frames[pageID]; ok {
@@ -185,7 +203,7 @@ func (p *Pool) GetAsOf(pageID uint64, asOf func() uint64, fetch func(pageID uint
 		sh.mu.Unlock()
 		pg, err := fetch(pageID)
 		if err == nil {
-			pg = p.insertNewer(pg)
+			pg = p.insertNewer(pg, epoch)
 		}
 		return pg, err
 	}
@@ -196,7 +214,7 @@ func (p *Pool) GetAsOf(pageID uint64, asOf func() uint64, fetch func(pageID uint
 	// Fetch outside the lock; joiners wait on fl.done.
 	pg, err := fetch(pageID)
 	if err == nil {
-		pg = p.insertNewer(pg)
+		pg = p.insertNewer(pg, epoch)
 	}
 	fl.pg, fl.err = pg, err
 	sh.mu.Lock()
@@ -225,27 +243,45 @@ func (p *Pool) Lookup(pageID uint64) (*page.Page, bool) {
 
 // Insert caches a page (idempotent), evicting LRU pages as needed.
 func (p *Pool) Insert(pg *page.Page) {
-	p.insertFrame(pg, false)
+	p.insertFrame(pg, false, p.epoch.Load())
 }
 
 // insertNewer caches a fetched page, resolving races between concurrent
 // fetches of the same page by page LSN: if a frame is already resident,
 // the higher-LSN image wins (a stale-bound fetch completing AFTER a
-// fresh one must not shadow it, and vice versa). Returns the resident
-// image.
-func (p *Pool) insertNewer(pg *page.Page) *page.Page {
-	return p.insertFrame(pg, true)
+// fresh one must not shadow it, and vice versa). epoch is the pool
+// epoch observed before the fetch started. Returns the resident image.
+func (p *Pool) insertNewer(pg *page.Page, epoch uint64) *page.Page {
+	return p.insertFrame(pg, true, epoch)
 }
 
 // insertFrame is the shared insert path: existing frames either win
 // (plain Insert) or lose to a higher-LSN image (replaceNewer); a new
-// frame evicts LRU pages for space.
-func (p *Pool) insertFrame(pg *page.Page, replaceNewer bool) *page.Page {
+// frame evicts LRU pages for space. An image is rejected (returned
+// uncached) when a Clear intervened since epoch was observed or when
+// the page's invalidation floor says it is stale.
+func (p *Pool) insertFrame(pg *page.Page, replaceNewer bool, epoch uint64) *page.Page {
 	id := pg.ID()
 	sh := p.shardOf(id)
 	ndpShare := p.ndpShare()
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
+	if epoch != p.epoch.Load() {
+		// The pool was Cleared while this image was being fetched; the
+		// caller may still read it, but it must not repopulate the
+		// cache (on a replica the visible LSN may have jumped a
+		// resync's worth of records this image predates).
+		return pg
+	}
+	if floor, ok := sh.floors[id]; ok {
+		if pg.LSN() < floor {
+			// The image predates an invalidation (a fetch that started
+			// before records now required became visible): hand it to
+			// the caller uncached so the next reader refetches fresh.
+			return pg
+		}
+		delete(sh.floors, id)
+	}
 	if f, ok := sh.frames[id]; ok {
 		if replaceNewer && pg.LSN() > f.pg.LSN() {
 			f.pg = pg
@@ -286,6 +322,43 @@ func (p *Pool) Evict(pageID uint64) {
 		delete(sh.frames, pageID)
 		sh.evictions++
 		p.resident.Add(-1)
+	}
+}
+
+// Invalidate is Evict with a floor: besides dropping any resident image
+// older than floorLSN, it remembers the floor so an image predating it
+// can never (re)enter the cache — closing the race where a fetch
+// started before the invalidation completes after it and would
+// otherwise cache the stale image permanently. Read replicas call it
+// when records touching the page become visible; the floor is the
+// highest such record's LSN, which any fresh-enough image's page LSN
+// reaches.
+func (p *Pool) Invalidate(pageID, floorLSN uint64) {
+	sh := p.shardOf(pageID)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if f, ok := sh.frames[pageID]; ok && f.pg.LSN() < floorLSN {
+		sh.lru.Remove(f.elt)
+		delete(sh.frames, pageID)
+		sh.evictions++
+		p.resident.Add(-1)
+	}
+	if sh.floors == nil {
+		sh.floors = make(map[uint64]uint64)
+	}
+	if floorLSN > sh.floors[pageID] {
+		sh.floors[pageID] = floorLSN
+	}
+	if len(sh.floors) > maxFloorsPerShard {
+		// Floors clear when a fresh-enough image lands; pages
+		// invalidated but never read again would accumulate entries
+		// forever on a long-running replica. Dropping a floor is only
+		// safe if no in-flight fetch can slip a stale image in behind
+		// it — so wipe the whole set under an epoch bump, which blocks
+		// every in-flight insert. Resident frames stay: anything
+		// resident already satisfied its floor.
+		p.epoch.Add(1)
+		sh.floors = make(map[uint64]uint64)
 	}
 }
 
@@ -424,9 +497,11 @@ func (p *Pool) ShardStatsSnapshot() []ShardStats {
 	return out
 }
 
-// Clear drops all cached regular pages (used between experiment runs to
-// start cold).
+// Clear drops all cached regular pages (used between experiment runs
+// to start cold, and by a replica resync). The epoch bump keeps any
+// in-flight fetch from re-caching its pre-Clear image.
 func (p *Pool) Clear() {
+	p.epoch.Add(1)
 	for _, sh := range p.shards {
 		sh.mu.Lock()
 		p.resident.Add(int64(-len(sh.frames)))

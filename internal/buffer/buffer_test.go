@@ -418,3 +418,48 @@ func TestGetAsOfStaleJoinRefetches(t *testing.T) {
 		t.Fatalf("page store fetches = %d, want 2 (first + stale bypass)", got)
 	}
 }
+
+// TestInvalidateFloorBlocksStaleInsert pins the read-replica
+// invalidation contract: after Invalidate(page, floor), an image whose
+// page LSN is below the floor is neither kept resident nor re-cached by
+// a fetch that was already in flight when the invalidation ran — only a
+// fresh-enough image clears the floor.
+func TestInvalidateFloorBlocksStaleInsert(t *testing.T) {
+	p := New(16, 4)
+	stale := page.New(7, 1, 0)
+	stale.SetLSN(5)
+	p.Insert(stale)
+	p.Invalidate(7, 10)
+	if _, ok := p.Lookup(7); ok {
+		t.Fatal("stale image survived Invalidate")
+	}
+	// A racing fetch bound to the old snapshot completes after the
+	// invalidation: its image must not enter the cache (the caller may
+	// still use it for its own, older snapshot).
+	got, err := p.GetAsOf(7, func() uint64 { return 5 }, func(id uint64) (*page.Page, error) {
+		pg := page.New(id, 1, 0)
+		pg.SetLSN(5)
+		return pg, nil
+	})
+	if err != nil || got.LSN() != 5 {
+		t.Fatalf("stale fetch result: %v %v", got, err)
+	}
+	if _, ok := p.Lookup(7); ok {
+		t.Fatal("stale fetch re-cached a sub-floor image")
+	}
+	// A fresh image at or above the floor caches normally and clears
+	// the floor.
+	fresh := page.New(7, 1, 0)
+	fresh.SetLSN(12)
+	if pg, err := p.Get(7, func(id uint64) (*page.Page, error) { return fresh, nil }); err != nil || pg.LSN() != 12 {
+		t.Fatalf("fresh fetch: %v %v", pg, err)
+	}
+	if pg, ok := p.Lookup(7); !ok || pg.LSN() != 12 {
+		t.Fatal("fresh image not cached after clearing the floor")
+	}
+	// An Invalidate floor the resident image already satisfies keeps it.
+	p.Invalidate(7, 12)
+	if _, ok := p.Lookup(7); !ok {
+		t.Fatal("Invalidate evicted an image already at the floor")
+	}
+}

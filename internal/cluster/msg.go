@@ -40,6 +40,16 @@ const (
 	// MsgLogTruncate asks a Log Store to garbage-collect records below
 	// a watermark.
 	MsgLogTruncate
+	// MsgLogRead tails a Log Store: records above an LSN flow back to a
+	// read replica ("They also serve log records to read replicas", §II).
+	MsgLogRead
+	// MsgLSNAdvance notifies a read replica that the master's durable
+	// watermark advanced, so it can tail the Log Stores immediately
+	// instead of waiting for its poll interval.
+	MsgLSNAdvance
+	// MsgSliceLSN asks a Page Store for the per-slice applied LSN
+	// frontier of a tenant — the input to a read replica's visible LSN.
+	MsgSliceLSN
 )
 
 // WriteLogsReq applies redo records to one slice replica.
@@ -134,6 +144,53 @@ type LogTruncateReq struct {
 type LogGCResp struct {
 	Removed uint32
 	Bytes   uint64
+}
+
+// LogReadReq tails a Log Store: up to MaxRecords records with LSN >
+// AfterLSN come back in LSN order. MaxRecords 0 means no bound.
+type LogReadReq struct {
+	Tenant     uint32
+	AfterLSN   uint64
+	MaxRecords uint32
+}
+
+// LogReadResp carries the tailed records (concatenated wal encoding, LSN
+// order) plus the store's durable and GC watermarks, so a replica can
+// tell an empty tail from a truncated one.
+type LogReadResp struct {
+	Recs []byte
+	// Count is the number of records in Recs.
+	Count        uint32
+	DurableLSN   uint64
+	TruncatedLSN uint64
+}
+
+// LSNAdvanceReq tells a read replica the master's durable watermark
+// moved. Best-effort: a lost notification only delays the replica until
+// its next poll.
+type LSNAdvanceReq struct {
+	Tenant     uint32
+	DurableLSN uint64
+}
+
+// SliceLSNReq asks a Page Store node for every hosted slice's applied
+// LSN for a tenant (0 = all tenants).
+type SliceLSNReq struct {
+	Tenant uint32
+}
+
+// SliceLSNEntry is one slice's applied frontier on one node.
+type SliceLSNEntry struct {
+	SliceID    uint32
+	AppliedLSN uint64
+}
+
+// SliceLSNResp reports the node's per-slice applied LSNs. A replica
+// takes the minimum per slice across the nodes hosting it: every record
+// for that slice at or below the minimum is applied on every replica of
+// the slice.
+type SliceLSNResp struct {
+	Slices []SliceLSNEntry
 }
 
 // Encoding helpers. Frames are [type byte][body]; the transports add
@@ -247,6 +304,17 @@ func EncodeRequest(req any) (MsgType, []byte, error) {
 		b := appendU32(nil, m.Tenant)
 		b = appendU64(b, m.Watermark)
 		return MsgLogTruncate, b, nil
+	case *LogReadReq:
+		b := appendU32(nil, m.Tenant)
+		b = appendU64(b, m.AfterLSN)
+		b = appendU32(b, m.MaxRecords)
+		return MsgLogRead, b, nil
+	case *LSNAdvanceReq:
+		b := appendU32(nil, m.Tenant)
+		b = appendU64(b, m.DurableLSN)
+		return MsgLSNAdvance, b, nil
+	case *SliceLSNReq:
+		return MsgSliceLSN, appendU32(nil, m.Tenant), nil
 	default:
 		return 0, nil, fmt.Errorf("cluster: unknown request type %T", req)
 	}
@@ -287,6 +355,15 @@ func DecodeRequest(t MsgType, body []byte) (any, error) {
 	case MsgLogTruncate:
 		m := &LogTruncateReq{Tenant: r.u32(), Watermark: r.u64()}
 		return m, r.err
+	case MsgLogRead:
+		m := &LogReadReq{Tenant: r.u32(), AfterLSN: r.u64(), MaxRecords: r.u32()}
+		return m, r.err
+	case MsgLSNAdvance:
+		m := &LSNAdvanceReq{Tenant: r.u32(), DurableLSN: r.u64()}
+		return m, r.err
+	case MsgSliceLSN:
+		m := &SliceLSNReq{Tenant: r.u32()}
+		return m, r.err
 	default:
 		return nil, fmt.Errorf("cluster: unknown request msg type %d", t)
 	}
@@ -322,6 +399,21 @@ func EncodeResponse(resp any, respErr error) (MsgType, []byte, error) {
 		b = appendU32(b, m.Removed)
 		b = appendU64(b, m.Bytes)
 		return MsgResp, b, nil
+	case *LogReadResp:
+		b := []byte{respLogRead}
+		b = appendU32(b, m.Count)
+		b = appendU64(b, m.DurableLSN)
+		b = appendU64(b, m.TruncatedLSN)
+		b = appendBytes(b, m.Recs)
+		return MsgResp, b, nil
+	case *SliceLSNResp:
+		b := []byte{respSliceLSN}
+		b = binary.AppendUvarint(b, uint64(len(m.Slices)))
+		for _, e := range m.Slices {
+			b = appendU32(b, e.SliceID)
+			b = appendU64(b, e.AppliedLSN)
+		}
+		return MsgResp, b, nil
 	default:
 		return 0, nil, fmt.Errorf("cluster: unknown response type %T", resp)
 	}
@@ -333,6 +425,8 @@ const (
 	respBatch
 	respPageLSN
 	respLogGC
+	respLogRead
+	respSliceLSN
 )
 
 // DecodeResponse parses a response frame.
@@ -370,6 +464,19 @@ func DecodeResponse(t MsgType, body []byte) (any, error) {
 		return m, r.err
 	case respLogGC:
 		m := &LogGCResp{Removed: r.u32(), Bytes: r.u64()}
+		return m, r.err
+	case respLogRead:
+		m := &LogReadResp{Count: r.u32(), DurableLSN: r.u64(), TruncatedLSN: r.u64(), Recs: r.bytes()}
+		return m, r.err
+	case respSliceLSN:
+		m := &SliceLSNResp{}
+		n := r.uvarint()
+		if n > 1<<20 {
+			return nil, fmt.Errorf("cluster: implausible slice count %d", n)
+		}
+		for i := uint64(0); i < n; i++ {
+			m.Slices = append(m.Slices, SliceLSNEntry{SliceID: r.u32(), AppliedLSN: r.u64()})
+		}
 		return m, r.err
 	default:
 		return nil, fmt.Errorf("cluster: unknown response tag %d", body[0])

@@ -112,6 +112,14 @@ func (t *InProc) Register(node string, h Handler) {
 	t.nodes[node] = h
 }
 
+// Unregister detaches a node (a closed read replica); calls to it fail
+// with unknown-node afterwards.
+func (t *InProc) Unregister(node string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	delete(t.nodes, node)
+}
+
 // Call implements Transport.
 func (t *InProc) Call(node string, req any) (any, error) {
 	t.mu.RLock()

@@ -12,6 +12,9 @@ import (
 
 // Insert adds a row to the table (and all its indexes) under t.
 func (e *Engine) Insert(t *Table, tx *txn.Txn, row types.Row) error {
+	if e.view != nil {
+		return ErrReadOnly
+	}
 	if len(row) != t.Schema.Len() {
 		return fmt.Errorf("engine: row arity %d != schema %d", len(row), t.Schema.Len())
 	}
@@ -74,6 +77,9 @@ func findInLeaf(leaf *page.Page, key []byte) int {
 // change secondary-indexed or key columns are rejected — TPC-H is
 // read-mostly and the paper's MVCC machinery only needs version churn.
 func (e *Engine) UpdateByPK(t *Table, tx *txn.Txn, pk types.Row, newRow types.Row) error {
+	if e.view != nil {
+		return ErrReadOnly
+	}
 	key := types.EncodeKey(nil, pk)
 	for _, idx := range t.Secondaries {
 		for _, o := range idx.TableOrds[:len(idx.TableOrds)-len(t.PKCols)] {
@@ -148,6 +154,9 @@ func (e *Engine) UpdateByPK(t *Table, tx *txn.Txn, pk types.Row, newRow types.Ro
 // version via undo; Page Stores treat the deleter's trx id like any
 // other for ambiguity.
 func (e *Engine) DeleteByPK(t *Table, tx *txn.Txn, pk types.Row) error {
+	if e.view != nil {
+		return ErrReadOnly
+	}
 	key := types.EncodeKey(nil, pk)
 	leafID, err := t.Primary.Tree.SeekLeaf(key)
 	if err != nil {

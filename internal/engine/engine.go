@@ -21,10 +21,34 @@ import (
 	"taurus/internal/btree"
 )
 
+// ReadView is the storage view of a read-only frontend (a read
+// replica): instead of writing through a SAL, the engine reads pages
+// from the shared Page Stores at the replica's visible LSN — the durable
+// prefix the replica has confirmed applied by tailing the Log Stores.
+type ReadView interface {
+	// VisibleLSN is the highest LSN reads may observe right now.
+	VisibleLSN() uint64
+	// Refresh advances the visible LSN (tail the log, re-poll the Page
+	// Stores) — the recovery path when a page version at the stamped
+	// LSN has aged out of a Page Store's retention.
+	Refresh() error
+	// ReadPage fetches one page image at the given LSN.
+	ReadPage(pageID, lsn uint64) ([]byte, error)
+	// BatchRead is the NDP batch read at the given LSN.
+	BatchRead(pageIDs []uint64, lsn uint64, desc []byte) (*sal.BatchResult, error)
+}
+
+// ErrReadOnly rejects writes on a read-replica engine.
+var ErrReadOnly = fmt.Errorf("engine: read-only replica")
+
 // Config sizes an Engine.
 type Config struct {
-	// SAL connects to the storage cluster.
+	// SAL connects to the storage cluster (read-write frontends).
 	SAL *sal.SAL
+	// ReadView serves a read-only frontend instead: page reads at the
+	// replica's visible LSN, every mutation rejected with ErrReadOnly.
+	// Exactly one of SAL and ReadView must be set.
+	ReadView ReadView
 	// PoolPages is the buffer pool capacity in pages (paper setup: 20
 	// GB pool for a 100 GB database, i.e. ~20% of data).
 	PoolPages int
@@ -36,6 +60,7 @@ type Config struct {
 // Engine is one database frontend's storage engine.
 type Engine struct {
 	salc *sal.SAL
+	view ReadView
 	pool *buffer.Pool
 	txm  *txn.Manager
 	undo *txn.UndoLog
@@ -141,10 +166,11 @@ func (s MetricsSnapshot) Sub(o MetricsSnapshot) MetricsSnapshot {
 	}
 }
 
-// New creates an engine over the given SAL.
+// New creates an engine over the given SAL (or ReadView, for a read
+// replica).
 func New(cfg Config) (*Engine, error) {
-	if cfg.SAL == nil {
-		return nil, fmt.Errorf("engine: SAL required")
+	if (cfg.SAL == nil) == (cfg.ReadView == nil) {
+		return nil, fmt.Errorf("engine: exactly one of SAL and ReadView required")
 	}
 	if cfg.PoolPages <= 0 {
 		cfg.PoolPages = 4096
@@ -154,6 +180,7 @@ func New(cfg Config) (*Engine, error) {
 	}
 	e := &Engine{
 		salc:      cfg.SAL,
+		view:      cfg.ReadView,
 		pool:      buffer.New(cfg.PoolPages, cfg.NDPMaxPagesLookAhead),
 		txm:       txn.NewManager(),
 		undo:      txn.NewUndoLog(),
@@ -179,8 +206,14 @@ func (e *Engine) Txm() *txn.Manager { return e.txm }
 // group-commit window (and one fsync).
 func (e *Engine) Commit(tx *txn.Txn) error {
 	tx.Commit()
+	if e.salc == nil {
+		return ErrReadOnly
+	}
 	return e.salc.WaitDurable(tx.MaxLSN())
 }
+
+// ReadOnly reports whether the engine serves a read replica.
+func (e *Engine) ReadOnly() bool { return e.view != nil }
 
 // Pool exposes the buffer pool (experiments inspect residency).
 func (e *Engine) Pool() *buffer.Pool { return e.pool }
@@ -195,6 +228,30 @@ func (e *Engine) LookAhead() int { return e.lookAhead }
 type pager struct{ e *Engine }
 
 func (p pager) Read(pageID uint64) (*page.Page, error) {
+	if v := p.e.view; v != nil {
+		// Read-replica miss path: fetch at the replica's visible LSN.
+		// The bound plumbed into GetAsOf makes a reader whose visible
+		// LSN advanced past an in-flight fetch's re-fetch instead of
+		// joining a result bound to the older snapshot. A fetch that
+		// fails because the stamped version aged out of the Page
+		// Store's retention refreshes the visible LSN and retries once.
+		lsn := v.VisibleLSN()
+		return p.e.pool.GetAsOf(pageID,
+			func() uint64 { return lsn },
+			func(id uint64) (*page.Page, error) {
+				raw, err := v.ReadPage(id, lsn)
+				if err != nil {
+					if rerr := v.Refresh(); rerr != nil {
+						return nil, err
+					}
+					raw, err = v.ReadPage(id, v.VisibleLSN())
+					if err != nil {
+						return nil, err
+					}
+				}
+				return page.FromBytes(raw)
+			})
+	}
 	// The miss path carries a page-level read-your-writes bound: the
 	// fetch (ReadPage) waits until the page's staged records are
 	// applied, and a racing reader whose writer staged MORE for the
@@ -216,6 +273,9 @@ func (p pager) Allocate() uint64 {
 }
 
 func (p pager) Apply(rec *wal.Record) (*page.Page, error) {
+	if p.e.view != nil {
+		return nil, ErrReadOnly
+	}
 	// Log first (the SAL assigns the LSN and distributes), then apply
 	// to the locally cached copy so the compute node sees its own write
 	// immediately. The assigned LSN is left in rec.LSN for callers that
@@ -241,13 +301,21 @@ func (p pager) Apply(rec *wal.Record) (*page.Page, error) {
 	return nil, nil
 }
 
-func (p pager) CurrentLSN() uint64 { return p.e.salc.CurrentLSN() }
+func (p pager) CurrentLSN() uint64 {
+	if p.e.view != nil {
+		return p.e.view.VisibleLSN()
+	}
+	return p.e.salc.CurrentLSN()
+}
 
 // CreateTable registers a table and builds its primary index tree. The
 // definition is logged as a catalog record ahead of the tree's first
 // page, so a restarted frontend can rebuild its data dictionary from
 // the same durable log that rebuilds the pages.
 func (e *Engine) CreateTable(name string, schema *types.Schema, pkCols []int) (*Table, error) {
+	if e.view != nil {
+		return nil, ErrReadOnly
+	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if _, ok := e.tables[name]; ok {
@@ -294,6 +362,9 @@ func (e *Engine) CreateTable(name string, schema *types.Schema, pkCols []int) (*
 // columns...) and the sort key is the whole layout, making entries
 // unique — InnoDB's secondary index structure.
 func (e *Engine) CreateSecondaryIndex(table, name string, cols []int) (*Index, error) {
+	if e.view != nil {
+		return nil, ErrReadOnly
+	}
 	e.mu.Lock()
 	t, ok := e.tables[table]
 	if !ok {

@@ -303,6 +303,108 @@ func (e *Engine) RecoverFrom(base *RecoveryBase, recs []wal.Record) (RecoverySta
 	return st, nil
 }
 
+// HasIndex reports whether an index id is registered (the read
+// replica's DDL tailer uses it to skip entries it already attached).
+func (e *Engine) HasIndex(id uint64) bool {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	_, ok := e.indexes[id]
+	return ok
+}
+
+// AttachTable registers a table tailed from the master's log on a read
+// replica: the catalog entry supplies the definition, root the current
+// B+ tree root (already existing in the shared Page Stores — nothing is
+// created). Idempotent by index id.
+func (e *Engine) AttachTable(entry *wal.CatalogEntry, root RootRecord) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if _, ok := e.indexes[entry.IndexID]; ok {
+		return nil
+	}
+	if _, ok := e.tables[entry.Table]; ok {
+		return fmt.Errorf("engine: attached table %q twice", entry.Table)
+	}
+	schema := schemaOf(entry.Cols)
+	for _, o := range entry.Ords {
+		if o < 0 || o >= schema.Len() {
+			return fmt.Errorf("engine: attached table %q: bad pk ordinal %d", entry.Table, o)
+		}
+	}
+	tree := btree.Attach(pager{e}, entry.IndexID, root.PageID, int(root.Level)+1)
+	ords := make([]int, schema.Len())
+	for i := range ords {
+		ords[i] = i
+	}
+	primary := &Index{
+		ID: entry.IndexID, Name: entry.Table + "_pk", Table: entry.Table,
+		Schema: schema, KeyCols: entry.Ords, TableOrds: ords,
+		Primary: true, Tree: tree,
+	}
+	e.tables[entry.Table] = &Table{Name: entry.Table, Schema: schema, PKCols: entry.Ords, Primary: primary}
+	e.indexes[entry.IndexID] = primary
+	if entry.IndexID >= e.nextIndex {
+		e.nextIndex = entry.IndexID + 1
+	}
+	return nil
+}
+
+// AttachIndex registers a tailed secondary index on a read replica (see
+// AttachTable). The owning table must already be attached.
+func (e *Engine) AttachIndex(entry *wal.CatalogEntry, root RootRecord) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if _, ok := e.indexes[entry.IndexID]; ok {
+		return nil
+	}
+	t, ok := e.tables[entry.Table]
+	if !ok {
+		return fmt.Errorf("engine: attached index %q for unknown table %q", entry.Index, entry.Table)
+	}
+	ords := append(append([]int(nil), entry.Ords...), t.PKCols...)
+	idxCols := make([]types.Column, len(ords))
+	for i, o := range ords {
+		if o < 0 || o >= t.Schema.Len() {
+			return fmt.Errorf("engine: attached index %q: bad ordinal %d", entry.Index, o)
+		}
+		idxCols[i] = t.Schema.Cols[o]
+	}
+	keyCols := make([]int, len(ords))
+	for i := range keyCols {
+		keyCols[i] = i
+	}
+	tree := btree.Attach(pager{e}, entry.IndexID, root.PageID, int(root.Level)+1)
+	idx := &Index{
+		ID: entry.IndexID, Name: entry.Index, Table: entry.Table,
+		Schema: types.NewSchema(idxCols...), KeyCols: keyCols,
+		TableOrds: ords, Primary: false, Tree: tree,
+	}
+	t.Secondaries = append(t.Secondaries, idx)
+	e.indexes[entry.IndexID] = idx
+	if entry.IndexID >= e.nextIndex {
+		e.nextIndex = entry.IndexID + 1
+	}
+	return nil
+}
+
+// AdvanceRoot re-binds an index to a higher root tailed from the log (a
+// root split on the master). A FormatPage at a level below the current
+// height is an interior/leaf page, not a new root; it is ignored.
+// Returns whether the root moved.
+func (e *Engine) AdvanceRoot(indexID, pageID uint64, level uint16) bool {
+	e.mu.RLock()
+	idx, ok := e.indexes[indexID]
+	e.mu.RUnlock()
+	if !ok {
+		return false
+	}
+	if int(level)+1 <= idx.Tree.Height() {
+		return false
+	}
+	idx.Tree.SetRoot(pageID, int(level)+1)
+	return true
+}
+
 // Tables lists the registered table names (recovery reporting, stats
 // refresh after restart).
 func (e *Engine) Tables() []string {

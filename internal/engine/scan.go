@@ -9,6 +9,7 @@ import (
 	"taurus/internal/core/ir"
 	"taurus/internal/expr"
 	"taurus/internal/page"
+	"taurus/internal/sal"
 	"taurus/internal/txn"
 	"taurus/internal/types"
 )
@@ -220,6 +221,15 @@ func (e *Engine) regularScan(opts ScanOptions, emit EmitFunc) error {
 	return nil
 }
 
+// batchRead routes an NDP batch read through the SAL (read-write
+// frontend) or the replica's read view.
+func (e *Engine) batchRead(pageIDs []uint64, lsn uint64, desc []byte) (*sal.BatchResult, error) {
+	if e.view != nil {
+		return e.view.BatchRead(pageIDs, lsn, desc)
+	}
+	return e.salc.BatchRead(pageIDs, lsn, desc)
+}
+
 // buildDescriptor assembles the NDP descriptor for this scan (§IV-C1).
 func (e *Engine) buildDescriptor(opts ScanOptions) (*core.Descriptor, error) {
 	idx := opts.Index
@@ -303,13 +313,21 @@ func (e *Engine) ndpScan(opts ScanOptions, emit EmitFunc) error {
 		fetched := make(map[uint64][]byte, len(missing))
 		if len(missing) > 0 {
 			e.Metrics.BatchReads.Add(1)
-			res, err := e.salc.BatchRead(missing, batch.LSN, descBytes)
+			res, err := e.batchRead(missing, batch.LSN, descBytes)
 			if err != nil {
 				// The stamped version may have aged out of the Page
 				// Stores' retention under heavy concurrent writes;
-				// retry at latest. Row visibility is still governed by
-				// MVCC, so results remain correct.
-				res, err = e.salc.BatchRead(missing, 0, descBytes)
+				// retry at latest (a replica refreshes its visible LSN
+				// instead — it must never read past it). Row visibility
+				// is still governed by MVCC, so results remain correct.
+				if e.view != nil {
+					if rerr := e.view.Refresh(); rerr != nil {
+						return err
+					}
+					res, err = e.view.BatchRead(missing, e.view.VisibleLSN(), descBytes)
+				} else {
+					res, err = e.salc.BatchRead(missing, 0, descBytes)
+				}
 				if err != nil {
 					return err
 				}

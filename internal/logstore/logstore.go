@@ -139,22 +139,27 @@ func Open(name, dir string, opts ...Option) (*Store, error) {
 		if r.LSN <= s.durableLSN {
 			continue
 		}
-		// LSNs are dense, so a gap between surviving records is a
-		// pending hole another lane's batch (or a peer's CatchUp) may
-		// still fill — rebuild the hole set the crash wiped out, or a
-		// retried batch would be misfiled as a duplicate. Gaps at or
-		// below the persisted GC watermark are not holes: segment GC
-		// collected those acknowledged records on purpose.
-		if s.durableLSN != 0 {
-			for lsn := s.durableLSN + 1; lsn < r.LSN; lsn++ {
-				if lsn <= s.truncatedLSN {
-					continue
-				}
-				if s.holes == nil {
-					s.holes = make(map[uint64]struct{})
-				}
-				s.holes[lsn] = struct{}{}
+		// LSNs are dense (allocated from 1), so a gap in the surviving
+		// records is a pending hole another lane's batch (or a peer's
+		// CatchUp) may still fill — rebuild the hole set the crash wiped
+		// out, or a retried batch would be misfiled as a duplicate. Gaps
+		// at or below the persisted GC watermark are not holes — segment
+		// GC collected those acknowledged records on purpose — so the
+		// scan skips that prefix wholesale (never iterating the
+		// potentially huge collected range) but otherwise starts at
+		// LSN 1 rather than the first surviving record: a hole at the
+		// very FRONT of the retained log — above the GC watermark but
+		// below everything that survived — is detected too, and CatchUp
+		// can backfill it from a peer.
+		from := s.durableLSN + 1
+		if from <= s.truncatedLSN {
+			from = s.truncatedLSN + 1
+		}
+		for lsn := from; lsn < r.LSN; lsn++ {
+			if s.holes == nil {
+				s.holes = make(map[uint64]struct{})
 			}
+			s.holes[lsn] = struct{}{}
 		}
 		s.log = append(s.log, r)
 		s.durableLSN = r.LSN
@@ -196,6 +201,12 @@ func (s *Store) Handle(req any) (any, error) {
 			return nil, err
 		}
 		return &cluster.LogGCResp{Removed: uint32(removed), Bytes: bytes}, nil
+	case *cluster.LogReadReq:
+		enc, count := s.ReadEncodedFrom(m.AfterLSN, int(m.MaxRecords))
+		return &cluster.LogReadResp{
+			Recs: enc, Count: uint32(count),
+			DurableLSN: s.DurableLSN(), TruncatedLSN: s.TruncatedLSN(),
+		}, nil
 	default:
 		return nil, fmt.Errorf("logstore %s: unsupported request %T", s.name, req)
 	}
@@ -352,6 +363,31 @@ func (s *Store) ReadFrom(after uint64) []wal.Record {
 		}
 	}
 	return out
+}
+
+// ReadEncodedFrom returns up to max records with LSN > after in their
+// wire encoding (LSN order), serving read-replica tails. max <= 0
+// means unbounded. Only the record headers are copied under the store
+// lock; the encoding happens outside it, so frequent replica tails do
+// not stall concurrent Appends (record payloads are immutable once
+// stored, and hole-filling merges rebuild the slice rather than
+// mutating payload bytes).
+func (s *Store) ReadEncodedFrom(after uint64, max int) ([]byte, int) {
+	s.mu.Lock()
+	// The log is sorted by LSN; binary-search the tail start.
+	i := sort.Search(len(s.log), func(i int) bool { return s.log[i].LSN > after })
+	n := len(s.log) - i
+	if max > 0 && n > max {
+		n = max
+	}
+	recs := make([]wal.Record, n)
+	copy(recs, s.log[i:i+n])
+	s.mu.Unlock()
+	var enc []byte
+	for j := range recs {
+		enc = recs[j].Encode(enc)
+	}
+	return enc, n
 }
 
 // Len returns the number of stored records.

@@ -434,3 +434,92 @@ func TestGCMarkSurvivesReopen(t *testing.T) {
 		t.Fatalf("durable = %d", s2.DurableLSN())
 	}
 }
+
+// TestFrontHoleDetectedOnReopen pins the last piece of hole repair: a
+// hole at the very FRONT of the retained log. Segment GC deleted the
+// prefix below the persisted watermark, the batch just above the
+// watermark was lost in a crash (its holes map died with the process),
+// and the surviving records start later. With the GC watermark on disk
+// the gap between it and the first surviving record is provably loss —
+// Open must rebuild those pending holes so CatchUp can backfill them
+// from a peer.
+func TestFrontHoleDetectedOnReopen(t *testing.T) {
+	dir := t.TempDir()
+	// Peer holds the full log.
+	peer, err := Open("peer", dir+"/peer", WithSegmentBytes(64), WithNoSync())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer peer.Close()
+	batchA := []wal.Record{}
+	for lsn := uint64(1); lsn <= 5; lsn++ {
+		batchA = append(batchA, wal.Record{LSN: lsn, Type: wal.TypeCompact, PageID: 1})
+	}
+	batchB := []wal.Record{}
+	for lsn := uint64(6); lsn <= 10; lsn++ {
+		batchB = append(batchB, wal.Record{LSN: lsn, Type: wal.TypeCompact, PageID: 1})
+	}
+	batchC := []wal.Record{}
+	for lsn := uint64(11); lsn <= 15; lsn++ {
+		batchC = append(batchC, wal.Record{LSN: lsn, Type: wal.TypeCompact, PageID: 1})
+	}
+	for _, b := range [][]wal.Record{batchA, batchB, batchC} {
+		if _, err := peer.Append(encodeRecs(b...)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The lagging replica got batches A and C; B (an interleaved lane
+	// batch) never arrived before the crash. Tiny segments make every
+	// batch its own sealed segment, so GC below 6 fully deletes A.
+	lag, err := Open("lag", dir+"/lag", WithSegmentBytes(64), WithNoSync())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := lag.Append(encodeRecs(batchA...)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := lag.Append(encodeRecs(batchC...)); err != nil {
+		t.Fatal(err)
+	}
+	if lag.PendingHoles() != 5 {
+		t.Fatalf("runtime holes = %d, want 5", lag.PendingHoles())
+	}
+	if _, _, err := lag.TruncateBelow(6); err != nil {
+		t.Fatal(err)
+	}
+	if err := lag.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Crash + reopen: the in-memory holes map is gone; the retained log
+	// now STARTS at LSN 11 with the GC watermark at 5. LSNs 6..10 are a
+	// front hole — above the watermark, below everything surviving.
+	lag, err = Open("lag", dir+"/lag", WithSegmentBytes(64), WithNoSync())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lag.Close()
+	if lag.TruncatedLSN() != 5 {
+		t.Fatalf("truncated = %d, want 5", lag.TruncatedLSN())
+	}
+	if first := lag.ReadFrom(0); len(first) == 0 || first[0].LSN != 11 {
+		t.Fatalf("retained log should start at 11, got %v", first)
+	}
+	if lag.PendingHoles() != 5 {
+		t.Fatalf("front hole not rebuilt: PendingHoles = %d, want 5", lag.PendingHoles())
+	}
+	// And the hole is repairable from the peer.
+	appended, err := lag.CatchUp(peer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if appended != 5 {
+		t.Fatalf("CatchUp appended %d records, want 5", appended)
+	}
+	if lag.PendingHoles() != 0 {
+		t.Fatalf("holes remain after catch-up: %d", lag.PendingHoles())
+	}
+	recs := lag.ReadFrom(5)
+	if len(recs) != 10 || recs[0].LSN != 6 || recs[9].LSN != 15 {
+		t.Fatalf("log not contiguous after repair: %d records, first %d", len(recs), recs[0].LSN)
+	}
+}

@@ -196,6 +196,14 @@ func (s *Store) Handle(req any) (any, error) {
 		return &cluster.PageLSNResp{
 			Slices: uint32(slices), AppliedLSN: applied, PersistedLSN: persisted,
 		}, nil
+	case *cluster.SliceLSNReq:
+		resp := &cluster.SliceLSNResp{}
+		for _, sl := range s.SliceLSNs(m.Tenant) {
+			resp.Slices = append(resp.Slices, cluster.SliceLSNEntry{
+				SliceID: sl.SliceID, AppliedLSN: sl.AppliedLSN,
+			})
+		}
+		return resp, nil
 	default:
 		return nil, fmt.Errorf("pagestore %s: unsupported request %T", s.name, req)
 	}

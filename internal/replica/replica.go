@@ -1,0 +1,763 @@
+// Package replica implements the read-replica frontend tier: "Read
+// replicas ... serve read-only queries from the same Log Stores and
+// Page Stores as the master" (§II). A replica does not accept writes
+// and owns no write pipeline; instead it tails the Log Stores to learn
+// what the master logged, polls the Page Stores' per-slice applied
+// frontiers, and advances a replica-visible LSN — the largest durable
+// prefix every touched slice has confirmed applied. Reads are served
+// from the shared Page Stores at that LSN through the regular engine
+// read paths (B+ tree traversal, buffer pool, NDP batch reads), so a
+// SELECT on a replica sees a consistent snapshot that trails the
+// master by the replication lag, never a torn or non-durable state.
+//
+// The tailer learns three things from the log stream:
+//
+//   - which pages changed (cached copies older than the new visible LSN
+//     are evicted, so the next read refetches the fresh image);
+//   - catalog records — DDL the master ran after the replica opened —
+//     which attach new tables/indexes to the replica's engine;
+//   - FormatPage records at a higher B+ tree level, which announce root
+//     splits and re-bind the replica's tree to the new root.
+//
+// Advances are driven by LSN-advance notifications from the master's
+// SAL (cluster.LSNAdvanceReq, best effort) plus a poll interval
+// fallback, so a replica works both embedded next to its master and as
+// a standalone process tailing remote storage nodes over TCP.
+package replica
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"taurus/internal/cluster"
+	"taurus/internal/engine"
+	"taurus/internal/sal"
+	"taurus/internal/wal"
+)
+
+// Config describes the shared storage cluster from the replica's
+// perspective. PageStores, ReplicationFactor, and PagesPerSlice must
+// match the master's SAL configuration: the replica computes the same
+// round-robin slice placement to route page reads.
+type Config struct {
+	Transport         cluster.Transport
+	Tenant            uint32
+	LogStores         []string
+	PageStores        []string
+	ReplicationFactor int
+	PagesPerSlice     uint64
+	// Plugin names the NDP plugin for batch-read descriptors (default
+	// "innodb", matching the master's SAL).
+	Plugin string
+	// RefreshInterval is the poll fallback cadence (default 25ms);
+	// master notifications usually refresh sooner.
+	RefreshInterval time.Duration
+	// MaxTailRecords bounds one Log Store tail request (default 4096).
+	MaxTailRecords int
+}
+
+// Stats is the replica's observable state.
+type Stats struct {
+	// VisibleLSN is the snapshot reads are currently served at;
+	// DurableLSN is the master's durable watermark as far as the
+	// replica knows (notified, or inferred from applied frontiers);
+	// TailedLSN is the contiguous log prefix the replica has consumed.
+	VisibleLSN uint64
+	DurableLSN uint64
+	TailedLSN  uint64
+	// LagRecords is DurableLSN - VisibleLSN (LSNs are dense, so this
+	// counts records); LagBytes is the encoded size of the tailed
+	// records not yet visible.
+	LagRecords uint64
+	LagBytes   uint64
+	// Refreshes counts tail/advance cycles; Notifies counts master
+	// LSN-advance notifications received; RecordsTailed counts log
+	// records consumed.
+	Refreshes     uint64
+	Notifies      uint64
+	RecordsTailed uint64
+	// PagesInvalidated counts cached pages evicted because records
+	// covering them became visible; TablesAttached and RootAdvances
+	// count DDL tailed from the master; Resyncs counts hard resets
+	// after the master's log GC overran the replica's tail.
+	PagesInvalidated uint64
+	TablesAttached   uint64
+	RootAdvances     uint64
+	Resyncs          uint64
+}
+
+// ddlEvent is a catalog or FormatPage record awaiting visibility.
+type ddlEvent struct {
+	lsn uint64
+	rec wal.Record
+}
+
+// lsnSize tracks one pending record's encoded size for the lag-bytes
+// gauge.
+type lsnSize struct {
+	lsn  uint64
+	size int
+}
+
+// tailRec is one tailed record with its encoded size.
+type tailRec struct {
+	rec  wal.Record
+	size int
+}
+
+// Replica is one read-replica frontend's storage view. It implements
+// engine.ReadView (reads at the visible LSN) and cluster.Handler
+// (LSN-advance notifications from the master's SAL).
+type Replica struct {
+	cfg Config
+
+	eng      *engine.Engine
+	onAttach func(table string)
+
+	visible  atomic.Uint64
+	notified atomic.Uint64 // highest master-notified durable LSN
+	rr       atomic.Uint64 // round-robin read replica selector
+
+	// refreshMu serializes whole refresh cycles (background loop and
+	// on-demand Refresh calls).
+	refreshMu sync.Mutex
+
+	// mu guards the tail state.
+	mu           sync.Mutex
+	tailed       uint64              // contiguous consumed log prefix
+	buf          map[uint64]tailRec  // out-of-order tailed records
+	slicePending map[uint32][]uint64 // slice → sorted pending LSNs
+	pagePending  map[uint64][]uint64 // page → sorted pending LSNs
+	ddlQ         []ddlEvent
+	pendingDDL   map[uint64]*wal.CatalogEntry // index id → entry awaiting root
+	byteQ        []lsnSize
+	pendingBytes uint64
+	maxTrx       uint64
+
+	kick chan struct{}
+	stop chan struct{}
+	done chan struct{}
+
+	stats struct {
+		refreshes        atomic.Uint64
+		notifies         atomic.Uint64
+		recordsTailed    atomic.Uint64
+		pagesInvalidated atomic.Uint64
+		tablesAttached   atomic.Uint64
+		rootAdvances     atomic.Uint64
+		resyncs          atomic.Uint64
+		lagBytes         atomic.Uint64
+		durableFloor     atomic.Uint64
+	}
+}
+
+// New validates the config and returns a stopped replica; call Bind,
+// then Start.
+func New(cfg Config) (*Replica, error) {
+	if cfg.Transport == nil {
+		return nil, fmt.Errorf("replica: transport required")
+	}
+	if len(cfg.LogStores) == 0 || len(cfg.PageStores) == 0 {
+		return nil, fmt.Errorf("replica: log and page stores required")
+	}
+	if cfg.ReplicationFactor <= 0 {
+		cfg.ReplicationFactor = 3
+	}
+	if cfg.ReplicationFactor > len(cfg.PageStores) {
+		cfg.ReplicationFactor = len(cfg.PageStores)
+	}
+	if cfg.PagesPerSlice == 0 {
+		cfg.PagesPerSlice = sal.DefaultPagesPerSlice
+	}
+	if cfg.Plugin == "" {
+		cfg.Plugin = "innodb"
+	}
+	if cfg.RefreshInterval <= 0 {
+		cfg.RefreshInterval = 25 * time.Millisecond
+	}
+	if cfg.MaxTailRecords <= 0 {
+		cfg.MaxTailRecords = 4096
+	}
+	return &Replica{
+		cfg:          cfg,
+		buf:          make(map[uint64]tailRec),
+		slicePending: make(map[uint32][]uint64),
+		pagePending:  make(map[uint64][]uint64),
+		pendingDDL:   make(map[uint64]*wal.CatalogEntry),
+		kick:         make(chan struct{}, 1),
+		stop:         make(chan struct{}),
+		done:         make(chan struct{}),
+	}, nil
+}
+
+// Bind attaches the replica to its engine. onAttach (optional) runs
+// after a tailed CREATE TABLE is attached — the embedded deployment
+// refreshes optimizer statistics there. Must be called before Start.
+func (r *Replica) Bind(eng *engine.Engine, onAttach func(table string)) {
+	r.eng = eng
+	r.onAttach = onAttach
+}
+
+// Start positions the tail at startLSN (a checkpoint watermark the
+// bootstrap already covers, or 0 for a full-log bootstrap), refreshes
+// until the visible LSN reaches catchUpTo (the master's durable
+// watermark at open time, so the replica opens serving everything
+// committed before it; pass 0 to skip), and launches the background
+// tailer.
+func (r *Replica) Start(startLSN, catchUpTo uint64) error {
+	if r.eng == nil {
+		return fmt.Errorf("replica: Start before Bind")
+	}
+	r.mu.Lock()
+	r.tailed = startLSN
+	r.mu.Unlock()
+	r.visible.Store(startLSN)
+	// CAS-max: the master's SAL may have pushed a (higher) watermark
+	// notification between registration and here.
+	for {
+		cur := r.notified.Load()
+		if startLSN <= cur || r.notified.CompareAndSwap(cur, startLSN) {
+			break
+		}
+	}
+	for {
+		if err := r.Refresh(); err != nil {
+			return err
+		}
+		if r.visible.Load() >= catchUpTo {
+			break
+		}
+		// Waiting on the master's asynchronous Page Store applies; they
+		// complete at replica-apply speed, independent of new writes.
+		time.Sleep(time.Millisecond)
+	}
+	go r.loop()
+	return nil
+}
+
+// Close stops the background tailer.
+func (r *Replica) Close() {
+	close(r.stop)
+	<-r.done
+}
+
+// SliceOf maps a page to its slice (the master's rule).
+func (r *Replica) SliceOf(pageID uint64) uint32 {
+	return uint32(pageID / r.cfg.PagesPerSlice)
+}
+
+// placement computes the slice's replica set with the master SAL's
+// round-robin rule (shared: sal.ReplicaSet). The replica never creates
+// slices — it only reads ones the master already provisioned.
+func (r *Replica) placement(sliceID uint32) []string {
+	return sal.ReplicaSet(r.cfg.PageStores, r.cfg.ReplicationFactor, sliceID)
+}
+
+func (r *Replica) readNode(nodes []string) string {
+	return nodes[int(r.rr.Add(1))%len(nodes)]
+}
+
+// VisibleLSN implements engine.ReadView.
+func (r *Replica) VisibleLSN() uint64 { return r.visible.Load() }
+
+// ReadPage implements engine.ReadView: one page image at the given LSN
+// from a Page Store replica of its slice.
+func (r *Replica) ReadPage(pageID, lsn uint64) ([]byte, error) {
+	sliceID := r.SliceOf(pageID)
+	resp, err := r.cfg.Transport.Call(r.readNode(r.placement(sliceID)), &cluster.ReadPageReq{
+		Tenant: r.cfg.Tenant, SliceID: sliceID, PageID: pageID, LSN: lsn,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return resp.(*cluster.PageResp).Page, nil
+}
+
+// BatchRead implements engine.ReadView: the NDP batch read, split into
+// per-slice sub-batches dispatched concurrently (the SAL's shared
+// §VI-2 fan-out), at the replica's snapshot LSN. No pre-read wait: the
+// snapshot LSN is already proven applied everywhere.
+func (r *Replica) BatchRead(pageIDs []uint64, lsn uint64, desc []byte) (*sal.BatchResult, error) {
+	return sal.FanOutBatchRead(r.cfg.Transport, r.cfg.Tenant, r.cfg.Plugin,
+		r.SliceOf,
+		func(sliceID uint32, ids []uint64) (string, error) {
+			return r.readNode(r.placement(sliceID)), nil
+		},
+		pageIDs, lsn, desc)
+}
+
+// Handle implements cluster.Handler for the master SAL's LSN-advance
+// notifications: remember the watermark, nudge the tailer.
+func (r *Replica) Handle(req any) (any, error) {
+	m, ok := req.(*cluster.LSNAdvanceReq)
+	if !ok {
+		return nil, fmt.Errorf("replica: unsupported request %T", req)
+	}
+	for {
+		cur := r.notified.Load()
+		if m.DurableLSN <= cur || r.notified.CompareAndSwap(cur, m.DurableLSN) {
+			break
+		}
+	}
+	r.stats.notifies.Add(1)
+	select {
+	case r.kick <- struct{}{}:
+	default:
+	}
+	return &cluster.Ack{LSN: m.DurableLSN}, nil
+}
+
+// loop is the background tailer: refresh on master notification or on
+// the poll interval, whichever comes first.
+func (r *Replica) loop() {
+	defer close(r.done)
+	t := time.NewTicker(r.cfg.RefreshInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-r.stop:
+			return
+		case <-r.kick:
+		case <-t.C:
+		}
+		r.Refresh() // best effort; next round retries
+	}
+}
+
+// Refresh implements engine.ReadView: run one synchronous tail/advance
+// cycle. Also the body of the background loop.
+func (r *Replica) Refresh() error {
+	r.refreshMu.Lock()
+	attached, err := r.refreshLocked()
+	r.refreshMu.Unlock()
+	// Post-attach callbacks run outside the refresh cycle: they scan
+	// the new table at the just-published visible LSN, which can itself
+	// trigger a nested Refresh on a retention miss.
+	for _, table := range attached {
+		if r.onAttach != nil {
+			r.onAttach(table)
+		}
+	}
+	return err
+}
+
+// refreshLocked is one tail/advance cycle. Returns tables attached this
+// cycle (their post-attach callbacks run after the lock drops).
+func (r *Replica) refreshLocked() ([]string, error) {
+	r.stats.refreshes.Add(1)
+	if err := r.tail(); err != nil {
+		return nil, err
+	}
+	applied, reached, floor, err := r.pollApplied()
+	if err != nil {
+		return nil, err
+	}
+	if n := r.notified.Load(); n > floor {
+		floor = n
+	}
+	r.stats.durableFloor.Store(floor)
+
+	r.mu.Lock()
+	// Drop pending entries the Page Stores have confirmed applied — but
+	// only for slices whose ENTIRE replica set answered this poll: a
+	// node that timed out may lag the reported minimum, and a read
+	// round-robined to it later would silently serve an older version
+	// (the Page Store's at-LSN read has no applied-LSN check). Such a
+	// slice just holds the visible LSN until its nodes answer again.
+	for sliceID, lsns := range r.slicePending {
+		min, ok := applied[sliceID]
+		if !ok {
+			continue
+		}
+		allReached := true
+		for _, node := range r.placement(sliceID) {
+			if !reached[node] {
+				allReached = false
+				break
+			}
+		}
+		if !allReached {
+			continue
+		}
+		i := sort.Search(len(lsns), func(i int) bool { return lsns[i] > min })
+		if i == 0 {
+			continue
+		}
+		if i == len(lsns) {
+			delete(r.slicePending, sliceID)
+		} else {
+			r.slicePending[sliceID] = lsns[i:]
+		}
+	}
+	// The visible LSN is the largest durable prefix with no touched
+	// slice still waiting for an apply: everything at or below it is
+	// durable AND applied on every replica of every slice it touched.
+	candidate := r.tailed
+	if floor < candidate {
+		candidate = floor
+	}
+	for _, lsns := range r.slicePending {
+		if len(lsns) > 0 && lsns[0]-1 < candidate {
+			candidate = lsns[0] - 1
+		}
+	}
+	newVisible := r.visible.Load()
+	if candidate > newVisible {
+		newVisible = candidate
+	}
+
+	// Invalidate cached pages whose records became visible, so the
+	// next read refetches the newer image from the Page Stores. The
+	// floor — the highest now-visible record touching the page — also
+	// blocks an older in-flight fetch from (re)caching a stale image
+	// after this pass.
+	for pageID, lsns := range r.pagePending {
+		i := sort.Search(len(lsns), func(i int) bool { return lsns[i] > newVisible })
+		if i == 0 {
+			continue
+		}
+		r.eng.Pool().Invalidate(pageID, lsns[i-1])
+		r.stats.pagesInvalidated.Add(1)
+		if i == len(lsns) {
+			delete(r.pagePending, pageID)
+		} else {
+			r.pagePending[pageID] = lsns[i:]
+		}
+	}
+	// Retire the lag-bytes queue below the new snapshot.
+	for len(r.byteQ) > 0 && r.byteQ[0].lsn <= newVisible {
+		r.pendingBytes -= uint64(r.byteQ[0].size)
+		r.byteQ = r.byteQ[1:]
+	}
+	r.stats.lagBytes.Store(r.pendingBytes)
+	maxTrx := r.maxTrx
+	// DDL at or below the snapshot attaches now.
+	var ddl []ddlEvent
+	for len(r.ddlQ) > 0 && r.ddlQ[0].lsn <= newVisible {
+		ddl = append(ddl, r.ddlQ[0])
+		r.ddlQ = r.ddlQ[1:]
+	}
+	r.mu.Unlock()
+
+	// Transactions tailed from the log are committed on the master;
+	// advance the ID allocator so their rows are visible to read views.
+	r.eng.Txm().Advance(maxTrx)
+	r.visible.Store(newVisible)
+	attached, done, derr := r.applyDDL(ddl)
+	if derr != nil {
+		// Re-queue everything not fully applied so a transient failure
+		// cannot permanently lose a table: the next cycle retries.
+		r.mu.Lock()
+		r.ddlQ = append(append([]ddlEvent(nil), ddl[done:]...), r.ddlQ...)
+		r.mu.Unlock()
+	}
+	return attached, derr
+}
+
+// tail pulls new records from every Log Store and consumes the
+// contiguous prefix. Polling all stores per cycle lets one store's
+// pending lane hole be filled by a sibling that already has the
+// record. Acknowledged records live on every Log Store (triplicate
+// writes), so one reachable store is enough for the durable prefix —
+// an error surfaces only when every store failed.
+func (r *Replica) tail() error {
+	for {
+		progress := false
+		reached := 0
+		var firstErr error
+		for _, node := range r.cfg.LogStores {
+			r.mu.Lock()
+			after := r.tailed
+			r.mu.Unlock()
+			resp, err := r.cfg.Transport.Call(node, &cluster.LogReadReq{
+				Tenant: r.cfg.Tenant, AfterLSN: after,
+				MaxRecords: uint32(r.cfg.MaxTailRecords),
+			})
+			if err != nil {
+				if firstErr == nil {
+					firstErr = err
+				}
+				continue
+			}
+			reached++
+			lr := resp.(*cluster.LogReadResp)
+			if lr.TruncatedLSN > after {
+				// The master's log GC overran our tail: the records we
+				// missed are applied and checkpointed everywhere, but we
+				// no longer know which pages they touched. Hard reset —
+				// drop the whole page cache and resume above the GC
+				// watermark.
+				r.resync(lr.TruncatedLSN)
+				progress = true
+				continue
+			}
+			if r.ingest(lr.Recs) {
+				progress = true
+			}
+		}
+		if reached == 0 {
+			return firstErr
+		}
+		if !progress {
+			return nil
+		}
+	}
+}
+
+// resync hard-resets the tail above the GC watermark.
+func (r *Replica) resync(truncated uint64) {
+	r.mu.Lock()
+	if truncated <= r.tailed {
+		r.mu.Unlock()
+		return
+	}
+	r.tailed = truncated
+	for lsn := range r.buf {
+		if lsn <= truncated {
+			delete(r.buf, lsn)
+		}
+	}
+	for sliceID, lsns := range r.slicePending {
+		i := sort.Search(len(lsns), func(i int) bool { return lsns[i] > truncated })
+		if i == len(lsns) {
+			delete(r.slicePending, sliceID)
+		} else if i > 0 {
+			r.slicePending[sliceID] = lsns[i:]
+		}
+	}
+	r.mu.Unlock()
+	r.eng.Pool().Clear()
+	r.stats.resyncs.Add(1)
+}
+
+// ingest merges a tailed batch and consumes the contiguous prefix.
+// Returns whether the tail advanced or new records were buffered.
+func (r *Replica) ingest(encoded []byte) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	progress := false
+	buf := encoded
+	for len(buf) > 0 {
+		rec, n, err := wal.Decode(buf)
+		if err != nil {
+			break // torn response; next cycle re-reads
+		}
+		size := n
+		buf = buf[n:]
+		if rec.LSN <= r.tailed {
+			continue
+		}
+		if _, ok := r.buf[rec.LSN]; ok {
+			continue
+		}
+		r.buf[rec.LSN] = tailRec{rec: rec, size: size}
+		progress = true
+	}
+	// Consume the contiguous prefix. LSNs are dense, so a gap means a
+	// record some lane has not delivered to this store yet (a sibling
+	// store may fill it this same cycle).
+	for {
+		tr, ok := r.buf[r.tailed+1]
+		if !ok {
+			break
+		}
+		delete(r.buf, r.tailed+1)
+		r.tailed++
+		progress = true
+		// Accounted here (consume order = LSN order) so the lag-bytes
+		// queue retires in order even when stores delivered records
+		// out of order.
+		r.byteQ = append(r.byteQ, lsnSize{lsn: tr.rec.LSN, size: tr.size})
+		r.pendingBytes += uint64(tr.size)
+		r.consume(tr.rec)
+	}
+	return progress
+}
+
+// consume registers one in-order tailed record in the pending state.
+// Caller holds r.mu.
+func (r *Replica) consume(rec wal.Record) {
+	r.stats.recordsTailed.Add(1)
+	if rec.TrxID > r.maxTrx {
+		r.maxTrx = rec.TrxID
+	}
+	if rec.Type == wal.TypeCatalog {
+		if entry, err := wal.DecodeCatalog(rec.Payload); err == nil && entry.Kind == wal.CatalogBarrier {
+			// A recovery barrier declares [VoidFrom, barrierLSN) a dead
+			// epoch: records in it were never acknowledged and no Page
+			// Store will ever apply them. Purge them from the pending
+			// state or the visible LSN would stall below the void.
+			r.purgeVoid(entry.IndexID, rec.LSN)
+			return
+		}
+		r.ddlQ = append(r.ddlQ, ddlEvent{lsn: rec.LSN, rec: rec})
+		return
+	}
+	sliceID := r.SliceOf(rec.PageID)
+	r.slicePending[sliceID] = append(r.slicePending[sliceID], rec.LSN)
+	// Records are consumed in LSN order, so appends keep both sorted.
+	r.pagePending[rec.PageID] = append(r.pagePending[rec.PageID], rec.LSN)
+	if rec.Type == wal.TypeFormatPage {
+		r.ddlQ = append(r.ddlQ, ddlEvent{lsn: rec.LSN, rec: rec})
+	}
+}
+
+// purgeVoid drops pending state inside a dead epoch [from, to). Caller
+// holds r.mu.
+func (r *Replica) purgeVoid(from, to uint64) {
+	dead := func(lsn uint64) bool { return lsn >= from && lsn < to }
+	for sliceID, lsns := range r.slicePending {
+		kept := lsns[:0]
+		for _, lsn := range lsns {
+			if !dead(lsn) {
+				kept = append(kept, lsn)
+			}
+		}
+		if len(kept) == 0 {
+			delete(r.slicePending, sliceID)
+		} else {
+			r.slicePending[sliceID] = kept
+		}
+	}
+	for pageID, lsns := range r.pagePending {
+		keptLSNs := lsns[:0]
+		for _, lsn := range lsns {
+			if !dead(lsn) {
+				keptLSNs = append(keptLSNs, lsn)
+			}
+		}
+		if len(keptLSNs) == 0 {
+			delete(r.pagePending, pageID)
+		} else {
+			r.pagePending[pageID] = keptLSNs
+		}
+	}
+	kept := r.ddlQ[:0]
+	for _, ev := range r.ddlQ {
+		if !dead(ev.lsn) {
+			kept = append(kept, ev)
+		}
+	}
+	r.ddlQ = kept
+}
+
+// pollApplied queries every Page Store node for per-slice applied LSNs.
+// Returns each slice's minimum across the nodes hosting it (records at
+// or below it are applied on every replica of the slice) and the
+// overall maximum (a proven lower bound on the master's durable
+// watermark: the SAL applies a window only after the global durable
+// watermark covers it).
+func (r *Replica) pollApplied() (map[uint32]uint64, map[string]bool, uint64, error) {
+	applied := make(map[uint32]uint64)
+	reached := make(map[string]bool, len(r.cfg.PageStores))
+	var floor uint64
+	var firstErr error
+	for _, node := range r.cfg.PageStores {
+		resp, err := r.cfg.Transport.Call(node, &cluster.SliceLSNReq{Tenant: r.cfg.Tenant})
+		if err != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("replica: page store %s: %w", node, err)
+			}
+			continue
+		}
+		reached[node] = true
+		for _, e := range resp.(*cluster.SliceLSNResp).Slices {
+			if cur, ok := applied[e.SliceID]; !ok || e.AppliedLSN < cur {
+				applied[e.SliceID] = e.AppliedLSN
+			}
+			if e.AppliedLSN > floor {
+				floor = e.AppliedLSN
+			}
+		}
+	}
+	if len(reached) == 0 {
+		// No frontier at all: don't advance on nothing.
+		return applied, reached, floor, firstErr
+	}
+	return applied, reached, floor, nil
+}
+
+// applyDDL attaches newly visible DDL to the engine: catalog entries
+// wait for their root's FormatPage, FormatPage records for known
+// indexes advance roots (root splits on the master). Returns tables
+// attached (their stats callbacks run later) and how many events were
+// fully applied — on error the caller re-queues the rest.
+func (r *Replica) applyDDL(events []ddlEvent) ([]string, int, error) {
+	var attached []string
+	for i, ev := range events {
+		switch ev.rec.Type {
+		case wal.TypeCatalog:
+			entry, err := wal.DecodeCatalog(ev.rec.Payload)
+			if err != nil {
+				return attached, i, fmt.Errorf("replica: tailed catalog record: %w", err)
+			}
+			if r.eng.HasIndex(entry.IndexID) {
+				continue
+			}
+			r.mu.Lock()
+			r.pendingDDL[entry.IndexID] = entry
+			r.mu.Unlock()
+		case wal.TypeFormatPage:
+			r.mu.Lock()
+			entry := r.pendingDDL[ev.rec.IndexID]
+			if entry != nil {
+				delete(r.pendingDDL, ev.rec.IndexID)
+			}
+			r.mu.Unlock()
+			if entry == nil {
+				if r.eng.AdvanceRoot(ev.rec.IndexID, ev.rec.PageID, ev.rec.Level) {
+					r.stats.rootAdvances.Add(1)
+				}
+				continue
+			}
+			root := engine.RootRecord{IndexID: ev.rec.IndexID, PageID: ev.rec.PageID, Level: ev.rec.Level}
+			var err error
+			switch entry.Kind {
+			case wal.CatalogCreateTable:
+				err = r.eng.AttachTable(entry, root)
+				if err == nil {
+					attached = append(attached, entry.Table)
+				}
+			case wal.CatalogCreateIndex:
+				err = r.eng.AttachIndex(entry, root)
+			}
+			if err != nil {
+				// Restore the consumed catalog entry so the retry sees
+				// this FormatPage as the pending root again.
+				r.mu.Lock()
+				r.pendingDDL[ev.rec.IndexID] = entry
+				r.mu.Unlock()
+				return attached, i, err
+			}
+			r.stats.tablesAttached.Add(1)
+		}
+	}
+	return attached, len(events), nil
+}
+
+// Stats snapshots the replica's counters.
+func (r *Replica) Stats() Stats {
+	r.mu.Lock()
+	tailed := r.tailed
+	r.mu.Unlock()
+	st := Stats{
+		VisibleLSN:       r.visible.Load(),
+		DurableLSN:       r.stats.durableFloor.Load(),
+		TailedLSN:        tailed,
+		LagBytes:         r.stats.lagBytes.Load(),
+		Refreshes:        r.stats.refreshes.Load(),
+		Notifies:         r.stats.notifies.Load(),
+		RecordsTailed:    r.stats.recordsTailed.Load(),
+		PagesInvalidated: r.stats.pagesInvalidated.Load(),
+		TablesAttached:   r.stats.tablesAttached.Load(),
+		RootAdvances:     r.stats.rootAdvances.Load(),
+		Resyncs:          r.stats.resyncs.Load(),
+	}
+	if st.DurableLSN > st.VisibleLSN {
+		st.LagRecords = st.DurableLSN - st.VisibleLSN
+	}
+	return st
+}

@@ -88,11 +88,18 @@ const (
 // EWMA share of the lane's sealed records crosses promoteShare (and a
 // dedicated lane is free). Nothing is promoted before the lane has
 // sealed promoteMinObserved records — the first trickle of traffic is
-// too noisy to classify.
+// too noisy to classify. Demotion is the inverse: a promoted slice's
+// EWMA share of recent traffic (its lane's records against everything
+// sealed since the last policy round) is seeded at promoteShare and
+// decays while the slice is quiet; below demoteShare the slice hands
+// back to the shared lane and its lane returns to the pool. The wide
+// promoteShare/demoteShare gap is hysteresis: a slice bouncing around
+// the promotion threshold never thrashes between lanes.
 const (
 	heatAlpha          = 0.4
 	promoteShare       = 0.5
 	promoteMinObserved = 32
+	demoteShare        = 0.05
 )
 
 // Seal reasons for the per-lane SealsByReason counters.
@@ -297,8 +304,14 @@ type PipelineStats struct {
 	DurableLSN   uint64
 	AllocatedLSN uint64
 	// Promotions counts slices moved from the shared lane to a
-	// dedicated one.
+	// dedicated one; Demotions counts cooled slices handed back.
 	Promotions uint64
+	Demotions  uint64
+	// ReplicaNotifies counts durable-watermark advance notifications
+	// sent to registered read replicas; RegisteredReplicas is the
+	// current subscription count.
+	ReplicaNotifies    uint64
+	RegisteredReplicas int
 	// Lanes is the per-lane breakdown (windows sealed, seals by reason,
 	// adaptive threshold, apply lag per slice).
 	Lanes []LaneStats
@@ -309,6 +322,8 @@ type pipelineCounters struct {
 	commitWaits        atomic.Uint64
 	applyWaits         atomic.Uint64
 	promotions         atomic.Uint64
+	demotions          atomic.Uint64
+	replicaNotifies    atomic.Uint64
 }
 
 // startPipeline launches every lane's flusher and per-Log-Store node
@@ -352,7 +367,11 @@ func (s *SAL) startPipeline() {
 		}(ln)
 	}
 	s.laneHeat = make(map[uint32]float64)
-	s.nextLane = 1
+	s.dedHeat = make(map[uint32]float64)
+	s.freeLanes = append([]*lane(nil), s.lanes[1:]...)
+	s.lastLaneRecords = make([]uint64, nLanes)
+	s.notifierDone = make(chan struct{})
+	go s.lsnNotifier()
 	go func() {
 		// Per-slice apply workers are shared across lanes; their
 		// channels close only after every lane's dispatcher is done.
@@ -478,11 +497,7 @@ func (s *SAL) progressIfExists(sliceID uint32) *sliceProgress {
 func (s *SAL) placement(sliceID uint32) ([]string, error) {
 	sp := s.progress(sliceID)
 	sp.createOnce.Do(func() {
-		n := len(s.cfg.PageStores)
-		nodes := make([]string, 0, s.cfg.ReplicationFactor)
-		for i := 0; i < s.cfg.ReplicationFactor; i++ {
-			nodes = append(nodes, s.cfg.PageStores[(int(sliceID)+i)%n])
-		}
+		nodes := ReplicaSet(s.cfg.PageStores, s.cfg.ReplicationFactor, sliceID)
 		for _, node := range nodes {
 			if _, err := s.cfg.Transport.Call(node, &cluster.CreateSliceReq{
 				Tenant: s.cfg.Tenant, SliceID: sliceID,
@@ -732,15 +747,28 @@ func (ln *lane) observeFsync(lat float64) {
 	ln.thresh.Store(int64(t))
 }
 
-// maybePromote runs the hot-slice promotion policy on a window the
-// shared lane just sealed (shared-lane flusher goroutine only): each
-// slice's share of the lane's sealed records feeds an EWMA, and a slice
-// whose heat crosses promoteShare moves to a free dedicated lane.
+// maybePromote runs the hot-slice promotion AND demotion policy on a
+// window the shared lane just sealed (shared-lane flusher goroutine
+// only): each shared-lane slice's share of the window feeds a warming
+// EWMA, each promoted slice's share of everything sealed since the last
+// round feeds a cooling EWMA, and slices cross between the shared lane
+// and the dedicated pool at the promoteShare/demoteShare thresholds.
 func (s *SAL) maybePromote(w *window) {
 	if len(s.lanes) <= 1 || w.count == 0 {
 		return
 	}
 	s.heatObserved += w.count
+	// Records sealed anywhere since the last policy round put this
+	// window's share in context and drive the promoted slices' cooling.
+	total := w.count
+	deltas := make([]int, len(s.lanes))
+	for i := 1; i < len(s.lanes); i++ {
+		rec := s.lanes[i].records.Load()
+		deltas[i] = int(rec - s.lastLaneRecords[i])
+		s.lastLaneRecords[i] = rec
+		total += deltas[i]
+	}
+	s.maybeDemote(deltas, total)
 	for id := range s.laneHeat {
 		if _, inWindow := w.slices[id]; !inWindow {
 			s.laneHeat[id] *= 1 - heatAlpha
@@ -773,12 +801,43 @@ func (s *SAL) maybePromote(w *window) {
 	if best == 0 {
 		return
 	}
-	if best < promoteShare || s.heatObserved < promoteMinObserved || s.nextLane >= len(s.lanes) {
+	if best < promoteShare || s.heatObserved < promoteMinObserved || len(s.freeLanes) == 0 {
 		return
 	}
-	if s.promote(hottest, s.lanes[s.nextLane]) {
-		s.nextLane++
+	if s.promote(hottest, s.freeLanes[0]) {
+		s.freeLanes = s.freeLanes[1:]
 		delete(s.laneHeat, hottest)
+		// Seed the cooling EWMA at the promotion threshold: the slice
+		// must actually cool before it can be demoted (hysteresis).
+		s.dedHeat[hottest] = promoteShare
+	}
+}
+
+// maybeDemote cools every promoted slice's heat by its share of the
+// traffic sealed since the last policy round and hands slices whose
+// EWMA fell below demoteShare back to the shared lane, freeing their
+// lanes for the next hot slice.
+func (s *SAL) maybeDemote(deltas []int, total int) {
+	for i := 1; i < len(s.lanes); i++ {
+		ln := s.lanes[i]
+		assigned := ln.assignedSlice.Load()
+		if assigned < 0 || ln.poisoned.Load() {
+			continue
+		}
+		sliceID := uint32(assigned)
+		share := float64(deltas[i]) / float64(total)
+		h, ok := s.dedHeat[sliceID]
+		if !ok {
+			h = promoteShare
+		}
+		h = (1-heatAlpha)*h + heatAlpha*share
+		s.dedHeat[sliceID] = h
+		if h >= demoteShare {
+			continue
+		}
+		if s.demote(sliceID, ln) {
+			delete(s.dedHeat, sliceID)
+		}
 	}
 }
 
@@ -793,9 +852,11 @@ func (s *SAL) promote(sliceID uint32, target *lane) bool {
 	sp := s.progress(sliceID)
 	shared := s.lanes[0]
 	shared.stageMu.Lock()
-	if sp.laneID.Load() != 0 {
-		// Promotion is once-only per slice (no demotion yet — ROADMAP):
-		// a second flip would clobber the pending fence.
+	if sp.laneID.Load() != 0 || sp.fence.Load() != 0 {
+		// Already promoted, or a previous handoff (a demotion's fence)
+		// is still applying: a second flip now would clobber the
+		// pending fence and break the slice's apply order. The policy
+		// retries on a later round.
 		shared.stageMu.Unlock()
 		return false
 	}
@@ -807,6 +868,39 @@ func (s *SAL) promote(sliceID uint32, target *lane) bool {
 	target.assignedSlice.Store(int64(sliceID))
 	s.counters.promotions.Add(1)
 	target.kick()
+	return true
+}
+
+// demote hands a cooled slice back to the shared lane through the same
+// fence machinery promotion uses, mirrored: under the dedicated lane's
+// stage lock, everything already staged for the slice is at or below
+// the fence, and every later record allocates in the shared lane
+// strictly above it — the slice's apply worker holds the shared-lane
+// batches until the dedicated lane's have all landed. The freed lane
+// returns to the pool for the next hot slice.
+func (s *SAL) demote(sliceID uint32, ln *lane) bool {
+	sp := s.progress(sliceID)
+	if sp.fence.Load() != 0 {
+		return false // promotion handoff still applying; retry later
+	}
+	ln.stageMu.Lock()
+	if sp.laneID.Load() != int32(ln.id) {
+		ln.stageMu.Unlock()
+		return false
+	}
+	if fence := sp.lastStaged.Load(); fence > 0 {
+		sp.fence.Store(fence)
+	}
+	sp.laneID.Store(0)
+	ln.stageMu.Unlock()
+	ln.assignedSlice.Store(-1)
+	s.freeLanes = append(s.freeLanes, ln)
+	s.counters.demotions.Add(1)
+	// Writers parked on the dedicated lane's backpressure follow the
+	// slice to the shared lane once woken.
+	ln.stageMu.Lock()
+	ln.stageCond.Broadcast()
+	ln.stageMu.Unlock()
 	return true
 }
 
@@ -1242,6 +1336,88 @@ func (s *SAL) waitAppliedPages(sliceID uint32, pageIDs ...uint64) error {
 	return nil
 }
 
+// lsnNotifier pushes durable-watermark advances to registered read
+// replicas (cluster.LSNAdvanceReq, best effort — a replica also polls).
+// One goroutine, coalescing: however many windows turned durable while
+// a notification round was in flight, the next round sends only the
+// newest watermark.
+func (s *SAL) lsnNotifier() {
+	defer close(s.notifierDone)
+	var lastLSN, lastGen uint64
+	for {
+		s.durMu.Lock()
+		for s.durable == lastLSN && s.repGen == lastGen && !s.isClosed() {
+			s.durCond.Wait()
+		}
+		d, gen := s.durable, s.repGen
+		s.durMu.Unlock()
+		if d == lastLSN && gen == lastGen { // closed, nothing new
+			return
+		}
+		lastLSN, lastGen = d, gen
+		s.repMu.Lock()
+		nodes := append([]string(nil), s.replicaNodes...)
+		s.repMu.Unlock()
+		for _, node := range nodes {
+			if _, err := s.cfg.Transport.Call(node, &cluster.LSNAdvanceReq{
+				Tenant: s.cfg.Tenant, DurableLSN: d,
+			}); err == nil {
+				s.counters.replicaNotifies.Add(1)
+			}
+		}
+		if s.isClosed() {
+			return
+		}
+	}
+}
+
+// Barrier waits until every record staged before the call is durable on
+// the Log Stores and applied to every Page Store replica — without
+// stopping new writers. Unlike Flush (which waits for pending == 0 and
+// so can starve under sustained write traffic), Barrier snapshots the
+// allocated-LSN frontier and each slice's staged frontier once, then
+// waits only for that sealed prefix: the checkpointer's drain.
+func (s *SAL) Barrier() error {
+	lsn := s.lsn.Load()
+	if err := s.WaitDurable(lsn); err != nil {
+		return err
+	}
+	type target struct {
+		sp  *sliceProgress
+		lsn uint64
+	}
+	var targets []target
+	s.slMu.Lock()
+	for _, sp := range s.sliceProg {
+		t := sp.lastStaged.Load()
+		if t > lsn {
+			// Staged after the barrier: not part of the snapshot.
+			t = lsn
+		}
+		if t > 0 {
+			targets = append(targets, target{sp, t})
+		}
+	}
+	s.slMu.Unlock()
+	for _, tg := range targets {
+		tg.sp.mu.Lock()
+		for tg.sp.applied < tg.lsn {
+			if err := s.sticky(); err != nil {
+				tg.sp.mu.Unlock()
+				return err
+			}
+			if s.isClosed() {
+				tg.sp.mu.Unlock()
+				return errClosed
+			}
+			s.kickAll()
+			tg.sp.cond.Wait()
+		}
+		tg.sp.mu.Unlock()
+	}
+	return s.sticky()
+}
+
 // Flush drains the pipeline: every record staged before the call is
 // durable on the Log Stores AND applied to every Page Store replica
 // when it returns, across all lanes. Checkpoints and shutdown use it;
@@ -1293,6 +1469,7 @@ func (s *SAL) Close() error {
 			ln.nodeWG.Wait()
 		}
 		<-s.applyDone
+		<-s.notifierDone
 	})
 	return err
 }
@@ -1309,7 +1486,12 @@ func (s *SAL) Stats() PipelineStats {
 		DurableLSN:         s.durableAtomic.Load(),
 		AllocatedLSN:       s.lsn.Load(),
 		Promotions:         s.counters.promotions.Load(),
+		Demotions:          s.counters.demotions.Load(),
+		ReplicaNotifies:    s.counters.replicaNotifies.Load(),
 	}
+	s.repMu.Lock()
+	st.RegisteredReplicas = len(s.replicaNodes)
+	s.repMu.Unlock()
 	bySlice := make(map[int][]SliceApplyStats)
 	s.slMu.Lock()
 	ids := make([]uint32, 0, len(s.sliceProg))

@@ -724,3 +724,155 @@ func TestAdaptiveThresholdTracksLoad(t *testing.T) {
 		t.Fatalf("seal reasons don't add up: %+v", lane)
 	}
 }
+
+// TestLaneDemotionAndRepromotion pins the full lane lifecycle: a hot
+// slice is promoted to the single dedicated lane; when its traffic
+// stops its heat EWMA decays below demoteShare and it hands back to the
+// shared lane (freeing the lane); the next hot slice is then promoted
+// into the freed lane. Per-slice apply order must survive both
+// handoffs.
+func TestLaneDemotionAndRepromotion(t *testing.T) {
+	f, _ := newLaneFixture(t, 16, 8, 1) // pages 1..16 slice 0, 17.. slice 1
+	if _, err := f.sal.Write(&wal.Record{Type: wal.TypeFormatPage, PageID: 1, IndexID: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.sal.Write(&wal.Record{Type: wal.TypeFormatPage, PageID: 17, IndexID: 1}); err != nil {
+		t.Fatal(err)
+	}
+	// Phase 1: slice 0 runs hot and is promoted.
+	promoteSlice(t, f, 1, 64)
+	st := f.sal.Stats()
+	if st.Lanes[1].Slice != 0 {
+		t.Fatalf("dedicated lane not assigned slice 0: %+v", st.Lanes[1])
+	}
+	// Phase 2: slice 0 goes quiet while slice 1 runs hot through the
+	// shared lane. Every shared-lane seal decays slice 0's heat; once
+	// it drops below demoteShare the slice is demoted, the lane frees,
+	// and slice 1 is promoted into it.
+	var demoted, repromoted bool
+	for round := 0; round < 40 && !(demoted && repromoted); round++ {
+		for i := 0; i < 8; i++ {
+			if _, err := f.sal.Write(insertRec(17, int64(5000+round*8+i))); err != nil {
+				t.Fatal(err)
+			}
+		}
+		st = drainWindows(t, f)
+		demoted = st.Demotions >= 1
+		repromoted = st.Promotions >= 2
+	}
+	if !demoted {
+		t.Fatalf("cooled slice never demoted: %+v", st)
+	}
+	if !repromoted {
+		t.Fatalf("freed lane never re-promoted the next hot slice: %+v", st)
+	}
+	if st.Lanes[1].Slice != 1 {
+		t.Fatalf("dedicated lane not reassigned to slice 1: %+v", st.Lanes[1])
+	}
+	// Phase 3: the demoted slice keeps writing through the shared lane.
+	for i := 0; i < 16; i++ {
+		if _, err := f.sal.Write(insertRec(1, int64(9000+i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := f.sal.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	// Apply order survived both handoffs: no record was misfiled as a
+	// stale redelivery, and both pages hold every insert.
+	skipped := uint64(0)
+	for _, ps := range f.stores {
+		skipped += ps.Snapshot().LogRecordsSkipped
+	}
+	if skipped != 0 {
+		t.Fatalf("%d records dropped as stale redeliveries across lane handoffs", skipped)
+	}
+	for _, pageID := range []uint64{1, 17} {
+		raw, err := f.sal.ReadPage(pageID, 0)
+		if err != nil {
+			t.Fatalf("page %d: %v", pageID, err)
+		}
+		pg, err := page.FromBytes(raw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pg.NumRecords() == 0 {
+			t.Fatalf("page %d lost its records across the handoffs", pageID)
+		}
+	}
+}
+
+// TestBarrierCompletesUnderSustainedWrites pins the checkpoint drain
+// semantics: Barrier waits for the prefix staged BEFORE the call to be
+// durable and applied, and returns even though concurrent writers keep
+// the pipeline's pending count permanently nonzero (Flush's pending ==
+// 0 moment may never come).
+func TestBarrierCompletesUnderSustainedWrites(t *testing.T) {
+	f := newFixture(t, 16, 2)
+	defer f.sal.Close()
+	if _, err := f.sal.Write(&wal.Record{Type: wal.TypeFormatPage, PageID: 1, IndexID: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.sal.Write(&wal.Record{Type: wal.TypeFormatPage, PageID: 17, IndexID: 1}); err != nil {
+		t.Fatal(err)
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		// A continuous committer on an unrelated slice.
+		defer wg.Done()
+		for i := int64(0); ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			lsn, err := f.sal.Write(insertRec(17, 100000+i))
+			if err != nil {
+				return
+			}
+			f.sal.WaitDurable(lsn)
+		}
+	}()
+	var lastLSN uint64
+	for i := 0; i < 20; i++ {
+		lsn, err := f.sal.Write(insertRec(1, int64(i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		lastLSN = lsn
+	}
+	done := make(chan error, 1)
+	go func() { done <- f.sal.Barrier() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("Barrier starved under sustained writers")
+	}
+	// Everything staged before the barrier is applied: slice 0's
+	// frontier covers the last pre-barrier record.
+	st := f.sal.Stats()
+	found := false
+	for _, lane := range st.Lanes {
+		for _, sl := range lane.Slices {
+			if sl.Slice == 0 {
+				found = true
+				if sl.AppliedLSN < lastLSN {
+					t.Fatalf("slice 0 applied %d < pre-barrier LSN %d", sl.AppliedLSN, lastLSN)
+				}
+			}
+		}
+	}
+	if !found {
+		t.Fatal("slice 0 missing from stats")
+	}
+	if st.DurableLSN < lastLSN {
+		t.Fatalf("durable %d < pre-barrier LSN %d", st.DurableLSN, lastLSN)
+	}
+	close(stop)
+	wg.Wait()
+}

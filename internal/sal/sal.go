@@ -103,11 +103,17 @@ type SAL struct {
 	lanes   []*lane
 	pending atomic.Int64 // records staged or in flight, not yet applied
 
-	// Hot-slice promotion state, owned by the shared lane's flusher
-	// goroutine.
-	laneHeat     map[uint32]float64
-	heatObserved int
-	nextLane     int
+	// Hot-slice promotion/demotion state, owned by the shared lane's
+	// flusher goroutine: laneHeat tracks shared-lane slices approaching
+	// promotion, dedHeat tracks promoted slices cooling toward
+	// demotion, freeLanes is the dedicated-lane pool, and
+	// lastLaneRecords remembers each lane's record counter at the last
+	// policy round (deltas feed the cooling EWMAs).
+	laneHeat        map[uint32]float64
+	dedHeat         map[uint32]float64
+	heatObserved    int
+	freeLanes       []*lane
+	lastLaneRecords []uint64
 
 	// Per-slice replica sets, lane assignments, and LSN frontiers.
 	slMu      sync.Mutex
@@ -115,11 +121,14 @@ type SAL struct {
 
 	// Durable (commit) watermark. durFloor freezes it below the first
 	// failed window; durMu also guards every lane's pendingQ so sealing
-	// and watermark recomputation are atomic.
+	// and watermark recomputation are atomic. repGen (also under
+	// durMu) bumps when the replica subscription list changes, so the
+	// notifier re-announces the current watermark to late subscribers.
 	durMu         sync.Mutex
 	durCond       *sync.Cond
 	durable       uint64
 	durFloor      uint64
+	repGen        uint64
 	durableAtomic atomic.Uint64
 
 	// Flush drain.
@@ -137,6 +146,14 @@ type SAL struct {
 	dispatchWG   sync.WaitGroup
 	sliceWG      sync.WaitGroup
 	applyDone    chan struct{}
+
+	// Registered read replicas: transport node names notified (best
+	// effort) whenever the durable watermark advances, so log-tailing
+	// replicas refresh immediately instead of waiting out their poll
+	// interval.
+	repMu        sync.Mutex
+	replicaNodes []string
+	notifierDone chan struct{}
 
 	errMu sync.Mutex
 	err   error
@@ -199,6 +216,21 @@ func New(cfg Config) (*SAL, error) {
 // SliceOf maps a page to its slice.
 func (s *SAL) SliceOf(pageID uint64) uint32 {
 	return uint32(pageID / s.cfg.PagesPerSlice)
+}
+
+// ReplicaSet computes a slice's Page Store replica set: round-robin by
+// slice id over the node pool, so consecutive slices land on different
+// Page Stores and batch reads fan out (§VI-2). Exported because the
+// read-replica tier routes its page reads with the same rule — the two
+// must never diverge, or replicas would read from nodes that do not
+// host the slice.
+func ReplicaSet(pageStores []string, replicationFactor int, sliceID uint32) []string {
+	n := len(pageStores)
+	nodes := make([]string, 0, replicationFactor)
+	for i := 0; i < replicationFactor; i++ {
+		nodes = append(nodes, pageStores[(int(sliceID)+i)%n])
+	}
+	return nodes
 }
 
 // CurrentLSN returns the last allocated LSN.
@@ -347,6 +379,32 @@ func (s *SAL) TruncateLogs(watermark uint64) (GCResult, error) {
 	return res, nil
 }
 
+// RegisterReplica subscribes a read replica (a transport node name that
+// handles cluster.LSNAdvanceReq) to durable-watermark advances.
+func (s *SAL) RegisterReplica(node string) {
+	s.repMu.Lock()
+	s.replicaNodes = append(s.replicaNodes, node)
+	s.repMu.Unlock()
+	// Wake the notifier so a replica registered after the last write
+	// still learns the current watermark promptly.
+	s.durMu.Lock()
+	s.repGen++
+	s.durCond.Broadcast()
+	s.durMu.Unlock()
+}
+
+// UnregisterReplica removes a read replica subscription.
+func (s *SAL) UnregisterReplica(node string) {
+	s.repMu.Lock()
+	defer s.repMu.Unlock()
+	for i, n := range s.replicaNodes {
+		if n == node {
+			s.replicaNodes = append(s.replicaNodes[:i], s.replicaNodes[i+1:]...)
+			return
+		}
+	}
+}
+
 // readReplica picks a replica for reads, round-robin.
 func (s *SAL) readReplica(nodes []string) string {
 	return nodes[int(s.rr.Add(1))%len(nodes)]
@@ -393,6 +451,30 @@ type BatchResult struct {
 // sub-batch waits only until the pages it actually requests are
 // applied.
 func (s *SAL) BatchRead(pageIDs []uint64, lsn uint64, desc []byte) (*BatchResult, error) {
+	return FanOutBatchRead(s.cfg.Transport, s.cfg.Tenant, s.cfg.Plugin,
+		s.SliceOf,
+		func(sliceID uint32, ids []uint64) (string, error) {
+			if err := s.waitAppliedPages(sliceID, ids...); err != nil {
+				return "", err
+			}
+			nodes, err := s.placement(sliceID)
+			if err != nil {
+				return "", err
+			}
+			return s.readReplica(nodes), nil
+		},
+		pageIDs, lsn, desc)
+}
+
+// FanOutBatchRead is the batch-read dispatch shared by the SAL and the
+// read-replica tier: split the page list into per-slice sub-batches
+// (§VI-2), route each through nodeFor (which also runs any pre-read
+// wait and picks the replica), issue them concurrently, and reassemble
+// the responses in request order.
+func FanOutBatchRead(tr cluster.Transport, tenant uint32, plugin string,
+	sliceOf func(pageID uint64) uint32,
+	nodeFor func(sliceID uint32, ids []uint64) (string, error),
+	pageIDs []uint64, lsn uint64, desc []byte) (*BatchResult, error) {
 	type subBatch struct {
 		sliceID uint32
 		ids     []uint64
@@ -401,7 +483,7 @@ func (s *SAL) BatchRead(pageIDs []uint64, lsn uint64, desc []byte) (*BatchResult
 	var order []uint32
 	subs := make(map[uint32]*subBatch)
 	for i, id := range pageIDs {
-		sliceID := s.SliceOf(id)
+		sliceID := sliceOf(id)
 		sb, ok := subs[sliceID]
 		if !ok {
 			sb = &subBatch{sliceID: sliceID}
@@ -417,20 +499,16 @@ func (s *SAL) BatchRead(pageIDs []uint64, lsn uint64, desc []byte) (*BatchResult
 	var mu sync.Mutex
 	for oi, sliceID := range order {
 		sb := subs[sliceID]
-		if err := s.waitAppliedPages(sliceID, sb.ids...); err != nil {
-			return nil, err
-		}
-		nodes, err := s.placement(sliceID)
+		node, err := nodeFor(sliceID, sb.ids)
 		if err != nil {
 			return nil, err
 		}
-		node := s.readReplica(nodes)
 		wg.Add(1)
 		go func(oi int, sb *subBatch, node string) {
 			defer wg.Done()
-			resp, err := s.cfg.Transport.Call(node, &cluster.BatchReadReq{
-				Tenant: s.cfg.Tenant, SliceID: sb.sliceID, LSN: lsn,
-				PageIDs: sb.ids, Desc: desc, Plugin: s.cfg.Plugin,
+			resp, err := tr.Call(node, &cluster.BatchReadReq{
+				Tenant: tenant, SliceID: sb.sliceID, LSN: lsn,
+				PageIDs: sb.ids, Desc: desc, Plugin: plugin,
 			})
 			if err != nil {
 				errs[oi] = err

@@ -19,6 +19,9 @@ type Session struct {
 	// NDP toggles near-data processing, like the server flag the paper's
 	// experiments flip.
 	NDP bool
+	// ReadOnly rejects DDL and DML with a clear error — the read-replica
+	// frontend's mode.
+	ReadOnly bool
 }
 
 // NewSession creates a session with a fresh catalog.
@@ -44,8 +47,14 @@ func (s *Session) Exec(sqlText string) (*Result, error) {
 	}
 	switch st := stmt.(type) {
 	case *CreateTableStmt:
+		if s.ReadOnly {
+			return nil, fmt.Errorf("sql: replica is read-only: CREATE TABLE rejected (run DDL on the master)")
+		}
 		return s.execCreate(st)
 	case *InsertStmt:
+		if s.ReadOnly {
+			return nil, fmt.Errorf("sql: replica is read-only: INSERT rejected (write to the master)")
+		}
 		return s.execInsert(st)
 	case *SelectStmt:
 		return s.execSelect(st)

@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"path/filepath"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"taurus/internal/buffer"
@@ -29,6 +30,7 @@ import (
 	"taurus/internal/logstore"
 	"taurus/internal/pagestore"
 	"taurus/internal/pstore"
+	"taurus/internal/replica"
 	"taurus/internal/sal"
 	"taurus/internal/sql"
 	"taurus/internal/types"
@@ -93,17 +95,38 @@ type Config struct {
 	// LogSyncEveryAppend disables group commit and fsyncs every append
 	// — the durability benchmark's baseline.
 	LogSyncEveryAppend bool
+
+	// Master attaches a read replica to a running master's storage
+	// cluster (OpenReplica only; ignored by Open). The replica shares
+	// the master's Log Stores and Page Stores, tails the log to advance
+	// its visible LSN, and serves read-only SQL.
+	Master *DB
+	// ReplicaRefreshInterval is the replica's poll fallback cadence
+	// (OpenReplica only; default 25ms). The master's SAL also pushes
+	// LSN-advance notifications, which usually refresh sooner.
+	ReplicaRefreshInterval time.Duration
 }
 
-// DB is an open database.
+// DB is an open database frontend: a read-write master (Open) or a
+// read-only replica (OpenReplica).
 type DB struct {
+	cfg       Config
 	session   *sql.Session
 	eng       *engine.Engine
 	tr        *cluster.InProc
 	stores    []*pagestore.Store
 	logs      []*logstore.Store
+	logNames  []string
+	psNames   []string
 	recovered engine.RecoveryStats
 	summary   RecoverySummary
+
+	// Replica state (OpenReplica); master tracks how many replicas it
+	// has named so far.
+	rep     *replica.Replica
+	repName string
+	master  *DB
+	repSeq  atomic.Uint64
 
 	// meta is the frontend's checkpoint store (catalog, roots,
 	// allocators); nil without DataDir.
@@ -164,7 +187,7 @@ func Open(cfg Config) (*DB, error) {
 		cfg.PoolPages = 4096
 	}
 	tr := cluster.NewInProc()
-	db := &DB{tr: tr}
+	db := &DB{cfg: cfg, tr: tr}
 	logNames := []string{"log1", "log2", "log3"}
 	for _, n := range logNames {
 		var ls *logstore.Store
@@ -189,6 +212,7 @@ func Open(cfg Config) (*DB, error) {
 			}
 		}
 		db.logs = append(db.logs, ls)
+		db.logNames = append(db.logNames, n)
 		tr.Register(n, ls)
 	}
 	var psNames []string
@@ -218,6 +242,7 @@ func Open(cfg Config) (*DB, error) {
 		psNames = append(psNames, name)
 		tr.Register(name, ps)
 	}
+	db.psNames = psNames
 	if cfg.DataDir != "" {
 		var err error
 		db.meta, err = pstore.Open(pstore.Options{Dir: filepath.Join(cfg.DataDir, "frontend")})
@@ -260,6 +285,122 @@ func Open(cfg Config) (*DB, error) {
 		go db.checkpointLoop(cfg.CheckpointInterval)
 	}
 	return db, nil
+}
+
+// OpenReplica attaches a read-only frontend to a running master's
+// storage cluster (cfg.Master): the replica bootstraps its catalog and
+// B+ tree roots from the master's latest checkpoint meta (or, without
+// one, from the full log), then tails the Log Stores to advance a
+// replica-visible LSN and serves SELECTs from the shared Page Stores at
+// that snapshot. DML and DDL are rejected; writes go to the master and
+// become visible on the replica after catch-up (bounded lag). The
+// master's SAL pushes LSN-advance notifications so the replica usually
+// trails by one refresh cycle, with ReplicaRefreshInterval as the poll
+// fallback. Close the replica before closing its master.
+func OpenReplica(cfg Config) (*DB, error) {
+	m := cfg.Master
+	if m == nil {
+		return nil, fmt.Errorf("taurus: OpenReplica requires Config.Master")
+	}
+	if m.rep != nil {
+		return nil, fmt.Errorf("taurus: cannot open a replica of a replica")
+	}
+	if cfg.PoolPages <= 0 {
+		cfg.PoolPages = 4096
+	}
+	rep, err := replica.New(replica.Config{
+		Transport: m.tr, Tenant: 1,
+		LogStores: m.logNames, PageStores: m.psNames,
+		ReplicationFactor: m.cfg.ReplicationFactor,
+		PagesPerSlice:     m.cfg.PagesPerSlice,
+		Plugin:            pagestore.PluginInnoDB,
+		RefreshInterval:   cfg.ReplicaRefreshInterval,
+	})
+	if err != nil {
+		return nil, err
+	}
+	eng, err := engine.New(engine.Config{
+		ReadView: rep, PoolPages: cfg.PoolPages,
+		NDPMaxPagesLookAhead: cfg.NDPMaxPagesLookAhead,
+	})
+	if err != nil {
+		return nil, err
+	}
+	db := &DB{cfg: cfg, eng: eng, tr: m.tr, rep: rep, master: m,
+		logNames: m.logNames, psNames: m.psNames}
+	db.session = sql.NewSession(eng)
+	db.session.NDP = !cfg.DisableNDP
+	db.session.ReadOnly = true
+	rep.Bind(eng, func(table string) {
+		// A table the master created after the replica opened: refresh
+		// its optimizer statistics so NDP decisions see it.
+		db.session.Cat.Analyze(table)
+	})
+	// Bootstrap the catalog from the master's latest checkpoint meta:
+	// every record at or below its watermark is in a durable slice
+	// checkpoint (hence applied), so the tail starts there. Without a
+	// meta (in-memory master, or none written yet) the replica tails
+	// the log from the beginning and attaches DDL as it streams past.
+	start := uint64(0)
+	if m.meta != nil {
+		meta, err := m.meta.LoadMeta()
+		if err != nil {
+			return nil, err
+		}
+		if meta != nil {
+			base := &engine.RecoveryBase{
+				Catalog: meta.Catalog,
+				MaxLSN:  meta.MaxLSN, MaxTrxID: meta.MaxTrxID,
+				MaxPageID: meta.MaxPageID, MaxIndexID: meta.MaxIndexID,
+			}
+			for _, r := range meta.Roots {
+				base.Roots = append(base.Roots, engine.RootRecord{
+					IndexID: r.IndexID, PageID: r.PageID, Level: r.Level,
+				})
+			}
+			if _, err := eng.RecoverFrom(base, nil); err != nil {
+				return nil, fmt.Errorf("taurus: replica bootstrap: %w", err)
+			}
+			start = meta.AppliedLSN
+		}
+	}
+	// Subscribe to the master's durable-watermark advances before the
+	// first refresh so no advance is missed.
+	db.repName = fmt.Sprintf("replica-%d", m.repSeq.Add(1))
+	m.tr.Register(db.repName, rep)
+	m.eng.SAL().RegisterReplica(db.repName)
+	// Catch up to everything the master had committed when we opened —
+	// the SAL's acknowledged commit watermark, not the per-store max
+	// (a store can hold batches whose sibling acks are still in
+	// flight, which the visible LSN is gated never to pass): a SELECT
+	// issued right after OpenReplica sees every acknowledged commit.
+	if err := rep.Start(start, m.eng.SAL().DurableLSN()); err != nil {
+		m.eng.SAL().UnregisterReplica(db.repName)
+		m.tr.Unregister(db.repName)
+		return nil, fmt.Errorf("taurus: replica catch-up: %w", err)
+	}
+	// Optimizer statistics for the bootstrapped tables (the master's
+	// ANALYZE-equivalent on restart).
+	for _, name := range eng.Tables() {
+		if _, err := db.session.Cat.Analyze(name); err != nil {
+			db.Close()
+			return nil, fmt.Errorf("taurus: analyzing replicated table %s: %w", name, err)
+		}
+	}
+	return db, nil
+}
+
+// IsReplica reports whether this frontend is a read replica.
+func (db *DB) IsReplica() bool { return db.rep != nil }
+
+// ReplicaStats reports a replica's tailing state: visible LSN, lag in
+// records and bytes, refresh/notification counts, pages invalidated,
+// and DDL attached. Zero value on a master.
+func (db *DB) ReplicaStats() replica.Stats {
+	if db.rep == nil {
+		return replica.Stats{}
+	}
+	return db.rep.Stats()
 }
 
 // recover rebuilds the deployment from DataDir. With a valid checkpoint
@@ -529,9 +670,12 @@ func (db *DB) Checkpoint() (*CheckpointResult, error) {
 	}
 	db.ckMu.Lock()
 	defer db.ckMu.Unlock()
-	// Flush so everything executed so far is applied (and durable)
-	// before the slices snapshot.
-	if err := db.eng.SAL().Flush(); err != nil {
+	// Snapshot barrier: everything executed up to this point must be
+	// durable and applied before the slices snapshot — but new writes
+	// keep flowing. (A full Flush waits for pending == 0, a moment that
+	// may never come under sustained writers, starving the background
+	// checkpointer into full-replay recoveries.)
+	if err := db.eng.SAL().Barrier(); err != nil {
 		return nil, err
 	}
 	res := &CheckpointResult{}
@@ -649,6 +793,16 @@ func (db *DB) closeLogs() error {
 // durability — every acknowledged statement already survived — but it
 // makes the final buffered (unacknowledged) records durable too.
 func (db *DB) Close() error {
+	if db.rep != nil {
+		// Replica: stop the tailer and drop the master's subscription
+		// and transport registration (a master that cycles replicas
+		// must not accumulate dead handlers). The shared storage nodes
+		// belong to the master.
+		db.master.eng.SAL().UnregisterReplica(db.repName)
+		db.master.tr.Unregister(db.repName)
+		db.rep.Close()
+		return nil
+	}
 	var firstErr error
 	if db.ckStop != nil {
 		close(db.ckStop)
@@ -742,7 +896,12 @@ func (db *DB) EngineStats() engine.MetricsSnapshot { return db.eng.Metrics.Snaps
 // per-lane breakdown (windows sealed by reason, adaptive flush
 // threshold, and each assigned slice's apply lag) — enough to confirm
 // from the stats endpoint that lanes operate independently.
-func (db *DB) WritePathStats() sal.PipelineStats { return db.eng.SAL().Stats() }
+func (db *DB) WritePathStats() sal.PipelineStats {
+	if db.eng.SAL() == nil {
+		return sal.PipelineStats{} // replica: no write path
+	}
+	return db.eng.SAL().Stats()
+}
 
 // BufferPoolStats returns per-shard buffer pool counters (residency,
 // hits/misses, evictions, singleflight-shared fetches).

@@ -1,9 +1,11 @@
 package taurus
 
 import (
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 )
@@ -368,5 +370,98 @@ func TestCloseTakesFinalCheckpoint(t *testing.T) {
 	insertWorkers(t, db2, 120, 30)
 	if got := countWorkers(t, db2); got != 150 {
 		t.Fatalf("post-DDL count = %d", got)
+	}
+}
+
+// TestCheckpointUnderSustainedWriters is the snapshot-barrier regression
+// test: with continuous writers keeping the pipeline's pending count
+// nonzero, DB.Checkpoint must still complete (the old SAL.Flush drain
+// waited for pending == 0, a moment that may never come, starving the
+// background checkpointer into full-replay recoveries).
+func TestCheckpointUnderSustainedWriters(t *testing.T) {
+	dir := t.TempDir()
+	db, err := Open(durableConfig(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustExec(t, db, `CREATE TABLE worker (id BIGINT, age INT, join_date DATE,
+		salary DECIMAL(15,2), name VARCHAR, PRIMARY KEY(id))`)
+	insertWorkers(t, db, 0, 50)
+	stop := make(chan struct{})
+	writers := 4
+	errs := make([]error, writers)
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				q := fmt.Sprintf("INSERT INTO worker VALUES (%d, 30, DATE '2015-01-01', 100.00, 'w')",
+					1000000+w*10000000+i)
+				if _, err := db.Exec(q); err != nil {
+					errs[w] = err
+					return
+				}
+			}
+		}(w)
+	}
+	// Give the writers a head start so the pipeline is saturated.
+	time.Sleep(50 * time.Millisecond)
+	type ckRes struct {
+		res *CheckpointResult
+		err error
+	}
+	done := make(chan ckRes, 1)
+	go func() {
+		res, err := db.Checkpoint()
+		done <- ckRes{res, err}
+	}()
+	select {
+	case r := <-done:
+		if r.err != nil {
+			t.Fatal(r.err)
+		}
+		if r.res.SlicesWritten == 0 {
+			t.Fatalf("checkpoint wrote nothing under load: %+v", r.res)
+		}
+	case <-time.After(60 * time.Second):
+		t.Fatal("Checkpoint starved under sustained writers")
+	}
+	// A second one keeps working too (the background checkpointer path).
+	go func() {
+		res, err := db.Checkpoint()
+		done <- ckRes{res, err}
+	}()
+	select {
+	case r := <-done:
+		if r.err != nil {
+			t.Fatal(r.err)
+		}
+	case <-time.After(60 * time.Second):
+		t.Fatal("second Checkpoint starved")
+	}
+	close(stop)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// The checkpoints were real: reopening recovers from one.
+	db2, err := Open(durableConfig(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	if db2.RecoverySummary().CheckpointLSN == 0 {
+		t.Fatalf("recovery ignored the under-load checkpoints: %+v", db2.RecoverySummary())
 	}
 }
