@@ -15,10 +15,18 @@
 // persisted LSN so the frontend's SAL can drive log GC. Without
 // -data-dir either node is memory-only.
 //
-// -stats-addr serves GET /stats as JSON: Log Stores report durable and
-// GC watermarks plus the persistent log's counters (appends, fsyncs,
-// rotations, GC bytes reclaimed); Page Stores report applied/persisted
-// LSNs, apply/skip counters, and checkpoint age.
+// -stats-addr serves the observability endpoints of every role:
+//
+//	GET /stats         role-specific counters as JSON (backward-compatible)
+//	GET /metrics       the same telemetry in Prometheus text format
+//	GET /debug/pprof/  net/http/pprof profiles
+//
+// Log Stores report durable and GC watermarks plus the persistent log's
+// counters (appends, fsyncs, rotations, GC bytes reclaimed); Page Stores
+// report applied/persisted LSNs, apply/skip counters, and checkpoint
+// age. Both also export per-message-type RPC metrics from the serving
+// loop (side="server"). -slow-op arms the frontend/replica slow-op log:
+// statements at or above the threshold log a per-stage breakdown.
 //
 // A third role, frontend, runs an embedded full deployment and serves
 // SQL over HTTP (POST /query) plus the frontend-side stats — the SAL's
@@ -52,6 +60,7 @@ import (
 	"log"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"strings"
 	"time"
 
@@ -60,6 +69,7 @@ import (
 	"taurus/internal/cluster"
 	"taurus/internal/engine"
 	"taurus/internal/logstore"
+	"taurus/internal/obs"
 	"taurus/internal/pagestore"
 	"taurus/internal/pstore"
 	"taurus/internal/replica"
@@ -87,6 +97,7 @@ func main() {
 	replication := flag.Int("replication-factor", 3, "slice replication factor, must match the master (replica)")
 	refreshInterval := flag.Duration("refresh-interval", 0, "log tail poll cadence (replica; 0 = default 25ms)")
 	poolPages := flag.Int("pool-pages", 0, "buffer pool pages (replica; 0 = default)")
+	slowOp := flag.Duration("slow-op", 0, "log statements at or above this duration with a per-stage breakdown (frontend/replica; 0 = off)")
 	flag.Parse()
 
 	if *name == "" {
@@ -94,10 +105,12 @@ func main() {
 	}
 	var handler cluster.Handler
 	var stats func() any
+	reg := obs.NewRegistry()
 	switch *role {
 	case "pagestore":
 		opts := []pagestore.Option{
 			pagestore.WithResourceControl(pagestore.NewResourceControl(*ndpWorkers, *ndpQueue)),
+			pagestore.WithMetrics(reg),
 		}
 		if *dataDir != "" {
 			cs, err := pstore.Open(pstore.Options{Dir: *dataDir})
@@ -156,47 +169,65 @@ func main() {
 					*name, ri.Entries, ri.Segments, ri.TornEntry, ls.DurableLSN())
 			}
 		}
+		ls.RegisterMetrics(reg)
 		handler = ls
 		stats = func() any { return ls.NodeStats() }
 	case "frontend":
-		runFrontend(*listen, *statsAddr, *dataDir, *ckptInterval, *writeLanes, *replicas)
+		runFrontend(*listen, *statsAddr, *dataDir, *ckptInterval, *writeLanes, *replicas, *slowOp)
 		return
 	case "replica":
 		runReplica(*listen, *statsAddr, replicaOptions{
+			name:      *name,
 			logStores: splitAddrs(*logStores), pageStores: splitAddrs(*pageStores),
 			tenant: uint32(*tenant), pagesPerSlice: *pagesPerSlice,
 			replicationFactor: *replication, refreshInterval: *refreshInterval,
-			poolPages: *poolPages,
+			poolPages: *poolPages, slowOp: *slowOp,
 		})
 		return
 	default:
 		log.Fatalf("unknown role %q", *role)
 	}
 	if *statsAddr != "" {
-		mux := http.NewServeMux()
-		mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
-			w.Header().Set("Content-Type", "application/json")
-			enc := json.NewEncoder(w)
-			enc.SetIndent("", "  ")
-			if err := enc.Encode(stats()); err != nil {
-				http.Error(w, err.Error(), http.StatusInternalServerError)
-			}
-		})
-		go func() {
-			log.Printf("stats on http://%s/stats", *statsAddr)
-			if err := http.ListenAndServe(*statsAddr, mux); err != nil {
-				log.Printf("stats endpoint: %v", err)
-			}
-		}()
+		serveStats(*statsAddr, newStatsMux(jsonHandler(stats), reg))
 	}
 	l, err := net.Listen("tcp", *listen)
 	if err != nil {
 		log.Fatal(err)
 	}
 	log.Printf("%s %q listening on %s", *role, *name, l.Addr())
-	if err := cluster.Serve(l, handler); err != nil {
+	if err := cluster.ServeMetrics(l, handler, cluster.NewRPCMetrics(reg, "server")); err != nil {
 		log.Fatal(err)
 	}
+}
+
+// newStatsMux builds the observability mux every role serves on its
+// -stats-addr: role-specific JSON /stats, Prometheus /metrics, and the
+// net/http/pprof profile endpoints (registered explicitly — these muxes
+// are not http.DefaultServeMux).
+func newStatsMux(stats http.HandlerFunc, reg *obs.Registry) *http.ServeMux {
+	mux := http.NewServeMux()
+	if stats != nil {
+		mux.HandleFunc("/stats", stats)
+	}
+	if reg != nil {
+		mux.Handle("/metrics", reg.Handler())
+	}
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// serveStats serves an observability mux on its own listener.
+func serveStats(addr string, mux *http.ServeMux) {
+	go func() {
+		log.Printf("stats on http://%s/stats (also /metrics, /debug/pprof/)", addr)
+		if err := http.ListenAndServe(addr, mux); err != nil {
+			log.Printf("stats endpoint: %v", err)
+		}
+	}()
 }
 
 // splitAddrs parses a comma-separated address list.
@@ -271,8 +302,8 @@ func jsonHandler(payload func() any) http.HandlerFunc {
 // the write-pipeline / buffer-pool / storage-node counters. With
 // -replicas n, n embedded read replicas attach to the same storage
 // cluster and serve /replica/<i>/query and /replica/<i>/stats.
-func runFrontend(listen, statsAddr, dataDir string, ckptInterval time.Duration, writeLanes, replicas int) {
-	cfg := taurus.Config{DataDir: dataDir, WriteLanes: writeLanes}
+func runFrontend(listen, statsAddr, dataDir string, ckptInterval time.Duration, writeLanes, replicas int, slowOp time.Duration) {
+	cfg := taurus.Config{DataDir: dataDir, WriteLanes: writeLanes, SlowOpThreshold: slowOp}
 	if dataDir != "" && ckptInterval > 0 {
 		cfg.CheckpointInterval = ckptInterval
 	}
@@ -280,7 +311,22 @@ func runFrontend(listen, statsAddr, dataDir string, ckptInterval time.Duration, 
 	if err != nil {
 		log.Fatal(err)
 	}
-	stats := jsonHandler(func() any {
+	mux, err := frontendMux(db, replicas, slowOp)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if statsAddr != "" && statsAddr != listen {
+		serveStats(statsAddr, newStatsMux(frontendStatsHandler(db), db.Metrics()))
+	}
+	log.Printf("frontend listening on %s (POST /query, GET /stats, GET /metrics)", listen)
+	if err := http.ListenAndServe(listen, mux); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// frontendStatsHandler renders the frontend's JSON /stats payload.
+func frontendStatsHandler(db *taurus.DB) http.HandlerFunc {
+	return jsonHandler(func() any {
 		return frontendStats{
 			WritePath:  db.WritePathStats(),
 			BufferPool: db.BufferPoolStats(),
@@ -288,38 +334,34 @@ func runFrontend(listen, statsAddr, dataDir string, ckptInterval time.Duration, 
 			PageStores: db.PageStoreStats(),
 		}
 	})
-	mux := http.NewServeMux()
+}
+
+// frontendMux assembles the frontend's full HTTP surface — /query,
+// /stats, /metrics, /debug/pprof/, and per-replica /replica/<i>/{query,
+// stats,metrics} — factored out of runFrontend so tests can drive it
+// in-process. Each replica serves its own metrics registry; the embedded
+// storage nodes' series live in the master's.
+func frontendMux(db *taurus.DB, replicas int, slowOp time.Duration) (*http.ServeMux, error) {
+	mux := newStatsMux(frontendStatsHandler(db), db.Metrics())
 	mux.HandleFunc("/query", queryHandler(db.Exec))
-	mux.HandleFunc("/stats", stats)
 	for i := 1; i <= replicas; i++ {
-		rep, err := taurus.OpenReplica(taurus.Config{Master: db})
+		rep, err := taurus.OpenReplica(taurus.Config{Master: db, SlowOpThreshold: slowOp})
 		if err != nil {
-			log.Fatalf("replica %d: %v", i, err)
+			return nil, fmt.Errorf("replica %d: %w", i, err)
 		}
 		mux.HandleFunc(fmt.Sprintf("/replica/%d/query", i), queryHandler(rep.Exec))
 		mux.HandleFunc(fmt.Sprintf("/replica/%d/stats", i), jsonHandler(func() any {
 			return replicaStats{Replica: rep.ReplicaStats(), BufferPool: rep.BufferPoolStats()}
 		}))
+		mux.Handle(fmt.Sprintf("/replica/%d/metrics", i), rep.Metrics().Handler())
 		log.Printf("read replica %d on /replica/%d/query", i, i)
 	}
-	if statsAddr != "" && statsAddr != listen {
-		smux := http.NewServeMux()
-		smux.HandleFunc("/stats", stats)
-		go func() {
-			log.Printf("stats on http://%s/stats", statsAddr)
-			if err := http.ListenAndServe(statsAddr, smux); err != nil {
-				log.Printf("stats endpoint: %v", err)
-			}
-		}()
-	}
-	log.Printf("frontend listening on %s (POST /query, GET /stats)", listen)
-	if err := http.ListenAndServe(listen, mux); err != nil {
-		log.Fatal(err)
-	}
+	return mux, nil
 }
 
 // replicaOptions configures a standalone TCP-attached read replica.
 type replicaOptions struct {
+	name              string
 	logStores         []string
 	pageStores        []string
 	tenant            uint32
@@ -327,6 +369,7 @@ type replicaOptions struct {
 	replicationFactor int
 	refreshInterval   time.Duration
 	poolPages         int
+	slowOp            time.Duration
 }
 
 // runReplica serves a standalone read replica attached to storage
@@ -338,13 +381,18 @@ func runReplica(listen, statsAddr string, opts replicaOptions) {
 	if len(opts.logStores) == 0 || len(opts.pageStores) == 0 {
 		log.Fatal("replica: -log-stores and -page-stores required")
 	}
+	reg := obs.NewRegistry()
+	tc := cluster.NewTCPClient()
+	tc.Metrics = cluster.NewRPCMetrics(reg, "client")
 	rep, err := replica.New(replica.Config{
-		Transport: cluster.NewTCPClient(), Tenant: opts.tenant,
+		Transport: tc, Tenant: opts.tenant,
 		LogStores: opts.logStores, PageStores: opts.pageStores,
 		ReplicationFactor: opts.replicationFactor,
 		PagesPerSlice:     opts.pagesPerSlice,
 		Plugin:            pagestore.PluginInnoDB,
 		RefreshInterval:   opts.refreshInterval,
+		Metrics:           reg,
+		Name:              opts.name,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -353,8 +401,11 @@ func runReplica(listen, statsAddr string, opts replicaOptions) {
 	if err != nil {
 		log.Fatal(err)
 	}
+	eng.RegisterMetrics(reg, opts.name)
+	eng.Pool().RegisterMetrics(reg, opts.name)
 	session := sql.NewSession(eng)
 	session.ReadOnly = true
+	session.Slow = obs.NewSlowOpLog(opts.slowOp, nil)
 	rep.Bind(eng, func(table string) {
 		if _, err := session.Cat.Analyze(table); err != nil {
 			log.Printf("replica: analyzing %s: %v", table, err)
@@ -369,22 +420,14 @@ func runReplica(listen, statsAddr string, opts replicaOptions) {
 	stats := jsonHandler(func() any {
 		return replicaStats{Replica: rep.Stats(), BufferPool: eng.Pool().ShardStatsSnapshot()}
 	})
-	mux := http.NewServeMux()
+	mux := newStatsMux(stats, reg)
 	mux.HandleFunc("/query", queryHandler(func(q string) (*taurus.Result, error) {
 		return session.Exec(q)
 	}))
-	mux.HandleFunc("/stats", stats)
 	if statsAddr != "" && statsAddr != listen {
-		smux := http.NewServeMux()
-		smux.HandleFunc("/stats", stats)
-		go func() {
-			log.Printf("stats on http://%s/stats", statsAddr)
-			if err := http.ListenAndServe(statsAddr, smux); err != nil {
-				log.Printf("stats endpoint: %v", err)
-			}
-		}()
+		serveStats(statsAddr, newStatsMux(stats, reg))
 	}
-	log.Printf("replica listening on %s (POST /query read-only, GET /stats)", listen)
+	log.Printf("replica listening on %s (POST /query read-only, GET /stats, GET /metrics)", listen)
 	if err := http.ListenAndServe(listen, mux); err != nil {
 		log.Fatal(err)
 	}

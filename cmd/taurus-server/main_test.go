@@ -1,0 +1,186 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"taurus"
+	"taurus/internal/obs"
+)
+
+// seedFrontend opens an in-memory deployment with a little data so every
+// instrument has observations.
+func seedFrontend(t *testing.T, cfg taurus.Config) *taurus.DB {
+	t.Helper()
+	db, err := taurus.Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	stmts := []string{
+		`CREATE TABLE obs_t (id BIGINT, v INT, PRIMARY KEY(id))`,
+		`INSERT INTO obs_t VALUES (1, 10), (2, 20), (3, 30)`,
+		`SELECT SUM(v) FROM obs_t WHERE id > 0`,
+	}
+	for _, s := range stmts {
+		if _, err := db.Exec(s); err != nil {
+			t.Fatalf("%s: %v", s, err)
+		}
+	}
+	return db
+}
+
+func get(t *testing.T, mux *http.ServeMux, path string) *httptest.ResponseRecorder {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, path, nil))
+	return rec
+}
+
+// TestFrontendMetricsEndpoint scrapes a live frontend's /metrics and
+// checks the exposition is valid Prometheus text carrying the core
+// families from every instrumented tier.
+func TestFrontendMetricsEndpoint(t *testing.T) {
+	db := seedFrontend(t, taurus.Config{})
+	mux, err := frontendMux(db, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := get(t, mux, "/metrics")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("GET /metrics: %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("content type %q", ct)
+	}
+	families, err := obs.ValidateExposition(rec.Body.String())
+	if err != nil {
+		t.Fatalf("invalid exposition: %v", err)
+	}
+	for _, want := range []string{
+		"taurus_writepath_stage_seconds",
+		"taurus_rpc_requests_total",
+		"taurus_rpc_latency_seconds",
+		"taurus_buffer_hits_total",
+		"taurus_buffer_misses_total",
+		"taurus_sal_durable_lsn",
+		"taurus_logstore_durable_lsn",
+		"taurus_pagestore_records_applied_total",
+		"taurus_engine_rows_emitted_total",
+	} {
+		if _, ok := families[want]; !ok {
+			t.Errorf("family %s missing from /metrics", want)
+		}
+	}
+}
+
+// TestReplicaMetricsEndpoint checks a replica's own /metrics page: its
+// lag gauges and tailing counters, labeled with its name.
+func TestReplicaMetricsEndpoint(t *testing.T) {
+	db := seedFrontend(t, taurus.Config{})
+	mux, err := frontendMux(db, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := get(t, mux, "/replica/1/metrics")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("GET /replica/1/metrics: %d", rec.Code)
+	}
+	families, err := obs.ValidateExposition(rec.Body.String())
+	if err != nil {
+		t.Fatalf("invalid exposition: %v", err)
+	}
+	for _, want := range []string{
+		"taurus_replica_visible_lsn",
+		"taurus_replica_lag_records",
+		"taurus_replica_refresh_seconds",
+	} {
+		if _, ok := families[want]; !ok {
+			t.Errorf("family %s missing from replica /metrics", want)
+		}
+	}
+	if !strings.Contains(rec.Body.String(), `replica="replica-`) {
+		t.Error("replica series not labeled with the replica name")
+	}
+}
+
+// TestStatsEndpointBackwardCompatible checks /stats still serves the
+// pre-existing JSON shape.
+func TestStatsEndpointBackwardCompatible(t *testing.T) {
+	db := seedFrontend(t, taurus.Config{})
+	mux, err := frontendMux(db, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := get(t, mux, "/stats")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("GET /stats: %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("content type %q", ct)
+	}
+	var st frontendStats
+	if err := json.Unmarshal(rec.Body.Bytes(), &st); err != nil {
+		t.Fatalf("decoding /stats: %v", err)
+	}
+	if len(st.LogStores) != 3 {
+		t.Errorf("LogStores = %d, want 3", len(st.LogStores))
+	}
+	if len(st.PageStores) == 0 || len(st.BufferPool) == 0 {
+		t.Errorf("empty PageStores (%d) or BufferPool (%d)", len(st.PageStores), len(st.BufferPool))
+	}
+	if st.WritePath.WindowsFlushed == 0 {
+		t.Error("WritePath.WindowsFlushed = 0 after inserts")
+	}
+}
+
+// TestStatsMuxServesPprof checks the profile endpoints ride along on the
+// stats listener of every role.
+func TestStatsMuxServesPprof(t *testing.T) {
+	mux := newStatsMux(nil, obs.NewRegistry())
+	rec := get(t, mux, "/debug/pprof/")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("GET /debug/pprof/: %d", rec.Code)
+	}
+	if !strings.Contains(rec.Body.String(), "goroutine") {
+		t.Error("pprof index does not list profiles")
+	}
+}
+
+// TestSlowOpLog checks the threshold gate: statements above it log one
+// structured line; below it, nothing.
+func TestSlowOpLog(t *testing.T) {
+	var buf bytes.Buffer
+	db := seedFrontend(t, taurus.Config{
+		SlowOpThreshold: time.Nanosecond,
+		SlowOpLogger:    log.New(&buf, "", 0),
+	})
+	if _, err := db.Exec(`SELECT * FROM obs_t`); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "SLOW-OP") {
+		t.Fatalf("no SLOW-OP line at 1ns threshold; log: %q", out)
+	}
+	if !strings.Contains(out, "stages=") || !strings.Contains(out, "parse:") {
+		t.Errorf("slow-op line missing stage breakdown: %q", out)
+	}
+
+	var quiet bytes.Buffer
+	db2 := seedFrontend(t, taurus.Config{
+		SlowOpThreshold: time.Hour,
+		SlowOpLogger:    log.New(&quiet, "", 0),
+	})
+	if _, err := db2.Exec(`SELECT * FROM obs_t`); err != nil {
+		t.Fatal(err)
+	}
+	if quiet.Len() != 0 {
+		t.Errorf("slow-op fired below threshold: %q", quiet.String())
+	}
+}

@@ -1,0 +1,40 @@
+package bench
+
+import (
+	"runtime"
+	"time"
+
+	"taurus/internal/obs"
+)
+
+// RunMeta stamps every persisted BENCH_*.json with enough environment
+// context to compare runs across machines and commits.
+type RunMeta struct {
+	Timestamp  string `json:"timestamp"`
+	GoVersion  string `json:"go_version"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	NumCPU     int    `json:"num_cpu"`
+}
+
+// NewRunMeta captures the current process environment.
+func NewRunMeta() RunMeta {
+	return RunMeta{
+		Timestamp:  time.Now().UTC().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+	}
+}
+
+// benchLatencyBuckets is the latency recorders' bucket layout: 1 µs to
+// ~20 s at 1.2× per bucket — fine enough that interpolated p50/p99 land
+// within a few percent of exact sorted-sample quantiles, which is below
+// run-to-run noise.
+var benchLatencyBuckets = obs.ExpBuckets(1e-6, 1.2, 93)
+
+// newLatencyHist builds a standalone (unregistered) histogram workers
+// observe concurrently; quantiles come from its snapshot.
+func newLatencyHist() *obs.Histogram { return obs.NewHistogram(benchLatencyBuckets) }
+
+// lagBuckets covers replica lag in records: 1 to ~1.6M at 1.5×.
+var lagBuckets = obs.ExpBuckets(1, 1.5, 36)

@@ -5,12 +5,12 @@ import (
 	"fmt"
 	"io"
 	"os"
-	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"taurus"
+	"taurus/internal/obs"
 )
 
 // ReplicaRow is one read-replica scale level: n replicas answering
@@ -33,11 +33,21 @@ type ReplicaRow struct {
 	// Notifies/Refreshes total the replicas' tailing activity.
 	Notifies  uint64 `json:"notifies"`
 	Refreshes uint64 `json:"refreshes"`
+	// LogReadReqs/SliceLSNReqs attribute the replicas' tailing RPC load
+	// on the storage cluster during the level (from the transport's
+	// per-MsgType metrics): MsgLogRead fetches log records from the Log
+	// Stores, MsgSliceLSN polls slice durable watermarks on the Page
+	// Stores. The *PerSec forms normalize by the level's duration.
+	LogReadReqs    uint64  `json:"log_read_reqs"`
+	LogReadPerSec  float64 `json:"log_read_per_sec"`
+	SliceLSNReqs   uint64  `json:"slice_lsn_reqs"`
+	SliceLSNPerSec float64 `json:"slice_lsn_per_sec"`
 }
 
 // ReplicasReport is the persisted BENCH_replicas.json payload.
 type ReplicasReport struct {
 	Bench string       `json:"bench"`
+	Meta  RunMeta      `json:"meta"`
 	Rows  []ReplicaRow `json:"rows"`
 	// ReadScaling2x is ReadQPS at 2 replicas over 1 replica — the
 	// acceptance headline: attaching replicas scales read throughput.
@@ -159,9 +169,11 @@ func runReplicaLevel(master *taurus.DB, reps []*taurus.DB, duration time.Duratio
 			}(rep, r)
 		}
 	}
-	// Lag sampler: max over replicas each tick.
-	var lagSamples []uint64
+	// Lag sampler: max over replicas each tick, into a histogram so the
+	// percentiles come from the same machinery the server exports.
+	lagHist := obs.NewHistogram(lagBuckets)
 	sampler := time.NewTicker(5 * time.Millisecond)
+	rpc0 := master.RPCStats()
 	start := time.Now()
 	deadline := time.After(duration)
 sampling:
@@ -180,7 +192,7 @@ sampling:
 					worst = lag
 				}
 			}
-			lagSamples = append(lagSamples, worst)
+			lagHist.Observe(float64(worst))
 		}
 	}
 	sampler.Stop()
@@ -196,12 +208,16 @@ sampling:
 	row.Reads = reads.Load()
 	row.ReadQPS = float64(row.Reads) / elapsed
 	row.WriteQPS = float64(writes.Load()) / elapsed
-	sort.Slice(lagSamples, func(i, j int) bool { return lagSamples[i] < lagSamples[j] })
-	if len(lagSamples) > 0 {
-		row.P50LagRecords = float64(lagSamples[int(0.50*float64(len(lagSamples)-1))])
-		row.P99LagRecords = float64(lagSamples[int(0.99*float64(len(lagSamples)-1))])
-		row.MaxLagRecords = lagSamples[len(lagSamples)-1]
+	if snap := lagHist.Snapshot(); snap.Count > 0 {
+		row.P50LagRecords = snap.P50
+		row.P99LagRecords = snap.P99
+		row.MaxLagRecords = uint64(snap.Max)
 	}
+	rpc := master.RPCStats()
+	row.LogReadReqs = rpc["MsgLogRead"].Requests - rpc0["MsgLogRead"].Requests
+	row.SliceLSNReqs = rpc["MsgSliceLSN"].Requests - rpc0["MsgSliceLSN"].Requests
+	row.LogReadPerSec = float64(row.LogReadReqs) / elapsed
+	row.SliceLSNPerSec = float64(row.SliceLSNReqs) / elapsed
 	for _, rep := range reps {
 		st := rep.ReplicaStats()
 		row.Notifies += st.Notifies
@@ -212,7 +228,7 @@ sampling:
 
 // BuildReplicasReport derives the scaling headlines from the rows.
 func BuildReplicasReport(rows []ReplicaRow) ReplicasReport {
-	rep := ReplicasReport{Bench: "replicas", Rows: rows}
+	rep := ReplicasReport{Bench: "replicas", Meta: NewRunMeta(), Rows: rows}
 	var one, two, maxQPS float64
 	maxReplicas := 0
 	for _, r := range rows {
@@ -247,12 +263,13 @@ func WriteReplicasJSON(path string, rep ReplicasReport) error {
 // PrintReplicas renders the replica-scaling table.
 func PrintReplicas(w io.Writer, rows []ReplicaRow) {
 	fmt.Fprintln(w, "Read-replica scaling: point SELECTs on n replicas beside one continuous writer:")
-	fmt.Fprintf(w, "  %-9s %8s %10s %10s %12s %12s %10s\n",
-		"replicas", "readers", "reads/s", "writes/s", "p50 lag", "p99 lag", "max lag")
+	fmt.Fprintf(w, "  %-9s %8s %10s %10s %12s %12s %10s %11s %11s\n",
+		"replicas", "readers", "reads/s", "writes/s", "p50 lag", "p99 lag", "max lag", "logread/s", "slicelsn/s")
 	for _, r := range rows {
-		fmt.Fprintf(w, "  %-9d %8d %10.0f %10.0f %9.0f rec %9.0f rec %6d rec\n",
+		fmt.Fprintf(w, "  %-9d %8d %10.0f %10.0f %9.0f rec %9.0f rec %6d rec %11.0f %11.0f\n",
 			r.Replicas, r.Replicas*r.Readers, r.ReadQPS, r.WriteQPS,
-			r.P50LagRecords, r.P99LagRecords, r.MaxLagRecords)
+			r.P50LagRecords, r.P99LagRecords, r.MaxLagRecords,
+			r.LogReadPerSec, r.SliceLSNPerSec)
 	}
 	rep := BuildReplicasReport(rows)
 	if rep.ReadScaling2x > 0 {

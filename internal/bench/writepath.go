@@ -5,12 +5,12 @@ import (
 	"fmt"
 	"io"
 	"os"
-	"sort"
 	"sync"
 	"time"
 
 	"taurus/internal/cluster"
 	"taurus/internal/logstore"
+	"taurus/internal/obs"
 	"taurus/internal/page"
 	"taurus/internal/pagestore"
 	"taurus/internal/sal"
@@ -59,10 +59,12 @@ func NewWritePathCluster(dir string, pages int, serial bool) (*WritePathCluster,
 		}
 		return c, nil
 	}
+	// Metrics stay armed in the benchmark so the measured throughput
+	// carries the instrumentation cost the server pays in production.
 	s, err := sal.New(sal.Config{
 		Tenant: 1, Transport: tr, LogStores: logNames, PageStores: psNames,
 		ReplicationFactor: 3, PagesPerSlice: 16, Plugin: pagestore.PluginInnoDB,
-		FlushThreshold: 64,
+		FlushThreshold: 64, Metrics: obs.NewRegistry(),
 	})
 	if err != nil {
 		c.Close()
@@ -210,14 +212,6 @@ func InsertRecord(pageID uint64, id int64) *wal.Record {
 	}
 }
 
-func percentile(sorted []time.Duration, p float64) float64 {
-	if len(sorted) == 0 {
-		return 0
-	}
-	i := int(p * float64(len(sorted)-1))
-	return float64(sorted[i]) / float64(time.Microsecond)
-}
-
 // WritePath measures durable-commit throughput and latency of the
 // serial (pre-pipeline) and pipelined write paths under concurrent
 // committers. Every commit waits for durability in triplicate; the
@@ -243,7 +237,7 @@ func WritePath(commits int, workerCounts []int) ([]WritePathRow, error) {
 				return nil, err
 			}
 			per := commits / workers
-			lats := make([][]time.Duration, workers)
+			lat := newLatencyHist()
 			errs := make([]error, workers)
 			var wg sync.WaitGroup
 			start := time.Now()
@@ -251,7 +245,6 @@ func WritePath(commits int, workerCounts []int) ([]WritePathRow, error) {
 				wg.Add(1)
 				go func(w int) {
 					defer wg.Done()
-					lats[w] = make([]time.Duration, 0, per)
 					for i := 0; i < per; i++ {
 						rec := CommitRecord(uint64(w+1), int64(i)+1)
 						t0 := time.Now()
@@ -268,7 +261,7 @@ func WritePath(commits int, workerCounts []int) ([]WritePathRow, error) {
 							errs[w] = err
 							return
 						}
-						lats[w] = append(lats[w], time.Since(t0))
+						lat.ObserveDuration(time.Since(t0))
 					}
 				}(w)
 			}
@@ -281,16 +274,12 @@ func WritePath(commits int, workerCounts []int) ([]WritePathRow, error) {
 					return nil, err
 				}
 			}
-			var all []time.Duration
-			for _, l := range lats {
-				all = append(all, l...)
-			}
-			sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+			snap := lat.Snapshot()
 			rows = append(rows, WritePathRow{
 				Mode: mode, Workers: workers, Commits: workers * per,
 				OpsPerSec: float64(workers*per) / elapsed.Seconds(),
-				P50Micros: percentile(all, 0.50),
-				P99Micros: percentile(all, 0.99),
+				P50Micros: snap.P50 * 1e6,
+				P99Micros: snap.P99 * 1e6,
 			})
 		}
 	}
@@ -355,7 +344,7 @@ func newSkewedCluster(dir string, lanes bool, hotPages int, applyDelay time.Dura
 		ReplicationFactor: 3, PagesPerSlice: skewedPagesPerSlice,
 		Plugin:         pagestore.PluginInnoDB,
 		FlushThreshold: 16, MaxInFlightWindows: 4, MaxSliceLanes: maxLanes,
-		ApplyBacklogWindows: 32,
+		ApplyBacklogWindows: 32, Metrics: obs.NewRegistry(),
 	})
 	if err != nil {
 		c.Close()
@@ -417,7 +406,7 @@ func SkewedWritePath(commits, hotWriters int, applyDelay time.Duration) ([]Write
 			return nil, 0, err
 		}
 		per := commits / hotWriters
-		lats := make([][]time.Duration, hotWriters)
+		lat := newLatencyHist()
 		errs := make([]error, hotWriters+1)
 		stop := make(chan struct{})
 		var coldWG sync.WaitGroup
@@ -450,7 +439,6 @@ func SkewedWritePath(commits, hotWriters int, applyDelay time.Duration) ([]Write
 			wg.Add(1)
 			go func(w int) {
 				defer wg.Done()
-				lats[w] = make([]time.Duration, 0, per)
 				for i := 0; i < per; i++ {
 					rec := CommitRecord(uint64(w+1), int64(i)+1)
 					t0 := time.Now()
@@ -462,7 +450,7 @@ func SkewedWritePath(commits, hotWriters int, applyDelay time.Duration) ([]Write
 						errs[w] = err
 						return
 					}
-					lats[w] = append(lats[w], time.Since(t0))
+					lat.ObserveDuration(time.Since(t0))
 				}
 			}(w)
 		}
@@ -480,16 +468,12 @@ func SkewedWritePath(commits, hotWriters int, applyDelay time.Duration) ([]Write
 				return nil, 0, err
 			}
 		}
-		var all []time.Duration
-		for _, l := range lats {
-			all = append(all, l...)
-		}
-		sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+		snap := lat.Snapshot()
 		rows = append(rows, WritePathRow{
 			Mode: mode.name, Workers: hotWriters, Commits: hotWriters * per,
 			OpsPerSec: float64(hotWriters*per) / elapsed.Seconds(),
-			P50Micros: percentile(all, 0.50),
-			P99Micros: percentile(all, 0.99),
+			P50Micros: snap.P50 * 1e6,
+			P99Micros: snap.P99 * 1e6,
 		})
 	}
 	return rows, promotions, nil
@@ -498,6 +482,7 @@ func SkewedWritePath(commits, hotWriters int, applyDelay time.Duration) ([]Write
 // WritePathReport is the persisted BENCH_writepath.json payload.
 type WritePathReport struct {
 	Bench string         `json:"bench"`
+	Meta  RunMeta        `json:"meta"`
 	Rows  []WritePathRow `json:"rows"`
 	// Speedup8Writers is pipelined/serial throughput at 8 workers (the
 	// acceptance headline).
@@ -514,7 +499,7 @@ type WritePathReport struct {
 
 // BuildWritePathReport derives the headline speedup from the rows.
 func BuildWritePathReport(rows []WritePathRow) WritePathReport {
-	rep := WritePathReport{Bench: "writepath", Rows: rows}
+	rep := WritePathReport{Bench: "writepath", Meta: NewRunMeta(), Rows: rows}
 	var serial8, pipe8 float64
 	for _, r := range rows {
 		if r.Workers == 8 {

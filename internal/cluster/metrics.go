@@ -1,0 +1,144 @@
+package cluster
+
+import (
+	"sync"
+	"time"
+
+	"taurus/internal/obs"
+)
+
+// String names the message type for metric labels and logs.
+func (t MsgType) String() string {
+	switch t {
+	case MsgWriteLogs:
+		return "MsgWriteLogs"
+	case MsgReadPage:
+		return "MsgReadPage"
+	case MsgBatchRead:
+		return "MsgBatchRead"
+	case MsgLogAppend:
+		return "MsgLogAppend"
+	case MsgCreateSlice:
+		return "MsgCreateSlice"
+	case MsgResp:
+		return "MsgResp"
+	case MsgErr:
+		return "MsgErr"
+	case MsgPageLSN:
+		return "MsgPageLSN"
+	case MsgLogTruncate:
+		return "MsgLogTruncate"
+	case MsgLogRead:
+		return "MsgLogRead"
+	case MsgLSNAdvance:
+		return "MsgLSNAdvance"
+	case MsgSliceLSN:
+		return "MsgSliceLSN"
+	}
+	return "MsgUnknown"
+}
+
+// rpcInstruments is the per-MsgType instrument set, resolved once and
+// cached so the per-call cost is a map read under RLock plus atomics.
+type rpcInstruments struct {
+	requests  *obs.Counter
+	errors    *obs.Counter
+	reqBytes  *obs.Counter
+	respBytes *obs.Counter
+	latency   *obs.Histogram
+}
+
+// RPCMetrics attributes transport traffic per message type: request
+// count, request/response bytes, errors, and a latency histogram for
+// each MsgType. side distinguishes the caller ("client") from the
+// serving loop ("server") when both run in one process. A nil
+// *RPCMetrics is valid and free.
+type RPCMetrics struct {
+	mu     sync.RWMutex
+	reg    *obs.Registry
+	side   string
+	byType map[MsgType]*rpcInstruments
+}
+
+// NewRPCMetrics registers the per-type RPC metric families in reg.
+// Returns nil (disabled) when reg is nil.
+func NewRPCMetrics(reg *obs.Registry, side string) *RPCMetrics {
+	if reg == nil {
+		return nil
+	}
+	return &RPCMetrics{reg: reg, side: side, byType: make(map[MsgType]*rpcInstruments)}
+}
+
+func (m *RPCMetrics) instruments(t MsgType) *rpcInstruments {
+	m.mu.RLock()
+	ins := m.byType[t]
+	m.mu.RUnlock()
+	if ins != nil {
+		return ins
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if ins = m.byType[t]; ins != nil {
+		return ins
+	}
+	labels := []obs.Label{obs.L("type", t.String()), obs.L("side", m.side)}
+	ins = &rpcInstruments{
+		requests:  m.reg.Counter("taurus_rpc_requests_total", "RPC requests by message type.", labels...),
+		errors:    m.reg.Counter("taurus_rpc_errors_total", "RPC requests that returned an error, by message type.", labels...),
+		reqBytes:  m.reg.Counter("taurus_rpc_request_bytes_total", "Request payload bytes (incl. framing) by message type.", labels...),
+		respBytes: m.reg.Counter("taurus_rpc_response_bytes_total", "Response payload bytes (incl. framing) by message type.", labels...),
+		latency:   m.reg.Histogram("taurus_rpc_latency_seconds", "RPC round-trip latency by message type.", nil, labels...),
+	}
+	m.byType[t] = ins
+	return ins
+}
+
+// observe records one completed call. Safe on a nil receiver.
+func (m *RPCMetrics) observe(t MsgType, reqLen, respLen int, d time.Duration, isErr bool) {
+	if m == nil {
+		return
+	}
+	ins := m.instruments(t)
+	ins.requests.Inc()
+	ins.reqBytes.Add(uint64(reqLen) + frameOverhead)
+	ins.respBytes.Add(uint64(respLen) + frameOverhead)
+	ins.latency.ObserveDuration(d)
+	if isErr {
+		ins.errors.Inc()
+	}
+}
+
+// RPCTypeStats is a point-in-time per-MsgType traffic summary.
+type RPCTypeStats struct {
+	Requests     uint64  `json:"requests"`
+	Errors       uint64  `json:"errors"`
+	RequestBytes uint64  `json:"request_bytes"`
+	ReplyBytes   uint64  `json:"reply_bytes"`
+	LatencyP50   float64 `json:"latency_p50_s"`
+	LatencyP99   float64 `json:"latency_p99_s"`
+	LatencyMax   float64 `json:"latency_max_s"`
+}
+
+// Snapshot returns per-MsgType stats keyed by type name. Safe on a nil
+// receiver (returns nil).
+func (m *RPCMetrics) Snapshot() map[string]RPCTypeStats {
+	if m == nil {
+		return nil
+	}
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	out := make(map[string]RPCTypeStats, len(m.byType))
+	for t, ins := range m.byType {
+		h := ins.latency.Snapshot()
+		out[t.String()] = RPCTypeStats{
+			Requests:     ins.requests.Value(),
+			Errors:       ins.errors.Value(),
+			RequestBytes: ins.reqBytes.Value(),
+			ReplyBytes:   ins.respBytes.Value(),
+			LatencyP50:   h.P50,
+			LatencyP99:   h.P99,
+			LatencyMax:   h.Max,
+		}
+	}
+	return out
+}

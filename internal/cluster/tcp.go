@@ -7,6 +7,7 @@ import (
 	"io"
 	"net"
 	"sync"
+	"time"
 )
 
 // TCP transport: length-prefixed frames over net.Conn. Frame layout:
@@ -52,16 +53,22 @@ func readFrame(r io.Reader) (MsgType, []byte, error) {
 // Each connection is handled by its own goroutine; requests on one
 // connection are processed serially.
 func Serve(l net.Listener, h Handler) error {
+	return ServeMetrics(l, h, nil)
+}
+
+// ServeMetrics is Serve with optional per-MsgType attribution of every
+// request handled (count, bytes, handler latency). m may be nil.
+func ServeMetrics(l net.Listener, h Handler, m *RPCMetrics) error {
 	for {
 		conn, err := l.Accept()
 		if err != nil {
 			return err
 		}
-		go serveConn(conn, h)
+		go serveConn(conn, h, m)
 	}
 }
 
-func serveConn(conn net.Conn, h Handler) {
+func serveConn(conn net.Conn, h Handler, m *RPCMetrics) {
 	defer conn.Close()
 	br := bufio.NewReaderSize(conn, 1<<16)
 	bw := bufio.NewWriterSize(conn, 1<<16)
@@ -73,6 +80,10 @@ func serveConn(conn net.Conn, h Handler) {
 		req, err := DecodeRequest(t, body)
 		var resp any
 		var handlerErr error
+		var t0 time.Time
+		if m != nil {
+			t0 = time.Now()
+		}
 		if err != nil {
 			handlerErr = err
 		} else {
@@ -81,6 +92,9 @@ func serveConn(conn net.Conn, h Handler) {
 		respType, respBody, err := EncodeResponse(resp, handlerErr)
 		if err != nil {
 			respType, respBody = MsgErr, []byte(err.Error())
+		}
+		if m != nil {
+			m.observe(t, len(body), len(respBody), time.Since(t0), handlerErr != nil)
 		}
 		if err := writeFrame(bw, respType, respBody); err != nil {
 			return
@@ -99,6 +113,9 @@ type TCPClient struct {
 	conns map[string]*tcpConn
 	// Stats ledgers traffic exactly as InProc does.
 	Stats Counters
+	// Metrics, when non-nil, attributes every call per MsgType. Set
+	// before first use; nil is free.
+	Metrics *RPCMetrics
 }
 
 type tcpConn struct {
@@ -154,6 +171,10 @@ func (c *TCPClient) Call(addr string, req any) (any, error) {
 	}
 	tc.mu.Lock()
 	defer tc.mu.Unlock()
+	var t0 time.Time
+	if c.Metrics != nil {
+		t0 = time.Now()
+	}
 	if err := writeFrame(tc.bw, msgType, body); err != nil {
 		c.drop(addr)
 		return nil, err
@@ -168,6 +189,7 @@ func (c *TCPClient) Call(addr string, req any) (any, error) {
 		return nil, err
 	}
 	c.Stats.account(msgType, len(body), len(respBody))
+	c.Metrics.observe(msgType, len(body), len(respBody), time.Since(t0), respType == MsgErr)
 	return DecodeResponse(respType, respBody)
 }
 

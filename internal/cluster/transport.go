@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Handler is the server side of a storage service: it receives a decoded
@@ -98,6 +99,9 @@ type InProc struct {
 	// Stats is the traffic ledger for everything sent through this
 	// transport.
 	Stats Counters
+	// Metrics, when non-nil, attributes every call per MsgType (count,
+	// bytes, latency). Set before first use; nil is free.
+	Metrics *RPCMetrics
 }
 
 // NewInProc returns an empty in-process fabric.
@@ -136,11 +140,18 @@ func (t *InProc) Call(node string, req any) (any, error) {
 	if err != nil {
 		return nil, err
 	}
+	var t0 time.Time
+	if t.Metrics != nil {
+		t0 = time.Now()
+	}
 	resp, handlerErr := h.Handle(decoded)
 	respType, respBody, err := EncodeResponse(resp, handlerErr)
 	if err != nil {
 		return nil, err
 	}
 	t.Stats.account(msgType, len(body), len(respBody))
+	if t.Metrics != nil {
+		t.Metrics.observe(msgType, len(body), len(respBody), time.Since(t0), handlerErr != nil)
+	}
 	return DecodeResponse(respType, respBody)
 }

@@ -28,6 +28,7 @@ import (
 	"time"
 
 	"taurus/internal/cluster"
+	"taurus/internal/obs"
 	"taurus/internal/plog"
 	"taurus/internal/wal"
 )
@@ -63,6 +64,10 @@ type Store struct {
 	// directory (the GC watermark marker lives beside the segments).
 	disk *plog.Log
 	dir  string
+
+	// Optional instruments, armed by RegisterMetrics; nil is inert.
+	appendHist *obs.Histogram
+	appendRecs *obs.Counter
 }
 
 // gcMarkFile persists the truncation watermark: plog GC deletes only
@@ -218,6 +223,9 @@ func (s *Store) Handle(req any) (any, error) {
 // records (SAL retries) are filtered before hitting the disk, so
 // redelivery is idempotent in both modes.
 func (s *Store) Append(encoded []byte) (uint64, error) {
+	done := s.observeAppend()
+	freshN := 0
+	defer func() { done(freshN) }()
 	recs, err := wal.DecodeAll(encoded)
 	if err != nil {
 		return 0, fmt.Errorf("logstore %s: %w", s.name, err)
@@ -258,6 +266,7 @@ func (s *Store) Append(encoded []byte) (uint64, error) {
 		s.mu.Unlock()
 		return lsn, nil
 	}
+	freshN = len(fresh)
 	// Advancing the watermark past LSNs this batch did not carry leaves
 	// them as pending holes other lanes' batches will fill.
 	if maxLSN > s.durableLSN {

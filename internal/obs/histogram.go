@@ -1,0 +1,170 @@
+package obs
+
+import (
+	"math"
+	"sort"
+	"sync/atomic"
+	"time"
+)
+
+// DefaultLatencyBuckets are exponential (base-2) upper bounds in
+// seconds, from 1µs to ~16.8s. 25 finite buckets plus +Inf keeps the
+// per-histogram footprint near 200 bytes while resolving both
+// microsecond fsyncs and multi-second stalls.
+var DefaultLatencyBuckets = ExpBuckets(1e-6, 2, 25)
+
+// DefaultSizeBuckets are exponential (base-4) upper bounds in bytes,
+// from 64B to ~1GiB.
+var DefaultSizeBuckets = ExpBuckets(64, 4, 13)
+
+// ExpBuckets returns n exponential bucket upper bounds starting at
+// start, each factor times the previous.
+func ExpBuckets(start, factor float64, n int) []float64 {
+	out := make([]float64, n)
+	v := start
+	for i := range out {
+		out[i] = v
+		v *= factor
+	}
+	return out
+}
+
+// Histogram is a fixed-bucket histogram with atomic bucket counters, a
+// running sum, and a running max. Observations are float64s (seconds
+// for latency histograms, bytes for size histograms). All methods are
+// safe for concurrent use and safe on a nil receiver.
+type Histogram struct {
+	bounds  []float64 // finite upper bounds, ascending
+	buckets []atomic.Uint64
+	inf     atomic.Uint64 // count above the last finite bound
+	count   atomic.Uint64
+	sumBits atomic.Uint64 // float64 bits, CAS-updated
+	maxBits atomic.Uint64 // float64 bits, CAS-updated
+}
+
+// NewHistogram builds a histogram with the given finite upper bounds
+// (nil selects DefaultLatencyBuckets). Bounds are sorted defensively.
+func NewHistogram(bounds []float64) *Histogram {
+	if bounds == nil {
+		bounds = DefaultLatencyBuckets
+	}
+	b := make([]float64, len(bounds))
+	copy(b, bounds)
+	sort.Float64s(b)
+	return &Histogram{bounds: b, buckets: make([]atomic.Uint64, len(b))}
+}
+
+// Observe records one observation. Safe on a nil receiver.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v)
+	if i < len(h.buckets) {
+		h.buckets[i].Add(1)
+	} else {
+		h.inf.Add(1)
+	}
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		nw := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, nw) {
+			break
+		}
+	}
+	for {
+		old := h.maxBits.Load()
+		if v <= math.Float64frombits(old) && old != 0 {
+			break
+		}
+		if h.maxBits.CompareAndSwap(old, math.Float64bits(v)) {
+			break
+		}
+	}
+}
+
+// ObserveDuration records d as seconds. Safe on a nil receiver.
+func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(d.Seconds()) }
+
+// HistogramSnapshot is a point-in-time copy of a histogram's state.
+type HistogramSnapshot struct {
+	Bounds []float64 // finite upper bounds
+	Counts []uint64  // per-bucket counts, len(Bounds)+1 (last is +Inf)
+	Count  uint64
+	Sum    float64
+	Max    float64
+	P50    float64
+	P90    float64
+	P99    float64
+}
+
+// Snapshot copies the histogram state and computes p50/p90/p99 by
+// linear interpolation within the containing bucket. Safe on a nil
+// receiver (returns a zero snapshot).
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	var s HistogramSnapshot
+	if h == nil {
+		return s
+	}
+	s.Bounds = h.bounds
+	s.Counts = make([]uint64, len(h.buckets)+1)
+	for i := range h.buckets {
+		s.Counts[i] = h.buckets[i].Load()
+	}
+	s.Counts[len(h.buckets)] = h.inf.Load()
+	s.Count = h.count.Load()
+	s.Sum = math.Float64frombits(h.sumBits.Load())
+	s.Max = math.Float64frombits(h.maxBits.Load())
+	s.P50 = s.Quantile(0.50)
+	s.P90 = s.Quantile(0.90)
+	s.P99 = s.Quantile(0.99)
+	return s
+}
+
+// Quantile estimates the q-quantile (0 < q <= 1) from the bucketed
+// counts, interpolating linearly inside the containing bucket. The +Inf
+// bucket is reported as the observed max.
+func (s HistogramSnapshot) Quantile(q float64) float64 {
+	total := uint64(0)
+	for _, c := range s.Counts {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	rank := q * float64(total)
+	cum := 0.0
+	for i, c := range s.Counts {
+		prev := cum
+		cum += float64(c)
+		if cum < rank {
+			continue
+		}
+		if i == len(s.Bounds) {
+			return s.Max
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = s.Bounds[i-1]
+		}
+		hi := s.Bounds[i]
+		if hi > s.Max && s.Max > lo {
+			hi = s.Max
+		}
+		if c == 0 {
+			return hi
+		}
+		frac := (rank - prev) / float64(c)
+		return lo + (hi-lo)*frac
+	}
+	return s.Max
+}
+
+// Mean returns the arithmetic mean of all observations.
+func (s HistogramSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return s.Sum / float64(s.Count)
+}

@@ -1,0 +1,279 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// formatValue renders a float the way Prometheus expects: +Inf/-Inf/NaN
+// spelled out, otherwise shortest round-trip representation.
+func formatValue(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func escapeLabelValue(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
+	return v
+}
+
+func writeLabels(b *strings.Builder, labels []Label, extra ...Label) {
+	all := append(append([]Label{}, labels...), extra...)
+	if len(all) == 0 {
+		return
+	}
+	b.WriteByte('{')
+	for i, l := range all {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(b, `%s="%s"`, l.Key, escapeLabelValue(l.Value))
+	}
+	b.WriteByte('}')
+}
+
+// WritePrometheus writes the whole registry in Prometheus text
+// exposition format (version 0.0.4). Histograms are emitted as native
+// histogram families (_bucket/_sum/_count) plus a companion
+// <name>_max gauge family. Safe on a nil registry (writes nothing).
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	names := append([]string{}, r.order...)
+	fams := make([]*family, 0, len(names))
+	for _, n := range names {
+		fams = append(fams, r.families[n])
+	}
+	r.mu.Unlock()
+
+	var b strings.Builder
+	for _, f := range fams {
+		switch f.kind {
+		case kindCounter, kindGauge:
+			fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s %s\n", f.name, f.help, f.name, f.kind)
+			for _, key := range f.order {
+				s := f.series[key]
+				var v float64
+				if f.kind == kindCounter {
+					v = s.ctr.value()
+				} else {
+					v = s.gauge.Value()
+				}
+				b.WriteString(f.name)
+				writeLabels(&b, s.labels)
+				b.WriteByte(' ')
+				b.WriteString(formatValue(v))
+				b.WriteByte('\n')
+			}
+		case kindHistogram:
+			fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s histogram\n", f.name, f.help, f.name)
+			for _, key := range f.order {
+				s := f.series[key]
+				snap := s.hist.Snapshot()
+				cum := uint64(0)
+				for i, bound := range snap.Bounds {
+					cum += snap.Counts[i]
+					b.WriteString(f.name + "_bucket")
+					writeLabels(&b, s.labels, L("le", formatValue(bound)))
+					fmt.Fprintf(&b, " %d\n", cum)
+				}
+				cum += snap.Counts[len(snap.Bounds)]
+				b.WriteString(f.name + "_bucket")
+				writeLabels(&b, s.labels, L("le", "+Inf"))
+				fmt.Fprintf(&b, " %d\n", cum)
+				b.WriteString(f.name + "_sum")
+				writeLabels(&b, s.labels)
+				fmt.Fprintf(&b, " %s\n", formatValue(snap.Sum))
+				b.WriteString(f.name + "_count")
+				writeLabels(&b, s.labels)
+				fmt.Fprintf(&b, " %d\n", snap.Count)
+			}
+			fmt.Fprintf(&b, "# HELP %s_max Maximum observation of %s.\n# TYPE %s_max gauge\n", f.name, f.name, f.name)
+			for _, key := range f.order {
+				s := f.series[key]
+				b.WriteString(f.name + "_max")
+				writeLabels(&b, s.labels)
+				fmt.Fprintf(&b, " %s\n", formatValue(s.hist.Snapshot().Max))
+			}
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// Handler returns an http.Handler serving the registry in Prometheus
+// text format.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	})
+}
+
+var (
+	metricNameRe = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+	sampleRe     = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{([^}]*)\})?\s+(\S+)(\s+-?\d+)?$`)
+	labelPairRe  = regexp.MustCompile(`^([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"$`)
+)
+
+// baseFamily strips histogram/summary sample suffixes to recover the
+// declared family name.
+func baseFamily(sample string, declared map[string]string) string {
+	for _, suf := range []string{"_bucket", "_sum", "_count", "_total"} {
+		if strings.HasSuffix(sample, suf) {
+			base := strings.TrimSuffix(sample, suf)
+			if _, ok := declared[base]; ok {
+				return base
+			}
+		}
+	}
+	return sample
+}
+
+// ValidateExposition checks text against the Prometheus text exposition
+// format: well-formed HELP/TYPE comments, parseable sample lines,
+// samples only for declared families, and for histogram families a
+// +Inf bucket whose cumulative count matches _count. It returns the set
+// of declared family names.
+func ValidateExposition(text string) (map[string]string, error) {
+	declared := map[string]string{} // family -> type
+	infCount := map[string]uint64{} // family+labels(sans le) -> +Inf cumulative
+	cntCount := map[string]uint64{} // family+labels -> _count value
+	sc := bufio.NewScanner(strings.NewReader(text))
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.SplitN(line, " ", 4)
+			if len(fields) < 3 || (fields[1] != "HELP" && fields[1] != "TYPE") {
+				continue // free-form comment
+			}
+			name := fields[2]
+			if !metricNameRe.MatchString(name) {
+				return nil, fmt.Errorf("line %d: invalid metric name %q", lineNo, name)
+			}
+			if fields[1] == "TYPE" {
+				if len(fields) != 4 {
+					return nil, fmt.Errorf("line %d: malformed TYPE line", lineNo)
+				}
+				typ := fields[3]
+				switch typ {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+				default:
+					return nil, fmt.Errorf("line %d: unknown metric type %q", lineNo, typ)
+				}
+				if _, dup := declared[name]; dup {
+					return nil, fmt.Errorf("line %d: duplicate TYPE for %q", lineNo, name)
+				}
+				declared[name] = typ
+			}
+			continue
+		}
+		m := sampleRe.FindStringSubmatch(line)
+		if m == nil {
+			return nil, fmt.Errorf("line %d: malformed sample line %q", lineNo, line)
+		}
+		name, labelBody, valStr := m[1], m[3], m[4]
+		val, err := strconv.ParseFloat(strings.TrimPrefix(valStr, "+"), 64)
+		if err != nil && valStr != "+Inf" && valStr != "-Inf" && valStr != "NaN" {
+			return nil, fmt.Errorf("line %d: bad sample value %q", lineNo, valStr)
+		}
+		fam := baseFamily(name, declared)
+		if _, ok := declared[fam]; !ok {
+			return nil, fmt.Errorf("line %d: sample %q has no TYPE declaration", lineNo, name)
+		}
+		var le string
+		var restLabels []string
+		if labelBody != "" {
+			for _, pair := range splitLabelPairs(labelBody) {
+				lm := labelPairRe.FindStringSubmatch(pair)
+				if lm == nil {
+					return nil, fmt.Errorf("line %d: malformed label pair %q", lineNo, pair)
+				}
+				if lm[1] == "le" {
+					le = lm[2]
+				} else {
+					restLabels = append(restLabels, pair)
+				}
+			}
+		}
+		if declared[fam] == "histogram" {
+			sort.Strings(restLabels)
+			skey := fam + "|" + strings.Join(restLabels, ",")
+			switch {
+			case strings.HasSuffix(name, "_bucket") && le == "+Inf":
+				infCount[skey] = uint64(val)
+			case strings.HasSuffix(name, "_count"):
+				cntCount[skey] = uint64(val)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	for skey, cnt := range cntCount {
+		inf, ok := infCount[skey]
+		if !ok {
+			return nil, fmt.Errorf("histogram series %q missing le=\"+Inf\" bucket", skey)
+		}
+		if inf != cnt {
+			return nil, fmt.Errorf("histogram series %q: +Inf bucket %d != _count %d", skey, inf, cnt)
+		}
+	}
+	if len(declared) == 0 {
+		return nil, fmt.Errorf("no metric families declared")
+	}
+	return declared, nil
+}
+
+// splitLabelPairs splits a{...} label body on commas outside quotes.
+func splitLabelPairs(body string) []string {
+	var out []string
+	var cur strings.Builder
+	inQuote, escaped := false, false
+	for _, r := range body {
+		switch {
+		case escaped:
+			cur.WriteRune(r)
+			escaped = false
+		case r == '\\' && inQuote:
+			cur.WriteRune(r)
+			escaped = true
+		case r == '"':
+			cur.WriteRune(r)
+			inQuote = !inQuote
+		case r == ',' && !inQuote:
+			out = append(out, cur.String())
+			cur.Reset()
+		default:
+			cur.WriteRune(r)
+		}
+	}
+	if cur.Len() > 0 {
+		out = append(out, cur.String())
+	}
+	return out
+}

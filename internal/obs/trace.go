@@ -1,0 +1,129 @@
+package obs
+
+import (
+	"fmt"
+	"log"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// Trace is a lightweight single-goroutine span recorder: a sequence of
+// named stages measured from one Start. It allocates one small struct
+// and appends to a slice — cheap enough to create per operation when a
+// slow-op log is armed. All methods are safe on a nil receiver, so
+// callers can thread an optional *Trace without branching.
+type Trace struct {
+	op     string
+	start  time.Time
+	last   time.Time
+	stages []TraceStage
+}
+
+// TraceStage is one completed span within a Trace.
+type TraceStage struct {
+	Name string
+	Dur  time.Duration
+}
+
+// NewTrace starts a trace for the named operation.
+func NewTrace(op string) *Trace {
+	now := time.Now()
+	return &Trace{op: op, start: now, last: now}
+}
+
+// Step closes the stage that began at the previous Step (or at Start)
+// and names it. Safe on a nil receiver.
+func (t *Trace) Step(name string) {
+	if t == nil {
+		return
+	}
+	now := time.Now()
+	t.stages = append(t.stages, TraceStage{Name: name, Dur: now.Sub(t.last)})
+	t.last = now
+}
+
+// Total returns elapsed time since the trace started. Safe on a nil
+// receiver.
+func (t *Trace) Total() time.Duration {
+	if t == nil {
+		return 0
+	}
+	return time.Since(t.start)
+}
+
+// Stages returns the completed spans. Safe on a nil receiver.
+func (t *Trace) Stages() []TraceStage {
+	if t == nil {
+		return nil
+	}
+	return t.stages
+}
+
+// String renders the trace as a one-line structured breakdown:
+//
+//	op="INSERT ..." total=12.3ms stages=parse:0.1ms,apply:2.0ms,commit:10.2ms
+func (t *Trace) String() string {
+	if t == nil {
+		return ""
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "op=%q total=%s stages=", t.op, t.Total().Round(time.Microsecond))
+	for i, s := range t.stages {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s:%s", s.Name, s.Dur.Round(time.Microsecond))
+	}
+	return b.String()
+}
+
+// SlowOpLog emits one structured line for every operation whose total
+// duration meets or exceeds Threshold. A nil *SlowOpLog (or a zero
+// threshold) is disabled and costs one branch per operation.
+type SlowOpLog struct {
+	threshold time.Duration
+	logger    *log.Logger
+	fired     atomic.Uint64
+}
+
+// NewSlowOpLog builds a slow-op log with the given threshold. A zero or
+// negative threshold returns nil (disabled). logger defaults to
+// log.Default().
+func NewSlowOpLog(threshold time.Duration, logger *log.Logger) *SlowOpLog {
+	if threshold <= 0 {
+		return nil
+	}
+	if logger == nil {
+		logger = log.Default()
+	}
+	return &SlowOpLog{threshold: threshold, logger: logger}
+}
+
+// Enabled reports whether operations should build traces at all. Safe
+// on a nil receiver.
+func (l *SlowOpLog) Enabled() bool { return l != nil }
+
+// Observe logs the trace if it exceeded the threshold, returning
+// whether it fired. Safe on nil receiver and nil trace.
+func (l *SlowOpLog) Observe(t *Trace) bool {
+	if l == nil || t == nil {
+		return false
+	}
+	total := t.Total()
+	if total < l.threshold {
+		return false
+	}
+	l.fired.Add(1)
+	l.logger.Printf("SLOW-OP %s", t.String())
+	return true
+}
+
+// Fired returns how many operations have been logged. Safe on a nil
+// receiver.
+func (l *SlowOpLog) Fired() uint64 {
+	if l == nil {
+		return 0
+	}
+	return l.fired.Load()
+}

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"taurus/internal/cluster"
+	"taurus/internal/obs"
 	"taurus/internal/page"
 	"taurus/internal/pstore"
 	"taurus/internal/wal"
@@ -91,6 +92,9 @@ type Store struct {
 
 	// Metrics.
 	stats Stats
+	// Optional latency instruments, armed by WithMetrics; nil is inert.
+	applyHist *obs.Histogram
+	readHist  *obs.Histogram
 }
 
 // Stats counts Page Store activity.
@@ -232,6 +236,7 @@ func (s *Store) slice(tenant, sliceID uint32) (*slice, error) {
 // WriteLogs applies a batch of encoded redo records to the slice's pages,
 // in order, creating new page versions. Returns the applied LSN.
 func (s *Store) WriteLogs(tenant, sliceID uint32, encoded []byte) (uint64, error) {
+	defer observeInto(s.applyHist)()
 	sl, err := s.slice(tenant, sliceID)
 	if err != nil {
 		return 0, err
@@ -285,6 +290,7 @@ func (s *Store) WriteLogs(tenant, sliceID uint32, encoded []byte) (uint64, error
 // ReadPage returns the encoded page image at the requested LSN (0 =
 // latest).
 func (s *Store) ReadPage(tenant, sliceID uint32, pageID, lsn uint64) ([]byte, error) {
+	defer observeInto(s.readHist)()
 	sl, err := s.slice(tenant, sliceID)
 	if err != nil {
 		return nil, err

@@ -34,6 +34,7 @@ import (
 
 	"taurus/internal/cluster"
 	"taurus/internal/engine"
+	"taurus/internal/obs"
 	"taurus/internal/sal"
 	"taurus/internal/wal"
 )
@@ -57,6 +58,11 @@ type Config struct {
 	RefreshInterval time.Duration
 	// MaxTailRecords bounds one Log Store tail request (default 4096).
 	MaxTailRecords int
+	// Metrics, when non-nil, receives the replica's lag gauges and
+	// catch-up/refresh histograms; Name labels them when several
+	// replicas share one registry.
+	Metrics *obs.Registry
+	Name    string
 }
 
 // Stats is the replica's observable state.
@@ -152,6 +158,10 @@ type Replica struct {
 		lagBytes         atomic.Uint64
 		durableFloor     atomic.Uint64
 	}
+
+	// Optional instruments, armed when cfg.Metrics is set; nil is inert.
+	mRefresh *obs.Histogram
+	mCatchup *obs.Histogram
 }
 
 // New validates the config and returns a stopped replica; call Bind,
@@ -181,7 +191,7 @@ func New(cfg Config) (*Replica, error) {
 	if cfg.MaxTailRecords <= 0 {
 		cfg.MaxTailRecords = 4096
 	}
-	return &Replica{
+	r := &Replica{
 		cfg:          cfg,
 		buf:          make(map[uint64]tailRec),
 		slicePending: make(map[uint32][]uint64),
@@ -190,7 +200,9 @@ func New(cfg Config) (*Replica, error) {
 		kick:         make(chan struct{}, 1),
 		stop:         make(chan struct{}),
 		done:         make(chan struct{}),
-	}, nil
+	}
+	r.registerMetrics(cfg.Metrics, cfg.Name)
+	return r, nil
 }
 
 // Bind attaches the replica to its engine. onAttach (optional) runs
@@ -223,6 +235,10 @@ func (r *Replica) Start(startLSN, catchUpTo uint64) error {
 			break
 		}
 	}
+	var t0 time.Time
+	if r.mCatchup != nil {
+		t0 = time.Now()
+	}
 	for {
 		if err := r.Refresh(); err != nil {
 			return err
@@ -233,6 +249,9 @@ func (r *Replica) Start(startLSN, catchUpTo uint64) error {
 		// Waiting on the master's asynchronous Page Store applies; they
 		// complete at replica-apply speed, independent of new writes.
 		time.Sleep(time.Millisecond)
+	}
+	if r.mCatchup != nil {
+		r.mCatchup.ObserveDuration(time.Since(t0))
 	}
 	go r.loop()
 	return nil
@@ -331,7 +350,14 @@ func (r *Replica) loop() {
 // cycle. Also the body of the background loop.
 func (r *Replica) Refresh() error {
 	r.refreshMu.Lock()
+	var t0 time.Time
+	if r.mRefresh != nil {
+		t0 = time.Now()
+	}
 	attached, err := r.refreshLocked()
+	if r.mRefresh != nil {
+		r.mRefresh.ObserveDuration(time.Since(t0))
+	}
 	r.refreshMu.Unlock()
 	// Post-attach callbacks run outside the refresh cycle: they scan
 	// the new table at the just-published visible LSN, which can itself

@@ -146,6 +146,9 @@ type stage struct {
 	count  int
 	minLSN uint64
 	maxLSN uint64
+	// firstAt is when the first record was staged (set only with metrics
+	// enabled); seal age = seal time − firstAt.
+	firstAt time.Time
 }
 
 func newStage() *stage {
@@ -529,6 +532,7 @@ func (s *SAL) Write(rec *wal.Record) (uint64, error) {
 		sp = s.progress(sliceID)
 	}
 	ln := s.laneFor(sp)
+	var stallStart time.Time
 	ln.stageMu.Lock()
 	for {
 		// Promotion may reassign the slice while we wait; follow it.
@@ -557,8 +561,14 @@ func (s *SAL) Write(rec *wal.Record) (uint64, error) {
 			break
 		}
 		s.counters.backpressureStalls.Add(1)
+		if s.m.enabled && stallStart.IsZero() {
+			stallStart = time.Now()
+		}
 		ln.kick()
 		ln.stageCond.Wait()
+	}
+	if !stallStart.IsZero() {
+		s.m.stageWait.ObserveDuration(time.Since(stallStart))
 	}
 	// The LSN is allocated under the lane's stage lock so records enter
 	// each lane's buffer in LSN order — the Page Stores' idempotent-skip
@@ -587,6 +597,9 @@ func (s *SAL) Write(rec *wal.Record) (uint64, error) {
 	ln.stg.log = rec.Encode(ln.stg.log)
 	if ln.stg.count == 0 {
 		ln.stg.minLSN = lsn
+		if s.m.enabled {
+			ln.stg.firstAt = time.Now()
+		}
 	}
 	ln.stg.count++
 	ln.stg.maxLSN = lsn
@@ -618,6 +631,9 @@ func (s *SAL) seal(ln *lane) *window {
 		count:  ln.stg.count,
 		log:    ln.stg.log,
 		slices: ln.stg.slices,
+	}
+	if !ln.stg.firstAt.IsZero() {
+		s.m.seal.ObserveDuration(time.Since(ln.stg.firstAt))
 	}
 	ln.stg = newStage()
 	ln.stageCond.Broadcast() // release backpressured writers
@@ -928,7 +944,9 @@ func (ln *lane) logNodeWorker(node string, ch chan *window) {
 				// here rather than seal-to-last-ack so pipeline
 				// queueing can't feed the adaptive threshold back into
 				// itself.
-				ln.observeFsync(time.Since(t0).Seconds())
+				d := time.Since(t0)
+				ln.observeFsync(d.Seconds())
+				s.m.append.ObserveDuration(d)
 			} else {
 				w.failed.Store(true)
 				// Freeze the watermark below this window BEFORE the
@@ -1189,6 +1207,10 @@ func (s *SAL) applyBatch(sp *sliceProgress, sliceID uint32, job applyJob) {
 		if err != nil {
 			s.poison(ln, err)
 		} else {
+			var t0 time.Time
+			if s.m.enabled {
+				t0 = time.Now()
+			}
 			errs := make([]error, len(nodes))
 			var wg sync.WaitGroup
 			for i, node := range nodes {
@@ -1203,6 +1225,9 @@ func (s *SAL) applyBatch(sp *sliceProgress, sliceID uint32, job applyJob) {
 				}(i, node)
 			}
 			wg.Wait()
+			if s.m.enabled {
+				s.m.apply.ObserveDuration(time.Since(t0))
+			}
 			failed := false
 			for _, err := range errs {
 				if err != nil {
@@ -1262,6 +1287,10 @@ func (s *SAL) WaitDurable(lsn uint64) error {
 		return nil
 	}
 	s.counters.commitWaits.Add(1)
+	if s.m.enabled {
+		t0 := time.Now()
+		defer func() { s.m.durableWait.ObserveDuration(time.Since(t0)) }()
+	}
 	s.kickAll()
 	s.durMu.Lock()
 	defer s.durMu.Unlock()
@@ -1323,6 +1352,10 @@ func (s *SAL) waitAppliedPages(sliceID uint32, pageIDs ...uint64) error {
 		return nil
 	}
 	s.counters.applyWaits.Add(1)
+	if s.m.enabled {
+		t0 := time.Now()
+		defer func() { s.m.applyWait.ObserveDuration(time.Since(t0)) }()
+	}
 	s.kickAll()
 	for sp.applied < target {
 		if err := s.sticky(); err != nil {

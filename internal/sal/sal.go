@@ -26,8 +26,10 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"taurus/internal/cluster"
+	"taurus/internal/obs"
 	"taurus/internal/wal"
 )
 
@@ -88,6 +90,10 @@ type Config struct {
 	// disables promotion entirely (single shared lane — the old
 	// global-window behavior, kept for before/after benchmarks).
 	MaxSliceLanes int
+	// Metrics, when non-nil, receives write-path stage histograms,
+	// fetch-latency histograms, and pipeline gauges. nil disables
+	// instrumentation at near-zero cost.
+	Metrics *obs.Registry
 }
 
 // SAL is the storage abstraction layer instance inside one frontend.
@@ -162,6 +168,7 @@ type SAL struct {
 	closeOnce sync.Once
 
 	counters pipelineCounters
+	m        salMetrics
 }
 
 // New validates the config, starts the write pipeline, and returns a
@@ -209,6 +216,7 @@ func New(cfg Config) (*SAL, error) {
 		cfg:       cfg,
 		sliceProg: make(map[uint32]*sliceProgress),
 	}
+	s.initMetrics(cfg.Metrics)
 	s.startPipeline()
 	return s, nil
 }
@@ -424,11 +432,18 @@ func (s *SAL) ReadPage(pageID, lsn uint64) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
+	var t0 time.Time
+	if s.m.enabled {
+		t0 = time.Now()
+	}
 	resp, err := s.cfg.Transport.Call(s.readReplica(nodes), &cluster.ReadPageReq{
 		Tenant: s.cfg.Tenant, SliceID: sliceID, PageID: pageID, LSN: lsn,
 	})
 	if err != nil {
 		return nil, err
+	}
+	if s.m.enabled {
+		s.m.fetchPage.ObserveDuration(time.Since(t0))
 	}
 	return resp.(*cluster.PageResp).Page, nil
 }
@@ -451,6 +466,11 @@ type BatchResult struct {
 // sub-batch waits only until the pages it actually requests are
 // applied.
 func (s *SAL) BatchRead(pageIDs []uint64, lsn uint64, desc []byte) (*BatchResult, error) {
+	var t0 time.Time
+	if s.m.enabled {
+		t0 = time.Now()
+		defer func() { s.m.fetchBatch.ObserveDuration(time.Since(t0)) }()
+	}
 	return FanOutBatchRead(s.cfg.Transport, s.cfg.Tenant, s.cfg.Plugin,
 		s.SliceOf,
 		func(sliceID uint32, ids []uint64) (string, error) {

@@ -8,6 +8,7 @@ import (
 	"taurus/internal/engine"
 	"taurus/internal/exec"
 	"taurus/internal/expr"
+	"taurus/internal/obs"
 	"taurus/internal/plan"
 	"taurus/internal/types"
 )
@@ -22,6 +23,9 @@ type Session struct {
 	// ReadOnly rejects DDL and DML with a clear error — the read-replica
 	// frontend's mode.
 	ReadOnly bool
+	// Slow, when armed, logs a per-stage breakdown of every statement
+	// whose total time meets its threshold. Nil disables tracing.
+	Slow *obs.SlowOpLog
 }
 
 // NewSession creates a session with a fresh catalog.
@@ -41,7 +45,16 @@ type Result struct {
 
 // Exec parses and executes one statement.
 func (s *Session) Exec(sqlText string) (*Result, error) {
+	// Traces exist only when the slow-op log is armed; every Step below
+	// is a nil-safe no-op otherwise. The trace is a local (not a Session
+	// field) because sessions are shared across goroutines.
+	var tr *obs.Trace
+	if s.Slow.Enabled() {
+		tr = obs.NewTrace(opSummary(sqlText))
+		defer func() { s.Slow.Observe(tr) }()
+	}
 	stmt, err := Parse(sqlText)
+	tr.Step("parse")
 	if err != nil {
 		return nil, err
 	}
@@ -50,17 +63,28 @@ func (s *Session) Exec(sqlText string) (*Result, error) {
 		if s.ReadOnly {
 			return nil, fmt.Errorf("sql: replica is read-only: CREATE TABLE rejected (run DDL on the master)")
 		}
-		return s.execCreate(st)
+		return s.execCreate(st, tr)
 	case *InsertStmt:
 		if s.ReadOnly {
 			return nil, fmt.Errorf("sql: replica is read-only: INSERT rejected (write to the master)")
 		}
-		return s.execInsert(st)
+		return s.execInsert(st, tr)
 	case *SelectStmt:
-		return s.execSelect(st)
+		return s.execSelect(st, tr)
 	default:
 		return nil, fmt.Errorf("sql: unsupported statement")
 	}
+}
+
+// opSummary compacts a statement for the slow-op line: collapsed
+// whitespace, capped length.
+func opSummary(sqlText string) string {
+	s := strings.Join(strings.Fields(sqlText), " ")
+	const max = 80
+	if len(s) > max {
+		s = s[:max] + "..."
+	}
+	return s
 }
 
 func typeToKind(c ColDef) (types.Column, error) {
@@ -85,7 +109,7 @@ func typeToKind(c ColDef) (types.Column, error) {
 	return col, nil
 }
 
-func (s *Session) execCreate(st *CreateTableStmt) (*Result, error) {
+func (s *Session) execCreate(st *CreateTableStmt, tr *obs.Trace) (*Result, error) {
 	cols := make([]types.Column, len(st.Cols))
 	for i, c := range st.Cols {
 		col, err := typeToKind(c)
@@ -106,10 +130,11 @@ func (s *Session) execCreate(st *CreateTableStmt) (*Result, error) {
 	if _, err := s.Eng.CreateTable(st.Name, schema, pk); err != nil {
 		return nil, err
 	}
+	tr.Step("create")
 	return &Result{Message: fmt.Sprintf("table %s created", st.Name)}, nil
 }
 
-func (s *Session) execInsert(st *InsertStmt) (*Result, error) {
+func (s *Session) execInsert(st *InsertStmt, tr *obs.Trace) (*Result, error) {
 	tbl, err := s.Eng.Table(st.Table)
 	if err != nil {
 		return nil, err
@@ -133,15 +158,18 @@ func (s *Session) execInsert(st *InsertStmt) (*Result, error) {
 		}
 		n++
 	}
+	tr.Step("apply")
 	// Commit = durable on the Log Stores; Page Store application is
 	// asynchronous (reads wait on applied LSNs as needed).
 	if err := s.Eng.Commit(tx); err != nil {
 		return nil, err
 	}
+	tr.Step("commit")
 	// Keep statistics fresh so NDP decisions see the data.
 	if _, err := s.Cat.Analyze(st.Table); err != nil {
 		return nil, err
 	}
+	tr.Step("analyze")
 	return &Result{Message: fmt.Sprintf("%d rows inserted", n)}, nil
 }
 
@@ -360,7 +388,7 @@ func collectCols(e Expr, into map[string]bool) {
 	}
 }
 
-func (s *Session) execSelect(st *SelectStmt) (*Result, error) {
+func (s *Session) execSelect(st *SelectStmt, tr *obs.Trace) (*Result, error) {
 	tbl, err := s.Eng.Table(st.Table)
 	if err != nil {
 		return nil, err
@@ -508,6 +536,7 @@ func (s *Session) execSelect(st *SelectStmt) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	tr.Step("plan")
 
 	// Final projection to the SELECT item order.
 	var finalExprs []*expr.Expr
@@ -568,6 +597,7 @@ func (s *Session) execSelect(st *SelectStmt) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	tr.Step("execute")
 	return &Result{Columns: finalNames, Rows: rows}, nil
 }
 

@@ -1,0 +1,150 @@
+// Command metrics-smoke is the CI gate for the observability surface:
+// it starts a taurus-server frontend with a -stats-addr, drives a few
+// statements through POST /query, scrapes GET /metrics, and fails on a
+// malformed Prometheus exposition or a missing core metric family. It
+// also checks GET /stats still parses as JSON.
+//
+//	go build -o /tmp/taurus-server ./cmd/taurus-server
+//	go run ./scripts/metrics-smoke -server /tmp/taurus-server
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"os"
+	"os/exec"
+	"strings"
+	"time"
+
+	"taurus/internal/obs"
+)
+
+// coreFamilies must all appear on a frontend's /metrics after a write
+// and a read: one family per instrumented tier.
+var coreFamilies = []string{
+	"taurus_writepath_stage_seconds",
+	"taurus_rpc_requests_total",
+	"taurus_rpc_latency_seconds",
+	"taurus_buffer_hits_total",
+	"taurus_buffer_misses_total",
+	"taurus_sal_durable_lsn",
+	"taurus_logstore_durable_lsn",
+	"taurus_logstore_append_seconds",
+	"taurus_pagestore_records_applied_total",
+	"taurus_pagestore_apply_seconds",
+	"taurus_engine_rows_emitted_total",
+}
+
+func main() {
+	server := flag.String("server", "taurus-server", "path to the taurus-server binary")
+	listen := flag.String("listen", "127.0.0.1:17290", "frontend query address")
+	statsAddr := flag.String("stats-addr", "127.0.0.1:17291", "frontend stats address")
+	timeout := flag.Duration("timeout", 15*time.Second, "startup deadline")
+	flag.Parse()
+	log.SetFlags(0)
+	log.SetPrefix("metrics-smoke: ")
+
+	cmd := exec.Command(*server, "-role", "frontend", "-listen", *listen, "-stats-addr", *statsAddr)
+	cmd.Stdout = os.Stderr
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		log.Fatalf("starting %s: %v", *server, err)
+	}
+	defer func() {
+		cmd.Process.Kill()
+		cmd.Wait()
+	}()
+	if err := run(*listen, *statsAddr, *timeout); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("ok: /metrics valid with all %d core families, /stats parses", len(coreFamilies))
+}
+
+func run(listen, statsAddr string, timeout time.Duration) error {
+	queryURL := "http://" + listen + "/query"
+	if err := waitUp(queryURL, timeout); err != nil {
+		return err
+	}
+	for _, stmt := range []string{
+		`CREATE TABLE smoke (id BIGINT, v INT, PRIMARY KEY(id))`,
+		`INSERT INTO smoke VALUES (1, 10), (2, 20), (3, 30)`,
+		`SELECT SUM(v) FROM smoke WHERE id > 0`,
+	} {
+		resp, err := http.Post(queryURL, "text/plain", strings.NewReader(stmt))
+		if err != nil {
+			return fmt.Errorf("POST /query: %w", err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("POST /query %q: %d: %s", stmt, resp.StatusCode, body)
+		}
+	}
+
+	text, err := fetch("http://" + statsAddr + "/metrics")
+	if err != nil {
+		return err
+	}
+	families, err := obs.ValidateExposition(text)
+	if err != nil {
+		return fmt.Errorf("malformed /metrics exposition: %w", err)
+	}
+	var missing []string
+	for _, f := range coreFamilies {
+		if _, ok := families[f]; !ok {
+			missing = append(missing, f)
+		}
+	}
+	if len(missing) > 0 {
+		return fmt.Errorf("/metrics missing core families: %s", strings.Join(missing, ", "))
+	}
+
+	stats, err := fetch("http://" + statsAddr + "/stats")
+	if err != nil {
+		return err
+	}
+	var payload map[string]any
+	if err := json.Unmarshal([]byte(stats), &payload); err != nil {
+		return fmt.Errorf("/stats is not valid JSON: %w", err)
+	}
+	if _, ok := payload["WritePath"]; !ok {
+		return fmt.Errorf("/stats lost its WritePath section")
+	}
+	return nil
+}
+
+// waitUp polls until the server answers HTTP (any status).
+func waitUp(url string, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		resp, err := http.Get(url)
+		if err == nil {
+			resp.Body.Close()
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("server not up after %s: %v", timeout, err)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}
+
+func fetch(url string) (string, error) {
+	resp, err := http.Get(url)
+	if err != nil {
+		return "", fmt.Errorf("GET %s: %w", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return "", fmt.Errorf("GET %s: %w", url, err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return "", fmt.Errorf("GET %s: %d: %s", url, resp.StatusCode, body)
+	}
+	return string(body), nil
+}

@@ -19,6 +19,7 @@ package taurus
 
 import (
 	"fmt"
+	"log"
 	"path/filepath"
 	"sync"
 	"sync/atomic"
@@ -28,6 +29,7 @@ import (
 	"taurus/internal/cluster"
 	"taurus/internal/engine"
 	"taurus/internal/logstore"
+	"taurus/internal/obs"
 	"taurus/internal/pagestore"
 	"taurus/internal/pstore"
 	"taurus/internal/replica"
@@ -96,6 +98,15 @@ type Config struct {
 	// — the durability benchmark's baseline.
 	LogSyncEveryAppend bool
 
+	// SlowOpThreshold arms the slow-op log: every statement whose total
+	// execution time meets or exceeds it emits one structured line with
+	// a per-stage breakdown (parse, plan, execute / apply, commit). 0
+	// disables tracing entirely — statements then pay one branch.
+	SlowOpThreshold time.Duration
+	// SlowOpLogger overrides the slow-op destination (default: the
+	// standard logger).
+	SlowOpLogger *log.Logger
+
 	// Master attaches a read replica to a running master's storage
 	// cluster (OpenReplica only; ignored by Open). The replica shares
 	// the master's Log Stores and Page Stores, tails the log to advance
@@ -120,6 +131,12 @@ type DB struct {
 	psNames   []string
 	recovered engine.RecoveryStats
 	summary   RecoverySummary
+
+	// obsReg collects every component's metrics for Prometheus export;
+	// rpc attributes transport traffic per message type (a replica shares
+	// its master's transport and therefore its RPC metrics).
+	obsReg *obs.Registry
+	rpc    *cluster.RPCMetrics
 
 	// Replica state (OpenReplica); master tracks how many replicas it
 	// has named so far.
@@ -187,7 +204,10 @@ func Open(cfg Config) (*DB, error) {
 		cfg.PoolPages = 4096
 	}
 	tr := cluster.NewInProc()
-	db := &DB{cfg: cfg, tr: tr}
+	reg := obs.NewRegistry()
+	rpc := cluster.NewRPCMetrics(reg, "client")
+	tr.Metrics = rpc
+	db := &DB{cfg: cfg, tr: tr, obsReg: reg, rpc: rpc}
 	logNames := []string{"log1", "log2", "log3"}
 	for _, n := range logNames {
 		var ls *logstore.Store
@@ -211,6 +231,7 @@ func Open(cfg Config) (*DB, error) {
 				return nil, err
 			}
 		}
+		ls.RegisterMetrics(reg)
 		db.logs = append(db.logs, ls)
 		db.logNames = append(db.logNames, n)
 		tr.Register(n, ls)
@@ -218,7 +239,7 @@ func Open(cfg Config) (*DB, error) {
 	var psNames []string
 	for i := 0; i < cfg.PageStores; i++ {
 		name := fmt.Sprintf("pagestore-%d", i+1)
-		var popts []pagestore.Option
+		popts := []pagestore.Option{pagestore.WithMetrics(reg)}
 		if cfg.DataDir != "" {
 			cs, err := pstore.Open(pstore.Options{Dir: filepath.Join(cfg.DataDir, name)})
 			if err != nil {
@@ -255,7 +276,7 @@ func Open(cfg Config) (*DB, error) {
 		Tenant: 1, Transport: tr, LogStores: logNames, PageStores: psNames,
 		ReplicationFactor: cfg.ReplicationFactor, PagesPerSlice: cfg.PagesPerSlice,
 		Plugin: pagestore.PluginInnoDB, MaxSliceLanes: cfg.WriteLanes,
-		FlushThreshold: cfg.WriteFlushThreshold,
+		FlushThreshold: cfg.WriteFlushThreshold, Metrics: reg,
 	})
 	if err != nil {
 		return nil, err
@@ -267,9 +288,12 @@ func Open(cfg Config) (*DB, error) {
 		db.closeLogs()
 		return nil, err
 	}
+	eng.RegisterMetrics(reg, "master")
+	eng.Pool().RegisterMetrics(reg, "master")
 	db.eng = eng
 	db.session = sql.NewSession(eng)
 	db.session.NDP = !cfg.DisableNDP
+	db.session.Slow = obs.NewSlowOpLog(cfg.SlowOpThreshold, cfg.SlowOpLogger)
 	if cfg.DataDir != "" {
 		if err := db.recover(s, eng); err != nil {
 			db.closeLogs()
@@ -308,6 +332,11 @@ func OpenReplica(cfg Config) (*DB, error) {
 	if cfg.PoolPages <= 0 {
 		cfg.PoolPages = 4096
 	}
+	// Each replica gets its own registry (its own /metrics page in a TCP
+	// deployment); the name labels its series so fleets of replicas stay
+	// distinguishable when scraped into one place.
+	reg := obs.NewRegistry()
+	repName := fmt.Sprintf("replica-%d", m.repSeq.Add(1))
 	rep, err := replica.New(replica.Config{
 		Transport: m.tr, Tenant: 1,
 		LogStores: m.logNames, PageStores: m.psNames,
@@ -315,6 +344,8 @@ func OpenReplica(cfg Config) (*DB, error) {
 		PagesPerSlice:     m.cfg.PagesPerSlice,
 		Plugin:            pagestore.PluginInnoDB,
 		RefreshInterval:   cfg.ReplicaRefreshInterval,
+		Metrics:           reg,
+		Name:              repName,
 	})
 	if err != nil {
 		return nil, err
@@ -326,11 +357,15 @@ func OpenReplica(cfg Config) (*DB, error) {
 	if err != nil {
 		return nil, err
 	}
+	eng.RegisterMetrics(reg, repName)
+	eng.Pool().RegisterMetrics(reg, repName)
 	db := &DB{cfg: cfg, eng: eng, tr: m.tr, rep: rep, master: m,
-		logNames: m.logNames, psNames: m.psNames}
+		logNames: m.logNames, psNames: m.psNames,
+		obsReg: reg, rpc: m.rpc, repName: repName}
 	db.session = sql.NewSession(eng)
 	db.session.NDP = !cfg.DisableNDP
 	db.session.ReadOnly = true
+	db.session.Slow = obs.NewSlowOpLog(cfg.SlowOpThreshold, cfg.SlowOpLogger)
 	rep.Bind(eng, func(table string) {
 		// A table the master created after the replica opened: refresh
 		// its optimizer statistics so NDP decisions see it.
@@ -366,7 +401,6 @@ func OpenReplica(cfg Config) (*DB, error) {
 	}
 	// Subscribe to the master's durable-watermark advances before the
 	// first refresh so no advance is missed.
-	db.repName = fmt.Sprintf("replica-%d", m.repSeq.Add(1))
 	m.tr.Register(db.repName, rep)
 	m.eng.SAL().RegisterReplica(db.repName)
 	// Catch up to everything the master had committed when we opened —
@@ -918,3 +952,15 @@ func (db *DB) PageStoreStats() []pagestore.StatsSnapshot {
 	}
 	return out
 }
+
+// Metrics returns the deployment's metrics registry. A master's registry
+// covers every embedded component (SAL write-path stages, Log and Page
+// Stores, buffer pool, engine, per-MsgType RPC traffic); a replica's
+// covers its own tailing, engine, and buffer pool. Serve it over HTTP
+// with Metrics().Handler() or render it with WritePrometheus.
+func (db *DB) Metrics() *obs.Registry { return db.obsReg }
+
+// RPCStats returns per-message-type transport traffic (request counts,
+// bytes, errors, latency quantiles), keyed by MsgType name. A replica
+// reports its master's transport, which it shares.
+func (db *DB) RPCStats() map[string]cluster.RPCTypeStats { return db.rpc.Snapshot() }
