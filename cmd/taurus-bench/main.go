@@ -81,6 +81,13 @@ func main() {
 			bench.PrintSkewedWritePath(os.Stdout, skewRows, promotions)
 			rep.AddSkewed(skewRows, promotions)
 		}
+		fmt.Println()
+		ovh, err := bench.TraceOverhead(*commits, 8)
+		if err != nil {
+			log.Fatal(err)
+		}
+		bench.PrintTraceOverhead(os.Stdout, ovh)
+		rep.TraceOverhead = &ovh
 		if *wpOut != "" {
 			if err := bench.WriteWritePathJSON(*wpOut, rep); err != nil {
 				log.Fatal(err)

@@ -98,6 +98,7 @@ func main() {
 	refreshInterval := flag.Duration("refresh-interval", 0, "log tail poll cadence (replica; 0 = default 25ms)")
 	poolPages := flag.Int("pool-pages", 0, "buffer pool pages (replica; 0 = default)")
 	slowOp := flag.Duration("slow-op", 0, "log statements at or above this duration with a per-stage breakdown (frontend/replica; 0 = off)")
+	traceSample := flag.Float64("trace-sample", 0, "probability a statement opens a distributed trace (frontend/replica; 0 = off, forced traces still work)")
 	flag.Parse()
 
 	if *name == "" {
@@ -106,11 +107,18 @@ func main() {
 	var handler cluster.Handler
 	var stats func() any
 	reg := obs.NewRegistry()
+	// Every role collects server-side spans for propagated trace contexts
+	// and keeps a flight recorder, served at /trace/<id>, /traces, and
+	// /events on -stats-addr. Sampling is decided at the frontend root;
+	// storage servers record whenever the arriving frame is sampled.
+	tracer := obs.NewTracer(*name, *traceSample, 0)
+	events := obs.NewEventRing(0)
 	switch *role {
 	case "pagestore":
 		opts := []pagestore.Option{
 			pagestore.WithResourceControl(pagestore.NewResourceControl(*ndpWorkers, *ndpQueue)),
 			pagestore.WithMetrics(reg),
+			pagestore.WithTracer(tracer), pagestore.WithEvents(events),
 		}
 		if *dataDir != "" {
 			cs, err := pstore.Open(pstore.Options{Dir: *dataDir})
@@ -170,10 +178,12 @@ func main() {
 			}
 		}
 		ls.RegisterMetrics(reg)
+		ls.SetTracer(tracer)
+		ls.SetEvents(events)
 		handler = ls
 		stats = func() any { return ls.NodeStats() }
 	case "frontend":
-		runFrontend(*listen, *statsAddr, *dataDir, *ckptInterval, *writeLanes, *replicas, *slowOp)
+		runFrontend(*listen, *statsAddr, *dataDir, *ckptInterval, *writeLanes, *replicas, *slowOp, *traceSample)
 		return
 	case "replica":
 		runReplica(*listen, *statsAddr, replicaOptions{
@@ -181,14 +191,14 @@ func main() {
 			logStores: splitAddrs(*logStores), pageStores: splitAddrs(*pageStores),
 			tenant: uint32(*tenant), pagesPerSlice: *pagesPerSlice,
 			replicationFactor: *replication, refreshInterval: *refreshInterval,
-			poolPages: *poolPages, slowOp: *slowOp,
+			poolPages: *poolPages, slowOp: *slowOp, traceSample: *traceSample,
 		})
 		return
 	default:
 		log.Fatalf("unknown role %q", *role)
 	}
 	if *statsAddr != "" {
-		serveStats(*statsAddr, newStatsMux(jsonHandler(stats), reg))
+		serveStats(*statsAddr, newStatsMux(jsonHandler(stats), reg, tracer.Spans, tracer.RecentTraces, events))
 	}
 	l, err := net.Listen("tcp", *listen)
 	if err != nil {
@@ -201,16 +211,26 @@ func main() {
 }
 
 // newStatsMux builds the observability mux every role serves on its
-// -stats-addr: role-specific JSON /stats, Prometheus /metrics, and the
-// net/http/pprof profile endpoints (registered explicitly — these muxes
-// are not http.DefaultServeMux).
-func newStatsMux(stats http.HandlerFunc, reg *obs.Registry) *http.ServeMux {
+// -stats-addr: role-specific JSON /stats, Prometheus /metrics, the trace
+// endpoints (GET /trace/<hex-id>, GET /traces?recent=N), the flight
+// recorder (GET /events), and the net/http/pprof profile endpoints
+// (registered explicitly — these muxes are not http.DefaultServeMux).
+func newStatsMux(stats http.HandlerFunc, reg *obs.Registry, spans func(uint64) []obs.Span, recent func(int) []uint64, events *obs.EventRing) *http.ServeMux {
 	mux := http.NewServeMux()
 	if stats != nil {
 		mux.HandleFunc("/stats", stats)
 	}
 	if reg != nil {
 		mux.Handle("/metrics", reg.Handler())
+	}
+	if spans != nil {
+		mux.Handle("/trace/", obs.TraceHandler(spans))
+	}
+	if recent != nil {
+		mux.Handle("/traces", obs.TracesHandler(recent))
+	}
+	if events != nil {
+		mux.Handle("/events", events.Handler())
 	}
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -250,6 +270,9 @@ type frontendStats struct {
 	BufferPool []buffer.ShardStats
 	LogStores  []logstore.NodeStats
 	PageStores []pagestore.StatsSnapshot
+	// SlowOpsFired counts statements the slow-op log fired on (also
+	// exported as taurus_slow_ops_fired_total).
+	SlowOpsFired uint64
 }
 
 // replicaStats is the /stats payload of a read replica (embedded or
@@ -257,12 +280,17 @@ type frontendStats struct {
 // refresh and notification counts, pages invalidated) plus its own
 // buffer pool counters.
 type replicaStats struct {
-	Replica    replica.Stats
-	BufferPool []buffer.ShardStats
+	Replica      replica.Stats
+	BufferPool   []buffer.ShardStats
+	SlowOpsFired uint64
 }
 
-// queryHandler serves one frontend's POST /query.
-func queryHandler(exec func(string) (*taurus.Result, error)) http.HandlerFunc {
+// queryHandler serves one frontend's POST /query. With a non-nil
+// execTraced, a request carrying an X-Taurus-Trace header (any value)
+// forces a distributed trace and the response echoes the hex trace ID in
+// the same header — fetch the assembled tree from GET /trace/<id>.
+func queryHandler(exec func(string) (*taurus.Result, error),
+	execTraced func(string) (*taurus.Result, uint64, error)) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodPost {
 			http.Error(w, "POST a SQL statement", http.StatusMethodNotAllowed)
@@ -273,7 +301,16 @@ func queryHandler(exec func(string) (*taurus.Result, error)) http.HandlerFunc {
 			http.Error(w, err.Error(), http.StatusBadRequest)
 			return
 		}
-		res, err := exec(string(body))
+		var res *taurus.Result
+		if execTraced != nil && r.Header.Get("X-Taurus-Trace") != "" {
+			var id uint64
+			res, id, err = execTraced(string(body))
+			if id != 0 {
+				w.Header().Set("X-Taurus-Trace", fmt.Sprintf("%x", id))
+			}
+		} else {
+			res, err = exec(string(body))
+		}
 		if err != nil {
 			http.Error(w, err.Error(), http.StatusUnprocessableEntity)
 			return
@@ -302,8 +339,9 @@ func jsonHandler(payload func() any) http.HandlerFunc {
 // the write-pipeline / buffer-pool / storage-node counters. With
 // -replicas n, n embedded read replicas attach to the same storage
 // cluster and serve /replica/<i>/query and /replica/<i>/stats.
-func runFrontend(listen, statsAddr, dataDir string, ckptInterval time.Duration, writeLanes, replicas int, slowOp time.Duration) {
-	cfg := taurus.Config{DataDir: dataDir, WriteLanes: writeLanes, SlowOpThreshold: slowOp}
+func runFrontend(listen, statsAddr, dataDir string, ckptInterval time.Duration, writeLanes, replicas int, slowOp time.Duration, traceSample float64) {
+	cfg := taurus.Config{DataDir: dataDir, WriteLanes: writeLanes, SlowOpThreshold: slowOp,
+		TraceSampleRate: traceSample}
 	if dataDir != "" && ckptInterval > 0 {
 		cfg.CheckpointInterval = ckptInterval
 	}
@@ -316,9 +354,10 @@ func runFrontend(listen, statsAddr, dataDir string, ckptInterval time.Duration, 
 		log.Fatal(err)
 	}
 	if statsAddr != "" && statsAddr != listen {
-		serveStats(statsAddr, newStatsMux(frontendStatsHandler(db), db.Metrics()))
+		serveStats(statsAddr, newStatsMux(frontendStatsHandler(db), db.Metrics(),
+			db.TraceSpans, db.RecentTraces, db.EventRing()))
 	}
-	log.Printf("frontend listening on %s (POST /query, GET /stats, GET /metrics)", listen)
+	log.Printf("frontend listening on %s (POST /query, GET /stats, GET /metrics, GET /trace/<id>, GET /events)", listen)
 	if err := http.ListenAndServe(listen, mux); err != nil {
 		log.Fatal(err)
 	}
@@ -328,10 +367,11 @@ func runFrontend(listen, statsAddr, dataDir string, ckptInterval time.Duration, 
 func frontendStatsHandler(db *taurus.DB) http.HandlerFunc {
 	return jsonHandler(func() any {
 		return frontendStats{
-			WritePath:  db.WritePathStats(),
-			BufferPool: db.BufferPoolStats(),
-			LogStores:  db.LogStoreStats(),
-			PageStores: db.PageStoreStats(),
+			WritePath:    db.WritePathStats(),
+			BufferPool:   db.BufferPoolStats(),
+			LogStores:    db.LogStoreStats(),
+			PageStores:   db.PageStoreStats(),
+			SlowOpsFired: db.SlowOpsFired(),
 		}
 	})
 }
@@ -342,18 +382,24 @@ func frontendStatsHandler(db *taurus.DB) http.HandlerFunc {
 // in-process. Each replica serves its own metrics registry; the embedded
 // storage nodes' series live in the master's.
 func frontendMux(db *taurus.DB, replicas int, slowOp time.Duration) (*http.ServeMux, error) {
-	mux := newStatsMux(frontendStatsHandler(db), db.Metrics())
-	mux.HandleFunc("/query", queryHandler(db.Exec))
+	mux := newStatsMux(frontendStatsHandler(db), db.Metrics(),
+		db.TraceSpans, db.RecentTraces, db.EventRing())
+	mux.HandleFunc("/query", queryHandler(db.Exec, db.ExecTraced))
 	for i := 1; i <= replicas; i++ {
-		rep, err := taurus.OpenReplica(taurus.Config{Master: db, SlowOpThreshold: slowOp})
+		rep, err := taurus.OpenReplica(taurus.Config{Master: db, SlowOpThreshold: slowOp,
+			TraceSampleRate: db.Tracer().Rate()})
 		if err != nil {
 			return nil, fmt.Errorf("replica %d: %w", i, err)
 		}
-		mux.HandleFunc(fmt.Sprintf("/replica/%d/query", i), queryHandler(rep.Exec))
+		mux.HandleFunc(fmt.Sprintf("/replica/%d/query", i), queryHandler(rep.Exec, rep.ExecTraced))
 		mux.HandleFunc(fmt.Sprintf("/replica/%d/stats", i), jsonHandler(func() any {
-			return replicaStats{Replica: rep.ReplicaStats(), BufferPool: rep.BufferPoolStats()}
+			return replicaStats{Replica: rep.ReplicaStats(), BufferPool: rep.BufferPoolStats(),
+				SlowOpsFired: rep.SlowOpsFired()}
 		}))
 		mux.Handle(fmt.Sprintf("/replica/%d/metrics", i), rep.Metrics().Handler())
+		mux.Handle(fmt.Sprintf("/replica/%d/trace/", i), obs.TraceHandler(rep.TraceSpans))
+		mux.Handle(fmt.Sprintf("/replica/%d/traces", i), obs.TracesHandler(rep.RecentTraces))
+		mux.Handle(fmt.Sprintf("/replica/%d/events", i), rep.EventRing().Handler())
 		log.Printf("read replica %d on /replica/%d/query", i, i)
 	}
 	return mux, nil
@@ -370,6 +416,7 @@ type replicaOptions struct {
 	refreshInterval   time.Duration
 	poolPages         int
 	slowOp            time.Duration
+	traceSample       float64
 }
 
 // runReplica serves a standalone read replica attached to storage
@@ -382,8 +429,11 @@ func runReplica(listen, statsAddr string, opts replicaOptions) {
 		log.Fatal("replica: -log-stores and -page-stores required")
 	}
 	reg := obs.NewRegistry()
+	tracer := obs.NewTracer(opts.name, opts.traceSample, 0)
+	events := obs.NewEventRing(0)
 	tc := cluster.NewTCPClient()
 	tc.Metrics = cluster.NewRPCMetrics(reg, "client")
+	tc.Tracer = tracer
 	rep, err := replica.New(replica.Config{
 		Transport: tc, Tenant: opts.tenant,
 		LogStores: opts.logStores, PageStores: opts.pageStores,
@@ -393,6 +443,8 @@ func runReplica(listen, statsAddr string, opts replicaOptions) {
 		RefreshInterval:   opts.refreshInterval,
 		Metrics:           reg,
 		Name:              opts.name,
+		Tracer:            tracer,
+		Events:            events,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -406,6 +458,10 @@ func runReplica(listen, statsAddr string, opts replicaOptions) {
 	session := sql.NewSession(eng)
 	session.ReadOnly = true
 	session.Slow = obs.NewSlowOpLog(opts.slowOp, nil)
+	session.Tracer = tracer
+	reg.CounterFunc("taurus_slow_ops_fired_total",
+		"Statements the slow-op log fired on (met or exceeded its threshold).",
+		func() float64 { return float64(session.Slow.Fired()) })
 	rep.Bind(eng, func(table string) {
 		if _, err := session.Cat.Analyze(table); err != nil {
 			log.Printf("replica: analyzing %s: %v", table, err)
@@ -418,14 +474,17 @@ func runReplica(listen, statsAddr string, opts replicaOptions) {
 	log.Printf("replica bootstrapped: visible LSN %d, %d records tailed, %d tables attached",
 		st.VisibleLSN, st.RecordsTailed, st.TablesAttached)
 	stats := jsonHandler(func() any {
-		return replicaStats{Replica: rep.Stats(), BufferPool: eng.Pool().ShardStatsSnapshot()}
+		return replicaStats{Replica: rep.Stats(), BufferPool: eng.Pool().ShardStatsSnapshot(),
+			SlowOpsFired: session.Slow.Fired()}
 	})
-	mux := newStatsMux(stats, reg)
+	mux := newStatsMux(stats, reg, tracer.Spans, tracer.RecentTraces, events)
 	mux.HandleFunc("/query", queryHandler(func(q string) (*taurus.Result, error) {
 		return session.Exec(q)
+	}, func(q string) (*taurus.Result, uint64, error) {
+		return session.ExecTraced(q, true)
 	}))
 	if statsAddr != "" && statsAddr != listen {
-		serveStats(statsAddr, newStatsMux(stats, reg))
+		serveStats(statsAddr, newStatsMux(stats, reg, tracer.Spans, tracer.RecentTraces, events))
 	}
 	log.Printf("replica listening on %s (POST /query read-only, GET /stats, GET /metrics)", listen)
 	if err := http.ListenAndServe(listen, mux); err != nil {

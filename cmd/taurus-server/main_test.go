@@ -143,7 +143,7 @@ func TestStatsEndpointBackwardCompatible(t *testing.T) {
 // TestStatsMuxServesPprof checks the profile endpoints ride along on the
 // stats listener of every role.
 func TestStatsMuxServesPprof(t *testing.T) {
-	mux := newStatsMux(nil, obs.NewRegistry())
+	mux := newStatsMux(nil, obs.NewRegistry(), nil, nil, nil)
 	rec := get(t, mux, "/debug/pprof/")
 	if rec.Code != http.StatusOK {
 		t.Fatalf("GET /debug/pprof/: %d", rec.Code)

@@ -2,26 +2,37 @@
 // deployment. Statements end with ';'. Meta commands:
 //
 //	\ndp on|off    toggle near-data processing
+//	\trace on|off  toggle per-statement distributed traces
 //	\stats         print network / engine / Page Store counters
 //	\cold          clear the buffer pool
 //	\quit          exit
+//
+// With -trace (or after \trace on), every statement runs under a forced
+// distributed trace and the assembled cross-node breakdown — frontend
+// statement root, SAL window/apply spans, Log Store append spans, Page
+// Store apply spans — prints inline after the result.
 package main
 
 import (
 	"bufio"
+	"flag"
 	"fmt"
 	"log"
 	"os"
 	"strings"
 
 	"taurus"
+	"taurus/internal/obs"
 )
 
 func main() {
+	trace := flag.Bool("trace", false, "run every statement under a forced distributed trace and print the assembled span tree")
+	flag.Parse()
 	db, err := taurus.Open(taurus.Config{})
 	if err != nil {
 		log.Fatal(err)
 	}
+	tracing := *trace
 	db.SetNDPPageThreshold(1)
 	fmt.Println("taurus-sql — embedded Taurus with NDP (end statements with ';')")
 	sc := bufio.NewScanner(os.Stdin)
@@ -33,7 +44,7 @@ func main() {
 		line := sc.Text()
 		trimmed := strings.TrimSpace(line)
 		if strings.HasPrefix(trimmed, `\`) {
-			runMeta(db, trimmed)
+			runMeta(db, trimmed, &tracing)
 			prompt()
 			continue
 		}
@@ -49,7 +60,13 @@ func main() {
 			prompt()
 			continue
 		}
-		res, err := db.Exec(stmt)
+		var res *taurus.Result
+		var traceID uint64
+		if tracing {
+			res, traceID, err = db.ExecTraced(stmt)
+		} else {
+			res, err = db.Exec(stmt)
+		}
 		switch {
 		case err != nil:
 			fmt.Println("error:", err)
@@ -68,11 +85,17 @@ func main() {
 			}
 			fmt.Printf("(%d rows)\n", len(res.Rows))
 		}
+		if traceID != 0 {
+			// Spans from the async apply fan-out may still be in flight;
+			// everything covering the acknowledged statement is here.
+			fmt.Printf("trace %x:\n%s", traceID,
+				obs.FormatTrace(obs.AssembleTrace(db.TraceSpans(traceID))))
+		}
 		prompt()
 	}
 }
 
-func runMeta(db *taurus.DB, cmd string) {
+func runMeta(db *taurus.DB, cmd string, tracing *bool) {
 	switch {
 	case cmd == `\quit` || cmd == `\q`:
 		os.Exit(0)
@@ -82,6 +105,12 @@ func runMeta(db *taurus.DB, cmd string) {
 	case cmd == `\ndp off`:
 		db.SetNDP(false)
 		fmt.Println("NDP disabled")
+	case cmd == `\trace on`:
+		*tracing = true
+		fmt.Println("tracing enabled (forced sample per statement)")
+	case cmd == `\trace off`:
+		*tracing = false
+		fmt.Println("tracing disabled")
 	case cmd == `\cold`:
 		db.ClearBufferPool()
 		fmt.Println("buffer pool cleared")
@@ -97,6 +126,6 @@ func runMeta(db *taurus.DB, cmd string) {
 				i+1, s.LogRecordsApplied, s.NDPPagesProcessed, s.NDPPagesSkipped)
 		}
 	default:
-		fmt.Println(`meta commands: \ndp on|off  \stats  \cold  \quit`)
+		fmt.Println(`meta commands: \ndp on|off  \trace on|off  \stats  \cold  \quit`)
 	}
 }

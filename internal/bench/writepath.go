@@ -34,7 +34,12 @@ type WritePathCluster struct {
 // pages 1..pages (one per worker) on the chosen write path, so slice
 // placement and page formatting stay outside the measurement.
 func NewWritePathCluster(dir string, pages int, serial bool) (*WritePathCluster, error) {
+	return newWritePathCluster(dir, pages, serial, nil)
+}
+
+func newWritePathCluster(dir string, pages int, serial bool, tracer *obs.Tracer) (*WritePathCluster, error) {
 	tr := cluster.NewInProc()
+	tr.Tracer = tracer
 	c := &WritePathCluster{}
 	logNames := []string{"log1", "log2", "log3"}
 	for _, n := range logNames {
@@ -64,7 +69,7 @@ func NewWritePathCluster(dir string, pages int, serial bool) (*WritePathCluster,
 	s, err := sal.New(sal.Config{
 		Tenant: 1, Transport: tr, LogStores: logNames, PageStores: psNames,
 		ReplicationFactor: 3, PagesPerSlice: 16, Plugin: pagestore.PluginInnoDB,
-		FlushThreshold: 64, Metrics: obs.NewRegistry(),
+		FlushThreshold: 64, Metrics: obs.NewRegistry(), Tracer: tracer,
 	})
 	if err != nil {
 		c.Close()
@@ -286,6 +291,115 @@ func WritePath(commits int, workerCounts []int) ([]WritePathRow, error) {
 	return rows, nil
 }
 
+// TraceOverheadResult records the pipelined write path's throughput
+// with distributed tracing wired in at two sampling rates. Sample 0 is
+// the production default (the tracer is present but every rate check
+// says no); sample 1.0 traces every commit end to end, including the
+// per-record span bookkeeping in the SAL pipeline.
+type TraceOverheadResult struct {
+	Workers          int     `json:"workers"`
+	Commits          int     `json:"commits"`
+	Sample0OpsPerSec float64 `json:"sample0_ops_per_sec"`
+	Sample1OpsPerSec float64 `json:"sample1_ops_per_sec"`
+	// OverheadPct is the throughput lost going from sampling 0 to 1.0,
+	// as a percentage of the sampling-0 rate.
+	OverheadPct float64 `json:"overhead_pct"`
+}
+
+// TraceOverhead measures the tracing tax on the pipelined write path:
+// runs with the tracer at sampling rate 0 versus 1.0, identical
+// otherwise. Both runs execute the same per-commit code (MaybeTrace,
+// TrxID registration when sampled, traced durable wait) so the delta
+// isolates the cost of actually recording spans. The two rates are
+// interleaved over three repetitions and the best of each is kept —
+// on small shared boxes a single run is dominated by scheduling noise,
+// not by the few hundred nanoseconds a span record costs.
+func TraceOverhead(commits, workers int) (TraceOverheadResult, error) {
+	if commits <= 0 {
+		commits = 1500
+	}
+	if workers <= 0 {
+		workers = 8
+	}
+	res := TraceOverheadResult{Workers: workers, Commits: (commits / workers) * workers}
+	for rep := 0; rep < 3; rep++ {
+		s0, err := traceOverheadRun(commits, workers, 0)
+		if err != nil {
+			return res, err
+		}
+		s1, err := traceOverheadRun(commits, workers, 1)
+		if err != nil {
+			return res, err
+		}
+		if s0 > res.Sample0OpsPerSec {
+			res.Sample0OpsPerSec = s0
+		}
+		if s1 > res.Sample1OpsPerSec {
+			res.Sample1OpsPerSec = s1
+		}
+	}
+	if res.Sample0OpsPerSec > 0 {
+		res.OverheadPct = (1 - res.Sample1OpsPerSec/res.Sample0OpsPerSec) * 100
+	}
+	return res, nil
+}
+
+func traceOverheadRun(commits, workers int, rate float64) (float64, error) {
+	dir, err := os.MkdirTemp("", "taurus-traceovh-*")
+	if err != nil {
+		return 0, err
+	}
+	defer os.RemoveAll(dir)
+	tracer := obs.NewTracer("bench-frontend", rate, 0)
+	c, err := newWritePathCluster(dir, workers, false, tracer)
+	if err != nil {
+		return 0, err
+	}
+	per := commits / workers
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				rec := CommitRecord(uint64(w+1), int64(i)+1)
+				// Unique TrxID per commit so the SAL's trace registry
+				// attributes apply spans to the right trace.
+				trxID := uint64(w+1)<<32 | uint64(i+1)
+				rec.TrxID = trxID
+				root := tracer.MaybeTrace("bench.commit")
+				tc := root.Context()
+				if tc.Valid() {
+					c.SAL.SetTxnTrace(trxID, tc)
+				}
+				lsn, err := c.SAL.Write(rec)
+				if err == nil {
+					err = c.SAL.WaitDurableTraced(lsn, tc)
+				}
+				if tc.Valid() {
+					c.SAL.ClearTxnTrace(trxID)
+				}
+				root.End()
+				if err != nil {
+					errs[w] = err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	c.Close()
+	for _, err := range errs {
+		if err != nil {
+			return 0, err
+		}
+	}
+	return float64(workers*per) / elapsed.Seconds(), nil
+}
+
 // delayTransport injects latency into one node's log-apply path,
 // emulating a slow Page Store replica.
 type delayTransport struct {
@@ -495,6 +609,10 @@ type WritePathReport struct {
 	SkewedRows               []WritePathRow `json:"skewed_rows,omitempty"`
 	SkewedHotP99ImprovementX float64        `json:"skewed_hot_p99_improvement_x,omitempty"`
 	SkewedPromotions         uint64         `json:"skewed_promotions,omitempty"`
+	// TraceOverhead is the pipelined path re-run with the distributed
+	// tracer wired in at sampling 0 and 1.0; the sampling-0 number is
+	// what the ≤5% regression gate compares against the untraced rows.
+	TraceOverhead *TraceOverheadResult `json:"trace_overhead,omitempty"`
 }
 
 // BuildWritePathReport derives the headline speedup from the rows.
@@ -557,6 +675,15 @@ func PrintWritePath(w io.Writer, rows []WritePathRow) {
 	if rep.Speedup8Writers > 0 {
 		fmt.Fprintf(w, "  8-writer speedup: %.1fx (pipelined over serial)\n", rep.Speedup8Writers)
 	}
+}
+
+// PrintTraceOverhead renders the tracing-tax comparison.
+func PrintTraceOverhead(w io.Writer, res TraceOverheadResult) {
+	fmt.Fprintln(w, "Tracing overhead on the pipelined write path (tracer wired in, sampling 0 vs 1.0):")
+	fmt.Fprintf(w, "  %-14s %8s %9s %12s\n", "sampling", "workers", "commits", "commits/s")
+	fmt.Fprintf(w, "  %-14s %8d %9d %12.0f\n", "0", res.Workers, res.Commits, res.Sample0OpsPerSec)
+	fmt.Fprintf(w, "  %-14s %8d %9d %12.0f\n", "1.0", res.Workers, res.Commits, res.Sample1OpsPerSec)
+	fmt.Fprintf(w, "  every-commit tracing costs %.1f%% throughput\n", res.OverheadPct)
 }
 
 // PrintSkewedWritePath renders the skewed-slice table.

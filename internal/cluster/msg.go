@@ -13,6 +13,8 @@ package cluster
 import (
 	"encoding/binary"
 	"fmt"
+
+	"taurus/internal/obs"
 )
 
 // MsgType tags frames on the wire.
@@ -51,6 +53,54 @@ const (
 	// frontier of a tenant — the input to a read replica's visible LSN.
 	MsgSliceLSN
 )
+
+// Optional trace header. A request frame whose type byte has traceFlag
+// set carries a fixed trace header before the body:
+//
+//	[type|0x80][8-byte LE TraceID][8-byte LE SpanID][1-byte flags][body]
+//
+// flags bit 0 = sampled. Untraced frames are byte-identical to the
+// pre-trace wire format, and receivers ignore the flag bit for types
+// they don't know — so old senders interoperate with new receivers and
+// vice versa (mixed-version safe). Responses never carry the header:
+// server-side spans stay in the server's own collector and are joined
+// by trace ID at assembly time. MsgType values stay below 0x80.
+const (
+	traceFlag      MsgType = 0x80
+	traceHeaderLen         = 17
+)
+
+// wrapTrace prefixes body with a trace header when tc is sampled;
+// otherwise the frame is returned untouched.
+func wrapTrace(t MsgType, body []byte, tc obs.TraceContext) (MsgType, []byte) {
+	if !tc.Valid() {
+		return t, body
+	}
+	out := make([]byte, traceHeaderLen+len(body))
+	binary.LittleEndian.PutUint64(out[0:8], tc.TraceID)
+	binary.LittleEndian.PutUint64(out[8:16], tc.SpanID)
+	out[16] = 1 // sampled
+	copy(out[traceHeaderLen:], body)
+	return t | traceFlag, out
+}
+
+// unwrapTrace strips the trace header if the flag bit is set. Frames
+// without the flag (every pre-trace sender) pass through unchanged
+// with a zero context.
+func unwrapTrace(t MsgType, body []byte) (MsgType, []byte, obs.TraceContext, error) {
+	if t&traceFlag == 0 {
+		return t, body, obs.TraceContext{}, nil
+	}
+	if len(body) < traceHeaderLen {
+		return 0, nil, obs.TraceContext{}, fmt.Errorf("cluster: traced frame body %d bytes, shorter than %d-byte trace header", len(body), traceHeaderLen)
+	}
+	tc := obs.TraceContext{
+		TraceID: binary.LittleEndian.Uint64(body[0:8]),
+		SpanID:  binary.LittleEndian.Uint64(body[8:16]),
+		Sampled: body[16]&1 != 0,
+	}
+	return t &^ traceFlag, body[traceHeaderLen:], tc, nil
+}
 
 // WriteLogsReq applies redo records to one slice replica.
 type WriteLogsReq struct {

@@ -8,6 +8,8 @@ import (
 	"net"
 	"sync"
 	"time"
+
+	"taurus/internal/obs"
 )
 
 // TCP transport: length-prefixed frames over net.Conn. Frame layout:
@@ -77,7 +79,11 @@ func serveConn(conn net.Conn, h Handler, m *RPCMetrics) {
 		if err != nil {
 			return // connection closed or broken
 		}
-		req, err := DecodeRequest(t, body)
+		t, body, tc, err := unwrapTrace(t, body)
+		var req any
+		if err == nil {
+			req, err = DecodeRequest(t, body)
+		}
 		var resp any
 		var handlerErr error
 		var t0 time.Time
@@ -87,7 +93,7 @@ func serveConn(conn net.Conn, h Handler, m *RPCMetrics) {
 		if err != nil {
 			handlerErr = err
 		} else {
-			resp, handlerErr = h.Handle(req)
+			resp, handlerErr = dispatch(h, tc, req)
 		}
 		respType, respBody, err := EncodeResponse(resp, handlerErr)
 		if err != nil {
@@ -116,6 +122,9 @@ type TCPClient struct {
 	// Metrics, when non-nil, attributes every call per MsgType. Set
 	// before first use; nil is free.
 	Metrics *RPCMetrics
+	// Tracer, when non-nil, records a client-side rpc:<MsgType> span for
+	// every sampled call. Set before first use; nil is free.
+	Tracer *obs.Tracer
 }
 
 type tcpConn struct {
@@ -161,10 +170,22 @@ func (c *TCPClient) get(addr string) (*tcpConn, error) {
 
 // Call implements Transport over TCP.
 func (c *TCPClient) Call(addr string, req any) (any, error) {
+	return c.CallTraced(obs.TraceContext{}, addr, req)
+}
+
+// CallTraced implements TracedTransport: a sampled context rides the
+// request frame as the optional trace header.
+func (c *TCPClient) CallTraced(trace obs.TraceContext, addr string, req any) (any, error) {
 	msgType, body, err := EncodeRequest(req)
 	if err != nil {
 		return nil, err
 	}
+	var sp *obs.SpanHandle
+	if trace.Valid() {
+		sp = c.Tracer.StartSpan(trace, "rpc:"+msgType.String())
+		defer sp.End()
+	}
+	wireType, wireBody := wrapTrace(msgType, body, spanContext(sp, trace))
 	tc, err := c.get(addr)
 	if err != nil {
 		return nil, err
@@ -175,7 +196,7 @@ func (c *TCPClient) Call(addr string, req any) (any, error) {
 	if c.Metrics != nil {
 		t0 = time.Now()
 	}
-	if err := writeFrame(tc.bw, msgType, body); err != nil {
+	if err := writeFrame(tc.bw, wireType, wireBody); err != nil {
 		c.drop(addr)
 		return nil, err
 	}
@@ -188,8 +209,8 @@ func (c *TCPClient) Call(addr string, req any) (any, error) {
 		c.drop(addr)
 		return nil, err
 	}
-	c.Stats.account(msgType, len(body), len(respBody))
-	c.Metrics.observe(msgType, len(body), len(respBody), time.Since(t0), respType == MsgErr)
+	c.Stats.account(msgType, len(wireBody), len(respBody))
+	c.Metrics.observe(msgType, len(wireBody), len(respBody), time.Since(t0), respType == MsgErr)
 	return DecodeResponse(respType, respBody)
 }
 

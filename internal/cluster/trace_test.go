@@ -1,0 +1,150 @@
+package cluster
+
+import (
+	"net"
+	"testing"
+
+	"taurus/internal/obs"
+)
+
+// tracedEcho is an echoHandler that also records a server-side child
+// span for propagated trace contexts, as the storage handlers do.
+type tracedEcho struct {
+	echoHandler
+	tracer *obs.Tracer
+}
+
+func (h tracedEcho) HandleTraced(tc obs.TraceContext, req any) (any, error) {
+	sp := h.tracer.StartSpan(tc, "server.handle")
+	defer sp.End()
+	return h.Handle(req)
+}
+
+// verifyPropagation drives one traced call and asserts the span tree:
+// a client rpc span child of the caller's root, and a server span child
+// of the rpc span, collected on the server's own tracer.
+func verifyPropagation(t *testing.T, client *obs.Tracer, server *obs.Tracer, call func(tc obs.TraceContext) error) {
+	t.Helper()
+	root := client.StartTrace("test.root")
+	if err := call(root.Context()); err != nil {
+		t.Fatal(err)
+	}
+	root.End()
+	spans := append(client.Spans(root.Context().TraceID), server.Spans(root.Context().TraceID)...)
+	var rpc, srv *obs.Span
+	for i := range spans {
+		switch spans[i].Name {
+		case "rpc:MsgLogAppend":
+			rpc = &spans[i]
+		case "server.handle":
+			srv = &spans[i]
+		}
+	}
+	if rpc == nil || srv == nil {
+		t.Fatalf("missing spans: rpc=%v srv=%v (got %d spans)", rpc, srv, len(spans))
+	}
+	if rpc.Parent != root.Context().SpanID {
+		t.Errorf("rpc span parent = %x, want root %x", rpc.Parent, root.Context().SpanID)
+	}
+	if srv.Parent != rpc.SpanID {
+		t.Errorf("server span parent = %x, want rpc %x", srv.Parent, rpc.SpanID)
+	}
+	if srv.Node != server.Node() {
+		t.Errorf("server span node = %q, want %q", srv.Node, server.Node())
+	}
+}
+
+func TestTracePropagationInProc(t *testing.T) {
+	clientT := obs.NewTracer("frontend", 0, 0)
+	serverT := obs.NewTracer("ps1", 0, 0)
+	tr := NewInProc()
+	tr.Tracer = clientT
+	tr.Register("ps1", tracedEcho{tracer: serverT})
+	verifyPropagation(t, clientT, serverT, func(tc obs.TraceContext) error {
+		_, err := CallTraced(tr, tc, "ps1", &LogAppendReq{Recs: []byte("x")})
+		return err
+	})
+}
+
+func TestTracePropagationTCP(t *testing.T) {
+	clientT := obs.NewTracer("frontend", 0, 0)
+	serverT := obs.NewTracer("store1", 0, 0)
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	go Serve(l, tracedEcho{tracer: serverT})
+	client := NewTCPClient()
+	client.Tracer = clientT
+	defer client.Close()
+	verifyPropagation(t, clientT, serverT, func(tc obs.TraceContext) error {
+		_, err := CallTraced(client, tc, l.Addr().String(), &LogAppendReq{Recs: []byte("x")})
+		return err
+	})
+}
+
+// TestUntracedCallSkipsServerSpans checks that plain Call produces no
+// spans anywhere even when tracers and traced handlers are wired: the
+// sampled flag is decided at the root, not by the plumbing.
+func TestUntracedCallSkipsServerSpans(t *testing.T) {
+	clientT := obs.NewTracer("frontend", 0, 0)
+	serverT := obs.NewTracer("ps1", 0, 0)
+	tr := NewInProc()
+	tr.Tracer = clientT
+	tr.Register("ps1", tracedEcho{tracer: serverT})
+	if _, err := tr.Call("ps1", &LogAppendReq{Recs: []byte("x")}); err != nil {
+		t.Fatal(err)
+	}
+	if ids := clientT.RecentTraces(10); len(ids) != 0 {
+		t.Errorf("client recorded traces for an untraced call: %v", ids)
+	}
+	if ids := serverT.RecentTraces(10); len(ids) != 0 {
+		t.Errorf("server recorded traces for an untraced call: %v", ids)
+	}
+}
+
+// TestTraceHeaderCodec exercises the frame-level trace header: untraced
+// frames are byte-identical to pre-tracing frames (mixed-version safe),
+// traced frames round-trip the context, and short traced frames error.
+func TestTraceHeaderCodec(t *testing.T) {
+	typ, body, err := EncodeRequest(&LogAppendReq{Recs: []byte("payload")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Unsampled context: the frame must pass through untouched — the
+	// same bytes an old binary would emit.
+	wt, wb := wrapTrace(typ, body, obs.TraceContext{})
+	if wt != typ || &wb[0] != &body[0] {
+		t.Error("unsampled wrapTrace must return the frame unchanged")
+	}
+	// A pre-tracing frame (no flag bit) decodes with a zero context.
+	ut, ub, tc, err := unwrapTrace(typ, body)
+	if err != nil || ut != typ || tc.Valid() {
+		t.Errorf("old frame decode: type=%v tc=%+v err=%v", ut, tc, err)
+	}
+	if req, err := DecodeRequest(ut, ub); err != nil {
+		t.Fatal(err)
+	} else if string(req.(*LogAppendReq).Recs) != "payload" {
+		t.Error("old frame body corrupted")
+	}
+	// Sampled context round-trips and the stripped body decodes.
+	want := obs.TraceContext{TraceID: 0xdeadbeef, SpanID: 0x1234, Sampled: true}
+	wt, wb = wrapTrace(typ, body, want)
+	if wt&traceFlag == 0 {
+		t.Error("sampled frame missing trace flag")
+	}
+	ut, ub, tc, err = unwrapTrace(wt, wb)
+	if err != nil || ut != typ || tc != want {
+		t.Errorf("traced decode: type=%v tc=%+v err=%v", ut, tc, err)
+	}
+	if req, err := DecodeRequest(ut, ub); err != nil {
+		t.Fatal(err)
+	} else if string(req.(*LogAppendReq).Recs) != "payload" {
+		t.Error("traced frame body corrupted")
+	}
+	// A flagged frame too short for the header must error, not panic.
+	if _, _, _, err := unwrapTrace(typ|traceFlag, []byte{1, 2, 3}); err == nil {
+		t.Error("short traced frame must error")
+	}
+}

@@ -5,6 +5,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"taurus/internal/obs"
 )
 
 // Handler is the server side of a storage service: it receives a decoded
@@ -20,10 +22,59 @@ type HandlerFunc func(req any) (any, error)
 // Handle calls f(req).
 func (f HandlerFunc) Handle(req any) (any, error) { return f(req) }
 
+// TracedHandler is optionally implemented by services that open
+// server-side child spans. When a sampled frame arrives, transports
+// prefer HandleTraced; plain Handle remains the untraced fast path.
+type TracedHandler interface {
+	Handler
+	HandleTraced(tc obs.TraceContext, req any) (any, error)
+}
+
 // Transport routes requests to named nodes.
 type Transport interface {
 	// Call sends req to the node and returns its decoded response.
 	Call(node string, req any) (any, error)
+}
+
+// TracedTransport is a Transport that can stamp a trace context onto
+// the wire. InProc and TCPClient implement it.
+type TracedTransport interface {
+	Transport
+	// CallTraced is Call with a propagated trace context attached to
+	// the request frame.
+	CallTraced(tc obs.TraceContext, node string, req any) (any, error)
+}
+
+// CallTraced sends req through t, attaching tc when the transport
+// supports tracing and tc is sampled. Wrapper transports that only
+// implement Call degrade to an untraced send.
+func CallTraced(t Transport, tc obs.TraceContext, node string, req any) (any, error) {
+	if tc.Valid() {
+		if tt, ok := t.(TracedTransport); ok {
+			return tt.CallTraced(tc, node, req)
+		}
+	}
+	return t.Call(node, req)
+}
+
+// dispatch routes a decoded request to the handler, preferring the
+// traced entry point when the frame carried a sampled context.
+func dispatch(h Handler, tc obs.TraceContext, req any) (any, error) {
+	if tc.Valid() {
+		if th, ok := h.(TracedHandler); ok {
+			return th.HandleTraced(tc, req)
+		}
+	}
+	return h.Handle(req)
+}
+
+// spanContext returns the context children should inherit: the
+// client-side rpc span when one was opened, else the caller's own.
+func spanContext(sp *obs.SpanHandle, fallback obs.TraceContext) obs.TraceContext {
+	if sp != nil {
+		return sp.Context()
+	}
+	return fallback
 }
 
 // Counters accumulates traffic statistics. All fields are atomic; read
@@ -102,6 +153,9 @@ type InProc struct {
 	// Metrics, when non-nil, attributes every call per MsgType (count,
 	// bytes, latency). Set before first use; nil is free.
 	Metrics *RPCMetrics
+	// Tracer, when non-nil, records a client-side rpc:<MsgType> span for
+	// every sampled call. Set before first use; nil is free.
+	Tracer *obs.Tracer
 }
 
 // NewInProc returns an empty in-process fabric.
@@ -126,6 +180,13 @@ func (t *InProc) Unregister(node string) {
 
 // Call implements Transport.
 func (t *InProc) Call(node string, req any) (any, error) {
+	return t.CallTraced(obs.TraceContext{}, node, req)
+}
+
+// CallTraced implements TracedTransport. The trace header is wrapped
+// and unwrapped through the same wire form TCP carries, so the
+// in-process fabric exercises identical bytes.
+func (t *InProc) CallTraced(tc obs.TraceContext, node string, req any) (any, error) {
 	t.mu.RLock()
 	h, ok := t.nodes[node]
 	t.mu.RUnlock()
@@ -136,7 +197,17 @@ func (t *InProc) Call(node string, req any) (any, error) {
 	if err != nil {
 		return nil, err
 	}
-	decoded, err := DecodeRequest(msgType, body)
+	var sp *obs.SpanHandle
+	if tc.Valid() {
+		sp = t.Tracer.StartSpan(tc, "rpc:"+msgType.String())
+		defer sp.End()
+	}
+	wireType, wireBody := wrapTrace(msgType, body, spanContext(sp, tc))
+	rawType, rawBody, wireTC, err := unwrapTrace(wireType, wireBody)
+	if err != nil {
+		return nil, err
+	}
+	decoded, err := DecodeRequest(rawType, rawBody)
 	if err != nil {
 		return nil, err
 	}
@@ -144,14 +215,14 @@ func (t *InProc) Call(node string, req any) (any, error) {
 	if t.Metrics != nil {
 		t0 = time.Now()
 	}
-	resp, handlerErr := h.Handle(decoded)
+	resp, handlerErr := dispatch(h, wireTC, decoded)
 	respType, respBody, err := EncodeResponse(resp, handlerErr)
 	if err != nil {
 		return nil, err
 	}
-	t.Stats.account(msgType, len(body), len(respBody))
+	t.Stats.account(msgType, len(wireBody), len(respBody))
 	if t.Metrics != nil {
-		t.Metrics.observe(msgType, len(body), len(respBody), time.Since(t0), handlerErr != nil)
+		t.Metrics.observe(msgType, len(wireBody), len(respBody), time.Since(t0), handlerErr != nil)
 	}
 	return DecodeResponse(respType, respBody)
 }

@@ -209,7 +209,7 @@ func (e *Engine) Commit(tx *txn.Txn) error {
 	if e.salc == nil {
 		return ErrReadOnly
 	}
-	return e.salc.WaitDurable(tx.MaxLSN())
+	return e.salc.WaitDurableTraced(tx.MaxLSN(), tx.Trace())
 }
 
 // ReadOnly reports whether the engine serves a read replica.

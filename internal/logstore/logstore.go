@@ -68,6 +68,12 @@ type Store struct {
 	// Optional instruments, armed by RegisterMetrics; nil is inert.
 	appendHist *obs.Histogram
 	appendRecs *obs.Counter
+
+	// tracer records server-side spans for sampled requests; events is
+	// the flight recorder for structural transitions (GC truncations).
+	// Both nil by default (inert); armed by SetTracer/SetEvents.
+	tracer *obs.Tracer
+	events *obs.EventRing
 }
 
 // gcMarkFile persists the truncation watermark: plog GC deletes only
@@ -189,6 +195,40 @@ func (s *Store) LogStats() plog.Stats {
 		return plog.Stats{}
 	}
 	return s.disk.Snapshot()
+}
+
+// SetTracer arms server-side span recording for sampled requests.
+func (s *Store) SetTracer(t *obs.Tracer) { s.tracer = t }
+
+// SetEvents arms flight-recorder event recording.
+func (s *Store) SetEvents(r *obs.EventRing) { s.events = r }
+
+// HandleTraced implements cluster.TracedHandler: the same dispatch as
+// Handle, wrapped in a server-side child span so an assembled trace
+// shows where inside the Log Store a request's time went (the append
+// span covers the fsync wait).
+func (s *Store) HandleTraced(tc obs.TraceContext, req any) (any, error) {
+	name := "logstore.handle"
+	switch req.(type) {
+	case *cluster.LogAppendReq:
+		name = "logstore.append"
+	case *cluster.LogReadReq:
+		name = "logstore.read"
+	case *cluster.LogTruncateReq:
+		name = "logstore.truncate"
+	}
+	sp := s.tracer.StartSpan(tc, name)
+	resp, err := s.Handle(req)
+	if sp != nil {
+		if ack, ok := resp.(*cluster.Ack); ok && err == nil {
+			sp.Annotate("lsn=%d", ack.LSN)
+		}
+		if err != nil {
+			sp.Annotate("err=%v", err)
+		}
+		sp.End()
+	}
+	return resp, err
 }
 
 // Handle implements cluster.Handler for MsgLogAppend and MsgLogTruncate.
@@ -421,6 +461,7 @@ func (s *Store) TruncateBelow(watermark uint64) (int, uint64, error) {
 			kept = append(kept, r)
 		}
 	}
+	dropped := len(s.log) - len(kept)
 	s.log = append([]wal.Record(nil), kept...)
 	for lsn := range s.holes {
 		if lsn < watermark {
@@ -434,6 +475,10 @@ func (s *Store) TruncateBelow(watermark uint64) (int, uint64, error) {
 	dir := s.dir
 	mark := s.truncatedLSN
 	s.mu.Unlock()
+	if dropped > 0 {
+		s.events.Record(obs.EventLogGC, "%s: truncated below %d, %d records dropped",
+			s.name, watermark, dropped)
+	}
 	if disk == nil {
 		return 0, 0, nil
 	}
@@ -453,7 +498,12 @@ func (s *Store) TruncateBelow(watermark uint64) (int, uint64, error) {
 	if err != nil {
 		return removed, 0, fmt.Errorf("logstore %s: %w", s.name, err)
 	}
-	return removed, disk.Snapshot().GCBytes - before, nil
+	bytes := disk.Snapshot().GCBytes - before
+	if removed > 0 || bytes > 0 {
+		s.events.Record(obs.EventLogGC, "%s: reclaimed %d segments, %d bytes below %d",
+			s.name, removed, bytes, watermark)
+	}
+	return removed, bytes, nil
 }
 
 // Segments returns the persistent log's on-disk segment count (0 in

@@ -1,0 +1,139 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"log"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// EventRing is a flight recorder: a fixed-size ring of structural
+// events (lane promotions, window seals, checkpoints, GC truncations,
+// replica resyncs, sticky-error poisoning, catalog barriers). It costs
+// one short critical section per event and bounded memory forever, so
+// it stays on in production; when something goes wrong the last N
+// structural transitions are retrievable from /events or dumped to the
+// log. All methods are safe for concurrent use and on a nil receiver.
+
+// Event kinds recorded by the stack. Free-form kinds are allowed; these
+// constants keep producers and dashboards in agreement.
+const (
+	EventLanePromote    = "lane.promote"
+	EventLaneDemote     = "lane.demote"
+	EventWindowSeal     = "window.seal"
+	EventCheckpoint     = "checkpoint"
+	EventLogGC          = "log.gc"
+	EventReplicaResync  = "replica.resync"
+	EventPoison         = "sal.poison"
+	EventCatalogBarrier = "catalog.barrier"
+)
+
+// Event is one recorded structural transition.
+type Event struct {
+	Seq    uint64    `json:"seq"`
+	Time   time.Time `json:"time"`
+	Kind   string    `json:"kind"`
+	Detail string    `json:"detail"`
+}
+
+// EventRing holds the most recent events in insertion order.
+type EventRing struct {
+	mu   sync.Mutex
+	ring []Event
+	next int
+	full bool
+	seq  uint64
+}
+
+// DefaultEventRingSize bounds per-node flight-recorder memory.
+const DefaultEventRingSize = 1024
+
+// NewEventRing builds a recorder. capacity <= 0 selects
+// DefaultEventRingSize.
+func NewEventRing(capacity int) *EventRing {
+	if capacity <= 0 {
+		capacity = DefaultEventRingSize
+	}
+	return &EventRing{ring: make([]Event, 0, capacity)}
+}
+
+// Record appends one event. The sequence number is assigned under the
+// ring lock, so Seq order is the order events entered the ring even
+// with concurrent writers. Safe on nil.
+func (r *EventRing) Record(kind, format string, args ...any) {
+	if r == nil {
+		return
+	}
+	detail := fmt.Sprintf(format, args...)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.seq++
+	ev := Event{Seq: r.seq, Time: time.Now(), Kind: kind, Detail: detail}
+	if len(r.ring) < cap(r.ring) {
+		r.ring = append(r.ring, ev)
+		return
+	}
+	r.ring[r.next] = ev
+	r.next = (r.next + 1) % len(r.ring)
+	r.full = true
+}
+
+// Events returns retained events oldest-first. Safe on nil.
+func (r *EventRing) Events() []Event {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Event, 0, len(r.ring))
+	if r.full {
+		out = append(out, r.ring[r.next:]...)
+		out = append(out, r.ring[:r.next]...)
+	} else {
+		out = append(out, r.ring...)
+	}
+	return out
+}
+
+// Len returns how many events are retained. Safe on nil.
+func (r *EventRing) Len() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.ring)
+}
+
+// Handler serves GET /events as a JSON event list, oldest first. Safe
+// on nil (serves an empty list).
+func (r *EventRing) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		events := r.Events()
+		if events == nil {
+			events = []Event{}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(events)
+	})
+}
+
+// Dump writes every retained event to the logger, oldest first — the
+// black-box readout after a failure. logger defaults to log.Default().
+// Safe on nil.
+func (r *EventRing) Dump(logger *log.Logger) {
+	if r == nil {
+		return
+	}
+	if logger == nil {
+		logger = log.Default()
+	}
+	events := r.Events()
+	logger.Printf("FLIGHT-RECORDER %d events", len(events))
+	for _, ev := range events {
+		logger.Printf("FLIGHT-RECORDER #%d %s %s %s",
+			ev.Seq, ev.Time.Format(time.RFC3339Nano), ev.Kind, ev.Detail)
+	}
+}

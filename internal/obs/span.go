@@ -1,0 +1,431 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// This file is the distributed-tracing half of obs: a propagated
+// TraceContext, a concurrency-safe per-node span collector (Tracer),
+// and a pure assembler that joins spans collected on different nodes
+// into one tree. Unlike Trace (single-goroutine stage timer), spans
+// here may start and end on different goroutines and different
+// processes — the SAL pipeline hands a window's context from the
+// staging writer to the flusher to per-Log-Store workers, and the
+// cluster transport carries it across the wire.
+
+// TraceContext is the propagated identity of one trace position: which
+// trace, which span is the current parent, and whether the trace is
+// sampled. The zero value means "not traced" and makes every
+// downstream operation a no-op.
+type TraceContext struct {
+	TraceID uint64
+	SpanID  uint64
+	Sampled bool
+}
+
+// Valid reports whether the context belongs to a sampled trace.
+func (tc TraceContext) Valid() bool { return tc.Sampled && tc.TraceID != 0 }
+
+// Span is one completed timed operation inside a trace, tagged with
+// the node that recorded it.
+type Span struct {
+	TraceID uint64
+	SpanID  uint64
+	Parent  uint64 // 0 for a root span
+	Node    string
+	Name    string
+	Start   time.Time
+	Dur     time.Duration
+	Notes   []string
+}
+
+// idState is a process-wide splitmix64 stream for trace/span IDs:
+// one atomic add plus a few multiplies per ID, no locks, seeded from
+// the clock once so restarts don't collide.
+var idState atomic.Uint64
+
+func init() { idState.Store(uint64(time.Now().UnixNano()) | 1) }
+
+func nextID() uint64 {
+	z := idState.Add(0x9e3779b97f4a7c15)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	if z == 0 {
+		z = 1
+	}
+	return z
+}
+
+// Tracer is a per-node span collector: it decides sampling, allocates
+// IDs, and keeps completed spans in a fixed-size ring so memory is
+// bounded no matter how long the node runs. All methods are safe for
+// concurrent use and safe on a nil receiver (tracing disabled).
+type Tracer struct {
+	node string
+	rate float64 // probability a MaybeTrace call samples; clamped [0,1]
+
+	mu   sync.Mutex
+	ring []Span
+	next int
+	full bool
+}
+
+// DefaultSpanRingSize bounds per-node completed-span memory.
+const DefaultSpanRingSize = 4096
+
+// NewTracer builds a collector for the named node. sampleRate is the
+// probability that MaybeTrace starts a trace (0 disables rate-based
+// sampling; forced traces still record). capacity <= 0 selects
+// DefaultSpanRingSize.
+func NewTracer(node string, sampleRate float64, capacity int) *Tracer {
+	if capacity <= 0 {
+		capacity = DefaultSpanRingSize
+	}
+	if sampleRate < 0 {
+		sampleRate = 0
+	}
+	if sampleRate > 1 {
+		sampleRate = 1
+	}
+	return &Tracer{node: node, rate: sampleRate, ring: make([]Span, 0, capacity)}
+}
+
+// Node returns the node name spans are tagged with. Safe on nil.
+func (t *Tracer) Node() string {
+	if t == nil {
+		return ""
+	}
+	return t.node
+}
+
+// Rate returns the configured sampling rate. Safe on nil (0).
+func (t *Tracer) Rate() float64 {
+	if t == nil {
+		return 0
+	}
+	return t.rate
+}
+
+// ShouldSample rolls the sampling dice. Safe on nil (never samples).
+func (t *Tracer) ShouldSample() bool {
+	if t == nil || t.rate <= 0 {
+		return false
+	}
+	if t.rate >= 1 {
+		return true
+	}
+	// Top 53 bits of a splitmix64 draw → uniform [0,1).
+	return float64(nextID()>>11)/(1<<53) < t.rate
+}
+
+// SpanHandle is an in-flight span. A nil handle is valid and inert, so
+// call sites never branch on whether tracing is on.
+type SpanHandle struct {
+	t    *Tracer
+	span Span
+	done atomic.Bool
+}
+
+// StartTrace begins a new sampled trace rooted at this node and
+// returns its root span. Used by forced traces (taurus-sql -trace) and
+// by call sites that already rolled ShouldSample. Safe on nil.
+func (t *Tracer) StartTrace(name string) *SpanHandle {
+	if t == nil {
+		return nil
+	}
+	id := nextID()
+	return &SpanHandle{t: t, span: Span{
+		TraceID: id, SpanID: id, Node: t.node, Name: name, Start: time.Now(),
+	}}
+}
+
+// MaybeTrace starts a new root span with probability rate, returning
+// nil otherwise. Safe on nil.
+func (t *Tracer) MaybeTrace(name string) *SpanHandle {
+	if !t.ShouldSample() {
+		return nil
+	}
+	return t.StartTrace(name)
+}
+
+// StartSpan opens a child span under parent. Returns nil (inert) when
+// the parent context is unsampled, so unsampled requests cost one
+// branch. Safe on nil.
+func (t *Tracer) StartSpan(parent TraceContext, name string) *SpanHandle {
+	if t == nil || !parent.Valid() {
+		return nil
+	}
+	return &SpanHandle{t: t, span: Span{
+		TraceID: parent.TraceID, SpanID: nextID(), Parent: parent.SpanID,
+		Node: t.node, Name: name, Start: time.Now(),
+	}}
+}
+
+// Context returns the propagated context for children of this span.
+// A nil handle yields the zero (unsampled) context.
+func (h *SpanHandle) Context() TraceContext {
+	if h == nil {
+		return TraceContext{}
+	}
+	return TraceContext{TraceID: h.span.TraceID, SpanID: h.span.SpanID, Sampled: true}
+}
+
+// Annotate attaches a formatted note to the span. Safe on nil.
+func (h *SpanHandle) Annotate(format string, args ...any) {
+	if h == nil {
+		return
+	}
+	h.span.Notes = append(h.span.Notes, fmt.Sprintf(format, args...))
+}
+
+// End completes the span and records it in the tracer's ring. Ending
+// twice records once. Safe on nil.
+func (h *SpanHandle) End() {
+	if h == nil || !h.done.CompareAndSwap(false, true) {
+		return
+	}
+	h.span.Dur = time.Since(h.span.Start)
+	h.t.record(h.span)
+}
+
+func (t *Tracer) record(s Span) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(t.ring) < cap(t.ring) {
+		t.ring = append(t.ring, s)
+		return
+	}
+	t.ring[t.next] = s
+	t.next = (t.next + 1) % len(t.ring)
+	t.full = true
+}
+
+// Spans returns every retained span belonging to traceID, oldest
+// first. Safe on nil.
+func (t *Tracer) Spans(traceID uint64) []Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var out []Span
+	t.scan(func(s Span) {
+		if s.TraceID == traceID {
+			out = append(out, s)
+		}
+	})
+	return out
+}
+
+// RecentTraces returns up to n distinct trace IDs, most recently
+// completed first. Safe on nil.
+func (t *Tracer) RecentTraces(n int) []uint64 {
+	if t == nil || n <= 0 {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var chron []uint64
+	t.scan(func(s Span) { chron = append(chron, s.TraceID) })
+	seen := make(map[uint64]bool)
+	var out []uint64
+	for i := len(chron) - 1; i >= 0 && len(out) < n; i-- {
+		if !seen[chron[i]] {
+			seen[chron[i]] = true
+			out = append(out, chron[i])
+		}
+	}
+	return out
+}
+
+// scan visits retained spans oldest-first. Caller holds t.mu.
+func (t *Tracer) scan(fn func(Span)) {
+	if t.full {
+		for i := t.next; i < len(t.ring); i++ {
+			fn(t.ring[i])
+		}
+	}
+	for i := 0; i < t.next; i++ {
+		fn(t.ring[i])
+	}
+	if !t.full {
+		for _, s := range t.ring {
+			fn(s)
+		}
+	}
+}
+
+// TraceNode is one span plus its children in an assembled trace tree.
+type TraceNode struct {
+	Span     Span
+	Children []*TraceNode
+}
+
+// AssembleTrace joins spans (possibly fetched from several nodes) into
+// a forest: roots are spans whose parent is absent from the set.
+// Children are ordered by start time. Pure function, no Tracer needed.
+func AssembleTrace(spans []Span) []*TraceNode {
+	nodes := make(map[uint64]*TraceNode, len(spans))
+	for _, s := range spans {
+		nodes[s.SpanID] = &TraceNode{Span: s}
+	}
+	var roots []*TraceNode
+	for _, s := range spans {
+		n := nodes[s.SpanID]
+		if p, ok := nodes[s.Parent]; ok && s.Parent != s.SpanID {
+			p.Children = append(p.Children, n)
+		} else {
+			roots = append(roots, n)
+		}
+	}
+	var order func(ns []*TraceNode)
+	order = func(ns []*TraceNode) {
+		sort.Slice(ns, func(i, j int) bool { return ns[i].Span.Start.Before(ns[j].Span.Start) })
+		for _, n := range ns {
+			order(n.Children)
+		}
+	}
+	order(roots)
+	return roots
+}
+
+// FormatTrace renders an assembled forest as an indented breakdown:
+//
+//	sql.insert 11.2ms [frontend]
+//	  sal.window 9.8ms [frontend] recs=3
+//	    rpc:MsgLogAppend 4.1ms [frontend]
+//	      logstore.append 3.9ms [log1]
+func FormatTrace(roots []*TraceNode) string {
+	var b strings.Builder
+	var walk func(n *TraceNode, depth int)
+	walk = func(n *TraceNode, depth int) {
+		b.WriteString(strings.Repeat("  ", depth))
+		fmt.Fprintf(&b, "%s %s [%s]", n.Span.Name, n.Span.Dur.Round(time.Microsecond), n.Span.Node)
+		for _, note := range n.Span.Notes {
+			b.WriteByte(' ')
+			b.WriteString(note)
+		}
+		b.WriteByte('\n')
+		for _, c := range n.Children {
+			walk(c, depth+1)
+		}
+	}
+	for _, r := range roots {
+		walk(r, 0)
+	}
+	return b.String()
+}
+
+// spanJSON is the wire form served by the /trace endpoints. IDs are
+// hex strings so they survive JSON number precision limits.
+type spanJSON struct {
+	TraceID string   `json:"trace_id"`
+	SpanID  string   `json:"span_id"`
+	Parent  string   `json:"parent,omitempty"`
+	Node    string   `json:"node"`
+	Name    string   `json:"name"`
+	StartNS int64    `json:"start_ns"`
+	DurNS   int64    `json:"dur_ns"`
+	Notes   []string `json:"notes,omitempty"`
+}
+
+func toJSON(spans []Span) []spanJSON {
+	out := make([]spanJSON, 0, len(spans))
+	for _, s := range spans {
+		j := spanJSON{
+			TraceID: strconv.FormatUint(s.TraceID, 16),
+			SpanID:  strconv.FormatUint(s.SpanID, 16),
+			Node:    s.Node, Name: s.Name,
+			StartNS: s.Start.UnixNano(), DurNS: int64(s.Dur), Notes: s.Notes,
+		}
+		if s.Parent != 0 {
+			j.Parent = strconv.FormatUint(s.Parent, 16)
+		}
+		out = append(out, j)
+	}
+	return out
+}
+
+// SpansFromJSON decodes a /trace/<id> response body back into spans,
+// for the cross-node assembler.
+func SpansFromJSON(body []byte) ([]Span, error) {
+	var raw []spanJSON
+	if err := json.Unmarshal(body, &raw); err != nil {
+		return nil, err
+	}
+	out := make([]Span, 0, len(raw))
+	for _, j := range raw {
+		tid, err := strconv.ParseUint(j.TraceID, 16, 64)
+		if err != nil {
+			return nil, fmt.Errorf("obs: bad trace_id %q: %w", j.TraceID, err)
+		}
+		sid, err := strconv.ParseUint(j.SpanID, 16, 64)
+		if err != nil {
+			return nil, fmt.Errorf("obs: bad span_id %q: %w", j.SpanID, err)
+		}
+		var pid uint64
+		if j.Parent != "" {
+			if pid, err = strconv.ParseUint(j.Parent, 16, 64); err != nil {
+				return nil, fmt.Errorf("obs: bad parent %q: %w", j.Parent, err)
+			}
+		}
+		out = append(out, Span{
+			TraceID: tid, SpanID: sid, Parent: pid, Node: j.Node, Name: j.Name,
+			Start: time.Unix(0, j.StartNS), Dur: time.Duration(j.DurNS), Notes: j.Notes,
+		})
+	}
+	return out, nil
+}
+
+// TraceHandler serves GET /trace/<hex-id> as a JSON span list. fetch
+// is usually Tracer.Spans, or a merge over several tracers on an
+// embedded node hosting multiple roles.
+func TraceHandler(fetch func(traceID uint64) []Span) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		idStr := r.URL.Path[strings.LastIndexByte(r.URL.Path, '/')+1:]
+		id, err := strconv.ParseUint(idStr, 16, 64)
+		if err != nil || id == 0 {
+			http.Error(w, "bad trace id (want hex uint64)", http.StatusBadRequest)
+			return
+		}
+		spans := fetch(id)
+		if len(spans) == 0 {
+			http.Error(w, "trace not found", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(toJSON(spans))
+	})
+}
+
+// TracesHandler serves GET /traces?recent=N as a JSON list of hex
+// trace IDs, newest first.
+func TracesHandler(recent func(n int) []uint64) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		n := 16
+		if q := r.URL.Query().Get("recent"); q != "" {
+			v, err := strconv.Atoi(q)
+			if err != nil || v <= 0 {
+				http.Error(w, "bad recent param", http.StatusBadRequest)
+				return
+			}
+			n = v
+		}
+		ids := recent(n)
+		out := make([]string, 0, len(ids))
+		for _, id := range ids {
+			out = append(out, strconv.FormatUint(id, 16))
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(out)
+	})
+}

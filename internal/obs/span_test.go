@@ -1,0 +1,148 @@
+package obs
+
+import (
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestTracerSpanTree(t *testing.T) {
+	tr := NewTracer("nodeA", 0, 0)
+	root := tr.StartTrace("root")
+	child := tr.StartSpan(root.Context(), "child")
+	child.Annotate("k=%d", 7)
+	grand := tr.StartSpan(child.Context(), "grand")
+	grand.End()
+	child.End()
+	root.End()
+
+	id := root.Context().TraceID
+	spans := tr.Spans(id)
+	if len(spans) != 3 {
+		t.Fatalf("spans = %d, want 3", len(spans))
+	}
+	roots := AssembleTrace(spans)
+	if len(roots) != 1 || roots[0].Span.Name != "root" {
+		t.Fatalf("roots = %+v", roots)
+	}
+	if len(roots[0].Children) != 1 || roots[0].Children[0].Span.Name != "child" {
+		t.Fatalf("child missing: %+v", roots[0].Children)
+	}
+	if len(roots[0].Children[0].Children) != 1 {
+		t.Fatal("grandchild missing")
+	}
+	out := FormatTrace(roots)
+	if !strings.Contains(out, "root") || !strings.Contains(out, "  child") ||
+		!strings.Contains(out, "    grand") || !strings.Contains(out, "k=7") {
+		t.Errorf("FormatTrace:\n%s", out)
+	}
+	if ids := tr.RecentTraces(4); len(ids) != 1 || ids[0] != id {
+		t.Errorf("RecentTraces = %v, want [%x]", ids, id)
+	}
+}
+
+func TestTracerNilAndUnsampled(t *testing.T) {
+	var tr *Tracer
+	if sp := tr.StartTrace("x"); sp != nil {
+		t.Error("nil tracer StartTrace must return nil")
+	}
+	sp := tr.MaybeTrace("x")
+	sp.Annotate("a=%d", 1) // nil-safe
+	sp.End()
+	if tc := sp.Context(); tc.Valid() {
+		t.Error("nil span context must be invalid")
+	}
+	// Rate 0: MaybeTrace never samples, StartTrace still forces.
+	tr = NewTracer("n", 0, 0)
+	if sp := tr.MaybeTrace("x"); sp != nil {
+		t.Error("rate-0 MaybeTrace must not sample")
+	}
+	if sp := tr.StartTrace("x"); sp == nil {
+		t.Error("StartTrace must force a trace at rate 0")
+	}
+	// StartSpan without a valid parent records nothing.
+	if sp := tr.StartSpan(TraceContext{}, "orphan"); sp != nil {
+		t.Error("StartSpan with invalid parent must return nil")
+	}
+	// Rate 1: MaybeTrace always samples.
+	tr = NewTracer("n", 1, 0)
+	if sp := tr.MaybeTrace("x"); sp == nil {
+		t.Error("rate-1 MaybeTrace must sample")
+	}
+}
+
+// TestTracerConcurrent exercises the span ring from many goroutines
+// (run with -race); the ring must stay bounded.
+func TestTracerConcurrent(t *testing.T) {
+	tr := NewTracer("n", 0, 32)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				root := tr.StartTrace("r")
+				c := tr.StartSpan(root.Context(), "c")
+				c.End()
+				root.End()
+			}
+		}()
+	}
+	wg.Wait()
+	n := 0
+	for _, id := range tr.RecentTraces(64) {
+		n += len(tr.Spans(id))
+	}
+	if n == 0 || n > 32 {
+		t.Errorf("retained spans = %d, want in (0, 32]", n)
+	}
+}
+
+func TestSpanJSONRoundTrip(t *testing.T) {
+	tr := NewTracer("nodeA", 0, 0)
+	root := tr.StartTrace("root")
+	child := tr.StartSpan(root.Context(), "child")
+	child.Annotate("lsn=%d", 42)
+	child.End()
+	root.End()
+	id := root.Context().TraceID
+
+	srv := httptest.NewRecorder()
+	TraceHandler(tr.Spans).ServeHTTP(srv,
+		httptest.NewRequest("GET", "/trace/"+traceIDHex(id), nil))
+	if srv.Code != 200 {
+		t.Fatalf("GET /trace/<id>: %d %s", srv.Code, srv.Body.String())
+	}
+	spans, err := SpansFromJSON(srv.Body.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spans) != 2 {
+		t.Fatalf("spans = %d, want 2", len(spans))
+	}
+	roots := AssembleTrace(spans)
+	if len(roots) != 1 || len(roots[0].Children) != 1 {
+		t.Errorf("round-tripped tree broken: %+v", roots)
+	}
+	if roots[0].Children[0].Span.Notes[0] != "lsn=42" {
+		t.Errorf("notes lost: %+v", roots[0].Children[0].Span)
+	}
+
+	// Unknown trace: 404.
+	rec := httptest.NewRecorder()
+	TraceHandler(tr.Spans).ServeHTTP(rec, httptest.NewRequest("GET", "/trace/abcdef", nil))
+	if rec.Code != 404 {
+		t.Errorf("unknown trace = %d, want 404", rec.Code)
+	}
+}
+
+func traceIDHex(id uint64) string {
+	const digits = "0123456789abcdef"
+	var b [16]byte
+	for i := 15; i >= 0; i-- {
+		b[i] = digits[id&0xf]
+		id >>= 4
+	}
+	return strings.TrimLeft(string(b[:]), "0")
+}

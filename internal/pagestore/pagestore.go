@@ -95,6 +95,11 @@ type Store struct {
 	// Optional latency instruments, armed by WithMetrics; nil is inert.
 	applyHist *obs.Histogram
 	readHist  *obs.Histogram
+
+	// tracer records server-side spans for sampled requests; events is
+	// the flight recorder (checkpoint completions). Both nil-inert.
+	tracer *obs.Tracer
+	events *obs.EventRing
 }
 
 // Stats counts Page Store activity.
@@ -147,6 +152,16 @@ func WithCheckpoints(cs *pstore.Store) Option {
 	return func(s *Store) { s.ckpt = cs }
 }
 
+// WithTracer arms server-side span recording for sampled requests.
+func WithTracer(t *obs.Tracer) Option {
+	return func(s *Store) { s.tracer = t }
+}
+
+// WithEvents arms flight-recorder event recording.
+func WithEvents(r *obs.EventRing) Option {
+	return func(s *Store) { s.events = r }
+}
+
 // New creates a Page Store node. The InnoDB plugin is pre-registered
 // under PluginInnoDB, mirroring how "DBMS-specific shared libraries can
 // be loaded as plugins into the Page Stores".
@@ -173,6 +188,34 @@ func (s *Store) RegisterPlugin(p Plugin) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.plugins[p.Name()] = p
+}
+
+// HandleTraced implements cluster.TracedHandler: Handle wrapped in a
+// server-side child span naming the Page Store operation.
+func (s *Store) HandleTraced(tc obs.TraceContext, req any) (any, error) {
+	name := "pagestore.handle"
+	switch req.(type) {
+	case *cluster.WriteLogsReq:
+		name = "pagestore.apply"
+	case *cluster.ReadPageReq:
+		name = "pagestore.read"
+	case *cluster.BatchReadReq:
+		name = "pagestore.batchread"
+	case *cluster.SliceLSNReq:
+		name = "pagestore.slicelsn"
+	}
+	sp := s.tracer.StartSpan(tc, name)
+	resp, err := s.Handle(req)
+	if sp != nil {
+		if ack, ok := resp.(*cluster.Ack); ok && err == nil {
+			sp.Annotate("lsn=%d", ack.LSN)
+		}
+		if err != nil {
+			sp.Annotate("err=%v", err)
+		}
+		sp.End()
+	}
+	return resp, err
 }
 
 // Handle implements cluster.Handler.
@@ -545,6 +588,10 @@ func (s *Store) Checkpoint() (CheckpointStats, error) {
 			st.PersistedLSN = persisted
 		}
 		first = false
+	}
+	if st.SlicesWritten > 0 {
+		s.events.Record(obs.EventCheckpoint, "%s: %d slices, %d pages, %d bytes, persisted LSN %d",
+			s.name, st.SlicesWritten, st.Pages, st.Bytes, st.PersistedLSN)
 	}
 	return st, nil
 }

@@ -63,6 +63,13 @@ type Config struct {
 	// replicas share one registry.
 	Metrics *obs.Registry
 	Name    string
+	// Tracer, when non-nil, samples replica.refresh root spans so the
+	// MsgLogRead/MsgSliceLSN traffic of a tail cycle is attributable to
+	// the loop that issued it. nil disables tracing.
+	Tracer *obs.Tracer
+	// Events, when non-nil, records structural events (resyncs, tailed
+	// catalog barriers) in the flight recorder. nil is inert.
+	Events *obs.EventRing
 }
 
 // Stats is the replica's observable state.
@@ -128,8 +135,11 @@ type Replica struct {
 	rr       atomic.Uint64 // round-robin read replica selector
 
 	// refreshMu serializes whole refresh cycles (background loop and
-	// on-demand Refresh calls).
+	// on-demand Refresh calls). refreshTC (guarded by refreshMu) is the
+	// current cycle's sampled trace context, attached to every storage
+	// RPC the cycle issues; zero when the cycle is unsampled.
 	refreshMu sync.Mutex
+	refreshTC obs.TraceContext
 
 	// mu guards the tail state.
 	mu           sync.Mutex
@@ -354,7 +364,17 @@ func (r *Replica) Refresh() error {
 	if r.mRefresh != nil {
 		t0 = time.Now()
 	}
+	// A sampled cycle gets its own root span; the cycle's MsgLogRead and
+	// MsgSliceLSN calls carry its context, so cross-node collectors
+	// attribute that tail traffic to this loop iteration.
+	sp := r.cfg.Tracer.MaybeTrace("replica.refresh")
+	r.refreshTC = sp.Context()
 	attached, err := r.refreshLocked()
+	if sp != nil {
+		sp.Annotate("visible=%d", r.visible.Load())
+		sp.End()
+	}
+	r.refreshTC = obs.TraceContext{}
 	if r.mRefresh != nil {
 		r.mRefresh.ObserveDuration(time.Since(t0))
 	}
@@ -498,7 +518,7 @@ func (r *Replica) tail() error {
 			r.mu.Lock()
 			after := r.tailed
 			r.mu.Unlock()
-			resp, err := r.cfg.Transport.Call(node, &cluster.LogReadReq{
+			resp, err := cluster.CallTraced(r.cfg.Transport, r.refreshTC, node, &cluster.LogReadReq{
 				Tenant: r.cfg.Tenant, AfterLSN: after,
 				MaxRecords: uint32(r.cfg.MaxTailRecords),
 			})
@@ -557,6 +577,8 @@ func (r *Replica) resync(truncated uint64) {
 	r.mu.Unlock()
 	r.eng.Pool().Clear()
 	r.stats.resyncs.Add(1)
+	r.cfg.Events.Record(obs.EventReplicaResync, "%s: log GC overran tail, reset to %d, page cache dropped",
+		r.cfg.Name, truncated)
 }
 
 // ingest merges a tailed batch and consumes the contiguous prefix.
@@ -616,6 +638,8 @@ func (r *Replica) consume(rec wal.Record) {
 			// epoch: records in it were never acknowledged and no Page
 			// Store will ever apply them. Purge them from the pending
 			// state or the visible LSN would stall below the void.
+			r.cfg.Events.Record(obs.EventCatalogBarrier, "%s: tailed barrier at %d voids [%d,%d)",
+				r.cfg.Name, rec.LSN, entry.IndexID, rec.LSN)
 			r.purgeVoid(entry.IndexID, rec.LSN)
 			return
 		}
@@ -682,7 +706,7 @@ func (r *Replica) pollApplied() (map[uint32]uint64, map[string]bool, uint64, err
 	var floor uint64
 	var firstErr error
 	for _, node := range r.cfg.PageStores {
-		resp, err := r.cfg.Transport.Call(node, &cluster.SliceLSNReq{Tenant: r.cfg.Tenant})
+		resp, err := cluster.CallTraced(r.cfg.Transport, r.refreshTC, node, &cluster.SliceLSNReq{Tenant: r.cfg.Tenant})
 		if err != nil {
 			if firstErr == nil {
 				firstErr = fmt.Errorf("replica: page store %s: %w", node, err)

@@ -57,6 +57,7 @@ import (
 	"time"
 
 	"taurus/internal/cluster"
+	"taurus/internal/obs"
 	"taurus/internal/wal"
 )
 
@@ -137,6 +138,13 @@ type window struct {
 	// drained through a poisoned lane without appending): it must never
 	// advance the durable watermark.
 	failed atomic.Bool
+
+	// trace is the sampled context the window's appends and applies
+	// propagate (the sal.window span's own context when one was opened);
+	// span is that window span, ended when the window turns durable.
+	// Zero/nil when no staged record belonged to a sampled statement.
+	trace obs.TraceContext
+	span  *obs.SpanHandle
 }
 
 // stage is one lane's open staging buffer.
@@ -149,6 +157,11 @@ type stage struct {
 	// firstAt is when the first record was staged (set only with metrics
 	// enabled); seal age = seal time − firstAt.
 	firstAt time.Time
+	// trace is adopted from the first sampled writer whose record landed
+	// in this stage: group commit batches many transactions into one
+	// window, so the window links to one sampled statement (enough to
+	// show where ITS commit time went).
+	trace obs.TraceContext
 }
 
 func newStage() *stage {
@@ -443,10 +456,14 @@ func (s *SAL) sticky() error {
 func (s *SAL) poison(ln *lane, err error) {
 	ln.poisoned.Store(true)
 	s.errMu.Lock()
-	if s.err == nil {
+	first := s.err == nil
+	if first {
 		s.err = err
 	}
 	s.errMu.Unlock()
+	if first {
+		s.cfg.Events.Record(obs.EventPoison, "lane %d: %v", ln.id, err)
+	}
 	s.broadcastAll()
 }
 
@@ -512,6 +529,51 @@ func (s *SAL) placement(sliceID uint32) ([]string, error) {
 		sp.nodes = nodes
 	})
 	return sp.nodes, sp.createErr
+}
+
+// SetTxnTrace registers a sampled statement's trace context under its
+// transaction ID: records the transaction writes (which carry only the
+// TrxID) stage into lanes, and the lane's window adopts the context so
+// the statement's trace reaches the Log Store appends and Page Store
+// applies it rode in. Pair with ClearTxnTrace when the statement ends.
+func (s *SAL) SetTxnTrace(trxID uint64, tc obs.TraceContext) {
+	if trxID == 0 || !tc.Valid() {
+		return
+	}
+	s.traceMu.Lock()
+	if s.txnTraces == nil {
+		s.txnTraces = make(map[uint64]obs.TraceContext)
+	}
+	if _, ok := s.txnTraces[trxID]; !ok {
+		s.traceCount.Add(1)
+	}
+	s.txnTraces[trxID] = tc
+	s.traceMu.Unlock()
+}
+
+// ClearTxnTrace drops a registration made by SetTxnTrace.
+func (s *SAL) ClearTxnTrace(trxID uint64) {
+	if trxID == 0 {
+		return
+	}
+	s.traceMu.Lock()
+	if _, ok := s.txnTraces[trxID]; ok {
+		delete(s.txnTraces, trxID)
+		s.traceCount.Add(-1)
+	}
+	s.traceMu.Unlock()
+}
+
+// txnTrace looks a record's transaction up in the sampled set. The
+// no-traces fast path is one atomic load.
+func (s *SAL) txnTrace(trxID uint64) obs.TraceContext {
+	if trxID == 0 || s.traceCount.Load() == 0 {
+		return obs.TraceContext{}
+	}
+	s.traceMu.Lock()
+	tc := s.txnTraces[trxID]
+	s.traceMu.Unlock()
+	return tc
 }
 
 // Write assigns an LSN to rec, appends it to its slice's lane, and
@@ -595,6 +657,11 @@ func (s *SAL) Write(rec *wal.Record) (uint64, error) {
 		sp.mu.Unlock()
 	}
 	ln.stg.log = rec.Encode(ln.stg.log)
+	if !ln.stg.trace.Valid() {
+		if tc := s.txnTrace(rec.TrxID); tc.Valid() {
+			ln.stg.trace = tc
+		}
+	}
 	if ln.stg.count == 0 {
 		ln.stg.minLSN = lsn
 		if s.m.enabled {
@@ -631,6 +698,17 @@ func (s *SAL) seal(ln *lane) *window {
 		count:  ln.stg.count,
 		log:    ln.stg.log,
 		slices: ln.stg.slices,
+	}
+	if tc := ln.stg.trace; tc.Valid() {
+		w.span = s.cfg.Tracer.StartSpan(tc, "sal.window")
+		w.span.Annotate("lane=%d recs=%d lsn=[%d,%d]", ln.id, w.count, w.minLSN, w.maxLSN)
+		if w.span != nil {
+			w.trace = w.span.Context()
+		} else {
+			// No collector on this node: still propagate the caller's
+			// context so the storage-side spans attach to the statement.
+			w.trace = tc
+		}
 	}
 	if !ln.stg.firstAt.IsZero() {
 		s.m.seal.ObserveDuration(time.Since(ln.stg.firstAt))
@@ -681,8 +759,12 @@ func (ln *lane) flusher() {
 			}
 			if w.count >= threshold {
 				ln.sealsThreshold.Add(1)
+				s.cfg.Events.Record(obs.EventWindowSeal, "lane %d: %s, %d recs, lsn [%d,%d]",
+					ln.id, SealThreshold, w.count, w.minLSN, w.maxLSN)
 			} else {
 				ln.sealsDemand.Add(1)
+				s.cfg.Events.Record(obs.EventWindowSeal, "lane %d: %s, %d recs, lsn [%d,%d]",
+					ln.id, SealDemand, w.count, w.minLSN, w.maxLSN)
 			}
 			ln.observeArrival(w.count)
 			if ln.id == 0 {
@@ -883,6 +965,8 @@ func (s *SAL) promote(sliceID uint32, target *lane) bool {
 	shared.stageMu.Unlock()
 	target.assignedSlice.Store(int64(sliceID))
 	s.counters.promotions.Add(1)
+	s.cfg.Events.Record(obs.EventLanePromote, "slice %d -> lane %d, fence %d",
+		sliceID, target.id, sp.fence.Load())
 	target.kick()
 	return true
 }
@@ -912,6 +996,8 @@ func (s *SAL) demote(sliceID uint32, ln *lane) bool {
 	ln.assignedSlice.Store(-1)
 	s.freeLanes = append(s.freeLanes, ln)
 	s.counters.demotions.Add(1)
+	s.cfg.Events.Record(obs.EventLaneDemote, "slice %d: lane %d -> shared, fence %d",
+		sliceID, ln.id, sp.fence.Load())
 	// Writers parked on the dedicated lane's backpressure follow the
 	// slice to the shared lane once woken.
 	ln.stageMu.Lock()
@@ -935,7 +1021,7 @@ func (ln *lane) logNodeWorker(node string, ch chan *window) {
 			w.failed.Store(true)
 		} else {
 			t0 := time.Now()
-			_, err := s.cfg.Transport.Call(node, &cluster.LogAppendReq{
+			_, err := cluster.CallTraced(s.cfg.Transport, w.trace, node, &cluster.LogAppendReq{
 				Tenant: s.cfg.Tenant, Recs: w.log,
 			})
 			if err == nil {
@@ -997,6 +1083,9 @@ func (ln *lane) windowDurable(w *window) {
 	}
 	s.durCond.Broadcast()
 	s.durMu.Unlock()
+	// The window span covers seal → last Log Store acknowledgement (the
+	// durability critical path); applies are separate child spans.
+	w.span.End()
 	// The log-stage budget frees at durability, NOT after apply:
 	// durability (the commit path) never queues behind a slow replica.
 	ln.inflight.Add(-1)
@@ -1211,13 +1300,21 @@ func (s *SAL) applyBatch(sp *sliceProgress, sliceID uint32, job applyJob) {
 			if s.m.enabled {
 				t0 = time.Now()
 			}
+			// The per-slice apply fan-out is a child of the window it came
+			// from; each replica write is an rpc span under it.
+			applySpan := s.cfg.Tracer.StartSpan(job.w.trace, "sal.apply")
+			applySpan.Annotate("slice=%d recs=%d replicas=%d", sliceID, job.batch.count, len(nodes))
+			applyTC := job.w.trace
+			if applySpan != nil {
+				applyTC = applySpan.Context()
+			}
 			errs := make([]error, len(nodes))
 			var wg sync.WaitGroup
 			for i, node := range nodes {
 				wg.Add(1)
 				go func(i int, node string) {
 					defer wg.Done()
-					if _, err := s.cfg.Transport.Call(node, &cluster.WriteLogsReq{
+					if _, err := cluster.CallTraced(s.cfg.Transport, applyTC, node, &cluster.WriteLogsReq{
 						Tenant: s.cfg.Tenant, SliceID: sliceID, Recs: job.batch.enc,
 					}); err != nil {
 						errs[i] = fmt.Errorf("sal: page store %s apply: %w", node, err)
@@ -1225,6 +1322,7 @@ func (s *SAL) applyBatch(sp *sliceProgress, sliceID uint32, job applyJob) {
 				}(i, node)
 			}
 			wg.Wait()
+			applySpan.End()
 			if s.m.enabled {
 				s.m.apply.ObserveDuration(time.Since(t0))
 			}
@@ -1283,8 +1381,21 @@ func (s *SAL) windowComplete(w *window) {
 // waiting while lsn lies below the failure point (healthy lanes still
 // advance the watermark there), and returns the sticky error otherwise.
 func (s *SAL) WaitDurable(lsn uint64) error {
+	return s.WaitDurableTraced(lsn, obs.TraceContext{})
+}
+
+// WaitDurableTraced is WaitDurable with the committing statement's
+// trace context: a sampled commit records a sal.durable_wait span
+// covering the blocked time (the fast path records nothing — there was
+// no wait).
+func (s *SAL) WaitDurableTraced(lsn uint64, tc obs.TraceContext) error {
 	if s.durableAtomic.Load() >= lsn {
 		return nil
+	}
+	if tc.Valid() {
+		sp := s.cfg.Tracer.StartSpan(tc, "sal.durable_wait")
+		sp.Annotate("lsn=%d", lsn)
+		defer sp.End()
 	}
 	s.counters.commitWaits.Add(1)
 	if s.m.enabled {

@@ -94,6 +94,15 @@ type Config struct {
 	// fetch-latency histograms, and pipeline gauges. nil disables
 	// instrumentation at near-zero cost.
 	Metrics *obs.Registry
+	// Tracer, when non-nil, records pipeline spans (sal.window,
+	// sal.apply, sal.durable_wait) for sampled statements and lets the
+	// trace context ride the transport to the storage nodes. nil
+	// disables tracing at near-zero cost.
+	Tracer *obs.Tracer
+	// Events, when non-nil, is the flight recorder for structural
+	// transitions: lane promotions/demotions, window seals by reason,
+	// sticky-error poisoning. nil is inert.
+	Events *obs.EventRing
 }
 
 // SAL is the storage abstraction layer instance inside one frontend.
@@ -163,6 +172,15 @@ type SAL struct {
 
 	errMu sync.Mutex
 	err   error
+
+	// Sampled-transaction trace contexts, registered by the SQL layer
+	// around a traced statement and consulted by Write to attribute
+	// staged records (btree-created records carry only the TrxID, not
+	// the context). traceCount gates the map lookup so the unsampled
+	// fast path costs one atomic load.
+	traceMu    sync.Mutex
+	txnTraces  map[uint64]obs.TraceContext
+	traceCount atomic.Int64
 
 	closed    atomic.Bool
 	closeOnce sync.Once

@@ -26,6 +26,10 @@ type Session struct {
 	// Slow, when armed, logs a per-stage breakdown of every statement
 	// whose total time meets its threshold. Nil disables tracing.
 	Slow *obs.SlowOpLog
+	// Tracer, when set, opens a root span per sampled statement and
+	// propagates its context through the write path and across RPCs.
+	// Nil disables distributed tracing.
+	Tracer *obs.Tracer
 }
 
 // NewSession creates a session with a fresh catalog.
@@ -45,6 +49,16 @@ type Result struct {
 
 // Exec parses and executes one statement.
 func (s *Session) Exec(sqlText string) (*Result, error) {
+	res, _, err := s.ExecTraced(sqlText, false)
+	return res, err
+}
+
+// ExecTraced executes one statement and reports the trace ID it ran under
+// (0 when unsampled). When force is set a trace is opened regardless of the
+// tracer's sampling rate — the `taurus-sql -trace` path. The returned ID
+// keys the per-node span rings: assemble with obs.AssembleTrace over the
+// spans each node collected for it.
+func (s *Session) ExecTraced(sqlText string, force bool) (*Result, uint64, error) {
 	// Traces exist only when the slow-op log is armed; every Step below
 	// is a nil-safe no-op otherwise. The trace is a local (not a Session
 	// field) because sessions are shared across goroutines.
@@ -53,6 +67,24 @@ func (s *Session) Exec(sqlText string) (*Result, error) {
 		tr = obs.NewTrace(opSummary(sqlText))
 		defer func() { s.Slow.Observe(tr) }()
 	}
+	// The root statement span. Everything downstream — SAL window seals,
+	// Log Store appends, Page Store applies — hangs off its context.
+	var root *obs.SpanHandle
+	if force {
+		root = s.Tracer.StartTrace("sql:" + opSummary(sqlText))
+	} else {
+		root = s.Tracer.MaybeTrace("sql:" + opSummary(sqlText))
+	}
+	tc := root.Context()
+	res, err := s.exec(sqlText, tr, tc)
+	if err != nil {
+		root.Annotate("err=%v", err)
+	}
+	root.End()
+	return res, tc.TraceID, err
+}
+
+func (s *Session) exec(sqlText string, tr *obs.Trace, tc obs.TraceContext) (*Result, error) {
 	stmt, err := Parse(sqlText)
 	tr.Step("parse")
 	if err != nil {
@@ -68,7 +100,7 @@ func (s *Session) Exec(sqlText string) (*Result, error) {
 		if s.ReadOnly {
 			return nil, fmt.Errorf("sql: replica is read-only: INSERT rejected (write to the master)")
 		}
-		return s.execInsert(st, tr)
+		return s.execInsert(st, tr, tc)
 	case *SelectStmt:
 		return s.execSelect(st, tr)
 	default:
@@ -134,12 +166,22 @@ func (s *Session) execCreate(st *CreateTableStmt, tr *obs.Trace) (*Result, error
 	return &Result{Message: fmt.Sprintf("table %s created", st.Name)}, nil
 }
 
-func (s *Session) execInsert(st *InsertStmt, tr *obs.Trace) (*Result, error) {
+func (s *Session) execInsert(st *InsertStmt, tr *obs.Trace, tc obs.TraceContext) (*Result, error) {
 	tbl, err := s.Eng.Table(st.Table)
 	if err != nil {
 		return nil, err
 	}
 	tx := s.Eng.Txm().Begin()
+	if tc.Valid() {
+		// Attribute every record this transaction stages to the statement's
+		// trace: the B-tree layer only carries the transaction ID, so SAL
+		// resolves trace contexts through this registration.
+		tx.SetTrace(tc)
+		if sc := s.Eng.SAL(); sc != nil {
+			sc.SetTxnTrace(tx.ID, tc)
+			defer sc.ClearTxnTrace(tx.ID)
+		}
+	}
 	n := 0
 	for _, vals := range st.Rows {
 		if len(vals) != tbl.Schema.Len() {

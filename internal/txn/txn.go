@@ -14,6 +14,8 @@ package txn
 import (
 	"sync"
 	"sync/atomic"
+
+	"taurus/internal/obs"
 )
 
 // Manager allocates transaction IDs and tracks the active set.
@@ -39,7 +41,20 @@ type Txn struct {
 	// so a committer never waits for LSNs handed out to unrelated
 	// concurrent writers after its own last write.
 	maxLSN atomic.Uint64
+
+	// trace is the statement's propagated trace context. The SQL layer
+	// sets it before the first write; the engine and SAL read it on every
+	// operation the transaction performs, so one sampled statement is
+	// attributable across the write path. Zero when unsampled.
+	trace obs.TraceContext
 }
+
+// SetTrace attaches the statement's trace context. Call before the
+// transaction's first write.
+func (t *Txn) SetTrace(tc obs.TraceContext) { t.trace = tc }
+
+// Trace returns the attached trace context (zero when unsampled).
+func (t *Txn) Trace() obs.TraceContext { return t.trace }
 
 // ObserveLSN records a log record the transaction wrote. The write path
 // calls it with each assigned LSN; the maximum is the commit watermark.

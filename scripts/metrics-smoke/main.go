@@ -1,8 +1,10 @@
 // Command metrics-smoke is the CI gate for the observability surface:
 // it starts a taurus-server frontend with a -stats-addr, drives a few
-// statements through POST /query, scrapes GET /metrics, and fails on a
-// malformed Prometheus exposition or a missing core metric family. It
-// also checks GET /stats still parses as JSON.
+// statements through POST /query — one under a forced distributed trace
+// — scrapes GET /metrics, and fails on a malformed Prometheus
+// exposition, a missing core metric family, a /trace/<id> tree that
+// does not span multiple node roles, or an empty /events flight
+// recorder. It also checks GET /stats still parses as JSON.
 //
 //	go build -o /tmp/taurus-server ./cmd/taurus-server
 //	go run ./scripts/metrics-smoke -server /tmp/taurus-server
@@ -37,6 +39,7 @@ var coreFamilies = []string{
 	"taurus_pagestore_records_applied_total",
 	"taurus_pagestore_apply_seconds",
 	"taurus_engine_rows_emitted_total",
+	"taurus_slow_ops_fired_total",
 }
 
 func main() {
@@ -85,6 +88,13 @@ func run(listen, statsAddr string, timeout time.Duration) error {
 		}
 	}
 
+	if err := checkTrace(queryURL, statsAddr); err != nil {
+		return err
+	}
+	if err := checkEvents(statsAddr); err != nil {
+		return err
+	}
+
 	text, err := fetch("http://" + statsAddr + "/metrics")
 	if err != nil {
 		return err
@@ -115,6 +125,89 @@ func run(listen, statsAddr string, timeout time.Duration) error {
 		return fmt.Errorf("/stats lost its WritePath section")
 	}
 	return nil
+}
+
+// checkTrace drives one INSERT under a forced trace (X-Taurus-Trace
+// request header) and asserts GET /trace/<id> returns an assembled span
+// tree covering at least three node roles: the frontend's SAL stages, a
+// Log Store append, and a Page Store apply.
+func checkTrace(queryURL, statsAddr string) error {
+	req, err := http.NewRequest(http.MethodPost, queryURL,
+		strings.NewReader(`INSERT INTO smoke VALUES (4, 40)`))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("X-Taurus-Trace", "1")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return fmt.Errorf("traced POST /query: %w", err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("traced POST /query: %d: %s", resp.StatusCode, body)
+	}
+	id := resp.Header.Get("X-Taurus-Trace")
+	if id == "" {
+		return fmt.Errorf("traced POST /query returned no X-Taurus-Trace header")
+	}
+	// The apply fan-out is asynchronous; poll briefly for the Page Store
+	// spans to land.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		raw, err := fetch("http://" + statsAddr + "/trace/" + id)
+		if err != nil {
+			return err
+		}
+		spans, err := obs.SpansFromJSON([]byte(raw))
+		if err != nil {
+			return fmt.Errorf("/trace/%s: %w", id, err)
+		}
+		roles := map[string]bool{}
+		for _, s := range spans {
+			switch {
+			case s.Node == "frontend":
+				roles["frontend"] = true
+			case strings.HasPrefix(s.Node, "log"):
+				roles["logstore"] = true
+			case strings.HasPrefix(s.Node, "pagestore"):
+				roles["pagestore"] = true
+			}
+		}
+		if len(roles) >= 3 {
+			if roots := obs.AssembleTrace(spans); len(roots) != 1 {
+				return fmt.Errorf("/trace/%s: %d roots, want one statement tree", id, len(roots))
+			}
+			log.Printf("trace %s: %d spans across %d roles", id, len(spans), len(roles))
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("/trace/%s covers roles %v, want frontend+logstore+pagestore", id, roles)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// checkEvents asserts the flight recorder captured structural events
+// (the inserts above must have sealed at least one window).
+func checkEvents(statsAddr string) error {
+	raw, err := fetch("http://" + statsAddr + "/events")
+	if err != nil {
+		return err
+	}
+	var events []obs.Event
+	if err := json.Unmarshal([]byte(raw), &events); err != nil {
+		return fmt.Errorf("/events is not valid JSON: %w", err)
+	}
+	if len(events) == 0 {
+		return fmt.Errorf("/events is empty after writes")
+	}
+	for _, ev := range events {
+		if ev.Kind == obs.EventWindowSeal {
+			return nil
+		}
+	}
+	return fmt.Errorf("/events has no %s event after writes", obs.EventWindowSeal)
 }
 
 // waitUp polls until the server answers HTTP (any status).

@@ -107,6 +107,14 @@ type Config struct {
 	// standard logger).
 	SlowOpLogger *log.Logger
 
+	// TraceSampleRate is the probability that a statement opens a
+	// distributed trace: a root span on the frontend whose context rides
+	// the cluster frames, so Log Store appends and Page Store applies on
+	// other components land in the same trace tree. 0 (default) disables
+	// rate-based sampling; DB.ExecTraced still forces a trace per call,
+	// so the collection costs nothing until someone asks for it.
+	TraceSampleRate float64
+
 	// Master attaches a read replica to a running master's storage
 	// cluster (OpenReplica only; ignored by Open). The replica shares
 	// the master's Log Stores and Page Stores, tails the log to advance
@@ -137,6 +145,15 @@ type DB struct {
 	// its master's transport and therefore its RPC metrics).
 	obsReg *obs.Registry
 	rpc    *cluster.RPCMetrics
+
+	// tracer is this frontend's span collector (statement roots, SAL
+	// pipeline spans, client rpc spans); tracers additionally holds every
+	// embedded component's collector so TraceSpans can assemble the
+	// cross-"node" tree the way a TCP deployment would by querying each
+	// server. events is this node's flight recorder.
+	tracer  *obs.Tracer
+	tracers []*obs.Tracer
+	events  *obs.EventRing
 
 	// Replica state (OpenReplica); master tracks how many replicas it
 	// has named so far.
@@ -208,6 +225,14 @@ func Open(cfg Config) (*DB, error) {
 	rpc := cluster.NewRPCMetrics(reg, "client")
 	tr.Metrics = rpc
 	db := &DB{cfg: cfg, tr: tr, obsReg: reg, rpc: rpc}
+	// One tracer per embedded component, exactly as a TCP deployment has
+	// one per server: spans carry their collector's node name, and
+	// TraceSpans merges the rings the way taurus-sql -trace queries each
+	// node's /trace endpoint.
+	db.tracer = obs.NewTracer("frontend", cfg.TraceSampleRate, 0)
+	db.tracers = append(db.tracers, db.tracer)
+	tr.Tracer = db.tracer // client rpc spans are issued from this frontend
+	db.events = obs.NewEventRing(0)
 	logNames := []string{"log1", "log2", "log3"}
 	for _, n := range logNames {
 		var ls *logstore.Store
@@ -232,6 +257,10 @@ func Open(cfg Config) (*DB, error) {
 			}
 		}
 		ls.RegisterMetrics(reg)
+		lt := obs.NewTracer(n, cfg.TraceSampleRate, 0)
+		ls.SetTracer(lt)
+		ls.SetEvents(db.events)
+		db.tracers = append(db.tracers, lt)
 		db.logs = append(db.logs, ls)
 		db.logNames = append(db.logNames, n)
 		tr.Register(n, ls)
@@ -239,7 +268,10 @@ func Open(cfg Config) (*DB, error) {
 	var psNames []string
 	for i := 0; i < cfg.PageStores; i++ {
 		name := fmt.Sprintf("pagestore-%d", i+1)
-		popts := []pagestore.Option{pagestore.WithMetrics(reg)}
+		pt := obs.NewTracer(name, cfg.TraceSampleRate, 0)
+		db.tracers = append(db.tracers, pt)
+		popts := []pagestore.Option{pagestore.WithMetrics(reg),
+			pagestore.WithTracer(pt), pagestore.WithEvents(db.events)}
 		if cfg.DataDir != "" {
 			cs, err := pstore.Open(pstore.Options{Dir: filepath.Join(cfg.DataDir, name)})
 			if err != nil {
@@ -277,6 +309,7 @@ func Open(cfg Config) (*DB, error) {
 		ReplicationFactor: cfg.ReplicationFactor, PagesPerSlice: cfg.PagesPerSlice,
 		Plugin: pagestore.PluginInnoDB, MaxSliceLanes: cfg.WriteLanes,
 		FlushThreshold: cfg.WriteFlushThreshold, Metrics: reg,
+		Tracer: db.tracer, Events: db.events,
 	})
 	if err != nil {
 		return nil, err
@@ -294,6 +327,10 @@ func Open(cfg Config) (*DB, error) {
 	db.session = sql.NewSession(eng)
 	db.session.NDP = !cfg.DisableNDP
 	db.session.Slow = obs.NewSlowOpLog(cfg.SlowOpThreshold, cfg.SlowOpLogger)
+	db.session.Tracer = db.tracer
+	reg.CounterFunc("taurus_slow_ops_fired_total",
+		"Statements the slow-op log fired on (met or exceeded its threshold).",
+		func() float64 { return float64(db.session.Slow.Fired()) })
 	if cfg.DataDir != "" {
 		if err := db.recover(s, eng); err != nil {
 			db.closeLogs()
@@ -337,6 +374,8 @@ func OpenReplica(cfg Config) (*DB, error) {
 	// distinguishable when scraped into one place.
 	reg := obs.NewRegistry()
 	repName := fmt.Sprintf("replica-%d", m.repSeq.Add(1))
+	repTracer := obs.NewTracer(repName, cfg.TraceSampleRate, 0)
+	repEvents := obs.NewEventRing(0)
 	rep, err := replica.New(replica.Config{
 		Transport: m.tr, Tenant: 1,
 		LogStores: m.logNames, PageStores: m.psNames,
@@ -346,6 +385,8 @@ func OpenReplica(cfg Config) (*DB, error) {
 		RefreshInterval:   cfg.ReplicaRefreshInterval,
 		Metrics:           reg,
 		Name:              repName,
+		Tracer:            repTracer,
+		Events:            repEvents,
 	})
 	if err != nil {
 		return nil, err
@@ -361,11 +402,20 @@ func OpenReplica(cfg Config) (*DB, error) {
 	eng.Pool().RegisterMetrics(reg, repName)
 	db := &DB{cfg: cfg, eng: eng, tr: m.tr, rep: rep, master: m,
 		logNames: m.logNames, psNames: m.psNames,
-		obsReg: reg, rpc: m.rpc, repName: repName}
+		obsReg: reg, rpc: m.rpc, repName: repName,
+		tracer: repTracer, events: repEvents}
+	// A replica's trace queries see its own spans plus the shared storage
+	// components' — tailing rpc spans land on the shared transport's
+	// collector, server spans on the Log/Page Store collectors.
+	db.tracers = append([]*obs.Tracer{repTracer}, m.tracers...)
 	db.session = sql.NewSession(eng)
 	db.session.NDP = !cfg.DisableNDP
 	db.session.ReadOnly = true
 	db.session.Slow = obs.NewSlowOpLog(cfg.SlowOpThreshold, cfg.SlowOpLogger)
+	db.session.Tracer = repTracer
+	reg.CounterFunc("taurus_slow_ops_fired_total",
+		"Statements the slow-op log fired on (met or exceeded its threshold).",
+		func() float64 { return float64(db.session.Slow.Fired()) })
 	rep.Bind(eng, func(table string) {
 		// A table the master created after the replica opened: refresh
 		// its optimizer statistics so NDP decisions see it.
@@ -562,6 +612,9 @@ func (db *DB) recover(s *sal.SAL, eng *engine.Engine) error {
 		// barrier, so by the time any new record is acknowledged the
 		// next recovery is guaranteed to see the explanation and keep
 		// the new records while still dropping the zombies.
+		db.events.Record(obs.EventCatalogBarrier,
+			"recovery: torn tail, barrier voids LSNs from %d (%d records dropped)",
+			newVoidFrom, voided)
 		if _, err := s.Write(&wal.Record{
 			Type: wal.TypeCatalog,
 			Payload: (&wal.CatalogEntry{
@@ -861,6 +914,15 @@ func (db *DB) Close() error {
 	if err := db.closeLogs(); err != nil && firstErr == nil {
 		firstErr = err
 	}
+	if firstErr != nil {
+		// Going down with an error: dump the flight recorder so the
+		// structural events leading up to it survive in the log.
+		logger := db.cfg.SlowOpLogger
+		if logger == nil {
+			logger = log.Default()
+		}
+		db.events.Dump(logger)
+	}
 	return firstErr
 }
 
@@ -898,6 +960,50 @@ func (db *DB) DurableLSN() uint64 {
 // Exec parses and executes one SQL statement (CREATE TABLE, INSERT,
 // SELECT, EXPLAIN SELECT).
 func (db *DB) Exec(query string) (*Result, error) { return db.session.Exec(query) }
+
+// ExecTraced executes one statement with a forced distributed trace and
+// returns the trace ID alongside the result. Fetch the assembled tree with
+// TraceSpans — it will contain the frontend's statement root plus, for a
+// write, SAL window/append/apply spans and the Log and Page Store server
+// spans the propagated context produced on those components.
+func (db *DB) ExecTraced(query string) (*Result, uint64, error) {
+	return db.session.ExecTraced(query, true)
+}
+
+// Tracer returns this frontend's span collector (statement roots, SAL
+// pipeline spans, client rpc spans). Its sampling rate is
+// Config.TraceSampleRate.
+func (db *DB) Tracer() *obs.Tracer { return db.tracer }
+
+// TraceSpans returns every span the deployment collected for a trace ID,
+// merged across the embedded components — exactly what a TCP deployment
+// assembles by querying each server's /trace/<id>. Render the tree with
+// obs.FormatTrace(obs.AssembleTrace(spans)).
+func (db *DB) TraceSpans(id uint64) []obs.Span {
+	var out []obs.Span
+	for _, t := range db.tracers {
+		out = append(out, t.Spans(id)...)
+	}
+	return out
+}
+
+// RecentTraces returns up to n recently completed root trace IDs on this
+// frontend, newest first.
+func (db *DB) RecentTraces(n int) []uint64 { return db.tracer.RecentTraces(n) }
+
+// Events returns this node's flight-recorder contents, oldest first:
+// lane promotions and demotions, window seals by reason, checkpoints, log
+// GC truncations, replica resyncs, sticky-error poisoning, and catalog
+// barriers. The ring is bounded; old events are overwritten.
+func (db *DB) Events() []obs.Event { return db.events.Events() }
+
+// EventRing returns the flight recorder itself (for HTTP exposure:
+// EventRing().Handler() serves GET /events).
+func (db *DB) EventRing() *obs.EventRing { return db.events }
+
+// SlowOpsFired counts statements the slow-op log fired on (also exported
+// as taurus_slow_ops_fired_total).
+func (db *DB) SlowOpsFired() uint64 { return db.session.Slow.Fired() }
 
 // SetNDP toggles near-data processing for subsequent queries.
 func (db *DB) SetNDP(enabled bool) { db.session.NDP = enabled }
