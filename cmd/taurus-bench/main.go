@@ -9,8 +9,9 @@
 // group-commit write paths under concurrent committers and writes the
 // result to -writepath-out (default BENCH_writepath.json).
 //
-// replicas measures read-QPS scaling across log-tailing read replicas
-// beside one continuous writer, plus sampled replication lag, and
+// replicas measures read-QPS scaling across push-subscribed read
+// replicas beside one continuous writer, plus sampled replication lag
+// and the per-message-type RPC load on the storage cluster, and
 // writes the result to -replicas-out (default BENCH_replicas.json).
 package main
 
@@ -32,8 +33,8 @@ func main() {
 	skewCommits := flag.Int("skew-commits", 800, "hot-slice commits in the skewed scenario (writepath; 0 = skip)")
 	skewDelay := flag.Duration("skew-delay", 20*time.Millisecond, "injected apply latency of the slow Page Store replica (writepath)")
 	wpOut := flag.String("writepath-out", "BENCH_writepath.json", "write-path JSON report path (writepath; empty = don't write)")
-	repDuration := flag.Duration("replica-duration", 700*time.Millisecond, "measurement window per replica count (replicas)")
-	repCounts := flag.String("replica-counts", "1,2,4", "comma-separated replica counts (replicas)")
+	repDuration := flag.Duration("replica-duration", 1500*time.Millisecond, "measurement window per replica count (replicas)")
+	repCounts := flag.String("replica-counts", "1,2,4,8,16", "comma-separated replica counts (replicas)")
 	repReaders := flag.Int("replica-readers", 2, "reader goroutines per replica (replicas)")
 	repOut := flag.String("replicas-out", "BENCH_replicas.json", "replica-scaling JSON report path (replicas; empty = don't write)")
 	flag.Parse()

@@ -44,10 +44,13 @@
 // A fourth role, replica, is the distributed form of the same read
 // tier: it attaches to storage servers over TCP (-log-stores and
 // -page-stores take comma-separated host:port lists that must match the
-// master's ordering), tails the Log Stores by polling, and serves
-// read-only SQL on POST /query with its lag stats on GET /stats:
+// master's ordering) and serves read-only SQL on POST /query with its
+// lag stats on GET /stats. With -advertise the replica listens on that
+// address for the cluster protocol and subscribes to the Log Stores'
+// push streams (batches arrive as they commit; -refresh-interval only
+// paces the liveness watchdog); without it the replica polls:
 //
-//	taurus-server -role replica -listen :7300 \
+//	taurus-server -role replica -listen :7300 -advertise :7310 \
 //	  -log-stores :7100,:7101,:7102 -page-stores :7000,:7001,:7002,:7003 \
 //	  -pages-per-slice 655360 -refresh-interval 25ms
 package main
@@ -97,6 +100,7 @@ func main() {
 	replication := flag.Int("replication-factor", 3, "slice replication factor, must match the master (replica)")
 	refreshInterval := flag.Duration("refresh-interval", 0, "log tail poll cadence (replica; 0 = default 25ms)")
 	poolPages := flag.Int("pool-pages", 0, "buffer pool pages (replica; 0 = default)")
+	advertise := flag.String("advertise", "", "cluster address this replica listens on for pushed log batches; Log Stores must be able to dial it (replica; empty = pull tailing)")
 	slowOp := flag.Duration("slow-op", 0, "log statements at or above this duration with a per-stage breakdown (frontend/replica; 0 = off)")
 	traceSample := flag.Float64("trace-sample", 0, "probability a statement opens a distributed trace (frontend/replica; 0 = off, forced traces still work)")
 	flag.Parse()
@@ -180,6 +184,13 @@ func main() {
 		ls.RegisterMetrics(reg)
 		ls.SetTracer(tracer)
 		ls.SetEvents(events)
+		// Arm the push hub: subscribers (replicas started with
+		// -advertise) register a dialable address as their node name,
+		// and the store pushes log batches to it over this client.
+		pc := cluster.NewTCPClient()
+		pc.Metrics = cluster.NewRPCMetrics(reg, "client")
+		pc.Tracer = tracer
+		ls.SetPushTransport(pc)
 		handler = ls
 		stats = func() any { return ls.NodeStats() }
 	case "frontend":
@@ -192,6 +203,7 @@ func main() {
 			tenant: uint32(*tenant), pagesPerSlice: *pagesPerSlice,
 			replicationFactor: *replication, refreshInterval: *refreshInterval,
 			poolPages: *poolPages, slowOp: *slowOp, traceSample: *traceSample,
+			advertise: *advertise,
 		})
 		return
 	default:
@@ -417,13 +429,16 @@ type replicaOptions struct {
 	poolPages         int
 	slowOp            time.Duration
 	traceSample       float64
+	advertise         string
 }
 
 // runReplica serves a standalone read replica attached to storage
-// servers over TCP. Without a master in-process there are no push
-// notifications; the replica polls on -refresh-interval. The catalog
-// bootstraps from the full log tail, so the Log Stores must still
-// retain the DDL records (i.e. log GC must not have truncated them).
+// servers over TCP. With -advertise it listens on that address for the
+// cluster protocol, subscribes to the Log Stores' push streams, and
+// receives log batches as they commit; without it the replica polls on
+// -refresh-interval. The catalog bootstraps from the full log tail, so
+// the Log Stores must still retain the DDL records (i.e. log GC must
+// not have truncated them).
 func runReplica(listen, statsAddr string, opts replicaOptions) {
 	if len(opts.logStores) == 0 || len(opts.pageStores) == 0 {
 		log.Fatal("replica: -log-stores and -page-stores required")
@@ -445,9 +460,23 @@ func runReplica(listen, statsAddr string, opts replicaOptions) {
 		Name:              opts.name,
 		Tracer:            tracer,
 		Events:            events,
+		Subscribe:         opts.advertise != "",
+		Node:              opts.advertise,
 	})
 	if err != nil {
 		log.Fatal(err)
+	}
+	if opts.advertise != "" {
+		cl, err := net.Listen("tcp", opts.advertise)
+		if err != nil {
+			log.Fatalf("replica: cluster listener on %s: %v", opts.advertise, err)
+		}
+		go func() {
+			if err := cluster.ServeMetrics(cl, rep, cluster.NewRPCMetrics(reg, "server")); err != nil {
+				log.Printf("replica: cluster listener: %v", err)
+			}
+		}()
+		log.Printf("replica accepting pushed log batches on %s", opts.advertise)
 	}
 	eng, err := engine.New(engine.Config{ReadView: rep, PoolPages: opts.poolPages})
 	if err != nil {

@@ -30,18 +30,28 @@ type ReplicaRow struct {
 	P50LagRecords float64 `json:"p50_lag_records"`
 	P99LagRecords float64 `json:"p99_lag_records"`
 	MaxLagRecords uint64  `json:"max_lag_records"`
-	// Notifies/Refreshes total the replicas' tailing activity.
-	Notifies  uint64 `json:"notifies"`
-	Refreshes uint64 `json:"refreshes"`
-	// LogReadReqs/SliceLSNReqs attribute the replicas' tailing RPC load
-	// on the storage cluster during the level (from the transport's
+	// Notifies/Refreshes total the replicas' tailing activity;
+	// StreamBatches counts pushed log frames the replicas consumed. In
+	// push mode Refreshes counts only on-demand cycles (retention-miss
+	// retries and detached fallbacks), so it stays near zero.
+	Notifies      uint64 `json:"notifies"`
+	Refreshes     uint64 `json:"refreshes"`
+	StreamBatches uint64 `json:"stream_batches"`
+	// LogReadReqs/SliceLSNReqs attribute the replicas' pull-tailing RPC
+	// load on the storage cluster during the level (from the transport's
 	// per-MsgType metrics): MsgLogRead fetches log records from the Log
 	// Stores, MsgSliceLSN polls slice durable watermarks on the Page
-	// Stores. The *PerSec forms normalize by the level's duration.
+	// Stores. The *PerSec forms normalize by the level's duration. With
+	// push streams both should sit at ~0 in steady state.
 	LogReadReqs    uint64  `json:"log_read_reqs"`
 	LogReadPerSec  float64 `json:"log_read_per_sec"`
 	SliceLSNReqs   uint64  `json:"slice_lsn_reqs"`
 	SliceLSNPerSec float64 `json:"slice_lsn_per_sec"`
+	// RPCRates breaks the level's whole RPC load down by message type
+	// (requests/sec on the master's transport, zero-delta types
+	// omitted) — push mode shows MsgLogBatch/MsgFrontier/MsgVersionPin
+	// traffic where pull mode showed MsgLogRead/MsgSliceLSN polling.
+	RPCRates map[string]float64 `json:"rpc_rates_per_sec,omitempty"`
 }
 
 // ReplicasReport is the persisted BENCH_replicas.json payload.
@@ -61,10 +71,10 @@ type ReplicasReport struct {
 // point SELECTs from the shared Page Stores, for each n in counts.
 func Replicas(duration time.Duration, counts []int, readersPer int) ([]ReplicaRow, error) {
 	if duration <= 0 {
-		duration = 700 * time.Millisecond
+		duration = 1500 * time.Millisecond
 	}
 	if len(counts) == 0 {
-		counts = []int{1, 2, 4}
+		counts = []int{1, 2, 4, 8, 16}
 	}
 	if readersPer <= 0 {
 		readersPer = 2
@@ -218,10 +228,17 @@ sampling:
 	row.SliceLSNReqs = rpc["MsgSliceLSN"].Requests - rpc0["MsgSliceLSN"].Requests
 	row.LogReadPerSec = float64(row.LogReadReqs) / elapsed
 	row.SliceLSNPerSec = float64(row.SliceLSNReqs) / elapsed
+	row.RPCRates = map[string]float64{}
+	for msg, st := range rpc {
+		if delta := st.Requests - rpc0[msg].Requests; delta > 0 {
+			row.RPCRates[msg] = float64(delta) / elapsed
+		}
+	}
 	for _, rep := range reps {
 		st := rep.ReplicaStats()
 		row.Notifies += st.Notifies
 		row.Refreshes += st.Refreshes
+		row.StreamBatches += st.StreamBatches
 	}
 	return row, nil
 }
@@ -263,13 +280,13 @@ func WriteReplicasJSON(path string, rep ReplicasReport) error {
 // PrintReplicas renders the replica-scaling table.
 func PrintReplicas(w io.Writer, rows []ReplicaRow) {
 	fmt.Fprintln(w, "Read-replica scaling: point SELECTs on n replicas beside one continuous writer:")
-	fmt.Fprintf(w, "  %-9s %8s %10s %10s %12s %12s %10s %11s %11s\n",
-		"replicas", "readers", "reads/s", "writes/s", "p50 lag", "p99 lag", "max lag", "logread/s", "slicelsn/s")
+	fmt.Fprintf(w, "  %-9s %8s %10s %10s %12s %12s %10s %9s %11s %11s\n",
+		"replicas", "readers", "reads/s", "writes/s", "p50 lag", "p99 lag", "max lag", "push/s", "logread/s", "slicelsn/s")
 	for _, r := range rows {
-		fmt.Fprintf(w, "  %-9d %8d %10.0f %10.0f %9.0f rec %9.0f rec %6d rec %11.0f %11.0f\n",
+		fmt.Fprintf(w, "  %-9d %8d %10.0f %10.0f %9.0f rec %9.0f rec %6d rec %9.0f %11.0f %11.0f\n",
 			r.Replicas, r.Replicas*r.Readers, r.ReadQPS, r.WriteQPS,
 			r.P50LagRecords, r.P99LagRecords, r.MaxLagRecords,
-			r.LogReadPerSec, r.SliceLSNPerSec)
+			float64(r.StreamBatches)/r.Seconds, r.LogReadPerSec, r.SliceLSNPerSec)
 	}
 	rep := BuildReplicasReport(rows)
 	if rep.ReadScaling2x > 0 {

@@ -362,6 +362,41 @@ func (p *Pool) Invalidate(pageID, floorLSN uint64) {
 	}
 }
 
+// InvalidateBatch applies Invalidate to many pages at once, grouping by
+// shard so each shard lock is taken once per batch instead of once per
+// page. Push-mode replicas drain a whole stream frame's invalidations
+// through here. floors[i] corresponds to pageIDs[i].
+func (p *Pool) InvalidateBatch(pageIDs []uint64, floors []uint64) {
+	byShard := make(map[*shard][]int, 4)
+	for i, pageID := range pageIDs {
+		sh := p.shardOf(pageID)
+		byShard[sh] = append(byShard[sh], i)
+	}
+	for sh, idxs := range byShard {
+		sh.mu.Lock()
+		for _, i := range idxs {
+			pageID, floorLSN := pageIDs[i], floors[i]
+			if f, ok := sh.frames[pageID]; ok && f.pg.LSN() < floorLSN {
+				sh.lru.Remove(f.elt)
+				delete(sh.frames, pageID)
+				sh.evictions++
+				p.resident.Add(-1)
+			}
+			if sh.floors == nil {
+				sh.floors = make(map[uint64]uint64)
+			}
+			if floorLSN > sh.floors[pageID] {
+				sh.floors[pageID] = floorLSN
+			}
+		}
+		if len(sh.floors) > maxFloorsPerShard {
+			p.epoch.Add(1)
+			sh.floors = make(map[uint64]uint64)
+		}
+		sh.mu.Unlock()
+	}
+}
+
 // AllocNDP reserves capacity for one NDP page. It fails when the NDP cap
 // is reached — the scan must release pages before reading more, which is
 // exactly the paper's bounded look-ahead. Regular pages are evicted if

@@ -34,6 +34,16 @@ func (t MsgType) String() string {
 		return "MsgLSNAdvance"
 	case MsgSliceLSN:
 		return "MsgSliceLSN"
+	case MsgLogSubscribe:
+		return "MsgLogSubscribe"
+	case MsgLogUnsubscribe:
+		return "MsgLogUnsubscribe"
+	case MsgLogBatch:
+		return "MsgLogBatch"
+	case MsgFrontier:
+		return "MsgFrontier"
+	case MsgVersionPin:
+		return "MsgVersionPin"
 	}
 	return "MsgUnknown"
 }

@@ -52,6 +52,27 @@ const (
 	// MsgSliceLSN asks a Page Store for the per-slice applied LSN
 	// frontier of a tenant — the input to a read replica's visible LSN.
 	MsgSliceLSN
+	// MsgLogSubscribe attaches a read replica to a Log Store's push
+	// stream: the store's hub multicasts framed record batches
+	// (MsgLogBatch) to the subscriber's transport node from FromLSN on,
+	// retiring the replica's MsgLogRead polling.
+	MsgLogSubscribe
+	// MsgLogUnsubscribe detaches a subscriber from the push stream.
+	MsgLogUnsubscribe
+	// MsgLogBatch is one pushed stream frame, Log Store → subscriber:
+	// new records plus piggybacked durable-LSN and per-slice applied
+	// frontiers (retiring MsgSliceLSN polling too).
+	MsgLogBatch
+	// MsgFrontier carries the master SAL's durable watermark and
+	// per-slice applied frontier to the Log Stores — O(#LogStores) per
+	// advance instead of O(#replicas) — where the stream hubs piggyback
+	// it on the next pushed batch.
+	MsgFrontier
+	// MsgVersionPin lets a subscribed replica pin a Page Store version
+	// floor (its visible LSN): version-chain trimming keeps the newest
+	// image at or below every pin, so a lagging replica's reads stop
+	// missing trimmed versions. LSN 0 clears the node's pin.
+	MsgVersionPin
 )
 
 // Optional trace header. A request frame whose type byte has traceFlag
@@ -243,6 +264,68 @@ type SliceLSNResp struct {
 	Slices []SliceLSNEntry
 }
 
+// LogSubscribeReq attaches Node (a transport-reachable name the store
+// pushes MsgLogBatch frames to) to the store's stream from FromLSN
+// (exclusive). Window bounds the per-subscriber batch queue: a
+// subscriber that falls further behind than the queue absorbs is
+// disconnected rather than wedging the multicast.
+type LogSubscribeReq struct {
+	Tenant  uint32
+	Node    string
+	FromLSN uint64
+	Window  uint32
+}
+
+// LogSubscribeResp acknowledges a subscription. When TruncatedLSN >
+// FromLSN the store's log GC already collected records the subscriber
+// still needs: the subscription is NOT established and the replica must
+// resync from a checkpoint, then resubscribe above the watermark.
+type LogSubscribeResp struct {
+	DurableLSN   uint64
+	TruncatedLSN uint64
+}
+
+// LogUnsubscribeReq detaches Node from the store's stream.
+type LogUnsubscribeReq struct {
+	Tenant uint32
+	Node   string
+}
+
+// LogBatchReq is one pushed stream frame: records (concatenated wal
+// encoding, LSN order, possibly empty for a frontier-only advance) plus
+// everything a replica needs to advance its visible LSN without polling
+// — the store's contiguous durable prefix, the master's durable
+// watermark, and the per-slice applied frontier relayed from the SAL.
+type LogBatchReq struct {
+	Tenant uint32
+	Recs   []byte
+	Count  uint32
+	// StreamLSN is the store's hole-free durable prefix: every record at
+	// or below it has been pushed (or predates the subscription).
+	StreamLSN uint64
+	// MasterDurableLSN / Frontier relay the SAL's MsgFrontier state.
+	MasterDurableLSN uint64
+	TruncatedLSN     uint64
+	Frontier         []SliceLSNEntry
+}
+
+// FrontierReq is the master SAL's coalesced frontier advance, sent to
+// the Log Stores: the durable (commit) watermark and each slice's
+// applied-on-all-replicas LSN.
+type FrontierReq struct {
+	Tenant     uint32
+	DurableLSN uint64
+	Slices     []SliceLSNEntry
+}
+
+// VersionPinReq pins (LSN > 0) or clears (LSN 0) Node's version floor
+// on a Page Store.
+type VersionPinReq struct {
+	Tenant uint32
+	Node   string
+	LSN    uint64
+}
+
 // Encoding helpers. Frames are [type byte][body]; the transports add
 // their own length prefixes.
 
@@ -365,9 +448,63 @@ func EncodeRequest(req any) (MsgType, []byte, error) {
 		return MsgLSNAdvance, b, nil
 	case *SliceLSNReq:
 		return MsgSliceLSN, appendU32(nil, m.Tenant), nil
+	case *LogSubscribeReq:
+		b := appendU32(nil, m.Tenant)
+		b = appendString(b, m.Node)
+		b = appendU64(b, m.FromLSN)
+		b = appendU32(b, m.Window)
+		return MsgLogSubscribe, b, nil
+	case *LogUnsubscribeReq:
+		b := appendU32(nil, m.Tenant)
+		b = appendString(b, m.Node)
+		return MsgLogUnsubscribe, b, nil
+	case *LogBatchReq:
+		b := appendU32(nil, m.Tenant)
+		b = appendU32(b, m.Count)
+		b = appendU64(b, m.StreamLSN)
+		b = appendU64(b, m.MasterDurableLSN)
+		b = appendU64(b, m.TruncatedLSN)
+		b = appendSliceLSNs(b, m.Frontier)
+		b = appendBytes(b, m.Recs)
+		return MsgLogBatch, b, nil
+	case *FrontierReq:
+		b := appendU32(nil, m.Tenant)
+		b = appendU64(b, m.DurableLSN)
+		b = appendSliceLSNs(b, m.Slices)
+		return MsgFrontier, b, nil
+	case *VersionPinReq:
+		b := appendU32(nil, m.Tenant)
+		b = appendString(b, m.Node)
+		b = appendU64(b, m.LSN)
+		return MsgVersionPin, b, nil
 	default:
 		return 0, nil, fmt.Errorf("cluster: unknown request type %T", req)
 	}
+}
+
+func appendSliceLSNs(b []byte, entries []SliceLSNEntry) []byte {
+	b = binary.AppendUvarint(b, uint64(len(entries)))
+	for _, e := range entries {
+		b = appendU32(b, e.SliceID)
+		b = appendU64(b, e.AppliedLSN)
+	}
+	return b
+}
+
+func (r *wireReader) sliceLSNs() []SliceLSNEntry {
+	n := r.uvarint()
+	if r.err != nil {
+		return nil
+	}
+	if n > 1<<20 {
+		r.fail()
+		return nil
+	}
+	out := make([]SliceLSNEntry, 0, n)
+	for i := uint64(0); i < n; i++ {
+		out = append(out, SliceLSNEntry{SliceID: r.u32(), AppliedLSN: r.u64()})
+	}
+	return out
 }
 
 // DecodeRequest parses a frame body into the request struct for t.
@@ -413,6 +550,25 @@ func DecodeRequest(t MsgType, body []byte) (any, error) {
 		return m, r.err
 	case MsgSliceLSN:
 		m := &SliceLSNReq{Tenant: r.u32()}
+		return m, r.err
+	case MsgLogSubscribe:
+		m := &LogSubscribeReq{Tenant: r.u32(), Node: r.str(), FromLSN: r.u64(), Window: r.u32()}
+		return m, r.err
+	case MsgLogUnsubscribe:
+		m := &LogUnsubscribeReq{Tenant: r.u32(), Node: r.str()}
+		return m, r.err
+	case MsgLogBatch:
+		m := &LogBatchReq{Tenant: r.u32(), Count: r.u32(), StreamLSN: r.u64(),
+			MasterDurableLSN: r.u64(), TruncatedLSN: r.u64()}
+		m.Frontier = r.sliceLSNs()
+		m.Recs = r.bytes()
+		return m, r.err
+	case MsgFrontier:
+		m := &FrontierReq{Tenant: r.u32(), DurableLSN: r.u64()}
+		m.Slices = r.sliceLSNs()
+		return m, r.err
+	case MsgVersionPin:
+		m := &VersionPinReq{Tenant: r.u32(), Node: r.str(), LSN: r.u64()}
 		return m, r.err
 	default:
 		return nil, fmt.Errorf("cluster: unknown request msg type %d", t)
@@ -464,6 +620,11 @@ func EncodeResponse(resp any, respErr error) (MsgType, []byte, error) {
 			b = appendU64(b, e.AppliedLSN)
 		}
 		return MsgResp, b, nil
+	case *LogSubscribeResp:
+		b := []byte{respLogSubscribe}
+		b = appendU64(b, m.DurableLSN)
+		b = appendU64(b, m.TruncatedLSN)
+		return MsgResp, b, nil
 	default:
 		return 0, nil, fmt.Errorf("cluster: unknown response type %T", resp)
 	}
@@ -477,6 +638,7 @@ const (
 	respLogGC
 	respLogRead
 	respSliceLSN
+	respLogSubscribe
 )
 
 // DecodeResponse parses a response frame.
@@ -527,6 +689,9 @@ func DecodeResponse(t MsgType, body []byte) (any, error) {
 		for i := uint64(0); i < n; i++ {
 			m.Slices = append(m.Slices, SliceLSNEntry{SliceID: r.u32(), AppliedLSN: r.u64()})
 		}
+		return m, r.err
+	case respLogSubscribe:
+		m := &LogSubscribeResp{DurableLSN: r.u64(), TruncatedLSN: r.u64()}
 		return m, r.err
 	default:
 		return nil, fmt.Errorf("cluster: unknown response tag %d", body[0])

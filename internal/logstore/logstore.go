@@ -65,9 +65,19 @@ type Store struct {
 	disk *plog.Log
 	dir  string
 
+	// hub is the push-stream multicaster; nil until SetPushTransport
+	// arms it (pull-tailing stores never have one).
+	hub *hub
+
 	// Optional instruments, armed by RegisterMetrics; nil is inert.
 	appendHist *obs.Histogram
 	appendRecs *obs.Counter
+	// Stream instruments (nil-safe obs counters).
+	mSubscribes        *obs.Counter
+	mStreamBatches     *obs.Counter
+	mStreamRecords     *obs.Counter
+	mStreamDisconnects *obs.Counter
+	mStreamPushErrors  *obs.Counter
 
 	// tracer records server-side spans for sampled requests; events is
 	// the flight recorder for structural transitions (GC truncations).
@@ -212,10 +222,17 @@ func (s *Store) HandleTraced(tc obs.TraceContext, req any) (any, error) {
 	switch req.(type) {
 	case *cluster.LogAppendReq:
 		name = "logstore.append"
+		// The pushes this append triggers become children of its span
+		// (the full push path shows up in /trace/<id>).
+		s.stashStreamTrace(tc)
 	case *cluster.LogReadReq:
 		name = "logstore.read"
 	case *cluster.LogTruncateReq:
 		name = "logstore.truncate"
+	case *cluster.LogSubscribeReq:
+		name = "logstore.subscribe"
+	case *cluster.FrontierReq:
+		name = "logstore.frontier"
 	}
 	sp := s.tracer.StartSpan(tc, name)
 	resp, err := s.Handle(req)
@@ -252,6 +269,14 @@ func (s *Store) Handle(req any) (any, error) {
 			Recs: enc, Count: uint32(count),
 			DurableLSN: s.DurableLSN(), TruncatedLSN: s.TruncatedLSN(),
 		}, nil
+	case *cluster.LogSubscribeReq:
+		return s.subscribe(m)
+	case *cluster.LogUnsubscribeReq:
+		s.unsubscribe(m.Node)
+		return &cluster.Ack{LSN: s.DurableLSN()}, nil
+	case *cluster.FrontierReq:
+		s.updateFrontier(m)
+		return &cluster.Ack{LSN: m.DurableLSN}, nil
 	default:
 		return nil, fmt.Errorf("logstore %s: unsupported request %T", s.name, req)
 	}
@@ -323,6 +348,7 @@ func (s *Store) Append(encoded []byte) (uint64, error) {
 		s.insertSortedLocked(fresh)
 		s.durableLSN = maxLSN
 		s.mu.Unlock()
+		s.kickHub()
 		return maxLSN, nil
 	}
 	// Disk mode: write the batch into the segment while still holding
@@ -351,6 +377,7 @@ func (s *Store) Append(encoded []byte) (uint64, error) {
 		s.mu.Unlock()
 		return 0, werr
 	}
+	s.kickHub()
 	return maxLSN, nil
 }
 
@@ -454,6 +481,13 @@ func (s *Store) Len() int {
 // replicas have applied them". Returns the segments removed and the
 // disk bytes reclaimed.
 func (s *Store) TruncateBelow(watermark uint64) (int, uint64, error) {
+	// Active subscription streams pin GC: a merely-slow subscriber must
+	// never find records it still needs collected mid-stream. (A
+	// DETACHED replica can still be overrun — that is the checkpoint-
+	// resync path at resubscribe.)
+	if floor := s.subscriberFloor(); floor > 0 && floor < watermark {
+		watermark = floor
+	}
 	s.mu.Lock()
 	kept := s.log[:0]
 	for _, r := range s.log {
@@ -567,6 +601,10 @@ type NodeStats struct {
 	// PendingHoles counts LSNs below the durable watermark still
 	// awaiting another write lane's batch (normally 0 at rest).
 	PendingHoles int
+	// Subscribers and StreamLag describe the push stream: attached
+	// consumers and the record distance to the slowest one.
+	Subscribers int
+	StreamLag   uint64
 	// Segments counts on-disk segment files (0 in memory mode); Log
 	// holds the persistent log's counters, including GCBytes reclaimed
 	// by watermark-driven truncation.
@@ -586,6 +624,8 @@ func (s *Store) NodeStats() NodeStats {
 		TruncatedLSN: s.TruncatedLSN(),
 		Records:      s.Len(),
 		PendingHoles: pendingHoles,
+		Subscribers:  s.Subscribers(),
+		StreamLag:    s.StreamLag(),
 		Segments:     s.Segments(),
 		Log:          s.LogStats(),
 	}
@@ -599,8 +639,9 @@ func (s *Store) Sync() error {
 	return s.disk.Sync()
 }
 
-// Close releases the persistent log (no-op in memory mode).
+// Close stops the subscription hub and releases the persistent log.
 func (s *Store) Close() error {
+	s.closeHub()
 	if s.disk == nil {
 		return nil
 	}

@@ -28,6 +28,21 @@ func (s *Store) RegisterMetrics(reg *obs.Registry) {
 		func() float64 { return float64(s.PendingHoles()) }, labels...)
 	reg.GaugeFunc("taurus_logstore_segments", "On-disk segment files.",
 		func() float64 { return float64(s.Segments()) }, labels...)
+	// Subscription-stream families (push-based replica distribution).
+	reg.GaugeFunc("taurus_logstore_stream_subscribers", "Active push-stream subscribers.",
+		func() float64 { return float64(s.Subscribers()) }, labels...)
+	reg.GaugeFunc("taurus_logstore_stream_lag_records", "Records between the contiguous durable prefix and the slowest subscriber.",
+		func() float64 { return float64(s.StreamLag()) }, labels...)
+	s.mSubscribes = reg.Counter("taurus_logstore_stream_subscribes_total",
+		"Subscriptions accepted (attaches and resubscribes).", labels...)
+	s.mStreamBatches = reg.Counter("taurus_logstore_stream_batches_total",
+		"Pushed stream frames (including frontier-only empties).", labels...)
+	s.mStreamRecords = reg.Counter("taurus_logstore_stream_records_total",
+		"Log records pushed to subscribers.", labels...)
+	s.mStreamDisconnects = reg.Counter("taurus_logstore_stream_disconnects_total",
+		"Subscribers disconnected by flow control (queue overflow).", labels...)
+	s.mStreamPushErrors = reg.Counter("taurus_logstore_stream_push_errors_total",
+		"Pushed frames that failed at the transport (subscriber dropped).", labels...)
 }
 
 // observeAppend times one Append call; returns a no-op when metrics are

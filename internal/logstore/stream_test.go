@@ -1,0 +1,270 @@
+package logstore
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"taurus/internal/cluster"
+	"taurus/internal/wal"
+)
+
+// streamSink is a test transport for the push hub: it collects the
+// frames pushed to subscriber nodes and can be switched to fail (dead
+// subscriber) or block (stalled subscriber) mid-test.
+type streamSink struct {
+	mu     sync.Mutex
+	frames []*cluster.LogBatchReq
+	fail   bool
+	block  chan struct{}
+}
+
+func (t *streamSink) Call(node string, req any) (any, error) {
+	t.mu.Lock()
+	block := t.block
+	t.mu.Unlock()
+	if block != nil {
+		<-block
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.fail {
+		return nil, fmt.Errorf("sink: %s unreachable", node)
+	}
+	if m, ok := req.(*cluster.LogBatchReq); ok {
+		t.frames = append(t.frames, m)
+	}
+	return &cluster.Ack{}, nil
+}
+
+func (t *streamSink) setFail(fail bool) {
+	t.mu.Lock()
+	t.fail = fail
+	t.mu.Unlock()
+}
+
+// deliveredLSNs decodes every collected frame and returns the set of
+// record LSNs pushed so far, plus the total including duplicates.
+func (t *streamSink) deliveredLSNs() (map[uint64]int, int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	seen := make(map[uint64]int)
+	total := 0
+	for _, f := range t.frames {
+		if len(f.Recs) == 0 {
+			continue
+		}
+		recs, err := wal.DecodeAll(f.Recs)
+		if err != nil {
+			continue
+		}
+		for _, r := range recs {
+			seen[r.LSN]++
+			total++
+		}
+	}
+	return seen, total
+}
+
+func waitCond(t *testing.T, d time.Duration, cond func() bool, msg string) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatal(msg)
+}
+
+func compactRecs(from, to uint64) []byte {
+	var recs []wal.Record
+	for lsn := from; lsn <= to; lsn++ {
+		recs = append(recs, wal.Record{LSN: lsn, Type: wal.TypeCompact, PageID: 1})
+	}
+	return encodeRecs(recs...)
+}
+
+// covered reports whether every LSN in [from, to] was delivered.
+func covered(seen map[uint64]int, from, to uint64) bool {
+	for lsn := from; lsn <= to; lsn++ {
+		if seen[lsn] == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// TestStreamPushDeliversContiguously: a subscriber attaching behind the
+// durable frontier catches up via gap-fill frames and then rides the
+// live multicast — every record exactly once, no gaps.
+func TestStreamPushDeliversContiguously(t *testing.T) {
+	s := New("log1")
+	sink := &streamSink{}
+	s.SetPushTransport(sink)
+	defer s.closeHub()
+	if _, err := s.Append(compactRecs(1, 3)); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := s.Handle(&cluster.LogSubscribeReq{Tenant: 1, Node: "r1", FromLSN: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub := resp.(*cluster.LogSubscribeResp)
+	if sub.TruncatedLSN != 0 || sub.DurableLSN != 3 {
+		t.Fatalf("subscribe resp: %+v", sub)
+	}
+	waitCond(t, 5*time.Second, func() bool {
+		seen, _ := sink.deliveredLSNs()
+		return covered(seen, 1, 3)
+	}, "attach-time catch-up never delivered LSNs 1..3")
+	if _, err := s.Append(compactRecs(4, 5)); err != nil {
+		t.Fatal(err)
+	}
+	waitCond(t, 5*time.Second, func() bool {
+		seen, _ := sink.deliveredLSNs()
+		return covered(seen, 1, 5)
+	}, "live records 4..5 never pushed")
+	seen, total := sink.deliveredLSNs()
+	if total != 5 {
+		t.Fatalf("delivered %d records for 5 LSNs (duplicates): %v", total, seen)
+	}
+	if s.Subscribers() != 1 {
+		t.Fatalf("subscribers = %d, want 1", s.Subscribers())
+	}
+	waitCond(t, 5*time.Second, func() bool { return s.StreamLag() == 0 },
+		"stream lag never drained")
+}
+
+// TestStreamSlowSubscriberDisconnect: a subscriber that stops consuming
+// overflows its flow-control window and is disconnected rather than
+// stalling the stream.
+func TestStreamSlowSubscriberDisconnect(t *testing.T) {
+	s := New("log1")
+	sink := &streamSink{block: make(chan struct{})}
+	s.SetPushTransport(sink)
+	defer s.closeHub()
+	if _, err := s.Handle(&cluster.LogSubscribeReq{Tenant: 1, Node: "r1", FromLSN: 0, Window: 1}); err != nil {
+		t.Fatal(err)
+	}
+	// The sender is stuck pushing the attach sync frame; each append
+	// multicasts another frame into the 1-deep queue until it overflows.
+	var lsn uint64
+	deadline := time.Now().Add(5 * time.Second)
+	for s.Subscribers() > 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("slow subscriber never disconnected")
+		}
+		lsn++
+		if _, err := s.Append(compactRecs(lsn, lsn)); err != nil {
+			t.Fatal(err)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	close(sink.block) // release the stuck sender goroutine
+}
+
+// TestStreamSubscribeRefusedAfterGC: log GC past the requested start
+// refuses the subscription and reports the truncation watermark so the
+// replica checkpoint-resyncs first.
+func TestStreamSubscribeRefusedAfterGC(t *testing.T) {
+	s := New("log1")
+	sink := &streamSink{}
+	s.SetPushTransport(sink)
+	defer s.closeHub()
+	if _, err := s.Append(compactRecs(1, 5)); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.TruncateBelow(4); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := s.Handle(&cluster.LogSubscribeReq{Tenant: 1, Node: "r1", FromLSN: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub := resp.(*cluster.LogSubscribeResp); sub.TruncatedLSN != 3 {
+		t.Fatalf("refusal watermark = %d, want 3", sub.TruncatedLSN)
+	}
+	if s.Subscribers() != 0 {
+		t.Fatal("refused subscription still attached")
+	}
+	// Resubscribing at the watermark is accepted and streams the rest.
+	if _, err := s.Handle(&cluster.LogSubscribeReq{Tenant: 1, Node: "r1", FromLSN: 3}); err != nil {
+		t.Fatal(err)
+	}
+	if s.Subscribers() != 1 {
+		t.Fatal("post-resync subscription not attached")
+	}
+	waitCond(t, 5*time.Second, func() bool {
+		seen, _ := sink.deliveredLSNs()
+		return covered(seen, 4, 5)
+	}, "surviving records 4..5 never pushed")
+}
+
+// TestStreamPinsGC: an attached (merely slow) subscriber pins the GC
+// watermark, so records it still needs are never collected mid-stream.
+func TestStreamPinsGC(t *testing.T) {
+	s := New("log1")
+	sink := &streamSink{block: make(chan struct{})}
+	s.SetPushTransport(sink)
+	defer s.closeHub()
+	if _, err := s.Handle(&cluster.LogSubscribeReq{Tenant: 1, Node: "r1", FromLSN: 0}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Append(compactRecs(1, 5)); err != nil {
+		t.Fatal(err)
+	}
+	// The subscriber is stalled at LSN 1; a GC sweep aimed far past it
+	// must clamp to the subscriber floor and collect nothing.
+	if _, _, err := s.TruncateBelow(100); err != nil {
+		t.Fatal(err)
+	}
+	if s.TruncatedLSN() != 0 || s.Len() != 5 {
+		t.Fatalf("GC overran an attached subscriber: truncated=%d len=%d", s.TruncatedLSN(), s.Len())
+	}
+	close(sink.block)
+	waitCond(t, 5*time.Second, func() bool {
+		seen, _ := sink.deliveredLSNs()
+		return covered(seen, 1, 5)
+	}, "pinned records never delivered after the stall cleared")
+}
+
+// TestStreamPushErrorResubscribe: a dead subscriber is dropped on the
+// first failed push; resubscribing from the last delivered LSN resumes
+// the stream without a gap.
+func TestStreamPushErrorResubscribe(t *testing.T) {
+	s := New("log1")
+	sink := &streamSink{}
+	s.SetPushTransport(sink)
+	defer s.closeHub()
+	if _, err := s.Handle(&cluster.LogSubscribeReq{Tenant: 1, Node: "r1", FromLSN: 0}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Append(compactRecs(1, 3)); err != nil {
+		t.Fatal(err)
+	}
+	waitCond(t, 5*time.Second, func() bool {
+		seen, _ := sink.deliveredLSNs()
+		return covered(seen, 1, 3)
+	}, "initial records never pushed")
+	sink.setFail(true)
+	if _, err := s.Append(compactRecs(4, 4)); err != nil {
+		t.Fatal(err)
+	}
+	waitCond(t, 5*time.Second, func() bool { return s.Subscribers() == 0 },
+		"dead subscriber never dropped")
+	sink.setFail(false)
+	// The replica resubscribes from its contiguous tail (LSN 3).
+	if _, err := s.Handle(&cluster.LogSubscribeReq{Tenant: 1, Node: "r1", FromLSN: 3}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Append(compactRecs(5, 5)); err != nil {
+		t.Fatal(err)
+	}
+	waitCond(t, 5*time.Second, func() bool {
+		seen, _ := sink.deliveredLSNs()
+		return covered(seen, 1, 5)
+	}, "stream did not resume after resubscribe")
+}

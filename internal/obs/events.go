@@ -28,6 +28,14 @@ const (
 	EventReplicaResync  = "replica.resync"
 	EventPoison         = "sal.poison"
 	EventCatalogBarrier = "catalog.barrier"
+	// Push-stream lifecycle: a replica subscribed to a Log Store's
+	// stream, detached cleanly, or was disconnected (flow control or
+	// push failure); EventCheckpointResync marks a replica rebasing on
+	// a Page Store checkpoint after log GC overran its detached tail.
+	EventStreamAttach     = "stream.attach"
+	EventStreamDetach     = "stream.detach"
+	EventStreamDisconnect = "stream.disconnect"
+	EventCheckpointResync = "replica.ckpt_resync"
 )
 
 // Event is one recorded structural transition.

@@ -43,6 +43,10 @@ func (s *Store) registerMetrics(reg *obs.Registry) {
 		func() float64 { _, _, persisted := s.LSNInfo(0); return float64(persisted) }, labels...)
 	reg.GaugeFunc("taurus_pagestore_slices", "Slices hosted.",
 		func() float64 { n, _, _ := s.LSNInfo(0); return float64(n) }, labels...)
+	reg.GaugeFunc("taurus_pagestore_version_pins", "Active replica version pins.",
+		func() float64 { return float64(s.VersionPins()) }, labels...)
+	reg.GaugeFunc("taurus_pagestore_version_pin_floor", "Lowest pinned version LSN (0 = unpinned).",
+		func() float64 { return float64(s.VersionPinFloor()) }, labels...)
 }
 
 // observeInto returns a completion func feeding h, or a no-op when the

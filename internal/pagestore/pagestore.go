@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"taurus/internal/cluster"
@@ -50,10 +51,23 @@ func (pv *pageVersions) at(lsn uint64) *page.Page {
 	return nil
 }
 
-func (pv *pageVersions) push(pg *page.Page) {
+// maxPinnedVersions hard-caps a chain even under a version pin. A stale
+// pin (a replica that died without clearing it) must not grow memory
+// without bound; past the cap the pinned reader falls back to
+// refresh-and-retry, which is the pre-pinning behaviour.
+const maxPinnedVersions = 64
+
+// push appends a version and trims the chain's tail. floor is the lowest
+// LSN any pinned reader may still request (0 = no pin): the oldest
+// version is only dropped once the next one already satisfies the floor,
+// so a pinned replica's reads keep hitting instead of racing retention.
+func (pv *pageVersions) push(pg *page.Page, floor uint64) {
 	pv.versions = append(pv.versions, pg)
-	if len(pv.versions) > VersionRetention {
-		pv.versions = pv.versions[len(pv.versions)-VersionRetention:]
+	for len(pv.versions) > VersionRetention {
+		if floor != 0 && len(pv.versions) <= maxPinnedVersions && pv.versions[1].LSN() > floor {
+			break // dropping versions[0] would orphan the pinned reader
+		}
+		pv.versions = pv.versions[1:]
 	}
 }
 
@@ -100,6 +114,14 @@ type Store struct {
 	// the flight recorder (checkpoint completions). Both nil-inert.
 	tracer *obs.Tracer
 	events *obs.EventRing
+
+	// Version pins: subscribed replicas pin the version floor they may
+	// still read at, so lagging replicas don't lose the race against
+	// VersionRetention and fall into refresh-and-retry storms. pinFloor
+	// caches the minimum for the apply hot path.
+	pinMu    sync.Mutex
+	pins     map[string]uint64
+	pinFloor atomic.Uint64
 }
 
 // Stats counts Page Store activity.
@@ -203,6 +225,8 @@ func (s *Store) HandleTraced(tc obs.TraceContext, req any) (any, error) {
 		name = "pagestore.batchread"
 	case *cluster.SliceLSNReq:
 		name = "pagestore.slicelsn"
+	case *cluster.VersionPinReq:
+		name = "pagestore.pin"
 	}
 	sp := s.tracer.StartSpan(tc, name)
 	resp, err := s.Handle(req)
@@ -251,9 +275,47 @@ func (s *Store) Handle(req any) (any, error) {
 			})
 		}
 		return resp, nil
+	case *cluster.VersionPinReq:
+		s.SetVersionPin(m.Node, m.LSN)
+		return &cluster.Ack{LSN: m.LSN}, nil
 	default:
 		return nil, fmt.Errorf("pagestore %s: unsupported request %T", s.name, req)
 	}
+}
+
+// SetVersionPin records (lsn > 0) or clears (lsn == 0) node's version
+// floor: the store will not drop a page version a reader at that LSN
+// still needs, up to maxPinnedVersions per page. Subscribed replicas pin
+// at attach and re-pin as their visible LSN advances.
+func (s *Store) SetVersionPin(node string, lsn uint64) {
+	s.pinMu.Lock()
+	defer s.pinMu.Unlock()
+	if s.pins == nil {
+		s.pins = make(map[string]uint64)
+	}
+	if lsn == 0 {
+		delete(s.pins, node)
+	} else {
+		s.pins[node] = lsn
+	}
+	var min uint64
+	for _, v := range s.pins {
+		if min == 0 || v < min {
+			min = v
+		}
+	}
+	s.pinFloor.Store(min)
+}
+
+// VersionPinFloor returns the lowest pinned LSN across readers (0 =
+// unpinned).
+func (s *Store) VersionPinFloor() uint64 { return s.pinFloor.Load() }
+
+// VersionPins returns the number of active pins.
+func (s *Store) VersionPins() int {
+	s.pinMu.Lock()
+	defer s.pinMu.Unlock()
+	return len(s.pins)
 }
 
 // CreateSlice provisions an empty slice; idempotent.
@@ -288,6 +350,7 @@ func (s *Store) WriteLogs(tenant, sliceID uint32, encoded []byte) (uint64, error
 	if err != nil {
 		return 0, err
 	}
+	pinFloor := s.pinFloor.Load()
 	sl.mu.Lock()
 	defer sl.mu.Unlock()
 	for i := range recs {
@@ -308,7 +371,7 @@ func (s *Store) WriteLogs(tenant, sliceID uint32, encoded []byte) (uint64, error
 			pg := page.New(rec.PageID, rec.IndexID, rec.Level)
 			pg.SetLSN(rec.LSN)
 			pv := &pageVersions{}
-			pv.push(pg)
+			pv.push(pg, 0)
 			sl.pages[rec.PageID] = pv
 		} else {
 			pv, ok := sl.pages[rec.PageID]
@@ -320,7 +383,7 @@ func (s *Store) WriteLogs(tenant, sliceID uint32, encoded []byte) (uint64, error
 			if err := wal.Apply(next, rec); err != nil {
 				return 0, err
 			}
-			pv.push(next)
+			pv.push(next, pinFloor)
 		}
 		sl.appliedLSN = rec.LSN
 		s.stats.mu.Lock()
@@ -490,7 +553,7 @@ func (s *Store) Restore() (RestoreStats, error) {
 				return st, fmt.Errorf("pagestore %s: checkpointed page %d: %w", s.name, img.PageID, err)
 			}
 			pv := &pageVersions{}
-			pv.push(pg)
+			pv.push(pg, 0)
 			sl.pages[img.PageID] = pv
 		}
 		s.slices[sliceKey{ck.Tenant, ck.SliceID}] = sl

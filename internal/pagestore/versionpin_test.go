@@ -1,0 +1,91 @@
+package pagestore
+
+import (
+	"testing"
+
+	"taurus/internal/cluster"
+	"taurus/internal/page"
+	"taurus/internal/types"
+	"taurus/internal/wal"
+)
+
+// pinWrite applies one insert record to page 1 at the given LSN,
+// creating a new COW version.
+func pinWrite(t *testing.T, s *Store, lsn uint64) {
+	t.Helper()
+	key := types.EncodeKey(nil, types.Row{types.NewInt(int64(lsn))})
+	row := types.EncodeRow(nil, idvSchema, types.Row{types.NewInt(int64(lsn)), types.NewInt(1)})
+	rec := wal.Record{
+		LSN: lsn, Type: wal.TypeInsertRec, PageID: 1,
+		Off: wal.OffAppend, TrxID: 1, Payload: page.EncodeLeafPayload(nil, key, row),
+	}
+	if _, err := s.WriteLogs(1, 0, rec.Encode(nil)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestVersionPinRetention: a replica's version pin keeps the snapshot
+// version it reads at alive past the retention window; clearing the pin
+// resumes normal pruning.
+func TestVersionPinRetention(t *testing.T) {
+	s := New("ps1")
+	s.CreateSlice(1, 0)
+	format := wal.Record{LSN: 1, Type: wal.TypeFormatPage, PageID: 1, IndexID: 1}
+	if _, err := s.WriteLogs(1, 0, format.Encode(nil)); err != nil {
+		t.Fatal(err)
+	}
+	// A replica pins its snapshot at LSN 2, then the master writes far
+	// past the retention window.
+	s.SetVersionPin("replica-1", 2)
+	for lsn := uint64(2); lsn <= 2+3*VersionRetention; lsn++ {
+		pinWrite(t, s, lsn)
+	}
+	if _, err := s.ReadPage(1, 0, 1, 2); err != nil {
+		t.Fatalf("pinned snapshot version dropped: %v", err)
+	}
+	// Clearing the pin lets retention prune the old version again.
+	s.SetVersionPin("replica-1", 0)
+	last := 2 + 3*uint64(VersionRetention)
+	for lsn := last + 1; lsn <= last+VersionRetention+1; lsn++ {
+		pinWrite(t, s, lsn)
+	}
+	if _, err := s.ReadPage(1, 0, 1, 2); err == nil {
+		t.Fatal("unpinned version survived retention")
+	}
+	// The newest version always serves.
+	if _, err := s.ReadPage(1, 0, 1, 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestVersionPinFloorAccounting: the effective floor is the minimum
+// across pinned replicas, and pins are cleared per node.
+func TestVersionPinFloorAccounting(t *testing.T) {
+	s := New("ps1")
+	s.SetVersionPin("r1", 5)
+	s.SetVersionPin("r2", 3)
+	if s.VersionPins() != 2 || s.VersionPinFloor() != 3 {
+		t.Fatalf("pins=%d floor=%d, want 2/3", s.VersionPins(), s.VersionPinFloor())
+	}
+	// Re-pinning a node replaces its floor; clearing one leaves the rest.
+	s.SetVersionPin("r2", 9)
+	if s.VersionPinFloor() != 5 {
+		t.Fatalf("floor=%d after repin, want 5", s.VersionPinFloor())
+	}
+	s.SetVersionPin("r1", 0)
+	if s.VersionPins() != 1 || s.VersionPinFloor() != 9 {
+		t.Fatalf("pins=%d floor=%d after clear, want 1/9", s.VersionPins(), s.VersionPinFloor())
+	}
+	s.SetVersionPin("r2", 0)
+	if s.VersionPins() != 0 || s.VersionPinFloor() != 0 {
+		t.Fatalf("pins=%d floor=%d after full clear, want 0/0", s.VersionPins(), s.VersionPinFloor())
+	}
+	// The RPC form dispatches through Handle.
+	resp, err := s.Handle(&cluster.VersionPinReq{Tenant: 1, Node: "r3", LSN: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.(*cluster.Ack).LSN != 7 || s.VersionPinFloor() != 7 {
+		t.Fatalf("Handle pin: floor=%d", s.VersionPinFloor())
+	}
+}

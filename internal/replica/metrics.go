@@ -38,4 +38,13 @@ func (r *Replica) registerMetrics(reg *obs.Registry, name string) {
 	counter("taurus_replica_records_tailed_total", "Log records consumed from the Log Stores.", r.stats.recordsTailed.Load)
 	counter("taurus_replica_pages_invalidated_total", "Cached pages evicted as records became visible.", r.stats.pagesInvalidated.Load)
 	counter("taurus_replica_resyncs_total", "Hard resets after log GC overran the tail.", r.stats.resyncs.Load)
+	counter("taurus_replica_stream_batches_total", "Pushed stream frames received (push mode).", r.stats.streamBatches.Load)
+	counter("taurus_replica_ckpt_resyncs_total", "Checkpoint rebases after log GC overran a detached tail.", r.stats.ckptResyncs.Load)
+	reg.GaugeFunc("taurus_replica_subscribed", "1 when attached to a Log Store push stream.",
+		func() float64 {
+			if r.subscribed.Load() {
+				return 1
+			}
+			return 0
+		}, labels...)
 }

@@ -23,6 +23,19 @@
 // SAL (cluster.LSNAdvanceReq, best effort) plus a poll interval
 // fallback, so a replica works both embedded next to its master and as
 // a standalone process tailing remote storage nodes over TCP.
+//
+// Two distribution modes exist. The legacy pull mode polls: MsgLogRead
+// against the Log Stores and MsgSliceLSN against every Page Store, per
+// refresh cycle, per replica — a per-replica RPC tax that grows with
+// the fleet. Push mode (Config.Subscribe) inverts the flow: the replica
+// subscribes once (MsgLogSubscribe) and a Log Store streams framed
+// record batches (MsgLogBatch) that piggyback the master's durable
+// watermark and the per-slice applied frontier, so the steady-state
+// poll rate is zero and the master's distribution cost stays flat as
+// replicas are added. A push replica also pins a version floor on the
+// Page Stores (MsgVersionPin) so a lagging snapshot read is never
+// dropped by version retention, and rebases on the master's checkpoint
+// when log GC overran a detached tail.
 package replica
 
 import (
@@ -70,6 +83,27 @@ type Config struct {
 	// Events, when non-nil, records structural events (resyncs, tailed
 	// catalog barriers) in the flight recorder. nil is inert.
 	Events *obs.EventRing
+	// Subscribe selects push mode: instead of pull-tailing, the replica
+	// subscribes to a Log Store's push stream and consumes MsgLogBatch
+	// frames addressed to Node. Requires Node to be registered as a
+	// cluster.Handler reachable by the Log Stores.
+	Subscribe bool
+	// Node is the cluster address this replica answers on — the push
+	// stream's destination. Required when Subscribe is set.
+	Node string
+	// Window is the stream's flow-control window in frames (0 uses the
+	// Log Store default): how far the store lets this replica fall
+	// behind before disconnecting it.
+	Window uint32
+	// PinStride re-pins the Page Store version floor every this many
+	// records of visible-LSN advance (default 256). Push mode only.
+	PinStride uint64
+	// LoadCheckpoint, when set, rebases the replica on the master's
+	// latest checkpoint after log GC overran its detached tail: the hook
+	// re-attaches DDL the replica missed and returns the checkpoint's
+	// applied LSN. nil degrades to the pull tailer's blind reset at the
+	// truncation watermark.
+	LoadCheckpoint func() (uint64, error)
 }
 
 // Stats is the replica's observable state.
@@ -100,6 +134,12 @@ type Stats struct {
 	TablesAttached   uint64
 	RootAdvances     uint64
 	Resyncs          uint64
+	// StreamBatches counts pushed stream frames received (push mode);
+	// CkptResyncs counts checkpoint rebases after log GC overran a
+	// detached tail; Subscribed reports an active push stream.
+	StreamBatches uint64
+	CkptResyncs   uint64
+	Subscribed    bool
 }
 
 // ddlEvent is a catalog or FormatPage record awaiting visibility.
@@ -152,6 +192,19 @@ type Replica struct {
 	byteQ        []lsnSize
 	pendingBytes uint64
 	maxTrx       uint64
+	// frontier is the pushed per-slice applied frontier (push mode): the
+	// master SAL reports a slice here only after every Page Store
+	// replica of it confirmed the apply.
+	frontier map[uint32]uint64
+
+	// Push-mode stream state: subscribed flags an active stream;
+	// lastBatch is the UnixNano arrival of the newest frame (watchdog
+	// input); subSeq rotates the Log Store choice across (re)subscribes;
+	// pinned is the last version-pin LSN sent to the Page Stores.
+	subscribed atomic.Bool
+	lastBatch  atomic.Int64
+	subSeq     atomic.Uint64
+	pinned     atomic.Uint64
 
 	kick chan struct{}
 	stop chan struct{}
@@ -167,6 +220,8 @@ type Replica struct {
 		resyncs          atomic.Uint64
 		lagBytes         atomic.Uint64
 		durableFloor     atomic.Uint64
+		streamBatches    atomic.Uint64
+		ckptResyncs      atomic.Uint64
 	}
 
 	// Optional instruments, armed when cfg.Metrics is set; nil is inert.
@@ -201,12 +256,19 @@ func New(cfg Config) (*Replica, error) {
 	if cfg.MaxTailRecords <= 0 {
 		cfg.MaxTailRecords = 4096
 	}
+	if cfg.Subscribe && cfg.Node == "" {
+		return nil, fmt.Errorf("replica: Subscribe requires Node (the registered cluster address)")
+	}
+	if cfg.PinStride == 0 {
+		cfg.PinStride = 256
+	}
 	r := &Replica{
 		cfg:          cfg,
 		buf:          make(map[uint64]tailRec),
 		slicePending: make(map[uint32][]uint64),
 		pagePending:  make(map[uint64][]uint64),
 		pendingDDL:   make(map[uint64]*wal.CatalogEntry),
+		frontier:     make(map[uint32]uint64),
 		kick:         make(chan struct{}, 1),
 		stop:         make(chan struct{}),
 		done:         make(chan struct{}),
@@ -239,12 +301,7 @@ func (r *Replica) Start(startLSN, catchUpTo uint64) error {
 	r.visible.Store(startLSN)
 	// CAS-max: the master's SAL may have pushed a (higher) watermark
 	// notification between registration and here.
-	for {
-		cur := r.notified.Load()
-		if startLSN <= cur || r.notified.CompareAndSwap(cur, startLSN) {
-			break
-		}
-	}
+	r.noteDurable(startLSN)
 	var t0 time.Time
 	if r.mCatchup != nil {
 		t0 = time.Now()
@@ -267,10 +324,19 @@ func (r *Replica) Start(startLSN, catchUpTo uint64) error {
 	return nil
 }
 
-// Close stops the background tailer.
+// Close stops the background tailer and, in push mode, detaches from
+// the stream and clears this replica's Page Store version pins (both
+// best effort — the hub also drops us on the first failed push, and a
+// stale pin is bounded by the stores' hard version cap).
 func (r *Replica) Close() {
 	close(r.stop)
 	<-r.done
+	if r.cfg.Subscribe {
+		for _, node := range r.cfg.LogStores {
+			r.cfg.Transport.Call(node, &cluster.LogUnsubscribeReq{Tenant: r.cfg.Tenant, Node: r.cfg.Node})
+		}
+		r.pinAll(0)
+	}
 }
 
 // SliceOf maps a page to its slice (the master's rule).
@@ -318,29 +384,76 @@ func (r *Replica) BatchRead(pageIDs []uint64, lsn uint64, desc []byte) (*sal.Bat
 		pageIDs, lsn, desc)
 }
 
-// Handle implements cluster.Handler for the master SAL's LSN-advance
-// notifications: remember the watermark, nudge the tailer.
+// Handle implements cluster.Handler: LSN-advance notifications from the
+// master's SAL (pull mode) and pushed stream frames from a Log Store
+// hub (push mode).
 func (r *Replica) Handle(req any) (any, error) {
-	m, ok := req.(*cluster.LSNAdvanceReq)
-	if !ok {
+	switch m := req.(type) {
+	case *cluster.LSNAdvanceReq:
+		r.noteDurable(m.DurableLSN)
+		r.stats.notifies.Add(1)
+		r.kickLoop()
+		return &cluster.Ack{LSN: m.DurableLSN}, nil
+	case *cluster.LogBatchReq:
+		return r.handleBatch(m)
+	default:
 		return nil, fmt.Errorf("replica: unsupported request %T", req)
 	}
+}
+
+// noteDurable CAS-maxes the master durable watermark.
+func (r *Replica) noteDurable(lsn uint64) {
 	for {
 		cur := r.notified.Load()
-		if m.DurableLSN <= cur || r.notified.CompareAndSwap(cur, m.DurableLSN) {
-			break
+		if lsn <= cur || r.notified.CompareAndSwap(cur, lsn) {
+			return
 		}
 	}
-	r.stats.notifies.Add(1)
+}
+
+// kickLoop nudges the background tailer.
+func (r *Replica) kickLoop() {
 	select {
 	case r.kick <- struct{}{}:
 	default:
 	}
-	return &cluster.Ack{LSN: m.DurableLSN}, nil
 }
 
-// loop is the background tailer: refresh on master notification or on
-// the poll interval, whichever comes first.
+// handleBatch ingests one pushed stream frame: records enter the tail
+// buffer (the same dedupe as pull tailing, so replayed or overlapping
+// delivery is safe), and the piggybacked durable watermark and applied
+// frontier replace this replica's polling. The actual advance runs on
+// the tailer goroutine — the sender's RPC returns immediately, so the
+// stream's flow-control window measures transport backlog, not apply
+// backlog.
+func (r *Replica) handleBatch(m *cluster.LogBatchReq) (any, error) {
+	r.lastBatch.Store(time.Now().UnixNano())
+	r.stats.streamBatches.Add(1)
+	if len(m.Recs) > 0 {
+		r.ingest(m.Recs)
+	}
+	r.noteDurable(m.MasterDurableLSN)
+	r.mu.Lock()
+	for _, e := range m.Frontier {
+		if e.AppliedLSN > r.frontier[e.SliceID] {
+			r.frontier[e.SliceID] = e.AppliedLSN
+		}
+	}
+	tailed := r.tailed
+	r.mu.Unlock()
+	if m.TruncatedLSN > tailed {
+		// The store GC'd past our tail mid-stream (a gap the
+		// subscribe-time check missed); force a resubscribe, which runs
+		// the checkpoint-resync path.
+		r.subscribed.Store(false)
+	}
+	r.kickLoop()
+	return &cluster.Ack{LSN: tailed}, nil
+}
+
+// loop is the background tailer. Pull mode refreshes (tail + poll) on
+// master notification or on the poll interval; push mode keeps the
+// subscription healthy and advances from pushed state on each frame.
 func (r *Replica) loop() {
 	defer close(r.done)
 	t := time.NewTicker(r.cfg.RefreshInterval)
@@ -352,8 +465,155 @@ func (r *Replica) loop() {
 		case <-r.kick:
 		case <-t.C:
 		}
-		r.Refresh() // best effort; next round retries
+		if r.cfg.Subscribe {
+			r.pushCycle()
+		} else {
+			r.Refresh() // best effort; next round retries
+		}
 	}
+}
+
+// pushCycle is one push-mode round: advance from pushed state, watch
+// the stream's health, resubscribe when it went dead. While detached
+// (stream refused or unreachable) it falls back to one pull refresh so
+// the replica stays live, and retries the subscription next round.
+func (r *Replica) pushCycle() {
+	if r.subscribed.Load() {
+		r.advance()
+		idle := time.Duration(time.Now().UnixNano() - r.lastBatch.Load())
+		r.mu.Lock()
+		behind := r.notified.Load() > r.tailed
+		r.mu.Unlock()
+		// Declare the stream dead when frames stop while the master is
+		// known to be ahead (fast path), or after a long silent window
+		// regardless (catches a store that died while the master idled).
+		if (behind && idle > 8*r.cfg.RefreshInterval) || idle > 40*r.cfg.RefreshInterval {
+			r.subscribed.Store(false)
+		}
+	}
+	if !r.subscribed.Load() {
+		if err := r.subscribe(); err != nil {
+			r.Refresh()
+			return
+		}
+		r.advance()
+	}
+}
+
+// subscribe attaches to one Log Store's push stream, rotating the store
+// choice across attempts. A refusal because log GC overran the tail
+// rebases on the master's checkpoint, then retries once.
+func (r *Replica) subscribe() error {
+	store := r.cfg.LogStores[int(r.subSeq.Add(1))%len(r.cfg.LogStores)]
+	for attempt := 0; ; attempt++ {
+		r.mu.Lock()
+		from := r.tailed
+		r.mu.Unlock()
+		resp, err := r.cfg.Transport.Call(store, &cluster.LogSubscribeReq{
+			Tenant: r.cfg.Tenant, Node: r.cfg.Node, FromLSN: from, Window: r.cfg.Window,
+		})
+		if err != nil {
+			return err
+		}
+		sub := resp.(*cluster.LogSubscribeResp)
+		if sub.TruncatedLSN > from {
+			if attempt > 0 {
+				return fmt.Errorf("replica %s: %s truncated to %d, past the checkpoint rebase at %d",
+					r.cfg.Name, store, sub.TruncatedLSN, from)
+			}
+			r.checkpointResync(sub.TruncatedLSN)
+			continue
+		}
+		// Attached. The ack's durable watermark seeds the floor until the
+		// first pushed frame arrives.
+		r.noteDurable(sub.DurableLSN)
+		r.lastBatch.Store(time.Now().UnixNano())
+		r.subscribed.Store(true)
+		r.maybeRepin(r.visible.Load())
+		return nil
+	}
+}
+
+// advance runs one push-mode advance cycle under the refresh lock (the
+// same serialization Refresh uses). It does not count as a refresh:
+// refreshes in push mode measure on-demand cycles only — engine
+// retention-miss retries and detached liveness fallbacks.
+func (r *Replica) advance() {
+	r.refreshMu.Lock()
+	var t0 time.Time
+	if r.mRefresh != nil {
+		t0 = time.Now()
+	}
+	attached, _ := r.advanceLocked()
+	if r.mRefresh != nil {
+		r.mRefresh.ObserveDuration(time.Since(t0))
+	}
+	r.refreshMu.Unlock()
+	for _, table := range attached {
+		if r.onAttach != nil {
+			r.onAttach(table)
+		}
+	}
+}
+
+// maybeRepin re-pins the replica's Page Store version floor when the
+// visible LSN advanced a stride past the last pin. The pin keeps the
+// version a lagging snapshot read needs alive on the stores, ending the
+// refresh-and-retry storms version retention otherwise causes. Push
+// mode only; pull replicas keep the retry behaviour.
+func (r *Replica) maybeRepin(visible uint64) {
+	if !r.cfg.Subscribe || visible == 0 {
+		return
+	}
+	if p := r.pinned.Load(); p != 0 && visible < p+r.cfg.PinStride {
+		return
+	}
+	r.pinAll(visible)
+}
+
+// pinAll sends the version pin (or, with 0, the clear) to every Page
+// Store, best effort.
+func (r *Replica) pinAll(lsn uint64) {
+	for _, node := range r.cfg.PageStores {
+		r.cfg.Transport.Call(node, &cluster.VersionPinReq{
+			Tenant: r.cfg.Tenant, Node: r.cfg.Node, LSN: lsn,
+		})
+	}
+	if lsn > 0 {
+		r.pinned.Store(lsn)
+	}
+}
+
+// checkpointResync rebases the replica after log GC overran its
+// detached tail: records in (tailed, truncated] are gone from the Log
+// Store, but everything they did is applied and checkpointed on the
+// Page Stores. The LoadCheckpoint hook re-attaches DDL the replica
+// missed and returns the checkpoint's applied LSN; reads resume at that
+// frontier immediately, and the stream resumes above it.
+func (r *Replica) checkpointResync(truncated uint64) {
+	newTail := truncated
+	var ckpt uint64
+	if r.cfg.LoadCheckpoint != nil {
+		if lsn, err := r.cfg.LoadCheckpoint(); err == nil {
+			ckpt = lsn
+			if ckpt > newTail {
+				newTail = ckpt
+			}
+		}
+	}
+	r.resetTail(newTail)
+	// CAS-max: everything at or below the checkpoint frontier is applied
+	// on every Page Store, so reads may resume there right away.
+	for {
+		v := r.visible.Load()
+		if ckpt <= v || r.visible.CompareAndSwap(v, ckpt) {
+			break
+		}
+	}
+	r.stats.ckptResyncs.Add(1)
+	r.cfg.Events.Record(obs.EventCheckpointResync,
+		"%s: log GC overran detached tail (truncated=%d), rebased on checkpoint applied=%d",
+		r.cfg.Name, truncated, ckpt)
 }
 
 // Refresh implements engine.ReadView: run one synchronous tail/advance
@@ -390,8 +650,12 @@ func (r *Replica) Refresh() error {
 	return err
 }
 
-// refreshLocked is one tail/advance cycle. Returns tables attached this
-// cycle (their post-attach callbacks run after the lock drops).
+// refreshLocked is one pull-mode tail/advance cycle: poll the Log
+// Stores for records and the Page Stores for applied frontiers, then
+// advance. Push-mode replicas run this only on demand — engine
+// retention-miss retries, Start's catch-up, and the detached liveness
+// fallback. Returns tables attached this cycle (their post-attach
+// callbacks run after the lock drops).
 func (r *Replica) refreshLocked() ([]string, error) {
 	r.stats.refreshes.Add(1)
 	if err := r.tail(); err != nil {
@@ -404,28 +668,53 @@ func (r *Replica) refreshLocked() ([]string, error) {
 	if n := r.notified.Load(); n > floor {
 		floor = n
 	}
-	r.stats.durableFloor.Store(floor)
-
-	r.mu.Lock()
-	// Drop pending entries the Page Stores have confirmed applied — but
-	// only for slices whose ENTIRE replica set answered this poll: a
+	// Trust a poll only for slices whose ENTIRE replica set answered: a
 	// node that timed out may lag the reported minimum, and a read
 	// round-robined to it later would silently serve an older version
 	// (the Page Store's at-LSN read has no applied-LSN check). Such a
 	// slice just holds the visible LSN until its nodes answer again.
+	guard := func(sliceID uint32) bool {
+		for _, node := range r.placement(sliceID) {
+			if !reached[node] {
+				return false
+			}
+		}
+		return true
+	}
+	return r.advanceCore(applied, guard, floor)
+}
+
+// advanceLocked is one push-mode advance cycle: visibility is computed
+// from the pushed per-slice frontier and durable watermark — no storage
+// RPCs. The pushed frontier needs no reachability guard: the master's
+// SAL reports a slice applied only after every Page Store replica of it
+// confirmed the apply.
+func (r *Replica) advanceLocked() ([]string, error) {
+	r.mu.Lock()
+	applied := make(map[uint32]uint64, len(r.frontier))
+	for sliceID, lsn := range r.frontier {
+		applied[sliceID] = lsn
+	}
+	r.mu.Unlock()
+	return r.advanceCore(applied, nil, r.notified.Load())
+}
+
+// advanceCore advances the visible LSN from the pending state given a
+// per-slice applied frontier and a durable floor, batch-invalidates
+// cached pages the advance covered, and applies newly visible DDL.
+// guard, when non-nil, vetoes trimming a slice's pending entries (pull
+// mode's partial-poll protection).
+func (r *Replica) advanceCore(applied map[uint32]uint64, guard func(uint32) bool, floor uint64) ([]string, error) {
+	r.stats.durableFloor.Store(floor)
+
+	r.mu.Lock()
+	// Drop pending entries the Page Stores have confirmed applied.
 	for sliceID, lsns := range r.slicePending {
 		min, ok := applied[sliceID]
 		if !ok {
 			continue
 		}
-		allReached := true
-		for _, node := range r.placement(sliceID) {
-			if !reached[node] {
-				allReached = false
-				break
-			}
-		}
-		if !allReached {
+		if guard != nil && !guard(sliceID) {
 			continue
 		}
 		i := sort.Search(len(lsns), func(i int) bool { return lsns[i] > min })
@@ -455,18 +744,20 @@ func (r *Replica) refreshLocked() ([]string, error) {
 		newVisible = candidate
 	}
 
-	// Invalidate cached pages whose records became visible, so the
-	// next read refetches the newer image from the Page Stores. The
-	// floor — the highest now-visible record touching the page — also
-	// blocks an older in-flight fetch from (re)caching a stale image
-	// after this pass.
+	// Collect cached pages whose records became visible; they are
+	// evicted in one batched pass (one shard lock per shard, not per
+	// page) after r.mu drops, so the next read refetches the newer image
+	// from the Page Stores. The floor — the highest now-visible record
+	// touching the page — also blocks an older in-flight fetch from
+	// (re)caching a stale image after this pass.
+	var invPages, invFloors []uint64
 	for pageID, lsns := range r.pagePending {
 		i := sort.Search(len(lsns), func(i int) bool { return lsns[i] > newVisible })
 		if i == 0 {
 			continue
 		}
-		r.eng.Pool().Invalidate(pageID, lsns[i-1])
-		r.stats.pagesInvalidated.Add(1)
+		invPages = append(invPages, pageID)
+		invFloors = append(invFloors, lsns[i-1])
 		if i == len(lsns) {
 			delete(r.pagePending, pageID)
 		} else {
@@ -488,10 +779,15 @@ func (r *Replica) refreshLocked() ([]string, error) {
 	}
 	r.mu.Unlock()
 
+	if len(invPages) > 0 {
+		r.eng.Pool().InvalidateBatch(invPages, invFloors)
+		r.stats.pagesInvalidated.Add(uint64(len(invPages)))
+	}
 	// Transactions tailed from the log are committed on the master;
 	// advance the ID allocator so their rows are visible to read views.
 	r.eng.Txm().Advance(maxTrx)
 	r.visible.Store(newVisible)
+	r.maybeRepin(newVisible)
 	attached, done, derr := r.applyDDL(ddl)
 	if derr != nil {
 		// Re-queue everything not fully applied so a transient failure
@@ -553,12 +849,25 @@ func (r *Replica) tail() error {
 	}
 }
 
-// resync hard-resets the tail above the GC watermark.
+// resync hard-resets the tail above the GC watermark (pull mode's
+// overrun recovery).
 func (r *Replica) resync(truncated uint64) {
+	if !r.resetTail(truncated) {
+		return
+	}
+	r.cfg.Events.Record(obs.EventReplicaResync, "%s: log GC overran tail, reset to %d, page cache dropped",
+		r.cfg.Name, truncated)
+}
+
+// resetTail repositions the tail at truncated, dropping buffered and
+// pending state at or below it plus the whole page cache (we no longer
+// know which pages the missed records touched). Returns false when the
+// tail was already past truncated.
+func (r *Replica) resetTail(truncated uint64) bool {
 	r.mu.Lock()
 	if truncated <= r.tailed {
 		r.mu.Unlock()
-		return
+		return false
 	}
 	r.tailed = truncated
 	for lsn := range r.buf {
@@ -577,8 +886,7 @@ func (r *Replica) resync(truncated uint64) {
 	r.mu.Unlock()
 	r.eng.Pool().Clear()
 	r.stats.resyncs.Add(1)
-	r.cfg.Events.Record(obs.EventReplicaResync, "%s: log GC overran tail, reset to %d, page cache dropped",
-		r.cfg.Name, truncated)
+	return true
 }
 
 // ingest merges a tailed batch and consumes the contiguous prefix.
@@ -805,6 +1113,9 @@ func (r *Replica) Stats() Stats {
 		TablesAttached:   r.stats.tablesAttached.Load(),
 		RootAdvances:     r.stats.rootAdvances.Load(),
 		Resyncs:          r.stats.resyncs.Load(),
+		StreamBatches:    r.stats.streamBatches.Load(),
+		CkptResyncs:      r.stats.ckptResyncs.Load(),
+		Subscribed:       r.subscribed.Load(),
 	}
 	if st.DurableLSN > st.VisibleLSN {
 		st.LagRecords = st.DurableLSN - st.VisibleLSN

@@ -328,6 +328,11 @@ type PipelineStats struct {
 	// current subscription count.
 	ReplicaNotifies    uint64
 	RegisteredReplicas int
+	// FrontierNotifies counts frontier relays sent to Log Stores (the
+	// push-stream fan-out input); FrontierWatchers is the number of
+	// embedded replicas holding a frontier watch.
+	FrontierNotifies uint64
+	FrontierWatchers int
 	// Lanes is the per-lane breakdown (windows sealed, seals by reason,
 	// adaptive threshold, apply lag per slice).
 	Lanes []LaneStats
@@ -340,6 +345,7 @@ type pipelineCounters struct {
 	promotions         atomic.Uint64
 	demotions          atomic.Uint64
 	replicaNotifies    atomic.Uint64
+	frontierNotifies   atomic.Uint64
 }
 
 // startPipeline launches every lane's flusher and per-Log-Store node
@@ -1335,8 +1341,10 @@ func (s *SAL) applyBatch(sp *sliceProgress, sliceID uint32, job applyJob) {
 			}
 			if !failed {
 				sp.mu.Lock()
+				advanced := false
 				if job.batch.maxLSN > sp.applied {
 					sp.applied = job.batch.maxLSN
+					advanced = true
 				}
 				for pageID := range job.batch.pageMax {
 					if staged, ok := sp.pageStaged[pageID]; ok && staged <= sp.applied {
@@ -1345,6 +1353,9 @@ func (s *SAL) applyBatch(sp *sliceProgress, sliceID uint32, job applyJob) {
 				}
 				sp.cond.Broadcast()
 				sp.mu.Unlock()
+				if advanced {
+					s.noteApplied()
+				}
 			}
 		}
 	}
@@ -1480,25 +1491,36 @@ func (s *SAL) waitAppliedPages(sliceID uint32, pageIDs ...uint64) error {
 	return nil
 }
 
-// lsnNotifier pushes durable-watermark advances to registered read
-// replicas (cluster.LSNAdvanceReq, best effort — a replica also polls).
-// One goroutine, coalescing: however many windows turned durable while
-// a notification round was in flight, the next round sends only the
-// newest watermark.
+// lsnNotifier is the coalescing advance notifier. Two audiences:
+//
+//   - Legacy pull-tailing replicas registered via RegisterReplica get
+//     cluster.LSNAdvanceReq (best effort — such a replica also polls).
+//   - The Log Stores get cluster.FrontierReq relays — the durable
+//     watermark plus the per-slice applied frontier — whenever a
+//     frontier watch is armed (or Config.NotifyFrontier forces it).
+//     Their push-stream hubs piggyback the frontier on pushed frames,
+//     so N subscribed replicas cost the master O(#LogStores) per
+//     advance instead of O(N).
+//
+// One goroutine, coalescing: however many windows turned durable (or
+// slices finished applying) while a round was in flight, the next round
+// sends only the newest state.
 func (s *SAL) lsnNotifier() {
 	defer close(s.notifierDone)
-	var lastLSN, lastGen uint64
+	var lastLSN, lastGen, lastApplied uint64
 	for {
 		s.durMu.Lock()
-		for s.durable == lastLSN && s.repGen == lastGen && !s.isClosed() {
+		for s.durable == lastLSN && s.repGen == lastGen &&
+			s.appliedGen.Load() == lastApplied && !s.isClosed() {
 			s.durCond.Wait()
 		}
 		d, gen := s.durable, s.repGen
+		applied := s.appliedGen.Load()
 		s.durMu.Unlock()
-		if d == lastLSN && gen == lastGen { // closed, nothing new
+		if d == lastLSN && gen == lastGen && applied == lastApplied { // closed, nothing new
 			return
 		}
-		lastLSN, lastGen = d, gen
+		lastLSN, lastGen, lastApplied = d, gen, applied
 		s.repMu.Lock()
 		nodes := append([]string(nil), s.replicaNodes...)
 		s.repMu.Unlock()
@@ -1507,6 +1529,15 @@ func (s *SAL) lsnNotifier() {
 				Tenant: s.cfg.Tenant, DurableLSN: d,
 			}); err == nil {
 				s.counters.replicaNotifies.Add(1)
+			}
+		}
+		if s.frontierActive() {
+			durable, slices := s.AppliedFrontier()
+			req := &cluster.FrontierReq{Tenant: s.cfg.Tenant, DurableLSN: durable, Slices: slices}
+			for _, node := range s.cfg.LogStores {
+				if _, err := s.cfg.Transport.Call(node, req); err == nil {
+					s.counters.frontierNotifies.Add(1)
+				}
 			}
 		}
 		if s.isClosed() {
@@ -1632,7 +1663,9 @@ func (s *SAL) Stats() PipelineStats {
 		Promotions:         s.counters.promotions.Load(),
 		Demotions:          s.counters.demotions.Load(),
 		ReplicaNotifies:    s.counters.replicaNotifies.Load(),
+		FrontierNotifies:   s.counters.frontierNotifies.Load(),
 	}
+	st.FrontierWatchers = int(s.frontierWatch.Load())
 	s.repMu.Lock()
 	st.RegisteredReplicas = len(s.replicaNodes)
 	s.repMu.Unlock()

@@ -103,6 +103,15 @@ type Config struct {
 	// transitions: lane promotions/demotions, window seals by reason,
 	// sticky-error poisoning. nil is inert.
 	Events *obs.EventRing
+	// NotifyFrontier forces frontier relays (cluster.FrontierReq — the
+	// durable watermark plus per-slice applied LSNs) to the Log Stores
+	// on every advance, whether or not an embedded replica registered a
+	// watch. Server deployments set it: remote replicas subscribe to
+	// the Log Stores' push streams directly and the SAL never sees
+	// them. Embedded deployments leave it off — AddFrontierWatch arms
+	// the relays when the first replica opens, so masters without
+	// replicas pay nothing.
+	NotifyFrontier bool
 }
 
 // SAL is the storage abstraction layer instance inside one frontend.
@@ -169,6 +178,13 @@ type SAL struct {
 	repMu        sync.Mutex
 	replicaNodes []string
 	notifierDone chan struct{}
+	// Frontier relays to the Log Stores (push-stream distribution):
+	// frontierWatch counts embedded replicas that want them (remote
+	// ones force them via Config.NotifyFrontier); appliedGen bumps when
+	// any slice's applied-on-all-replicas LSN advances, waking the
+	// notifier to relay the new frontier.
+	frontierWatch atomic.Int64
+	appliedGen    atomic.Uint64
 
 	errMu sync.Mutex
 	err   error
@@ -429,6 +445,63 @@ func (s *SAL) UnregisterReplica(node string) {
 			return
 		}
 	}
+}
+
+// AddFrontierWatch arms frontier relays to the Log Stores: while at
+// least one watch is held (one per subscribed embedded replica), every
+// durable or applied advance is relayed as a cluster.FrontierReq —
+// O(#LogStores) per advance, independent of the replica count — and the
+// Log Store hubs piggyback it on their pushed stream frames.
+func (s *SAL) AddFrontierWatch() {
+	s.frontierWatch.Add(1)
+	// Wake the notifier so a replica attaching after the last write
+	// still gets the current frontier relayed promptly.
+	s.durMu.Lock()
+	s.repGen++
+	s.durCond.Broadcast()
+	s.durMu.Unlock()
+}
+
+// RemoveFrontierWatch releases one frontier watch.
+func (s *SAL) RemoveFrontierWatch() {
+	s.frontierWatch.Add(-1)
+}
+
+// frontierActive reports whether frontier relays should be sent.
+func (s *SAL) frontierActive() bool {
+	return (s.cfg.NotifyFrontier || s.frontierWatch.Load() > 0) && len(s.cfg.LogStores) > 0
+}
+
+// noteApplied wakes the notifier after a slice's applied-on-all-
+// replicas LSN advanced. Free when no frontier watch is armed.
+func (s *SAL) noteApplied() {
+	if !s.frontierActive() {
+		return
+	}
+	s.appliedGen.Add(1)
+	s.durMu.Lock()
+	s.durCond.Broadcast()
+	s.durMu.Unlock()
+}
+
+// AppliedFrontier snapshots the durable watermark and every known
+// slice's applied-on-all-replicas LSN — the payload of a frontier
+// relay, and the authority a pushed replica advances its visible LSN
+// against (an LSN the SAL reports applied is applied on EVERY Page
+// Store replica of the slice, so the replica needs no per-node
+// minimum of its own).
+func (s *SAL) AppliedFrontier() (uint64, []cluster.SliceLSNEntry) {
+	s.slMu.Lock()
+	sps := make(map[uint32]*sliceProgress, len(s.sliceProg))
+	for id, sp := range s.sliceProg {
+		sps[id] = sp
+	}
+	s.slMu.Unlock()
+	entries := make([]cluster.SliceLSNEntry, 0, len(sps))
+	for id, sp := range sps {
+		entries = append(entries, cluster.SliceLSNEntry{SliceID: id, AppliedLSN: sp.appliedLSN()})
+	}
+	return s.durableAtomic.Load(), entries
 }
 
 // readReplica picks a replica for reads, round-robin.

@@ -124,6 +124,11 @@ type Config struct {
 	// (OpenReplica only; default 25ms). The master's SAL also pushes
 	// LSN-advance notifications, which usually refresh sooner.
 	ReplicaRefreshInterval time.Duration
+	// ReplicaPullTail opts a replica out of push-based log subscription
+	// streams and back into the legacy pull tailer (MsgLogRead +
+	// MsgSliceLSN polling). Mixed fleets work: pull and push replicas
+	// can tail the same stores concurrently (OpenReplica only).
+	ReplicaPullTail bool
 }
 
 // DB is an open database frontend: a read-write master (Open) or a
@@ -264,6 +269,9 @@ func Open(cfg Config) (*DB, error) {
 		db.logs = append(db.logs, ls)
 		db.logNames = append(db.logNames, n)
 		tr.Register(n, ls)
+		// Arm the push-stream hub: the store reaches subscribed replicas
+		// over the same fabric they reach it on.
+		ls.SetPushTransport(tr)
 	}
 	var psNames []string
 	for i := 0; i < cfg.PageStores; i++ {
@@ -376,6 +384,62 @@ func OpenReplica(cfg Config) (*DB, error) {
 	repName := fmt.Sprintf("replica-%d", m.repSeq.Add(1))
 	repTracer := obs.NewTracer(repName, cfg.TraceSampleRate, 0)
 	repEvents := obs.NewEventRing(0)
+	// loadCkpt rebases the replica on the master's latest checkpoint when
+	// log GC overran a detached tail: re-attach DDL the replica missed
+	// (catalog entries plus current roots), advance the transaction-ID
+	// allocator past everything the checkpoint covers, and hand back the
+	// checkpoint watermark as the new tail position. repEng/repSession
+	// are assigned below, before the replica's tailer starts.
+	var repEng *engine.Engine
+	var repSession *sql.Session
+	loadCkpt := func() (uint64, error) {
+		if m.meta == nil || repEng == nil {
+			return 0, nil
+		}
+		meta, err := m.meta.LoadMeta()
+		if err != nil || meta == nil {
+			return 0, err
+		}
+		rootBy := make(map[uint64]engine.RootRecord, len(meta.Roots))
+		for _, rt := range meta.Roots {
+			rootBy[rt.IndexID] = engine.RootRecord{IndexID: rt.IndexID, PageID: rt.PageID, Level: rt.Level}
+		}
+		var analyzed []string
+		for _, enc := range meta.Catalog {
+			entry, err := wal.DecodeCatalog(enc)
+			if err != nil {
+				continue
+			}
+			rt, ok := rootBy[entry.IndexID]
+			if !ok {
+				continue
+			}
+			if repEng.HasIndex(entry.IndexID) {
+				// Known index — but its root may have split while we
+				// were detached.
+				repEng.AdvanceRoot(rt.IndexID, rt.PageID, rt.Level)
+				continue
+			}
+			switch entry.Kind {
+			case wal.CatalogCreateTable:
+				if err := repEng.AttachTable(entry, rt); err != nil {
+					return 0, err
+				}
+				analyzed = append(analyzed, entry.Table)
+			case wal.CatalogCreateIndex:
+				if err := repEng.AttachIndex(entry, rt); err != nil {
+					return 0, err
+				}
+			}
+		}
+		repEng.Txm().Advance(meta.MaxTrxID)
+		for _, table := range analyzed {
+			// Best effort: a failed stats refresh leaves defaults, it
+			// must not abort the resync.
+			repSession.Cat.Analyze(table)
+		}
+		return meta.AppliedLSN, nil
+	}
 	rep, err := replica.New(replica.Config{
 		Transport: m.tr, Tenant: 1,
 		LogStores: m.logNames, PageStores: m.psNames,
@@ -387,6 +451,9 @@ func OpenReplica(cfg Config) (*DB, error) {
 		Name:              repName,
 		Tracer:            repTracer,
 		Events:            repEvents,
+		Subscribe:         !cfg.ReplicaPullTail,
+		Node:              repName,
+		LoadCheckpoint:    loadCkpt,
 	})
 	if err != nil {
 		return nil, err
@@ -449,18 +516,33 @@ func OpenReplica(cfg Config) (*DB, error) {
 			start = meta.AppliedLSN
 		}
 	}
-	// Subscribe to the master's durable-watermark advances before the
-	// first refresh so no advance is missed.
+	// Register the replica's handler before the tailer starts so no
+	// advance (pull mode) or stream frame (push mode) is missed. Pull
+	// replicas subscribe to the SAL's per-replica LSNAdvance notifier;
+	// push replicas instead arm the SAL's frontier relay, whose cost is
+	// O(#LogStores) per advance regardless of replica count.
 	m.tr.Register(db.repName, rep)
-	m.eng.SAL().RegisterReplica(db.repName)
+	repEng, repSession = eng, db.session
+	if cfg.ReplicaPullTail {
+		m.eng.SAL().RegisterReplica(db.repName)
+	} else {
+		m.eng.SAL().AddFrontierWatch()
+	}
+	unregister := func() {
+		if cfg.ReplicaPullTail {
+			m.eng.SAL().UnregisterReplica(db.repName)
+		} else {
+			m.eng.SAL().RemoveFrontierWatch()
+		}
+		m.tr.Unregister(db.repName)
+	}
 	// Catch up to everything the master had committed when we opened —
 	// the SAL's acknowledged commit watermark, not the per-store max
 	// (a store can hold batches whose sibling acks are still in
 	// flight, which the visible LSN is gated never to pass): a SELECT
 	// issued right after OpenReplica sees every acknowledged commit.
 	if err := rep.Start(start, m.eng.SAL().DurableLSN()); err != nil {
-		m.eng.SAL().UnregisterReplica(db.repName)
-		m.tr.Unregister(db.repName)
+		unregister()
 		return nil, fmt.Errorf("taurus: replica catch-up: %w", err)
 	}
 	// Optimizer statistics for the bootstrapped tables (the master's
@@ -884,10 +966,16 @@ func (db *DB) Close() error {
 		// Replica: stop the tailer and drop the master's subscription
 		// and transport registration (a master that cycles replicas
 		// must not accumulate dead handlers). The shared storage nodes
-		// belong to the master.
-		db.master.eng.SAL().UnregisterReplica(db.repName)
-		db.master.tr.Unregister(db.repName)
+		// belong to the master. rep.Close runs before the transport
+		// unregistration so a push replica's stream detach and version
+		// pin clears still reach the storage nodes.
+		if db.cfg.ReplicaPullTail {
+			db.master.eng.SAL().UnregisterReplica(db.repName)
+		} else {
+			db.master.eng.SAL().RemoveFrontierWatch()
+		}
 		db.rep.Close()
+		db.master.tr.Unregister(db.repName)
 		return nil
 	}
 	var firstErr error

@@ -78,11 +78,11 @@ func TestReplicaServesReadsAndCatchesUp(t *testing.T) {
 	if st.VisibleLSN == 0 || st.RecordsTailed == 0 {
 		t.Fatalf("replica stats not populated: %+v", st)
 	}
-	if st.Notifies == 0 {
-		t.Fatalf("master LSN-advance notifications never arrived: %+v", st)
+	if !st.Subscribed || st.StreamBatches == 0 {
+		t.Fatalf("replica is not consuming the push stream: %+v", st)
 	}
-	if master.WritePathStats().RegisteredReplicas != 1 {
-		t.Fatal("master does not report the registered replica")
+	if master.WritePathStats().FrontierWatchers != 1 {
+		t.Fatal("master does not report the replica's frontier watch")
 	}
 }
 
