@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	taurus-bench [-sf 0.005] [fig5|fig6|fig7|fig8|fig9|q4-bufferpool|durability|checkpoint|writepath|replicas|all]
+//	taurus-bench [-sf 0.005] [fig5|fig6|fig7|fig8|fig9|q4-bufferpool|durability|checkpoint|writepath|replicas|analytics|all]
 //
 // writepath compares the serial (pre-pipeline) and pipelined
 // group-commit write paths under concurrent committers and writes the
@@ -13,6 +13,12 @@
 // replicas beside one continuous writer, plus sampled replication lag
 // and the per-message-type RPC load on the storage cluster, and
 // writes the result to -replicas-out (default BENCH_replicas.json).
+//
+// analytics sweeps the parallel NDP scan scheduler — Q6 (scalar merge)
+// and Q1G (grouped merge) at each -analytics-levels parallelism with
+// least-loaded replica routing on and off — then measures master write
+// QPS alone vs under continuous replica scans, and writes the result
+// to -analytics-out (default BENCH_analytics.json).
 package main
 
 import (
@@ -37,10 +43,37 @@ func main() {
 	repCounts := flag.String("replica-counts", "1,2,4,8,16", "comma-separated replica counts (replicas)")
 	repReaders := flag.Int("replica-readers", 2, "reader goroutines per replica (replicas)")
 	repOut := flag.String("replicas-out", "BENCH_replicas.json", "replica-scaling JSON report path (replicas; empty = don't write)")
+	anRuns := flag.Int("analytics-runs", 3, "cold-pool runs per cell (analytics)")
+	anLevels := flag.String("analytics-levels", "1,2,4,8", "comma-separated scan parallelism levels (analytics)")
+	anHTAP := flag.Duration("analytics-htap-duration", 800*time.Millisecond, "write-QPS window, alone and under replica scans (analytics)")
+	anOut := flag.String("analytics-out", "BENCH_analytics.json", "parallel-scan JSON report path (analytics; empty = don't write)")
 	flag.Parse()
 	which := "all"
 	if flag.NArg() > 0 {
 		which = flag.Arg(0)
+	}
+	if which == "analytics" {
+		var levels []int
+		for _, part := range strings.Split(*anLevels, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil || n <= 0 {
+				log.Fatalf("bad -analytics-levels entry %q", part)
+			}
+			levels = append(levels, n)
+		}
+		fmt.Printf("Loading TPC-H at SF %g for the parallel-scan sweep...\n", *sf)
+		rep, err := bench.Analytics(*sf, *anRuns, levels, *anHTAP)
+		if err != nil {
+			log.Fatal(err)
+		}
+		bench.PrintAnalytics(os.Stdout, rep)
+		if *anOut != "" {
+			if err := bench.WriteAnalyticsJSON(*anOut, rep); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("report written to %s\n", *anOut)
+		}
+		return
 	}
 	if which == "replicas" {
 		var counts []int

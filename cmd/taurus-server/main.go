@@ -103,6 +103,7 @@ func main() {
 	advertise := flag.String("advertise", "", "cluster address this replica listens on for pushed log batches; Log Stores must be able to dial it (replica; empty = pull tailing)")
 	slowOp := flag.Duration("slow-op", 0, "log statements at or above this duration with a per-stage breakdown (frontend/replica; 0 = off)")
 	traceSample := flag.Float64("trace-sample", 0, "probability a statement opens a distributed trace (frontend/replica; 0 = off, forced traces still work)")
+	scanPar := flag.Int("scan-parallelism", 0, "concurrent slice partitions per NDP scan (frontend/replica; 0 = GOMAXPROCS)")
 	flag.Parse()
 
 	if *name == "" {
@@ -194,7 +195,7 @@ func main() {
 		handler = ls
 		stats = func() any { return ls.NodeStats() }
 	case "frontend":
-		runFrontend(*listen, *statsAddr, *dataDir, *ckptInterval, *writeLanes, *replicas, *slowOp, *traceSample)
+		runFrontend(*listen, *statsAddr, *dataDir, *ckptInterval, *writeLanes, *replicas, *slowOp, *traceSample, *scanPar)
 		return
 	case "replica":
 		runReplica(*listen, *statsAddr, replicaOptions{
@@ -202,7 +203,7 @@ func main() {
 			logStores: splitAddrs(*logStores), pageStores: splitAddrs(*pageStores),
 			tenant: uint32(*tenant), pagesPerSlice: *pagesPerSlice,
 			replicationFactor: *replication, refreshInterval: *refreshInterval,
-			poolPages: *poolPages, slowOp: *slowOp, traceSample: *traceSample,
+			poolPages: *poolPages, slowOp: *slowOp, traceSample: *traceSample, scanPar: *scanPar,
 			advertise: *advertise,
 		})
 		return
@@ -282,6 +283,13 @@ type frontendStats struct {
 	BufferPool []buffer.ShardStats
 	LogStores  []logstore.NodeStats
 	PageStores []pagestore.StatsSnapshot
+	// PageStoreNodes carries each Page Store's node view — applied/
+	// persisted LSNs, NDP queue depth, descriptor-cache hit/miss — so
+	// scan routing imbalance is visible from one endpoint.
+	PageStoreNodes []pagestore.NodeStats
+	// ScanRouting snapshots the NDP scan read router: per-replica
+	// in-flight, EWMA latency, and routed/retried/hedged counters.
+	ScanRouting sal.RouterStats
 	// SlowOpsFired counts statements the slow-op log fired on (also
 	// exported as taurus_slow_ops_fired_total).
 	SlowOpsFired uint64
@@ -292,8 +300,10 @@ type frontendStats struct {
 // refresh and notification counts, pages invalidated) plus its own
 // buffer pool counters.
 type replicaStats struct {
-	Replica      replica.Stats
-	BufferPool   []buffer.ShardStats
+	Replica    replica.Stats
+	BufferPool []buffer.ShardStats
+	// ScanRouting snapshots the replica's NDP scan read router.
+	ScanRouting  sal.RouterStats
 	SlowOpsFired uint64
 }
 
@@ -351,9 +361,9 @@ func jsonHandler(payload func() any) http.HandlerFunc {
 // the write-pipeline / buffer-pool / storage-node counters. With
 // -replicas n, n embedded read replicas attach to the same storage
 // cluster and serve /replica/<i>/query and /replica/<i>/stats.
-func runFrontend(listen, statsAddr, dataDir string, ckptInterval time.Duration, writeLanes, replicas int, slowOp time.Duration, traceSample float64) {
+func runFrontend(listen, statsAddr, dataDir string, ckptInterval time.Duration, writeLanes, replicas int, slowOp time.Duration, traceSample float64, scanPar int) {
 	cfg := taurus.Config{DataDir: dataDir, WriteLanes: writeLanes, SlowOpThreshold: slowOp,
-		TraceSampleRate: traceSample}
+		TraceSampleRate: traceSample, ScanParallelism: scanPar}
 	if dataDir != "" && ckptInterval > 0 {
 		cfg.CheckpointInterval = ckptInterval
 	}
@@ -361,7 +371,7 @@ func runFrontend(listen, statsAddr, dataDir string, ckptInterval time.Duration, 
 	if err != nil {
 		log.Fatal(err)
 	}
-	mux, err := frontendMux(db, replicas, slowOp)
+	mux, err := frontendMux(db, replicas, slowOp, scanPar)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -379,11 +389,13 @@ func runFrontend(listen, statsAddr, dataDir string, ckptInterval time.Duration, 
 func frontendStatsHandler(db *taurus.DB) http.HandlerFunc {
 	return jsonHandler(func() any {
 		return frontendStats{
-			WritePath:    db.WritePathStats(),
-			BufferPool:   db.BufferPoolStats(),
-			LogStores:    db.LogStoreStats(),
-			PageStores:   db.PageStoreStats(),
-			SlowOpsFired: db.SlowOpsFired(),
+			WritePath:      db.WritePathStats(),
+			BufferPool:     db.BufferPoolStats(),
+			LogStores:      db.LogStoreStats(),
+			PageStores:     db.PageStoreStats(),
+			PageStoreNodes: db.PageStoreNodes(),
+			ScanRouting:    db.ScanRouting(),
+			SlowOpsFired:   db.SlowOpsFired(),
 		}
 	})
 }
@@ -393,20 +405,20 @@ func frontendStatsHandler(db *taurus.DB) http.HandlerFunc {
 // stats,metrics} — factored out of runFrontend so tests can drive it
 // in-process. Each replica serves its own metrics registry; the embedded
 // storage nodes' series live in the master's.
-func frontendMux(db *taurus.DB, replicas int, slowOp time.Duration) (*http.ServeMux, error) {
+func frontendMux(db *taurus.DB, replicas int, slowOp time.Duration, scanPar int) (*http.ServeMux, error) {
 	mux := newStatsMux(frontendStatsHandler(db), db.Metrics(),
 		db.TraceSpans, db.RecentTraces, db.EventRing())
 	mux.HandleFunc("/query", queryHandler(db.Exec, db.ExecTraced))
 	for i := 1; i <= replicas; i++ {
 		rep, err := taurus.OpenReplica(taurus.Config{Master: db, SlowOpThreshold: slowOp,
-			TraceSampleRate: db.Tracer().Rate()})
+			TraceSampleRate: db.Tracer().Rate(), ScanParallelism: scanPar})
 		if err != nil {
 			return nil, fmt.Errorf("replica %d: %w", i, err)
 		}
 		mux.HandleFunc(fmt.Sprintf("/replica/%d/query", i), queryHandler(rep.Exec, rep.ExecTraced))
 		mux.HandleFunc(fmt.Sprintf("/replica/%d/stats", i), jsonHandler(func() any {
 			return replicaStats{Replica: rep.ReplicaStats(), BufferPool: rep.BufferPoolStats(),
-				SlowOpsFired: rep.SlowOpsFired()}
+				ScanRouting: rep.ScanRouting(), SlowOpsFired: rep.SlowOpsFired()}
 		}))
 		mux.Handle(fmt.Sprintf("/replica/%d/metrics", i), rep.Metrics().Handler())
 		mux.Handle(fmt.Sprintf("/replica/%d/trace/", i), obs.TraceHandler(rep.TraceSpans))
@@ -430,6 +442,7 @@ type replicaOptions struct {
 	slowOp            time.Duration
 	traceSample       float64
 	advertise         string
+	scanPar           int
 }
 
 // runReplica serves a standalone read replica attached to storage
@@ -478,7 +491,8 @@ func runReplica(listen, statsAddr string, opts replicaOptions) {
 		}()
 		log.Printf("replica accepting pushed log batches on %s", opts.advertise)
 	}
-	eng, err := engine.New(engine.Config{ReadView: rep, PoolPages: opts.poolPages})
+	eng, err := engine.New(engine.Config{ReadView: rep, PoolPages: opts.poolPages,
+		ScanParallelism: opts.scanPar, Tracer: tracer, Events: events})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -504,7 +518,7 @@ func runReplica(listen, statsAddr string, opts replicaOptions) {
 		st.VisibleLSN, st.RecordsTailed, st.TablesAttached)
 	stats := jsonHandler(func() any {
 		return replicaStats{Replica: rep.Stats(), BufferPool: eng.Pool().ShardStatsSnapshot(),
-			SlowOpsFired: session.Slow.Fired()}
+			ScanRouting: rep.RouterStats(), SlowOpsFired: session.Slow.Fired()}
 	})
 	mux := newStatsMux(stats, reg, tracer.Spans, tracer.RecentTraces, events)
 	mux.HandleFunc("/query", queryHandler(func(q string) (*taurus.Result, error) {

@@ -48,7 +48,7 @@ func get(t *testing.T, mux *http.ServeMux, path string) *httptest.ResponseRecord
 // families from every instrumented tier.
 func TestFrontendMetricsEndpoint(t *testing.T) {
 	db := seedFrontend(t, taurus.Config{})
-	mux, err := frontendMux(db, 0, 0)
+	mux, err := frontendMux(db, 0, 0, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -84,7 +84,7 @@ func TestFrontendMetricsEndpoint(t *testing.T) {
 // lag gauges and tailing counters, labeled with its name.
 func TestReplicaMetricsEndpoint(t *testing.T) {
 	db := seedFrontend(t, taurus.Config{})
-	mux, err := frontendMux(db, 1, 0)
+	mux, err := frontendMux(db, 1, 0, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -114,7 +114,7 @@ func TestReplicaMetricsEndpoint(t *testing.T) {
 // pre-existing JSON shape.
 func TestStatsEndpointBackwardCompatible(t *testing.T) {
 	db := seedFrontend(t, taurus.Config{})
-	mux, err := frontendMux(db, 0, 0)
+	mux, err := frontendMux(db, 0, 0, 0)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,332 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"os"
+	"sync/atomic"
+	"time"
+
+	"taurus"
+	"taurus/internal/exec"
+	"taurus/internal/tpch"
+)
+
+// AnalyticsRow is one (query, parallelism, routing) cell of the
+// parallel-scan sweep: the best and mean latency over the runs, the
+// speedup against the serial (parallelism 1) cell of the same query and
+// routing mode, and the router counters the cell generated.
+type AnalyticsRow struct {
+	Query       string `json:"query"`
+	Parallelism int    `json:"parallelism"`
+	// Routing is true when sub-batches go to the least-loaded Page
+	// Store replica, false when they round-robin.
+	Routing    bool    `json:"routing"`
+	Runs       int     `json:"runs"`
+	BestMillis float64 `json:"best_ms"`
+	MeanMillis float64 `json:"mean_ms"`
+	// Speedup is serial best over this cell's best (1.0 at
+	// parallelism 1 by construction).
+	Speedup float64 `json:"speedup_vs_serial"`
+	Rows    int     `json:"rows"`
+	// ResultHash fingerprints the result rows; every cell of one query
+	// must agree or the parallel merge is wrong.
+	ResultHash  string `json:"result_hash"`
+	ScanRouted  uint64 `json:"scan_routed"`
+	ScanRetried uint64 `json:"scan_retried"`
+	ScanHedged  uint64 `json:"scan_hedged"`
+}
+
+// HTAPRow measures the paper's HTAP claim: analytics on a read replica
+// leave the master's write path alone. One continuous writer commits on
+// the master while TPC-H scans loop on a log-tailing replica.
+type HTAPRow struct {
+	Seconds float64 `json:"seconds"`
+	// BaselineWriteQPS is the writer alone; ScanWriteQPS is the writer
+	// while the replica scans.
+	BaselineWriteQPS float64 `json:"baseline_write_qps"`
+	ScanWriteQPS     float64 `json:"write_qps_under_scans"`
+	// ReplicaScans counts Q6 executions the replica completed during
+	// the measured window.
+	ReplicaScans int `json:"replica_scans"`
+	// ReplicaRows is the scalar Q6 row count (sanity: scans returned).
+	ReplicaRows int `json:"replica_rows"`
+}
+
+// AnalyticsReport is the persisted BENCH_analytics.json payload.
+type AnalyticsReport struct {
+	Bench string         `json:"bench"`
+	Meta  RunMeta        `json:"meta"`
+	Rows  []AnalyticsRow `json:"rows"`
+	HTAP  *HTAPRow       `json:"htap,omitempty"`
+	// ResultsIdentical is true when every cell of each query produced
+	// the same result hash — parallel merge equals serial execution.
+	ResultsIdentical bool `json:"results_identical"`
+	// BestSpeedup headlines the sweep: max speedup over all parallel
+	// cells with routing on.
+	BestSpeedup      float64 `json:"best_speedup"`
+	BestSpeedupQuery string  `json:"best_speedup_query,omitempty"`
+}
+
+// analyticsQueries returns the sweep workload: scalar Q6 (one
+// cross-partition scalar merge) and grouped Q1G (GROUP BY on the
+// primary-key prefix, so groups split across slice boundaries and the
+// ordered cross-partition merge re-joins them).
+func analyticsQueries() ([]tpch.Query, error) {
+	q6, err := tpch.QueryByName("Q6")
+	if err != nil {
+		return nil, err
+	}
+	return []tpch.Query{q6, {Name: "Q1G", Build: tpch.Q1G}}, nil
+}
+
+// hashRows fingerprints a result set, order-sensitively: scalar results
+// have one row and grouped results arrive in group-key order, so equal
+// executions hash equal.
+func hashRows(rows [][]string) string {
+	h := fnv.New64a()
+	for _, r := range rows {
+		for _, d := range r {
+			h.Write([]byte(d))
+			h.Write([]byte{0})
+		}
+		h.Write([]byte{0xFF})
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// Analytics runs the parallel-scan sweep on a fresh fixture: each query
+// at every parallelism level, with least-loaded routing on and off,
+// runs times each (cold pool), then the HTAP writer-vs-replica-scans
+// measurement. levels defaults to 1,2,4,8; runs to 3.
+func Analytics(sf float64, runs int, levels []int, htapDur time.Duration) (*AnalyticsReport, error) {
+	if runs <= 0 {
+		runs = 3
+	}
+	if len(levels) == 0 {
+		levels = []int{1, 2, 4, 8}
+	}
+	if htapDur <= 0 {
+		htapDur = 800 * time.Millisecond
+	}
+	f, err := NewFixture(sf)
+	if err != nil {
+		return nil, err
+	}
+	queries, err := analyticsQueries()
+	if err != nil {
+		return nil, err
+	}
+	rep := &AnalyticsReport{Bench: "analytics", Meta: NewRunMeta(), ResultsIdentical: true}
+	for _, q := range queries {
+		// One untimed warmup so the serial baseline doesn't absorb
+		// first-touch costs (descriptor compile, code paths).
+		f.DB.Eng.Pool().Clear()
+		f.DB.Eng.SetScanParallelism(1)
+		if _, err := tpch.Run(tpch.NewEnv(f.DB, true), exec.NewCtx(f.DB.Eng), q); err != nil {
+			return nil, fmt.Errorf("%s warmup: %w", q.Name, err)
+		}
+		var queryHash string
+		serialBest := map[bool]float64{}
+		for _, routing := range []bool{true, false} {
+			f.DB.Eng.SAL().SetLeastLoadedReads(routing)
+			for _, level := range levels {
+				f.DB.Eng.SetScanParallelism(level)
+				row := AnalyticsRow{Query: q.Name, Parallelism: level, Routing: routing, Runs: runs}
+				r0 := f.DB.Eng.SAL().RouterStats()
+				var total time.Duration
+				best := time.Duration(-1)
+				for i := 0; i < runs; i++ {
+					f.DB.Eng.Pool().Clear()
+					env := tpch.NewEnv(f.DB, true)
+					ctx := exec.NewCtx(f.DB.Eng)
+					start := time.Now()
+					rows, err := tpch.Run(env, ctx, q)
+					if err != nil {
+						return nil, fmt.Errorf("%s (par=%d routing=%v): %w", q.Name, level, routing, err)
+					}
+					wall := time.Since(start)
+					total += wall
+					if best < 0 || wall < best {
+						best = wall
+					}
+					row.Rows = len(rows)
+					printable := make([][]string, len(rows))
+					for j, r := range rows {
+						cells := make([]string, len(r))
+						for k, d := range r {
+							cells[k] = fmt.Sprintf("%v", d)
+						}
+						printable[j] = cells
+					}
+					row.ResultHash = hashRows(printable)
+				}
+				r1 := f.DB.Eng.SAL().RouterStats()
+				row.ScanRouted = r1.ScanRouted - r0.ScanRouted
+				row.ScanRetried = r1.ScanRetried - r0.ScanRetried
+				row.ScanHedged = r1.ScanHedged - r0.ScanHedged
+				row.BestMillis = float64(best.Microseconds()) / 1000
+				row.MeanMillis = float64(total.Microseconds()) / 1000 / float64(runs)
+				if level == 1 {
+					serialBest[routing] = row.BestMillis
+				}
+				if sb := serialBest[routing]; sb > 0 && row.BestMillis > 0 {
+					row.Speedup = sb / row.BestMillis
+				}
+				if queryHash == "" {
+					queryHash = row.ResultHash
+				} else if row.ResultHash != queryHash {
+					rep.ResultsIdentical = false
+				}
+				if routing && level > 1 && row.Speedup > rep.BestSpeedup {
+					rep.BestSpeedup = row.Speedup
+					rep.BestSpeedupQuery = q.Name
+				}
+				rep.Rows = append(rep.Rows, row)
+			}
+		}
+	}
+	f.DB.Eng.SetScanParallelism(0)
+	f.DB.Eng.SAL().SetLeastLoadedReads(true)
+	htap, err := AnalyticsHTAP(sf, htapDur)
+	if err != nil {
+		return nil, err
+	}
+	rep.HTAP = htap
+	return rep, nil
+}
+
+// AnalyticsHTAP measures master write QPS alone and then under
+// continuous Q6 scans on a log-tailing read replica attached to the
+// same storage cluster.
+func AnalyticsHTAP(sf float64, dur time.Duration) (*HTAPRow, error) {
+	master, err := taurus.Open(taurus.Config{PagesPerSlice: 64})
+	if err != nil {
+		return nil, err
+	}
+	defer master.Close()
+	if _, err := tpch.Load(master.Engine(), sf); err != nil {
+		return nil, err
+	}
+	if _, err := master.Exec(`CREATE TABLE bench_kv (id BIGINT, v INT, PRIMARY KEY(id))`); err != nil {
+		return nil, err
+	}
+	rep, err := taurus.OpenReplica(taurus.Config{Master: master})
+	if err != nil {
+		return nil, err
+	}
+	defer rep.Close()
+	// Wait for the replica to attach the TPC-H tables and drain its lag
+	// so Attach sees every loaded row.
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		st := rep.ReplicaStats()
+		if st.TablesAttached >= 8 && st.LagRecords == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("htap: replica never caught up (attached=%d lag=%d)",
+				st.TablesAttached, st.LagRecords)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	repDB, err := tpch.Attach(rep.Engine(), sf)
+	if err != nil {
+		return nil, err
+	}
+	q6, err := tpch.QueryByName("Q6")
+	if err != nil {
+		return nil, err
+	}
+	row := &HTAPRow{Seconds: dur.Seconds()}
+	writeFor := func(d time.Duration) (int, error) {
+		n := 0
+		stop := time.Now().Add(d)
+		for time.Now().Before(stop) {
+			if _, err := master.Exec(fmt.Sprintf("INSERT INTO bench_kv VALUES (%d, %d)", writeSeq, writeSeq%97)); err != nil {
+				return n, err
+			}
+			writeSeq++
+			n++
+		}
+		return n, nil
+	}
+	base, err := writeFor(dur)
+	if err != nil {
+		return nil, err
+	}
+	row.BaselineWriteQPS = float64(base) / dur.Seconds()
+	// Replica scan loop beside the writer.
+	var stopScans atomic.Bool
+	scansDone := make(chan int, 1)
+	scanErr := make(chan error, 1)
+	go func() {
+		n := 0
+		for !stopScans.Load() {
+			env := tpch.NewEnv(repDB, true)
+			ctx := exec.NewCtx(rep.Engine())
+			rows, err := tpch.Run(env, ctx, q6)
+			if err != nil {
+				scanErr <- err
+				scansDone <- n
+				return
+			}
+			row.ReplicaRows = len(rows)
+			n++
+		}
+		scansDone <- n
+	}()
+	under, err := writeFor(dur)
+	stopScans.Store(true)
+	row.ReplicaScans = <-scansDone
+	if err != nil {
+		return nil, err
+	}
+	select {
+	case err := <-scanErr:
+		return nil, fmt.Errorf("htap: replica scan: %w", err)
+	default:
+	}
+	row.ScanWriteQPS = float64(under) / dur.Seconds()
+	return row, nil
+}
+
+// writeSeq keeps HTAP writer keys unique across the baseline and
+// under-scan windows (and across calls in one process).
+var writeSeq int64
+
+// WriteAnalyticsJSON persists the report.
+func WriteAnalyticsJSON(path string, rep *AnalyticsReport) error {
+	b, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}
+
+// PrintAnalytics renders the sweep and the HTAP measurement.
+func PrintAnalytics(w io.Writer, rep *AnalyticsReport) {
+	fmt.Fprintln(w, "Parallel NDP analytics: per-slice fan-out across Page Store replicas:")
+	fmt.Fprintf(w, "  %-6s %5s %-8s %10s %10s %8s %8s %8s %7s\n",
+		"query", "par", "routing", "best ms", "mean ms", "speedup", "routed", "retried", "hedged")
+	for _, r := range rep.Rows {
+		mode := "rrobin"
+		if r.Routing {
+			mode = "least"
+		}
+		fmt.Fprintf(w, "  %-6s %5d %-8s %10.2f %10.2f %7.2fx %8d %8d %7d\n",
+			r.Query, r.Parallelism, mode, r.BestMillis, r.MeanMillis, r.Speedup,
+			r.ScanRouted, r.ScanRetried, r.ScanHedged)
+	}
+	fmt.Fprintf(w, "  results identical across all cells: %v\n", rep.ResultsIdentical)
+	if rep.BestSpeedup > 0 {
+		fmt.Fprintf(w, "  best parallel speedup: %.2fx (%s)\n", rep.BestSpeedup, rep.BestSpeedupQuery)
+	}
+	if rep.HTAP != nil {
+		h := rep.HTAP
+		fmt.Fprintf(w, "  HTAP: master writes %.0f/s alone, %.0f/s under %d replica Q6 scans (%.1fs windows)\n",
+			h.BaselineWriteQPS, h.ScanWriteQPS, h.ReplicaScans, h.Seconds)
+	}
+}

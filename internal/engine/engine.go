@@ -8,10 +8,12 @@ package engine
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 	"sync/atomic"
 
 	"taurus/internal/buffer"
+	"taurus/internal/obs"
 	"taurus/internal/page"
 	"taurus/internal/sal"
 	"taurus/internal/txn"
@@ -36,6 +38,12 @@ type ReadView interface {
 	ReadPage(pageID, lsn uint64) ([]byte, error)
 	// BatchRead is the NDP batch read at the given LSN.
 	BatchRead(pageIDs []uint64, lsn uint64, desc []byte) (*sal.BatchResult, error)
+	// BatchReadTraced is BatchRead carrying the scan's trace context so
+	// per-slice sub-batch RPCs join the scan's fan-out tree.
+	BatchReadTraced(pageIDs []uint64, lsn uint64, desc []byte, tc obs.TraceContext) (*sal.BatchResult, error)
+	// SliceOf maps a page to its slice — the partitioning key of the
+	// parallel scan scheduler. Must match the master's slice mapping.
+	SliceOf(pageID uint64) uint32
 }
 
 // ErrReadOnly rejects writes on a read-replica engine.
@@ -55,6 +63,15 @@ type Config struct {
 	// NDPMaxPagesLookAhead bounds both the NDP batch size and the NDP
 	// page area, the paper's innodb_ndp_max_pages_look_ahead.
 	NDPMaxPagesLookAhead int
+	// ScanParallelism is the worker-pool width for partitioned NDP
+	// scans (0 = GOMAXPROCS). 1 degenerates to the serial scan.
+	ScanParallelism int
+	// Tracer, when non-nil, records ndp.scan / per-slice ndp.slice_scan
+	// spans for sampled scans.
+	Tracer *obs.Tracer
+	// Events, when non-nil, receives scan start/finish flight-recorder
+	// events.
+	Events *obs.EventRing
 }
 
 // Engine is one database frontend's storage engine.
@@ -72,6 +89,10 @@ type Engine struct {
 	nextPageID atomic.Uint64
 
 	lookAhead int
+	scanPar   atomic.Int32
+
+	tracer *obs.Tracer
+	events *obs.EventRing
 
 	// Metrics is the SQL-node work ledger backing the CPU-time figures.
 	Metrics Metrics
@@ -188,8 +209,28 @@ func New(cfg Config) (*Engine, error) {
 		indexes:   make(map[uint64]*Index),
 		nextIndex: 1,
 		lookAhead: cfg.NDPMaxPagesLookAhead,
+		tracer:    cfg.Tracer,
+		events:    cfg.Events,
 	}
+	e.scanPar.Store(int32(cfg.ScanParallelism))
 	return e, nil
+}
+
+// SetScanParallelism resizes the partitioned-scan worker pool at
+// runtime (0 = GOMAXPROCS, 1 = serial).
+func (e *Engine) SetScanParallelism(n int) {
+	if n < 0 {
+		n = 0
+	}
+	e.scanPar.Store(int32(n))
+}
+
+// ScanParallelism reports the effective worker-pool width.
+func (e *Engine) ScanParallelism() int {
+	if n := int(e.scanPar.Load()); n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
 }
 
 // Txm exposes the transaction manager.

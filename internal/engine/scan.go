@@ -4,10 +4,14 @@ import (
 	"errors"
 	"fmt"
 	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
 
 	"taurus/internal/core"
 	"taurus/internal/core/ir"
 	"taurus/internal/expr"
+	"taurus/internal/obs"
 	"taurus/internal/page"
 	"taurus/internal/sal"
 	"taurus/internal/txn"
@@ -57,6 +61,12 @@ type ScanOptions struct {
 	NDP *NDPPush
 	// LookAhead overrides the engine's NDP batch size.
 	LookAhead int
+	// Parallelism overrides the engine's partitioned-scan worker-pool
+	// width (PrepareNDPScan path only; 0 = engine default).
+	Parallelism int
+	// Trace, when valid, is the sampled trace the scan's spans and
+	// batch-read RPCs attach to.
+	Trace obs.TraceContext
 }
 
 // EmitFunc receives scan output. For NDP aggregate records, states holds
@@ -223,11 +233,20 @@ func (e *Engine) regularScan(opts ScanOptions, emit EmitFunc) error {
 
 // batchRead routes an NDP batch read through the SAL (read-write
 // frontend) or the replica's read view.
-func (e *Engine) batchRead(pageIDs []uint64, lsn uint64, desc []byte) (*sal.BatchResult, error) {
+func (e *Engine) batchRead(pageIDs []uint64, lsn uint64, desc []byte, tc obs.TraceContext) (*sal.BatchResult, error) {
 	if e.view != nil {
-		return e.view.BatchRead(pageIDs, lsn, desc)
+		return e.view.BatchReadTraced(pageIDs, lsn, desc, tc)
 	}
-	return e.salc.BatchRead(pageIDs, lsn, desc)
+	return e.salc.BatchReadTraced(pageIDs, lsn, desc, tc)
+}
+
+// sliceOf maps a page to its slice through whichever storage view the
+// engine has.
+func (e *Engine) sliceOf(pageID uint64) uint32 {
+	if e.view != nil {
+		return e.view.SliceOf(pageID)
+	}
+	return e.salc.SliceOf(pageID)
 }
 
 // buildDescriptor assembles the NDP descriptor for this scan (§IV-C1).
@@ -296,8 +315,20 @@ func (e *Engine) ndpScan(opts ScanOptions, emit EmitFunc) error {
 	if err != nil {
 		return err
 	}
-	for base := 0; base < len(batch.LeafIDs); base += lookAhead {
-		chunk := batch.LeafIDs[base:min(base+lookAhead, len(batch.LeafIDs))]
+	return e.scanChunks(s, batch.LeafIDs, batch.LSN, descBytes, lookAhead, opts.Trace, nil)
+}
+
+// scanChunks runs the §IV-C4 chunked batch-read loop over one ordered
+// leaf list — the whole scan when serial, one slice partition when
+// fanned out. stop, when non-nil, is the partitioned scan's shared
+// cancel flag: a sibling partition's error ends this one at the next
+// chunk boundary.
+func (e *Engine) scanChunks(s *scanState, leafIDs []uint64, lsn uint64, descBytes []byte, lookAhead int, tc obs.TraceContext, stop *atomic.Bool) error {
+	for base := 0; base < len(leafIDs); base += lookAhead {
+		if stop != nil && stop.Load() {
+			return nil
+		}
+		chunk := leafIDs[base:min(base+lookAhead, len(leafIDs))]
 		// Buffer-pool check (§IV-C4): cached pages are copied to the
 		// NDP page area instead of being read over the network.
 		cached := make(map[uint64]*page.Page)
@@ -313,7 +344,7 @@ func (e *Engine) ndpScan(opts ScanOptions, emit EmitFunc) error {
 		fetched := make(map[uint64][]byte, len(missing))
 		if len(missing) > 0 {
 			e.Metrics.BatchReads.Add(1)
-			res, err := e.batchRead(missing, batch.LSN, descBytes)
+			res, err := e.batchRead(missing, lsn, descBytes, tc)
 			if err != nil {
 				// The stamped version may have aged out of the Page
 				// Stores' retention under heavy concurrent writes;
@@ -324,9 +355,9 @@ func (e *Engine) ndpScan(opts ScanOptions, emit EmitFunc) error {
 					if rerr := e.view.Refresh(); rerr != nil {
 						return err
 					}
-					res, err = e.view.BatchRead(missing, e.view.VisibleLSN(), descBytes)
+					res, err = e.view.BatchReadTraced(missing, e.view.VisibleLSN(), descBytes, tc)
 				} else {
-					res, err = e.salc.BatchRead(missing, 0, descBytes)
+					res, err = e.salc.BatchReadTraced(missing, 0, descBytes, tc)
 				}
 				if err != nil {
 					return err
@@ -360,6 +391,181 @@ func (e *Engine) ndpScan(opts ScanOptions, emit EmitFunc) error {
 		}
 	}
 	return nil
+}
+
+// PartitionedScan is a prepared NDP scan split into per-slice
+// partitions. Each partition is the in-range leaf subsequence of one
+// slice, in key order; consecutive leaves share slices (page IDs are
+// allocated roughly sequentially), so partitions map onto distinct
+// Page Store replica sets and fan out across the storage fleet.
+//
+// Row order within a partition matches the serial scan; order ACROSS
+// partitions is the caller's job (NDPAggScan re-merges grouped partials
+// by key), which is why only order-insensitive consumers use this path.
+type PartitionedScan struct {
+	e         *Engine
+	opts      ScanOptions
+	descBytes []byte
+	proc      *core.Processor
+	lsn       uint64
+	lookAhead int
+	parts     []scanPartition
+}
+
+// scanPartition is one slice's contiguous, key-ordered leaf run.
+type scanPartition struct {
+	slice   uint32
+	leafIDs []uint64
+}
+
+// PrepareNDPScan collects and stamps the scan's leaf list once (shared
+// tree lock, one LSN — exactly like the serial cursor) and partitions
+// it by slice for parallel dispatch.
+func (e *Engine) PrepareNDPScan(opts ScanOptions) (*PartitionedScan, error) {
+	if opts.Index == nil {
+		return nil, fmt.Errorf("engine: scan needs an index")
+	}
+	if opts.View == nil {
+		opts.View = e.txm.View(nil)
+	}
+	if opts.NDP == nil {
+		return nil, fmt.Errorf("engine: partitioned scan requires NDP options")
+	}
+	if len(opts.NDP.Aggs) > 0 && opts.NDP.PushProjection != (len(opts.Projection) > 0) {
+		return nil, fmt.Errorf("engine: pushed aggregation requires pushed projection to agree with the output layout")
+	}
+	desc, err := e.buildDescriptor(opts)
+	if err != nil {
+		return nil, err
+	}
+	proc, err := core.NewProcessorFromDescriptor(desc)
+	if err != nil {
+		return nil, err
+	}
+	lookAhead := opts.LookAhead
+	if lookAhead <= 0 {
+		lookAhead = e.lookAhead
+	}
+	batch, err := opts.Index.Tree.CollectBatch(opts.Start, opts.End, 1<<30)
+	if err != nil {
+		return nil, err
+	}
+	p := &PartitionedScan{
+		e:         e,
+		opts:      opts,
+		descBytes: desc.Encode(),
+		proc:      proc,
+		lsn:       batch.LSN,
+		lookAhead: lookAhead,
+	}
+	for _, id := range batch.LeafIDs {
+		sliceID := e.sliceOf(id)
+		if n := len(p.parts); n > 0 && p.parts[n-1].slice == sliceID {
+			p.parts[n-1].leafIDs = append(p.parts[n-1].leafIDs, id)
+		} else {
+			p.parts = append(p.parts, scanPartition{slice: sliceID, leafIDs: []uint64{id}})
+		}
+	}
+	return p, nil
+}
+
+// Parts reports how many per-slice partitions the scan fans out into.
+func (p *PartitionedScan) Parts() int { return len(p.parts) }
+
+// LSN is the scan's stamped read LSN: on a replica it was taken from
+// the visible LSN and reads never go past it.
+func (p *PartitionedScan) LSN() uint64 { return p.lsn }
+
+// Run dispatches the partitions across a bounded worker pool and waits
+// for them all. emitFor returns partition i's sink; partitions run
+// concurrently, so distinct sinks must not share state. The per-worker
+// chunk size divides the scan's look-ahead by the pool width so the
+// concurrent NDP page area stays within the serial scan's bound.
+func (p *PartitionedScan) Run(emitFor func(part int) EmitFunc) error {
+	e := p.e
+	if len(p.parts) == 0 {
+		return nil
+	}
+	workers := p.opts.Parallelism
+	if workers <= 0 {
+		workers = e.ScanParallelism()
+	}
+	if workers > len(p.parts) {
+		workers = len(p.parts)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	perLook := p.lookAhead
+	if workers > 1 {
+		if perLook = p.lookAhead / workers; perLook < 1 {
+			perLook = 1
+		}
+	}
+	tc := p.opts.Trace
+	var root *obs.SpanHandle
+	if e.tracer != nil && tc.Valid() {
+		root = e.tracer.StartSpan(tc, "ndp.scan")
+		root.Annotate("index=%s partitions=%d parallelism=%d lsn=%d",
+			p.opts.Index.Name, len(p.parts), workers, p.lsn)
+		tc = root.Context()
+	}
+	e.events.Record(obs.EventScanStart, "index %s: %d slice partitions, %d workers, lsn %d",
+		p.opts.Index.Name, len(p.parts), workers, p.lsn)
+	t0 := time.Now()
+
+	var stop atomic.Bool
+	var mu sync.Mutex
+	var firstErr error
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+		stop.Store(true)
+	}
+	idxCh := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idxCh {
+				if stop.Load() {
+					continue
+				}
+				part := p.parts[i]
+				ptc := tc
+				var span *obs.SpanHandle
+				if e.tracer != nil && tc.Valid() {
+					span = e.tracer.StartSpan(tc, "ndp.slice_scan")
+					span.Annotate("slice=%d leaves=%d", part.slice, len(part.leafIDs))
+					ptc = span.Context()
+				}
+				s := newScanState(p.opts, emitFor(i))
+				s.proc = p.proc
+				err := e.scanChunks(s, part.leafIDs, p.lsn, p.descBytes, perLook, ptc, &stop)
+				span.End()
+				if err != nil {
+					if errors.Is(err, ErrStopScan) {
+						stop.Store(true)
+					} else {
+						fail(err)
+					}
+				}
+			}
+		}()
+	}
+	for i := range p.parts {
+		idxCh <- i
+	}
+	close(idxCh)
+	wg.Wait()
+	e.events.Record(obs.EventScanFinish, "index %s: %d partitions done in %s (err=%v)",
+		p.opts.Index.Name, len(p.parts), time.Since(t0).Round(time.Microsecond), firstErr)
+	root.End()
+	return firstErr
 }
 
 // consumeNDPPage dispatches on what the Page Store returned.

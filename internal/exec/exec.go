@@ -11,6 +11,7 @@ import (
 	"sync/atomic"
 
 	"taurus/internal/engine"
+	"taurus/internal/obs"
 	"taurus/internal/txn"
 	"taurus/internal/types"
 )
@@ -21,6 +22,9 @@ type Ctx struct {
 	View *txn.ReadView
 	// Stats ledgers SQL-node executor work for the CPU-time figures.
 	Stats ExecStats
+	// Trace, when valid, is the statement's sampled trace context;
+	// scan operators hang their fan-out spans under it.
+	Trace obs.TraceContext
 }
 
 // NewCtx builds a context with a fresh read view.

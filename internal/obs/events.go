@@ -36,6 +36,14 @@ const (
 	EventStreamDetach     = "stream.detach"
 	EventStreamDisconnect = "stream.disconnect"
 	EventCheckpointResync = "replica.ckpt_resync"
+
+	// Parallel NDP scans: EventScanStart/EventScanFinish bracket one
+	// partitioned scan's fan-out; EventScanRetry marks a per-slice
+	// sub-batch re-sent to another Page Store replica (failure or
+	// straggler hedge).
+	EventScanStart  = "scan.start"
+	EventScanFinish = "scan.finish"
+	EventScanRetry  = "scan.retry"
 )
 
 // Event is one recorded structural transition.

@@ -43,6 +43,15 @@ func (s *Store) registerMetrics(reg *obs.Registry) {
 		func() float64 { _, _, persisted := s.LSNInfo(0); return float64(persisted) }, labels...)
 	reg.GaugeFunc("taurus_pagestore_slices", "Slices hosted.",
 		func() float64 { n, _, _ := s.LSNInfo(0); return float64(n) }, labels...)
+	reg.CounterFunc("taurus_pagestore_desc_cache_hits_total",
+		"NDP descriptor cache hits (descriptor resolved by id, no re-send).",
+		func() float64 { h, _ := s.DescCacheStats(); return float64(h) }, labels...)
+	reg.CounterFunc("taurus_pagestore_desc_cache_misses_total",
+		"NDP descriptor cache misses (descriptor decoded and compiled).",
+		func() float64 { _, m := s.DescCacheStats(); return float64(m) }, labels...)
+	reg.GaugeFunc("taurus_pagestore_ndp_queue_depth",
+		"NDP pages admitted right now (queued or processing) under resource control.",
+		func() float64 { return float64(s.NDPQueueDepth()) }, labels...)
 	reg.GaugeFunc("taurus_pagestore_version_pins", "Active replica version pins.",
 		func() float64 { return float64(s.VersionPins()) }, labels...)
 	reg.GaugeFunc("taurus_pagestore_version_pin_floor", "Lowest pinned version LSN (0 = unpinned).",

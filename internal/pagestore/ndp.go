@@ -165,6 +165,11 @@ func NewResourceControl(workers, queueDepth int) *ResourceControl {
 	}
 }
 
+// QueueDepth reports how many NDP pages are currently admitted —
+// queued or processing. Frontends export it per store so scan routing
+// imbalance is visible from /stats.
+func (rc *ResourceControl) QueueDepth() int { return len(rc.queue) }
+
 // SetForceSkip makes all (or none) admissions fail.
 func (rc *ResourceControl) SetForceSkip(v bool) {
 	rc.mu.Lock()

@@ -664,6 +664,11 @@ func (s *Store) DescCacheStats() (hits, misses uint64) {
 	return s.descCache.Stats()
 }
 
+// NDPQueueDepth reports how many NDP pages are admitted right now
+// (queued or processing) — the store-side load signal behind the
+// frontend's least-loaded scan routing.
+func (s *Store) NDPQueueDepth() int { return s.control.QueueDepth() }
+
 // NodeStats is one Page Store's observable state, for stats endpoints
 // and operator tooling.
 type NodeStats struct {
@@ -680,6 +685,14 @@ type NodeStats struct {
 	LastCheckpoint       time.Time
 	CheckpointAgeSeconds float64
 	Stats                StatsSnapshot
+	// DescCacheHits/DescCacheMisses count NDP descriptor cache lookups
+	// ("Page Store caches the descriptors ... the database sends only
+	// the descriptor's identifier with each request"); NDPQueueDepth is
+	// the current resource-control admission count (queued +
+	// processing).
+	DescCacheHits   uint64
+	DescCacheMisses uint64
+	NDPQueueDepth   int
 	// PerSlice breaks the LSN frontier down by hosted slice.
 	PerSlice []SliceLSN
 }
@@ -696,8 +709,10 @@ func (s *Store) NodeStats() NodeStats {
 		LastCheckpoint:       s.LastCheckpoint(),
 		CheckpointAgeSeconds: -1,
 		Stats:                s.Snapshot(),
+		NDPQueueDepth:        s.NDPQueueDepth(),
 		PerSlice:             s.SliceLSNs(0),
 	}
+	ns.DescCacheHits, ns.DescCacheMisses = s.DescCacheStats()
 	if !ns.LastCheckpoint.IsZero() {
 		ns.CheckpointAgeSeconds = time.Since(ns.LastCheckpoint).Seconds()
 	}

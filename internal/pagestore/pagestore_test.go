@@ -1,12 +1,14 @@
 package pagestore
 
 import (
+	"bytes"
 	"testing"
 
 	"taurus/internal/cluster"
 	"taurus/internal/core"
 	"taurus/internal/core/ir"
 	"taurus/internal/expr"
+	"taurus/internal/obs"
 	"taurus/internal/page"
 	"taurus/internal/types"
 	"taurus/internal/wal"
@@ -353,5 +355,56 @@ func TestResourceControlAdmission(t *testing.T) {
 		t.Fatal("admit after release should succeed")
 	} else {
 		rel2()
+	}
+}
+
+// TestNodeStatsDescCacheAndQueueDepth covers the observability surface
+// scan routing leans on: descriptor-cache hit/miss counts and the NDP
+// admission queue depth appear in NodeStats and as metric families.
+func TestNodeStatsDescCacheAndQueueDepth(t *testing.T) {
+	reg := obs.NewRegistry()
+	s := New("ps1", WithMetrics(reg))
+	seedSlice(t, s, 1, 0, 4, 20)
+	desc := descWithPredicate(t, 8)
+	for i := 0; i < 2; i++ { // first compiles (miss), second hits
+		if _, err := s.BatchRead(&cluster.BatchReadReq{
+			Tenant: 1, SliceID: 0, PageIDs: []uint64{1, 2, 3, 4}, Desc: desc, Plugin: PluginInnoDB,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ns := s.NodeStats()
+	if ns.DescCacheHits != 1 || ns.DescCacheMisses != 1 {
+		t.Errorf("NodeStats desc cache hits/misses = %d/%d, want 1/1",
+			ns.DescCacheHits, ns.DescCacheMisses)
+	}
+	if ns.NDPQueueDepth != 0 {
+		t.Errorf("NDPQueueDepth = %d between requests, want 0", ns.NDPQueueDepth)
+	}
+	// While a worker slot is held, the depth is visible.
+	rel, ok := s.control.TryAdmit()
+	if !ok {
+		t.Fatal("admit failed on an idle store")
+	}
+	if got := s.NodeStats().NDPQueueDepth; got != 1 {
+		t.Errorf("NDPQueueDepth = %d with one admission held, want 1", got)
+	}
+	rel()
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	families, err := obs.ValidateExposition(buf.String())
+	if err != nil {
+		t.Fatalf("invalid exposition: %v", err)
+	}
+	for _, want := range []string{
+		"taurus_pagestore_desc_cache_hits_total",
+		"taurus_pagestore_desc_cache_misses_total",
+		"taurus_pagestore_ndp_queue_depth",
+	} {
+		if _, ok := families[want]; !ok {
+			t.Errorf("family %s missing from exposition", want)
+		}
 	}
 }

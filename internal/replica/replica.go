@@ -83,6 +83,9 @@ type Config struct {
 	// Events, when non-nil, records structural events (resyncs, tailed
 	// catalog barriers) in the flight recorder. nil is inert.
 	Events *obs.EventRing
+	// DisableLeastLoadedReads pins scan sub-batch routing to plain
+	// round-robin instead of the least-loaded replica pick.
+	DisableLeastLoadedReads bool
 	// Subscribe selects push mode: instead of pull-tailing, the replica
 	// subscribes to a Log Store's push stream and consumes MsgLogBatch
 	// frames addressed to Node. Requires Node to be registered as a
@@ -172,7 +175,13 @@ type Replica struct {
 
 	visible  atomic.Uint64
 	notified atomic.Uint64 // highest master-notified durable LSN
-	rr       atomic.Uint64 // round-robin read replica selector
+	rr       atomic.Uint64 // round-robin read replica selector (point reads)
+
+	// router + fanOut serve the NDP scan read path (least-loaded
+	// sub-batch routing, retry, straggler hedging) — the replica's own
+	// trackers, since its load profile differs from the master's.
+	router *sal.ReadRouter
+	fanOut *sal.FanOut
 
 	// refreshMu serializes whole refresh cycles (background loop and
 	// on-demand Refresh calls). refreshTC (guarded by refreshMu) is the
@@ -273,7 +282,29 @@ func New(cfg Config) (*Replica, error) {
 		stop:         make(chan struct{}),
 		done:         make(chan struct{}),
 	}
+	r.router = sal.NewReadRouter()
+	r.router.SetLeastLoaded(!cfg.DisableLeastLoadedReads)
+	r.fanOut = &sal.FanOut{
+		Transport: cfg.Transport,
+		Tenant:    cfg.Tenant,
+		Plugin:    cfg.Plugin,
+		SliceOf:   r.SliceOf,
+		NodesFor: func(sliceID uint32, ids []uint64) ([]string, error) {
+			// No pre-read wait: the snapshot LSN is already proven
+			// applied everywhere.
+			return r.placement(sliceID), nil
+		},
+		Router: r.router,
+		Events: cfg.Events,
+	}
 	r.registerMetrics(cfg.Metrics, cfg.Name)
+	if cfg.Metrics != nil {
+		role := cfg.Name
+		if role == "" {
+			role = "replica"
+		}
+		r.router.RegisterMetrics(cfg.Metrics, role)
+	}
 	return r, nil
 }
 
@@ -376,13 +407,20 @@ func (r *Replica) ReadPage(pageID, lsn uint64) ([]byte, error) {
 // §VI-2 fan-out), at the replica's snapshot LSN. No pre-read wait: the
 // snapshot LSN is already proven applied everywhere.
 func (r *Replica) BatchRead(pageIDs []uint64, lsn uint64, desc []byte) (*sal.BatchResult, error) {
-	return sal.FanOutBatchRead(r.cfg.Transport, r.cfg.Tenant, r.cfg.Plugin,
-		r.SliceOf,
-		func(sliceID uint32, ids []uint64) (string, error) {
-			return r.readNode(r.placement(sliceID)), nil
-		},
-		pageIDs, lsn, desc)
+	return r.fanOut.BatchRead(obs.TraceContext{}, pageIDs, lsn, desc)
 }
+
+// BatchReadTraced implements engine.ReadView: BatchRead with the scan's
+// trace context riding the sub-batch RPCs.
+func (r *Replica) BatchReadTraced(pageIDs []uint64, lsn uint64, desc []byte, tc obs.TraceContext) (*sal.BatchResult, error) {
+	return r.fanOut.BatchRead(tc, pageIDs, lsn, desc)
+}
+
+// SetLeastLoadedReads toggles least-loaded scan routing at runtime.
+func (r *Replica) SetLeastLoadedReads(on bool) { r.router.SetLeastLoaded(on) }
+
+// RouterStats snapshots this replica frontend's scan read router.
+func (r *Replica) RouterStats() sal.RouterStats { return r.router.Stats() }
 
 // Handle implements cluster.Handler: LSN-advance notifications from the
 // master's SAL (pull mode) and pushed stream frames from a Log Store

@@ -103,6 +103,10 @@ type Config struct {
 	// transitions: lane promotions/demotions, window seals by reason,
 	// sticky-error poisoning. nil is inert.
 	Events *obs.EventRing
+	// DisableLeastLoadedReads pins scan sub-batch routing to plain
+	// round-robin instead of the least-loaded replica pick (the
+	// routing-off baseline in BENCH_analytics.json).
+	DisableLeastLoadedReads bool
 	// NotifyFrontier forces frontier relays (cluster.FrontierReq — the
 	// durable watermark plus per-slice applied LSNs) to the Log Stores
 	// on every advance, whether or not an embedded replica registered a
@@ -119,7 +123,13 @@ type SAL struct {
 	cfg Config
 
 	lsn atomic.Uint64
-	rr  atomic.Uint64 // round-robin read replica selector
+	rr  atomic.Uint64 // round-robin read replica selector (point reads)
+
+	// router + fanOut serve the NDP scan read path: per-replica
+	// in-flight/EWMA tracking, least-loaded sub-batch routing, retry
+	// and straggler hedging.
+	router *ReadRouter
+	fanOut *FanOut
 
 	// Write lanes: lanes[0] is the shared lane, the rest are dedicated
 	// lanes hot slices get promoted into. The slice→lane assignment
@@ -250,10 +260,37 @@ func New(cfg Config) (*SAL, error) {
 		cfg:       cfg,
 		sliceProg: make(map[uint32]*sliceProgress),
 	}
+	s.router = NewReadRouter()
+	s.router.SetLeastLoaded(!cfg.DisableLeastLoadedReads)
+	s.fanOut = &FanOut{
+		Transport: cfg.Transport,
+		Tenant:    cfg.Tenant,
+		Plugin:    cfg.Plugin,
+		SliceOf:   s.SliceOf,
+		NodesFor: func(sliceID uint32, ids []uint64) ([]string, error) {
+			if err := s.waitAppliedPages(sliceID, ids...); err != nil {
+				return nil, err
+			}
+			return s.placement(sliceID)
+		},
+		Router: s.router,
+		Events: cfg.Events,
+	}
 	s.initMetrics(cfg.Metrics)
+	if cfg.Metrics != nil {
+		s.router.RegisterMetrics(cfg.Metrics, "master")
+	}
 	s.startPipeline()
 	return s, nil
 }
+
+// SetLeastLoadedReads toggles least-loaded scan routing at runtime
+// (benchmarks flip it to measure routing on vs. off).
+func (s *SAL) SetLeastLoadedReads(on bool) { s.router.SetLeastLoaded(on) }
+
+// RouterStats snapshots the scan read router: sub-batches routed,
+// retried, hedged, and the per-store load trackers.
+func (s *SAL) RouterStats() RouterStats { return s.router.Stats() }
 
 // SliceOf maps a page to its slice.
 func (s *SAL) SliceOf(pageID uint64) uint32 {
@@ -557,93 +594,17 @@ type BatchResult struct {
 // sub-batch waits only until the pages it actually requests are
 // applied.
 func (s *SAL) BatchRead(pageIDs []uint64, lsn uint64, desc []byte) (*BatchResult, error) {
+	return s.BatchReadTraced(pageIDs, lsn, desc, obs.TraceContext{})
+}
+
+// BatchReadTraced is BatchRead with a trace context: when tc is valid
+// (a sampled scan), the per-slice sub-batch RPCs carry it so the Page
+// Stores' server spans hang under the scan's fan-out tree.
+func (s *SAL) BatchReadTraced(pageIDs []uint64, lsn uint64, desc []byte, tc obs.TraceContext) (*BatchResult, error) {
 	var t0 time.Time
 	if s.m.enabled {
 		t0 = time.Now()
 		defer func() { s.m.fetchBatch.ObserveDuration(time.Since(t0)) }()
 	}
-	return FanOutBatchRead(s.cfg.Transport, s.cfg.Tenant, s.cfg.Plugin,
-		s.SliceOf,
-		func(sliceID uint32, ids []uint64) (string, error) {
-			if err := s.waitAppliedPages(sliceID, ids...); err != nil {
-				return "", err
-			}
-			nodes, err := s.placement(sliceID)
-			if err != nil {
-				return "", err
-			}
-			return s.readReplica(nodes), nil
-		},
-		pageIDs, lsn, desc)
-}
-
-// FanOutBatchRead is the batch-read dispatch shared by the SAL and the
-// read-replica tier: split the page list into per-slice sub-batches
-// (§VI-2), route each through nodeFor (which also runs any pre-read
-// wait and picks the replica), issue them concurrently, and reassemble
-// the responses in request order.
-func FanOutBatchRead(tr cluster.Transport, tenant uint32, plugin string,
-	sliceOf func(pageID uint64) uint32,
-	nodeFor func(sliceID uint32, ids []uint64) (string, error),
-	pageIDs []uint64, lsn uint64, desc []byte) (*BatchResult, error) {
-	type subBatch struct {
-		sliceID uint32
-		ids     []uint64
-		pos     []int // positions in the original request
-	}
-	var order []uint32
-	subs := make(map[uint32]*subBatch)
-	for i, id := range pageIDs {
-		sliceID := sliceOf(id)
-		sb, ok := subs[sliceID]
-		if !ok {
-			sb = &subBatch{sliceID: sliceID}
-			subs[sliceID] = sb
-			order = append(order, sliceID)
-		}
-		sb.ids = append(sb.ids, id)
-		sb.pos = append(sb.pos, i)
-	}
-	res := &BatchResult{Pages: make([][]byte, len(pageIDs)), SubBatches: len(order)}
-	var wg sync.WaitGroup
-	errs := make([]error, len(order))
-	var mu sync.Mutex
-	for oi, sliceID := range order {
-		sb := subs[sliceID]
-		node, err := nodeFor(sliceID, sb.ids)
-		if err != nil {
-			return nil, err
-		}
-		wg.Add(1)
-		go func(oi int, sb *subBatch, node string) {
-			defer wg.Done()
-			resp, err := tr.Call(node, &cluster.BatchReadReq{
-				Tenant: tenant, SliceID: sb.sliceID, LSN: lsn,
-				PageIDs: sb.ids, Desc: desc, Plugin: plugin,
-			})
-			if err != nil {
-				errs[oi] = err
-				return
-			}
-			br := resp.(*cluster.BatchReadResp)
-			if len(br.Pages) != len(sb.ids) {
-				errs[oi] = fmt.Errorf("sal: sub-batch returned %d pages for %d ids", len(br.Pages), len(sb.ids))
-				return
-			}
-			mu.Lock()
-			for i, pos := range sb.pos {
-				res.Pages[pos] = br.Pages[i]
-			}
-			res.Processed += int(br.Processed)
-			res.Skipped += int(br.Skipped)
-			mu.Unlock()
-		}(oi, sb, node)
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
-	}
-	return res, nil
+	return s.fanOut.BatchRead(tc, pageIDs, lsn, desc)
 }

@@ -102,7 +102,7 @@ func (s *Session) exec(sqlText string, tr *obs.Trace, tc obs.TraceContext) (*Res
 		}
 		return s.execInsert(st, tr, tc)
 	case *SelectStmt:
-		return s.execSelect(st, tr)
+		return s.execSelect(st, tr, tc)
 	default:
 		return nil, fmt.Errorf("sql: unsupported statement")
 	}
@@ -430,7 +430,7 @@ func collectCols(e Expr, into map[string]bool) {
 	}
 }
 
-func (s *Session) execSelect(st *SelectStmt, tr *obs.Trace) (*Result, error) {
+func (s *Session) execSelect(st *SelectStmt, tr *obs.Trace, tc obs.TraceContext) (*Result, error) {
 	tbl, err := s.Eng.Table(st.Table)
 	if err != nil {
 		return nil, err
@@ -635,6 +635,7 @@ func (s *Session) execSelect(st *SelectStmt, tr *obs.Trace) (*Result, error) {
 	}
 
 	ctx := exec.NewCtx(s.Eng)
+	ctx.Trace = tc
 	rows, err := exec.Run(ctx, op)
 	if err != nil {
 		return nil, err

@@ -1,0 +1,72 @@
+package tpch
+
+import (
+	"fmt"
+
+	"taurus/internal/engine"
+	"taurus/internal/plan"
+)
+
+// Attach binds an already-populated engine — typically a read replica
+// whose tables arrived through the tailed catalog records — into a DB
+// handle with the same catalog statistics and NDP threshold Load
+// computes on the master. The engine must hold all eight TPC-H tables
+// and the four secondary indexes before the call (wait for the
+// replica's visible LSN to cover the load first).
+func Attach(eng *engine.Engine, sf float64) (*DB, error) {
+	db := &DB{Eng: eng, SF: sf, Cat: plan.NewCatalog(eng)}
+	tables := []struct {
+		name string
+		dst  **engine.Table
+	}{
+		{"region", &db.Region},
+		{"nation", &db.Nation},
+		{"supplier", &db.Supplier},
+		{"customer", &db.Customer},
+		{"part", &db.Part},
+		{"partsupp", &db.PartSupp},
+		{"orders", &db.Orders},
+		{"lineitem", &db.Lineitem},
+	}
+	for _, d := range tables {
+		t, err := eng.Table(d.name)
+		if err != nil {
+			return nil, fmt.Errorf("tpch: attach: %w", err)
+		}
+		*d.dst = t
+	}
+	secondary := func(t *engine.Table, name string, dst **engine.Index) error {
+		for _, idx := range t.Secondaries {
+			if idx.Name == name {
+				*dst = idx
+				return nil
+			}
+		}
+		return fmt.Errorf("tpch: attach: table %s has no index %q", t.Name, name)
+	}
+	if err := secondary(db.Lineitem, "l_suppkey_idx", &db.LineitemBySupp); err != nil {
+		return nil, err
+	}
+	if err := secondary(db.Lineitem, "l_partkey_idx", &db.LineitemByPart); err != nil {
+		return nil, err
+	}
+	if err := secondary(db.Orders, "o_custkey_idx", &db.OrdersByCust); err != nil {
+		return nil, err
+	}
+	if err := secondary(db.PartSupp, "ps_suppkey_idx", &db.PartSuppBySupp); err != nil {
+		return nil, err
+	}
+	for _, d := range tables {
+		if _, err := db.Cat.Analyze(d.name); err != nil {
+			return nil, err
+		}
+	}
+	// Same 10% ratio as Load so the same queries qualify for pushdown.
+	liPages := db.Cat.Stats("lineitem").LeafPages
+	db.Cat.NDPPageThreshold = liPages / 10
+	if db.Cat.NDPPageThreshold < 4 {
+		db.Cat.NDPPageThreshold = 4
+	}
+	eng.Pool().Clear()
+	return db, nil
+}

@@ -55,6 +55,28 @@ func Q002(e *Env, _ *exec.Ctx) exec.Operator {
 	}, nil)
 }
 
+// Q1G is a Q1-style pricing summary grouped by l_orderkey instead of
+// (l_returnflag, l_linestatus). The group key is the primary-key prefix,
+// so the whole grouped aggregation pushes to the Page Stores — the
+// parallel-scan benchmark uses it to exercise the cross-partition
+// grouped merge (groups split across slice boundaries).
+func Q1G(e *Env, _ *exec.Ctx) exec.Operator {
+	// Output layout: 0=okey 1=qty 2=price 3=disc.
+	return e.aggScan(&plan.AccessSpec{
+		Table: "lineitem", Index: e.DB.Lineitem.Primary,
+		Predicate:   expr.LE(col(LShipdate, "l_shipdate"), dateConst(1998, 9, 2)),
+		Output:      []int{LOrderkey, LQuantity, LExtendedprice, LDiscount},
+		LastInBlock: true,
+		Aggs: []plan.AggCandidate{
+			{Fn: core.AggSum, ArgCol: 1, Name: "sum_qty"},
+			{Fn: core.AggSum, ArgCol: -1, Name: "sum_disc_price",
+				ArgExpr: expr.Div(revenue(2, 3), decConst(100))},
+			{Fn: core.AggCountStar, ArgCol: -1, Name: "count_order"},
+		},
+		GroupBy: []int{0},
+	}, nil)
+}
+
 // MicroQueries lists the Fig. 5/6 workload: the three COUNT(*) variants
 // plus TPC-H Q1 and Q6.
 func MicroQueries() []Query {

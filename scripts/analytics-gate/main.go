@@ -1,0 +1,87 @@
+// Command analytics-gate is the CI gate for the parallel NDP scan
+// scheduler: it runs the analytics sweep at parallelism 1 and NumCPU
+// and fails if
+//
+//   - any cell of a query produced a different result than the others
+//     (the parallel cross-partition merge must equal serial execution —
+//     asserted on every machine, single-CPU included), or
+//
+//   - parallel Q6 is not at least the threshold factor faster than
+//     serial Q6 (routing on, best-of-runs; asserted only when
+//     runtime.NumCPU() >= 2, because a single-CPU runner has no
+//     parallelism to win from).
+//
+//     go run ./scripts/analytics-gate
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"runtime"
+	"time"
+
+	"taurus/internal/bench"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("analytics-gate: ")
+	sf := flag.Float64("sf", 0.01, "TPC-H scale factor")
+	runs := flag.Int("runs", 3, "cold-pool runs per cell")
+	minSpeedup := flag.Float64("min-speedup", 1.5, "minimum parallel Q6 speedup over serial (NumCPU >= 2 only)")
+	flag.Parse()
+
+	levels := []int{1}
+	if n := runtime.NumCPU(); n >= 2 {
+		levels = append(levels, n)
+	} else {
+		// Still exercise the fan-out machinery, just without a
+		// parallelism win to assert on.
+		levels = append(levels, 2)
+	}
+	rep, err := bench.Analytics(*sf, *runs, levels, 400*time.Millisecond)
+	if err != nil {
+		log.Fatalf("bench failed: %v", err)
+	}
+	bench.PrintAnalytics(os.Stdout, rep)
+
+	failed := false
+	// Correctness holds on any hardware: every (parallelism, routing)
+	// cell of a query must return byte-identical results.
+	if !rep.ResultsIdentical {
+		log.Print("FAIL: parallel results differ from serial — cross-partition merge is wrong")
+		failed = true
+	}
+	// Routed sub-batches must actually flow through the router.
+	var routed uint64
+	for _, r := range rep.Rows {
+		routed += r.ScanRouted
+	}
+	if routed == 0 {
+		log.Print("FAIL: no sub-batches were routed — fan-out path not engaged")
+		failed = true
+	}
+
+	// Speedup: parallel Q6 with least-loaded routing vs serial.
+	best := 0.0
+	for _, r := range rep.Rows {
+		if r.Query == "Q6" && r.Routing && r.Parallelism > 1 && r.Speedup > best {
+			best = r.Speedup
+		}
+	}
+	fmt.Printf("gate: parallel Q6 speedup=%.2fx (min %.2fx), results identical=%v\n",
+		best, *minSpeedup, rep.ResultsIdentical)
+	if runtime.NumCPU() < 2 {
+		fmt.Printf("gate: NumCPU=%d — speedup threshold skipped (no parallelism to win from)\n",
+			runtime.NumCPU())
+	} else if best < *minSpeedup {
+		log.Printf("FAIL: parallel Q6 speedup %.2fx < %.2fx", best, *minSpeedup)
+		failed = true
+	}
+	if failed {
+		os.Exit(1)
+	}
+	fmt.Println("analytics gate passed")
+}

@@ -56,6 +56,14 @@ type Config struct {
 	PagesPerSlice uint64
 	// DisableNDP turns pushdown off (the experiments' baseline).
 	DisableNDP bool
+	// ScanParallelism is the worker-pool width for partitioned NDP
+	// scans: per-slice scan partitions dispatched concurrently, each to
+	// the least-loaded Page Store replica of its slice (0 = GOMAXPROCS,
+	// 1 = serial).
+	ScanParallelism int
+	// DisableScanRouting pins scan sub-batch routing to round-robin
+	// instead of the least-loaded replica pick (the bench baseline).
+	DisableScanRouting bool
 	// WriteLanes is the number of dedicated per-slice write lanes hot
 	// slices can be promoted into, besides the shared lane (0 = SAL
 	// default; negative disables promotion — the old single-global-
@@ -318,12 +326,14 @@ func Open(cfg Config) (*DB, error) {
 		Plugin: pagestore.PluginInnoDB, MaxSliceLanes: cfg.WriteLanes,
 		FlushThreshold: cfg.WriteFlushThreshold, Metrics: reg,
 		Tracer: db.tracer, Events: db.events,
+		DisableLeastLoadedReads: cfg.DisableScanRouting,
 	})
 	if err != nil {
 		return nil, err
 	}
 	eng, err := engine.New(engine.Config{
 		SAL: s, PoolPages: cfg.PoolPages, NDPMaxPagesLookAhead: cfg.NDPMaxPagesLookAhead,
+		ScanParallelism: cfg.ScanParallelism, Tracer: db.tracer, Events: db.events,
 	})
 	if err != nil {
 		db.closeLogs()
@@ -454,6 +464,8 @@ func OpenReplica(cfg Config) (*DB, error) {
 		Subscribe:         !cfg.ReplicaPullTail,
 		Node:              repName,
 		LoadCheckpoint:    loadCkpt,
+
+		DisableLeastLoadedReads: cfg.DisableScanRouting,
 	})
 	if err != nil {
 		return nil, err
@@ -461,6 +473,9 @@ func OpenReplica(cfg Config) (*DB, error) {
 	eng, err := engine.New(engine.Config{
 		ReadView: rep, PoolPages: cfg.PoolPages,
 		NDPMaxPagesLookAhead: cfg.NDPMaxPagesLookAhead,
+		ScanParallelism:      cfg.ScanParallelism,
+		Tracer:               repTracer,
+		Events:               repEvents,
 	})
 	if err != nil {
 		return nil, err
@@ -1145,6 +1160,43 @@ func (db *DB) PageStoreStats() []pagestore.StatsSnapshot {
 		out[i] = ps.Snapshot()
 	}
 	return out
+}
+
+// PageStoreNodes returns each embedded Page Store's full node view
+// (counters plus descriptor-cache hit/miss totals, NDP queue depth,
+// LSN watermarks, and per-slice state) — what a TCP deployment serves
+// from each store's /stats endpoint.
+func (db *DB) PageStoreNodes() []pagestore.NodeStats {
+	out := make([]pagestore.NodeStats, len(db.stores))
+	for i, ps := range db.stores {
+		out[i] = ps.NodeStats()
+	}
+	return out
+}
+
+// SetScanParallelism resizes the partitioned NDP scan worker pool at
+// runtime (0 = GOMAXPROCS, 1 = serial).
+func (db *DB) SetScanParallelism(n int) { db.eng.SetScanParallelism(n) }
+
+// SetScanRouting toggles least-loaded scan routing (false = plain
+// round-robin) on this frontend's read path.
+func (db *DB) SetScanRouting(leastLoaded bool) {
+	if db.rep != nil {
+		db.rep.SetLeastLoadedReads(leastLoaded)
+		return
+	}
+	db.eng.SAL().SetLeastLoadedReads(leastLoaded)
+}
+
+// ScanRouting snapshots this frontend's scan read router: per-slice
+// sub-batches routed (scan_routed), re-sent after a failure or
+// straggler hedge (scan_retried, scan_hedged), and the per-store
+// in-flight/EWMA-latency trackers behind the least-loaded pick.
+func (db *DB) ScanRouting() sal.RouterStats {
+	if db.rep != nil {
+		return db.rep.RouterStats()
+	}
+	return db.eng.SAL().RouterStats()
 }
 
 // Metrics returns the deployment's metrics registry. A master's registry
