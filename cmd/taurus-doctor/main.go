@@ -1,0 +1,177 @@
+// taurus-doctor polls a Taurus fleet's health endpoints and renders a
+// per-node check table, so "is the cluster healthy" is one command. It
+// is single-shot by design: run it from cron, CI, or a shell while
+// debugging, and gate on the exit code.
+//
+// Usage:
+//
+//	taurus-doctor [-cluster host:port] [-timeout 2s] [stats-addr ...]
+//
+// Each positional argument is one node's stats address; the doctor
+// fetches GET /health from it and prints every check. -cluster names a
+// frontend and fetches GET /cluster/health as well: the frontend's own
+// report plus its failure detector's Alive/Suspect/Dead verdict for
+// every storage node and replica it heartbeats.
+//
+// Exit status is 0 only when every node answered, every check is OK,
+// and every peer the frontend tracks is Alive. Anything else — an
+// unreachable node, a warn or critical check, a Suspect or Dead peer —
+// exits 1, so scripts need no JSON parsing.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"strings"
+	"text/tabwriter"
+	"time"
+
+	"taurus/internal/health"
+)
+
+func main() {
+	cluster := flag.String("cluster", "", "frontend stats address to fetch GET /cluster/health from")
+	timeout := flag.Duration("timeout", 2*time.Second, "per-request HTTP timeout")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(),
+			"usage: taurus-doctor [-cluster host:port] [-timeout d] [stats-addr ...]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if *cluster == "" && flag.NArg() == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	client := &http.Client{Timeout: *timeout}
+
+	healthy := true
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "NODE\tROLE\tCHECK\tSTATUS\tDETAIL\tRUNBOOK")
+	for _, addr := range flag.Args() {
+		rep, err := fetchReport(client, addr)
+		if err != nil {
+			// An unreachable node is a finding, not a tool error: render
+			// it as a critical check so the table stays uniform.
+			healthy = false
+			printCheck(tw, addr, "?", health.Check{
+				Name: "node.unreachable", Status: health.StatusCritical,
+				Detail: err.Error(), Runbook: "RB-NODE-UNREACHABLE",
+			})
+			continue
+		}
+		if !printReport(tw, rep) {
+			healthy = false
+		}
+	}
+
+	var view *health.ClusterView
+	if *cluster != "" {
+		v, err := fetchCluster(client, *cluster)
+		if err != nil {
+			healthy = false
+			printCheck(tw, *cluster, "frontend", health.Check{
+				Name: "cluster.unreachable", Status: health.StatusCritical,
+				Detail: err.Error(), Runbook: "RB-NODE-UNREACHABLE",
+			})
+		} else {
+			view = v
+			if !printReport(tw, v.Self) {
+				healthy = false
+			}
+			// Peers that shipped a full report get their checks in the
+			// main table too, attributed to the peer's node name.
+			for _, p := range v.Peers {
+				if p.Report != nil && !printReport(tw, *p.Report) {
+					healthy = false
+				}
+			}
+		}
+	}
+	tw.Flush()
+
+	if view != nil && len(view.Peers) > 0 {
+		fmt.Println()
+		pw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(pw, "PEER\tROLE\tSTATE\tPHI\tSILENCE\tPING-STATUS")
+		for _, p := range view.Peers {
+			if p.State != health.PeerAlive || p.PingStatus != health.StatusOK {
+				healthy = false
+			}
+			fmt.Fprintf(pw, "%s\t%s\t%s\t%.1f\t%.1fs\t%s\n",
+				p.Name, p.Role, p.State, p.Phi, p.SilenceSeconds, p.PingStatus)
+		}
+		pw.Flush()
+	}
+
+	if !healthy {
+		fmt.Println("\nRESULT: UNHEALTHY")
+		os.Exit(1)
+	}
+	fmt.Println("\nRESULT: OK")
+}
+
+func fetchReport(client *http.Client, addr string) (health.Report, error) {
+	var rep health.Report
+	err := fetchJSON(client, addr, "/health", &rep)
+	return rep, err
+}
+
+func fetchCluster(client *http.Client, addr string) (*health.ClusterView, error) {
+	var v health.ClusterView
+	// /cluster/health answers 503 when the fold is critical; the body
+	// still carries the view, which is exactly what we want to render.
+	if err := fetchJSON(client, addr, "/cluster/health", &v); err != nil {
+		return nil, err
+	}
+	return &v, nil
+}
+
+func fetchJSON(client *http.Client, addr, path string, out any) error {
+	if !strings.Contains(addr, "://") {
+		addr = "http://" + addr
+	}
+	resp, err := client.Get(addr + path)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusServiceUnavailable {
+		return fmt.Errorf("GET %s: %s", path, resp.Status)
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// printReport renders one node's checks and reports whether all are OK.
+// A node with zero checks still prints one row, so silent nodes are
+// visible in the table.
+func printReport(tw *tabwriter.Writer, rep health.Report) bool {
+	ok := true
+	if len(rep.Checks) == 0 {
+		st := health.StatusOK
+		detail := "no checks registered"
+		if !rep.Ready {
+			st, detail, ok = health.StatusWarn, "not ready", false
+		}
+		printCheck(tw, rep.Node, rep.Role, health.Check{Name: "-", Status: st, Detail: detail})
+		return ok
+	}
+	for _, c := range rep.Checks {
+		if c.Status != health.StatusOK {
+			ok = false
+		}
+		printCheck(tw, rep.Node, rep.Role, c)
+	}
+	return ok
+}
+
+func printCheck(tw *tabwriter.Writer, node, role string, c health.Check) {
+	detail := c.Detail
+	if len(detail) > 72 {
+		detail = detail[:69] + "..."
+	}
+	fmt.Fprintf(tw, "%s\t%s\t%s\t%s\t%s\t%s\n",
+		node, role, c.Name, strings.ToUpper(c.Status.String()), detail, c.Runbook)
+}

@@ -19,7 +19,16 @@
 //
 //	GET /stats         role-specific counters as JSON (backward-compatible)
 //	GET /metrics       the same telemetry in Prometheus text format
+//	GET /healthz       liveness (always 200 while the process serves)
+//	GET /ready         readiness (503 until recovered and no check critical)
+//	GET /health        the node's full health-check report
 //	GET /debug/pprof/  net/http/pprof profiles
+//
+// The frontend additionally serves GET /cluster/health: its own report
+// plus the failure detector's view of every storage node and replica.
+// With -peers role=addr,... it also heartbeats external cluster
+// processes over TCP and folds their Alive/Suspect/Dead states into the
+// same view (tune with -heartbeat-interval and -suspect-threshold).
 //
 // Log Stores report durable and GC watermarks plus the persistent log's
 // counters (appends, fsyncs, rotations, GC bytes reclaimed); Page Stores
@@ -71,6 +80,7 @@ import (
 	"taurus/internal/buffer"
 	"taurus/internal/cluster"
 	"taurus/internal/engine"
+	"taurus/internal/health"
 	"taurus/internal/logstore"
 	"taurus/internal/obs"
 	"taurus/internal/pagestore"
@@ -104,6 +114,9 @@ func main() {
 	slowOp := flag.Duration("slow-op", 0, "log statements at or above this duration with a per-stage breakdown (frontend/replica; 0 = off)")
 	traceSample := flag.Float64("trace-sample", 0, "probability a statement opens a distributed trace (frontend/replica; 0 = off, forced traces still work)")
 	scanPar := flag.Int("scan-parallelism", 0, "concurrent slice partitions per NDP scan (frontend/replica; 0 = GOMAXPROCS)")
+	peers := flag.String("peers", "", "comma-separated role=addr cluster peers the frontend heartbeats over TCP and folds into GET /cluster/health (frontend)")
+	heartbeatInterval := flag.Duration("heartbeat-interval", 0, "failure-detector ping cadence (frontend; 0 = default 1s, negative disables)")
+	suspectThreshold := flag.Duration("suspect-threshold", 0, "silence after which a peer is Suspect; Dead at twice this (frontend; 0 = default 5s)")
 	flag.Parse()
 
 	if *name == "" {
@@ -111,7 +124,9 @@ func main() {
 	}
 	var handler cluster.Handler
 	var stats func() any
+	var mon *health.Monitor
 	reg := obs.NewRegistry()
+	obs.RegisterBuildInfo(reg)
 	// Every role collects server-side spans for propagated trace contexts
 	// and keeps a flight recorder, served at /trace/<id>, /traces, and
 	// /events on -stats-addr. Sampling is decided at the frontend root;
@@ -158,6 +173,11 @@ func main() {
 				}()
 			}
 		}
+		mon = health.NewMonitor(*name, "pagestore",
+			health.MonitorOptions{Events: events, Metrics: reg})
+		ps.RegisterHealth(mon, *ckptInterval)
+		ps.SetHealth(mon)
+		mon.StartLoop(time.Second)
 		handler = ps
 		stats = func() any { return ps.NodeStats() }
 	case "logstore":
@@ -192,10 +212,20 @@ func main() {
 		pc.Metrics = cluster.NewRPCMetrics(reg, "client")
 		pc.Tracer = tracer
 		ls.SetPushTransport(pc)
+		mon = health.NewMonitor(*name, "logstore",
+			health.MonitorOptions{Events: events, Metrics: reg})
+		ls.RegisterHealth(mon)
+		ls.SetHealth(mon)
+		mon.StartLoop(time.Second)
 		handler = ls
 		stats = func() any { return ls.NodeStats() }
 	case "frontend":
-		runFrontend(*listen, *statsAddr, *dataDir, *ckptInterval, *writeLanes, *replicas, *slowOp, *traceSample, *scanPar)
+		runFrontend(*listen, *statsAddr, frontendOptions{
+			dataDir: *dataDir, ckptInterval: *ckptInterval,
+			writeLanes: *writeLanes, replicas: *replicas,
+			slowOp: *slowOp, traceSample: *traceSample, scanPar: *scanPar,
+			peers: parsePeers(*peers), heartbeat: *heartbeatInterval, suspect: *suspectThreshold,
+		})
 		return
 	case "replica":
 		runReplica(*listen, *statsAddr, replicaOptions{
@@ -211,7 +241,7 @@ func main() {
 		log.Fatalf("unknown role %q", *role)
 	}
 	if *statsAddr != "" {
-		serveStats(*statsAddr, newStatsMux(jsonHandler(stats), reg, tracer.Spans, tracer.RecentTraces, events))
+		serveStats(*statsAddr, newStatsMux(jsonHandler(stats), reg, tracer.Spans, tracer.RecentTraces, events, mon))
 	}
 	l, err := net.Listen("tcp", *listen)
 	if err != nil {
@@ -226,15 +256,22 @@ func main() {
 // newStatsMux builds the observability mux every role serves on its
 // -stats-addr: role-specific JSON /stats, Prometheus /metrics, the trace
 // endpoints (GET /trace/<hex-id>, GET /traces?recent=N), the flight
-// recorder (GET /events), and the net/http/pprof profile endpoints
+// recorder (GET /events, cursored with ?since=<seq>), the health
+// endpoints (GET /healthz liveness, GET /ready readiness, GET /health
+// full check report), and the net/http/pprof profile endpoints
 // (registered explicitly — these muxes are not http.DefaultServeMux).
-func newStatsMux(stats http.HandlerFunc, reg *obs.Registry, spans func(uint64) []obs.Span, recent func(int) []uint64, events *obs.EventRing) *http.ServeMux {
+func newStatsMux(stats http.HandlerFunc, reg *obs.Registry, spans func(uint64) []obs.Span, recent func(int) []uint64, events *obs.EventRing, mon *health.Monitor) *http.ServeMux {
 	mux := http.NewServeMux()
 	if stats != nil {
 		mux.HandleFunc("/stats", stats)
 	}
 	if reg != nil {
 		mux.Handle("/metrics", reg.Handler())
+	}
+	if mon != nil {
+		mux.Handle("/healthz", mon.HealthzHandler())
+		mux.Handle("/ready", mon.ReadyHandler())
+		mux.Handle("/health", mon.ReportHandler())
 	}
 	if spans != nil {
 		mux.Handle("/trace/", obs.TraceHandler(spans))
@@ -270,6 +307,29 @@ func splitAddrs(s string) []string {
 		if part = strings.TrimSpace(part); part != "" {
 			out = append(out, part)
 		}
+	}
+	return out
+}
+
+// clusterPeer is one -peers entry: a dialable cluster address plus the
+// role label shown in /cluster/health and taurus_peer_state.
+type clusterPeer struct {
+	role string
+	addr string
+}
+
+// parsePeers parses -peers: comma-separated entries, each "role=addr"
+// or a bare "addr" (role defaults to "peer"). The address doubles as
+// the peer's name — it is what the pinger dials.
+func parsePeers(s string) []clusterPeer {
+	var out []clusterPeer
+	for _, part := range splitAddrs(s) {
+		role, addr, ok := strings.Cut(part, "=")
+		if !ok {
+			out = append(out, clusterPeer{role: "peer", addr: part})
+			continue
+		}
+		out = append(out, clusterPeer{role: strings.TrimSpace(role), addr: strings.TrimSpace(addr)})
 	}
 	return out
 }
@@ -355,31 +415,70 @@ func jsonHandler(payload func() any) http.HandlerFunc {
 	}
 }
 
+// frontendOptions configures runFrontend beyond its listen addresses.
+type frontendOptions struct {
+	dataDir      string
+	ckptInterval time.Duration
+	writeLanes   int
+	replicas     int
+	slowOp       time.Duration
+	traceSample  float64
+	scanPar      int
+	// peers are external cluster nodes (standalone storage servers,
+	// distributed replicas) the frontend heartbeats over TCP; their
+	// Alive/Suspect/Dead states are folded into GET /cluster/health
+	// next to the embedded deployment's own failure detector.
+	peers     []clusterPeer
+	heartbeat time.Duration
+	suspect   time.Duration
+}
+
 // runFrontend serves an embedded Taurus deployment over HTTP: POST
 // /query executes one SQL statement (text/plain body, JSON result), and
 // GET /stats on -stats-addr (or, if empty, the main listener) reports
 // the write-pipeline / buffer-pool / storage-node counters. With
 // -replicas n, n embedded read replicas attach to the same storage
 // cluster and serve /replica/<i>/query and /replica/<i>/stats.
-func runFrontend(listen, statsAddr, dataDir string, ckptInterval time.Duration, writeLanes, replicas int, slowOp time.Duration, traceSample float64, scanPar int) {
-	cfg := taurus.Config{DataDir: dataDir, WriteLanes: writeLanes, SlowOpThreshold: slowOp,
-		TraceSampleRate: traceSample, ScanParallelism: scanPar}
-	if dataDir != "" && ckptInterval > 0 {
-		cfg.CheckpointInterval = ckptInterval
+func runFrontend(listen, statsAddr string, opts frontendOptions) {
+	cfg := taurus.Config{DataDir: opts.dataDir, WriteLanes: opts.writeLanes, SlowOpThreshold: opts.slowOp,
+		TraceSampleRate: opts.traceSample, ScanParallelism: opts.scanPar,
+		HeartbeatInterval: opts.heartbeat, SuspectThreshold: opts.suspect}
+	if opts.dataDir != "" && opts.ckptInterval > 0 {
+		cfg.CheckpointInterval = opts.ckptInterval
 	}
 	db, err := taurus.Open(cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
-	mux, err := frontendMux(db, replicas, slowOp, scanPar)
+	view := db.ClusterHealth
+	if len(opts.peers) > 0 {
+		// External peers get their own detector and TCP pinger; the
+		// embedded fleet keeps its in-process one. Both report into the
+		// same registry/event ring and are folded into one cluster view.
+		ext := health.NewDetector(opts.heartbeat, opts.suspect, db.EventRing(), db.Metrics())
+		for _, p := range opts.peers {
+			ext.Track(p.addr, p.role)
+		}
+		hc := cluster.NewTCPClient()
+		hc.Metrics = cluster.NewRPCMetrics(db.Metrics(), "client")
+		go cluster.RunHealthPinger(hc, ext, "frontend", make(chan struct{}), cluster.PingerOptions{})
+		view = func() health.ClusterView {
+			v := db.ClusterHealth()
+			v.Peers = append(v.Peers, ext.Snapshot()...)
+			return v
+		}
+	}
+	mux, err := frontendMux(db, opts.replicas, opts.slowOp, opts.scanPar, view)
 	if err != nil {
 		log.Fatal(err)
 	}
 	if statsAddr != "" && statsAddr != listen {
-		serveStats(statsAddr, newStatsMux(frontendStatsHandler(db), db.Metrics(),
-			db.TraceSpans, db.RecentTraces, db.EventRing()))
+		sm := newStatsMux(frontendStatsHandler(db), db.Metrics(),
+			db.TraceSpans, db.RecentTraces, db.EventRing(), db.Health())
+		sm.Handle("/cluster/health", health.ClusterHandler(view))
+		serveStats(statsAddr, sm)
 	}
-	log.Printf("frontend listening on %s (POST /query, GET /stats, GET /metrics, GET /trace/<id>, GET /events)", listen)
+	log.Printf("frontend listening on %s (POST /query, GET /stats, GET /metrics, GET /trace/<id>, GET /events, GET /cluster/health)", listen)
 	if err := http.ListenAndServe(listen, mux); err != nil {
 		log.Fatal(err)
 	}
@@ -401,13 +500,19 @@ func frontendStatsHandler(db *taurus.DB) http.HandlerFunc {
 }
 
 // frontendMux assembles the frontend's full HTTP surface — /query,
-// /stats, /metrics, /debug/pprof/, and per-replica /replica/<i>/{query,
-// stats,metrics} — factored out of runFrontend so tests can drive it
-// in-process. Each replica serves its own metrics registry; the embedded
-// storage nodes' series live in the master's.
-func frontendMux(db *taurus.DB, replicas int, slowOp time.Duration, scanPar int) (*http.ServeMux, error) {
+// /stats, /metrics, /debug/pprof/, the health endpoints (/healthz,
+// /ready, /health, /cluster/health), and per-replica /replica/<i>/
+// {query,stats,metrics,health} — factored out of runFrontend so tests
+// can drive it in-process. Each replica serves its own metrics
+// registry; the embedded storage nodes' series live in the master's.
+// view supplies /cluster/health (nil = the embedded fleet only).
+func frontendMux(db *taurus.DB, replicas int, slowOp time.Duration, scanPar int, view func() health.ClusterView) (*http.ServeMux, error) {
 	mux := newStatsMux(frontendStatsHandler(db), db.Metrics(),
-		db.TraceSpans, db.RecentTraces, db.EventRing())
+		db.TraceSpans, db.RecentTraces, db.EventRing(), db.Health())
+	if view == nil {
+		view = db.ClusterHealth
+	}
+	mux.Handle("/cluster/health", health.ClusterHandler(view))
 	mux.HandleFunc("/query", queryHandler(db.Exec, db.ExecTraced))
 	for i := 1; i <= replicas; i++ {
 		rep, err := taurus.OpenReplica(taurus.Config{Master: db, SlowOpThreshold: slowOp,
@@ -424,6 +529,9 @@ func frontendMux(db *taurus.DB, replicas int, slowOp time.Duration, scanPar int)
 		mux.Handle(fmt.Sprintf("/replica/%d/trace/", i), obs.TraceHandler(rep.TraceSpans))
 		mux.Handle(fmt.Sprintf("/replica/%d/traces", i), obs.TracesHandler(rep.RecentTraces))
 		mux.Handle(fmt.Sprintf("/replica/%d/events", i), rep.EventRing().Handler())
+		mux.Handle(fmt.Sprintf("/replica/%d/healthz", i), rep.Health().HealthzHandler())
+		mux.Handle(fmt.Sprintf("/replica/%d/ready", i), rep.Health().ReadyHandler())
+		mux.Handle(fmt.Sprintf("/replica/%d/health", i), rep.Health().ReportHandler())
 		log.Printf("read replica %d on /replica/%d/query", i, i)
 	}
 	return mux, nil
@@ -479,6 +587,11 @@ func runReplica(listen, statsAddr string, opts replicaOptions) {
 	if err != nil {
 		log.Fatal(err)
 	}
+	obs.RegisterBuildInfo(reg)
+	mon := health.NewMonitor(opts.name, "replica",
+		health.MonitorOptions{Events: events, Metrics: reg})
+	rep.RegisterHealth(mon)
+	rep.SetHealth(mon)
 	if opts.advertise != "" {
 		cl, err := net.Listen("tcp", opts.advertise)
 		if err != nil {
@@ -516,18 +629,19 @@ func runReplica(listen, statsAddr string, opts replicaOptions) {
 	st := rep.Stats()
 	log.Printf("replica bootstrapped: visible LSN %d, %d records tailed, %d tables attached",
 		st.VisibleLSN, st.RecordsTailed, st.TablesAttached)
+	mon.StartLoop(time.Second)
 	stats := jsonHandler(func() any {
 		return replicaStats{Replica: rep.Stats(), BufferPool: eng.Pool().ShardStatsSnapshot(),
 			ScanRouting: rep.RouterStats(), SlowOpsFired: session.Slow.Fired()}
 	})
-	mux := newStatsMux(stats, reg, tracer.Spans, tracer.RecentTraces, events)
+	mux := newStatsMux(stats, reg, tracer.Spans, tracer.RecentTraces, events, mon)
 	mux.HandleFunc("/query", queryHandler(func(q string) (*taurus.Result, error) {
 		return session.Exec(q)
 	}, func(q string) (*taurus.Result, uint64, error) {
 		return session.ExecTraced(q, true)
 	}))
 	if statsAddr != "" && statsAddr != listen {
-		serveStats(statsAddr, newStatsMux(stats, reg, tracer.Spans, tracer.RecentTraces, events))
+		serveStats(statsAddr, newStatsMux(stats, reg, tracer.Spans, tracer.RecentTraces, events, mon))
 	}
 	log.Printf("replica listening on %s (POST /query read-only, GET /stats, GET /metrics)", listen)
 	if err := http.ListenAndServe(listen, mux); err != nil {

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"taurus"
+	"taurus/internal/health"
 	"taurus/internal/obs"
 )
 
@@ -48,7 +49,7 @@ func get(t *testing.T, mux *http.ServeMux, path string) *httptest.ResponseRecord
 // families from every instrumented tier.
 func TestFrontendMetricsEndpoint(t *testing.T) {
 	db := seedFrontend(t, taurus.Config{})
-	mux, err := frontendMux(db, 0, 0, 0)
+	mux, err := frontendMux(db, 0, 0, 0, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -84,7 +85,7 @@ func TestFrontendMetricsEndpoint(t *testing.T) {
 // lag gauges and tailing counters, labeled with its name.
 func TestReplicaMetricsEndpoint(t *testing.T) {
 	db := seedFrontend(t, taurus.Config{})
-	mux, err := frontendMux(db, 1, 0, 0)
+	mux, err := frontendMux(db, 1, 0, 0, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -114,7 +115,7 @@ func TestReplicaMetricsEndpoint(t *testing.T) {
 // pre-existing JSON shape.
 func TestStatsEndpointBackwardCompatible(t *testing.T) {
 	db := seedFrontend(t, taurus.Config{})
-	mux, err := frontendMux(db, 0, 0, 0)
+	mux, err := frontendMux(db, 0, 0, 0, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -143,13 +144,99 @@ func TestStatsEndpointBackwardCompatible(t *testing.T) {
 // TestStatsMuxServesPprof checks the profile endpoints ride along on the
 // stats listener of every role.
 func TestStatsMuxServesPprof(t *testing.T) {
-	mux := newStatsMux(nil, obs.NewRegistry(), nil, nil, nil)
+	mux := newStatsMux(nil, obs.NewRegistry(), nil, nil, nil, nil)
 	rec := get(t, mux, "/debug/pprof/")
 	if rec.Code != http.StatusOK {
 		t.Fatalf("GET /debug/pprof/: %d", rec.Code)
 	}
 	if !strings.Contains(rec.Body.String(), "goroutine") {
 		t.Error("pprof index does not list profiles")
+	}
+}
+
+// TestHealthEndpoints checks the frontend mux serves the full health
+// surface: liveness, readiness, the check report, the aggregated
+// cluster view, and the embedded replica's report.
+func TestHealthEndpoints(t *testing.T) {
+	db := seedFrontend(t, taurus.Config{})
+	mux, err := frontendMux(db, 1, 0, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, path := range []string{"/healthz", "/ready", "/health", "/cluster/health", "/replica/1/health", "/replica/1/ready", "/replica/1/healthz"} {
+		rec := get(t, mux, path)
+		if rec.Code != http.StatusOK {
+			t.Errorf("GET %s = %d, want 200 (%s)", path, rec.Code, rec.Body.String())
+		}
+		if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+			t.Errorf("GET %s content type %q", path, ct)
+		}
+	}
+
+	var rep health.Report
+	if err := json.Unmarshal(get(t, mux, "/health").Body.Bytes(), &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Role != "frontend" || !rep.Ready || len(rep.Checks) == 0 {
+		t.Errorf("frontend /health: %+v", rep)
+	}
+
+	var view health.ClusterView
+	if err := json.Unmarshal(get(t, mux, "/cluster/health").Body.Bytes(), &view); err != nil {
+		t.Fatal(err)
+	}
+	if len(view.Peers) == 0 {
+		t.Error("/cluster/health has no peers for the embedded fleet")
+	}
+	for _, p := range view.Peers {
+		if p.State != health.PeerAlive {
+			t.Errorf("embedded peer %s is %v", p.Name, p.State)
+		}
+	}
+
+	if err := json.Unmarshal(get(t, mux, "/replica/1/health").Body.Bytes(), &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Role != "replica" {
+		t.Errorf("replica /health role = %q", rep.Role)
+	}
+}
+
+// TestBuildInfoMetrics checks every frontend registry exports the build
+// identity and uptime series.
+func TestBuildInfoMetrics(t *testing.T) {
+	db := seedFrontend(t, taurus.Config{})
+	mux, err := frontendMux(db, 0, 0, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := get(t, mux, "/metrics").Body.String()
+	if !strings.Contains(body, "taurus_build_info{") || !strings.Contains(body, `go="`) {
+		t.Error("taurus_build_info missing or unlabeled")
+	}
+	if !strings.Contains(body, "taurus_uptime_seconds") {
+		t.Error("taurus_uptime_seconds missing")
+	}
+}
+
+// TestParsePeers checks the -peers flag grammar.
+func TestParsePeers(t *testing.T) {
+	got := parsePeers("logstore=127.0.0.1:7100, pagestore=127.0.0.1:7000,127.0.0.1:7300 ,")
+	want := []clusterPeer{
+		{role: "logstore", addr: "127.0.0.1:7100"},
+		{role: "pagestore", addr: "127.0.0.1:7000"},
+		{role: "peer", addr: "127.0.0.1:7300"},
+	}
+	if len(got) != len(want) {
+		t.Fatalf("parsePeers = %+v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("entry %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+	if parsePeers("") != nil {
+		t.Error("empty -peers should parse to nil")
 	}
 }
 

@@ -1,0 +1,181 @@
+package cluster
+
+import (
+	"encoding/binary"
+	"math"
+	"sort"
+	"time"
+
+	"taurus/internal/health"
+)
+
+// Health wire messages. MsgPing is the heartbeat: tiny, answered from
+// memory, carrying just enough (role + worst-check status) for the
+// failure detector; MsgHealthReport fetches the full check report and
+// is sent every few heartbeats. Both ride the ordinary request path so
+// a node that can answer a ping can, by construction, answer requests —
+// the property a failure detector actually wants to measure.
+
+// PingReq is one heartbeat from Node (the pinger's name), sequenced so
+// logs can correlate ping and pong.
+type PingReq struct {
+	Node string
+	Seq  uint64
+}
+
+// PingResp is the pong: who answered, what role it plays, and the worst
+// status across its local health checks (so an alive-but-degraded node
+// is visible without fetching the full report).
+type PingResp struct {
+	Node   string
+	Role   string
+	Seq    uint64
+	Status health.Status
+}
+
+// HealthReportReq fetches the target's full health report. Node names
+// the requester (for the target's logs; may be empty).
+type HealthReportReq struct {
+	Node string
+}
+
+// HealthReportResp carries the target's report.
+type HealthReportResp struct {
+	Report health.Report
+}
+
+// appendReport encodes a health.Report. Evidence maps are written in
+// sorted key order so encoding is deterministic.
+func appendReport(b []byte, r health.Report) []byte {
+	b = appendString(b, r.Node)
+	b = appendString(b, r.Role)
+	b = appendU64(b, uint64(r.Time.UnixNano()))
+	b = appendU64(b, math.Float64bits(r.UptimeSeconds))
+	if r.Ready {
+		b = append(b, 1)
+	} else {
+		b = append(b, 0)
+	}
+	b = binary.AppendUvarint(b, uint64(len(r.Checks)))
+	for _, c := range r.Checks {
+		b = appendString(b, c.Name)
+		b = append(b, byte(c.Status))
+		b = appendString(b, c.Detail)
+		b = appendString(b, c.Runbook)
+		keys := make([]string, 0, len(c.Evidence))
+		for k := range c.Evidence {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		b = binary.AppendUvarint(b, uint64(len(keys)))
+		for _, k := range keys {
+			b = appendString(b, k)
+			b = appendString(b, c.Evidence[k])
+		}
+	}
+	return b
+}
+
+func (r *wireReader) byteVal() byte {
+	if r.err != nil || r.off+1 > len(r.buf) {
+		r.fail()
+		return 0
+	}
+	v := r.buf[r.off]
+	r.off++
+	return v
+}
+
+func (r *wireReader) report() health.Report {
+	var rep health.Report
+	rep.Node = r.str()
+	rep.Role = r.str()
+	rep.Time = time.Unix(0, int64(r.u64()))
+	rep.UptimeSeconds = math.Float64frombits(r.u64())
+	rep.Ready = r.byteVal() == 1
+	n := r.uvarint()
+	if r.err != nil || n > 1<<16 {
+		r.fail()
+		return rep
+	}
+	rep.Checks = make([]health.Check, 0, n)
+	for i := uint64(0); i < n; i++ {
+		c := health.Check{Name: r.str(), Status: health.Status(r.byteVal()),
+			Detail: r.str(), Runbook: r.str()}
+		nk := r.uvarint()
+		if r.err != nil || nk > 1<<16 {
+			r.fail()
+			return rep
+		}
+		if nk > 0 {
+			c.Evidence = make(map[string]string, nk)
+			for j := uint64(0); j < nk; j++ {
+				k := r.str()
+				c.Evidence[k] = r.str()
+			}
+		}
+		rep.Checks = append(rep.Checks, c)
+	}
+	return rep
+}
+
+// PingerOptions tunes RunHealthPinger. Zero values select defaults.
+type PingerOptions struct {
+	// ReportEvery fetches the full health report every N-th heartbeat
+	// (default 5); pings in between carry only the worst status.
+	ReportEvery int
+}
+
+// RunHealthPinger drives a failure detector over a transport: every
+// d.HeartbeatInterval() it pings each tracked peer (Observe on pong,
+// ObserveFailure otherwise), periodically fetches full health reports,
+// and sweeps the detector so Suspect/Dead transitions fire even when a
+// peer is totally silent. self names the pinger in requests. Blocks
+// until stop closes — run it on its own goroutine. The peer list is
+// re-read from the detector each tick, so peers tracked or forgotten
+// while the loop runs (replica attach/detach) are picked up live.
+func RunHealthPinger(t Transport, d *health.Detector, self string, stop <-chan struct{}, opts PingerOptions) {
+	if t == nil || d == nil {
+		return
+	}
+	reportEvery := opts.ReportEvery
+	if reportEvery <= 0 {
+		reportEvery = 5
+	}
+	interval := d.HeartbeatInterval()
+	if interval <= 0 {
+		interval = time.Second
+	}
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	var seq uint64
+	for {
+		select {
+		case <-stop:
+			return
+		case <-ticker.C:
+		}
+		seq++
+		for _, p := range d.Peers() {
+			resp, err := t.Call(p.Name, &PingReq{Node: self, Seq: seq})
+			if err != nil {
+				d.ObserveFailure(p.Name)
+				continue
+			}
+			pong, ok := resp.(*PingResp)
+			if !ok {
+				d.ObserveFailure(p.Name)
+				continue
+			}
+			d.Observe(p.Name, pong.Role, pong.Status)
+			if seq%uint64(reportEvery) == 0 {
+				if rr, err := t.Call(p.Name, &HealthReportReq{Node: self}); err == nil {
+					if hr, ok := rr.(*HealthReportResp); ok {
+						d.SetReport(p.Name, hr.Report)
+					}
+				}
+			}
+		}
+		d.Sweep()
+	}
+}

@@ -44,6 +44,10 @@ func (t MsgType) String() string {
 		return "MsgFrontier"
 	case MsgVersionPin:
 		return "MsgVersionPin"
+	case MsgPing:
+		return "MsgPing"
+	case MsgHealthReport:
+		return "MsgHealthReport"
 	}
 	return "MsgUnknown"
 }

@@ -14,6 +14,7 @@ import (
 	"encoding/binary"
 	"fmt"
 
+	"taurus/internal/health"
 	"taurus/internal/obs"
 )
 
@@ -73,6 +74,15 @@ const (
 	// image at or below every pin, so a lagging replica's reads stop
 	// missing trimmed versions. LSN 0 clears the node's pin.
 	MsgVersionPin
+	// MsgPing is the health heartbeat: a tiny request answered from
+	// memory whose pong carries the target's role and worst-check
+	// status. The failure detector's Alive/Suspect/Dead verdicts are
+	// driven by these.
+	MsgPing
+	// MsgHealthReport fetches a node's full health check report
+	// (typed checks with evidence and runbook keys), sent every few
+	// heartbeats and aggregated by the frontend into /cluster/health.
+	MsgHealthReport
 )
 
 // Optional trace header. A request frame whose type byte has traceFlag
@@ -477,6 +487,12 @@ func EncodeRequest(req any) (MsgType, []byte, error) {
 		b = appendString(b, m.Node)
 		b = appendU64(b, m.LSN)
 		return MsgVersionPin, b, nil
+	case *PingReq:
+		b := appendString(nil, m.Node)
+		b = appendU64(b, m.Seq)
+		return MsgPing, b, nil
+	case *HealthReportReq:
+		return MsgHealthReport, appendString(nil, m.Node), nil
 	default:
 		return 0, nil, fmt.Errorf("cluster: unknown request type %T", req)
 	}
@@ -570,6 +586,12 @@ func DecodeRequest(t MsgType, body []byte) (any, error) {
 	case MsgVersionPin:
 		m := &VersionPinReq{Tenant: r.u32(), Node: r.str(), LSN: r.u64()}
 		return m, r.err
+	case MsgPing:
+		m := &PingReq{Node: r.str(), Seq: r.u64()}
+		return m, r.err
+	case MsgHealthReport:
+		m := &HealthReportReq{Node: r.str()}
+		return m, r.err
 	default:
 		return nil, fmt.Errorf("cluster: unknown request msg type %d", t)
 	}
@@ -625,6 +647,17 @@ func EncodeResponse(resp any, respErr error) (MsgType, []byte, error) {
 		b = appendU64(b, m.DurableLSN)
 		b = appendU64(b, m.TruncatedLSN)
 		return MsgResp, b, nil
+	case *PingResp:
+		b := []byte{respPing}
+		b = appendString(b, m.Node)
+		b = appendString(b, m.Role)
+		b = appendU64(b, m.Seq)
+		b = append(b, byte(m.Status))
+		return MsgResp, b, nil
+	case *HealthReportResp:
+		b := []byte{respHealthReport}
+		b = appendReport(b, m.Report)
+		return MsgResp, b, nil
 	default:
 		return 0, nil, fmt.Errorf("cluster: unknown response type %T", resp)
 	}
@@ -639,6 +672,8 @@ const (
 	respLogRead
 	respSliceLSN
 	respLogSubscribe
+	respPing
+	respHealthReport
 )
 
 // DecodeResponse parses a response frame.
@@ -692,6 +727,13 @@ func DecodeResponse(t MsgType, body []byte) (any, error) {
 		return m, r.err
 	case respLogSubscribe:
 		m := &LogSubscribeResp{DurableLSN: r.u64(), TruncatedLSN: r.u64()}
+		return m, r.err
+	case respPing:
+		m := &PingResp{Node: r.str(), Role: r.str(), Seq: r.u64(),
+			Status: health.Status(r.byteVal())}
+		return m, r.err
+	case respHealthReport:
+		m := &HealthReportResp{Report: r.report()}
 		return m, r.err
 	default:
 		return nil, fmt.Errorf("cluster: unknown response tag %d", body[0])

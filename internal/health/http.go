@@ -1,0 +1,74 @@
+package health
+
+import (
+	"encoding/json"
+	"net/http"
+)
+
+// HealthzHandler serves GET /healthz — liveness. The process answering
+// at all is the signal, so the status code is always 200; the body
+// carries the worst check status so curl output is still informative.
+func (m *Monitor) HealthzHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{
+			"status": m.Worst(),
+			"node":   m.Node(),
+			"role":   m.Role(),
+		})
+	})
+}
+
+// ReadyHandler serves GET /ready — readiness. 200 when the node's gate
+// passes (recovery done, bootstrap finished) and no check is critical;
+// 503 otherwise, with the failing checks in the body so the caller
+// knows why.
+func (m *Monitor) ReadyHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		r := m.Report()
+		code := http.StatusOK
+		if !r.Ready {
+			code = http.StatusServiceUnavailable
+		}
+		failing := make([]Check, 0)
+		for _, c := range r.Checks {
+			if c.Status != StatusOK {
+				failing = append(failing, c)
+			}
+		}
+		writeJSON(w, code, map[string]any{
+			"ready":  r.Ready,
+			"node":   r.Node,
+			"role":   r.Role,
+			"checks": failing,
+		})
+	})
+}
+
+// ReportHandler serves GET /health — the node's full check report.
+func (m *Monitor) ReportHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		writeJSON(w, http.StatusOK, m.Report())
+	})
+}
+
+// ClusterHandler serves GET /cluster/health from a view callback (the
+// frontend aggregates its own report with the failure detector's peer
+// table). Status code is 200 while everything is OK, 503 once the fold
+// is critical (a dead peer, a critical check anywhere) so scripts can
+// gate on the code alone.
+func ClusterHandler(view func() ClusterView) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		v := view()
+		code := http.StatusOK
+		if v.Worst() == StatusCritical {
+			code = http.StatusServiceUnavailable
+		}
+		writeJSON(w, code, v)
+	})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}

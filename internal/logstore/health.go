@@ -1,0 +1,97 @@
+package logstore
+
+import (
+	"fmt"
+	"time"
+
+	"taurus/internal/health"
+)
+
+// SetHealth attaches the monitor that answers MsgPing status and
+// MsgHealthReport. Pair with RegisterHealth, which installs the store's
+// invariant probes on it.
+func (s *Store) SetHealth(m *health.Monitor) { s.health = m }
+
+// healthReport builds the MsgHealthReport payload. Without a monitor it
+// still identifies the node, so a bare test store answers sensibly.
+func (s *Store) healthReport() health.Report {
+	if s.health == nil {
+		return health.Report{Node: s.name, Role: "logstore",
+			Time: time.Now(), Ready: true}
+	}
+	return s.health.Report()
+}
+
+// RegisterHealth installs the Log Store's invariant probes on m. Probes
+// compare successive NodeStats snapshots, so every "stuck" verdict
+// requires the condition to hold across real time, not one noisy
+// sample:
+//
+//   - logstore.stream (RB-STREAM-STALL): with subscribers attached, the
+//     slowest subscriber's lag must not grow monotonically while the
+//     durable LSN also advances — that shape means the push stream is
+//     not draining, not merely that writes are bursty.
+//   - logstore.holes (RB-LOG-HOLES): LSNs below the durable watermark
+//     waiting for another lane's batch must not persist while durable
+//     progress has stopped — after a crash that is a torn multi-lane
+//     write needing peer catch-up.
+func (s *Store) RegisterHealth(m *health.Monitor) {
+	// streak counts consecutive probe evaluations where the stream lag
+	// strictly grew under an advancing durable LSN.
+	var lastLag, lastDurable uint64
+	var streak int
+	m.AddProbe(func() health.Check {
+		st := s.NodeStats()
+		const name, rb = "logstore.stream", "RB-STREAM-STALL"
+		ev := map[string]string{
+			"subscribers": fmt.Sprintf("%d", st.Subscribers),
+			"stream_lag":  fmt.Sprintf("%d", st.StreamLag),
+			"durable_lsn": fmt.Sprintf("%d", st.DurableLSN),
+		}
+		growing := st.Subscribers > 0 && st.StreamLag > lastLag &&
+			st.DurableLSN > lastDurable && lastDurable != 0
+		if growing {
+			streak++
+		} else {
+			streak = 0
+		}
+		lastLag, lastDurable = st.StreamLag, st.DurableLSN
+		switch {
+		case streak >= 4:
+			return health.Checkf(name, rb, health.StatusCritical, ev,
+				"stream lag grew %d probes in a row; slowest subscriber is not draining", streak)
+		case streak >= 2:
+			return health.Checkf(name, rb, health.StatusWarn, ev,
+				"stream lag growing (%d probes)", streak)
+		}
+		return health.Checkf(name, rb, health.StatusOK, ev,
+			"%d subscriber(s), lag %d", st.Subscribers, st.StreamLag)
+	})
+
+	var holeDurable uint64
+	var holeStreak int
+	m.AddProbe(func() health.Check {
+		st := s.NodeStats()
+		const name, rb = "logstore.holes", "RB-LOG-HOLES"
+		ev := map[string]string{
+			"pending_holes": fmt.Sprintf("%d", st.PendingHoles),
+			"durable_lsn":   fmt.Sprintf("%d", st.DurableLSN),
+		}
+		stuck := st.PendingHoles > 0 && st.DurableLSN == holeDurable
+		if stuck {
+			holeStreak++
+		} else {
+			holeStreak = 0
+		}
+		holeDurable = st.DurableLSN
+		switch {
+		case holeStreak >= 4:
+			return health.Checkf(name, rb, health.StatusCritical, ev,
+				"%d hole(s) below the durable watermark with no durable progress; run peer catch-up", st.PendingHoles)
+		case holeStreak >= 2:
+			return health.Checkf(name, rb, health.StatusWarn, ev,
+				"%d pending hole(s) while durable LSN is stalled", st.PendingHoles)
+		}
+		return health.Checkf(name, rb, health.StatusOK, ev, "no stuck holes")
+	})
+}

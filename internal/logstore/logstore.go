@@ -28,6 +28,7 @@ import (
 	"time"
 
 	"taurus/internal/cluster"
+	"taurus/internal/health"
 	"taurus/internal/obs"
 	"taurus/internal/plog"
 	"taurus/internal/wal"
@@ -84,6 +85,9 @@ type Store struct {
 	// Both nil by default (inert); armed by SetTracer/SetEvents.
 	tracer *obs.Tracer
 	events *obs.EventRing
+	// health answers MsgPing/MsgHealthReport; nil (no monitor) answers
+	// pings with an empty OK report. Armed by SetHealth.
+	health *health.Monitor
 }
 
 // gcMarkFile persists the truncation watermark: plog GC deletes only
@@ -277,6 +281,11 @@ func (s *Store) Handle(req any) (any, error) {
 	case *cluster.FrontierReq:
 		s.updateFrontier(m)
 		return &cluster.Ack{LSN: m.DurableLSN}, nil
+	case *cluster.PingReq:
+		return &cluster.PingResp{Node: s.name, Role: "logstore",
+			Seq: m.Seq, Status: s.health.Worst()}, nil
+	case *cluster.HealthReportReq:
+		return &cluster.HealthReportResp{Report: s.healthReport()}, nil
 	default:
 		return nil, fmt.Errorf("logstore %s: unsupported request %T", s.name, req)
 	}

@@ -1,0 +1,51 @@
+package obs
+
+import (
+	"runtime"
+	"runtime/debug"
+	"time"
+)
+
+// processStart anchors taurus_uptime_seconds; set once at init so every
+// registry in the process reports the same restart boundary.
+var processStart = time.Now()
+
+// BuildVersion resolves the best available build identifier: the module
+// version when built from a tagged module, else the embedded VCS
+// revision (short form), else "dev".
+func BuildVersion() string {
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return "dev"
+	}
+	if v := bi.Main.Version; v != "" && v != "(devel)" {
+		return v
+	}
+	for _, s := range bi.Settings {
+		if s.Key == "vcs.revision" && s.Value != "" {
+			if len(s.Value) > 12 {
+				return s.Value[:12]
+			}
+			return s.Value
+		}
+	}
+	return "dev"
+}
+
+// RegisterBuildInfo exports taurus_build_info{version,go} (constant 1,
+// the standard info-metric idiom) and taurus_uptime_seconds on r, so
+// scrapes can tell nodes, binaries, and restarts apart. Call once per
+// registry; repeated calls are idempotent because the registry
+// deduplicates by name+labels. Safe on a nil registry.
+func RegisterBuildInfo(r *Registry) {
+	if r == nil {
+		return
+	}
+	r.GaugeFunc("taurus_build_info",
+		"Build metadata; value is always 1, the labels carry the info.",
+		func() float64 { return 1 },
+		L("version", BuildVersion()), L("go", runtime.Version()))
+	r.GaugeFunc("taurus_uptime_seconds",
+		"Seconds since this process started.",
+		func() float64 { return time.Since(processStart).Seconds() })
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"strconv"
 	"sync"
 	"time"
 )
@@ -44,6 +45,12 @@ const (
 	EventScanStart  = "scan.start"
 	EventScanFinish = "scan.finish"
 	EventScanRetry  = "scan.retry"
+
+	// Health layer: EventPeerState marks a failure-detector transition
+	// (alive/suspect/dead) for one peer; EventHealthCheck marks an
+	// invariant check changing status on one node.
+	EventPeerState   = "peer.state"
+	EventHealthCheck = "health.check"
 )
 
 // Event is one recorded structural transition.
@@ -113,6 +120,29 @@ func (r *EventRing) Events() []Event {
 	return out
 }
 
+// EventsSince returns retained events with Seq > since, oldest first.
+// A cursor that has fallen out of the ring returns everything retained;
+// the caller can detect the gap because the first event's Seq is then
+// > since+1. Safe on nil.
+func (r *EventRing) EventsSince(since uint64) []Event {
+	if r == nil {
+		return nil
+	}
+	all := r.Events()
+	// Events are Seq-ascending; binary-search the cut instead of
+	// filtering so a hot poller with a fresh cursor is O(log n).
+	lo, hi := 0, len(all)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if all[mid].Seq <= since {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return all[lo:]
+}
+
 // Len returns how many events are retained. Safe on nil.
 func (r *EventRing) Len() int {
 	if r == nil {
@@ -123,11 +153,23 @@ func (r *EventRing) Len() int {
 	return len(r.ring)
 }
 
-// Handler serves GET /events as a JSON event list, oldest first. Safe
-// on nil (serves an empty list).
+// Handler serves GET /events as a JSON event list, oldest first. A
+// ?since=<seq> cursor returns only events recorded after that sequence
+// number, so pollers resume from their last-seen Seq instead of
+// re-downloading the ring. Safe on nil (serves an empty list).
 func (r *EventRing) Handler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
-		events := r.Events()
+		var events []Event
+		if s := req.URL.Query().Get("since"); s != "" {
+			since, err := strconv.ParseUint(s, 10, 64)
+			if err != nil {
+				http.Error(w, "bad since cursor: "+err.Error(), http.StatusBadRequest)
+				return
+			}
+			events = r.EventsSince(since)
+		} else {
+			events = r.Events()
+		}
 		if events == nil {
 			events = []Event{}
 		}

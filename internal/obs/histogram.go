@@ -37,7 +37,6 @@ type Histogram struct {
 	bounds  []float64 // finite upper bounds, ascending
 	buckets []atomic.Uint64
 	inf     atomic.Uint64 // count above the last finite bound
-	count   atomic.Uint64
 	sumBits atomic.Uint64 // float64 bits, CAS-updated
 	maxBits atomic.Uint64 // float64 bits, CAS-updated
 }
@@ -65,7 +64,6 @@ func (h *Histogram) Observe(v float64) {
 	} else {
 		h.inf.Add(1)
 	}
-	h.count.Add(1)
 	for {
 		old := h.sumBits.Load()
 		nw := math.Float64bits(math.Float64frombits(old) + v)
@@ -86,6 +84,53 @@ func (h *Histogram) Observe(v float64) {
 
 // ObserveDuration records d as seconds. Safe on a nil receiver.
 func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(d.Seconds()) }
+
+// Merge folds another histogram's current state into h — bucket counts
+// and sums add, max takes the larger — so per-shard or per-node
+// histograms can be aggregated into one distribution (the doctor and
+// bench reports merge scrapes this way). Both histograms must share the
+// same bucket bounds; mismatched shapes are ignored rather than
+// producing a corrupt distribution. Merge is linearizable per bucket,
+// not across buckets: merging while o is still being observed is safe
+// but the folded-in view may split one concurrent observation across a
+// snapshot boundary. Safe on nil receiver and nil argument.
+func (h *Histogram) Merge(o *Histogram) {
+	if h == nil || o == nil || h == o {
+		return
+	}
+	if len(h.bounds) != len(o.bounds) {
+		return
+	}
+	for i, b := range h.bounds {
+		if o.bounds[i] != b {
+			return
+		}
+	}
+	for i := range o.buckets {
+		h.buckets[i].Add(o.buckets[i].Load())
+	}
+	h.inf.Add(o.inf.Load())
+	// Fold the shared aggregates through the same CAS discipline
+	// Observe uses, so a concurrent scraper never reads a torn sum.
+	delta := math.Float64frombits(o.sumBits.Load())
+	for {
+		old := h.sumBits.Load()
+		nw := math.Float64bits(math.Float64frombits(old) + delta)
+		if h.sumBits.CompareAndSwap(old, nw) {
+			break
+		}
+	}
+	om := math.Float64frombits(o.maxBits.Load())
+	for {
+		old := h.maxBits.Load()
+		if om <= math.Float64frombits(old) && old != 0 {
+			break
+		}
+		if h.maxBits.CompareAndSwap(old, math.Float64bits(om)) {
+			break
+		}
+	}
+}
 
 // HistogramSnapshot is a point-in-time copy of a histogram's state.
 type HistogramSnapshot struct {
@@ -109,11 +154,16 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 	}
 	s.Bounds = h.bounds
 	s.Counts = make([]uint64, len(h.buckets)+1)
+	// Count is derived from the bucket loads read here, never from a
+	// separate atomic: a snapshot taken mid-Observe then always agrees
+	// with itself (the +Inf cumulative bucket equals _count, which the
+	// exposition validator enforces).
 	for i := range h.buckets {
 		s.Counts[i] = h.buckets[i].Load()
+		s.Count += s.Counts[i]
 	}
 	s.Counts[len(h.buckets)] = h.inf.Load()
-	s.Count = h.count.Load()
+	s.Count += s.Counts[len(h.buckets)]
 	s.Sum = math.Float64frombits(h.sumBits.Load())
 	s.Max = math.Float64frombits(h.maxBits.Load())
 	s.P50 = s.Quantile(0.50)

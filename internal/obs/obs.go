@@ -184,8 +184,11 @@ func sortLabels(labels []Label) []Label {
 
 // lookup returns (creating if needed) the series for name+labels, after
 // checking the family's kind. A kind conflict on an existing name is a
-// programming error and panics.
-func (r *Registry) lookup(name, help string, kind metricKind, labels []Label) *series {
+// programming error and panics. init runs under the registry lock, so
+// the instrument a series carries is fully built before any concurrent
+// scrape can observe the series — scrapers snapshot under the same
+// lock.
+func (r *Registry) lookup(name, help string, kind metricKind, labels []Label, init func(*series)) *series {
 	if r == nil {
 		return nil
 	}
@@ -207,6 +210,7 @@ func (r *Registry) lookup(name, help string, kind metricKind, labels []Label) *s
 		f.series[key] = s
 		f.order = append(f.order, key)
 	}
+	init(s)
 	return s
 }
 
@@ -214,12 +218,13 @@ func (r *Registry) lookup(name, help string, kind metricKind, labels []Label) *s
 // creating it if needed. Safe on a nil registry (returns a nil
 // instrument, whose methods are no-ops).
 func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
-	s := r.lookup(name, help, kindCounter, labels)
+	s := r.lookup(name, help, kindCounter, labels, func(s *series) {
+		if s.ctr == nil {
+			s.ctr = &Counter{}
+		}
+	})
 	if s == nil {
 		return nil
-	}
-	if s.ctr == nil {
-		s.ctr = &Counter{}
 	}
 	return s.ctr
 }
@@ -228,22 +233,21 @@ func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
 // time. Used to surface pre-existing atomic counters without rewriting
 // them. Safe on a nil registry.
 func (r *Registry) CounterFunc(name, help string, fn func() float64, labels ...Label) {
-	s := r.lookup(name, help, kindCounter, labels)
-	if s == nil {
-		return
-	}
-	s.ctr = &Counter{fn: fn}
+	r.lookup(name, help, kindCounter, labels, func(s *series) {
+		s.ctr = &Counter{fn: fn}
+	})
 }
 
 // Gauge returns the gauge named name with the given labels, creating it
 // if needed. Safe on a nil registry.
 func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
-	s := r.lookup(name, help, kindGauge, labels)
+	s := r.lookup(name, help, kindGauge, labels, func(s *series) {
+		if s.gauge == nil {
+			s.gauge = &Gauge{}
+		}
+	})
 	if s == nil {
 		return nil
-	}
-	if s.gauge == nil {
-		s.gauge = &Gauge{}
 	}
 	return s.gauge
 }
@@ -251,23 +255,22 @@ func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
 // GaugeFunc registers a gauge whose value is read from fn at scrape
 // time. Safe on a nil registry.
 func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...Label) {
-	s := r.lookup(name, help, kindGauge, labels)
-	if s == nil {
-		return
-	}
-	s.gauge = &Gauge{fn: fn}
+	r.lookup(name, help, kindGauge, labels, func(s *series) {
+		s.gauge = &Gauge{fn: fn}
+	})
 }
 
 // Histogram returns the histogram named name with the given labels,
 // creating it with the given bucket upper bounds if needed (nil buckets
 // selects DefaultLatencyBuckets). Safe on a nil registry.
 func (r *Registry) Histogram(name, help string, buckets []float64, labels ...Label) *Histogram {
-	s := r.lookup(name, help, kindHistogram, labels)
+	s := r.lookup(name, help, kindHistogram, labels, func(s *series) {
+		if s.hist == nil {
+			s.hist = NewHistogram(buckets)
+		}
+	})
 	if s == nil {
 		return nil
-	}
-	if s.hist == nil {
-		s.hist = NewHistogram(buckets)
 	}
 	return s.hist
 }

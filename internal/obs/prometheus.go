@@ -48,19 +48,45 @@ func writeLabels(b *strings.Builder, labels []Label, extra ...Label) {
 	b.WriteByte('}')
 }
 
+// famSnap is a scrape-time copy of one family's structure: name/kind
+// plus the instrument pointers, captured under the registry lock so a
+// concurrent lookup can neither grow the series map under the iteration
+// nor expose a half-built series. The instruments themselves are
+// atomics and are read lock-free afterwards.
+type famSnap struct {
+	name, help string
+	kind       metricKind
+	series     []seriesSnap
+}
+
+type seriesSnap struct {
+	labels []Label
+	ctr    *Counter
+	gauge  *Gauge
+	hist   *Histogram
+}
+
 // WritePrometheus writes the whole registry in Prometheus text
 // exposition format (version 0.0.4). Histograms are emitted as native
 // histogram families (_bucket/_sum/_count) plus a companion
-// <name>_max gauge family. Safe on a nil registry (writes nothing).
+// <name>_max gauge family. Safe on a nil registry (writes nothing) and
+// safe against concurrent registration/updates.
 func (r *Registry) WritePrometheus(w io.Writer) error {
 	if r == nil {
 		return nil
 	}
 	r.mu.Lock()
-	names := append([]string{}, r.order...)
-	fams := make([]*family, 0, len(names))
-	for _, n := range names {
-		fams = append(fams, r.families[n])
+	fams := make([]famSnap, 0, len(r.order))
+	for _, n := range r.order {
+		f := r.families[n]
+		fs := famSnap{name: f.name, help: f.help, kind: f.kind,
+			series: make([]seriesSnap, 0, len(f.order))}
+		for _, key := range f.order {
+			s := f.series[key]
+			fs.series = append(fs.series, seriesSnap{
+				labels: s.labels, ctr: s.ctr, gauge: s.gauge, hist: s.hist})
+		}
+		fams = append(fams, fs)
 	}
 	r.mu.Unlock()
 
@@ -69,8 +95,7 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 		switch f.kind {
 		case kindCounter, kindGauge:
 			fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s %s\n", f.name, f.help, f.name, f.kind)
-			for _, key := range f.order {
-				s := f.series[key]
+			for _, s := range f.series {
 				var v float64
 				if f.kind == kindCounter {
 					v = s.ctr.value()
@@ -85,8 +110,7 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 			}
 		case kindHistogram:
 			fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s histogram\n", f.name, f.help, f.name)
-			for _, key := range f.order {
-				s := f.series[key]
+			for _, s := range f.series {
 				snap := s.hist.Snapshot()
 				cum := uint64(0)
 				for i, bound := range snap.Bounds {
@@ -107,8 +131,7 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 				fmt.Fprintf(&b, " %d\n", snap.Count)
 			}
 			fmt.Fprintf(&b, "# HELP %s_max Maximum observation of %s.\n# TYPE %s_max gauge\n", f.name, f.name, f.name)
-			for _, key := range f.order {
-				s := f.series[key]
+			for _, s := range f.series {
 				b.WriteString(f.name + "_max")
 				writeLabels(&b, s.labels)
 				fmt.Fprintf(&b, " %s\n", formatValue(s.hist.Snapshot().Max))

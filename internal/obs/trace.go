@@ -106,7 +106,14 @@ func (l *SlowOpLog) Enabled() bool { return l != nil }
 
 // Observe logs the trace if it exceeded the threshold, returning
 // whether it fired. Safe on nil receiver and nil trace.
-func (l *SlowOpLog) Observe(t *Trace) bool {
+func (l *SlowOpLog) Observe(t *Trace) bool { return l.ObserveTraced(t, 0) }
+
+// ObserveTraced is Observe for statements that also ran under a sampled
+// distributed trace: when traceID is non-zero the SLOW-OP line carries
+// it (same hex form /trace/<id> accepts), so a slow-op entry jumps
+// straight to its cross-node span breakdown. Safe on nil receiver and
+// nil trace.
+func (l *SlowOpLog) ObserveTraced(t *Trace, traceID uint64) bool {
 	if l == nil || t == nil {
 		return false
 	}
@@ -115,7 +122,11 @@ func (l *SlowOpLog) Observe(t *Trace) bool {
 		return false
 	}
 	l.fired.Add(1)
-	l.logger.Printf("SLOW-OP %s", t.String())
+	if traceID != 0 {
+		l.logger.Printf("SLOW-OP trace=%016x %s", traceID, t.String())
+	} else {
+		l.logger.Printf("SLOW-OP %s", t.String())
+	}
 	return true
 }
 

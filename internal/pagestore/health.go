@@ -1,0 +1,103 @@
+package pagestore
+
+import (
+	"fmt"
+	"time"
+
+	"taurus/internal/health"
+)
+
+// SetHealth attaches the monitor that answers MsgPing status and
+// MsgHealthReport. Pair with RegisterHealth, which installs the store's
+// invariant probes on it.
+func (s *Store) SetHealth(m *health.Monitor) { s.health = m }
+
+// healthReport builds the MsgHealthReport payload. Without a monitor it
+// still identifies the node.
+func (s *Store) healthReport() health.Report {
+	if s.health == nil {
+		return health.Report{Node: s.name, Role: "pagestore",
+			Time: time.Now(), Ready: true}
+	}
+	return s.health.Report()
+}
+
+// RegisterHealth installs the Page Store's invariant probes on m.
+// ckptInterval is the deployment's checkpoint cadence (what the
+// checkpoint-age check is judged against); <= 0 disables that check, as
+// does running without persistence.
+//
+//   - pagestore.checkpoint_age (RB-CHECKPOINT-AGE): a persistent store
+//     must produce a checkpoint at most ~every CheckpointInterval. Age
+//     beyond 2x the interval warns, beyond 4x is critical — log GC and
+//     replica checkpoint-resyncs both key off checkpoint recency.
+//     Before the first checkpoint the age is measured from store start.
+//   - pagestore.version_pin (RB-VERSION-PIN): a pinned version floor
+//     must ride the apply frontier upward (subscribed replicas re-pin
+//     as their visible LSN advances). A floor frozen while the applied
+//     LSN moved far past it means a wedged reader is pinning version
+//     chains and retention is bloating.
+func (s *Store) RegisterHealth(m *health.Monitor, ckptInterval time.Duration) {
+	start := time.Now()
+	m.AddProbe(func() health.Check {
+		const name, rb = "pagestore.checkpoint_age", "RB-CHECKPOINT-AGE"
+		if !s.Persistent() || ckptInterval <= 0 {
+			return health.Checkf(name, rb, health.StatusOK, nil,
+				"not persistent / checkpointing disabled")
+		}
+		last := s.LastCheckpoint()
+		age := time.Since(start)
+		if !last.IsZero() {
+			age = time.Since(last)
+		}
+		ev := map[string]string{
+			"age":      age.Round(time.Millisecond).String(),
+			"interval": ckptInterval.String(),
+		}
+		switch {
+		case age > 4*ckptInterval:
+			return health.Checkf(name, rb, health.StatusCritical, ev,
+				"no checkpoint for %s (interval %s); log GC and replica resync are starving", age.Round(time.Second), ckptInterval)
+		case age > 2*ckptInterval:
+			return health.Checkf(name, rb, health.StatusWarn, ev,
+				"checkpoint overdue: age %s vs interval %s", age.Round(time.Second), ckptInterval)
+		}
+		return health.Checkf(name, rb, health.StatusOK, ev, "age %s", age.Round(time.Second))
+	})
+
+	// pinDriftRecords is how far the applied LSN may run past a frozen
+	// pin floor before the pin is considered wedged.
+	const pinDriftRecords = 50000
+	var lastFloor, floorApplied uint64
+	m.AddProbe(func() health.Check {
+		const name, rb = "pagestore.version_pin", "RB-VERSION-PIN"
+		floor := s.VersionPinFloor()
+		pins := s.VersionPins()
+		_, applied, _ := s.LSNInfo(0)
+		ev := map[string]string{
+			"pins":        fmt.Sprintf("%d", pins),
+			"pin_floor":   fmt.Sprintf("%d", floor),
+			"applied_lsn": fmt.Sprintf("%d", applied),
+		}
+		if pins == 0 || floor == 0 {
+			lastFloor, floorApplied = floor, applied
+			return health.Checkf(name, rb, health.StatusOK, ev, "no pins")
+		}
+		if floor != lastFloor {
+			// Floor moved: reset the drift baseline.
+			lastFloor, floorApplied = floor, applied
+			return health.Checkf(name, rb, health.StatusOK, ev, "pin floor advancing")
+		}
+		drift := applied - floorApplied
+		ev["drift_records"] = fmt.Sprintf("%d", drift)
+		switch {
+		case drift > 4*pinDriftRecords:
+			return health.Checkf(name, rb, health.StatusCritical, ev,
+				"pin floor frozen at %d while applied LSN advanced %d records; a reader is wedged", floor, drift)
+		case drift > pinDriftRecords:
+			return health.Checkf(name, rb, health.StatusWarn, ev,
+				"pin floor %d not advancing (%d records behind the apply frontier)", floor, drift)
+		}
+		return health.Checkf(name, rb, health.StatusOK, ev, "pin floor tracking")
+	})
+}

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"taurus/internal/cluster"
+	"taurus/internal/health"
 	"taurus/internal/obs"
 	"taurus/internal/page"
 	"taurus/internal/pstore"
@@ -114,6 +115,9 @@ type Store struct {
 	// the flight recorder (checkpoint completions). Both nil-inert.
 	tracer *obs.Tracer
 	events *obs.EventRing
+	// health answers MsgPing/MsgHealthReport; nil answers pings with an
+	// empty OK report. Armed by SetHealth.
+	health *health.Monitor
 
 	// Version pins: subscribed replicas pin the version floor they may
 	// still read at, so lagging replicas don't lose the race against
@@ -278,6 +282,11 @@ func (s *Store) Handle(req any) (any, error) {
 	case *cluster.VersionPinReq:
 		s.SetVersionPin(m.Node, m.LSN)
 		return &cluster.Ack{LSN: m.LSN}, nil
+	case *cluster.PingReq:
+		return &cluster.PingResp{Node: s.name, Role: "pagestore",
+			Seq: m.Seq, Status: s.health.Worst()}, nil
+	case *cluster.HealthReportReq:
+		return &cluster.HealthReportResp{Report: s.healthReport()}, nil
 	default:
 		return nil, fmt.Errorf("pagestore %s: unsupported request %T", s.name, req)
 	}

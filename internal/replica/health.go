@@ -1,0 +1,100 @@
+package replica
+
+import (
+	"fmt"
+	"time"
+
+	"taurus/internal/health"
+)
+
+// SetHealth attaches the monitor that answers MsgPing status and
+// MsgHealthReport. Pair with RegisterHealth, which installs the
+// replica's invariant probes on it.
+func (r *Replica) SetHealth(m *health.Monitor) { r.health = m }
+
+// nodeName is the replica's cluster identity: the registered push node
+// name in push mode, "replica" otherwise.
+func (r *Replica) nodeName() string {
+	if r.cfg.Node != "" {
+		return r.cfg.Node
+	}
+	return "replica"
+}
+
+// healthReport builds the MsgHealthReport payload. Without a monitor it
+// still identifies the node.
+func (r *Replica) healthReport() health.Report {
+	if r.health == nil {
+		return health.Report{Node: r.nodeName(), Role: "replica",
+			Time: time.Now(), Ready: true}
+	}
+	return r.health.Report()
+}
+
+// RegisterHealth installs the replica's invariant probes on m.
+//
+//   - replica.lag (RB-REPLICA-LAG): the visible LSN must chase the
+//     master's durable watermark. Lag that strictly grows across
+//     consecutive probes while the visible LSN stands still means the
+//     apply side is wedged, not merely that writes are fast.
+//   - replica.stream (RB-REPLICA-STREAM): in push mode the replica
+//     should hold an active subscription; detached is a warning while
+//     the watchdog resubscribes and critical once it persists.
+func (r *Replica) RegisterHealth(m *health.Monitor) {
+	var lastLag, lastVisible uint64
+	var lagStreak int
+	m.AddProbe(func() health.Check {
+		st := r.Stats()
+		const name, rb = "replica.lag", "RB-REPLICA-LAG"
+		ev := map[string]string{
+			"visible_lsn": fmt.Sprintf("%d", st.VisibleLSN),
+			"durable_lsn": fmt.Sprintf("%d", st.DurableLSN),
+			"lag_records": fmt.Sprintf("%d", st.LagRecords),
+			"lag_bytes":   fmt.Sprintf("%d", st.LagBytes),
+		}
+		wedged := st.LagRecords > 0 && st.LagRecords > lastLag &&
+			st.VisibleLSN == lastVisible && lastVisible != 0
+		if wedged {
+			lagStreak++
+		} else {
+			lagStreak = 0
+		}
+		lastLag, lastVisible = st.LagRecords, st.VisibleLSN
+		switch {
+		case lagStreak >= 4:
+			return health.Checkf(name, rb, health.StatusCritical, ev,
+				"lag grew to %d records with a frozen visible LSN (%d probes); apply is wedged", st.LagRecords, lagStreak)
+		case lagStreak >= 2:
+			return health.Checkf(name, rb, health.StatusWarn, ev,
+				"lag growing while visible LSN stalls (%d probes)", lagStreak)
+		}
+		return health.Checkf(name, rb, health.StatusOK, ev,
+			"visible %d, lag %d records", st.VisibleLSN, st.LagRecords)
+	})
+
+	var detachedStreak int
+	m.AddProbe(func() health.Check {
+		st := r.Stats()
+		const name, rb = "replica.stream", "RB-REPLICA-STREAM"
+		if !r.cfg.Subscribe {
+			return health.Checkf(name, rb, health.StatusOK, nil, "pull mode")
+		}
+		ev := map[string]string{
+			"subscribed":     fmt.Sprintf("%t", st.Subscribed),
+			"stream_batches": fmt.Sprintf("%d", st.StreamBatches),
+			"ckpt_resyncs":   fmt.Sprintf("%d", st.CkptResyncs),
+		}
+		if st.Subscribed {
+			detachedStreak = 0
+			return health.Checkf(name, rb, health.StatusOK, ev,
+				"subscribed, %d frames", st.StreamBatches)
+		}
+		detachedStreak++
+		if detachedStreak >= 3 {
+			return health.Checkf(name, rb, health.StatusCritical, ev,
+				"push stream detached for %d probes; resubscription is failing", detachedStreak)
+		}
+		return health.Checkf(name, rb, health.StatusWarn, ev,
+			"push stream detached; watchdog resubscribing")
+	})
+}

@@ -47,6 +47,7 @@ import (
 
 	"taurus/internal/cluster"
 	"taurus/internal/engine"
+	"taurus/internal/health"
 	"taurus/internal/obs"
 	"taurus/internal/sal"
 	"taurus/internal/wal"
@@ -214,6 +215,10 @@ type Replica struct {
 	lastBatch  atomic.Int64
 	subSeq     atomic.Uint64
 	pinned     atomic.Uint64
+
+	// health answers MsgPing/MsgHealthReport; nil answers pings with an
+	// empty OK report. Armed by SetHealth.
+	health *health.Monitor
 
 	kick chan struct{}
 	stop chan struct{}
@@ -434,6 +439,11 @@ func (r *Replica) Handle(req any) (any, error) {
 		return &cluster.Ack{LSN: m.DurableLSN}, nil
 	case *cluster.LogBatchReq:
 		return r.handleBatch(m)
+	case *cluster.PingReq:
+		return &cluster.PingResp{Node: r.nodeName(), Role: "replica",
+			Seq: m.Seq, Status: r.health.Worst()}, nil
+	case *cluster.HealthReportReq:
+		return &cluster.HealthReportResp{Report: r.healthReport()}, nil
 	default:
 		return nil, fmt.Errorf("replica: unsupported request %T", req)
 	}

@@ -1,0 +1,132 @@
+package sal
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"taurus/internal/health"
+)
+
+// Durations after which a pipeline with in-flight windows and a frozen
+// durable LSN is reported. Group-commit fsyncs complete in milliseconds,
+// so multi-second silence under in-flight load is a wedged Log Store
+// quorum, not burstiness.
+const (
+	stuckWarnAfter     = 5 * time.Second
+	stuckCriticalAfter = 15 * time.Second
+)
+
+// RegisterHealth installs the write pipeline's invariant probes on m.
+//
+//   - pipeline.progress (RB-PIPELINE-STUCK): while windows are in
+//     flight the durable LSN must advance. Verdicts are time-based (no
+//     progress for stuckWarnAfter / stuckCriticalAfter), so a single
+//     slow fsync never trips it but a wedged Log Store quorum does.
+//   - pipeline.poisoned (RB-PIPELINE-POISONED): a lane poisoned by a
+//     sticky storage error is critical immediately — writes on it fail
+//     until the storage fault is repaired.
+//   - pipeline.apply_backlog (RB-APPLY-BACKLOG): per-lane apply backlog
+//     vs the ApplyBacklogWindows bound. Sitting at the bound is
+//     backpressure by design; the check fires only when a saturated
+//     lane's slice apply frontier also stopped moving — durable windows
+//     exist that no Page Store is absorbing.
+func (s *SAL) RegisterHealth(m *health.Monitor) {
+	var stuckSince time.Time
+	var lastDurable uint64
+	m.AddProbe(func() health.Check {
+		st := s.Stats()
+		const name, rb = "pipeline.progress", "RB-PIPELINE-STUCK"
+		ev := map[string]string{
+			"in_flight":   fmt.Sprintf("%d", st.InFlightWindows),
+			"durable_lsn": fmt.Sprintf("%d", st.DurableLSN),
+			"pending":     fmt.Sprintf("%d", st.PendingRecords),
+		}
+		stuck := st.InFlightWindows > 0 && st.DurableLSN == lastDurable
+		lastDurable = st.DurableLSN
+		if !stuck {
+			stuckSince = time.Time{}
+			return health.Checkf(name, rb, health.StatusOK, ev,
+				"durable %d, %d window(s) in flight", st.DurableLSN, st.InFlightWindows)
+		}
+		if stuckSince.IsZero() {
+			stuckSince = time.Now()
+		}
+		held := time.Since(stuckSince)
+		ev["stuck_for"] = held.Round(time.Millisecond).String()
+		switch {
+		case held >= stuckCriticalAfter:
+			return health.Checkf(name, rb, health.StatusCritical, ev,
+				"durable LSN frozen at %d for %s with %d window(s) in flight; Log Store quorum is not acking", st.DurableLSN, held.Round(time.Second), st.InFlightWindows)
+		case held >= stuckWarnAfter:
+			return health.Checkf(name, rb, health.StatusWarn, ev,
+				"no durable progress for %s with windows in flight", held.Round(time.Second))
+		}
+		return health.Checkf(name, rb, health.StatusOK, ev,
+			"durable %d, awaiting acks (%s)", st.DurableLSN, held.Round(time.Millisecond))
+	})
+
+	m.AddProbe(func() health.Check {
+		st := s.Stats()
+		const name, rb = "pipeline.poisoned", "RB-PIPELINE-POISONED"
+		var poisoned []string
+		for _, ln := range st.Lanes {
+			if ln.Poisoned {
+				poisoned = append(poisoned, fmt.Sprintf("%d", ln.Lane))
+			}
+		}
+		ev := map[string]string{"lanes": fmt.Sprintf("%d", len(st.Lanes))}
+		if len(poisoned) > 0 {
+			ev["poisoned_lanes"] = strings.Join(poisoned, ",")
+			return health.Checkf(name, rb, health.StatusCritical, ev,
+				"%d lane(s) poisoned by a sticky storage error: %s", len(poisoned), strings.Join(poisoned, ","))
+		}
+		return health.Checkf(name, rb, health.StatusOK, ev, "no poisoned lanes")
+	})
+
+	limit := int64(s.cfg.ApplyBacklogWindows)
+	// lastApplied tracks each lane's minimum applied LSN so "saturated
+	// and not draining" is distinguishable from plain backpressure.
+	lastApplied := make(map[int]uint64)
+	var satStreak int
+	m.AddProbe(func() health.Check {
+		st := s.Stats()
+		const name, rb = "pipeline.apply_backlog", "RB-APPLY-BACKLOG"
+		var maxBacklog int64
+		saturatedStalled := false
+		for _, ln := range st.Lanes {
+			if ln.ApplyBacklog > maxBacklog {
+				maxBacklog = ln.ApplyBacklog
+			}
+			var minApplied uint64
+			for _, sl := range ln.Slices {
+				if minApplied == 0 || sl.AppliedLSN < minApplied {
+					minApplied = sl.AppliedLSN
+				}
+			}
+			if ln.ApplyBacklog >= limit && minApplied == lastApplied[ln.Lane] {
+				saturatedStalled = true
+			}
+			lastApplied[ln.Lane] = minApplied
+		}
+		ev := map[string]string{
+			"max_backlog": fmt.Sprintf("%d", maxBacklog),
+			"limit":       fmt.Sprintf("%d", limit),
+		}
+		if saturatedStalled {
+			satStreak++
+		} else {
+			satStreak = 0
+		}
+		switch {
+		case satStreak >= 4:
+			return health.Checkf(name, rb, health.StatusCritical, ev,
+				"apply backlog pinned at the %d-window bound with a frozen apply frontier (%d probes); Page Stores are not absorbing", limit, satStreak)
+		case satStreak >= 2:
+			return health.Checkf(name, rb, health.StatusWarn, ev,
+				"apply backlog saturated and not draining (%d probes)", satStreak)
+		}
+		return health.Checkf(name, rb, health.StatusOK, ev,
+			"max backlog %d of %d", maxBacklog, limit)
+	})
+}

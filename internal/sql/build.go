@@ -62,10 +62,13 @@ func (s *Session) ExecTraced(sqlText string, force bool) (*Result, uint64, error
 	// Traces exist only when the slow-op log is armed; every Step below
 	// is a nil-safe no-op otherwise. The trace is a local (not a Session
 	// field) because sessions are shared across goroutines.
+	// slowTraceID is filled once the root span exists, so a SLOW-OP line
+	// for a sampled statement carries the trace ID it can be joined on.
 	var tr *obs.Trace
+	var slowTraceID uint64
 	if s.Slow.Enabled() {
 		tr = obs.NewTrace(opSummary(sqlText))
-		defer func() { s.Slow.Observe(tr) }()
+		defer func() { s.Slow.ObserveTraced(tr, slowTraceID) }()
 	}
 	// The root statement span. Everything downstream — SAL window seals,
 	// Log Store appends, Page Store applies — hangs off its context.
@@ -76,6 +79,7 @@ func (s *Session) ExecTraced(sqlText string, force bool) (*Result, uint64, error
 		root = s.Tracer.MaybeTrace("sql:" + opSummary(sqlText))
 	}
 	tc := root.Context()
+	slowTraceID = tc.TraceID
 	res, err := s.exec(sqlText, tr, tc)
 	if err != nil {
 		root.Annotate("err=%v", err)

@@ -1,0 +1,311 @@
+// Command health-smoke is the CI gate for the cluster health layer. It
+// boots a small fleet as separate processes — a frontend (with an
+// embedded read replica), a standalone Log Store, and a standalone Page
+// Store, with the frontend heartbeating both over TCP via -peers — and
+// then asserts the two properties the health subsystem promises:
+//
+//  1. Steady state is quiet: during a -steady write run, every check on
+//     every node stays OK, every peer stays Alive, and taurus-doctor
+//     exits zero. A health layer that cries wolf under normal load is
+//     worse than none.
+//
+//  2. Real failures are loud, fast: after SIGKILLing the Page Store,
+//     /cluster/health must show the peer Suspect within the suspect
+//     threshold (plus scheduling slop) and Dead within twice it, and
+//     taurus-doctor must exit non-zero.
+//
+//     go build -o /tmp/taurus-server ./cmd/taurus-server
+//     go build -o /tmp/taurus-doctor ./cmd/taurus-doctor
+//     go run ./scripts/health-smoke -server /tmp/taurus-server -doctor /tmp/taurus-doctor -steady 60s
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"os"
+	"os/exec"
+	"strings"
+	"time"
+
+	"taurus/internal/health"
+)
+
+const (
+	feQuery   = "127.0.0.1:17440"
+	feStats   = "127.0.0.1:17441"
+	lsCluster = "127.0.0.1:17450"
+	lsStats   = "127.0.0.1:17451"
+	psCluster = "127.0.0.1:17460"
+	psStats   = "127.0.0.1:17461"
+
+	heartbeat = 100 * time.Millisecond
+	suspect   = 1 * time.Second
+)
+
+func main() {
+	server := flag.String("server", "taurus-server", "path to the taurus-server binary")
+	doctor := flag.String("doctor", "taurus-doctor", "path to the taurus-doctor binary")
+	steady := flag.Duration("steady", 60*time.Second, "healthy write-run duration before the kill phase")
+	timeout := flag.Duration("timeout", 20*time.Second, "startup deadline per process")
+	flag.Parse()
+	log.SetFlags(0)
+	log.SetPrefix("health-smoke: ")
+
+	ls := start(*server, "logstore", "-role", "logstore", "-name", "log-tcp",
+		"-listen", lsCluster, "-stats-addr", lsStats)
+	defer stop(ls)
+	ps := start(*server, "pagestore", "-role", "pagestore", "-name", "ps-tcp",
+		"-listen", psCluster, "-stats-addr", psStats)
+	defer stop(ps)
+	fe := start(*server, "frontend", "-role", "frontend",
+		"-listen", feQuery, "-stats-addr", feStats, "-replicas", "1",
+		"-peers", fmt.Sprintf("logstore=%s,pagestore=%s", lsCluster, psCluster),
+		"-heartbeat-interval", heartbeat.String(),
+		"-suspect-threshold", suspect.String())
+	defer stop(fe)
+
+	for _, addr := range []string{lsStats, psStats, feStats} {
+		if err := waitUp("http://"+addr+"/healthz", *timeout); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if err := waitUp("http://"+feQuery+"/query", *timeout); err != nil {
+		log.Fatal(err)
+	}
+
+	if err := steadyPhase(*doctor, *steady); err != nil {
+		log.Fatalf("steady phase: %v", err)
+	}
+	log.Printf("steady phase ok: %s of writes with zero non-OK checks", *steady)
+
+	if err := killPhase(*doctor, ps); err != nil {
+		log.Fatalf("kill phase: %v", err)
+	}
+	log.Printf("kill phase ok: pagestore death detected within the deadline, doctor non-zero")
+}
+
+func start(bin, label string, args ...string) *exec.Cmd {
+	cmd := exec.Command(bin, args...)
+	cmd.Stdout = os.Stderr
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		log.Fatalf("starting %s: %v", label, err)
+	}
+	log.Printf("started %s (pid %d)", label, cmd.Process.Pid)
+	return cmd
+}
+
+func stop(cmd *exec.Cmd) {
+	if cmd.Process != nil {
+		cmd.Process.Kill()
+		cmd.Wait()
+	}
+}
+
+// steadyPhase drives INSERTs through the frontend for the whole window
+// while polling /cluster/health: any non-OK check on any node, any
+// non-Alive peer, or a degraded pong fails the gate. The doctor must
+// agree (exit 0) at the end.
+func steadyPhase(doctor string, d time.Duration) error {
+	if err := post(`CREATE TABLE smoke (id BIGINT, v INT, PRIMARY KEY(id))`); err != nil {
+		return err
+	}
+	// Let the first heartbeat rounds land before holding the fleet to
+	// the zero-non-OK bar.
+	time.Sleep(5 * heartbeat)
+	deadline := time.Now().Add(d)
+	id := 0
+	nextPoll := time.Now()
+	for time.Now().Before(deadline) {
+		id++
+		if err := post(fmt.Sprintf(`INSERT INTO smoke VALUES (%d, %d)`, id, id*10)); err != nil {
+			return err
+		}
+		if time.Now().After(nextPoll) {
+			nextPoll = time.Now().Add(500 * time.Millisecond)
+			if err := assertAllHealthy(); err != nil {
+				return err
+			}
+		}
+	}
+	if err := assertAllHealthy(); err != nil {
+		return err
+	}
+	out, err := runDoctor(doctor)
+	if err != nil {
+		return fmt.Errorf("doctor failed on a healthy fleet:\n%s\n%v", out, err)
+	}
+	return nil
+}
+
+// assertAllHealthy checks /cluster/health plus each standalone node's
+// own report: everything OK, everyone Alive.
+func assertAllHealthy() error {
+	var view health.ClusterView
+	if err := fetchJSON("http://"+feStats+"/cluster/health", &view); err != nil {
+		return err
+	}
+	if w := view.Worst(); w != health.StatusOK {
+		return fmt.Errorf("/cluster/health folds to %v during steady run: %s", w, describe(view))
+	}
+	for _, p := range view.Peers {
+		if p.State != health.PeerAlive {
+			return fmt.Errorf("peer %s is %v during steady run", p.Name, p.State)
+		}
+	}
+	for _, addr := range []string{lsStats, psStats} {
+		var rep health.Report
+		if err := fetchJSON("http://"+addr+"/health", &rep); err != nil {
+			return err
+		}
+		if rep.Worst() != health.StatusOK || !rep.Ready {
+			return fmt.Errorf("node %s not OK/ready during steady run: %+v", rep.Node, rep.Checks)
+		}
+	}
+	return nil
+}
+
+// killPhase SIGKILLs the Page Store and holds the detector to its
+// contract: Suspect within the suspect threshold, Dead within twice it
+// (each with slop for heartbeat rounding and scheduling), and a
+// non-zero doctor.
+func killPhase(doctor string, ps *exec.Cmd) error {
+	if err := ps.Process.Kill(); err != nil {
+		return fmt.Errorf("killing pagestore: %v", err)
+	}
+	ps.Wait()
+	killedAt := time.Now()
+	log.Printf("killed pagestore (pid %d)", ps.Process.Pid)
+
+	slop := 3 * time.Second
+	if err := waitPeerState(psCluster, health.PeerSuspect, killedAt, suspect+slop); err != nil {
+		return err
+	}
+	log.Printf("pagestore Suspect after %s", time.Since(killedAt).Round(time.Millisecond))
+	if err := waitPeerState(psCluster, health.PeerDead, killedAt, 2*suspect+slop); err != nil {
+		return err
+	}
+	log.Printf("pagestore Dead after %s", time.Since(killedAt).Round(time.Millisecond))
+
+	// The fold must be critical now, and /cluster/health must say so
+	// with its status code too.
+	resp, err := http.Get("http://" + feStats + "/cluster/health")
+	if err != nil {
+		return err
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		return fmt.Errorf("/cluster/health = %d with a dead peer, want 503", resp.StatusCode)
+	}
+
+	out, err := runDoctor(doctor)
+	if err == nil {
+		return fmt.Errorf("doctor exited zero with a dead pagestore:\n%s", out)
+	}
+	if exit, ok := err.(*exec.ExitError); !ok || exit.ExitCode() == 0 {
+		return fmt.Errorf("doctor did not fail cleanly: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "dead") {
+		return fmt.Errorf("doctor output does not show the dead peer:\n%s", out)
+	}
+	return nil
+}
+
+func waitPeerState(peer string, want health.PeerState, since time.Time, within time.Duration) error {
+	for time.Since(since) < within {
+		var view health.ClusterView
+		if err := fetchJSON("http://"+feStats+"/cluster/health", &view); err != nil {
+			return err
+		}
+		for _, p := range view.Peers {
+			if p.Name == peer && p.State >= want {
+				return nil
+			}
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	return fmt.Errorf("peer %s not %v within %s of the kill", peer, want, within)
+}
+
+// runDoctor runs the doctor against the whole fleet: the frontend's
+// cluster view plus each standalone node's own report.
+func runDoctor(doctor string) (string, error) {
+	cmd := exec.Command(doctor, "-cluster", feStats, lsStats, psStats)
+	out, err := cmd.CombinedOutput()
+	return string(out), err
+}
+
+func describe(v health.ClusterView) string {
+	var b strings.Builder
+	for _, c := range v.Self.Checks {
+		if c.Status != health.StatusOK {
+			fmt.Fprintf(&b, " self:%s=%s(%s)", c.Name, c.Status, c.Detail)
+		}
+	}
+	for _, p := range v.Peers {
+		if p.State != health.PeerAlive || p.PingStatus != health.StatusOK {
+			fmt.Fprintf(&b, " peer:%s=%s/%s", p.Name, p.State, p.PingStatus)
+		}
+		if p.Report != nil {
+			for _, c := range p.Report.Checks {
+				if c.Status != health.StatusOK {
+					fmt.Fprintf(&b, " %s:%s=%s(%s)", p.Name, c.Name, c.Status, c.Detail)
+				}
+			}
+		}
+	}
+	if b.Len() == 0 {
+		return "(no non-OK detail)"
+	}
+	return b.String()
+}
+
+func post(stmt string) error {
+	resp, err := http.Post("http://"+feQuery+"/query", "text/plain", strings.NewReader(stmt))
+	if err != nil {
+		return fmt.Errorf("POST /query: %w", err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("POST /query %q: %d: %s", stmt, resp.StatusCode, body)
+	}
+	return nil
+}
+
+func fetchJSON(url string, out any) error {
+	resp, err := http.Get(url)
+	if err != nil {
+		return fmt.Errorf("GET %s: %w", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return fmt.Errorf("GET %s: %w", url, err)
+	}
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusServiceUnavailable {
+		return fmt.Errorf("GET %s: %d: %s", url, resp.StatusCode, body)
+	}
+	return json.Unmarshal(body, out)
+}
+
+// waitUp polls until the server answers HTTP (any status).
+func waitUp(url string, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		resp, err := http.Get(url)
+		if err == nil {
+			resp.Body.Close()
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("server not up after %s: %v", timeout, err)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}

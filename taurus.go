@@ -28,6 +28,7 @@ import (
 	"taurus/internal/buffer"
 	"taurus/internal/cluster"
 	"taurus/internal/engine"
+	"taurus/internal/health"
 	"taurus/internal/logstore"
 	"taurus/internal/obs"
 	"taurus/internal/pagestore"
@@ -123,6 +124,17 @@ type Config struct {
 	// so the collection costs nothing until someone asks for it.
 	TraceSampleRate float64
 
+	// HeartbeatInterval is the health heartbeat period: the master pings
+	// every embedded storage node (and attached replicas) each interval
+	// over the cluster transport, feeding the failure detector behind
+	// ClusterHealth / GET /cluster/health. 0 selects the default (1s);
+	// negative disables heartbeating (the detector and peer table stay
+	// empty; per-node checks still work).
+	HeartbeatInterval time.Duration
+	// SuspectThreshold is the heartbeat silence after which a peer turns
+	// Suspect; a peer silent for twice this is Dead. Default 5s.
+	SuspectThreshold time.Duration
+
 	// Master attaches a read replica to a running master's storage
 	// cluster (OpenReplica only; ignored by Open). The replica shares
 	// the master's Log Stores and Page Stores, tails the log to advance
@@ -167,6 +179,17 @@ type DB struct {
 	tracer  *obs.Tracer
 	tracers []*obs.Tracer
 	events  *obs.EventRing
+
+	// health is this frontend's own check monitor (SAL pipeline and
+	// checkpointer probes on a master, lag/stream probes on a replica);
+	// det is the master's failure detector over the storage fleet and
+	// attached replicas, driven by the heartbeat pinger goroutine
+	// (hbStop/hbDone). det is nil on replicas and when heartbeats are
+	// disabled.
+	health *health.Monitor
+	det    *health.Detector
+	hbStop chan struct{}
+	hbDone chan struct{}
 
 	// Replica state (OpenReplica); master tracks how many replicas it
 	// has named so far.
@@ -273,6 +296,10 @@ func Open(cfg Config) (*DB, error) {
 		lt := obs.NewTracer(n, cfg.TraceSampleRate, 0)
 		ls.SetTracer(lt)
 		ls.SetEvents(db.events)
+		lm := health.NewMonitor(n, "logstore",
+			health.MonitorOptions{Events: db.events, Metrics: reg})
+		ls.RegisterHealth(lm)
+		ls.SetHealth(lm)
 		db.tracers = append(db.tracers, lt)
 		db.logs = append(db.logs, ls)
 		db.logNames = append(db.logNames, n)
@@ -307,6 +334,10 @@ func Open(cfg Config) (*DB, error) {
 			db.summary.RestoredPages += rst.Pages
 			db.summary.CorruptCheckpoints += rst.Corrupt
 		}
+		pm := health.NewMonitor(name, "pagestore",
+			health.MonitorOptions{Events: db.events, Metrics: reg})
+		ps.RegisterHealth(pm, cfg.CheckpointInterval)
+		ps.SetHealth(pm)
 		db.stores = append(db.stores, ps)
 		psNames = append(psNames, name)
 		tr.Register(name, ps)
@@ -363,7 +394,61 @@ func Open(cfg Config) (*DB, error) {
 		db.ckDone = make(chan struct{})
 		go db.checkpointLoop(cfg.CheckpointInterval)
 	}
+	obs.RegisterBuildInfo(reg)
+	// The master's own monitor: write-pipeline invariants plus the
+	// background checkpointer's sticky error.
+	db.health = health.NewMonitor("frontend", "frontend",
+		health.MonitorOptions{Events: db.events, Metrics: reg})
+	s.RegisterHealth(db.health)
+	db.health.AddProbe(db.checkpointerProbe())
+	// Heartbeats: the master pings every embedded storage node on the
+	// same InProc fabric requests use, so the detector measures exactly
+	// "can this node answer an RPC".
+	if cfg.HeartbeatInterval >= 0 {
+		hb := cfg.HeartbeatInterval
+		if hb == 0 {
+			hb = time.Second
+		}
+		db.det = health.NewDetector(hb, cfg.SuspectThreshold, db.events, reg)
+		for _, n := range db.logNames {
+			db.det.Track(n, "logstore")
+		}
+		for _, n := range db.psNames {
+			db.det.Track(n, "pagestore")
+		}
+		db.hbStop = make(chan struct{})
+		db.hbDone = make(chan struct{})
+		go func() {
+			defer close(db.hbDone)
+			cluster.RunHealthPinger(tr, db.det, "frontend", db.hbStop, cluster.PingerOptions{})
+		}()
+	}
 	return db, nil
+}
+
+// checkpointerProbe reports the background checkpointer's state: its
+// failure is sticky (the loop exits), so without this check a wedged
+// checkpointer is invisible until Close.
+func (db *DB) checkpointerProbe() health.Probe {
+	return func() health.Check {
+		const name, rb = "frontend.checkpointer", "RB-CHECKPOINTER"
+		if db.cfg.CheckpointInterval <= 0 {
+			return health.Checkf(name, rb, health.StatusOK, nil,
+				"background checkpointer disabled")
+		}
+		db.ckMu.Lock()
+		err := db.ckErr
+		lsn := db.lastCkptLSN
+		db.ckMu.Unlock()
+		ev := map[string]string{"last_ckpt_lsn": fmt.Sprintf("%d", lsn)}
+		if err != nil {
+			ev["error"] = err.Error()
+			return health.Checkf(name, rb, health.StatusCritical, ev,
+				"checkpointer stopped on sticky error: %v", err)
+		}
+		return health.Checkf(name, rb, health.StatusOK, ev,
+			"checkpointing every %s", db.cfg.CheckpointInterval)
+	}
 }
 
 // OpenReplica attaches a read-only frontend to a running master's
@@ -498,6 +583,12 @@ func OpenReplica(cfg Config) (*DB, error) {
 	reg.CounterFunc("taurus_slow_ops_fired_total",
 		"Statements the slow-op log fired on (met or exceeded its threshold).",
 		func() float64 { return float64(db.session.Slow.Fired()) })
+	obs.RegisterBuildInfo(reg)
+	rm := health.NewMonitor(repName, "replica",
+		health.MonitorOptions{Events: repEvents, Metrics: reg})
+	rep.RegisterHealth(rm)
+	rep.SetHealth(rm)
+	db.health = rm
 	rep.Bind(eng, func(table string) {
 		// A table the master created after the replica opened: refresh
 		// its optimizer statistics so NDP decisions see it.
@@ -568,6 +659,9 @@ func OpenReplica(cfg Config) (*DB, error) {
 			return nil, fmt.Errorf("taurus: analyzing replicated table %s: %w", name, err)
 		}
 	}
+	// The replica answers MsgPing on the shared transport, so the
+	// master's failure detector can watch it like any storage peer.
+	m.det.Track(repName, "replica")
 	return db, nil
 }
 
@@ -991,9 +1085,16 @@ func (db *DB) Close() error {
 		}
 		db.rep.Close()
 		db.master.tr.Unregister(db.repName)
+		db.master.det.Forget(db.repName)
 		return nil
 	}
 	var firstErr error
+	if db.hbStop != nil {
+		close(db.hbStop)
+		<-db.hbDone
+		// Close must stay idempotent (callers defer it defensively).
+		db.hbStop = nil
+	}
 	if db.ckStop != nil {
 		close(db.ckStop)
 		<-db.ckDone
@@ -1103,6 +1204,33 @@ func (db *DB) Events() []obs.Event { return db.events.Events() }
 // EventRing returns the flight recorder itself (for HTTP exposure:
 // EventRing().Handler() serves GET /events).
 func (db *DB) EventRing() *obs.EventRing { return db.events }
+
+// Health returns this node's check monitor: the backing for /healthz,
+// /ready, and /health on a server.
+func (db *DB) Health() *health.Monitor { return db.health }
+
+// HealthReport evaluates and returns this node's own health report.
+func (db *DB) HealthReport() health.Report { return db.health.Report() }
+
+// HealthDetector returns the master's failure detector (nil on replicas
+// and when Config.HeartbeatInterval is negative). External deployments
+// Track additional TCP peers on it; peers observed out-of-band (e.g. a
+// TCP pinger in taurus-server) land in the same ClusterHealth view.
+func (db *DB) HealthDetector() *health.Detector { return db.det }
+
+// ClusterHealth aggregates this node's own report with the failure
+// detector's peer table — the payload of GET /cluster/health.
+func (db *DB) ClusterHealth() health.ClusterView {
+	node := "frontend"
+	if db.rep != nil {
+		node = db.repName
+	}
+	return health.ClusterView{
+		Node: node, Time: time.Now(),
+		Self:  db.health.Report(),
+		Peers: db.det.Snapshot(),
+	}
+}
 
 // SlowOpsFired counts statements the slow-op log fired on (also exported
 // as taurus_slow_ops_fired_total).

@@ -1,0 +1,204 @@
+package taurus
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"taurus/internal/health"
+)
+
+// TestHealthReportEmbedded checks a healthy embedded deployment: the
+// frontend monitor carries the write-pipeline and checkpointer probes,
+// all OK, and the node reports ready.
+func TestHealthReportEmbedded(t *testing.T) {
+	db, err := Open(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	mustExec(t, db, `CREATE TABLE ht (id BIGINT, v INT, PRIMARY KEY(id))`)
+	mustExec(t, db, `INSERT INTO ht VALUES (1, 10), (2, 20)`)
+
+	r := db.HealthReport()
+	if r.Role != "frontend" || r.Node != "frontend" {
+		t.Errorf("identity = %s/%s", r.Node, r.Role)
+	}
+	if !r.Ready || r.Worst() != health.StatusOK {
+		t.Fatalf("healthy deployment not OK/ready: %+v", r)
+	}
+	want := map[string]bool{
+		"pipeline.progress":      false,
+		"pipeline.poisoned":      false,
+		"pipeline.apply_backlog": false,
+		"frontend.checkpointer":  false,
+	}
+	for _, c := range r.Checks {
+		if _, ok := want[c.Name]; ok {
+			want[c.Name] = true
+		}
+	}
+	for name, seen := range want {
+		if !seen {
+			t.Errorf("check %s missing from the frontend report", name)
+		}
+	}
+}
+
+// TestClusterHealthTracksFleet checks the master's failure detector
+// tracks every embedded storage node as Alive, with pings flowing.
+func TestClusterHealthTracksFleet(t *testing.T) {
+	db, err := Open(Config{HeartbeatInterval: 10 * time.Millisecond,
+		SuspectThreshold: 250 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	mustExec(t, db, `CREATE TABLE ht2 (id BIGINT, v INT, PRIMARY KEY(id))`)
+
+	// Wait for a few heartbeat rounds to land pongs on every peer.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		v := db.ClusterHealth()
+		logstores, pagestores := 0, 0
+		allPinged := true
+		for _, p := range v.Peers {
+			if p.State != health.PeerAlive {
+				t.Fatalf("peer %s is %v, want alive", p.Name, p.State)
+			}
+			if p.Pings == 0 {
+				allPinged = false
+			}
+			switch p.Role {
+			case "logstore":
+				logstores++
+			case "pagestore":
+				pagestores++
+			}
+		}
+		if logstores == 3 && pagestores > 0 && allPinged {
+			if v.Worst() != health.StatusOK {
+				t.Fatalf("healthy fleet folds to %v", v.Worst())
+			}
+			if v.Node != "frontend" || v.Self.Role != "frontend" {
+				t.Errorf("view identity: %s / %s", v.Node, v.Self.Role)
+			}
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("pings never covered the fleet: %+v", v.Peers)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestDeadPeerDetection tracks a peer that never answers and checks it
+// is Suspect and then Dead within 2x the suspect threshold (the
+// acceptance deadline), with the transitions in the flight recorder and
+// the cluster fold turning critical.
+func TestDeadPeerDetection(t *testing.T) {
+	const suspect = 200 * time.Millisecond
+	db, err := Open(Config{HeartbeatInterval: 20 * time.Millisecond,
+		SuspectThreshold: suspect})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+
+	db.HealthDetector().Track("ghost-ps", "pagestore")
+	start := time.Now()
+
+	waitState := func(want health.PeerState, deadline time.Duration) {
+		t.Helper()
+		for time.Since(start) < deadline {
+			for _, p := range db.ClusterHealth().Peers {
+				if p.Name == "ghost-ps" && p.State >= want {
+					return
+				}
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+		t.Fatalf("ghost-ps never reached %v within %v", want, deadline)
+	}
+	// Suspect by ~1x threshold, Dead by 2x — allow generous scheduling
+	// slop on top of the contractual deadline.
+	waitState(health.PeerSuspect, 2*suspect+3*time.Second)
+	waitState(health.PeerDead, 2*(2*suspect)+3*time.Second)
+
+	v := db.ClusterHealth()
+	if v.Worst() != health.StatusCritical {
+		t.Errorf("cluster fold with a dead peer = %v, want critical", v.Worst())
+	}
+
+	var sawSuspect, sawDead bool
+	for _, e := range db.EventRing().Events() {
+		if e.Kind != "peer.state" || !strings.Contains(e.Detail, "ghost-ps") {
+			continue
+		}
+		if strings.Contains(e.Detail, "-> suspect") {
+			sawSuspect = true
+		}
+		if strings.Contains(e.Detail, "-> dead") {
+			sawDead = true
+		}
+	}
+	if !sawSuspect || !sawDead {
+		t.Errorf("transitions not in flight recorder (suspect=%v dead=%v)", sawSuspect, sawDead)
+	}
+}
+
+// TestReplicaTrackedAndForgotten checks an attached replica joins the
+// master's peer table and leaves it on a clean Close.
+func TestReplicaTrackedAndForgotten(t *testing.T) {
+	db, err := Open(Config{HeartbeatInterval: 10 * time.Millisecond,
+		SuspectThreshold: 250 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	mustExec(t, db, `CREATE TABLE ht3 (id BIGINT, v INT, PRIMARY KEY(id))`)
+
+	rep, err := OpenReplica(Config{Master: db})
+	if err != nil {
+		t.Fatal(err)
+	}
+	findReplica := func() *health.PeerHealth {
+		for _, p := range db.ClusterHealth().Peers {
+			if p.Role == "replica" {
+				return &p
+			}
+		}
+		return nil
+	}
+	if findReplica() == nil {
+		t.Fatal("replica not tracked by the master's detector")
+	}
+	// The replica serves its own health report.
+	if r := rep.HealthReport(); r.Role != "replica" || !r.Ready {
+		t.Errorf("replica report: %+v", r)
+	}
+	rep.Close()
+	if p := findReplica(); p != nil {
+		t.Errorf("replica still tracked after Close: %+v", p)
+	}
+}
+
+// TestHeartbeatsDisabled checks negative HeartbeatInterval opts out:
+// no detector, and ClusterHealth still answers with an empty peer set.
+func TestHeartbeatsDisabled(t *testing.T) {
+	db, err := Open(Config{HeartbeatInterval: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	if db.HealthDetector() != nil {
+		t.Fatal("detector exists with heartbeats disabled")
+	}
+	v := db.ClusterHealth()
+	if len(v.Peers) != 0 {
+		t.Errorf("peers without a detector: %+v", v.Peers)
+	}
+	if v.Self.Role != "frontend" {
+		t.Errorf("self report role = %q", v.Self.Role)
+	}
+}
