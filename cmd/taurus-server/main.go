@@ -451,16 +451,23 @@ func runFrontend(listen, statsAddr string, opts frontendOptions) {
 		log.Fatal(err)
 	}
 	view := db.ClusterHealth
-	if len(opts.peers) > 0 {
+	if len(opts.peers) > 0 && opts.heartbeat >= 0 {
 		// External peers get their own detector and TCP pinger; the
 		// embedded fleet keeps its in-process one. Both report into the
 		// same registry/event ring and are folded into one cluster view.
+		// A negative -heartbeat-interval disables heartbeating here just
+		// as it does for the embedded fleet.
 		ext := health.NewDetector(opts.heartbeat, opts.suspect, db.EventRing(), db.Metrics())
 		for _, p := range opts.peers {
 			ext.Track(p.addr, p.role)
 		}
 		hc := cluster.NewTCPClient()
 		hc.Metrics = cluster.NewRPCMetrics(db.Metrics(), "client")
+		// Bound every health RPC: a peer that black-holes traffic must
+		// turn into a failed ping (and growing silence), not a forever-
+		// blocked call holding a pinger goroutine.
+		hc.DialTimeout = ext.SuspectThreshold()
+		hc.CallTimeout = ext.SuspectThreshold()
 		go cluster.RunHealthPinger(hc, ext, "frontend", make(chan struct{}), cluster.PingerOptions{})
 		view = func() health.ClusterView {
 			v := db.ClusterHealth()

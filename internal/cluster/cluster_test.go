@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"net"
 	"testing"
+	"time"
 )
 
 // echoHandler returns canned responses per request type.
@@ -107,6 +108,42 @@ func TestTCPTransport(t *testing.T) {
 	}
 	if _, err := client.Call("127.0.0.1:1", &ReadPageReq{}); err == nil {
 		t.Error("unreachable address should fail")
+	}
+}
+
+// TestTCPCallTimeout: against a server that accepts and then goes
+// silent (a black-holed peer), a client with CallTimeout must fail the
+// call within the bound instead of blocking forever, and a later call
+// must redial rather than reuse the dead connection.
+func TestTCPCallTimeout(t *testing.T) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	go func() {
+		for {
+			conn, err := l.Accept()
+			if err != nil {
+				return
+			}
+			defer conn.Close() // hold the conn open, never answer
+		}
+	}()
+	client := NewTCPClient()
+	client.DialTimeout = time.Second
+	client.CallTimeout = 50 * time.Millisecond
+	defer client.Close()
+	start := time.Now()
+	if _, err := client.Call(l.Addr().String(), &ReadPageReq{PageID: 1}); err == nil {
+		t.Fatal("call against a silent server should time out")
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("timeout took %v, want ~50ms", elapsed)
+	}
+	// The timed-out connection was dropped; the next call redials.
+	if _, err := client.Call(l.Addr().String(), &ReadPageReq{PageID: 1}); err == nil {
+		t.Fatal("second call should also time out, not hang")
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"math"
 	"sort"
+	"sync"
 	"time"
 
 	"taurus/internal/health"
@@ -134,6 +135,15 @@ type PingerOptions struct {
 // until stop closes — run it on its own goroutine. The peer list is
 // re-read from the detector each tick, so peers tracked or forgotten
 // while the loop runs (replica attach/detach) are picked up live.
+//
+// Peers are pinged concurrently, at most one outstanding ping per peer:
+// a peer whose transport call hangs (black-holed network, SIGSTOP)
+// simply keeps its one goroutine blocked while every other peer keeps
+// being pinged and Sweep keeps running — so the hung peer's growing
+// silence walks it through Suspect to Dead on schedule instead of
+// wedging the whole loop. Pair a TCP transport with DialTimeout/
+// CallTimeout so those goroutines are reclaimed rather than parked
+// until the peer returns.
 func RunHealthPinger(t Transport, d *health.Detector, self string, stop <-chan struct{}, opts PingerOptions) {
 	if t == nil || d == nil {
 		return
@@ -146,8 +156,30 @@ func RunHealthPinger(t Transport, d *health.Detector, self string, stop <-chan s
 	if interval <= 0 {
 		interval = time.Second
 	}
+	ping := func(p health.TrackedPeer, seq uint64) {
+		resp, err := t.Call(p.Name, &PingReq{Node: self, Seq: seq})
+		if err != nil {
+			d.ObserveFailure(p.Name)
+			return
+		}
+		pong, ok := resp.(*PingResp)
+		if !ok {
+			d.ObserveFailure(p.Name)
+			return
+		}
+		d.Observe(p.Name, pong.Role, pong.Status)
+		if seq%uint64(reportEvery) == 0 {
+			if rr, err := t.Call(p.Name, &HealthReportReq{Node: self}); err == nil {
+				if hr, ok := rr.(*HealthReportResp); ok {
+					d.SetReport(p.Name, hr.Report)
+				}
+			}
+		}
+	}
 	ticker := time.NewTicker(interval)
 	defer ticker.Stop()
+	var mu sync.Mutex
+	inflight := make(map[string]bool)
 	var seq uint64
 	for {
 		select {
@@ -157,24 +189,26 @@ func RunHealthPinger(t Transport, d *health.Detector, self string, stop <-chan s
 		}
 		seq++
 		for _, p := range d.Peers() {
-			resp, err := t.Call(p.Name, &PingReq{Node: self, Seq: seq})
-			if err != nil {
-				d.ObserveFailure(p.Name)
+			mu.Lock()
+			busy := inflight[p.Name]
+			if !busy {
+				inflight[p.Name] = true
+			}
+			mu.Unlock()
+			if busy {
+				// The previous ping to this peer has not returned yet; its
+				// silence keeps growing, which is exactly what the detector
+				// measures. Never stack a second call behind a hung one.
 				continue
 			}
-			pong, ok := resp.(*PingResp)
-			if !ok {
-				d.ObserveFailure(p.Name)
-				continue
-			}
-			d.Observe(p.Name, pong.Role, pong.Status)
-			if seq%uint64(reportEvery) == 0 {
-				if rr, err := t.Call(p.Name, &HealthReportReq{Node: self}); err == nil {
-					if hr, ok := rr.(*HealthReportResp); ok {
-						d.SetReport(p.Name, hr.Report)
-					}
-				}
-			}
+			go func(p health.TrackedPeer, seq uint64) {
+				defer func() {
+					mu.Lock()
+					delete(inflight, p.Name)
+					mu.Unlock()
+				}()
+				ping(p, seq)
+			}(p, seq)
 		}
 		d.Sweep()
 	}

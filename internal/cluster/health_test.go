@@ -125,3 +125,63 @@ func TestRunHealthPinger(t *testing.T) {
 	<-done
 	t.Fatalf("pinger never converged: %+v", d.Snapshot())
 }
+
+// blockingTransport answers pings for every node except the ones in
+// hang, whose calls park until the transport is released.
+type blockingTransport struct {
+	hang    map[string]bool
+	release chan struct{}
+}
+
+func (b *blockingTransport) Call(node string, req any) (any, error) {
+	if b.hang[node] {
+		<-b.release
+		return nil, fmt.Errorf("%s: released", node)
+	}
+	if m, ok := req.(*PingReq); ok {
+		return &PingResp{Node: node, Role: "pagestore", Seq: m.Seq}, nil
+	}
+	return &HealthReportResp{Report: health.Report{Node: node, Ready: true}}, nil
+}
+
+// TestRunHealthPingerHungPeer is the partition/SIGSTOP regression: a
+// peer whose transport call blocks forever (instead of failing fast)
+// must not stall the loop — the healthy peer keeps being pinged and
+// stays Alive, while the hung peer's silence walks it to Dead.
+func TestRunHealthPingerHungPeer(t *testing.T) {
+	tr := &blockingTransport{hang: map[string]bool{"hung": true}, release: make(chan struct{})}
+	d := health.NewDetector(5*time.Millisecond, 40*time.Millisecond, nil, nil)
+	d.Track("ok", "pagestore")
+	d.Track("hung", "pagestore")
+
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		RunHealthPinger(tr, d, "frontend", stop, PingerOptions{})
+	}()
+	defer func() {
+		close(stop)
+		close(tr.release) // unpark the hung call's goroutine
+		<-done
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		var okAlive, hungDead bool
+		for _, p := range d.Snapshot() {
+			// The hung peer answered zero pings, so only a concurrent
+			// pinger can have kept "ok" alive past the Dead deadline.
+			if p.Name == "ok" && p.State == health.PeerAlive && p.Pings > 20 {
+				okAlive = true
+			}
+			if p.Name == "hung" && p.State == health.PeerDead {
+				hungDead = true
+			}
+		}
+		if okAlive && hungDead {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("hung peer stalled the pinger: %+v", d.Snapshot())
+}

@@ -117,6 +117,10 @@ func serveConn(conn net.Conn, h Handler, m *RPCMetrics) {
 type TCPClient struct {
 	mu    sync.Mutex
 	conns map[string]*tcpConn
+	// dialing marks addresses with a dial in flight; waiters block on
+	// the channel instead of on mu, so a slow dial to one address never
+	// stalls calls to others.
+	dialing map[string]chan struct{}
 	// Stats ledgers traffic exactly as InProc does.
 	Stats Counters
 	// Metrics, when non-nil, attributes every call per MsgType. Set
@@ -125,6 +129,16 @@ type TCPClient struct {
 	// Tracer, when non-nil, records a client-side rpc:<MsgType> span for
 	// every sampled call. Set before first use; nil is free.
 	Tracer *obs.Tracer
+	// DialTimeout bounds connection establishment; zero dials without a
+	// bound. Set before first use.
+	DialTimeout time.Duration
+	// CallTimeout bounds each request/response round trip via connection
+	// deadlines; a call that exceeds it fails and drops the pooled
+	// connection. Zero leaves calls unbounded. Health pingers must set
+	// this: a peer that black-holes traffic (partition, SIGSTOP) would
+	// otherwise block a Call forever instead of failing. Set before
+	// first use.
+	CallTimeout time.Duration
 }
 
 type tcpConn struct {
@@ -136,7 +150,10 @@ type tcpConn struct {
 
 // NewTCPClient returns an empty client pool.
 func NewTCPClient() *TCPClient {
-	return &TCPClient{conns: make(map[string]*tcpConn)}
+	return &TCPClient{
+		conns:   make(map[string]*tcpConn),
+		dialing: make(map[string]chan struct{}),
+	}
 }
 
 // Close shuts all pooled connections.
@@ -149,23 +166,45 @@ func (c *TCPClient) Close() {
 	c.conns = make(map[string]*tcpConn)
 }
 
+// get returns the pooled connection for addr, dialing one if needed.
+// The dial happens outside the pool lock: concurrent callers to the
+// same address wait for the one in-flight dial, while callers to other
+// addresses proceed untouched — a black-holed peer must not be able to
+// stall the whole pool for up to DialTimeout per attempt.
 func (c *TCPClient) get(addr string) (*tcpConn, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if tc, ok := c.conns[addr]; ok {
+	for {
+		c.mu.Lock()
+		if tc, ok := c.conns[addr]; ok {
+			c.mu.Unlock()
+			return tc, nil
+		}
+		pending, ok := c.dialing[addr]
+		if ok {
+			c.mu.Unlock()
+			<-pending // another caller is dialing; re-check when it settles
+			continue
+		}
+		pending = make(chan struct{})
+		c.dialing[addr] = pending
+		c.mu.Unlock()
+
+		conn, err := net.DialTimeout("tcp", addr, c.DialTimeout)
+		c.mu.Lock()
+		delete(c.dialing, addr)
+		close(pending)
+		if err != nil {
+			c.mu.Unlock()
+			return nil, err
+		}
+		tc := &tcpConn{
+			conn: conn,
+			br:   bufio.NewReaderSize(conn, 1<<16),
+			bw:   bufio.NewWriterSize(conn, 1<<16),
+		}
+		c.conns[addr] = tc
+		c.mu.Unlock()
 		return tc, nil
 	}
-	conn, err := net.Dial("tcp", addr)
-	if err != nil {
-		return nil, err
-	}
-	tc := &tcpConn{
-		conn: conn,
-		br:   bufio.NewReaderSize(conn, 1<<16),
-		bw:   bufio.NewWriterSize(conn, 1<<16),
-	}
-	c.conns[addr] = tc
-	return tc, nil
 }
 
 // Call implements Transport over TCP.
@@ -196,29 +235,38 @@ func (c *TCPClient) CallTraced(trace obs.TraceContext, addr string, req any) (an
 	if c.Metrics != nil {
 		t0 = time.Now()
 	}
+	if c.CallTimeout > 0 {
+		tc.conn.SetDeadline(time.Now().Add(c.CallTimeout))
+	}
 	if err := writeFrame(tc.bw, wireType, wireBody); err != nil {
-		c.drop(addr)
+		c.drop(addr, tc)
 		return nil, err
 	}
 	if err := tc.bw.Flush(); err != nil {
-		c.drop(addr)
+		c.drop(addr, tc)
 		return nil, err
 	}
 	respType, respBody, err := readFrame(tc.br)
 	if err != nil {
-		c.drop(addr)
+		c.drop(addr, tc)
 		return nil, err
+	}
+	if c.CallTimeout > 0 {
+		tc.conn.SetDeadline(time.Time{})
 	}
 	c.Stats.account(msgType, len(wireBody), len(respBody))
 	c.Metrics.observe(msgType, len(wireBody), len(respBody), time.Since(t0), respType == MsgErr)
 	return DecodeResponse(respType, respBody)
 }
 
-func (c *TCPClient) drop(addr string) {
+// drop retires tc after a failed call. The identity check matters: a
+// second caller that failed on the same (already replaced) connection
+// must not tear down the fresh one a third caller just dialed.
+func (c *TCPClient) drop(addr string, tc *tcpConn) {
+	tc.conn.Close()
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if tc, ok := c.conns[addr]; ok {
-		tc.conn.Close()
+	if c.conns[addr] == tc {
 		delete(c.conns, addr)
 	}
 }

@@ -172,7 +172,8 @@ func (d *Detector) Track(name, role string) {
 }
 
 // Forget stops monitoring a peer (e.g. a replica detached cleanly) and
-// clears its taurus_peer_state series. Safe on nil.
+// removes its taurus_peer_state series from the registry — a detached
+// peer must stop being exported, not read as alive forever. Safe on nil.
 func (d *Detector) Forget(name string) {
 	if d == nil {
 		return
@@ -180,9 +181,20 @@ func (d *Detector) Forget(name string) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	if p, ok := d.peers[name]; ok {
-		p.gauge.Set(float64(PeerAlive))
+		d.unregisterLocked(p)
 		delete(d.peers, name)
 	}
+}
+
+// unregisterLocked retires p's taurus_peer_state series so a departed
+// peer or a stale role binding stops scraping rather than freezing at
+// its last value.
+func (d *Detector) unregisterLocked(p *peerEntry) {
+	if p.gauge != nil && d.reg != nil {
+		d.reg.Remove("taurus_peer_state",
+			obs.L("peer", p.name), obs.L("role", p.gaugeRol))
+	}
+	p.gauge = nil
 }
 
 // TrackedPeer names one peer a pinger loop should ping.
@@ -305,11 +317,10 @@ func (d *Detector) transitionLocked(p *peerEntry, next PeerState) {
 		p.name, p.role, prev, next, d.now().Sub(p.last).Seconds(), d.phiLocked(p, d.now()))
 	if d.reg != nil {
 		// The role label can refine from "peer" to the real role after
-		// the first pong; rebind the gauge and retire the old series.
+		// the first pong; rebind the gauge and remove the old series so
+		// the stale role stops being exported.
 		if p.gauge == nil || p.gaugeRol != p.role {
-			if p.gauge != nil {
-				p.gauge.Set(float64(PeerAlive))
-			}
+			d.unregisterLocked(p)
 			p.gauge = d.reg.Gauge("taurus_peer_state",
 				"Failure detector state per peer (0 alive, 1 suspect, 2 dead).",
 				obs.L("peer", p.name), obs.L("role", p.role))

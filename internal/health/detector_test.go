@@ -176,6 +176,37 @@ func TestDetectorGaugeExport(t *testing.T) {
 	if !strings.Contains(text, want) {
 		t.Errorf("exposition missing %q:\n%s", want, text)
 	}
+	// A forgotten peer's series leaves the exposition entirely — it must
+	// not linger reading 0 (the "alive" encoding) after a clean detach.
+	d.Forget("ps-1")
+	if text := scrape(t, reg); strings.Contains(text, `peer="ps-1"`) {
+		t.Errorf("forgotten peer still exported:\n%s", text)
+	}
+}
+
+// TestDetectorRoleRebindRemovesStaleSeries checks the placeholder-role
+// series is removed (not frozen at "alive") when the first pong refines
+// the peer's role.
+func TestDetectorRoleRebindRemovesStaleSeries(t *testing.T) {
+	reg := obs.NewRegistry()
+	d := NewDetector(time.Second, 5*time.Second, nil, reg)
+	clk := attach(d, newFakeClock())
+	d.Track("n-1", "peer")
+	// Silence long enough to transition (and bind the gauge) under the
+	// placeholder role, then a pong that both revives and renames.
+	clk.advance(11 * time.Second)
+	d.Sweep()
+	if text := scrape(t, reg); !strings.Contains(text, `{peer="n-1",role="peer"}`) {
+		t.Fatalf("placeholder-role series missing:\n%s", text)
+	}
+	d.Observe("n-1", "pagestore", StatusOK)
+	text := scrape(t, reg)
+	if strings.Contains(text, `role="peer"`) {
+		t.Errorf("stale placeholder-role series still exported:\n%s", text)
+	}
+	if !strings.Contains(text, `taurus_peer_state{peer="n-1",role="pagestore"} 0`) {
+		t.Errorf("rebound series missing:\n%s", text)
+	}
 }
 
 // TestDetectorNil checks every method is inert on a nil receiver — the

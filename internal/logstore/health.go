@@ -22,6 +22,16 @@ func (s *Store) healthReport() health.Report {
 	return s.health.Report()
 }
 
+// Durations a degrading condition must persist before a verdict
+// escalates. Time-based, not probe-count-based: evaluation cadence is
+// whatever pollers drive (/health, /ready, heartbeat responder, the 1s
+// loop), so counting evaluations would shrink the wall-clock window
+// under heavy polling.
+const (
+	degradeWarnAfter     = 2 * time.Second
+	degradeCriticalAfter = 4 * time.Second
+)
+
 // RegisterHealth installs the Log Store's invariant probes on m. Probes
 // compare successive NodeStats snapshots, so every "stuck" verdict
 // requires the condition to hold across real time, not one noisy
@@ -36,10 +46,10 @@ func (s *Store) healthReport() health.Report {
 //     progress has stopped — after a crash that is a torn multi-lane
 //     write needing peer catch-up.
 func (s *Store) RegisterHealth(m *health.Monitor) {
-	// streak counts consecutive probe evaluations where the stream lag
-	// strictly grew under an advancing durable LSN.
+	// growSince marks when the stream lag was first observed growing
+	// under an advancing durable LSN; any non-growing sample resets it.
 	var lastLag, lastDurable uint64
-	var streak int
+	var growSince time.Time
 	m.AddProbe(func() health.Check {
 		st := s.NodeStats()
 		const name, rb = "logstore.stream", "RB-STREAM-STALL"
@@ -50,26 +60,31 @@ func (s *Store) RegisterHealth(m *health.Monitor) {
 		}
 		growing := st.Subscribers > 0 && st.StreamLag > lastLag &&
 			st.DurableLSN > lastDurable && lastDurable != 0
-		if growing {
-			streak++
-		} else {
-			streak = 0
-		}
 		lastLag, lastDurable = st.StreamLag, st.DurableLSN
+		if !growing {
+			growSince = time.Time{}
+			return health.Checkf(name, rb, health.StatusOK, ev,
+				"%d subscriber(s), lag %d", st.Subscribers, st.StreamLag)
+		}
+		if growSince.IsZero() {
+			growSince = time.Now()
+		}
+		held := time.Since(growSince)
+		ev["growing_for"] = held.Round(time.Millisecond).String()
 		switch {
-		case streak >= 4:
+		case held >= degradeCriticalAfter:
 			return health.Checkf(name, rb, health.StatusCritical, ev,
-				"stream lag grew %d probes in a row; slowest subscriber is not draining", streak)
-		case streak >= 2:
+				"stream lag grew for %s; slowest subscriber is not draining", held.Round(time.Second))
+		case held >= degradeWarnAfter:
 			return health.Checkf(name, rb, health.StatusWarn, ev,
-				"stream lag growing (%d probes)", streak)
+				"stream lag growing for %s", held.Round(time.Second))
 		}
 		return health.Checkf(name, rb, health.StatusOK, ev,
-			"%d subscriber(s), lag %d", st.Subscribers, st.StreamLag)
+			"%d subscriber(s), lag %d (growing %s)", st.Subscribers, st.StreamLag, held.Round(time.Millisecond))
 	})
 
 	var holeDurable uint64
-	var holeStreak int
+	var holeSince time.Time
 	m.AddProbe(func() health.Check {
 		st := s.NodeStats()
 		const name, rb = "logstore.holes", "RB-LOG-HOLES"
@@ -78,20 +93,25 @@ func (s *Store) RegisterHealth(m *health.Monitor) {
 			"durable_lsn":   fmt.Sprintf("%d", st.DurableLSN),
 		}
 		stuck := st.PendingHoles > 0 && st.DurableLSN == holeDurable
-		if stuck {
-			holeStreak++
-		} else {
-			holeStreak = 0
-		}
 		holeDurable = st.DurableLSN
-		switch {
-		case holeStreak >= 4:
-			return health.Checkf(name, rb, health.StatusCritical, ev,
-				"%d hole(s) below the durable watermark with no durable progress; run peer catch-up", st.PendingHoles)
-		case holeStreak >= 2:
-			return health.Checkf(name, rb, health.StatusWarn, ev,
-				"%d pending hole(s) while durable LSN is stalled", st.PendingHoles)
+		if !stuck {
+			holeSince = time.Time{}
+			return health.Checkf(name, rb, health.StatusOK, ev, "no stuck holes")
 		}
-		return health.Checkf(name, rb, health.StatusOK, ev, "no stuck holes")
+		if holeSince.IsZero() {
+			holeSince = time.Now()
+		}
+		held := time.Since(holeSince)
+		ev["stuck_for"] = held.Round(time.Millisecond).String()
+		switch {
+		case held >= degradeCriticalAfter:
+			return health.Checkf(name, rb, health.StatusCritical, ev,
+				"%d hole(s) below the durable watermark with no durable progress for %s; run peer catch-up", st.PendingHoles, held.Round(time.Second))
+		case held >= degradeWarnAfter:
+			return health.Checkf(name, rb, health.StatusWarn, ev,
+				"%d pending hole(s) while durable LSN is stalled (%s)", st.PendingHoles, held.Round(time.Second))
+		}
+		return health.Checkf(name, rb, health.StatusOK, ev,
+			"%d pending hole(s), watching (%s)", st.PendingHoles, held.Round(time.Millisecond))
 	})
 }

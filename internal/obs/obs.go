@@ -260,6 +260,35 @@ func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...Lab
 	})
 }
 
+// Remove deletes the series with the given labels from the named
+// family, so a departed entity (a forgotten peer, a rebound role) stops
+// being exported instead of freezing at its last value. The instrument
+// keeps working for any holder of the pointer; it just no longer
+// scrapes. Removing an unknown series or family is a no-op. Safe on a
+// nil registry.
+func (r *Registry) Remove(name string, labels ...Label) {
+	if r == nil {
+		return
+	}
+	key := labelKey(sortLabels(labels))
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.families[name]
+	if f == nil {
+		return
+	}
+	if _, ok := f.series[key]; !ok {
+		return
+	}
+	delete(f.series, key)
+	for i, k := range f.order {
+		if k == key {
+			f.order = append(f.order[:i], f.order[i+1:]...)
+			break
+		}
+	}
+}
+
 // Histogram returns the histogram named name with the given labels,
 // creating it with the given bucket upper bounds if needed (nil buckets
 // selects DefaultLatencyBuckets). Safe on a nil registry.

@@ -31,6 +31,38 @@ func TestCounterGauge(t *testing.T) {
 	r.CounterFunc("taurus_fn_total", "fn counter", func() float64 { return 7 })
 }
 
+// TestRemoveSeries checks Remove drops exactly one labeled series from
+// the exposition, leaves siblings intact, keeps the exposition valid,
+// and tolerates unknown names, unknown labels, and a nil registry.
+func TestRemoveSeries(t *testing.T) {
+	r := NewRegistry()
+	r.Gauge("taurus_test_state", "state", L("peer", "a"), L("role", "x")).Set(1)
+	r.Gauge("taurus_test_state", "state", L("peer", "b"), L("role", "y")).Set(2)
+	r.Remove("taurus_test_state", L("role", "x"), L("peer", "a")) // label order must not matter
+	r.Remove("taurus_test_state", L("peer", "ghost"), L("role", "z"))
+	r.Remove("taurus_no_such_family", L("peer", "a"))
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	if strings.Contains(text, `peer="a"`) {
+		t.Errorf("removed series still exported:\n%s", text)
+	}
+	if !strings.Contains(text, `taurus_test_state{peer="b",role="y"} 2`) {
+		t.Errorf("sibling series lost:\n%s", text)
+	}
+	if _, err := ValidateExposition(text); err != nil {
+		t.Fatalf("exposition invalid after Remove: %v", err)
+	}
+	// Re-registering the removed series starts a fresh instrument.
+	if got := r.Gauge("taurus_test_state", "state", L("peer", "a"), L("role", "x")).Value(); got != 0 {
+		t.Errorf("recreated series = %v, want 0", got)
+	}
+	var nilReg *Registry
+	nilReg.Remove("taurus_test_state", L("peer", "a"))
+}
+
 func TestNilSafety(t *testing.T) {
 	var r *Registry
 	c := r.Counter("x_total", "")

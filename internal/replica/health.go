@@ -31,18 +31,29 @@ func (r *Replica) healthReport() health.Report {
 	return r.health.Report()
 }
 
+// Durations a degrading condition must persist before a verdict
+// escalates. Time-based, not probe-count-based: evaluation cadence is
+// whatever pollers drive (/health, /ready, heartbeat responder, the 1s
+// loop), so counting evaluations would shrink the wall-clock window
+// under heavy polling.
+const (
+	lagWarnAfter          = 2 * time.Second
+	lagCriticalAfter      = 4 * time.Second
+	detachedCriticalAfter = 3 * time.Second
+)
+
 // RegisterHealth installs the replica's invariant probes on m.
 //
 //   - replica.lag (RB-REPLICA-LAG): the visible LSN must chase the
-//     master's durable watermark. Lag that strictly grows across
-//     consecutive probes while the visible LSN stands still means the
-//     apply side is wedged, not merely that writes are fast.
+//     master's durable watermark. Lag that keeps growing while the
+//     visible LSN stands still means the apply side is wedged, not
+//     merely that writes are fast.
 //   - replica.stream (RB-REPLICA-STREAM): in push mode the replica
 //     should hold an active subscription; detached is a warning while
 //     the watchdog resubscribes and critical once it persists.
 func (r *Replica) RegisterHealth(m *health.Monitor) {
 	var lastLag, lastVisible uint64
-	var lagStreak int
+	var wedgedSince time.Time
 	m.AddProbe(func() health.Check {
 		st := r.Stats()
 		const name, rb = "replica.lag", "RB-REPLICA-LAG"
@@ -54,25 +65,30 @@ func (r *Replica) RegisterHealth(m *health.Monitor) {
 		}
 		wedged := st.LagRecords > 0 && st.LagRecords > lastLag &&
 			st.VisibleLSN == lastVisible && lastVisible != 0
-		if wedged {
-			lagStreak++
-		} else {
-			lagStreak = 0
-		}
 		lastLag, lastVisible = st.LagRecords, st.VisibleLSN
+		if !wedged {
+			wedgedSince = time.Time{}
+			return health.Checkf(name, rb, health.StatusOK, ev,
+				"visible %d, lag %d records", st.VisibleLSN, st.LagRecords)
+		}
+		if wedgedSince.IsZero() {
+			wedgedSince = time.Now()
+		}
+		held := time.Since(wedgedSince)
+		ev["wedged_for"] = held.Round(time.Millisecond).String()
 		switch {
-		case lagStreak >= 4:
+		case held >= lagCriticalAfter:
 			return health.Checkf(name, rb, health.StatusCritical, ev,
-				"lag grew to %d records with a frozen visible LSN (%d probes); apply is wedged", st.LagRecords, lagStreak)
-		case lagStreak >= 2:
+				"lag grew to %d records with a frozen visible LSN for %s; apply is wedged", st.LagRecords, held.Round(time.Second))
+		case held >= lagWarnAfter:
 			return health.Checkf(name, rb, health.StatusWarn, ev,
-				"lag growing while visible LSN stalls (%d probes)", lagStreak)
+				"lag growing while visible LSN stalls (%s)", held.Round(time.Second))
 		}
 		return health.Checkf(name, rb, health.StatusOK, ev,
-			"visible %d, lag %d records", st.VisibleLSN, st.LagRecords)
+			"visible %d, lag %d records (stalling %s)", st.VisibleLSN, st.LagRecords, held.Round(time.Millisecond))
 	})
 
-	var detachedStreak int
+	var detachedSince time.Time
 	m.AddProbe(func() health.Check {
 		st := r.Stats()
 		const name, rb = "replica.stream", "RB-REPLICA-STREAM"
@@ -85,14 +101,18 @@ func (r *Replica) RegisterHealth(m *health.Monitor) {
 			"ckpt_resyncs":   fmt.Sprintf("%d", st.CkptResyncs),
 		}
 		if st.Subscribed {
-			detachedStreak = 0
+			detachedSince = time.Time{}
 			return health.Checkf(name, rb, health.StatusOK, ev,
 				"subscribed, %d frames", st.StreamBatches)
 		}
-		detachedStreak++
-		if detachedStreak >= 3 {
+		if detachedSince.IsZero() {
+			detachedSince = time.Now()
+		}
+		held := time.Since(detachedSince)
+		ev["detached_for"] = held.Round(time.Millisecond).String()
+		if held >= detachedCriticalAfter {
 			return health.Checkf(name, rb, health.StatusCritical, ev,
-				"push stream detached for %d probes; resubscription is failing", detachedStreak)
+				"push stream detached for %s; resubscription is failing", held.Round(time.Second))
 		}
 		return health.Checkf(name, rb, health.StatusWarn, ev,
 			"push stream detached; watchdog resubscribing")

@@ -17,6 +17,16 @@ const (
 	stuckCriticalAfter = 15 * time.Second
 )
 
+// Durations a saturated-and-stalled apply backlog must persist before
+// the verdict escalates. Time-based, not probe-count-based: probe
+// evaluation cadence is whatever pollers drive (/health, /ready, the
+// heartbeat responder, the 1s loop), so counting evaluations would
+// shrink the wall-clock window under heavy polling.
+const (
+	backlogWarnAfter     = 2 * time.Second
+	backlogCriticalAfter = 4 * time.Second
+)
+
 // RegisterHealth installs the write pipeline's invariant probes on m.
 //
 //   - pipeline.progress (RB-PIPELINE-STUCK): while windows are in
@@ -88,7 +98,7 @@ func (s *SAL) RegisterHealth(m *health.Monitor) {
 	// lastApplied tracks each lane's minimum applied LSN so "saturated
 	// and not draining" is distinguishable from plain backpressure.
 	lastApplied := make(map[int]uint64)
-	var satStreak int
+	var satSince time.Time
 	m.AddProbe(func() health.Check {
 		st := s.Stats()
 		const name, rb = "pipeline.apply_backlog", "RB-APPLY-BACKLOG"
@@ -113,20 +123,25 @@ func (s *SAL) RegisterHealth(m *health.Monitor) {
 			"max_backlog": fmt.Sprintf("%d", maxBacklog),
 			"limit":       fmt.Sprintf("%d", limit),
 		}
-		if saturatedStalled {
-			satStreak++
-		} else {
-			satStreak = 0
+		if !saturatedStalled {
+			satSince = time.Time{}
+			return health.Checkf(name, rb, health.StatusOK, ev,
+				"max backlog %d of %d", maxBacklog, limit)
 		}
+		if satSince.IsZero() {
+			satSince = time.Now()
+		}
+		held := time.Since(satSince)
+		ev["stalled_for"] = held.Round(time.Millisecond).String()
 		switch {
-		case satStreak >= 4:
+		case held >= backlogCriticalAfter:
 			return health.Checkf(name, rb, health.StatusCritical, ev,
-				"apply backlog pinned at the %d-window bound with a frozen apply frontier (%d probes); Page Stores are not absorbing", limit, satStreak)
-		case satStreak >= 2:
+				"apply backlog pinned at the %d-window bound with a frozen apply frontier for %s; Page Stores are not absorbing", limit, held.Round(time.Second))
+		case held >= backlogWarnAfter:
 			return health.Checkf(name, rb, health.StatusWarn, ev,
-				"apply backlog saturated and not draining (%d probes)", satStreak)
+				"apply backlog saturated and not draining for %s", held.Round(time.Second))
 		}
 		return health.Checkf(name, rb, health.StatusOK, ev,
-			"max backlog %d of %d", maxBacklog, limit)
+			"max backlog %d of %d, frontier stalled %s", maxBacklog, limit, held.Round(time.Millisecond))
 	})
 }

@@ -9,7 +9,13 @@
 //     exits zero. A health layer that cries wolf under normal load is
 //     worse than none.
 //
-//  2. Real failures are loud, fast: after SIGKILLing the Page Store,
+//  2. Hangs are failures too: a SIGSTOPped Log Store — alive at the
+//     TCP level, answering nothing — must fold to Suspect/Dead on the
+//     same deadlines, without dragging the healthy Page Store down
+//     with it (a hung peer must not starve the pinger loop), and must
+//     revive to Alive on SIGCONT.
+//
+//  3. Real failures are loud, fast: after SIGKILLing the Page Store,
 //     /cluster/health must show the peer Suspect within the suspect
 //     threshold (plus scheduling slop) and Dead within twice it, and
 //     taurus-doctor must exit non-zero.
@@ -29,6 +35,7 @@ import (
 	"os"
 	"os/exec"
 	"strings"
+	"syscall"
 	"time"
 
 	"taurus/internal/health"
@@ -81,6 +88,11 @@ func main() {
 		log.Fatalf("steady phase: %v", err)
 	}
 	log.Printf("steady phase ok: %s of writes with zero non-OK checks", *steady)
+
+	if err := stallPhase(ls); err != nil {
+		log.Fatalf("stall phase: %v", err)
+	}
+	log.Printf("stall phase ok: hung logstore folded and revived, pagestore untouched")
 
 	if err := killPhase(*doctor, ps); err != nil {
 		log.Fatalf("kill phase: %v", err)
@@ -167,6 +179,62 @@ func assertAllHealthy() error {
 		}
 	}
 	return nil
+}
+
+// stallPhase SIGSTOPs the Log Store — the black-hole failure mode: TCP
+// connections still complete, nothing ever answers — and holds the
+// detector to the same Suspect/Dead deadlines as a clean kill. While
+// the stall lasts, the healthy Page Store must stay Alive: a hung peer
+// starving the pinger loop (so every peer's silence grows and the whole
+// fleet folds) is exactly the regression this phase exists to catch.
+// On SIGCONT the Log Store must revive to Alive.
+func stallPhase(ls *exec.Cmd) error {
+	if err := ls.Process.Signal(syscall.SIGSTOP); err != nil {
+		return fmt.Errorf("stopping logstore: %v", err)
+	}
+	stoppedAt := time.Now()
+	log.Printf("SIGSTOPped logstore (pid %d)", ls.Process.Pid)
+
+	slop := 3 * time.Second
+	if err := waitPeerState(lsCluster, health.PeerSuspect, stoppedAt, suspect+slop); err != nil {
+		return err
+	}
+	log.Printf("logstore Suspect after %s", time.Since(stoppedAt).Round(time.Millisecond))
+	if err := waitPeerState(lsCluster, health.PeerDead, stoppedAt, 2*suspect+slop); err != nil {
+		return err
+	}
+	log.Printf("logstore Dead after %s", time.Since(stoppedAt).Round(time.Millisecond))
+
+	// The stall has now lasted past 2x the suspect threshold. Had the
+	// hung peer stalled the pinger, the pagestore would have accrued
+	// the same silence and folded with it.
+	var view health.ClusterView
+	if err := fetchJSON("http://"+feStats+"/cluster/health", &view); err != nil {
+		return err
+	}
+	for _, p := range view.Peers {
+		if p.Name == psCluster && p.State != health.PeerAlive {
+			return fmt.Errorf("healthy pagestore folded to %v while the logstore was stalled", p.State)
+		}
+	}
+
+	if err := ls.Process.Signal(syscall.SIGCONT); err != nil {
+		return fmt.Errorf("resuming logstore: %v", err)
+	}
+	contAt := time.Now()
+	for time.Since(contAt) < suspect+slop {
+		if err := fetchJSON("http://"+feStats+"/cluster/health", &view); err != nil {
+			return err
+		}
+		for _, p := range view.Peers {
+			if p.Name == lsCluster && p.State == health.PeerAlive {
+				log.Printf("logstore Alive again %s after SIGCONT", time.Since(contAt).Round(time.Millisecond))
+				return nil
+			}
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	return fmt.Errorf("logstore did not revive within %s of SIGCONT", suspect+slop)
 }
 
 // killPhase SIGKILLs the Page Store and holds the detector to its
